@@ -1,0 +1,48 @@
+"""Benchmark / regeneration of paper Figure 1 (runtime breakdown vs seq len).
+
+Figure 1 profiles BERT-Large on a Volta GPU and shows the softmax growing
+into a dominant runtime component as the sequence length increases.  The
+reproduction uses the operator-level GPU runtime model; the regenerated
+series (runtime fraction per operator class at each sequence length) is
+written to ``benchmarks/results/figure1_runtime_breakdown.txt``.
+"""
+
+from bench_utils import write_result
+from repro.eval import runtime_fraction_series
+from repro.models import BertConfig
+from repro.reporting import series_to_csv, stacked_fraction_chart
+
+SEQ_LENS = (128, 256, 384, 512, 1024, 2048)
+
+
+def _generate():
+    return runtime_fraction_series(BertConfig.bert_large(max_seq_len=4096), SEQ_LENS)
+
+
+def test_figure1_runtime_breakdown(benchmark):
+    series = benchmark(_generate)
+
+    # --- the paper's qualitative claims ----------------------------------- #
+    softmax_share = series.series("softmax")
+    # Softmax share grows monotonically with sequence length ...
+    assert softmax_share == sorted(softmax_share)
+    # ... from a minority at short sequences to a dominant share at 2048.
+    assert softmax_share[0] < 0.35
+    assert softmax_share[-1] > 0.45
+    # Matmul share shrinks correspondingly.
+    matmul_share = series.series("matmul")
+    assert matmul_share[0] > matmul_share[-1]
+    # Dropout (the other attention-shaped elementwise op) also grows.
+    dropout_share = series.series("dropout")
+    assert dropout_share[-1] > dropout_share[0]
+
+    # --- write the regenerated figure -------------------------------------- #
+    csv = series_to_csv("seq_len", series.seq_lens, series.fractions)
+    chart = stacked_fraction_chart(
+        series.seq_lens, series.fractions,
+        title="Figure 1 (reproduced): BERT-Large runtime breakdown vs sequence length",
+    )
+    write_result("figure1_runtime_breakdown", csv + "\n\n" + chart)
+
+    benchmark.extra_info["softmax_share_at_128"] = round(softmax_share[0], 3)
+    benchmark.extra_info["softmax_share_at_2048"] = round(softmax_share[-1], 3)

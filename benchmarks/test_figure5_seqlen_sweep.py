@@ -1,0 +1,59 @@
+"""Benchmark / regeneration of paper Figure 5 (PE energy vs sequence length).
+
+Sweeps the sequence length of the SELF+Softmax workload for 16-wide and
+32-wide PE configurations, comparing the Softermax PE against the
+DesignWare-baseline PE.  The paper's claims: Softermax starts from a lower
+energy and its energy grows with a shallower slope as sequences get longer.
+"""
+
+from bench_utils import write_result
+from repro.eval import energy_sweep_series
+from repro.reporting import ascii_bar_chart, series_to_csv
+
+SEQ_LENS = (128, 256, 384, 512, 1024, 2048, 4096)
+VECTOR_SIZES = (16, 32)
+
+
+def _generate():
+    return energy_sweep_series(seq_lens=SEQ_LENS, vector_sizes=VECTOR_SIZES)
+
+
+def test_figure5_sequence_length_sweep(benchmark):
+    all_series = benchmark(_generate)
+    assert len(all_series) == len(VECTOR_SIZES)
+
+    sections = []
+    for series in all_series:
+        base = series.baseline_energy_uj
+        soft = series.softermax_energy_uj
+
+        # Softermax is lower at every point ...
+        assert all(s < b for s, b in zip(soft, base))
+        # ... and the baseline's energy growth (slope) is steeper.
+        base_slope = base[-1] - base[0]
+        soft_slope = soft[-1] - soft[0]
+        assert base_slope > 1.5 * soft_slope
+        # Energy grows monotonically with sequence length for both designs.
+        assert base == sorted(base)
+        assert soft == sorted(soft)
+
+        csv = series_to_csv(
+            "seq_len", series.seq_lens,
+            {
+                f"softermax_uJ_{series.vector_size}wide": soft,
+                f"designware_uJ_{series.vector_size}wide": base,
+                "ratio": series.ratios(),
+            },
+        )
+        chart_base = ascii_bar_chart(series.seq_lens, base, unit=" uJ",
+                                     title=f"DesignWare PE ({series.vector_size}-wide)")
+        chart_soft = ascii_bar_chart(series.seq_lens, soft, unit=" uJ",
+                                     title=f"Softermax PE ({series.vector_size}-wide)")
+        sections.append("\n\n".join([csv, chart_base, chart_soft]))
+
+        benchmark.extra_info[f"ratio_at_384_{series.vector_size}wide"] = round(
+            series.ratios()[SEQ_LENS.index(384)], 3)
+
+    write_result("figure5_seqlen_sweep",
+                 "Figure 5 (reproduced): SELF+Softmax energy vs sequence length\n\n"
+                 + "\n\n".join(sections))

@@ -1,0 +1,60 @@
+"""Software throughput micro-benchmarks of the softmax implementations.
+
+Not a paper table, but useful engineering data for users of the library:
+how much slower is the bit-accurate Softermax simulation than a plain
+NumPy softmax, and how does the cost scale with sequence length.
+"""
+
+import numpy as np
+import pytest
+
+from bench_utils import write_result
+from repro.core import (
+    SoftermaxConfig,
+    attention_score_batch,
+    base2_softmax,
+    online_softmax,
+    softermax,
+    softmax_reference,
+)
+from repro.reporting import format_table
+
+
+@pytest.mark.parametrize("seq_len", [128, 384, 1024])
+def test_softermax_pipeline_throughput(benchmark, seq_len):
+    scores = attention_score_batch(batch=8, seq_len=seq_len, seed=0)
+    result = benchmark(lambda: softermax(scores))
+    assert result.shape == scores.shape
+    benchmark.extra_info["elements"] = int(scores.size)
+
+
+@pytest.mark.parametrize("name,fn", [
+    ("reference", softmax_reference),
+    ("base2", base2_softmax),
+    ("online", online_softmax),
+], ids=["reference", "base2", "online"])
+def test_float_softmax_throughput(benchmark, name, fn):
+    scores = attention_score_batch(batch=8, seq_len=384, seed=0)
+    result = benchmark(lambda: fn(scores))
+    assert result.shape == scores.shape
+
+
+def test_slice_width_throughput_tradeoff(benchmark):
+    """Wider hardware slices mean fewer Python-level pipeline iterations."""
+    scores = attention_score_batch(batch=4, seq_len=1024, seed=1)
+    narrow = SoftermaxConfig(slice_width=16)
+    wide = SoftermaxConfig(slice_width=128)
+
+    def run():
+        a = softermax(scores, config=narrow)
+        b = softermax(scores, config=wide)
+        return a, b
+
+    a, b = benchmark(run)
+    # Both slice widths compute (numerically almost) the same result.
+    assert np.max(np.abs(a - b)) < 0.05
+    write_result("softmax_throughput_note", format_table(
+        ["slice width", "output max |diff| vs 128-wide"],
+        [[16, float(np.max(np.abs(a - b)))], [128, 0.0]],
+        title="Slice width does not change the computed probabilities",
+        float_digits=4))

@@ -1,0 +1,36 @@
+"""Benchmark / regeneration of paper Table I (Softermax bitwidths).
+
+Table I is a configuration table rather than a measurement; this benchmark
+verifies the library's default operating point reproduces it exactly and
+times the bit-accurate Softermax pipeline at that operating point (the
+number a software user of the library cares about).
+"""
+
+import numpy as np
+
+from bench_utils import write_result
+from repro.core import SoftermaxConfig, attention_score_batch, softermax
+from repro.fixedpoint import QFormat
+from repro.reporting import format_table1
+
+
+def test_table1_bitwidths(benchmark):
+    config = SoftermaxConfig.paper_table1()
+
+    # --- the table itself ------------------------------------------------ #
+    assert config.input_fmt == QFormat(6, 2, signed=True)
+    assert config.max_fmt == QFormat(6, 2, signed=True)
+    assert config.unnormed_fmt == QFormat(1, 15, signed=False)
+    assert config.sum_fmt == QFormat(10, 6, signed=False)
+    assert config.recip_fmt == QFormat(1, 7, signed=False)
+    assert config.output_fmt == QFormat(1, 7, signed=False)
+    assert config.input_bits == 8 and config.output_bits == 8
+
+    table = format_table1(config)
+    write_result("table1_bitwidths", table)
+
+    # --- time the pipeline at this operating point ------------------------ #
+    scores = attention_score_batch(batch=8, seq_len=384, seed=0)
+    result = benchmark(lambda: softermax(scores, config=config))
+    assert result.shape == scores.shape
+    benchmark.extra_info["operating_point"] = str(config.describe())

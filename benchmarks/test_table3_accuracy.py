@@ -1,0 +1,108 @@
+"""Benchmark / regeneration of paper Table III (accuracy, baseline vs Softermax).
+
+For each of the nine tasks (the SQuAD surrogate plus the eight GLUE
+surrogates) and each of the two model sizes (the BERT-Base and BERT-Large
+tiny surrogates), the harness:
+
+1. pre-trains a model with the standard softmax,
+2. runs 8-bit quantization-aware fine-tuning with the standard softmax
+   (the paper's baseline), and
+3. runs the same fine-tuning with the bit-accurate Softermax forward and
+   straight-through backward,
+
+starting both fine-tuning runs from the same pre-trained weights.  The
+paper's claim -- reproduced as assertions below -- is that Softermax incurs
+no average accuracy loss and only small per-task drops.
+
+This is by far the most expensive benchmark (many minutes of NumPy
+training).  Set ``SOFTERMAX_BENCH_SCALE`` to a value below 1.0 (e.g. 0.25)
+to run a reduced version of the same experiment.
+"""
+
+import pytest
+
+from bench_utils import bench_scale, write_result
+from repro.data import make_glue_suite, make_squad
+from repro.eval import run_accuracy_comparison
+from repro.models import BertConfig, FinetuneConfig
+from repro.reporting import format_table3
+
+#: Paper Table III, for side-by-side reporting (not asserted numerically --
+#: the tasks here are synthetic surrogates).
+PAPER_TABLE3 = {
+    "BERT-Base": {
+        "baseline": {"squad": 86.28, "rte": 62.45, "cola": 53.65, "mrpc": 84.31,
+                     "qnli": 90.77, "qqp": 90.71, "sst2": 92.09, "stsb": 87.86,
+                     "mnli": 83.27},
+        "softermax": {"squad": 85.86, "rte": 64.26, "cola": 56.76, "mrpc": 84.07,
+                      "qnli": 90.41, "qqp": 90.83, "sst2": 92.20, "stsb": 87.78,
+                      "mnli": 83.80},
+    },
+    "BERT-Large": {
+        "baseline": {"squad": 89.40, "rte": 65.70, "cola": 59.58, "mrpc": 86.03,
+                     "qnli": 92.09, "qqp": 91.24, "sst2": 92.89, "stsb": 89.39,
+                     "mnli": 85.87},
+        "softermax": {"squad": 89.46, "rte": 69.68, "cola": 60.10, "mrpc": 86.27,
+                      "qnli": 91.76, "qqp": 90.90, "sst2": 92.66, "stsb": 89.55,
+                      "mnli": 85.74},
+    },
+}
+
+
+def _build_tasks(scale: float):
+    suite = make_glue_suite(scale=scale)
+    squad = make_squad(num_train=max(64, int(768 * scale)),
+                       num_dev=max(32, int(160 * scale)))
+    return [squad] + [suite[name] for name in
+                      ("rte", "cola", "mrpc", "qnli", "qqp", "sst2", "stsb", "mnli")]
+
+
+def _run_model(model_config, tasks, finetune_config):
+    return run_accuracy_comparison(tasks, model_config, finetune_config)
+
+
+@pytest.mark.parametrize("model_name,config_factory", [
+    ("BERT-Base (tiny surrogate)", BertConfig.tiny_base),
+    ("BERT-Large (tiny surrogate)", BertConfig.tiny_large),
+])
+def test_table3_accuracy(benchmark, model_name, config_factory):
+    scale = bench_scale(0.5)
+    tasks = _build_tasks(scale)
+    model_config = config_factory()
+    finetune_config = FinetuneConfig(pretrain_epochs=8, finetune_epochs=3,
+                                     batch_size=32, seed=0)
+
+    comparison = benchmark.pedantic(
+        _run_model, args=(model_config, tasks, finetune_config),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+
+    # --- the paper's claims ------------------------------------------------ #
+    deltas = comparison.delta()
+    # Softermax matches the quantized baseline on average (paper: the average
+    # actually goes *up* slightly; we allow a small negative margin since the
+    # surrogate tasks are noisier than real GLUE).
+    assert comparison.average_delta() > -3.0, deltas
+    # No catastrophic per-task collapse (paper: worst drop < 0.5 points; the
+    # surrogates are tiny models on tiny datasets, so the tolerance is wider).
+    assert comparison.worst_drop() > -12.0, deltas
+    # Both variants actually learned: the mean baseline score across tasks is
+    # far above chance.
+    baseline_mean = sum(comparison.baseline.values()) / len(comparison.baseline)
+    assert baseline_mean > 55.0
+
+    # --- write the regenerated table ---------------------------------------- #
+    text = format_table3({model_name: comparison})
+    paper_key = "BERT-Base" if "Base" in model_name else "BERT-Large"
+    paper = PAPER_TABLE3[paper_key]
+    lines = [text, "", f"Paper Table III ({paper_key}) for reference:"]
+    lines.append("  baseline : " + "  ".join(f"{k}={v:.2f}" for k, v in paper["baseline"].items()))
+    lines.append("  softermax: " + "  ".join(f"{k}={v:.2f}" for k, v in paper["softermax"].items()))
+    lines.append("")
+    lines.append(f"Reproduced average delta (Softermax - baseline): {comparison.average_delta():+.2f}")
+    lines.append(f"Reproduced worst per-task drop: {comparison.worst_drop():+.2f}")
+    write_result(f"table3_accuracy_{paper_key.lower().replace('-', '_')}", "\n".join(lines))
+
+    benchmark.extra_info["average_delta"] = round(comparison.average_delta(), 2)
+    benchmark.extra_info["worst_drop"] = round(comparison.worst_drop(), 2)
+    benchmark.extra_info["scale"] = scale

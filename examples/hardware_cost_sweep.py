@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Hardware cost study: regenerate Table IV and Figure 5 of the paper.
+
+Compares the Softermax hardware units against the DesignWare-style FP16
+baseline at the unit level and integrated into a MAGNet-style PE, then
+sweeps the sequence length for 16- and 32-wide PE configurations.
+
+Run with::
+
+    python examples/hardware_cost_sweep.py
+"""
+
+from repro.eval import energy_sweep_series
+from repro.hardware import (
+    AttentionWorkload,
+    PEConfig,
+    ProcessingElement,
+    compute_table4,
+)
+from repro.reporting import ascii_bar_chart, format_table, format_table4, series_to_csv
+
+
+def main() -> None:
+    # --- Table IV -------------------------------------------------------- #
+    table4 = compute_table4()
+    print(format_table4(table4))
+    print()
+    unnormed_area = table4.area_ratio("Unnormed Softmax Unit")
+    unnormed_energy = table4.energy_ratio("Unnormed Softmax Unit")
+    print(f"Unnormed Softmax unit: {1 / unnormed_area:.1f}x smaller, "
+          f"{1 / unnormed_energy:.1f}x more energy efficient (paper: 4x / 9.53x)")
+    norm_area = table4.area_ratio("Normalization Unit")
+    norm_energy = table4.energy_ratio("Normalization Unit")
+    print(f"Normalization unit   : {1 / norm_area:.2f}x smaller, "
+          f"{1 / norm_energy:.2f}x more energy efficient (paper: 1.54x / 2.53x)")
+    print()
+
+    # --- itemized area of the two PEs ------------------------------------ #
+    for impl in ("softermax", "designware"):
+        pe = ProcessingElement(config=PEConfig.wide32(), softmax_impl=impl)
+        breakdown = pe.area()
+        softmax_area = sum(v for k, v in breakdown.items.items() if k.startswith("softmax"))
+        print(f"{impl:>11s} PE area: {breakdown.total / 1e3:.1f} kum^2 "
+              f"(softmax units: {softmax_area / 1e3:.1f} kum^2, "
+              f"{100 * softmax_area / breakdown.total:.1f}%)")
+    print()
+
+    # --- Figure 5: energy vs sequence length ----------------------------- #
+    for series in energy_sweep_series(seq_lens=(128, 256, 384, 512, 1024, 2048, 4096)):
+        print(series_to_csv(
+            "seq_len", series.seq_lens,
+            {
+                f"softermax_uJ_{series.vector_size}w": series.softermax_energy_uj,
+                f"designware_uJ_{series.vector_size}w": series.baseline_energy_uj,
+            },
+        ))
+        print()
+        print(ascii_bar_chart(
+            series.seq_lens, series.baseline_energy_uj, unit=" uJ",
+            title=f"DesignWare PE energy vs seq len ({series.vector_size}-wide)"))
+        print(ascii_bar_chart(
+            series.seq_lens, series.softermax_energy_uj, unit=" uJ",
+            title=f"Softermax PE energy vs seq len ({series.vector_size}-wide)"))
+        print()
+
+    # --- one fully itemized workload ------------------------------------- #
+    from repro.hardware import attention_energy
+    pe = ProcessingElement(config=PEConfig.wide32(), softmax_impl="softermax")
+    breakdown = attention_energy(pe, AttentionWorkload.squad())
+    rows = sorted(breakdown.items.items(), key=lambda item: -item[1])[:10]
+    print(format_table(["component", "energy (pJ)"], rows,
+                       title="Top energy components, Softermax PE, SQuAD workload (seq 384)",
+                       float_digits=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 1: the runtime breakdown of BERT-Large vs sequence length.
+
+Uses the operator-level GPU runtime model to show how the softmax (and the
+other non-matmul attention operations) grow into a major fraction of the
+runtime as the sequence length increases -- the motivation for Softermax.
+
+Run with::
+
+    python examples/runtime_breakdown.py
+"""
+
+from repro.eval import runtime_fraction_series
+from repro.models import BertConfig
+from repro.reporting import series_to_csv, stacked_fraction_chart
+
+
+def main() -> None:
+    seq_lens = (128, 256, 384, 512, 1024, 2048)
+    series = runtime_fraction_series(BertConfig.bert_large(max_seq_len=4096), seq_lens)
+
+    print(series_to_csv("seq_len", series.seq_lens, series.fractions))
+    print()
+    print(stacked_fraction_chart(
+        series.seq_lens, series.fractions,
+        title="BERT-Large runtime breakdown vs sequence length (operator model)",
+    ))
+    print()
+    softmax = series.series("softmax")
+    print(f"softmax fraction grows from {softmax[0] * 100:.1f}% at seq {seq_lens[0]} "
+          f"to {softmax[-1] * 100:.1f}% at seq {seq_lens[-1]}")
+    print("(Figure 1 of the paper makes the same point with profiled GPU kernels.)")
+
+
+if __name__ == "__main__":
+    main()

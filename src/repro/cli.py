@@ -1,0 +1,238 @@
+"""Command-line interface for the Softermax reproduction.
+
+Every paper experiment can be regenerated from the command line::
+
+    python -m repro.cli table1
+    python -m repro.cli table4
+    python -m repro.cli figure1 --seq-lens 128 384 1024 2048
+    python -m repro.cli figure5
+    python -m repro.cli table3 --tasks sst2 rte --model tiny-base
+    python -m repro.cli compare-softmax --seq-len 384
+    python -m repro.cli latency
+    python -m repro.cli model-cost --model bert-large --seq-len 512
+
+(The Table III command trains real NumPy models and can take minutes for the
+full task list; the default runs a single quick task.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core import (
+    SoftermaxConfig,
+    attention_score_batch,
+    base2_softmax,
+    compare_softmax,
+    ibert_softmax,
+    lut_exp_softmax,
+    softermax,
+    softmax_reference,
+    split_exp_softmax,
+)
+from repro.reporting import format_table, format_table1, format_table3, format_table4, series_to_csv
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    print(format_table1(SoftermaxConfig.paper_table1()))
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.hardware import AttentionWorkload, PEConfig, compute_table4
+
+    pe_config = PEConfig.wide32() if args.width == 32 else PEConfig.wide16()
+    result = compute_table4(pe_config=pe_config,
+                            workload=AttentionWorkload(seq_len=args.seq_len))
+    print(format_table4(result))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    from repro.eval import runtime_fraction_series
+    from repro.models import BertConfig
+
+    config = (BertConfig.bert_large(max_seq_len=max(args.seq_lens))
+              if args.model == "bert-large"
+              else BertConfig.bert_base(max_seq_len=max(args.seq_lens)))
+    series = runtime_fraction_series(config, tuple(args.seq_lens))
+    print(series_to_csv("seq_len", series.seq_lens, series.fractions))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.eval import energy_sweep_series
+
+    for series in energy_sweep_series(seq_lens=tuple(args.seq_lens),
+                                      vector_sizes=tuple(args.widths)):
+        print(series_to_csv(
+            "seq_len", series.seq_lens,
+            {
+                f"softermax_uJ_{series.vector_size}w": series.softermax_energy_uj,
+                f"designware_uJ_{series.vector_size}w": series.baseline_energy_uj,
+            },
+        ))
+        print()
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.data import GLUE_TASK_NAMES, make_glue_task, make_squad
+    from repro.eval import run_accuracy_comparison
+    from repro.models import BertConfig, FinetuneConfig
+
+    tasks = []
+    for name in args.tasks:
+        if name == "squad":
+            tasks.append(make_squad(num_train=args.num_train, num_dev=args.num_dev))
+        elif name in GLUE_TASK_NAMES:
+            tasks.append(make_glue_task(name, num_train=args.num_train,
+                                        num_dev=args.num_dev))
+        else:
+            print(f"unknown task {name!r}; choose from {'squad', *GLUE_TASK_NAMES}",
+                  file=sys.stderr)
+            return 2
+
+    model_config = (BertConfig.tiny_large() if args.model == "tiny-large"
+                    else BertConfig.tiny_base())
+    finetune_config = FinetuneConfig(pretrain_epochs=args.epochs,
+                                     finetune_epochs=max(1, args.epochs // 3),
+                                     seed=args.seed)
+    comparison = run_accuracy_comparison(tasks, model_config, finetune_config)
+    print(format_table3({args.model: comparison}))
+    print(f"\naverage delta (Softermax - baseline): {comparison.average_delta():+.2f}")
+    return 0
+
+
+def _cmd_compare_softmax(args: argparse.Namespace) -> int:
+    scores = attention_score_batch(batch=args.batch, seq_len=args.seq_len,
+                                   seed=args.seed)
+    variants = {
+        "base-2 float": base2_softmax,
+        "softermax (Table I)": lambda x: softermax(x),
+        "i-bert polynomial": ibert_softmax,
+        "LUT exp (64 entries)": lut_exp_softmax,
+        "split high/low exp": split_exp_softmax,
+    }
+    rows = []
+    for name, fn in variants.items():
+        report = compare_softmax(fn, scores, reference_fn=softmax_reference)
+        rows.append([name, report.max_abs_error, report.mean_abs_error,
+                     report.argmax_agreement])
+    print(format_table(
+        ["variant", "max |err| vs base-e", "mean |err|", "argmax agreement"],
+        rows, title=f"Softmax approximations on seq_len={args.seq_len} scores",
+        float_digits=4))
+    return 0
+
+
+def _cmd_latency(args: argparse.Namespace) -> int:
+    from repro.hardware import latency_sweep
+
+    rows = []
+    for comparison in latency_sweep(seq_lens=tuple(args.seq_lens)):
+        rows.append([comparison.seq_len, comparison.softermax_cycles,
+                     comparison.baseline_cycles, comparison.speedup])
+    print(format_table(
+        ["seq_len", "softermax cycles/row", "baseline cycles/row", "speedup"],
+        rows, title="Attention-row latency (single-pass online vs two-pass baseline)"))
+    return 0
+
+
+def _cmd_model_cost(args: argparse.Namespace) -> int:
+    from repro.hardware import compare_model_attention
+    from repro.models import BertConfig
+
+    config = (BertConfig.bert_large(max_seq_len=args.seq_len)
+              if args.model == "bert-large"
+              else BertConfig.bert_base(max_seq_len=args.seq_len))
+    comparison = compare_model_attention(config, args.seq_len)
+    rows = [
+        ["Softermax", comparison.softermax.energy_uj, comparison.softermax.cycles],
+        ["DesignWare baseline", comparison.baseline.energy_uj, comparison.baseline.cycles],
+        ["ratio (Softermax/baseline)", comparison.energy_ratio, comparison.cycle_ratio],
+    ]
+    print(format_table(
+        ["design", "attention energy (uJ)", "attention cycles"],
+        rows, title=f"{config.name} @ seq_len {args.seq_len}: SELF+Softmax cost",
+        float_digits=3))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the experiments of the Softermax paper (DAC 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Softermax bitwidths (Table I)")
+
+    table4 = sub.add_parser("table4", help="area/energy ratios (Table IV)")
+    table4.add_argument("--width", type=int, choices=(16, 32), default=32)
+    table4.add_argument("--seq-len", type=int, default=384)
+
+    figure1 = sub.add_parser("figure1", help="runtime breakdown vs seq len (Figure 1)")
+    figure1.add_argument("--model", choices=("bert-base", "bert-large"),
+                         default="bert-large")
+    figure1.add_argument("--seq-lens", type=int, nargs="+",
+                         default=[128, 256, 384, 512, 1024, 2048])
+
+    figure5 = sub.add_parser("figure5", help="PE energy vs seq len (Figure 5)")
+    figure5.add_argument("--seq-lens", type=int, nargs="+",
+                         default=[128, 256, 384, 512, 1024, 2048, 4096])
+    figure5.add_argument("--widths", type=int, nargs="+", default=[16, 32])
+
+    table3 = sub.add_parser("table3", help="accuracy comparison (Table III)")
+    table3.add_argument("--tasks", nargs="+", default=["sst2"])
+    table3.add_argument("--model", choices=("tiny-base", "tiny-large"),
+                        default="tiny-base")
+    table3.add_argument("--num-train", type=int, default=512)
+    table3.add_argument("--num-dev", type=int, default=128)
+    table3.add_argument("--epochs", type=int, default=8)
+    table3.add_argument("--seed", type=int, default=0)
+
+    compare = sub.add_parser("compare-softmax",
+                             help="numerical comparison of softmax approximations")
+    compare.add_argument("--seq-len", type=int, default=384)
+    compare.add_argument("--batch", type=int, default=16)
+    compare.add_argument("--seed", type=int, default=0)
+
+    latency = sub.add_parser("latency", help="row-latency comparison")
+    latency.add_argument("--seq-lens", type=int, nargs="+",
+                         default=[128, 256, 384, 512, 1024, 2048])
+
+    model_cost = sub.add_parser("model-cost",
+                                help="full-model attention energy/latency")
+    model_cost.add_argument("--model", choices=("bert-base", "bert-large"),
+                            default="bert-large")
+    model_cost.add_argument("--seq-len", type=int, default=512)
+
+    return parser
+
+
+_HANDLERS = {
+    "table1": _cmd_table1,
+    "table4": _cmd_table4,
+    "figure1": _cmd_figure1,
+    "figure5": _cmd_figure5,
+    "table3": _cmd_table3,
+    "compare-softmax": _cmd_compare_softmax,
+    "latency": _cmd_latency,
+    "model-cost": _cmd_model_cost,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _HANDLERS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

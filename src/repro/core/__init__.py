@@ -1,0 +1,92 @@
+"""Softermax core algorithms (the paper's primary contribution).
+
+Public API:
+
+* :func:`softermax` -- drop-in hardware-accurate Softermax.
+* :class:`SoftermaxPipeline` -- the same pipeline with intermediate signals.
+* :class:`SoftermaxConfig` -- operating point (paper Table I by default).
+* Reference softmaxes: :func:`softmax_reference`, :func:`base2_softmax`,
+  :func:`online_softmax`, :func:`softmax_naive`.
+* Hardware sub-units: :class:`PowerOfTwoUnit`, :class:`ReciprocalUnit`,
+  the generic LPW machinery, and the online-normalizer recurrence.
+"""
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.lpw import LPWTable, fit_lpw, evaluate_lpw, max_abs_error
+from repro.core.pow2_unit import PowerOfTwoUnit, build_pow2_table, exact_pow2
+from repro.core.reciprocal_unit import (
+    ReciprocalUnit,
+    build_reciprocal_table,
+    exact_reciprocal,
+    normalize_to_unit_range,
+)
+from repro.core.softmax_reference import (
+    softmax_naive,
+    softmax_reference,
+    base2_softmax,
+    online_softmax,
+    log_softmax_reference,
+    softmax_jacobian_vector_product,
+)
+from repro.core.online_normalizer import (
+    OnlineNormalizerState,
+    online_normalizer,
+    integer_max,
+)
+from repro.core.softermax import (
+    SoftermaxPipeline,
+    SoftermaxIntermediates,
+    softermax,
+    softermax_float,
+)
+from repro.core.errors import (
+    SoftmaxErrorReport,
+    compare_softmax,
+    kl_divergence,
+    attention_score_batch,
+)
+from repro.core.variants import (
+    ibert_softmax,
+    lut_exp_softmax,
+    split_exp_softmax,
+    LUTExpSoftmax,
+    register_related_work_variants,
+)
+
+__all__ = [
+    "SoftermaxConfig",
+    "DEFAULT_CONFIG",
+    "LPWTable",
+    "fit_lpw",
+    "evaluate_lpw",
+    "max_abs_error",
+    "PowerOfTwoUnit",
+    "build_pow2_table",
+    "exact_pow2",
+    "ReciprocalUnit",
+    "build_reciprocal_table",
+    "exact_reciprocal",
+    "normalize_to_unit_range",
+    "softmax_naive",
+    "softmax_reference",
+    "base2_softmax",
+    "online_softmax",
+    "log_softmax_reference",
+    "softmax_jacobian_vector_product",
+    "OnlineNormalizerState",
+    "online_normalizer",
+    "integer_max",
+    "SoftermaxPipeline",
+    "SoftermaxIntermediates",
+    "softermax",
+    "softermax_float",
+    "SoftmaxErrorReport",
+    "compare_softmax",
+    "kl_divergence",
+    "attention_score_batch",
+    "ibert_softmax",
+    "lut_exp_softmax",
+    "split_exp_softmax",
+    "LUTExpSoftmax",
+    "register_related_work_variants",
+]

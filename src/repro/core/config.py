@@ -1,0 +1,127 @@
+"""Softermax configuration: the bitwidths of paper Table I plus knobs.
+
+The paper fixes one operating point (Table I); :class:`SoftermaxConfig`
+captures that operating point as the default and exposes every width and
+algorithmic choice as a field so that ablations (different LPW segment
+counts, disabling online normalization, using the natural base, ...) can be
+expressed as alternative configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.fixedpoint import QFormat
+
+
+@dataclass(frozen=True)
+class SoftermaxConfig:
+    """Operating point of the Softermax pipeline.
+
+    The defaults reproduce Table I of the paper:
+
+    ========  ==========  =================================================
+    Signal    Format      Meaning
+    ========  ==========  =================================================
+    input     Q(6,2)      attention scores entering the unit (signed)
+    localmax  Q(6,2)      running/slice maximum (signed)
+    unnormed  Q(1,15)     output of the power-of-two unit, in [0, 1]
+    powsum    Q(10,6)     running denominator accumulator
+    recip     Q(1,7)      reciprocal of the (normalized) denominator
+    output    Q(1,7)      final probabilities, in [0, 1]
+    ========  ==========  =================================================
+    """
+
+    #: Format of the attention scores entering the softmax unit.
+    input_fmt: QFormat = field(default=QFormat(6, 2, signed=True))
+    #: Format of the running (integer) maximum.
+    max_fmt: QFormat = field(default=QFormat(6, 2, signed=True))
+    #: Format of the unnormalized exponential (always in [0, 1]).
+    unnormed_fmt: QFormat = field(default=QFormat(1, 15, signed=False))
+    #: Format of the running denominator sum.
+    sum_fmt: QFormat = field(default=QFormat(10, 6, signed=False))
+    #: Format of the reciprocal of the denominator.
+    recip_fmt: QFormat = field(default=QFormat(1, 7, signed=False))
+    #: Format of the final softmax output.
+    output_fmt: QFormat = field(default=QFormat(1, 7, signed=False))
+
+    #: Number of linear-piecewise segments in the power-of-two unit.
+    pow2_segments: int = 4
+    #: Number of linear-piecewise segments in the reciprocal unit.
+    recip_segments: int = 4
+    #: Use base 2 instead of base e (the paper's base replacement).
+    use_base2: bool = True
+    #: Apply ``ceil`` before the max so renormalizations are pure shifts.
+    use_integer_max: bool = True
+    #: Use the single-pass online normalization instead of an explicit
+    #: max pass.
+    use_online_normalization: bool = True
+    #: Number of elements processed per hardware slice (the vector width of
+    #: the Unnormed Softmax unit).  Only affects the slice-level simulation
+    #: and the hardware cost model, not the mathematical result.
+    slice_width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.pow2_segments < 1:
+            raise ValueError("pow2_segments must be >= 1")
+        if self.recip_segments < 1:
+            raise ValueError("recip_segments must be >= 1")
+        if self.slice_width < 1:
+            raise ValueError("slice_width must be >= 1")
+
+    @property
+    def input_bits(self) -> int:
+        """Total width of the input format (8 in the paper)."""
+        return self.input_fmt.total_bits
+
+    @property
+    def output_bits(self) -> int:
+        """Total width of the output format (8 in the paper)."""
+        return self.output_fmt.total_bits
+
+    def with_(self, **kwargs) -> "SoftermaxConfig":
+        """Return a modified copy (thin wrapper over ``dataclasses.replace``)."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def paper_table1(cls) -> "SoftermaxConfig":
+        """The exact operating point of paper Table I."""
+        return cls()
+
+    @classmethod
+    def high_precision(cls) -> "SoftermaxConfig":
+        """A wide fixed-point configuration for ablation against Table I."""
+        return cls(
+            input_fmt=QFormat(8, 8, signed=True),
+            max_fmt=QFormat(8, 8, signed=True),
+            unnormed_fmt=QFormat(1, 23, signed=False),
+            sum_fmt=QFormat(16, 12, signed=False),
+            recip_fmt=QFormat(1, 15, signed=False),
+            output_fmt=QFormat(1, 15, signed=False),
+            pow2_segments=16,
+            recip_segments=16,
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary matching the layout of paper Table I."""
+        rows = [
+            ("Inp.", self.input_fmt),
+            ("LocalMax", self.max_fmt),
+            ("Unnormed", self.unnormed_fmt),
+            ("PowSum", self.sum_fmt),
+            ("Recip.", self.recip_fmt),
+            ("Outp.", self.output_fmt),
+        ]
+        lines = ["Softermax bitwidths, Q(Int., Frac.):"]
+        for name, fmt in rows:
+            lines.append(f"  {name:<9} {fmt}")
+        lines.append(
+            f"  LPW segments: pow2={self.pow2_segments}, recip={self.recip_segments}; "
+            f"base2={self.use_base2}, integer max={self.use_integer_max}, "
+            f"online norm={self.use_online_normalization}"
+        )
+        return "\n".join(lines)
+
+
+#: The default configuration used across the library (paper Table I).
+DEFAULT_CONFIG = SoftermaxConfig.paper_table1()

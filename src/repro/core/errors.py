@@ -1,0 +1,93 @@
+"""Numerical error analysis helpers for softmax variants.
+
+Used by tests and by the ablation benchmarks to quantify how far a
+hardware-friendly softmax strays from the floating-point reference, both
+elementwise and as a distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.softmax_reference import softmax_reference
+
+
+@dataclass(frozen=True)
+class SoftmaxErrorReport:
+    """Summary statistics comparing an approximate softmax to a reference."""
+
+    max_abs_error: float
+    mean_abs_error: float
+    max_row_sum_error: float
+    mean_kl_divergence: float
+    argmax_agreement: float
+
+    def as_dict(self) -> dict:
+        return {
+            "max_abs_error": self.max_abs_error,
+            "mean_abs_error": self.mean_abs_error,
+            "max_row_sum_error": self.max_row_sum_error,
+            "mean_kl_divergence": self.mean_kl_divergence,
+            "argmax_agreement": self.argmax_agreement,
+        }
+
+
+def kl_divergence(p: np.ndarray, q: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Row-wise KL(p || q) with clamping to avoid log(0)."""
+    p = np.clip(np.asarray(p, dtype=np.float64), eps, None)
+    q = np.clip(np.asarray(q, dtype=np.float64), eps, None)
+    p = p / p.sum(axis=axis, keepdims=True)
+    q = q / q.sum(axis=axis, keepdims=True)
+    return np.sum(p * (np.log(p) - np.log(q)), axis=axis)
+
+
+def compare_softmax(
+    approx_fn: Callable[[np.ndarray], np.ndarray],
+    x: np.ndarray,
+    reference_fn: Callable[[np.ndarray], np.ndarray] = softmax_reference,
+    axis: int = -1,
+) -> SoftmaxErrorReport:
+    """Evaluate ``approx_fn`` against ``reference_fn`` on the batch ``x``."""
+    x = np.asarray(x, dtype=np.float64)
+    approx = approx_fn(x)
+    ref = reference_fn(x)
+
+    abs_err = np.abs(approx - ref)
+    row_sum_err = np.abs(approx.sum(axis=axis) - 1.0)
+    kl = kl_divergence(ref, approx, axis=axis)
+    agreement = np.mean(
+        np.argmax(approx, axis=axis) == np.argmax(ref, axis=axis)
+    )
+
+    return SoftmaxErrorReport(
+        max_abs_error=float(abs_err.max()),
+        mean_abs_error=float(abs_err.mean()),
+        max_row_sum_error=float(row_sum_err.max()),
+        mean_kl_divergence=float(kl.mean()),
+        argmax_agreement=float(agreement),
+    )
+
+
+def attention_score_batch(
+    batch: int,
+    seq_len: int,
+    scale: float = 4.0,
+    seed: int = 0,
+) -> np.ndarray:
+    """Generate a batch of realistic attention-score rows.
+
+    Attention scores (after the 1/sqrt(d) scaling) are roughly Gaussian with
+    a handful of dominant entries per row; this generator mixes a Gaussian
+    background with sparse peaks so the error analysis exercises both the
+    near-uniform and the peaked regimes the softmax sees in practice.
+    """
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(0.0, scale / 4.0, size=(batch, seq_len))
+    num_peaks = max(1, seq_len // 64)
+    for row in range(batch):
+        peaks = rng.choice(seq_len, size=num_peaks, replace=False)
+        scores[row, peaks] += rng.uniform(scale / 2.0, scale, size=num_peaks)
+    return scores

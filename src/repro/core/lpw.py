@@ -1,0 +1,168 @@
+"""Generic linear piece-wise (LPW) function approximation.
+
+The Softermax hardware evaluates both ``2**x`` (fractional part) and the
+reciprocal with small linear-piecewise approximations: the input range is
+split into ``n`` equal segments and each segment stores a slope ``m`` and an
+intercept ``c`` in a tiny LUT, so the evaluation is one LUT read, one
+multiply and one add (paper section IV-A).
+
+This module provides the table construction (:func:`fit_lpw`) and a
+bit-accurate evaluator (:func:`evaluate_lpw`) that quantizes the LUT entries
+and the arithmetic into explicit fixed-point formats.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.fixedpoint import QFormat, RoundingMode, quantize
+
+
+@dataclass(frozen=True)
+class LPWTable:
+    """A linear-piecewise approximation of a scalar function on [lo, hi).
+
+    The approximation on segment ``i`` (covering
+    ``[lo + i*seg, lo + (i+1)*seg)`` with ``seg = (hi - lo)/n``) is::
+
+        f(x) ~= m[i] * t + c[i],   t = (x - segment start) / seg in [0, 1)
+
+    which matches the hardware formulation in the paper where ``t`` is the
+    fractional part of the scaled input.
+    """
+
+    lo: float
+    hi: float
+    slopes: np.ndarray
+    intercepts: np.ndarray
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.slopes)
+
+    @property
+    def segment_width(self) -> float:
+        return (self.hi - self.lo) / self.num_segments
+
+    def segment_index(self, x: np.ndarray) -> np.ndarray:
+        """Return the segment index for each input (clipped to the range)."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.floor((x - self.lo) / self.segment_width).astype(np.int64)
+        return np.clip(idx, 0, self.num_segments - 1)
+
+    def quantized(self, coeff_fmt: QFormat) -> "LPWTable":
+        """Return a copy with the LUT entries quantized into ``coeff_fmt``."""
+        return LPWTable(
+            self.lo,
+            self.hi,
+            quantize(self.slopes, coeff_fmt),
+            quantize(self.intercepts, coeff_fmt),
+        )
+
+
+def fit_lpw(
+    func: Callable[[np.ndarray], np.ndarray],
+    lo: float,
+    hi: float,
+    num_segments: int,
+    method: str = "endpoint",
+    samples_per_segment: int = 64,
+) -> LPWTable:
+    """Fit an :class:`LPWTable` to ``func`` on ``[lo, hi)``.
+
+    Parameters
+    ----------
+    func:
+        Vectorized scalar function to approximate.
+    lo, hi:
+        Approximation interval.
+    num_segments:
+        Number of equal-width segments.
+    method:
+        ``"endpoint"`` interpolates the segment endpoints (what a simple
+        hardware table generator would do and the default here);
+        ``"lstsq"`` does a per-segment least-squares fit, which halves the
+        worst-case error and is used in the ablation benchmarks.
+    samples_per_segment:
+        Sample count per segment for the least-squares fit.
+    """
+    if hi <= lo:
+        raise ValueError("hi must be greater than lo")
+    if num_segments < 1:
+        raise ValueError("num_segments must be >= 1")
+    if method not in ("endpoint", "lstsq"):
+        raise ValueError(f"unknown fit method: {method!r}")
+
+    seg = (hi - lo) / num_segments
+    slopes = np.empty(num_segments, dtype=np.float64)
+    intercepts = np.empty(num_segments, dtype=np.float64)
+
+    for i in range(num_segments):
+        a = lo + i * seg
+        b = a + seg
+        if method == "endpoint":
+            fa = float(func(np.asarray([a]))[0])
+            fb = float(func(np.asarray([b]))[0])
+            slopes[i] = fb - fa
+            intercepts[i] = fa
+        else:
+            xs = np.linspace(a, b, samples_per_segment, endpoint=False)
+            ts = (xs - a) / seg
+            ys = func(xs)
+            design = np.stack([ts, np.ones_like(ts)], axis=1)
+            coef, *_ = np.linalg.lstsq(design, ys, rcond=None)
+            slopes[i] = coef[0]
+            intercepts[i] = coef[1]
+
+    return LPWTable(lo, hi, slopes, intercepts)
+
+
+def evaluate_lpw(
+    table: LPWTable,
+    x: np.ndarray,
+    frac_fmt: QFormat | None = None,
+    out_fmt: QFormat | None = None,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+) -> np.ndarray:
+    """Evaluate the LPW approximation at ``x``.
+
+    Parameters
+    ----------
+    table:
+        The (optionally already quantized) LPW table.
+    x:
+        Input values; they are clipped into ``[lo, hi)``.
+    frac_fmt:
+        Optional format for the within-segment fraction ``t`` (models the
+        width of the multiplier input in hardware).
+    out_fmt:
+        Optional format of the result (models the output register width).
+    rounding:
+        Rounding used for the optional quantizations.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    x = np.clip(x, table.lo, np.nextafter(table.hi, table.lo))
+    idx = table.segment_index(x)
+    seg_start = table.lo + idx * table.segment_width
+    t = (x - seg_start) / table.segment_width
+    if frac_fmt is not None:
+        t = quantize(t, frac_fmt, rounding)
+    result = table.slopes[idx] * t + table.intercepts[idx]
+    if out_fmt is not None:
+        result = quantize(result, out_fmt, rounding)
+    return result
+
+
+def max_abs_error(
+    table: LPWTable,
+    func: Callable[[np.ndarray], np.ndarray],
+    num_samples: int = 4096,
+) -> float:
+    """Measure the worst-case absolute error of ``table`` against ``func``."""
+    xs = np.linspace(table.lo, table.hi, num_samples, endpoint=False)
+    approx = evaluate_lpw(table, xs)
+    exact = func(xs)
+    return float(np.max(np.abs(approx - exact)))

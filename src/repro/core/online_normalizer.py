@@ -1,0 +1,157 @@
+"""Online normalizer calculation with the Softermax integer-max co-design.
+
+The paper adapts the online-normalizer softmax of Milakov & Gimelshein
+(its reference [18]) in one crucial way: the running maximum is replaced by
+an *integer* running maximum (``ceil`` of the values seen so far).  Because
+the base is two and the max is an integer, the renormalization factor
+``2**(old_max - new_max)`` is always an exact power of two with an integer
+exponent, so the hardware renormalizes the running sum with a shifter
+instead of a multiplier.
+
+This module provides a streaming :class:`OnlineNormalizerState` that mirrors
+the hardware slice-by-slice operation (used by the Unnormed Softmax unit
+model and by tests), plus a convenience function that runs the full
+recurrence over a vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.pow2_unit import PowerOfTwoUnit
+from repro.fixedpoint import RoundingMode, quantize
+
+
+def integer_max(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """The IntMax reduction: ``max(ceil(x))`` along ``axis``."""
+    return np.max(np.ceil(np.asarray(x, dtype=np.float64)), axis=axis)
+
+
+@dataclass
+class OnlineNormalizerState:
+    """Running (max, sum) state of the online normalization recurrence.
+
+    One state instance tracks one or more independent rows (any leading
+    shape); :meth:`update` consumes one slice of each row at a time, exactly
+    like the hardware Reduction unit reading the per-row buffer entry,
+    comparing maxima, shifting the running sum and adding the local sum.
+
+    Parameters
+    ----------
+    shape:
+        Shape of the per-row state (i.e. the input shape without the
+        reduction axis).
+    config:
+        Softermax operating point (formats, integer-max flag).
+    pow2:
+        Power-of-two unit used for the exponentials; pass ``None`` to use
+        exact floating-point ``2**x`` (for the float online reference).
+    """
+
+    shape: tuple
+    config: SoftermaxConfig = None
+    pow2: PowerOfTwoUnit | None = None
+    exact: bool = False
+
+    running_max: np.ndarray = field(init=False)
+    running_sum: np.ndarray = field(init=False)
+    initialized: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = DEFAULT_CONFIG
+        if self.pow2 is None and not self.exact:
+            self.pow2 = PowerOfTwoUnit(self.config)
+        self.running_max = np.full(self.shape, -np.inf, dtype=np.float64)
+        self.running_sum = np.zeros(self.shape, dtype=np.float64)
+        self.initialized = np.zeros(self.shape, dtype=bool)
+
+    def _pow2(self, x: np.ndarray) -> np.ndarray:
+        if self.exact:
+            return np.power(2.0, x)
+        return self.pow2(x)
+
+    def _reduce_max(self, values: np.ndarray) -> np.ndarray:
+        if self.config.use_integer_max:
+            return integer_max(values, axis=-1)
+        return np.max(values, axis=-1)
+
+    def update(self, slice_values: np.ndarray) -> np.ndarray:
+        """Consume one slice (last axis) of new elements per row.
+
+        Returns the *unnormalized* exponentials of this slice relative to
+        the slice-local maximum (what the hardware writes out for later
+        renormalization by the Normalization unit).
+        """
+        slice_values = np.asarray(slice_values, dtype=np.float64)
+        if slice_values.shape[:-1] != tuple(self.shape):
+            raise ValueError(
+                f"slice shape {slice_values.shape[:-1]} does not match state shape {tuple(self.shape)}"
+            )
+
+        local_max = self._reduce_max(slice_values)
+        unnormed = self._pow2(slice_values - local_max[..., None])
+        local_sum = np.sum(unnormed, axis=-1)
+        if not self.exact:
+            local_sum = quantize(local_sum, self.config.sum_fmt, RoundingMode.NEAREST)
+
+        new_max = np.where(self.initialized, np.maximum(self.running_max, local_max), local_max)
+
+        # Renormalize whichever of (running sum, local sum) was computed
+        # against a smaller maximum.  With integer max the exponents are
+        # integers, so both corrections are shifts in hardware.
+        old_max_safe = np.where(self.initialized, self.running_max, new_max)
+        run_shift = np.power(2.0, old_max_safe - new_max)
+        loc_shift = np.power(2.0, local_max - new_max)
+
+        new_sum = self.running_sum * run_shift + local_sum * loc_shift
+        if not self.exact:
+            new_sum = quantize(new_sum, self.config.sum_fmt, RoundingMode.NEAREST)
+
+        self.running_max = new_max
+        self.running_sum = new_sum
+        self.initialized = np.ones(self.shape, dtype=bool)
+        return unnormed
+
+    def finalize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return the final ``(max, denominator)`` per row."""
+        return self.running_max.copy(), self.running_sum.copy()
+
+
+def online_normalizer(
+    x: np.ndarray,
+    axis: int = -1,
+    config: SoftermaxConfig | None = None,
+    slice_width: int | None = None,
+    exact: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run the full online recurrence over ``x`` and return ``(max, sum)``.
+
+    Parameters
+    ----------
+    x:
+        Input scores.
+    axis:
+        Reduction axis.
+    config:
+        Softermax operating point; defaults to paper Table I.
+    slice_width:
+        Hardware slice width; defaults to ``config.slice_width``.
+    exact:
+        Use exact float arithmetic (the mathematical recurrence) instead of
+        the fixed-point units.
+    """
+    if config is None:
+        config = DEFAULT_CONFIG
+    if slice_width is None:
+        slice_width = config.slice_width
+
+    moved = np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
+    state = OnlineNormalizerState(moved.shape[:-1], config=config, exact=exact)
+    length = moved.shape[-1]
+    for start in range(0, length, slice_width):
+        state.update(moved[..., start : start + slice_width])
+    return state.finalize()

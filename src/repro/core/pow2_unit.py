@@ -1,0 +1,141 @@
+"""The Power-of-Two unit (paper section IV-A).
+
+The hardware decomposes a fixed-point input ``x`` into an integer part and a
+fractional part.  The fractional power ``2**frac(x)`` (which lies in
+``[1, 2)``) is evaluated with a 4-segment linear-piecewise (LPW) table, and
+the result is then shifted by the integer part -- a barrel shift, since
+multiplying by ``2**int(x)`` is exact in binary.
+
+In Softermax the input to this unit is always ``x - IntMax(x) <= 0``, so the
+shift is a right shift and the output lies in ``(0, 1]``, which is why the
+paper can afford the unsigned ``Q(1,15)`` output format.
+
+The paper formulates the LPW on the *fractional* input directly::
+
+    xscaled = frac(x) << 2                      # 4 segments => scale by 4
+    lpw     = mlut[int(xscaled)] * frac(xscaled) + clut[int(xscaled)]
+
+and notes that when the input has two or fewer fractional bits (the Q(6,2)
+input of Table I), ``frac(xscaled)`` is always zero and only the ``c`` LUT is
+used.  Both paths are modelled here bit-accurately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.lpw import LPWTable, fit_lpw
+from repro.fixedpoint import QFormat, RoundingMode, quantize
+
+
+def _pow2_frac(x: np.ndarray) -> np.ndarray:
+    """Exact ``2**x`` for ``x`` in [0, 1) (reference for the LPW fit)."""
+    return np.power(2.0, np.asarray(x, dtype=np.float64))
+
+
+def build_pow2_table(
+    num_segments: int = 4,
+    coeff_fmt: QFormat | None = QFormat(2, 15, signed=False),
+    method: str = "endpoint",
+) -> LPWTable:
+    """Build the LPW table for ``2**f`` with ``f`` in [0, 1).
+
+    Parameters
+    ----------
+    num_segments:
+        Number of LPW segments (4 in the paper, versus the 64-128 entries a
+        general-purpose exponential LUT typically needs).
+    coeff_fmt:
+        Format the slope/intercept LUT entries are stored in.  ``None``
+        keeps the coefficients in full precision (used for error analysis).
+    method:
+        ``"endpoint"`` or ``"lstsq"`` (see :func:`repro.core.lpw.fit_lpw`).
+    """
+    table = fit_lpw(_pow2_frac, 0.0, 1.0, num_segments, method=method)
+    if coeff_fmt is not None:
+        table = table.quantized(coeff_fmt)
+    return table
+
+
+@dataclass
+class PowerOfTwoUnit:
+    """Bit-accurate model of the hardware power-of-two unit.
+
+    Parameters
+    ----------
+    config:
+        Softermax operating point; supplies the input/output formats and the
+        segment count.
+    lpw_method:
+        Table construction method, exposed for ablations.
+
+    Examples
+    --------
+    >>> unit = PowerOfTwoUnit()
+    >>> float(unit(np.asarray([-1.0])))
+    0.5
+    """
+
+    config: SoftermaxConfig = None
+    lpw_method: str = "endpoint"
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = DEFAULT_CONFIG
+        self.table = build_pow2_table(
+            self.config.pow2_segments,
+            coeff_fmt=QFormat(2, self.config.unnormed_fmt.frac_bits, signed=False),
+            method=self.lpw_method,
+        )
+
+    @property
+    def out_fmt(self) -> QFormat:
+        return self.config.unnormed_fmt
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``2**x`` for fixed-point ``x`` (expected ``x <= 0``).
+
+        The result is quantized into the ``unnormed`` format of the
+        configuration (``Q(1,15)`` at the paper's operating point).
+        """
+        x = np.asarray(x, dtype=np.float64)
+        int_part = np.floor(x)
+        frac_part = x - int_part
+
+        lpw = self._fractional_pow2(frac_part)
+        # Shift by the integer part.  For Softermax the integer part is <= 0
+        # so this is a right shift of the LPW output.
+        result = lpw * np.power(2.0, int_part)
+        return quantize(result, self.out_fmt, RoundingMode.NEAREST)
+
+    def _fractional_pow2(self, frac_part: np.ndarray) -> np.ndarray:
+        """Evaluate the LPW approximation of ``2**f`` for ``f`` in [0, 1)."""
+        num_segments = self.table.num_segments
+        xscaled = frac_part * num_segments
+        seg = np.clip(np.floor(xscaled).astype(np.int64), 0, num_segments - 1)
+        t = xscaled - seg
+
+        input_frac_bits = self.config.input_fmt.frac_bits
+        # Paper special case: with <= log2(num_segments) fractional input
+        # bits the within-segment fraction is always zero, so the multiplier
+        # and the m LUT are unused.
+        if (1 << input_frac_bits) <= num_segments:
+            return self.table.intercepts[seg]
+        return self.table.slopes[seg] * t + self.table.intercepts[seg]
+
+    def max_error(self, num_samples: int = 4096) -> float:
+        """Worst-case absolute error over the input domain ``[-max, 0]``."""
+        lo = -float(self.config.input_fmt.max_value)
+        xs = np.linspace(lo, 0.0, num_samples)
+        xs = quantize(xs, self.config.input_fmt)
+        approx = self(xs)
+        exact = np.power(2.0, xs)
+        return float(np.max(np.abs(approx - exact)))
+
+
+def exact_pow2(x: np.ndarray) -> np.ndarray:
+    """Full-precision ``2**x`` (the float reference the unit approximates)."""
+    return np.power(2.0, np.asarray(x, dtype=np.float64))

@@ -1,0 +1,134 @@
+"""The linear-piecewise reciprocal unit (paper section IV-B).
+
+The Normalization Unit divides each (renormalized) numerator by the
+accumulated denominator.  Rather than a full divider, Softermax uses a
+linear-piecewise reciprocal: the denominator ``d`` is normalized into
+``[1, 2)`` by a leading-one detector and a shift (``d = m * 2**e``), the
+reciprocal of the mantissa ``1/m`` is read from a small LPW table, and the
+exponent is folded back in with another shift.  The final multiply of the
+numerator by the reciprocal is an integer multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.lpw import LPWTable, fit_lpw
+from repro.fixedpoint import QFormat, RoundingMode, quantize
+
+
+def _reciprocal_mantissa(m: np.ndarray) -> np.ndarray:
+    """Exact ``1/m`` for ``m`` in [1, 2) (reference for the LPW fit)."""
+    return 1.0 / np.asarray(m, dtype=np.float64)
+
+
+def build_reciprocal_table(
+    num_segments: int = 4,
+    coeff_fmt: QFormat | None = QFormat(2, 15, signed=True),
+    method: str = "endpoint",
+) -> LPWTable:
+    """Build the LPW table for ``1/m`` with ``m`` in [1, 2).
+
+    The slopes of ``1/m`` are negative, so the coefficient LUT format must
+    be signed (a signed Q(2,15) covers slopes in [-0.25, 0) and intercepts
+    in (0.5, 1] with plenty of headroom).
+    """
+    table = fit_lpw(_reciprocal_mantissa, 1.0, 2.0, num_segments, method=method)
+    if coeff_fmt is not None:
+        table = table.quantized(coeff_fmt)
+    return table
+
+
+def normalize_to_unit_range(d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split positive ``d`` into mantissa in [1, 2) and integer exponent.
+
+    Returns ``(mantissa, exponent)`` with ``d = mantissa * 2**exponent``.
+    Zeros are passed through with exponent 0 (the caller decides how to
+    handle an all-zero denominator, which cannot occur in Softermax since
+    the maximum element always contributes ``2**0 = 1`` to the sum).
+    """
+    d = np.asarray(d, dtype=np.float64)
+    exponent = np.zeros_like(d)
+    mantissa = d.copy()
+    positive = d > 0
+    exponent[positive] = np.floor(np.log2(d[positive]))
+    mantissa[positive] = d[positive] / np.power(2.0, exponent[positive])
+    # Guard against log2 rounding putting the mantissa at exactly 2.0.
+    too_big = mantissa >= 2.0
+    mantissa[too_big] /= 2.0
+    exponent[too_big] += 1.0
+    return mantissa, exponent
+
+
+@dataclass
+class ReciprocalUnit:
+    """Bit-accurate model of the LPW reciprocal unit.
+
+    Examples
+    --------
+    >>> unit = ReciprocalUnit()
+    >>> float(unit(np.asarray([4.0])))
+    0.25
+    """
+
+    config: SoftermaxConfig = None
+    lpw_method: str = "endpoint"
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = DEFAULT_CONFIG
+        self.table = build_reciprocal_table(
+            self.config.recip_segments,
+            coeff_fmt=QFormat(2, 15, signed=True),
+            method=self.lpw_method,
+        )
+
+    @property
+    def out_fmt(self) -> QFormat:
+        return self.config.recip_fmt
+
+    def __call__(self, d: np.ndarray) -> np.ndarray:
+        """Compute ``1/d`` for the accumulated denominator ``d >= 1``.
+
+        The result is quantized into the reciprocal format (``Q(1,7)`` at
+        the paper's operating point).  Because the running maximum always
+        contributes ``2**0 = 1`` to the denominator, ``d >= 1`` holds and
+        the reciprocal fits in [0, 1].
+        """
+        d = np.asarray(d, dtype=np.float64)
+        mantissa, exponent = normalize_to_unit_range(d)
+        recip_mantissa = self._lpw_reciprocal(mantissa)
+        result = recip_mantissa * np.power(2.0, -exponent)
+        result = np.where(d > 0, result, 0.0)
+        return quantize(result, self.out_fmt, RoundingMode.NEAREST)
+
+    def _lpw_reciprocal(self, mantissa: np.ndarray) -> np.ndarray:
+        """Evaluate the LPW approximation of ``1/m`` for ``m`` in [1, 2)."""
+        num_segments = self.table.num_segments
+        xscaled = (mantissa - 1.0) * num_segments
+        seg = np.clip(np.floor(xscaled).astype(np.int64), 0, num_segments - 1)
+        t = xscaled - seg
+        return self.table.slopes[seg] * t + self.table.intercepts[seg]
+
+    def max_error(self, lo: float = 1.0, hi: float = 1024.0, num_samples: int = 8192) -> float:
+        """Worst-case absolute error of ``1/d`` over ``[lo, hi]``.
+
+        The absolute error is dominated by the output quantization near
+        ``d = 1`` and by the LPW error elsewhere.
+        """
+        ds = np.linspace(lo, hi, num_samples)
+        approx = self(ds)
+        exact = 1.0 / ds
+        return float(np.max(np.abs(approx - exact)))
+
+
+def exact_reciprocal(d: np.ndarray) -> np.ndarray:
+    """Full-precision ``1/d`` (the float reference the unit approximates)."""
+    d = np.asarray(d, dtype=np.float64)
+    out = np.zeros_like(d)
+    nonzero = d != 0
+    out[nonzero] = 1.0 / d[nonzero]
+    return out

@@ -1,0 +1,235 @@
+"""The Softermax algorithm: the paper's primary contribution.
+
+The full pipeline (Figure 3 of the paper, "final algorithm") is:
+
+1. Quantize the incoming attention scores to the input format ``Q(6,2)``.
+2. Stream through the row in hardware-sized slices.  For each slice the
+   Unnormed Softmax unit:
+
+   * computes the slice-local *integer* maximum (``ceil`` then max),
+   * evaluates ``2**(x - local_max)`` with the linear-piecewise power-of-two
+     unit (output format ``Q(1,15)``),
+   * accumulates the slice sum and merges it into the per-row running sum,
+     renormalizing by a shift when a new maximum is found (online
+     normalization, running sum format ``Q(10,6)``).
+
+3. The Normalization unit then:
+
+   * renormalizes each stored unnormalized exponential by the shift
+     ``2**(slice_max - global_max)`` (always an integer exponent, hence a
+     shifter),
+   * computes the reciprocal of the denominator with the LPW reciprocal
+     unit (``Q(1,7)``),
+   * multiplies numerator by reciprocal and emits the output in ``Q(1,7)``.
+
+The public entry points are :func:`softermax` (a drop-in replacement for a
+softmax over an array axis) and :class:`SoftermaxPipeline` (which exposes the
+intermediate hardware signals for tests, error analysis and the hardware
+cost model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.online_normalizer import integer_max
+from repro.core.pow2_unit import PowerOfTwoUnit
+from repro.core.reciprocal_unit import ReciprocalUnit
+from repro.fixedpoint import RoundingMode, quantize
+
+
+@dataclass
+class SoftermaxIntermediates:
+    """Intermediate hardware signals of one Softermax evaluation.
+
+    All arrays have the reduction axis moved to the last position.
+    """
+
+    quantized_input: np.ndarray
+    slice_maxes: np.ndarray
+    unnormed: np.ndarray
+    global_max: np.ndarray
+    denominator: np.ndarray
+    reciprocal: np.ndarray
+    output: np.ndarray
+
+
+@dataclass
+class SoftermaxPipeline:
+    """Bit-accurate functional model of the Softermax hardware pipeline.
+
+    Parameters
+    ----------
+    config:
+        The operating point (formats, LPW segments, feature flags).  The
+        default reproduces paper Table I.
+
+    Examples
+    --------
+    >>> pipe = SoftermaxPipeline()
+    >>> probs = pipe(np.asarray([[2.0, 1.0, 3.0]]))
+    >>> bool(abs(probs.sum() - 1.0) < 0.05)
+    True
+    """
+
+    config: SoftermaxConfig = field(default_factory=SoftermaxConfig.paper_table1)
+
+    def __post_init__(self) -> None:
+        self.pow2_unit = PowerOfTwoUnit(self.config)
+        self.reciprocal_unit = ReciprocalUnit(self.config)
+
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities."""
+        return self.run(x, axis=axis).output_moved_back(axis)
+
+    def run(self, x: np.ndarray, axis: int = -1) -> "_SoftermaxResult":
+        """Run the full pipeline, retaining every intermediate signal."""
+        cfg = self.config
+        moved = np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
+        length = moved.shape[-1]
+        if length == 0:
+            raise ValueError("softermax requires a non-empty reduction axis")
+
+        quantized = quantize(moved, cfg.input_fmt, RoundingMode.NEAREST)
+
+        slice_width = cfg.slice_width
+        num_slices = (length + slice_width - 1) // slice_width
+
+        unnormed = np.zeros_like(quantized)
+        slice_maxes = np.zeros(moved.shape[:-1] + (num_slices,), dtype=np.float64)
+        running_max = np.full(moved.shape[:-1], -np.inf, dtype=np.float64)
+        running_sum = np.zeros(moved.shape[:-1], dtype=np.float64)
+
+        for s in range(num_slices):
+            start = s * slice_width
+            stop = min(start + slice_width, length)
+            chunk = quantized[..., start:stop]
+
+            if cfg.use_integer_max:
+                local_max = integer_max(chunk, axis=-1)
+            else:
+                local_max = np.max(chunk, axis=-1)
+            local_max = quantize(local_max, cfg.max_fmt, RoundingMode.NEAREST)
+            slice_maxes[..., s] = local_max
+
+            chunk_unnormed = self._pow2(chunk - local_max[..., None])
+            unnormed[..., start:stop] = chunk_unnormed
+
+            local_sum = quantize(
+                np.sum(chunk_unnormed, axis=-1), cfg.sum_fmt, RoundingMode.NEAREST
+            )
+
+            if cfg.use_online_normalization:
+                if s == 0:
+                    running_max = local_max
+                    running_sum = local_sum
+                else:
+                    new_max = np.maximum(running_max, local_max)
+                    run_shift = np.power(2.0, running_max - new_max)
+                    loc_shift = np.power(2.0, local_max - new_max)
+                    running_sum = quantize(
+                        running_sum * run_shift + local_sum * loc_shift,
+                        cfg.sum_fmt,
+                        RoundingMode.NEAREST,
+                    )
+                    running_max = new_max
+            else:
+                # Explicit-max mode (ablation): defer the reduction, recompute
+                # against the true global max below.
+                pass
+
+        if not cfg.use_online_normalization:
+            if cfg.use_integer_max:
+                running_max = integer_max(quantized, axis=-1)
+            else:
+                running_max = np.max(quantized, axis=-1)
+            running_max = quantize(running_max, cfg.max_fmt, RoundingMode.NEAREST)
+            unnormed = self._pow2(quantized - running_max[..., None])
+            for s in range(num_slices):
+                slice_maxes[..., s] = running_max
+            running_sum = quantize(
+                np.sum(unnormed, axis=-1), cfg.sum_fmt, RoundingMode.NEAREST
+            )
+
+        # Normalization unit: renormalize numerators by the slice-vs-global
+        # shift, take the reciprocal of the denominator, and multiply.
+        reciprocal = self.reciprocal_unit(running_sum)
+
+        output = np.zeros_like(quantized)
+        for s in range(num_slices):
+            start = s * slice_width
+            stop = min(start + slice_width, length)
+            shift = np.power(2.0, slice_maxes[..., s] - running_max)
+            renormed = quantize(
+                unnormed[..., start:stop] * shift[..., None],
+                cfg.unnormed_fmt,
+                RoundingMode.FLOOR,
+            )
+            output[..., start:stop] = quantize(
+                renormed * reciprocal[..., None], cfg.output_fmt, RoundingMode.NEAREST
+            )
+
+        intermediates = SoftermaxIntermediates(
+            quantized_input=quantized,
+            slice_maxes=slice_maxes,
+            unnormed=unnormed,
+            global_max=running_max,
+            denominator=running_sum,
+            reciprocal=reciprocal,
+            output=output,
+        )
+        return _SoftermaxResult(intermediates)
+
+    def _pow2(self, x: np.ndarray) -> np.ndarray:
+        if self.config.use_base2:
+            return self.pow2_unit(x)
+        # Natural-base ablation: the hardware would need an extra multiplier
+        # to convert bases; numerically we model it as an exact e**x followed
+        # by the same output quantization.
+        return quantize(np.exp(x), self.config.unnormed_fmt, RoundingMode.NEAREST)
+
+
+class _SoftermaxResult:
+    """Wrapper giving convenient access to the pipeline outputs."""
+
+    def __init__(self, intermediates: SoftermaxIntermediates) -> None:
+        self.intermediates = intermediates
+
+    @property
+    def output(self) -> np.ndarray:
+        return self.intermediates.output
+
+    def output_moved_back(self, axis: int) -> np.ndarray:
+        return np.moveaxis(self.intermediates.output, -1, axis)
+
+
+def softermax(
+    x: np.ndarray,
+    axis: int = -1,
+    config: SoftermaxConfig | None = None,
+) -> np.ndarray:
+    """Drop-in hardware-accurate Softermax over ``axis``.
+
+    This is the function a user swaps in for ``softmax`` at inference time.
+    Rows sum to approximately (not exactly) one because the output is
+    quantized to ``Q(1,7)``; the attention matmul consuming the result is
+    insensitive to this at the bitwidths involved (paper Table III).
+    """
+    pipeline = SoftermaxPipeline(config or DEFAULT_CONFIG)
+    return pipeline(x, axis=axis)
+
+
+def softermax_float(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Floating-point surrogate of Softermax (stable base-2 softmax).
+
+    Used as the backward-pass function by the straight-through estimator in
+    Softermax-aware fine-tuning: the forward pass runs the bit-accurate
+    :func:`softermax`, the gradient flows through this smooth surrogate.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    powers = np.exp2(shifted)
+    return powers / np.sum(powers, axis=axis, keepdims=True)

@@ -1,0 +1,114 @@
+"""Reference softmax implementations.
+
+These are the floating-point algorithms that Softermax is measured against
+and derived from:
+
+* :func:`softmax_naive` -- the textbook definition (numerically unsafe).
+* :func:`softmax_reference` -- the numerically stable softmax used by every
+  deep-learning framework (subtract the max, exponentiate, normalize).  This
+  is the "standard softmax" of the paper.
+* :func:`base2_softmax` -- the stable softmax with the base replaced by two,
+  the first of Softermax's enhancements.  Note that for an *un-scaled*
+  logit vector this changes the output distribution (it is equivalent to a
+  temperature of ``1/ln 2``); the paper recovers accuracy through
+  Softermax-aware fine-tuning rather than by rescaling the logits.
+* :func:`online_softmax` -- the single-pass online-normalizer softmax of
+  Milakov & Gimelshein, in floating point (reference [18] of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _move_last(x: np.ndarray, axis: int) -> np.ndarray:
+    return np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
+
+
+def softmax_naive(x: np.ndarray, axis: int = -1, base: float = np.e) -> np.ndarray:
+    """Textbook softmax ``base**x / sum(base**x)`` without max subtraction.
+
+    Kept as a reference for tests that demonstrate why the numerically
+    stable version exists: large logits overflow to ``inf``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    powers = np.power(base, x)
+    return powers / np.sum(powers, axis=axis, keepdims=True)
+
+
+def softmax_reference(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable base-e softmax (the paper's "standard softmax")."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)
+
+
+def base2_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax computed with base 2.
+
+    This is the pure "base replacement" step of Softermax, still in full
+    floating-point precision and still using an explicit max pass.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    powers = np.exp2(shifted)
+    return powers / np.sum(powers, axis=axis, keepdims=True)
+
+
+def online_softmax(x: np.ndarray, axis: int = -1, base: float = 2.0) -> np.ndarray:
+    """Single-pass online-normalizer softmax (Milakov & Gimelshein).
+
+    The running maximum ``m`` and running denominator ``d`` are maintained
+    together while streaming through the vector once::
+
+        m_new = max(m, x_i)
+        d     = d * base**(m - m_new) + base**(x_i - m_new)
+
+    A second elementwise pass produces ``base**(x_i - m) / d``.  The result
+    is mathematically identical to the stable softmax in exact arithmetic;
+    this implementation demonstrates the recurrence explicitly (it is
+    deliberately written as a loop over the reduction axis).
+    """
+    moved = _move_last(x, axis)
+    length = moved.shape[-1]
+    if length == 0:
+        return np.moveaxis(moved, -1, axis)
+
+    running_max = np.full(moved.shape[:-1], -np.inf, dtype=np.float64)
+    running_sum = np.zeros(moved.shape[:-1], dtype=np.float64)
+    for i in range(length):
+        xi = moved[..., i]
+        new_max = np.maximum(running_max, xi)
+        running_sum = running_sum * np.power(base, running_max - new_max) + np.power(
+            base, xi - new_max
+        )
+        running_max = new_max
+
+    numerators = np.power(base, moved - running_max[..., None])
+    result = numerators / running_sum[..., None]
+    return np.moveaxis(result, -1, axis)
+
+
+def softmax_jacobian_vector_product(probs: np.ndarray, grad_out: np.ndarray,
+                                    axis: int = -1, base: float = np.e) -> np.ndarray:
+    """Backward pass of softmax: ``J^T @ grad_out`` given the probabilities.
+
+    For base-``b`` softmax the Jacobian picks up a factor ``ln b``::
+
+        dL/dx_i = ln(b) * p_i * (g_i - sum_j g_j p_j)
+
+    This is used by the autograd substrate and by the straight-through
+    estimator of Softermax-aware fine-tuning.
+    """
+    probs = np.asarray(probs, dtype=np.float64)
+    grad_out = np.asarray(grad_out, dtype=np.float64)
+    inner = np.sum(grad_out * probs, axis=axis, keepdims=True)
+    return np.log(base) * probs * (grad_out - inner)
+
+
+def log_softmax_reference(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable log-softmax (used by the cross-entropy loss)."""
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

@@ -1,0 +1,162 @@
+"""Related-work softmax approximations (paper section II-C).
+
+The paper positions Softermax against two families of prior work:
+
+* *software-only* integer softmaxes used by fully-quantized Transformers
+  (its references [11], [12] and the I-BERT line of work), which approximate
+  the exponential with a low-order polynomial on integer inputs but still
+  execute on full-precision special-function units, and
+* *hardware softmax units* that approximate ``e**x`` with lookup tables or
+  split high/low-bit decompositions (references [13]-[16]) but keep the
+  explicit max pass and the natural base.
+
+To make those comparisons runnable, this module implements representative
+members of both families on top of the same fixed-point substrate used by
+Softermax.  They are registered as attention-softmax variants so they can be
+dropped into the Transformer models and compared in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig
+from repro.core.lpw import fit_lpw
+from repro.fixedpoint import QFormat, RoundingMode, quantize
+
+
+# --------------------------------------------------------------------------- #
+# I-BERT style polynomial integer softmax
+# --------------------------------------------------------------------------- #
+def _poly_exp_negative(x: np.ndarray) -> np.ndarray:
+    """Second-order polynomial approximation of ``e**x`` for ``x`` in (-ln2, 0].
+
+    This is the integer-friendly polynomial used by the fully-integer
+    softmax line of work: ``0.3585 * (x + 1.353)**2 + 0.344``.
+    """
+    return 0.3585 * (x + 1.353) ** 2 + 0.344
+
+
+def ibert_softmax(x: np.ndarray, axis: int = -1,
+                  output_fmt: QFormat = QFormat(1, 7, signed=False)) -> np.ndarray:
+    """Polynomial integer softmax (I-BERT style).
+
+    The exponential is decomposed as ``e**x = 2**(-z) * e**r`` with
+    ``x - max = -z * ln2 + r`` and ``r`` in (-ln2, 0]; ``e**r`` is evaluated
+    with a fixed second-order polynomial.  The max subtraction is the
+    standard explicit pass (no online normalization) and the division is
+    carried out in float, mirroring a software-only deployment where the
+    special-function unit is still full precision.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    ln2 = np.log(2.0)
+    z = np.floor(-shifted / ln2)
+    r = shifted + z * ln2  # in (-ln2, 0]
+    exp_r = _poly_exp_negative(r)
+    powers = exp_r * np.power(2.0, -z)
+    probs = powers / np.sum(powers, axis=axis, keepdims=True)
+    return quantize(probs, output_fmt, RoundingMode.NEAREST)
+
+
+# --------------------------------------------------------------------------- #
+# LUT-based natural-exponential hardware softmax
+# --------------------------------------------------------------------------- #
+class LUTExpSoftmax:
+    """Lookup-table natural-exponential softmax (hardware related work).
+
+    Models the "group LUT" style exponential units: ``e**x`` for the
+    max-subtracted score is read from a table of ``num_entries`` linear
+    segments over the clipped input range ``[-input_range, 0]``, followed by
+    an exact accumulation and division.  Unlike Softermax it keeps the
+    natural base (so renormalization would need a multiplier) and the
+    explicit max pass.
+    """
+
+    def __init__(self, num_entries: int = 64, input_range: float = 16.0,
+                 output_fmt: QFormat = QFormat(1, 7, signed=False)) -> None:
+        if num_entries < 2:
+            raise ValueError("num_entries must be >= 2")
+        if input_range <= 0:
+            raise ValueError("input_range must be positive")
+        self.num_entries = num_entries
+        self.input_range = input_range
+        self.output_fmt = output_fmt
+        self.table = fit_lpw(np.exp, -input_range, 0.0, num_entries, method="endpoint")
+
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        shifted = x - np.max(x, axis=axis, keepdims=True)
+        clipped = np.clip(shifted, -self.input_range, 0.0)
+        idx = self.table.segment_index(clipped)
+        seg_start = self.table.lo + idx * self.table.segment_width
+        t = (clipped - seg_start) / self.table.segment_width
+        exps = self.table.slopes[idx] * t + self.table.intercepts[idx]
+        probs = exps / np.sum(exps, axis=axis, keepdims=True)
+        return quantize(probs, self.output_fmt, RoundingMode.NEAREST)
+
+
+def lut_exp_softmax(x: np.ndarray, axis: int = -1, num_entries: int = 64) -> np.ndarray:
+    """Convenience wrapper constructing a default :class:`LUTExpSoftmax`."""
+    return LUTExpSoftmax(num_entries=num_entries)(x, axis=axis)
+
+
+# --------------------------------------------------------------------------- #
+# Split high/low-bit exponential (A^3 style)
+# --------------------------------------------------------------------------- #
+def split_exp_softmax(x: np.ndarray, axis: int = -1,
+                      frac_bits: int = 4,
+                      output_fmt: QFormat = QFormat(1, 7, signed=False)) -> np.ndarray:
+    """Split high-bits/low-bits exponential softmax.
+
+    The max-subtracted score is quantized to a fixed-point value whose
+    integer part indexes a coarse table (``e**-k``) and whose fractional
+    part indexes a fine table (``e**-f``); the exponential is the product of
+    the two table entries.  This mirrors the split exponential units of the
+    attention-accelerator related work, still in base e and still two-pass.
+    """
+    if frac_bits < 1:
+        raise ValueError("frac_bits must be >= 1")
+    x = np.asarray(x, dtype=np.float64)
+    shifted = np.max(x, axis=axis, keepdims=True) - x  # >= 0
+    shifted = np.clip(shifted, 0.0, 31.0)
+    quantized = quantize(shifted, QFormat(5, frac_bits, signed=False), RoundingMode.NEAREST)
+    int_part = np.floor(quantized)
+    frac_part = quantized - int_part
+    # Coarse and fine tables hold exact exponentials of their grid points
+    # (a real unit would store them in narrow fixed point).
+    exps = np.exp(-int_part) * np.exp(-frac_part)
+    probs = exps / np.sum(exps, axis=axis, keepdims=True)
+    return quantize(probs, output_fmt, RoundingMode.NEAREST)
+
+
+# --------------------------------------------------------------------------- #
+# registration as attention-softmax variants
+# --------------------------------------------------------------------------- #
+def register_related_work_variants() -> None:
+    """Register the related-work softmaxes as attention variants.
+
+    Imported lazily (and idempotently) so that `repro.core` does not depend
+    on `repro.nn` at import time.
+    """
+    from repro.core.softmax_reference import softmax_reference
+    from repro.nn.functional import SoftmaxVariant, register_softmax_variant
+
+    register_softmax_variant(SoftmaxVariant(
+        name="ibert",
+        forward_fn=lambda s: ibert_softmax(s, axis=-1),
+        surrogate_fn=lambda s: softmax_reference(s, axis=-1),
+        base=np.e,
+    ))
+    register_softmax_variant(SoftmaxVariant(
+        name="lut_exp",
+        forward_fn=lambda s: lut_exp_softmax(s, axis=-1),
+        surrogate_fn=lambda s: softmax_reference(s, axis=-1),
+        base=np.e,
+    ))
+    register_softmax_variant(SoftmaxVariant(
+        name="split_exp",
+        forward_fn=lambda s: split_exp_softmax(s, axis=-1),
+        surrogate_fn=lambda s: softmax_reference(s, axis=-1),
+        base=np.e,
+    ))

@@ -1,0 +1,49 @@
+"""Synthetic surrogate datasets for the paper's accuracy experiments."""
+
+from repro.data.tokenizer import (
+    Vocabulary,
+    PAD_TOKEN,
+    CLS_TOKEN,
+    SEP_TOKEN,
+    MASK_TOKEN,
+    SPECIAL_TOKENS,
+)
+from repro.data.tasks import TaskBatch, TaskSplit, TaskDataset
+from repro.data.synthetic_glue import (
+    GLUE_TASK_NAMES,
+    make_glue_task,
+    make_glue_suite,
+    make_rte,
+    make_cola,
+    make_mrpc,
+    make_qnli,
+    make_qqp,
+    make_sst2,
+    make_stsb,
+    make_mnli,
+)
+from repro.data.synthetic_squad import make_squad
+
+__all__ = [
+    "Vocabulary",
+    "PAD_TOKEN",
+    "CLS_TOKEN",
+    "SEP_TOKEN",
+    "MASK_TOKEN",
+    "SPECIAL_TOKENS",
+    "TaskBatch",
+    "TaskSplit",
+    "TaskDataset",
+    "GLUE_TASK_NAMES",
+    "make_glue_task",
+    "make_glue_suite",
+    "make_rte",
+    "make_cola",
+    "make_mrpc",
+    "make_qnli",
+    "make_qqp",
+    "make_sst2",
+    "make_stsb",
+    "make_mnli",
+    "make_squad",
+]

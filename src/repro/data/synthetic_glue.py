@@ -1,0 +1,399 @@
+"""Synthetic surrogate tasks for the GLUE benchmark.
+
+The paper evaluates Softermax on eight GLUE tasks (RTE, CoLA, MRPC, QNLI,
+QQP, SST-2, STS-B, MNLI).  Real GLUE data is unavailable offline, so each
+task is replaced with a *synthetic surrogate* that
+
+* keeps the task *type* (single- vs two-segment, 2/3-way classification or
+  regression) and the paper's evaluation metric, and
+* requires cross-token interaction to solve, so the attention softmax is on
+  the critical path of the accuracy result -- which is the property the
+  experiment actually measures.
+
+The default sizes (segment lengths, vocabulary, number of examples) are
+chosen so that the tiny Transformer surrogates of
+:class:`repro.models.BertConfig` reach well-above-chance dev scores after a
+few epochs of NumPy training; the experiment of interest is the *difference*
+between the quantized-baseline and Softermax fine-tuning runs, exactly as in
+the paper's Table III.
+
+All generators are deterministic given a seed and produce
+:class:`~repro.data.tasks.TaskDataset` objects with train/dev splits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.tasks import TaskDataset, TaskSplit
+from repro.data.tokenizer import Vocabulary
+
+#: Names of the GLUE surrogate tasks, in the paper's Table III order.
+GLUE_TASK_NAMES = ("rte", "cola", "mrpc", "qnli", "qqp", "sst2", "stsb", "mnli")
+
+#: Default split sizes shared by every generator.
+DEFAULT_NUM_TRAIN = 1536
+DEFAULT_NUM_DEV = 192
+
+
+# --------------------------------------------------------------------------- #
+# low-level helpers
+# --------------------------------------------------------------------------- #
+def _pack_single_segment(vocab: Vocabulary, segment: List[int], seq_len: int) -> Tuple[List[int], List[int]]:
+    """[CLS] segment [SEP] padded to seq_len, plus the attention mask."""
+    ids = [vocab.cls_id] + list(segment) + [vocab.sep_id]
+    if len(ids) > seq_len:
+        raise ValueError(f"segment too long: {len(ids)} > {seq_len}")
+    mask = [1] * len(ids) + [0] * (seq_len - len(ids))
+    ids = ids + [vocab.pad_id] * (seq_len - len(ids))
+    return ids, mask
+
+
+def _pack_pair(vocab: Vocabulary, seg_a: List[int], seg_b: List[int], seq_len: int) -> Tuple[List[int], List[int]]:
+    """[CLS] A [SEP] B [SEP] padded to seq_len, plus the attention mask."""
+    ids = [vocab.cls_id] + list(seg_a) + [vocab.sep_id] + list(seg_b) + [vocab.sep_id]
+    if len(ids) > seq_len:
+        raise ValueError(f"pair too long: {len(ids)} > {seq_len}")
+    mask = [1] * len(ids) + [0] * (seq_len - len(ids))
+    ids = ids + [vocab.pad_id] * (seq_len - len(ids))
+    return ids, mask
+
+
+def _split(ids: List[List[int]], masks: List[List[int]], labels: List,
+           num_train: int, label_dtype) -> Tuple[TaskSplit, TaskSplit]:
+    ids_arr = np.asarray(ids, dtype=np.int64)
+    mask_arr = np.asarray(masks, dtype=np.int64)
+    label_arr = np.asarray(labels, dtype=label_dtype)
+    train = TaskSplit(ids_arr[:num_train], mask_arr[:num_train], label_arr[:num_train])
+    dev = TaskSplit(ids_arr[num_train:], mask_arr[num_train:], label_arr[num_train:])
+    return train, dev
+
+
+# --------------------------------------------------------------------------- #
+# individual task generators
+# --------------------------------------------------------------------------- #
+def make_sst2(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 14, seed: int = 0,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """SST-2 surrogate (sentiment): are there more "positive" than "negative" tokens?
+
+    The content vocabulary is split in half into positive and negative
+    sentiment tokens; the label is the majority sentiment of the sequence.
+    Solving it requires aggregating evidence across all positions.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = vocab.content_ids
+    half = len(content) // 2
+    positive, negative = content[:half], content[half:]
+
+    seg_len = seq_len - 2
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 2))
+        majority, minority = (positive, negative) if label == 1 else (negative, positive)
+        num_major = int(rng.integers(seg_len // 2 + 1, seg_len + 1))
+        tokens = list(rng.choice(majority, size=num_major)) + list(
+            rng.choice(minority, size=seg_len - num_major)
+        )
+        rng.shuffle(tokens)
+        packed, mask = _pack_single_segment(vocab, tokens, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset("sst2", "classification", 2, "accuracy", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def make_cola(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 14, seed: int = 1,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """CoLA surrogate (acceptability): does the sequence alternate token groups?
+
+    "Grammatical" sequences strictly alternate between the noun-group and
+    verb-group halves of the vocabulary; "ungrammatical" sequences contain
+    the same multiset of tokens in a random (non-alternating) order, so the
+    evidence of unacceptability is distributed over many adjacent pairs.
+    Scored with Matthews correlation like CoLA.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = vocab.content_ids
+    half = len(content) // 2
+    nouns, verbs = content[:half], content[half:]
+
+    seg_len = seq_len - 2
+
+    def is_alternating(tokens: List[int]) -> bool:
+        groups = [0 if token in set(nouns) else 1 for token in tokens]
+        return all(groups[i] != groups[i + 1] for i in range(len(groups) - 1))
+
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 2))
+        tokens = []
+        for position in range(seg_len):
+            group = nouns if position % 2 == 0 else verbs
+            tokens.append(int(rng.choice(group)))
+        if label == 0:
+            # Shuffle the same tokens until the alternation is broken.
+            shuffled = list(tokens)
+            for _attempt in range(16):
+                rng.shuffle(shuffled)
+                if not is_alternating(shuffled):
+                    break
+            else:  # pragma: no cover - vanishingly unlikely
+                shuffled[0], shuffled[1] = shuffled[1], shuffled[0]
+            tokens = shuffled
+            if is_alternating(tokens):
+                # Force a violation deterministically.
+                tokens[1] = tokens[0]
+        packed, mask = _pack_single_segment(vocab, tokens, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset("cola", "classification", 2, "matthews", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def _make_paraphrase_task(name: str, metric: str, num_train: int, num_dev: int,
+                          seq_len: int, seed: int, seg_len: int,
+                          vocab: Optional[Vocabulary]) -> TaskDataset:
+    """Shared generator for MRPC/QQP: is segment B a permutation of segment A?
+
+    Non-paraphrases replace half of B's tokens with tokens absent from A, so
+    the decision evidence is spread over several positions.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 2))
+        seg_a = list(rng.choice(content, size=seg_len, replace=False))
+        seg_b = list(seg_a)
+        rng.shuffle(seg_b)
+        if label == 0:
+            outside = np.setdiff1d(content, np.asarray(seg_a))
+            num_replace = max(1, seg_len // 2)
+            positions = rng.choice(seg_len, size=num_replace, replace=False)
+            replacements = rng.choice(outside, size=num_replace, replace=False)
+            for pos, rep in zip(positions, replacements):
+                seg_b[pos] = int(rep)
+        packed, mask = _pack_pair(vocab, seg_a, seg_b, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset(name, "classification", 2, metric, train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def make_mrpc(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 16, seed: int = 2,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """MRPC surrogate (paraphrase detection), scored with F1."""
+    return _make_paraphrase_task("mrpc", "f1", num_train, num_dev, seq_len, seed,
+                                 seg_len=6, vocab=vocab)
+
+
+def make_qqp(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+             seq_len: int = 14, seed: int = 3,
+             vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """QQP surrogate (duplicate-question detection), scored with F1."""
+    return _make_paraphrase_task("qqp", "f1", num_train, num_dev, seq_len, seed,
+                                 seg_len=5, vocab=vocab)
+
+
+def make_qnli(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 14, seed: int = 4,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """QNLI surrogate: does the "sentence" (B) contain the query token of A?
+
+    The question segment is the query token repeated twice (so the query is
+    unambiguous), and the sentence either contains the query token (label 1)
+    or does not (label 0).  Answering requires matching the query against
+    every sentence position -- content-based addressing through attention.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+
+    question_len, sentence_len = 2, 7
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 2))
+        query = int(rng.choice(content))
+        question = [query] * question_len
+        if label == 1:
+            sentence = list(rng.choice(content, size=sentence_len))
+            sentence[int(rng.integers(0, sentence_len))] = query
+        else:
+            allowed = np.setdiff1d(content, np.asarray([query]))
+            sentence = list(rng.choice(allowed, size=sentence_len))
+        packed, mask = _pack_pair(vocab, question, sentence, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset("qnli", "classification", 2, "accuracy", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def make_rte(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+             seq_len: int = 14, seed: int = 5,
+             vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """RTE surrogate (entailment): is every token of the hypothesis in the premise?
+
+    Entailed examples draw the whole hypothesis from the premise; non-entailed
+    examples draw the whole hypothesis from outside it, so the evidence is
+    spread over every hypothesis token.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+
+    premise_len, hypothesis_len = 6, 3
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 2))
+        premise = list(rng.choice(content, size=premise_len, replace=False))
+        outside = np.setdiff1d(content, np.asarray(premise))
+        if label == 1:
+            hypothesis = list(rng.choice(np.asarray(premise), size=hypothesis_len, replace=False))
+        else:
+            hypothesis = list(rng.choice(outside, size=hypothesis_len, replace=False))
+        packed, mask = _pack_pair(vocab, premise, hypothesis, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset("rte", "classification", 2, "accuracy", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def make_mnli(num_train: int = DEFAULT_NUM_TRAIN + 64, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 14, seed: int = 6,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """MNLI surrogate: 3-way relation between the token sets of A and B.
+
+    entailment (0): B is a subset of A; contradiction (1): B is disjoint
+    from A; neutral (2): B partially overlaps A.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+
+    premise_len, hypothesis_len = 6, 4
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        label = int(rng.integers(0, 3))
+        premise = list(rng.choice(content, size=premise_len, replace=False))
+        outside = np.setdiff1d(content, np.asarray(premise))
+        if label == 0:
+            hypothesis = list(rng.choice(np.asarray(premise), size=hypothesis_len, replace=False))
+        elif label == 1:
+            hypothesis = list(rng.choice(outside, size=hypothesis_len, replace=False))
+        else:
+            inside = list(rng.choice(np.asarray(premise), size=hypothesis_len // 2, replace=False))
+            extra = list(rng.choice(outside, size=hypothesis_len - len(inside), replace=False))
+            hypothesis = inside + extra
+            rng.shuffle(hypothesis)
+        packed, mask = _pack_pair(vocab, premise, hypothesis, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(label)
+
+    train, dev = _split(ids, masks, labels, num_train, np.int64)
+    return TaskDataset("mnli", "classification", 3, "accuracy", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+def make_stsb(num_train: int = DEFAULT_NUM_TRAIN, num_dev: int = DEFAULT_NUM_DEV,
+              seq_len: int = 16, seed: int = 7,
+              vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """STS-B surrogate (semantic similarity regression on a 0-5 scale).
+
+    The target is five times the Jaccard overlap between the token sets of
+    the two segments, mirroring STS-B's 0-5 similarity scale.  Scored with
+    the average of Pearson and Spearman correlation, like the paper.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+
+    seg_len = 6
+    ids, masks, labels = [], [], []
+    for _ in range(num_train + num_dev):
+        overlap = int(rng.integers(0, seg_len + 1))
+        seg_a = list(rng.choice(content, size=seg_len, replace=False))
+        shared = list(rng.choice(np.asarray(seg_a), size=overlap, replace=False))
+        outside = np.setdiff1d(content, np.asarray(seg_a))
+        distinct = list(rng.choice(outside, size=seg_len - overlap, replace=False))
+        seg_b = shared + distinct
+        rng.shuffle(seg_b)
+        union = len(set(seg_a) | set(seg_b))
+        score = 5.0 * overlap / union if union else 0.0
+        packed, mask = _pack_pair(vocab, seg_a, seg_b, seq_len)
+        ids.append(packed)
+        masks.append(mask)
+        labels.append(score)
+
+    train, dev = _split(ids, masks, labels, num_train, np.float64)
+    return TaskDataset("stsb", "regression", 1, "pearson_spearman", train, dev,
+                       seq_len, vocab.vocab_size)
+
+
+# --------------------------------------------------------------------------- #
+# the suite
+# --------------------------------------------------------------------------- #
+_GENERATORS: Dict[str, Callable[..., TaskDataset]] = {
+    "rte": make_rte,
+    "cola": make_cola,
+    "mrpc": make_mrpc,
+    "qnli": make_qnli,
+    "qqp": make_qqp,
+    "sst2": make_sst2,
+    "stsb": make_stsb,
+    "mnli": make_mnli,
+}
+
+
+def make_glue_task(name: str, **kwargs) -> TaskDataset:
+    """Build one GLUE surrogate task by name."""
+    try:
+        generator = _GENERATORS[name]
+    except KeyError:
+        raise KeyError(f"unknown GLUE surrogate {name!r}; available: {sorted(_GENERATORS)}") from None
+    return generator(**kwargs)
+
+
+def make_glue_suite(scale: float = 1.0, seed_offset: int = 0) -> Dict[str, TaskDataset]:
+    """Build the full eight-task surrogate suite.
+
+    Parameters
+    ----------
+    scale:
+        Multiplier on the default train/dev sizes (use < 1 for fast tests).
+    seed_offset:
+        Added to each task's default seed, for replicate runs.
+    """
+    suite = {}
+    for index, name in enumerate(GLUE_TASK_NAMES):
+        generator = _GENERATORS[name]
+        defaults = generator.__defaults__
+        num_train = max(32, int(defaults[0] * scale))
+        num_dev = max(32, int(defaults[1] * scale))
+        suite[name] = generator(num_train=num_train, num_dev=num_dev,
+                                seed=index + seed_offset)
+    return suite

@@ -1,0 +1,71 @@
+"""Synthetic surrogate for SQuAD (extractive question answering).
+
+The model sees ``[CLS] query-token [SEP] context ... [SEP]`` and must point
+at the span of the context where the query token occurs (a contiguous run
+of one to three repetitions).  Predicting the span requires matching the
+query against every context position -- precisely the kind of content-based
+addressing that self-attention provides -- so, as with the GLUE surrogates,
+the attention softmax sits on the task's critical path.
+
+Scored with the usual SQuAD metrics: exact match (EM) and token-overlap F1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.data.tasks import TaskDataset, TaskSplit
+from repro.data.tokenizer import Vocabulary
+
+
+def make_squad(num_train: int = 768, num_dev: int = 160, seq_len: int = 20,
+               max_span_len: int = 3, seed: int = 8,
+               vocab: Optional[Vocabulary] = None) -> TaskDataset:
+    """Build the SQuAD surrogate task.
+
+    Labels have shape ``(num_examples, 2)`` holding the inclusive
+    ``(start, end)`` indices of the answer span within the packed sequence.
+    """
+    vocab = vocab or Vocabulary()
+    rng = np.random.default_rng(seed)
+    content = np.asarray(vocab.content_ids)
+    if max_span_len < 1:
+        raise ValueError("max_span_len must be >= 1")
+
+    # Layout: [CLS] query [SEP] context... [SEP] (padding to seq_len).
+    context_len = seq_len - 4
+    if context_len < max_span_len + 2:
+        raise ValueError("seq_len too small for the requested span length")
+    context_offset = 3  # index of the first context token
+
+    all_ids, all_masks, all_labels = [], [], []
+    for _ in range(num_train + num_dev):
+        query = int(rng.choice(content))
+        other = np.setdiff1d(content, np.asarray([query]))
+        context = list(rng.choice(other, size=context_len))
+
+        span_len = int(rng.integers(1, max_span_len + 1))
+        start_in_context = int(rng.integers(0, context_len - span_len + 1))
+        for offset in range(span_len):
+            context[start_in_context + offset] = query
+
+        ids = [vocab.cls_id, query, vocab.sep_id] + context + [vocab.sep_id]
+        mask = [1] * len(ids) + [0] * (seq_len - len(ids))
+        ids = ids + [vocab.pad_id] * (seq_len - len(ids))
+
+        start = context_offset + start_in_context
+        end = start + span_len - 1
+        all_ids.append(ids)
+        all_masks.append(mask)
+        all_labels.append((start, end))
+
+    ids_arr = np.asarray(all_ids, dtype=np.int64)
+    mask_arr = np.asarray(all_masks, dtype=np.int64)
+    label_arr = np.asarray(all_labels, dtype=np.int64)
+
+    train = TaskSplit(ids_arr[:num_train], mask_arr[:num_train], label_arr[:num_train])
+    dev = TaskSplit(ids_arr[num_train:], mask_arr[num_train:], label_arr[num_train:])
+    return TaskDataset("squad", "span", seq_len, "squad_f1", train, dev,
+                       seq_len, vocab.vocab_size)

@@ -1,0 +1,95 @@
+"""Task dataset containers shared by the synthetic generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class TaskBatch:
+    """One mini-batch of a task."""
+
+    input_ids: np.ndarray
+    attention_mask: np.ndarray
+    labels: np.ndarray
+    #: For span tasks the labels array has shape (batch, 2) = (start, end);
+    #: for classification it is (batch,) ints; for regression (batch,) floats.
+
+    def __post_init__(self) -> None:
+        if self.input_ids.shape != self.attention_mask.shape:
+            raise ValueError("input_ids and attention_mask shapes must match")
+        if self.labels.shape[0] != self.input_ids.shape[0]:
+            raise ValueError("labels batch size must match input_ids")
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+
+@dataclass
+class TaskSplit:
+    """A full split (train or dev) of a task."""
+
+    input_ids: np.ndarray
+    attention_mask: np.ndarray
+    labels: np.ndarray
+
+    def __len__(self) -> int:
+        return self.input_ids.shape[0]
+
+    def batches(self, batch_size: int, shuffle: bool = False,
+                rng: Optional[np.random.Generator] = None) -> Iterator[TaskBatch]:
+        """Iterate over mini-batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        order = np.arange(len(self))
+        if shuffle:
+            (rng or np.random.default_rng()).shuffle(order)
+        for start in range(0, len(self), batch_size):
+            idx = order[start : start + batch_size]
+            yield TaskBatch(
+                self.input_ids[idx], self.attention_mask[idx], self.labels[idx]
+            )
+
+
+@dataclass
+class TaskDataset:
+    """A named task with train/dev splits and its evaluation metric.
+
+    Attributes
+    ----------
+    name:
+        Task name (mirrors the paper's task list, e.g. ``"sst2"``).
+    task_type:
+        ``"classification"``, ``"regression"`` or ``"span"``.
+    num_classes:
+        Number of classes for classification tasks (ignored otherwise).
+    metric:
+        Metric name understood by :mod:`repro.eval.metrics`
+        (``"accuracy"``, ``"f1"``, ``"matthews"``, ``"pearson_spearman"``,
+        ``"squad_f1"``).
+    """
+
+    name: str
+    task_type: str
+    num_classes: int
+    metric: str
+    train: TaskSplit
+    dev: TaskSplit
+    seq_len: int
+    vocab_size: int
+    extra: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        valid_types = ("classification", "regression", "span")
+        if self.task_type not in valid_types:
+            raise ValueError(f"task_type must be one of {valid_types}")
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: {self.task_type} ({self.num_classes} classes), "
+            f"metric={self.metric}, train={len(self.train)}, dev={len(self.dev)}, "
+            f"seq_len={self.seq_len}"
+        )

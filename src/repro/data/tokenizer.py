@@ -1,0 +1,92 @@
+"""A toy vocabulary/tokenizer for the synthetic task suite.
+
+The synthetic tasks generate token-id sequences directly, but they share a
+common vocabulary layout with the special tokens BERT-style models expect
+(``[PAD]``, ``[CLS]``, ``[SEP]``, ``[MASK]``) followed by "content" tokens.
+Keeping this in one place makes the generated data interpretable and lets
+examples round-trip ids to readable strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+PAD_TOKEN = "[PAD]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN)
+
+
+@dataclass
+class Vocabulary:
+    """A fixed vocabulary of special tokens plus generated content tokens.
+
+    The default of 16 content tokens keeps the synthetic relational tasks
+    learnable by the tiny Transformer surrogates (the label rules involve
+    token-identity matching, whose sample complexity grows quickly with the
+    vocabulary size).
+    """
+
+    num_content_tokens: int = 16
+    tokens: List[str] = field(init=False)
+    token_to_id: Dict[str, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.num_content_tokens < 1:
+            raise ValueError("num_content_tokens must be >= 1")
+        content = [f"tok{i}" for i in range(self.num_content_tokens)]
+        self.tokens = list(SPECIAL_TOKENS) + content
+        self.token_to_id = {token: idx for idx, token in enumerate(self.tokens)}
+
+    # ------------------------------------------------------------------ #
+    # sizes and ids
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.tokens)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self.token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self.token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self.token_to_id[MASK_TOKEN]
+
+    @property
+    def content_ids(self) -> List[int]:
+        """Ids of the non-special (content) tokens."""
+        return list(range(len(SPECIAL_TOKENS), len(self.tokens)))
+
+    # ------------------------------------------------------------------ #
+    # conversion
+    # ------------------------------------------------------------------ #
+    def encode(self, tokens: Sequence[str]) -> List[int]:
+        """Convert token strings to ids (raises on unknown tokens)."""
+        try:
+            return [self.token_to_id[token] for token in tokens]
+        except KeyError as exc:
+            raise KeyError(f"unknown token {exc.args[0]!r}") from None
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        """Convert ids back to token strings."""
+        result = []
+        for idx in ids:
+            if not 0 <= int(idx) < len(self.tokens):
+                raise IndexError(f"token id {idx} out of range")
+            result.append(self.tokens[int(idx)])
+        return result

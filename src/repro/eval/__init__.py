@@ -1,0 +1,60 @@
+"""Evaluation harness: metrics, accuracy pipelines and sweep drivers."""
+
+from repro.eval.accuracy import (
+    predict,
+    evaluate_model,
+    evaluate_squad_detailed,
+    AccuracyComparison,
+    run_accuracy_comparison,
+    results_to_rows,
+)
+
+# Imported after ``repro.eval.accuracy`` so that the ``accuracy`` *function*
+# (and not the submodule of the same name) is what the package exports.
+from repro.eval.metrics import (
+    accuracy,
+    f1_binary,
+    matthews_corrcoef,
+    pearson_corr,
+    spearman_corr,
+    pearson_spearman,
+    squad_em_f1,
+    squad_f1,
+    compute_metric,
+    metric_summary,
+    METRIC_FUNCTIONS,
+)
+from repro.eval.sweeps import (
+    RuntimeFractionSeries,
+    runtime_fraction_series,
+    EnergySweepSeries,
+    energy_sweep_series,
+    AccuracySweepPoint,
+    softermax_error_sweep,
+)
+
+__all__ = [
+    "accuracy",
+    "f1_binary",
+    "matthews_corrcoef",
+    "pearson_corr",
+    "spearman_corr",
+    "pearson_spearman",
+    "squad_em_f1",
+    "squad_f1",
+    "compute_metric",
+    "metric_summary",
+    "METRIC_FUNCTIONS",
+    "predict",
+    "evaluate_model",
+    "evaluate_squad_detailed",
+    "AccuracyComparison",
+    "run_accuracy_comparison",
+    "results_to_rows",
+    "RuntimeFractionSeries",
+    "runtime_fraction_series",
+    "EnergySweepSeries",
+    "energy_sweep_series",
+    "AccuracySweepPoint",
+    "softermax_error_sweep",
+]

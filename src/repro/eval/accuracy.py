@@ -1,0 +1,132 @@
+"""Accuracy evaluation pipelines (paper Table III).
+
+:func:`evaluate_model` scores a fine-tuned model on a task's dev split with
+the task's own metric.  :func:`run_accuracy_comparison` orchestrates the
+full Table III experiment: for each task and model size, pre-train once,
+then fine-tune the 8-bit quantized baseline (standard softmax) and
+Softermax from the same starting weights and report both scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.data.tasks import TaskDataset
+from repro.eval.metrics import compute_metric, squad_em_f1
+from repro.models.bert import BertConfig, TaskModel
+from repro.models.finetune import FinetuneConfig, FinetuneResult, finetune, pretrain_task_model
+
+
+def predict(model: TaskModel, task: TaskDataset, split: str = "dev",
+            batch_size: int = 64) -> np.ndarray:
+    """Run inference over a split and return task-appropriate predictions.
+
+    Classification: argmax class ids.  Regression: raw scores.  Span: an
+    ``(N, 2)`` array of predicted (start, end) indices, where the end index
+    is constrained to lie at or after the start index.
+    """
+    data = task.dev if split == "dev" else task.train
+    model.eval()
+    outputs: List[np.ndarray] = []
+    for batch in data.batches(batch_size):
+        if task.task_type == "span":
+            start_logits, end_logits = model(batch.input_ids, batch.attention_mask)
+            starts = np.argmax(start_logits.data, axis=-1)
+            ends = np.empty_like(starts)
+            for i, start in enumerate(starts):
+                # The end must not precede the start; argmax over the suffix.
+                suffix = end_logits.data[i, start:]
+                ends[i] = start + int(np.argmax(suffix))
+            outputs.append(np.stack([starts, ends], axis=1))
+        else:
+            logits = model(batch.input_ids, batch.attention_mask)
+            if task.task_type == "classification":
+                outputs.append(np.argmax(logits.data, axis=-1))
+            else:
+                outputs.append(logits.data)
+    return np.concatenate(outputs, axis=0)
+
+
+def evaluate_model(model: TaskModel, task: TaskDataset, split: str = "dev") -> float:
+    """Score a model on a task split using the task's registered metric."""
+    predictions = predict(model, task, split=split)
+    data = task.dev if split == "dev" else task.train
+    return compute_metric(task.metric, predictions, data.labels)
+
+
+def evaluate_squad_detailed(model: TaskModel, task: TaskDataset,
+                            split: str = "dev") -> Dict[str, float]:
+    """Exact-match and F1 for the span task (for richer reporting)."""
+    if task.task_type != "span":
+        raise ValueError("evaluate_squad_detailed requires a span task")
+    predictions = predict(model, task, split=split)
+    data = task.dev if split == "dev" else task.train
+    em, f1 = squad_em_f1(predictions, data.labels)
+    return {"exact_match": em, "f1": f1}
+
+
+@dataclass
+class AccuracyComparison:
+    """Results of the Table III experiment for one model size."""
+
+    model_name: str
+    baseline: Dict[str, float] = field(default_factory=dict)
+    softermax: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def tasks(self) -> List[str]:
+        return list(self.baseline.keys())
+
+    def delta(self) -> Dict[str, float]:
+        """Softermax score minus baseline score, per task."""
+        return {name: self.softermax[name] - self.baseline[name] for name in self.baseline}
+
+    def average_delta(self) -> float:
+        deltas = list(self.delta().values())
+        return float(np.mean(deltas)) if deltas else 0.0
+
+    def worst_drop(self) -> float:
+        """Most negative delta (0 if Softermax never loses)."""
+        deltas = list(self.delta().values())
+        return float(min(min(deltas), 0.0)) if deltas else 0.0
+
+
+def run_accuracy_comparison(
+    tasks: Iterable[TaskDataset],
+    model_config: BertConfig,
+    finetune_config: Optional[FinetuneConfig] = None,
+    baseline_variant: str = "reference",
+    proposed_variant: str = "softermax",
+) -> AccuracyComparison:
+    """Fine-tune baseline and Softermax on every task from shared weights.
+
+    This is the Table III harness for a single model size: the baseline is
+    the 8-bit quantization-aware fine-tuned model with the standard softmax,
+    the proposed run swaps in Softermax (bit-accurate forward, STE backward).
+    """
+    finetune_config = finetune_config or FinetuneConfig()
+    comparison = AccuracyComparison(model_name=model_config.name)
+    for task in tasks:
+        pretrained = pretrain_task_model(task, model_config, finetune_config)
+        state = pretrained.state_dict()
+        baseline_result = finetune(task, model_config, baseline_variant,
+                                   finetune_config, pretrained_state=state)
+        softermax_result = finetune(task, model_config, proposed_variant,
+                                    finetune_config, pretrained_state=state)
+        comparison.baseline[task.name] = baseline_result.score
+        comparison.softermax[task.name] = softermax_result.score
+    return comparison
+
+
+def results_to_rows(comparison: AccuracyComparison) -> List[Dict[str, object]]:
+    """Flatten an :class:`AccuracyComparison` into printable row dicts."""
+    rows: List[Dict[str, object]] = []
+    for variant_name, scores in (("Baseline", comparison.baseline),
+                                 ("Softermax", comparison.softermax)):
+        row: Dict[str, object] = {"model": comparison.model_name, "variant": variant_name}
+        row.update({task: round(score, 2) for task, score in scores.items()})
+        rows.append(row)
+    return rows

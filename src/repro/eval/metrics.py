@@ -1,0 +1,150 @@
+"""Evaluation metrics matching the paper's task suite.
+
+GLUE tasks use accuracy, F1, Matthews correlation or Pearson/Spearman
+correlation depending on the task; SQuAD uses exact match and token-overlap
+F1.  All metrics are reported on a 0-100 scale (percentages), matching the
+way Table III of the paper presents them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy import stats
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Classification accuracy in percent."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    _check_same_length(predictions, targets)
+    return float(np.mean(predictions == targets) * 100.0)
+
+
+def f1_binary(predictions: np.ndarray, targets: np.ndarray, positive_label: int = 1) -> float:
+    """Binary F1 score (percent) treating ``positive_label`` as positive."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    _check_same_length(predictions, targets)
+    tp = float(np.sum((predictions == positive_label) & (targets == positive_label)))
+    fp = float(np.sum((predictions == positive_label) & (targets != positive_label)))
+    fn = float(np.sum((predictions != positive_label) & (targets == positive_label)))
+    if tp == 0.0:
+        return 0.0
+    precision = tp / (tp + fp)
+    recall = tp / (tp + fn)
+    return float(2.0 * precision * recall / (precision + recall) * 100.0)
+
+
+def matthews_corrcoef(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Matthews correlation coefficient (percent), the CoLA metric."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    _check_same_length(predictions, targets)
+    tp = float(np.sum((predictions == 1) & (targets == 1)))
+    tn = float(np.sum((predictions == 0) & (targets == 0)))
+    fp = float(np.sum((predictions == 1) & (targets == 0)))
+    fn = float(np.sum((predictions == 0) & (targets == 1)))
+    denom = np.sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+    if denom == 0.0:
+        return 0.0
+    return float((tp * tn - fp * fn) / denom * 100.0)
+
+
+def pearson_corr(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Pearson correlation (percent)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    _check_same_length(predictions, targets)
+    if np.std(predictions) == 0.0 or np.std(targets) == 0.0:
+        return 0.0
+    return float(np.corrcoef(predictions, targets)[0, 1] * 100.0)
+
+
+def spearman_corr(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Spearman rank correlation (percent)."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    _check_same_length(predictions, targets)
+    if np.std(predictions) == 0.0 or np.std(targets) == 0.0:
+        return 0.0
+    rho = stats.spearmanr(predictions, targets).correlation
+    if np.isnan(rho):
+        return 0.0
+    return float(rho * 100.0)
+
+
+def pearson_spearman(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Average of Pearson and Spearman correlation (the STS-B metric)."""
+    return (pearson_corr(predictions, targets) + spearman_corr(predictions, targets)) / 2.0
+
+
+def squad_em_f1(pred_spans: np.ndarray, gold_spans: np.ndarray) -> Tuple[float, float]:
+    """SQuAD exact match and token-overlap F1 (both percent).
+
+    Spans are inclusive ``(start, end)`` index pairs.
+    """
+    pred_spans = np.asarray(pred_spans, dtype=np.int64)
+    gold_spans = np.asarray(gold_spans, dtype=np.int64)
+    if pred_spans.shape != gold_spans.shape:
+        raise ValueError("prediction and gold span arrays must have the same shape")
+    if pred_spans.ndim != 2 or pred_spans.shape[1] != 2:
+        raise ValueError("spans must have shape (N, 2)")
+
+    exact, f1_total = 0.0, 0.0
+    for (ps, pe), (gs, ge) in zip(pred_spans, gold_spans):
+        if ps == gs and pe == ge:
+            exact += 1.0
+        pred_tokens = set(range(int(ps), int(pe) + 1)) if pe >= ps else set()
+        gold_tokens = set(range(int(gs), int(ge) + 1))
+        overlap = len(pred_tokens & gold_tokens)
+        if overlap == 0 or not pred_tokens:
+            continue
+        precision = overlap / len(pred_tokens)
+        recall = overlap / len(gold_tokens)
+        f1_total += 2.0 * precision * recall / (precision + recall)
+
+    count = len(gold_spans)
+    return float(exact / count * 100.0), float(f1_total / count * 100.0)
+
+
+def squad_f1(pred_spans: np.ndarray, gold_spans: np.ndarray) -> float:
+    """Token-overlap F1 only (the number Table III reports for SQuAD)."""
+    return squad_em_f1(pred_spans, gold_spans)[1]
+
+
+#: Registry used by the evaluation harness: metric name -> callable.
+METRIC_FUNCTIONS = {
+    "accuracy": accuracy,
+    "f1": f1_binary,
+    "matthews": matthews_corrcoef,
+    "pearson_spearman": pearson_spearman,
+    "squad_f1": squad_f1,
+}
+
+
+def compute_metric(name: str, predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Dispatch to the metric registered under ``name``."""
+    try:
+        metric = METRIC_FUNCTIONS[name]
+    except KeyError:
+        raise KeyError(f"unknown metric {name!r}; available: {sorted(METRIC_FUNCTIONS)}") from None
+    return metric(predictions, targets)
+
+
+def metric_summary(results: Dict[str, float]) -> Dict[str, float]:
+    """Average, worst drop and best gain across a {task: score-delta} dict."""
+    values = np.asarray(list(results.values()), dtype=np.float64)
+    return {
+        "mean": float(values.mean()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+    }
+
+
+def _check_same_length(a: np.ndarray, b: np.ndarray) -> None:
+    if a.shape[0] != b.shape[0]:
+        raise ValueError(f"length mismatch: {a.shape[0]} vs {b.shape[0]}")
+    if a.shape[0] == 0:
+        raise ValueError("cannot compute a metric on zero examples")

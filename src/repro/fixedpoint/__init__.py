@@ -1,0 +1,50 @@
+"""Fixed-point arithmetic substrate.
+
+Softermax performs every softmax operation in narrow fixed-point formats
+(paper Table I).  This subpackage provides the Q-format descriptors,
+rounding modes and saturating arithmetic used by :mod:`repro.core` and by
+the hardware cost models in :mod:`repro.hardware`.
+
+The central abstraction is :class:`QFormat`, written ``Q(i, f)`` in the
+paper: ``i`` integer bits (including sign for signed formats) and ``f``
+fractional bits.  Values are stored as ordinary NumPy float arrays whose
+elements are exactly representable on the ``2**-f`` grid, so downstream
+code stays vectorized while remaining bit-accurate; the integer code view
+is available through :func:`to_codes` / :func:`from_codes`.
+"""
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import (
+    RoundingMode,
+    round_values,
+)
+from repro.fixedpoint.fxp import (
+    quantize,
+    to_codes,
+    from_codes,
+    is_representable,
+    FixedPointArray,
+)
+from repro.fixedpoint.arithmetic import (
+    fixed_add,
+    fixed_sub,
+    fixed_mul,
+    fixed_shift,
+    fixed_accumulate,
+)
+
+__all__ = [
+    "QFormat",
+    "RoundingMode",
+    "round_values",
+    "quantize",
+    "to_codes",
+    "from_codes",
+    "is_representable",
+    "FixedPointArray",
+    "fixed_add",
+    "fixed_sub",
+    "fixed_mul",
+    "fixed_shift",
+    "fixed_accumulate",
+]

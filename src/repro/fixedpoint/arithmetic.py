@@ -1,0 +1,94 @@
+"""Fixed-point arithmetic primitives.
+
+These model what the Softermax hardware units do: every operation takes
+operands that lie on fixed-point grids, computes the exact result, and then
+quantizes it into an explicit output format with saturation.  Keeping the
+output format explicit mirrors RTL, where every wire has a declared width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode
+from repro.fixedpoint.fxp import quantize
+
+
+def fixed_add(
+    a: np.ndarray,
+    b: np.ndarray,
+    out_fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Add two fixed-point arrays and quantize the sum into ``out_fmt``."""
+    return quantize(np.asarray(a, dtype=np.float64) + np.asarray(b, dtype=np.float64),
+                    out_fmt, rounding, saturate)
+
+
+def fixed_sub(
+    a: np.ndarray,
+    b: np.ndarray,
+    out_fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Subtract ``b`` from ``a`` and quantize into ``out_fmt``."""
+    return quantize(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64),
+                    out_fmt, rounding, saturate)
+
+
+def fixed_mul(
+    a: np.ndarray,
+    b: np.ndarray,
+    out_fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Multiply two fixed-point arrays and quantize into ``out_fmt``."""
+    return quantize(np.asarray(a, dtype=np.float64) * np.asarray(b, dtype=np.float64),
+                    out_fmt, rounding, saturate)
+
+
+def fixed_shift(
+    a: np.ndarray,
+    shift: np.ndarray,
+    out_fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.FLOOR,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Multiply by ``2**shift`` (a barrel shifter) and quantize.
+
+    ``shift`` must be integer-valued (positive = left shift, negative =
+    right shift); this is the renormalization primitive enabled by the
+    integer-max trick in Softermax.  Right shifts truncate by default,
+    matching shifter hardware.
+    """
+    shift = np.asarray(shift, dtype=np.float64)
+    if not np.all(shift == np.round(shift)):
+        raise ValueError("fixed_shift requires integer shift amounts")
+    result = np.asarray(a, dtype=np.float64) * np.power(2.0, shift)
+    return quantize(result, out_fmt, rounding, saturate)
+
+
+def fixed_accumulate(
+    values: np.ndarray,
+    acc_fmt: QFormat,
+    axis: int = -1,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    saturate: bool = True,
+) -> np.ndarray:
+    """Sum ``values`` along ``axis`` with the accumulator quantized each step.
+
+    This models a sequential accumulator register of format ``acc_fmt``: the
+    running sum is re-quantized after every addition, so accumulation error
+    and saturation behaviour match a real adder/register pair rather than an
+    infinitely wide float sum.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    moved = np.moveaxis(values, axis, 0)
+    acc = np.zeros(moved.shape[1:], dtype=np.float64)
+    for step in range(moved.shape[0]):
+        acc = quantize(acc + moved[step], acc_fmt, rounding, saturate)
+    return acc

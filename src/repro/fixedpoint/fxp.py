@@ -1,0 +1,148 @@
+"""Quantization to and from fixed-point grids.
+
+The functions here are the workhorses of the Softermax numerical model:
+:func:`quantize` snaps a float array onto a :class:`~repro.fixedpoint.QFormat`
+grid with saturation, :func:`to_codes` / :func:`from_codes` convert between
+real values and integer hardware codes, and :class:`FixedPointArray` bundles
+an array with its format for code that wants to carry both around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fixedpoint.qformat import QFormat
+from repro.fixedpoint.rounding import RoundingMode, round_values
+
+
+def quantize(
+    values: np.ndarray,
+    fmt: QFormat,
+    rounding: RoundingMode = RoundingMode.NEAREST,
+    saturate: bool = True,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Quantize ``values`` onto the grid of ``fmt``.
+
+    Parameters
+    ----------
+    values:
+        Input array (any shape); it is not modified.
+    fmt:
+        Target fixed-point format.
+    rounding:
+        Rounding mode applied when snapping to the grid.
+    saturate:
+        When ``True`` (default, matching hardware behaviour) out-of-range
+        values clip to the format's min/max.  When ``False`` an overflow
+        raises ``OverflowError`` -- useful in tests to prove a datapath
+        never overflows.
+    rng:
+        Random generator for stochastic rounding.
+
+    Returns
+    -------
+    np.ndarray
+        Float array whose every element is exactly representable in ``fmt``.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    codes = round_values(values / fmt.resolution, rounding, rng=rng)
+    if saturate:
+        codes = np.clip(codes, fmt.min_code, fmt.max_code)
+    else:
+        if np.any(codes > fmt.max_code) or np.any(codes < fmt.min_code):
+            raise OverflowError(
+                f"value out of range for {fmt}: "
+                f"[{values.min():.6g}, {values.max():.6g}]"
+            )
+    return codes * fmt.resolution
+
+
+def to_codes(values: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Convert representable values to their integer hardware codes.
+
+    The input is assumed to already lie on the grid (e.g. the output of
+    :func:`quantize`); any residual off-grid component is rounded to the
+    nearest code.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.round(values / fmt.resolution)
+    return codes.astype(np.int64)
+
+
+def from_codes(codes: np.ndarray, fmt: QFormat) -> np.ndarray:
+    """Convert integer hardware codes back to real values."""
+    codes = np.asarray(codes)
+    return codes.astype(np.float64) * fmt.resolution
+
+
+def is_representable(values: np.ndarray, fmt: QFormat, atol: float = 0.0) -> bool:
+    """Return ``True`` when every element of ``values`` is exactly on the grid.
+
+    Parameters
+    ----------
+    atol:
+        Absolute tolerance for the on-grid check (useful when values have
+        been produced by float arithmetic that may carry 1-ulp noise).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return True
+    if np.any(values > fmt.max_value) or np.any(values < fmt.min_value):
+        return False
+    scaled = values / fmt.resolution
+    return bool(np.all(np.abs(scaled - np.round(scaled)) <= atol + 1e-9))
+
+
+@dataclass
+class FixedPointArray:
+    """An array paired with the :class:`QFormat` it is represented in.
+
+    This is a convenience wrapper used mostly by tests and by the hardware
+    models; the core algorithms operate on plain arrays plus formats to
+    keep the hot paths simple.
+    """
+
+    values: np.ndarray
+    fmt: QFormat
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+
+    @classmethod
+    def from_float(
+        cls,
+        values: np.ndarray,
+        fmt: QFormat,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        saturate: bool = True,
+    ) -> "FixedPointArray":
+        """Quantize a float array into a :class:`FixedPointArray`."""
+        return cls(quantize(values, fmt, rounding, saturate), fmt)
+
+    @property
+    def codes(self) -> np.ndarray:
+        """Integer hardware codes of the stored values."""
+        return to_codes(self.values, self.fmt)
+
+    @property
+    def shape(self) -> tuple:
+        return self.values.shape
+
+    def cast(
+        self,
+        fmt: QFormat,
+        rounding: RoundingMode = RoundingMode.NEAREST,
+        saturate: bool = True,
+    ) -> "FixedPointArray":
+        """Re-quantize to another format (a hardware format conversion)."""
+        return FixedPointArray.from_float(self.values, fmt, rounding, saturate)
+
+    def to_float(self) -> np.ndarray:
+        """Return the plain float array (already exactly representable)."""
+        return self.values.copy()
+
+    def __len__(self) -> int:
+        return len(self.values)

@@ -1,0 +1,135 @@
+"""Q-format descriptors for fixed-point values.
+
+The paper (Table I) specifies every Softermax datapath signal as
+``Q(int_bits, frac_bits)``.  We follow the paper's convention:
+
+* ``int_bits`` counts the bits to the left of the binary point.  For signed
+  formats the sign bit is included in ``int_bits``.
+* ``frac_bits`` counts the bits to the right of the binary point.
+* The representable grid therefore has resolution ``2**-frac_bits`` and,
+  for an unsigned format, spans ``[0, 2**int_bits - 2**-frac_bits]``.  For a
+  signed (two's complement) format it spans
+  ``[-2**(int_bits-1), 2**(int_bits-1) - 2**-frac_bits]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A fixed-point number format ``Q(int_bits, frac_bits)``.
+
+    Parameters
+    ----------
+    int_bits:
+        Number of integer bits (including the sign bit when ``signed``).
+    frac_bits:
+        Number of fractional bits.
+    signed:
+        Whether the format is two's complement signed. Defaults to ``True``,
+        matching the attention-score datapath of the paper where inputs may
+        be negative.
+
+    Examples
+    --------
+    >>> q = QFormat(6, 2)
+    >>> q.resolution
+    0.25
+    >>> q.total_bits
+    8
+    """
+
+    int_bits: int
+    frac_bits: int
+    signed: bool = True
+
+    def __post_init__(self) -> None:
+        if self.int_bits < 0:
+            raise ValueError(f"int_bits must be >= 0, got {self.int_bits}")
+        if self.frac_bits < 0:
+            raise ValueError(f"frac_bits must be >= 0, got {self.frac_bits}")
+        if self.total_bits <= 0:
+            raise ValueError("a QFormat must have at least one bit")
+        if self.signed and self.int_bits < 1:
+            raise ValueError("signed formats need at least one integer (sign) bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage width in bits."""
+        return self.int_bits + self.frac_bits
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable increment (the value of one LSB)."""
+        return 2.0 ** (-self.frac_bits)
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable value."""
+        if self.signed:
+            return 2.0 ** (self.int_bits - 1) - self.resolution
+        return 2.0**self.int_bits - self.resolution
+
+    @property
+    def min_value(self) -> float:
+        """Smallest (most negative) representable value."""
+        if self.signed:
+            return -(2.0 ** (self.int_bits - 1))
+        return 0.0
+
+    @property
+    def max_code(self) -> int:
+        """Largest integer code (value / resolution)."""
+        if self.signed:
+            return 2 ** (self.total_bits - 1) - 1
+        return 2**self.total_bits - 1
+
+    @property
+    def min_code(self) -> int:
+        """Smallest integer code."""
+        if self.signed:
+            return -(2 ** (self.total_bits - 1))
+        return 0
+
+    def with_signedness(self, signed: bool) -> "QFormat":
+        """Return a copy of this format with a different signedness."""
+        return QFormat(self.int_bits, self.frac_bits, signed)
+
+    def widen(self, extra_int: int = 0, extra_frac: int = 0) -> "QFormat":
+        """Return a wider format, e.g. for an accumulator.
+
+        Parameters
+        ----------
+        extra_int:
+            Additional integer bits (guards against accumulation overflow).
+        extra_frac:
+            Additional fractional bits (extra precision).
+        """
+        if extra_int < 0 or extra_frac < 0:
+            raise ValueError("widen() only grows a format")
+        return QFormat(self.int_bits + extra_int, self.frac_bits + extra_frac, self.signed)
+
+    def __str__(self) -> str:
+        sign = "" if self.signed else "U"
+        return f"{sign}Q({self.int_bits},{self.frac_bits})"
+
+
+def product_format(a: QFormat, b: QFormat) -> QFormat:
+    """Return the full-precision format of a fixed-point product.
+
+    Multiplying ``Q(ia, fa)`` by ``Q(ib, fb)`` yields at most
+    ``Q(ia + ib, fa + fb)`` (two's complement multiplication of an
+    ``n``-bit and ``m``-bit operand needs ``n + m`` result bits).
+    """
+    signed = a.signed or b.signed
+    return QFormat(a.int_bits + b.int_bits, a.frac_bits + b.frac_bits, signed)
+
+
+def sum_format(a: QFormat, b: QFormat) -> QFormat:
+    """Return the full-precision format of a fixed-point addition."""
+    signed = a.signed or b.signed
+    int_bits = max(a.int_bits, b.int_bits) + 1
+    frac_bits = max(a.frac_bits, b.frac_bits)
+    return QFormat(int_bits, frac_bits, signed)

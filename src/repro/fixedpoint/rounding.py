@@ -1,0 +1,75 @@
+"""Rounding modes used when quantizing to a fixed-point grid.
+
+Hardware datapaths commonly use truncation (round toward negative
+infinity, i.e. dropping LSBs of a two's complement value) or
+round-to-nearest-even.  Both are provided; Softermax's accuracy results in
+the paper were obtained with round-to-nearest behaviour in the fake-quant
+forward passes, while the area/energy models assume truncating hardware
+where it is cheaper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class RoundingMode(enum.Enum):
+    """Supported rounding behaviours for fixed-point quantization."""
+
+    #: Round to the nearest grid point, ties away from zero (``np.round``-like
+    #: but with deterministic tie handling).
+    NEAREST = "nearest"
+    #: Round to the nearest grid point, ties to even (IEEE default, what
+    #: ``np.round`` actually implements).
+    NEAREST_EVEN = "nearest_even"
+    #: Truncate toward negative infinity (drop LSBs of two's complement).
+    FLOOR = "floor"
+    #: Round toward positive infinity.
+    CEIL = "ceil"
+    #: Round toward zero.
+    TOWARD_ZERO = "toward_zero"
+    #: Unbiased stochastic rounding (useful for training experiments).
+    STOCHASTIC = "stochastic"
+
+
+def round_values(
+    scaled: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Round ``scaled`` (values already divided by the LSB) to integers.
+
+    Parameters
+    ----------
+    scaled:
+        Array of values expressed in LSB units (i.e. ``value / resolution``).
+    mode:
+        The rounding behaviour.
+    rng:
+        Random generator, only used by :attr:`RoundingMode.STOCHASTIC`.
+
+    Returns
+    -------
+    np.ndarray
+        Integer-valued float array of the same shape.
+    """
+    scaled = np.asarray(scaled, dtype=np.float64)
+    if mode is RoundingMode.NEAREST:
+        return np.floor(scaled + 0.5)
+    if mode is RoundingMode.NEAREST_EVEN:
+        return np.round(scaled)
+    if mode is RoundingMode.FLOOR:
+        return np.floor(scaled)
+    if mode is RoundingMode.CEIL:
+        return np.ceil(scaled)
+    if mode is RoundingMode.TOWARD_ZERO:
+        return np.trunc(scaled)
+    if mode is RoundingMode.STOCHASTIC:
+        if rng is None:
+            rng = np.random.default_rng()
+        floor = np.floor(scaled)
+        frac = scaled - floor
+        return floor + (rng.random(scaled.shape) < frac)
+    raise ValueError(f"unknown rounding mode: {mode!r}")

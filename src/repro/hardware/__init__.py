@@ -1,0 +1,104 @@
+"""Analytic hardware cost models (area, energy, runtime).
+
+These models reproduce the paper's hardware evaluation:
+
+* :mod:`repro.hardware.technology` -- per-primitive area/energy constants
+  for a 7 nm-class node.
+* :mod:`repro.hardware.softermax_units` / :mod:`repro.hardware.baseline_units`
+  -- the Softermax units and the DesignWare-style FP16 baseline.
+* :mod:`repro.hardware.pe` -- a MAGNet-style PE with a pluggable softmax.
+* :mod:`repro.hardware.energy_model` -- the SELF+Softmax workload accounting
+  behind Table IV and Figure 5.
+* :mod:`repro.hardware.runtime_model` -- the GPU operator runtime breakdown
+  behind Figure 1.
+"""
+
+from repro.hardware.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.hardware.units import AreaBreakdown, EnergyBreakdown, HardwareUnit, ratio
+from repro.hardware.softermax_units import SoftermaxUnnormedUnit, SoftermaxNormalizationUnit
+from repro.hardware.baseline_units import BaselineUnnormedUnit, BaselineNormalizationUnit
+from repro.hardware.pe import PEConfig, ProcessingElement, SOFTMAX_IMPLEMENTATIONS
+from repro.hardware.energy_model import (
+    AttentionWorkload,
+    ComparisonRow,
+    Table4Result,
+    SweepPoint,
+    attention_energy,
+    compute_table4,
+    sequence_length_sweep,
+)
+from repro.hardware.performance import (
+    SoftmaxLatencyModel,
+    SOFTERMAX_LATENCY,
+    BASELINE_LATENCY,
+    RowLatencyBreakdown,
+    row_latency,
+    attention_latency,
+    LatencyComparison,
+    latency_sweep,
+    ThroughputReport,
+    throughput_sweep,
+)
+from repro.hardware.attention_mapping import (
+    AcceleratorConfig,
+    ModelAttentionCost,
+    ModelComparison,
+    model_attention_cost,
+    compare_model_attention,
+    model_sweep,
+)
+from repro.hardware.runtime_model import (
+    GPUModel,
+    OperatorCount,
+    RuntimeBreakdown,
+    OP_CLASSES,
+    transformer_layer_counts,
+    model_runtime_breakdown,
+    runtime_breakdown_sweep,
+)
+
+__all__ = [
+    "Technology",
+    "DEFAULT_TECHNOLOGY",
+    "AreaBreakdown",
+    "EnergyBreakdown",
+    "HardwareUnit",
+    "ratio",
+    "SoftermaxUnnormedUnit",
+    "SoftermaxNormalizationUnit",
+    "BaselineUnnormedUnit",
+    "BaselineNormalizationUnit",
+    "PEConfig",
+    "ProcessingElement",
+    "SOFTMAX_IMPLEMENTATIONS",
+    "AttentionWorkload",
+    "ComparisonRow",
+    "Table4Result",
+    "SweepPoint",
+    "attention_energy",
+    "compute_table4",
+    "sequence_length_sweep",
+    "GPUModel",
+    "OperatorCount",
+    "RuntimeBreakdown",
+    "OP_CLASSES",
+    "transformer_layer_counts",
+    "model_runtime_breakdown",
+    "runtime_breakdown_sweep",
+    "SoftmaxLatencyModel",
+    "SOFTERMAX_LATENCY",
+    "BASELINE_LATENCY",
+    "RowLatencyBreakdown",
+    "row_latency",
+    "attention_latency",
+    "LatencyComparison",
+    "latency_sweep",
+    "ThroughputReport",
+    "throughput_sweep",
+    "AcceleratorConfig",
+    "ModelAttentionCost",
+    "ModelComparison",
+    "model_attention_cost",
+    "compare_model_attention",
+    "model_sweep",
+]

@@ -1,0 +1,156 @@
+"""Full-model attention mapping: energy and latency for BERT configurations.
+
+Figure 5 of the paper evaluates a single PE on one attention workload; this
+module scales that analysis to a whole network: it maps every self-attention
+block of a BERT-style configuration onto an accelerator with one or more
+MAGNet-style PEs and accumulates the SELF+Softmax energy (and, with the
+latency model, the cycle count) across heads and layers.
+
+This is the view a deployment engineer cares about ("how many microjoules
+does Softermax save me per BERT-Large inference at sequence length 512?"),
+and it is a direct composition of the per-PE models that reproduce the
+paper's Table IV / Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from repro.hardware.energy_model import AttentionWorkload, attention_energy
+from repro.hardware.pe import PEConfig, ProcessingElement
+from repro.hardware.performance import (
+    BASELINE_LATENCY,
+    SOFTERMAX_LATENCY,
+    attention_latency,
+)
+from repro.hardware.technology import Technology
+from repro.models.bert import BertConfig
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """A small accelerator: several PEs sharing a global buffer."""
+
+    pe_config: PEConfig
+    num_pes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_pes < 1:
+            raise ValueError("num_pes must be >= 1")
+
+    @classmethod
+    def default(cls) -> "AcceleratorConfig":
+        return cls(pe_config=PEConfig.wide32(), num_pes=16)
+
+
+@dataclass
+class ModelAttentionCost:
+    """Energy/latency of all self-attention score+softmax work in a model."""
+
+    model_name: str
+    seq_len: int
+    softmax_impl: str
+    energy_uj: float
+    cycles: int
+    per_layer_energy_uj: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "model": self.model_name,
+            "seq_len": self.seq_len,
+            "softmax_impl": self.softmax_impl,
+            "energy_uj": self.energy_uj,
+            "cycles": self.cycles,
+            "per_layer_energy_uj": self.per_layer_energy_uj,
+        }
+
+
+def model_attention_cost(
+    model_config: BertConfig,
+    seq_len: int,
+    softmax_impl: str = "softermax",
+    accelerator: AcceleratorConfig | None = None,
+    tech: Technology | None = None,
+) -> ModelAttentionCost:
+    """Energy and cycles for all SELF+Softmax work of one forward pass.
+
+    The attention heads of each layer are distributed across the
+    accelerator's PEs; energy adds up regardless of the distribution, while
+    the cycle count assumes perfect head-level parallelism across PEs
+    (heads mapped round-robin, the slowest PE determines the latency).
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be >= 1")
+    accelerator = accelerator or AcceleratorConfig.default()
+    pe = ProcessingElement(config=accelerator.pe_config, softmax_impl=softmax_impl,
+                           tech=tech or Technology())
+
+    head_dim = model_config.head_dim
+    per_layer_workload = AttentionWorkload(
+        seq_len=seq_len, head_dim=head_dim, num_heads=model_config.num_heads
+    )
+    per_layer_energy = attention_energy(pe, per_layer_workload).total_uj
+    total_energy = per_layer_energy * model_config.num_layers
+
+    latency_model = SOFTERMAX_LATENCY if softmax_impl == "softermax" else BASELINE_LATENCY
+    heads_per_pe = -(-model_config.num_heads // accelerator.num_pes)
+    per_layer_cycles = attention_latency(
+        seq_len, latency_model, accelerator.pe_config,
+        head_dim=head_dim, num_heads=heads_per_pe,
+    )
+    total_cycles = per_layer_cycles * model_config.num_layers
+
+    return ModelAttentionCost(
+        model_name=model_config.name,
+        seq_len=seq_len,
+        softmax_impl=softmax_impl,
+        energy_uj=total_energy,
+        cycles=int(total_cycles),
+        per_layer_energy_uj=per_layer_energy,
+    )
+
+
+@dataclass
+class ModelComparison:
+    """Softermax vs baseline attention cost for one model/sequence length."""
+
+    softermax: ModelAttentionCost
+    baseline: ModelAttentionCost
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.softermax.energy_uj / self.baseline.energy_uj
+
+    @property
+    def cycle_ratio(self) -> float:
+        return self.softermax.cycles / self.baseline.cycles
+
+    @property
+    def energy_saved_uj(self) -> float:
+        return self.baseline.energy_uj - self.softermax.energy_uj
+
+
+def compare_model_attention(
+    model_config: BertConfig,
+    seq_len: int,
+    accelerator: AcceleratorConfig | None = None,
+) -> ModelComparison:
+    """Softermax-vs-baseline comparison of a full model's attention cost."""
+    return ModelComparison(
+        softermax=model_attention_cost(model_config, seq_len, "softermax", accelerator),
+        baseline=model_attention_cost(model_config, seq_len, "designware", accelerator),
+    )
+
+
+def model_sweep(
+    model_configs: Iterable[BertConfig],
+    seq_lens: Iterable[int] = (128, 384, 512, 1024, 2048),
+    accelerator: AcceleratorConfig | None = None,
+) -> List[ModelComparison]:
+    """Sweep Softermax-vs-baseline attention cost over models and seq lens."""
+    comparisons: List[ModelComparison] = []
+    for config in model_configs:
+        for seq_len in seq_lens:
+            comparisons.append(compare_model_attention(config, seq_len, accelerator))
+    return comparisons

@@ -1,0 +1,140 @@
+"""Analytic models of the DesignWare-style FP16 softmax baseline.
+
+The paper's baseline implements the numerically-stable softmax with
+DesignWare FP16 components: an explicit max pass, FP16 subtract, FP16
+exponential (base e), FP16 accumulation and FP16 division.  These models
+mirror :mod:`repro.hardware.softermax_units` -- including the surrounding
+micro-architecture (operand conversion from the 24-bit MAC accumulators,
+staging/pipeline registers, control overhead) -- so the two designs can be
+compared like-for-like at the unit and PE level (paper Table IV and the
+section VI.B text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.softermax_units import CONTROL_OVERHEAD
+from repro.hardware.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.hardware.units import AreaBreakdown, EnergyBreakdown, HardwareUnit
+
+
+@dataclass
+class BaselineUnnormedUnit(HardwareUnit):
+    """FP16 max / exponential / accumulation datapath (per-PE baseline unit).
+
+    Because the baseline uses the numerically stable two-pass softmax, every
+    score element is touched twice: once by the max pass and once by the
+    subtract-exponentiate-accumulate pass.  The extra pass shows up as extra
+    operand staging energy per element (the scores must be re-read from the
+    PE-local buffer), which is one of the two inefficiencies Softermax
+    removes (the other being the expensive FP16 exponential itself).
+    """
+
+    vector_size: int = 32
+    precision_bits: int = 16
+    accumulator_bits: int = 24
+    tech: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    name: str = "designware_unnormed"
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+
+    def area(self) -> AreaBreakdown:
+        tech, v = self.tech, self.vector_size
+        area = AreaBreakdown()
+        # Convert the 24-bit integer accumulator scores to FP16 (normalize +
+        # round: roughly an FP16 adder's datapath) and stage them.
+        area.add("int_to_fp_converters", v * tech.fp16_adder_area)
+        area.add("input_staging_registers", v * tech.register_area(self.accumulator_bits))
+        area.add("max_compare_tree", max(0, v - 1) * tech.fp16_comparator_area)
+        area.add("max_subtract", v * tech.fp16_adder_area)
+        area.add("exp_units", v * tech.fp16_exp_area)
+        area.add("accumulate_adder_tree", max(0, v - 1) * tech.fp16_adder_area)
+        area.add("running_sum_adder", tech.fp16_adder_area)
+        area.add("state_registers", tech.register_area(2 * self.precision_bits))
+        area.add("pipeline_registers", v * tech.register_area(2 * self.precision_bits))
+        area.add("output_registers", v * tech.register_area(self.precision_bits))
+        area.add("control", CONTROL_OVERHEAD * area.total)
+        return area
+
+    def slice_energy(self) -> EnergyBreakdown:
+        """Energy to process one ``vector_size``-wide slice of scores."""
+        tech, v = self.tech, self.vector_size
+        energy = EnergyBreakdown()
+        energy.add("int_to_fp_converters", v * tech.fp16_adder_energy)
+        energy.add("input_staging_registers", v * tech.register_energy(self.accumulator_bits))
+        # Pass 1: find the max (and re-stage the operands for pass 2).
+        energy.add("max_compare_tree", max(0, v - 1) * tech.fp16_comparator_energy)
+        energy.add("second_pass_restage", v * tech.sram_read_energy(self.precision_bits))
+        # Pass 2: subtract, exponentiate, accumulate.
+        energy.add("max_subtract", v * tech.fp16_adder_energy)
+        energy.add("exp_units", v * tech.fp16_exp_energy)
+        energy.add("accumulate_adder_tree", max(0, v - 1) * tech.fp16_adder_energy)
+        energy.add("running_sum_adder", tech.fp16_adder_energy)
+        energy.add("state_registers", tech.register_energy(2 * self.precision_bits))
+        energy.add("pipeline_registers", v * tech.register_energy(2 * self.precision_bits))
+        energy.add("output_registers", v * tech.register_energy(self.precision_bits))
+        energy.add("control", CONTROL_OVERHEAD * energy.total)
+        return energy
+
+    def row_energy(self, seq_len: int) -> EnergyBreakdown:
+        """Energy to process one attention row of ``seq_len`` scores."""
+        if seq_len < 1:
+            raise ValueError("seq_len must be >= 1")
+        num_slices = -(-seq_len // self.vector_size)
+        return self.slice_energy().scaled(float(num_slices))
+
+    def energy_per_element(self) -> float:
+        return self.slice_energy().total / self.vector_size
+
+
+@dataclass
+class BaselineNormalizationUnit(HardwareUnit):
+    """FP16 division datapath (the baseline's normalization stage)."""
+
+    vector_size: int = 32
+    precision_bits: int = 16
+    output_bits: int = 16
+    tech: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    name: str = "designware_normalization"
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+
+    def area(self) -> AreaBreakdown:
+        tech, v = self.tech, self.vector_size
+        area = AreaBreakdown()
+        area.add("input_staging_registers", v * tech.register_area(self.precision_bits))
+        area.add("dividers", v * tech.fp16_div_area)
+        area.add("pipeline_registers", v * tech.register_area(2 * self.precision_bits))
+        area.add("output_registers", v * tech.register_area(self.output_bits))
+        area.add("denominator_register", tech.register_area(self.precision_bits))
+        area.add("control", CONTROL_OVERHEAD * area.total)
+        return area
+
+    def reciprocal_energy(self) -> EnergyBreakdown:
+        """Per-row setup energy (staging the denominator)."""
+        energy = EnergyBreakdown()
+        energy.add("denominator_register", self.tech.register_energy(self.precision_bits))
+        return energy
+
+    def element_energy(self) -> EnergyBreakdown:
+        """Energy to divide one numerator element by the denominator."""
+        tech = self.tech
+        energy = EnergyBreakdown()
+        energy.add("input_staging_registers", tech.register_energy(self.precision_bits))
+        energy.add("dividers", tech.fp16_div_energy)
+        energy.add("pipeline_registers", tech.register_energy(2 * self.precision_bits))
+        energy.add("output_registers", tech.register_energy(self.output_bits))
+        return energy
+
+    def row_energy(self, seq_len: int) -> EnergyBreakdown:
+        if seq_len < 1:
+            raise ValueError("seq_len must be >= 1")
+        energy = self.reciprocal_energy()
+        energy.merge(self.element_energy().scaled(seq_len))
+        energy.add("control", CONTROL_OVERHEAD * energy.total)
+        return energy

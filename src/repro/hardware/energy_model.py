@@ -1,0 +1,242 @@
+"""Workload energy model: self-attention + softmax on a MAGNet-style PE.
+
+The paper's hardware evaluation (Table IV and Figure 5) measures the
+"SELF+Softmax" workload: the ``Q x K^T`` score matrix computation followed
+by the softmax over each row, for a given sequence length.  This module
+counts the operations of that workload and prices them with the PE model:
+
+* MACs for the score matrix (``seq_len^2 x head_dim`` multiply-accumulates),
+* operand reads/writes against the PE-local buffers,
+* the softmax itself (Unnormed Softmax + Normalization units), and
+* writing the normalized probabilities back toward the global buffer.
+
+The same accounting runs for the Softermax PE and the DesignWare baseline
+PE, giving the area/energy ratios of Table IV and the sequence-length sweep
+of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.hardware.pe import PEConfig, ProcessingElement
+from repro.hardware.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.hardware.units import EnergyBreakdown, ratio
+
+
+@dataclass(frozen=True)
+class AttentionWorkload:
+    """One self-attention score+softmax workload (single head unless noted).
+
+    Parameters
+    ----------
+    seq_len:
+        Sequence length (number of query and key positions).
+    head_dim:
+        Feature dimension per head (64 for BERT).
+    num_heads:
+        Number of heads executed (1 for unit-level studies; the full-model
+        sweeps multiply by the head and layer counts).
+    """
+
+    seq_len: int = 384
+    head_dim: int = 64
+    num_heads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1 or self.head_dim < 1 or self.num_heads < 1:
+            raise ValueError("workload dimensions must be >= 1")
+
+    @property
+    def num_score_elements(self) -> int:
+        """Total number of attention-score elements (softmax inputs)."""
+        return self.num_heads * self.seq_len * self.seq_len
+
+    @property
+    def num_macs(self) -> int:
+        """Total multiply-accumulates in the Q x K^T score computation."""
+        return self.num_heads * self.seq_len * self.seq_len * self.head_dim
+
+    @property
+    def num_rows(self) -> int:
+        """Number of softmax rows."""
+        return self.num_heads * self.seq_len
+
+    @classmethod
+    def squad(cls) -> "AttentionWorkload":
+        """The SQuAD workload of Table IV (sequence length 384)."""
+        return cls(seq_len=384)
+
+
+def attention_energy(pe: ProcessingElement, workload: AttentionWorkload) -> EnergyBreakdown:
+    """Itemized energy of the SELF+Softmax workload on a PE (in pJ)."""
+    cfg = pe.config
+    energy = EnergyBreakdown()
+
+    # --- score matrix (SELF): Q x K^T --------------------------------- #
+    energy.add("self_mac", workload.num_macs * pe.mac_energy())
+    # Operand traffic: with an output-stationary dataflow each Q row is read
+    # once per output row and each K row once per output element slice; we
+    # charge one 8-bit read per MAC operand pair amortized over the vector
+    # width (the vector MAC shares one operand broadcast across lanes).
+    operand_reads = workload.num_macs / cfg.vector_size * 2
+    energy.add("self_operand_reads",
+               operand_reads * pe.operand_read_energy(cfg.activation_bits))
+    # Accumulator collector writes: one per score element.
+    energy.add("self_score_writes",
+               workload.num_score_elements * pe.operand_write_energy(cfg.accumulation_bits))
+
+    # --- softmax -------------------------------------------------------- #
+    per_row = pe.softmax_row_energy(workload.seq_len)
+    energy.merge(per_row.scaled(workload.num_rows), prefix="softmax.")
+    # Scores are read out of the accumulation collector into the softmax
+    # unit once (Softermax) or effectively twice (baseline; the extra pass
+    # is already charged inside the baseline unnormed unit model).
+    energy.add("softmax_score_reads",
+               workload.num_score_elements * pe.operand_read_energy(cfg.accumulation_bits))
+    # Normalized probabilities stream toward the global buffer.
+    energy.add("softmax_output_writes",
+               workload.num_score_elements * pe.global_transfer_energy(pe.softmax_output_bits()))
+
+    return energy
+
+
+@dataclass
+class ComparisonRow:
+    """One row of a Softermax-vs-baseline comparison."""
+
+    label: str
+    softermax_value: float
+    baseline_value: float
+
+    @property
+    def ratio(self) -> float:
+        return ratio(self.softermax_value, self.baseline_value)
+
+    @property
+    def improvement(self) -> float:
+        """Baseline / Softermax (how many times better Softermax is)."""
+        return ratio(self.baseline_value, self.softermax_value)
+
+
+@dataclass
+class Table4Result:
+    """The three comparisons of paper Table IV (area and energy)."""
+
+    area_rows: List[ComparisonRow] = field(default_factory=list)
+    energy_rows: List[ComparisonRow] = field(default_factory=list)
+
+    def area_ratio(self, label: str) -> float:
+        return _find(self.area_rows, label).ratio
+
+    def energy_ratio(self, label: str) -> float:
+        return _find(self.energy_rows, label).ratio
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            "area": {row.label: row.ratio for row in self.area_rows},
+            "energy": {row.label: row.ratio for row in self.energy_rows},
+        }
+
+
+def _find(rows: List[ComparisonRow], label: str) -> ComparisonRow:
+    for row in rows:
+        if row.label == label:
+            return row
+    raise KeyError(f"no comparison row labelled {label!r}")
+
+
+def compute_table4(
+    pe_config: PEConfig | None = None,
+    workload: AttentionWorkload | None = None,
+    tech: Technology | None = None,
+) -> Table4Result:
+    """Reproduce paper Table IV: unit-level and PE-level area/energy ratios."""
+    pe_config = pe_config or PEConfig.wide32()
+    workload = workload or AttentionWorkload.squad()
+    tech = tech or DEFAULT_TECHNOLOGY
+
+    softermax_pe = ProcessingElement(config=pe_config, softmax_impl="softermax", tech=tech)
+    baseline_pe = ProcessingElement(config=pe_config, softmax_impl="designware", tech=tech)
+
+    result = Table4Result()
+
+    # --- areas ---------------------------------------------------------- #
+    result.area_rows.append(ComparisonRow(
+        "Unnormed Softmax Unit",
+        softermax_pe.unnormed_unit.total_area(),
+        baseline_pe.unnormed_unit.total_area(),
+    ))
+    result.area_rows.append(ComparisonRow(
+        "Normalization Unit",
+        softermax_pe.normalization_unit.total_area(),
+        baseline_pe.normalization_unit.total_area(),
+    ))
+    result.area_rows.append(ComparisonRow(
+        "Full PE",
+        softermax_pe.area().total,
+        baseline_pe.area().total,
+    ))
+
+    # --- energies (SELF+Softmax on the SQuAD workload) ------------------ #
+    softermax_unnormed = softermax_pe.unnormed_unit.row_energy(workload.seq_len).total
+    baseline_unnormed = baseline_pe.unnormed_unit.row_energy(workload.seq_len).total
+    result.energy_rows.append(ComparisonRow(
+        "Unnormed Softmax Unit",
+        softermax_unnormed * workload.num_rows,
+        baseline_unnormed * workload.num_rows,
+    ))
+    softermax_norm = softermax_pe.normalization_unit.row_energy(workload.seq_len).total
+    baseline_norm = baseline_pe.normalization_unit.row_energy(workload.seq_len).total
+    result.energy_rows.append(ComparisonRow(
+        "Normalization Unit",
+        softermax_norm * workload.num_rows,
+        baseline_norm * workload.num_rows,
+    ))
+    result.energy_rows.append(ComparisonRow(
+        "Full PE",
+        attention_energy(softermax_pe, workload).total,
+        attention_energy(baseline_pe, workload).total,
+    ))
+    return result
+
+
+@dataclass
+class SweepPoint:
+    """One point of the Figure 5 sequence-length sweep."""
+
+    seq_len: int
+    vector_size: int
+    softermax_energy_uj: float
+    baseline_energy_uj: float
+
+    @property
+    def ratio(self) -> float:
+        return ratio(self.softermax_energy_uj, self.baseline_energy_uj)
+
+
+def sequence_length_sweep(
+    seq_lens: Iterable[int] = (128, 256, 384, 512, 1024, 2048, 4096),
+    vector_sizes: Iterable[int] = (16, 32),
+    head_dim: int = 64,
+    tech: Technology | None = None,
+) -> List[SweepPoint]:
+    """Reproduce paper Figure 5: PE energy vs sequence length, 16/32-wide."""
+    tech = tech or DEFAULT_TECHNOLOGY
+    points: List[SweepPoint] = []
+    for vector_size in vector_sizes:
+        pe_config = PEConfig.wide32() if vector_size == 32 else PEConfig.wide16()
+        if vector_size not in (16, 32):
+            pe_config = PEConfig(vector_size=vector_size, num_lanes=vector_size)
+        softermax_pe = ProcessingElement(config=pe_config, softmax_impl="softermax", tech=tech)
+        baseline_pe = ProcessingElement(config=pe_config, softmax_impl="designware", tech=tech)
+        for seq_len in seq_lens:
+            workload = AttentionWorkload(seq_len=seq_len, head_dim=head_dim)
+            points.append(SweepPoint(
+                seq_len=seq_len,
+                vector_size=vector_size,
+                softermax_energy_uj=attention_energy(softermax_pe, workload).total_uj,
+                baseline_energy_uj=attention_energy(baseline_pe, workload).total_uj,
+            ))
+    return points

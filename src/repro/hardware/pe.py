@@ -1,0 +1,186 @@
+"""MAGNet-style processing element (PE) model.
+
+MAGNet (the paper's reference [17]) is a modular DNN-accelerator generator;
+its PE contains a vector MAC datapath (``vector_size`` MACs per lane times
+``num_lanes`` lanes), weight/input buffers, an accumulation collector and a
+post-processing unit (PPU).  The paper integrates the Unnormed Softmax unit
+into the PPU of each PE and the Normalization unit between the PEs and the
+global buffer.
+
+The PE model composes the technology primitives into an itemized area and
+provides the per-operation energies the workload energy model needs.  Two
+softmax implementations can be plugged in: ``"softermax"`` and
+``"designware"`` (the FP16 baseline), mirroring Table II of the paper for
+the PE parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.config import SoftermaxConfig
+from repro.hardware.baseline_units import BaselineNormalizationUnit, BaselineUnnormedUnit
+from repro.hardware.softermax_units import SoftermaxNormalizationUnit, SoftermaxUnnormedUnit
+from repro.hardware.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.hardware.units import AreaBreakdown, EnergyBreakdown, HardwareUnit
+
+#: Valid softmax implementation names for the PE.
+SOFTMAX_IMPLEMENTATIONS = ("softermax", "designware")
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """MAGNet PE design parameters (paper Table II).
+
+    The paper evaluates 16-wide and 32-wide configurations; the buffer sizes
+    listed in Table II are per configuration (16 KB/32 KB input buffer,
+    32 KB/128 KB weight buffer, 6 KB/12 KB accumulation collector).
+    """
+
+    vector_size: int = 32
+    num_lanes: int = 32
+    weight_bits: int = 8
+    activation_bits: int = 8
+    accumulation_bits: int = 24
+    input_buffer_bytes: int = 32 * 1024
+    weight_buffer_bytes: int = 128 * 1024
+    accum_collector_bytes: int = 12 * 1024
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1 or self.num_lanes < 1:
+            raise ValueError("vector_size and num_lanes must be >= 1")
+
+    @property
+    def num_macs(self) -> int:
+        return self.vector_size * self.num_lanes
+
+    @classmethod
+    def wide32(cls) -> "PEConfig":
+        """The 32-wide configuration of paper Table II."""
+        return cls()
+
+    @classmethod
+    def wide16(cls) -> "PEConfig":
+        """The 16-wide configuration of paper Table II."""
+        return cls(
+            vector_size=16,
+            num_lanes=16,
+            input_buffer_bytes=16 * 1024,
+            weight_buffer_bytes=32 * 1024,
+            accum_collector_bytes=6 * 1024,
+        )
+
+
+@dataclass
+class ProcessingElement(HardwareUnit):
+    """A MAGNet-style PE with a pluggable softmax implementation."""
+
+    config: PEConfig = field(default_factory=PEConfig.wide32)
+    softmax_impl: str = "softermax"
+    softermax_config: SoftermaxConfig = field(default_factory=SoftermaxConfig.paper_table1)
+    tech: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    name: str = "magnet_pe"
+
+    def __post_init__(self) -> None:
+        if self.softmax_impl not in SOFTMAX_IMPLEMENTATIONS:
+            raise ValueError(
+                f"softmax_impl must be one of {SOFTMAX_IMPLEMENTATIONS}, got {self.softmax_impl!r}"
+            )
+        if self.softmax_impl == "softermax":
+            self.unnormed_unit: HardwareUnit = SoftermaxUnnormedUnit(
+                vector_size=self.config.vector_size,
+                config=self.softermax_config,
+                tech=self.tech,
+            )
+            self.normalization_unit = SoftermaxNormalizationUnit(
+                vector_size=self.config.vector_size,
+                config=self.softermax_config,
+                tech=self.tech,
+            )
+        else:
+            self.unnormed_unit = BaselineUnnormedUnit(
+                vector_size=self.config.vector_size, tech=self.tech
+            )
+            self.normalization_unit = BaselineNormalizationUnit(
+                vector_size=self.config.vector_size, tech=self.tech
+            )
+
+    # ------------------------------------------------------------------ #
+    # area
+    # ------------------------------------------------------------------ #
+    def mac_array_area(self) -> float:
+        cfg, tech = self.config, self.tech
+        per_mac = tech.int_mac_area(cfg.weight_bits, cfg.activation_bits, cfg.accumulation_bits)
+        return per_mac * cfg.num_macs
+
+    def buffer_area(self) -> Tuple[float, float, float]:
+        tech, cfg = self.tech, self.config
+        return (
+            tech.sram_area(cfg.input_buffer_bytes),
+            tech.sram_area(cfg.weight_buffer_bytes),
+            tech.sram_area(cfg.accum_collector_bytes),
+        )
+
+    def ppu_other_area(self) -> float:
+        """Non-softmax post-processing (ReLU/pooling/scaling) per lane."""
+        tech, cfg = self.tech, self.config
+        per_lane = (
+            tech.int_adder_area(cfg.accumulation_bits)
+            + tech.int_multiplier_area(cfg.accumulation_bits, 8)
+            + tech.register_area(cfg.accumulation_bits)
+        )
+        return per_lane * cfg.vector_size
+
+    def area(self, include_normalization_unit: bool = True) -> AreaBreakdown:
+        """Itemized PE area.
+
+        The Normalization unit is architecturally shared between PEs and the
+        global buffer; by default it is included (amortized entirely into
+        this PE) so that "Full PE" comparisons account for both units, as
+        the paper's Table IV does.
+        """
+        area = AreaBreakdown()
+        area.add("mac_array", self.mac_array_area())
+        input_b, weight_b, accum_b = self.buffer_area()
+        area.add("input_buffer", input_b)
+        area.add("weight_buffer", weight_b)
+        area.add("accumulation_collector", accum_b)
+        area.add("ppu_other", self.ppu_other_area())
+        area.merge(self.unnormed_unit.area(), prefix="softmax_unnormed.")
+        if include_normalization_unit:
+            area.merge(self.normalization_unit.area(), prefix="softmax_norm.")
+        return area
+
+    # ------------------------------------------------------------------ #
+    # per-operation energies (used by the workload energy model)
+    # ------------------------------------------------------------------ #
+    def mac_energy(self) -> float:
+        """Energy of one 8-bit MAC with a 24-bit accumulator (pJ)."""
+        cfg, tech = self.config, self.tech
+        return tech.int_mac_energy(cfg.weight_bits, cfg.activation_bits, cfg.accumulation_bits)
+
+    def operand_read_energy(self, bits: int) -> float:
+        """Energy to read one operand from a PE-local buffer (pJ)."""
+        return self.tech.sram_read_energy(bits)
+
+    def operand_write_energy(self, bits: int) -> float:
+        """Energy to write one value into a PE-local buffer (pJ)."""
+        return self.tech.sram_write_energy(bits)
+
+    def global_transfer_energy(self, bits: int) -> float:
+        """Energy to move one value to/from the global buffer (pJ)."""
+        return self.tech.global_buffer_energy(bits)
+
+    def softmax_row_energy(self, seq_len: int) -> EnergyBreakdown:
+        """Energy to softmax one attention row of length ``seq_len``."""
+        energy = EnergyBreakdown()
+        energy.merge(self.unnormed_unit.row_energy(seq_len), prefix="unnormed.")
+        energy.merge(self.normalization_unit.row_energy(seq_len), prefix="norm.")
+        return energy
+
+    def softmax_output_bits(self) -> int:
+        """Width of a softmax output element written back to the buffers."""
+        if self.softmax_impl == "softermax":
+            return self.softermax_config.output_fmt.total_bits
+        return 16

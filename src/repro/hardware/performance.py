@@ -1,0 +1,222 @@
+"""Latency / throughput model for the softmax datapaths.
+
+Besides area and energy, the paper motivates online normalization with the
+*latency and memory overhead* of the explicit max pass (section II-B): the
+numerically-stable softmax must traverse the score vector once to find the
+maximum and a second time to exponentiate and accumulate, while Softermax's
+online normalization does everything in a single pass and therefore can be
+overlapped with the MAC datapath that produces the scores.
+
+This module provides a simple cycle model for both designs integrated into a
+MAGNet-style PE:
+
+* the PE produces ``vector_size`` attention scores per cycle (one vector MAC
+  result per lane),
+* the softmax unit consumes ``vector_size`` scores per cycle once they are
+  available, and
+* the normalization stage streams the unnormalized outputs toward the global
+  buffer at ``vector_size`` elements per cycle once the row's denominator is
+  known.
+
+The interesting output is the *latency per attention row* and the achievable
+*throughput* (rows per 1000 cycles) as a function of sequence length -- the
+quantities behind the paper's "off the critical path" integration argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.hardware.pe import PEConfig
+
+
+@dataclass(frozen=True)
+class SoftmaxLatencyModel:
+    """Pipeline latencies (in cycles) of one softmax implementation."""
+
+    #: Name used in reports.
+    name: str
+    #: Cycles of pipeline depth through the exponential path for one slice.
+    exp_pipeline_depth: int
+    #: Cycles of pipeline depth through the normalization/divide path.
+    norm_pipeline_depth: int
+    #: Number of passes over the score vector required before the
+    #: denominator is known (1 for online normalization, 2 for explicit max).
+    passes_over_scores: int
+
+    def __post_init__(self) -> None:
+        if self.exp_pipeline_depth < 1 or self.norm_pipeline_depth < 1:
+            raise ValueError("pipeline depths must be >= 1")
+        if self.passes_over_scores < 1:
+            raise ValueError("passes_over_scores must be >= 1")
+
+
+#: Softermax: single-pass, shallow fixed-point pipelines.
+SOFTERMAX_LATENCY = SoftmaxLatencyModel(
+    name="softermax", exp_pipeline_depth=3, norm_pipeline_depth=3, passes_over_scores=1
+)
+#: DesignWare-style baseline: explicit max pass plus deep FP16 pipelines.
+BASELINE_LATENCY = SoftmaxLatencyModel(
+    name="designware", exp_pipeline_depth=8, norm_pipeline_depth=12, passes_over_scores=2
+)
+
+
+@dataclass
+class RowLatencyBreakdown:
+    """Cycle counts for softmaxing one attention row of ``seq_len`` scores."""
+
+    seq_len: int
+    vector_size: int
+    score_generation_cycles: int
+    max_pass_cycles: int
+    exponential_cycles: int
+    normalization_cycles: int
+
+    @property
+    def softmax_cycles(self) -> int:
+        """Cycles attributable to the softmax itself (excluding the MACs)."""
+        return self.max_pass_cycles + self.exponential_cycles + self.normalization_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return self.score_generation_cycles + self.softmax_cycles
+
+    @property
+    def softmax_overhead_fraction(self) -> float:
+        """Fraction of the row latency spent in softmax stages."""
+        return self.softmax_cycles / self.total_cycles
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "score_generation": self.score_generation_cycles,
+            "max_pass": self.max_pass_cycles,
+            "exponential": self.exponential_cycles,
+            "normalization": self.normalization_cycles,
+        }
+
+
+def row_latency(
+    seq_len: int,
+    model: SoftmaxLatencyModel,
+    pe_config: PEConfig | None = None,
+    head_dim: int = 64,
+) -> RowLatencyBreakdown:
+    """Latency to produce and softmax one attention row on the PE.
+
+    Parameters
+    ----------
+    seq_len:
+        Number of scores in the row (key positions).
+    model:
+        The softmax implementation's latency parameters.
+    pe_config:
+        PE geometry (vector width and lane count).
+    head_dim:
+        Inner dimension of the Q x K^T dot products.
+    """
+    if seq_len < 1:
+        raise ValueError("seq_len must be >= 1")
+    pe_config = pe_config or PEConfig.wide32()
+    v = pe_config.vector_size
+    slices = -(-seq_len // v)
+
+    # The MAC array computes `num_lanes` scores in parallel, each needing
+    # head_dim/vector_size accumulation steps.
+    mac_steps_per_slice = -(-head_dim // v)
+    score_generation = slices * mac_steps_per_slice
+
+    # Explicit-max designs must re-read the whole row before exponentiating.
+    max_pass = slices if model.passes_over_scores > 1 else 0
+
+    # The exponential path is pipelined: one slice per cycle plus the depth.
+    exponential = slices + model.exp_pipeline_depth
+
+    # Normalization streams the row once more (numerator renorm + divide).
+    normalization = slices + model.norm_pipeline_depth
+
+    return RowLatencyBreakdown(
+        seq_len=seq_len,
+        vector_size=v,
+        score_generation_cycles=int(score_generation),
+        max_pass_cycles=int(max_pass),
+        exponential_cycles=int(exponential),
+        normalization_cycles=int(normalization),
+    )
+
+
+def attention_latency(
+    seq_len: int,
+    model: SoftmaxLatencyModel,
+    pe_config: PEConfig | None = None,
+    head_dim: int = 64,
+    num_heads: int = 1,
+) -> int:
+    """Total cycles to score+softmax all rows of ``num_heads`` heads."""
+    if num_heads < 1:
+        raise ValueError("num_heads must be >= 1")
+    per_row = row_latency(seq_len, model, pe_config, head_dim)
+    # Rows are pipelined back to back; the per-row pipeline depths are paid
+    # once per row in this simple (un-overlapped) model.
+    return per_row.total_cycles * seq_len * num_heads
+
+
+@dataclass
+class LatencyComparison:
+    """Softermax vs baseline latency at one sequence length."""
+
+    seq_len: int
+    softermax_cycles: int
+    baseline_cycles: int
+
+    @property
+    def speedup(self) -> float:
+        return self.baseline_cycles / self.softermax_cycles
+
+
+def latency_sweep(
+    seq_lens: Iterable[int] = (128, 256, 384, 512, 1024, 2048),
+    pe_config: PEConfig | None = None,
+    head_dim: int = 64,
+) -> List[LatencyComparison]:
+    """Softermax vs baseline row-latency sweep over sequence lengths."""
+    results: List[LatencyComparison] = []
+    for seq_len in seq_lens:
+        soft = row_latency(seq_len, SOFTERMAX_LATENCY, pe_config, head_dim)
+        base = row_latency(seq_len, BASELINE_LATENCY, pe_config, head_dim)
+        results.append(LatencyComparison(
+            seq_len=seq_len,
+            softermax_cycles=soft.total_cycles,
+            baseline_cycles=base.total_cycles,
+        ))
+    return results
+
+
+@dataclass
+class ThroughputReport:
+    """Rows-per-kilocycle throughput of the two designs."""
+
+    seq_len: int
+    softermax_rows_per_kcycle: float
+    baseline_rows_per_kcycle: float
+
+    @property
+    def improvement(self) -> float:
+        return self.softermax_rows_per_kcycle / self.baseline_rows_per_kcycle
+
+
+def throughput_sweep(
+    seq_lens: Iterable[int] = (128, 384, 1024),
+    pe_config: PEConfig | None = None,
+) -> List[ThroughputReport]:
+    """Throughput (softmaxed rows per 1000 cycles) for both designs."""
+    reports: List[ThroughputReport] = []
+    for seq_len in seq_lens:
+        soft = row_latency(seq_len, SOFTERMAX_LATENCY, pe_config)
+        base = row_latency(seq_len, BASELINE_LATENCY, pe_config)
+        reports.append(ThroughputReport(
+            seq_len=seq_len,
+            softermax_rows_per_kcycle=1000.0 / soft.total_cycles,
+            baseline_rows_per_kcycle=1000.0 / base.total_cycles,
+        ))
+    return reports

@@ -1,0 +1,186 @@
+"""GPU operator-level runtime model (paper Figure 1).
+
+Figure 1 of the paper profiles BERT-Large on a Volta GPU and shows that the
+softmax (and the other non-matmul attention operations) account for a large
+and growing fraction of runtime as the sequence length increases.  The
+underlying reason is structural:
+
+* the matrix multiplies run on tensor cores at very high throughput,
+* softmax/dropout run on the general-purpose/special-function datapath at a
+  throughput that is orders of magnitude lower per element, and
+* the softmax work grows with ``seq_len**2`` (the attention score matrix)
+  while the dominant matmul work grows with ``seq_len * hidden**2``.
+
+This module reproduces that analysis with an explicit operator enumeration
+of a Transformer layer and a simple throughput/bandwidth GPU model.  The
+absolute milliseconds are not calibrated to a V100; the reproduced quantity
+is the runtime *breakdown* (fractions per operator class) and its trend
+with sequence length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List
+
+from repro.models.bert import BertConfig
+
+
+#: Operator classes reported in the breakdown (mirroring Figure 1's legend).
+OP_CLASSES = ("matmul", "softmax", "dropout", "norm_act_other")
+
+
+@dataclass(frozen=True)
+class GPUModel:
+    """Throughput model of a Volta-class GPU.
+
+    Numbers are deliberately round: 100 TFLOP/s of tensor-core matmul
+    throughput (fp16), and elementwise/special-function pipelines that
+    process on the order of 5-10 billion elements per second per operator
+    pass once kernel launch and memory traffic are included.  Softmax is
+    slower per element than dropout because it makes several passes (max,
+    exponential+sum, divide) and uses the special-function unit.
+    """
+
+    name: str = "volta-like"
+    #: Effective tensor-core throughput for large matmuls (FLOP/s).
+    matmul_flops_per_second: float = 100e12
+    #: Effective elements/second for a softmax pass (max+exp+sum+div).
+    softmax_elements_per_second: float = 6e9
+    #: Effective elements/second for dropout (mask generate + multiply).
+    dropout_elements_per_second: float = 18e9
+    #: Effective elements/second for layernorm/residual/activation traffic.
+    elementwise_elements_per_second: float = 25e9
+    #: Fixed per-kernel launch overhead in seconds.
+    kernel_launch_overhead: float = 5e-6
+
+    def matmul_time(self, flops: float, num_kernels: int = 1) -> float:
+        return flops / self.matmul_flops_per_second + num_kernels * self.kernel_launch_overhead
+
+    def softmax_time(self, elements: float, num_kernels: int = 1) -> float:
+        return elements / self.softmax_elements_per_second + num_kernels * self.kernel_launch_overhead
+
+    def dropout_time(self, elements: float, num_kernels: int = 1) -> float:
+        return elements / self.dropout_elements_per_second + num_kernels * self.kernel_launch_overhead
+
+    def elementwise_time(self, elements: float, num_kernels: int = 1) -> float:
+        return (elements / self.elementwise_elements_per_second
+                + num_kernels * self.kernel_launch_overhead)
+
+
+@dataclass
+class OperatorCount:
+    """Work of one Transformer layer, split by operator class."""
+
+    matmul_flops: float = 0.0
+    softmax_elements: float = 0.0
+    dropout_elements: float = 0.0
+    elementwise_elements: float = 0.0
+    matmul_kernels: int = 0
+    softmax_kernels: int = 0
+    dropout_kernels: int = 0
+    elementwise_kernels: int = 0
+
+
+def transformer_layer_counts(config: BertConfig, seq_len: int, batch: int = 1) -> OperatorCount:
+    """Count the work of one Transformer encoder layer (paper Figure 2).
+
+    Matmuls: Q/K/V projections, the score matmul, the context matmul, the
+    attention output projection and the two feed-forward matmuls.  Softmax:
+    one pass over the ``heads x seq x seq`` score tensor.  Dropout: applied
+    to the attention probabilities and to both block outputs.  The
+    "norm_act_other" class covers the layer norms, residual adds and the
+    GELU activation.
+    """
+    if seq_len < 1 or batch < 1:
+        raise ValueError("seq_len and batch must be >= 1")
+    hidden = config.hidden_dim
+    inter = config.intermediate_dim
+    heads = config.num_heads
+
+    counts = OperatorCount()
+
+    # --- matmuls (2 * M * N * K FLOPs each) ----------------------------- #
+    def add_matmul(m: float, n: float, k: float) -> None:
+        counts.matmul_flops += 2.0 * m * n * k * batch
+        counts.matmul_kernels += 1
+
+    add_matmul(seq_len, hidden, hidden)                   # Q projection
+    add_matmul(seq_len, hidden, hidden)                   # K projection
+    add_matmul(seq_len, hidden, hidden)                   # V projection
+    add_matmul(heads * seq_len, seq_len, hidden / heads)  # scores Q K^T
+    add_matmul(heads * seq_len, hidden / heads, seq_len)  # probs x V
+    add_matmul(seq_len, hidden, hidden)                   # attention output proj
+    add_matmul(seq_len, inter, hidden)                    # FFN expand
+    add_matmul(seq_len, hidden, inter)                    # FFN contract
+
+    # --- softmax --------------------------------------------------------- #
+    counts.softmax_elements += float(batch * heads * seq_len * seq_len)
+    counts.softmax_kernels += 1
+
+    # --- dropout --------------------------------------------------------- #
+    counts.dropout_elements += float(batch * heads * seq_len * seq_len)  # attn probs
+    counts.dropout_elements += 2.0 * batch * seq_len * hidden            # block outputs
+    counts.dropout_kernels += 3
+
+    # --- layer norms, residuals, activation ------------------------------ #
+    counts.elementwise_elements += 2.0 * batch * seq_len * hidden  # two layer norms
+    counts.elementwise_elements += 2.0 * batch * seq_len * hidden  # two residual adds
+    counts.elementwise_elements += float(batch * seq_len * inter)  # GELU
+    counts.elementwise_kernels += 5
+
+    return counts
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Per-operator-class runtime of a full network at one sequence length."""
+
+    seq_len: int
+    times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.times.values()))
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total <= 0:
+            raise ZeroDivisionError("runtime total must be positive")
+        return {name: value / total for name, value in self.times.items()}
+
+    @property
+    def softmax_fraction(self) -> float:
+        return self.fractions()["softmax"]
+
+
+def model_runtime_breakdown(config: BertConfig, seq_len: int, batch: int = 1,
+                            gpu: GPUModel | None = None) -> RuntimeBreakdown:
+    """Runtime breakdown of a full encoder (all layers) at one sequence length."""
+    gpu = gpu or GPUModel()
+    layer = transformer_layer_counts(config, seq_len, batch=batch)
+    layers = config.num_layers
+
+    times = {
+        "matmul": gpu.matmul_time(layer.matmul_flops * layers,
+                                  layer.matmul_kernels * layers),
+        "softmax": gpu.softmax_time(layer.softmax_elements * layers,
+                                    layer.softmax_kernels * layers),
+        "dropout": gpu.dropout_time(layer.dropout_elements * layers,
+                                    layer.dropout_kernels * layers),
+        "norm_act_other": gpu.elementwise_time(layer.elementwise_elements * layers,
+                                               layer.elementwise_kernels * layers),
+    }
+    return RuntimeBreakdown(seq_len=seq_len, times=times)
+
+
+def runtime_breakdown_sweep(
+    config: BertConfig | None = None,
+    seq_lens: Iterable[int] = (128, 256, 384, 512, 1024, 2048),
+    batch: int = 1,
+    gpu: GPUModel | None = None,
+) -> List[RuntimeBreakdown]:
+    """Reproduce Figure 1: breakdown vs sequence length for BERT-Large."""
+    config = config or BertConfig.bert_large(max_seq_len=4096)
+    return [model_runtime_breakdown(config, seq_len, batch=batch, gpu=gpu)
+            for seq_len in seq_lens]

@@ -1,0 +1,231 @@
+"""Analytic models of the Softermax hardware units (paper section IV).
+
+Two units are modelled:
+
+* :class:`SoftermaxUnnormedUnit` -- the per-PE unit with the IntMax,
+  Power-of-Two and Reduction sub-units.  It processes one ``vector_size``
+  wide slice of attention scores per invocation, producing unnormalized
+  exponentials and maintaining the per-row running (integer max, sum).
+* :class:`SoftermaxNormalizationUnit` -- the shared unit between the PE and
+  the global buffer: shift-renormalization of the numerator, linear
+  piece-wise reciprocal of the denominator and the final integer multiply.
+
+Besides the arithmetic described in the paper, both models include the
+surrounding micro-architecture any synthesized implementation carries:
+conversion of the 24-bit MAC-accumulator scores into the softmax input
+format (a scale multiplier in the PPU), operand staging and pipeline
+registers, a small register file for the per-row running (max, sum) state,
+and a fixed fractional overhead for control logic.  The DesignWare baseline
+models in :mod:`repro.hardware.baseline_units` carry the equivalent
+components so the comparison stays like-for-like.
+
+Both units expose an itemized :meth:`area` and per-event energies so the PE
+model and the Table IV / Figure 5 benchmarks can compose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SoftermaxConfig
+from repro.hardware.technology import Technology, DEFAULT_TECHNOLOGY
+from repro.hardware.units import AreaBreakdown, EnergyBreakdown, HardwareUnit
+
+#: Fraction of datapath area/energy charged for control logic (FSMs,
+#: handshaking, configuration registers) in an HLS-generated unit.
+CONTROL_OVERHEAD = 0.15
+
+
+@dataclass
+class SoftermaxUnnormedUnit(HardwareUnit):
+    """The Unnormed Softmax unit (IntMax + Power-of-Two + Reduction).
+
+    Parameters
+    ----------
+    vector_size:
+        Number of score elements processed per cycle (one per vector lane of
+        the PE's post-processing unit).
+    config:
+        Softermax operating point; supplies the datapath bit-widths.
+    accumulator_bits:
+        Width of the MAC accumulator delivering the raw attention scores
+        (24 in paper Table II); the unit converts these into the Q(6,2)
+        softmax input format with a scale multiplier.
+    rows_in_flight:
+        Number of attention rows whose running (max, sum) state is kept
+        resident in the unit's state register file.
+    tech:
+        Technology cost model.
+    """
+
+    vector_size: int = 32
+    config: SoftermaxConfig = field(default_factory=SoftermaxConfig.paper_table1)
+    accumulator_bits: int = 24
+    rows_in_flight: int = 8
+    tech: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    name: str = "softermax_unnormed"
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+        if self.rows_in_flight < 1:
+            raise ValueError("rows_in_flight must be >= 1")
+        self._in_bits = self.config.input_fmt.total_bits
+        self._in_int_bits = self.config.input_fmt.int_bits
+        self._unnormed_bits = self.config.unnormed_fmt.total_bits
+        self._sum_bits = self.config.sum_fmt.total_bits
+        self._lpw_entries = self.config.pow2_segments
+        # The power-of-two shifter must cover the full dynamic range of the
+        # unnormalized output (shifting right by up to frac_bits positions).
+        self._pow2_shift_range = self.config.unnormed_fmt.frac_bits + 1
+        self._state_bits = self._sum_bits + self._in_bits
+
+    # ------------------------------------------------------------------ #
+    # area
+    # ------------------------------------------------------------------ #
+    def area(self) -> AreaBreakdown:
+        tech, v = self.tech, self.vector_size
+        area = AreaBreakdown()
+        # Input conversion: scale the 24-bit accumulator score into Q(6,2)
+        # (an 8-bit scale multiplier per lane) and stage it in a register.
+        area.add("input_scale_multiplier",
+                 v * tech.int_multiplier_area(self.accumulator_bits, self._in_bits))
+        area.add("input_staging_registers", v * tech.register_area(self.accumulator_bits))
+        # IntMax: a ceil incrementer per lane plus a comparator tree.
+        area.add("intmax_ceil", v * tech.int_adder_area(self._in_int_bits))
+        area.add("intmax_compare_tree", max(0, v - 1) * tech.comparator_area(self._in_bits))
+        # Subtract the (integer) max from every element before the pow2.
+        area.add("max_subtract", v * tech.int_adder_area(self._in_bits))
+        # Power-of-two unit per lane: m/c LUTs + fraction multiplier is
+        # unused at Q(6,2) input (paper), so only the c LUT + barrel shifter.
+        lut_bits = self._unnormed_bits
+        area.add("pow2_lut", v * tech.lut_area(self._lpw_entries, lut_bits))
+        area.add("pow2_shifter", v * tech.shifter_area(self._unnormed_bits, self._pow2_shift_range))
+        # Reduction: adder tree over the slice, the running-sum merge adder,
+        # the renormalization shifter and the per-row state register file.
+        area.add("reduction_adder_tree", max(0, v - 1) * tech.int_adder_area(self._sum_bits))
+        area.add("running_sum_adder", tech.int_adder_area(self._sum_bits))
+        area.add("renorm_shifter", tech.shifter_area(self._sum_bits, self._sum_bits))
+        area.add("running_max_comparator", tech.comparator_area(self._in_bits))
+        area.add("row_state_regfile",
+                 tech.register_area(self.rows_in_flight * self._state_bits))
+        # Pipeline and output staging registers.
+        area.add("pipeline_registers", v * tech.register_area(2 * self._unnormed_bits))
+        area.add("output_registers", v * tech.register_area(self._unnormed_bits))
+        area.add("control", CONTROL_OVERHEAD * area.total)
+        return area
+
+    # ------------------------------------------------------------------ #
+    # energy
+    # ------------------------------------------------------------------ #
+    def slice_energy(self) -> EnergyBreakdown:
+        """Energy to process one ``vector_size``-wide slice of scores."""
+        tech, v = self.tech, self.vector_size
+        energy = EnergyBreakdown()
+        energy.add("input_scale_multiplier",
+                   v * tech.int_multiplier_energy(self.accumulator_bits, self._in_bits))
+        energy.add("input_staging_registers", v * tech.register_energy(self.accumulator_bits))
+        energy.add("intmax_ceil", v * tech.int_adder_energy(self._in_int_bits))
+        energy.add("intmax_compare_tree", max(0, v - 1) * tech.comparator_energy(self._in_bits))
+        energy.add("max_subtract", v * tech.int_adder_energy(self._in_bits))
+        energy.add("pow2_lut", v * tech.lut_read_energy(self._lpw_entries, self._unnormed_bits))
+        energy.add("pow2_shifter", v * tech.shifter_energy(self._unnormed_bits, self._pow2_shift_range))
+        energy.add("reduction_adder_tree", max(0, v - 1) * tech.int_adder_energy(self._sum_bits))
+        energy.add("running_sum_adder", tech.int_adder_energy(self._sum_bits))
+        energy.add("renorm_shifter", tech.shifter_energy(self._sum_bits, self._sum_bits))
+        energy.add("running_max_comparator", tech.comparator_energy(self._in_bits))
+        # One read-modify-write of the per-row (max, sum) state per slice.
+        energy.add("row_state_regfile", 2.0 * tech.register_energy(self._state_bits))
+        energy.add("pipeline_registers", v * tech.register_energy(2 * self._unnormed_bits))
+        energy.add("output_registers", v * tech.register_energy(self._unnormed_bits))
+        energy.add("control", CONTROL_OVERHEAD * energy.total)
+        return energy
+
+    def row_energy(self, seq_len: int) -> EnergyBreakdown:
+        """Energy to process one full attention row of ``seq_len`` scores.
+
+        Softermax is single-pass: the row is covered once, slice by slice.
+        """
+        if seq_len < 1:
+            raise ValueError("seq_len must be >= 1")
+        num_slices = -(-seq_len // self.vector_size)
+        return self.slice_energy().scaled(float(num_slices))
+
+    def energy_per_element(self) -> float:
+        """Average energy per score element (pJ)."""
+        return self.slice_energy().total / self.vector_size
+
+
+@dataclass
+class SoftermaxNormalizationUnit(HardwareUnit):
+    """The Normalization unit (shift renorm + LPW reciprocal + multiply)."""
+
+    vector_size: int = 32
+    config: SoftermaxConfig = field(default_factory=SoftermaxConfig.paper_table1)
+    tech: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
+    name: str = "softermax_normalization"
+
+    def __post_init__(self) -> None:
+        if self.vector_size < 1:
+            raise ValueError("vector_size must be >= 1")
+        self._unnormed_bits = self.config.unnormed_fmt.total_bits
+        self._sum_bits = self.config.sum_fmt.total_bits
+        self._recip_bits = self.config.recip_fmt.total_bits
+        self._out_bits = self.config.output_fmt.total_bits
+        self._lpw_entries = self.config.recip_segments
+
+    def area(self) -> AreaBreakdown:
+        tech, v = self.tech, self.vector_size
+        area = AreaBreakdown()
+        # Per-lane numerator datapath: staging register, renormalization
+        # shifter, integer multiply by the reciprocal, output rounding and
+        # the output register.
+        area.add("input_staging_registers", v * tech.register_area(self._unnormed_bits))
+        area.add("numerator_shifter", v * tech.shifter_area(self._unnormed_bits, self._unnormed_bits))
+        area.add("numerator_multiplier",
+                 v * tech.int_multiplier_area(self._unnormed_bits, self._recip_bits))
+        area.add("output_round", v * tech.int_adder_area(self._out_bits))
+        area.add("pipeline_registers", v * tech.register_area(2 * self._unnormed_bits))
+        area.add("output_registers", v * tech.register_area(self._out_bits))
+        # Shared per-row reciprocal: leading-one detect (a comparator chain),
+        # normalization shifter, the reciprocal LUT and a small multiplier.
+        area.add("recip_leading_one", tech.comparator_area(self._sum_bits))
+        area.add("recip_normalize_shifter", tech.shifter_area(self._sum_bits, self._sum_bits))
+        area.add("recip_lut", tech.lut_area(self._lpw_entries, 2 * self._recip_bits))
+        area.add("recip_multiplier", tech.int_multiplier_area(self._recip_bits, self._recip_bits))
+        area.add("recip_register", tech.register_area(self._recip_bits))
+        area.add("control", CONTROL_OVERHEAD * area.total)
+        return area
+
+    def reciprocal_energy(self) -> EnergyBreakdown:
+        """Energy to produce the reciprocal of one row's denominator."""
+        tech = self.tech
+        energy = EnergyBreakdown()
+        energy.add("recip_leading_one", tech.comparator_energy(self._sum_bits))
+        energy.add("recip_normalize_shifter", tech.shifter_energy(self._sum_bits, self._sum_bits))
+        energy.add("recip_lut", tech.lut_read_energy(self._lpw_entries, 2 * self._recip_bits))
+        energy.add("recip_multiplier", tech.int_multiplier_energy(self._recip_bits, self._recip_bits))
+        energy.add("recip_register", tech.register_energy(self._recip_bits))
+        return energy
+
+    def element_energy(self) -> EnergyBreakdown:
+        """Energy to renormalize and divide one numerator element."""
+        tech = self.tech
+        energy = EnergyBreakdown()
+        energy.add("input_staging_registers", tech.register_energy(self._unnormed_bits))
+        energy.add("numerator_shifter", tech.shifter_energy(self._unnormed_bits, self._unnormed_bits))
+        energy.add("numerator_multiplier",
+                   tech.int_multiplier_energy(self._unnormed_bits, self._recip_bits))
+        energy.add("output_round", tech.int_adder_energy(self._out_bits))
+        energy.add("pipeline_registers", tech.register_energy(2 * self._unnormed_bits))
+        energy.add("output_registers", tech.register_energy(self._out_bits))
+        return energy
+
+    def row_energy(self, seq_len: int) -> EnergyBreakdown:
+        """Energy to normalize one full attention row."""
+        if seq_len < 1:
+            raise ValueError("seq_len must be >= 1")
+        energy = self.reciprocal_energy()
+        energy.merge(self.element_energy().scaled(seq_len))
+        energy.add("control", CONTROL_OVERHEAD * energy.total)
+        return energy

@@ -1,0 +1,190 @@
+"""Technology model: per-primitive area and energy constants.
+
+The paper implements its units with HLS + Synopsys synthesis in TSMC 7 nm at
+0.67 V and reports *relative* area and energy.  Offline we cannot synthesize
+RTL, so this module provides an analytic technology model: every datapath
+primitive (integer adder, multiplier, shifter, comparator, LUT, register,
+floating-point operators, SRAM access) gets an area estimate in µm² and an
+energy-per-operation estimate in pJ, with simple and well-documented scaling
+rules (linear in bit-width for adders/shifters/comparators, quadratic in
+operand widths for multipliers, and published relative costs for FP
+operators and special functions).
+
+The absolute values are round numbers in the right order of magnitude for a
+7 nm-class process (derived by scaling the widely used 45 nm energy tables
+by roughly an order of magnitude); every result reported by this library is
+a *ratio* between two designs evaluated under the same model, which is the
+quantity the paper reports as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Area/energy primitive costs for a 7 nm-class logic process.
+
+    Area is reported in µm², energy in pJ.  The per-bit / per-partial-product
+    constants are the calibration points; the methods below derive every
+    datapath primitive from them.
+    """
+
+    name: str = "tsmc7nm-0.67v"
+
+    # --- logic primitives (per bit / per partial-product bit) ------------- #
+    #: Area of one bit of a ripple/carry-select adder datapath.
+    adder_area_per_bit: float = 0.9
+    #: Energy of one bit of integer addition.
+    adder_energy_per_bit: float = 0.0004
+    #: Area of one partial-product bit of an integer array multiplier.
+    multiplier_area_per_pp_bit: float = 0.55
+    #: Energy of one partial-product bit of an integer multiply.
+    multiplier_energy_per_pp_bit: float = 0.0002
+    #: Area of one bit of one mux stage of a barrel shifter.
+    shifter_area_per_bit_stage: float = 0.45
+    #: Energy of one bit of one mux stage of a barrel shifter.
+    shifter_energy_per_bit_stage: float = 0.0004
+    #: Area per bit of a comparator (max/ge).
+    comparator_area_per_bit: float = 0.75
+    #: Energy per bit of a comparison.
+    comparator_energy_per_bit: float = 0.0006
+    #: Area per bit of a flip-flop/register.
+    register_area_per_bit: float = 1.1
+    #: Energy per bit of a register write.
+    register_energy_per_bit: float = 0.0008
+    #: Area per bit of a small combinational LUT/ROM.
+    lut_area_per_bit: float = 0.28
+    #: Energy per bit read from a small LUT/ROM.
+    lut_energy_per_bit: float = 0.0003
+
+    # --- floating point (relative to integer primitives) ------------------ #
+    #: FP16 adder: alignment shifters + mantissa adder + normalization.
+    fp16_adder_area: float = 60.0
+    fp16_adder_energy: float = 0.10
+    #: FP16 multiplier: 11x11 mantissa multiplier + exponent logic.
+    fp16_multiplier_area: float = 110.0
+    fp16_multiplier_energy: float = 0.20
+    #: DesignWare-style FP16 exponential (LUT + range reduction + polynomial).
+    #: General-purpose exp units use 64-128 entry tables plus a multiplier
+    #: and adder tree, hence the large constant.
+    fp16_exp_area: float = 1000.0
+    fp16_exp_energy: float = 1.25
+    #: DesignWare-style FP16 divider (iterative/mantissa LUT based).
+    fp16_div_area: float = 180.0
+    fp16_div_energy: float = 0.32
+    #: FP16 comparator (max): roughly an FP16 adder's front end.
+    fp16_comparator_area: float = 30.0
+    fp16_comparator_energy: float = 0.03
+
+    # --- memory ------------------------------------------------------------ #
+    #: SRAM array area per bit (register-file style macros).
+    sram_area_per_bit: float = 0.18
+    #: Energy per bit of an SRAM read (small buffer).
+    sram_read_energy_per_bit: float = 0.0015
+    #: Energy per bit of an SRAM write (small buffer).
+    sram_write_energy_per_bit: float = 0.002
+    #: Energy per bit to move data to/from the global buffer (longer wires).
+    global_buffer_energy_per_bit: float = 0.008
+
+    # ------------------------------------------------------------------ #
+    # integer datapath primitives
+    # ------------------------------------------------------------------ #
+    def int_adder_area(self, bits: int) -> float:
+        """Area of an integer adder with ``bits``-wide operands."""
+        self._check_bits(bits)
+        return self.adder_area_per_bit * bits
+
+    def int_adder_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.adder_energy_per_bit * bits
+
+    def int_multiplier_area(self, bits_a: int, bits_b: int) -> float:
+        """Area of an integer array multiplier (``bits_a`` x ``bits_b``)."""
+        self._check_bits(bits_a)
+        self._check_bits(bits_b)
+        return self.multiplier_area_per_pp_bit * bits_a * bits_b
+
+    def int_multiplier_energy(self, bits_a: int, bits_b: int) -> float:
+        self._check_bits(bits_a)
+        self._check_bits(bits_b)
+        return self.multiplier_energy_per_pp_bit * bits_a * bits_b
+
+    def int_mac_energy(self, bits_a: int, bits_b: int, acc_bits: int) -> float:
+        """Energy of one multiply-accumulate (multiply + accumulator add)."""
+        return self.int_multiplier_energy(bits_a, bits_b) + self.int_adder_energy(acc_bits)
+
+    def int_mac_area(self, bits_a: int, bits_b: int, acc_bits: int) -> float:
+        return self.int_multiplier_area(bits_a, bits_b) + self.int_adder_area(acc_bits)
+
+    def shifter_area(self, bits: int, max_shift: int) -> float:
+        """Barrel shifter over ``bits`` with ``max_shift`` positions."""
+        self._check_bits(bits)
+        stages = max(1, int.bit_length(max(1, max_shift - 1)))
+        return self.shifter_area_per_bit_stage * bits * stages
+
+    def shifter_energy(self, bits: int, max_shift: int) -> float:
+        self._check_bits(bits)
+        stages = max(1, int.bit_length(max(1, max_shift - 1)))
+        return self.shifter_energy_per_bit_stage * bits * stages
+
+    def comparator_area(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.comparator_area_per_bit * bits
+
+    def comparator_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.comparator_energy_per_bit * bits
+
+    def register_area(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.register_area_per_bit * bits
+
+    def register_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.register_energy_per_bit * bits
+
+    def lut_area(self, entries: int, bits_per_entry: int) -> float:
+        """Area of a small combinational LUT with the given geometry."""
+        if entries < 1:
+            raise ValueError("LUT needs at least one entry")
+        self._check_bits(bits_per_entry)
+        return self.lut_area_per_bit * entries * bits_per_entry
+
+    def lut_read_energy(self, entries: int, bits_per_entry: int) -> float:
+        if entries < 1:
+            raise ValueError("LUT needs at least one entry")
+        self._check_bits(bits_per_entry)
+        # Read energy scales with the output width and weakly with depth.
+        depth_factor = 1.0 + 0.1 * max(0, int.bit_length(entries) - 1)
+        return self.lut_energy_per_bit * bits_per_entry * depth_factor
+
+    # ------------------------------------------------------------------ #
+    # memory
+    # ------------------------------------------------------------------ #
+    def sram_area(self, size_bytes: int) -> float:
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return self.sram_area_per_bit * size_bytes * 8
+
+    def sram_read_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.sram_read_energy_per_bit * bits
+
+    def sram_write_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.sram_write_energy_per_bit * bits
+
+    def global_buffer_energy(self, bits: int) -> float:
+        self._check_bits(bits)
+        return self.global_buffer_energy_per_bit * bits
+
+    @staticmethod
+    def _check_bits(bits: int) -> None:
+        if bits < 1:
+            raise ValueError(f"bit width must be >= 1, got {bits}")
+
+
+#: The default technology instance used throughout the hardware models.
+DEFAULT_TECHNOLOGY = Technology()

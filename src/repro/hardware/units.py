@@ -1,0 +1,89 @@
+"""Hardware unit composition framework.
+
+A hardware unit is described by a bill of materials: named sub-components
+with an area, plus per-event energies.  Units compose (a PE contains MAC
+lanes, buffers and a softmax unit), and every unit can report an itemized
+area/energy breakdown -- which is what the Table IV benchmark prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class AreaBreakdown:
+    """Itemized area of a unit in µm²."""
+
+    items: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, area: float) -> None:
+        if area < 0:
+            raise ValueError(f"negative area for {name}")
+        self.items[name] = self.items.get(name, 0.0) + area
+
+    def merge(self, other: "AreaBreakdown", prefix: str = "") -> None:
+        for name, area in other.items.items():
+            self.add(f"{prefix}{name}", area)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.items.values()))
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.items)
+
+
+@dataclass
+class EnergyBreakdown:
+    """Itemized energy of a workload execution in pJ."""
+
+    items: Dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, energy: float) -> None:
+        if energy < 0:
+            raise ValueError(f"negative energy for {name}")
+        self.items[name] = self.items.get(name, 0.0) + energy
+
+    def merge(self, other: "EnergyBreakdown", prefix: str = "") -> None:
+        for name, energy in other.items.items():
+            self.add(f"{prefix}{name}", energy)
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every item multiplied by ``factor``."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return EnergyBreakdown({name: e * factor for name, e in self.items.items()})
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.items.values()))
+
+    @property
+    def total_uj(self) -> float:
+        """Total energy in µJ (the unit the paper's Table IV uses)."""
+        return self.total * 1e-6
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.items)
+
+
+class HardwareUnit:
+    """Base class for analytic hardware unit models."""
+
+    name: str = "unit"
+
+    def area(self) -> AreaBreakdown:
+        """Itemized silicon area of the unit."""
+        raise NotImplementedError
+
+    def total_area(self) -> float:
+        return self.area().total
+
+
+def ratio(softermax_value: float, baseline_value: float) -> float:
+    """Softermax / baseline ratio with a defensive division check."""
+    if baseline_value <= 0:
+        raise ZeroDivisionError("baseline value must be positive to form a ratio")
+    return softermax_value / baseline_value

@@ -1,0 +1,29 @@
+"""BERT-style models, task heads and the Softermax-aware fine-tuning loop."""
+
+from repro.models.bert import (
+    BertConfig,
+    BertEncoderModel,
+    ClassificationHead,
+    RegressionHead,
+    SpanHead,
+    TaskModel,
+)
+from repro.models.finetune import (
+    FinetuneConfig,
+    FinetuneResult,
+    finetune,
+    pretrain_task_model,
+)
+
+__all__ = [
+    "BertConfig",
+    "BertEncoderModel",
+    "ClassificationHead",
+    "RegressionHead",
+    "SpanHead",
+    "TaskModel",
+    "FinetuneConfig",
+    "FinetuneResult",
+    "finetune",
+    "pretrain_task_model",
+]

@@ -1,0 +1,215 @@
+"""BERT-style encoder models and task heads.
+
+Two uses:
+
+* **Trainable surrogates** (``tiny_base`` / ``tiny_large``): small enough to
+  fine-tune on the synthetic task suite with the NumPy substrate, while
+  keeping the architectural knobs (relative depth/width, heads, dropout)
+  that distinguish BERT-Base from BERT-Large.
+* **Geometry descriptors** (``bert_base`` / ``bert_large``): the real
+  published geometries, used by the hardware runtime/energy models to count
+  operations for Figure 1 and Figure 5 (they are never instantiated as
+  trainable models -- 340M parameters is not a NumPy-friendly size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.tasks import TaskDataset
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Tensor,
+    TransformerEncoder,
+)
+from repro.nn.functional import SoftmaxVariant
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Architecture hyper-parameters of a BERT-style encoder."""
+
+    vocab_size: int
+    hidden_dim: int
+    num_layers: int
+    num_heads: int
+    intermediate_dim: int
+    max_seq_len: int
+    dropout: float = 0.1
+    name: str = "bert"
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim % self.num_heads != 0:
+            raise ValueError("hidden_dim must be divisible by num_heads")
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_dim // self.num_heads
+
+    # ------------------------------------------------------------------ #
+    # published geometries (for the hardware cost models)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def bert_base(cls, max_seq_len: int = 512, vocab_size: int = 30522) -> "BertConfig":
+        return cls(vocab_size, 768, 12, 12, 3072, max_seq_len, name="bert-base")
+
+    @classmethod
+    def bert_large(cls, max_seq_len: int = 512, vocab_size: int = 30522) -> "BertConfig":
+        return cls(vocab_size, 1024, 24, 16, 4096, max_seq_len, name="bert-large")
+
+    # ------------------------------------------------------------------ #
+    # trainable surrogates (for the accuracy experiments)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def tiny_base(cls, vocab_size: int = 32, max_seq_len: int = 32) -> "BertConfig":
+        """Surrogate for BERT-Base: 2 layers x 32 wide, 4 heads."""
+        return cls(vocab_size, 32, 2, 4, 64, max_seq_len, dropout=0.05, name="tiny-base")
+
+    @classmethod
+    def tiny_large(cls, vocab_size: int = 32, max_seq_len: int = 32) -> "BertConfig":
+        """Surrogate for BERT-Large: deeper and wider than ``tiny_base``."""
+        return cls(vocab_size, 48, 3, 4, 96, max_seq_len, dropout=0.05, name="tiny-large")
+
+    def parameter_count_estimate(self) -> int:
+        """Closed-form parameter count (embeddings + encoder), for reporting."""
+        embed = (self.vocab_size + self.max_seq_len) * self.hidden_dim
+        per_layer = (
+            4 * self.hidden_dim * self.hidden_dim  # Q, K, V, output projections
+            + 2 * self.hidden_dim * self.intermediate_dim  # FFN
+            + 9 * self.hidden_dim  # biases + layer norms
+            + self.intermediate_dim
+        )
+        return int(embed + self.num_layers * per_layer)
+
+
+class BertEncoderModel(Module):
+    """Token + position embeddings followed by a Transformer encoder stack."""
+
+    def __init__(self, config: BertConfig,
+                 softmax_variant: str | SoftmaxVariant = "reference",
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.hidden_dim, rng=rng)
+        self.position_embedding = Embedding(config.max_seq_len, config.hidden_dim, rng=rng)
+        self.embedding_norm = LayerNorm(config.hidden_dim)
+        self.embedding_dropout = Dropout(config.dropout, seed=seed)
+        self.encoder = TransformerEncoder(
+            num_layers=config.num_layers,
+            hidden_dim=config.hidden_dim,
+            num_heads=config.num_heads,
+            intermediate_dim=config.intermediate_dim,
+            dropout=config.dropout,
+            softmax_variant=softmax_variant,
+            seed=seed,
+        )
+
+    def forward(self, input_ids: np.ndarray,
+                attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        input_ids = np.asarray(input_ids, dtype=np.int64)
+        batch, seq_len = input_ids.shape
+        if seq_len > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {seq_len} exceeds max_seq_len {self.config.max_seq_len}"
+            )
+        positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
+        hidden = self.token_embedding(input_ids) + self.position_embedding(positions)
+        hidden = self.embedding_dropout(self.embedding_norm(hidden))
+        return self.encoder(hidden, attention_mask)
+
+    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+        """Switch the attention softmax of every encoder layer."""
+        self.encoder.set_softmax_variant(variant)
+
+
+class ClassificationHead(Module):
+    """[CLS] pooling followed by a linear classifier."""
+
+    def __init__(self, hidden_dim: int, num_classes: int, dropout: float = 0.1,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dropout = Dropout(dropout, seed=seed)
+        self.pooler = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.classifier = Linear(hidden_dim, num_classes, rng=rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        cls = hidden[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        return self.classifier(self.dropout(pooled))
+
+
+class RegressionHead(Module):
+    """[CLS] pooling followed by a single-output regressor (STS-B style)."""
+
+    def __init__(self, hidden_dim: int, dropout: float = 0.1,
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.dropout = Dropout(dropout, seed=seed)
+        self.pooler = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.regressor = Linear(hidden_dim, 1, rng=rng)
+
+    def forward(self, hidden: Tensor) -> Tensor:
+        cls = hidden[:, 0, :]
+        pooled = self.pooler(cls).tanh()
+        out = self.regressor(self.dropout(pooled))
+        return out.reshape(out.shape[0])
+
+
+class SpanHead(Module):
+    """Per-position start/end logits for extractive QA (SQuAD style)."""
+
+    def __init__(self, hidden_dim: int, seed: Optional[int] = None) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.span_logits = Linear(hidden_dim, 2, rng=rng)
+
+    def forward(self, hidden: Tensor,
+                attention_mask: Optional[np.ndarray] = None) -> tuple:
+        logits = self.span_logits(hidden)  # (batch, seq, 2)
+        start_logits = logits[:, :, 0]
+        end_logits = logits[:, :, 1]
+        if attention_mask is not None:
+            penalty = Tensor((1.0 - np.asarray(attention_mask, dtype=np.float64)) * (-30.0))
+            start_logits = start_logits + penalty
+            end_logits = end_logits + penalty
+        return start_logits, end_logits
+
+
+class TaskModel(Module):
+    """Encoder plus the head appropriate to a task (classification/regression/span)."""
+
+    def __init__(self, config: BertConfig, task: TaskDataset,
+                 softmax_variant: str | SoftmaxVariant = "reference",
+                 seed: Optional[int] = None) -> None:
+        super().__init__()
+        self.config = config
+        self.task_type = task.task_type
+        self.encoder_model = BertEncoderModel(config, softmax_variant, seed=seed)
+        if task.task_type == "classification":
+            self.head = ClassificationHead(config.hidden_dim, task.num_classes,
+                                           dropout=config.dropout, seed=seed)
+        elif task.task_type == "regression":
+            self.head = RegressionHead(config.hidden_dim, dropout=config.dropout, seed=seed)
+        elif task.task_type == "span":
+            self.head = SpanHead(config.hidden_dim, seed=seed)
+        else:
+            raise ValueError(f"unsupported task type {task.task_type!r}")
+
+    def forward(self, input_ids: np.ndarray, attention_mask: Optional[np.ndarray] = None):
+        hidden = self.encoder_model(input_ids, attention_mask)
+        if self.task_type == "span":
+            return self.head(hidden, attention_mask)
+        return self.head(hidden)
+
+    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+        self.encoder_model.set_softmax_variant(variant)

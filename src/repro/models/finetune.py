@@ -1,0 +1,200 @@
+"""Softermax-aware fine-tuning (paper section III, "Software setup" in V).
+
+The paper's training recipe is:
+
+1. Start from a model pre-trained with the standard full-precision softmax.
+2. Attach 8-bit fake quantization to weights and activations, calibrate the
+   scales with a 99.999th-percentile calibrator.
+3. Fine-tune for the downstream task with the chosen softmax in the forward
+   pass (standard quantized softmax for the baseline, bit-accurate
+   Softermax for the proposed scheme) and straight-through gradients.
+
+Since no pre-trained checkpoints exist offline, step 1 is replaced by a
+short "pre-training" phase on the task's training split with the reference
+softmax and no quantization; both the baseline and Softermax runs start
+from the *same* pre-trained weights, which is exactly the controlled
+comparison Table III makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.data.tasks import TaskBatch, TaskDataset
+from repro.models.bert import BertConfig, TaskModel
+from repro.nn import Adam, LinearWarmupSchedule, clip_grad_norm
+from repro.nn.functional import SoftmaxVariant
+from repro.nn.losses import cross_entropy, mse_loss, span_cross_entropy
+from repro.quant import attach_quantizers, begin_calibration, freeze_quantizers
+
+
+@dataclass
+class FinetuneConfig:
+    """Hyper-parameters of one fine-tuning run."""
+
+    pretrain_epochs: int = 10
+    finetune_epochs: int = 4
+    batch_size: int = 32
+    pretrain_lr: float = 3e-3
+    finetune_lr: float = 1e-3
+    warmup_fraction: float = 0.1
+    max_grad_norm: float = 1.0
+    weight_decay: float = 0.0
+    quant_bits: int = 8
+    calibration_percentile: float = 99.999
+    calibration_batches: int = 4
+    quantize_model: bool = True
+    seed: int = 0
+
+
+@dataclass
+class FinetuneResult:
+    """Outcome of one fine-tuning run."""
+
+    task_name: str
+    model_name: str
+    softmax_variant: str
+    metric_name: str
+    score: float
+    loss_history: List[float] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+def _compute_loss(model: TaskModel, batch: TaskBatch):
+    """Forward pass + task-appropriate loss for one batch."""
+    if model.task_type == "span":
+        start_logits, end_logits = model(batch.input_ids, batch.attention_mask)
+        return span_cross_entropy(start_logits, end_logits,
+                                  batch.labels[:, 0], batch.labels[:, 1])
+    outputs = model(batch.input_ids, batch.attention_mask)
+    if model.task_type == "classification":
+        return cross_entropy(outputs, batch.labels)
+    return mse_loss(outputs, batch.labels)
+
+
+def _train_epochs(model: TaskModel, task: TaskDataset, epochs: int, lr: float,
+                  config: FinetuneConfig, rng: np.random.Generator) -> List[float]:
+    """Run ``epochs`` of Adam training; returns the per-step loss history."""
+    if epochs <= 0:
+        return []
+    optimizer = Adam(model.parameters(), lr=lr, weight_decay=config.weight_decay)
+    steps_per_epoch = max(1, (len(task.train) + config.batch_size - 1) // config.batch_size)
+    total_steps = epochs * steps_per_epoch
+    schedule = LinearWarmupSchedule(
+        optimizer,
+        warmup_steps=int(config.warmup_fraction * total_steps),
+        total_steps=total_steps,
+    )
+    history: List[float] = []
+    model.train()
+    for _ in range(epochs):
+        for batch in task.train.batches(config.batch_size, shuffle=True, rng=rng):
+            schedule.step()
+            loss = _compute_loss(model, batch)
+            model.zero_grad()
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.max_grad_norm)
+            optimizer.step()
+            history.append(loss.item())
+    return history
+
+
+def _calibrate(model: TaskModel, task: TaskDataset, quantizers, config: FinetuneConfig,
+               rng: np.random.Generator) -> None:
+    """Collect activation statistics and freeze the quantization scales."""
+    begin_calibration(quantizers)
+    model.eval()
+    batches_seen = 0
+    for batch in task.train.batches(config.batch_size, shuffle=True, rng=rng):
+        if model.task_type == "span":
+            model(batch.input_ids, batch.attention_mask)
+        else:
+            model(batch.input_ids, batch.attention_mask)
+        batches_seen += 1
+        if batches_seen >= config.calibration_batches:
+            break
+    freeze_quantizers(quantizers)
+    model.train()
+
+
+def pretrain_task_model(task: TaskDataset, model_config: BertConfig,
+                        config: Optional[FinetuneConfig] = None) -> TaskModel:
+    """Phase 1: train a full-precision model with the reference softmax.
+
+    The returned model stands in for the "pre-trained with standard softmax"
+    starting point of the paper's recipe.
+    """
+    config = config or FinetuneConfig()
+    rng = np.random.default_rng(config.seed)
+    model = TaskModel(model_config, task, softmax_variant="reference", seed=config.seed)
+    _train_epochs(model, task, config.pretrain_epochs, config.pretrain_lr, config, rng)
+    return model
+
+
+def finetune(task: TaskDataset, model_config: BertConfig,
+             softmax_variant: str | SoftmaxVariant,
+             config: Optional[FinetuneConfig] = None,
+             pretrained_state: Optional[Dict[str, np.ndarray]] = None) -> FinetuneResult:
+    """Run the full quantization-aware, softmax-aware fine-tuning recipe.
+
+    Parameters
+    ----------
+    task:
+        The downstream task (train + dev splits).
+    model_config:
+        Architecture of the encoder.
+    softmax_variant:
+        ``"reference"`` reproduces the paper's 8-bit quantized baseline,
+        ``"softermax"`` the proposed scheme; any registered variant works.
+    config:
+        Training hyper-parameters.
+    pretrained_state:
+        Optional ``state_dict`` of a model produced by
+        :func:`pretrain_task_model`; passing the same state to several calls
+        guarantees all variants start from identical weights.
+
+    Returns
+    -------
+    FinetuneResult
+        Dev-set score (on the task's own metric) plus the loss history.
+    """
+    from repro.eval.accuracy import evaluate_model  # local import to avoid a cycle
+
+    config = config or FinetuneConfig()
+    rng = np.random.default_rng(config.seed + 1)
+
+    model = TaskModel(model_config, task, softmax_variant="reference", seed=config.seed)
+    if pretrained_state is not None:
+        model.load_state_dict(pretrained_state)
+    else:
+        pretrain_rng = np.random.default_rng(config.seed)
+        _train_epochs(model, task, config.pretrain_epochs, config.pretrain_lr,
+                      config, pretrain_rng)
+
+    # Quantization-aware phase: attach and calibrate 8-bit fake quantizers.
+    if config.quantize_model:
+        quantizers = attach_quantizers(
+            model, num_bits=config.quant_bits,
+            percentile=config.calibration_percentile,
+        )
+        _calibrate(model, task, quantizers, config, rng)
+
+    # Switch the attention softmax to the requested variant and fine-tune.
+    model.set_softmax_variant(softmax_variant)
+    history = _train_epochs(model, task, config.finetune_epochs, config.finetune_lr,
+                            config, rng)
+
+    model.eval()
+    score = evaluate_model(model, task)
+    variant_name = softmax_variant if isinstance(softmax_variant, str) else softmax_variant.name
+    return FinetuneResult(
+        task_name=task.name,
+        model_name=model_config.name,
+        softmax_variant=variant_name,
+        metric_name=task.metric,
+        score=score,
+        loss_history=history,
+    )

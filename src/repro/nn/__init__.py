@@ -1,0 +1,57 @@
+"""NumPy deep-learning substrate (autograd, layers, attention, optimizers).
+
+This subpackage stands in for the PyTorch/HuggingFace stack the paper used:
+it provides just enough of a framework to fine-tune small Transformer
+encoders with a pluggable attention softmax, which is what the accuracy
+experiments (paper Table III) require.
+"""
+
+from repro.nn.tensor import Tensor, stack, concatenate, unbroadcast
+from repro.nn import functional
+from repro.nn.functional import (
+    SoftmaxVariant,
+    register_softmax_variant,
+    get_softmax_variant,
+    available_softmax_variants,
+    make_softermax_variant,
+    attention_softmax,
+)
+from repro.nn.layers import Module, Linear, Embedding, LayerNorm, Dropout, Sequential
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.transformer import FeedForward, TransformerLayer, TransformerEncoder
+from repro.nn.losses import cross_entropy, mse_loss, span_cross_entropy
+from repro.nn.optim import SGD, Adam, LinearWarmupSchedule, Optimizer, clip_grad_norm
+from repro.nn import init
+
+__all__ = [
+    "Tensor",
+    "stack",
+    "concatenate",
+    "unbroadcast",
+    "functional",
+    "SoftmaxVariant",
+    "register_softmax_variant",
+    "get_softmax_variant",
+    "available_softmax_variants",
+    "make_softermax_variant",
+    "attention_softmax",
+    "Module",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MultiHeadSelfAttention",
+    "FeedForward",
+    "TransformerLayer",
+    "TransformerEncoder",
+    "cross_entropy",
+    "mse_loss",
+    "span_cross_entropy",
+    "SGD",
+    "Adam",
+    "LinearWarmupSchedule",
+    "Optimizer",
+    "clip_grad_norm",
+    "init",
+]

@@ -1,0 +1,126 @@
+"""Multi-headed self-attention with a pluggable softmax.
+
+This is the module the paper cares about: the attention block computes
+``softmax(Q K^T / sqrt(d_head)) V`` per head, and Softermax replaces the
+softmax while the rest of the block is untouched.  The softmax is selected
+by name through :func:`repro.nn.functional.get_softmax_variant`, so the same
+model can be evaluated with the reference softmax, the base-2 softmax or the
+bit-accurate Softermax pipeline (with straight-through gradients) simply by
+switching the variant.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.functional import SoftmaxVariant, get_softmax_variant
+from repro.nn.layers import Dropout, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-headed self-attention (the paper's Figure 2 attention block).
+
+    Parameters
+    ----------
+    hidden_dim:
+        Model width (must be divisible by ``num_heads``).
+    num_heads:
+        Number of attention heads.
+    dropout:
+        Dropout probability applied to the attention probabilities.
+    softmax_variant:
+        Either a registered variant name (``"reference"``, ``"base2"``,
+        ``"softermax"``) or a :class:`SoftmaxVariant` instance.
+    rng:
+        Generator for weight initialization.
+    """
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        dropout: float = 0.1,
+        softmax_variant: str | SoftmaxVariant = "reference",
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if hidden_dim % num_heads != 0:
+            raise ValueError(
+                f"hidden_dim ({hidden_dim}) must be divisible by num_heads ({num_heads})"
+            )
+        rng = rng or np.random.default_rng(seed)
+        self.hidden_dim = hidden_dim
+        self.num_heads = num_heads
+        self.head_dim = hidden_dim // num_heads
+
+        self.query = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.key = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.value = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.output = Linear(hidden_dim, hidden_dim, rng=rng)
+        self.attn_dropout = Dropout(dropout, seed=seed)
+
+        self.set_softmax_variant(softmax_variant)
+        #: Populated by :meth:`forward` when ``capture_scores`` is enabled:
+        #: the raw scaled attention scores of the last call (for calibration
+        #: and for feeding the hardware cost model with realistic data).
+        self.last_scores: Optional[np.ndarray] = None
+        self.capture_scores = False
+
+    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+        """Switch the attention softmax implementation."""
+        if isinstance(variant, str):
+            variant = get_softmax_variant(variant)
+        self.softmax_variant = variant
+
+    def _split_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:
+        # (batch, seq, hidden) -> (batch, heads, seq, head_dim)
+        return x.reshape(batch, seq_len, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:
+        # (batch, heads, seq, head_dim) -> (batch, seq, hidden)
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_dim)
+
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Apply self-attention.
+
+        Parameters
+        ----------
+        hidden:
+            Input of shape ``(batch, seq_len, hidden_dim)``.
+        attention_mask:
+            Optional boolean/0-1 array of shape ``(batch, seq_len)`` where 1
+            marks valid tokens.  Masked (padding) positions receive a large
+            negative score before the softmax.
+        """
+        batch, seq_len, _ = hidden.shape
+
+        q = self._split_heads(self.query(hidden), batch, seq_len)
+        k = self._split_heads(self.key(hidden), batch, seq_len)
+        v = self._split_heads(self.value(hidden), batch, seq_len)
+
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
+
+        if attention_mask is not None:
+            mask = np.asarray(attention_mask, dtype=np.float64)
+            if mask.shape != (batch, seq_len):
+                raise ValueError(
+                    f"attention_mask shape {mask.shape} does not match (batch, seq)={batch, seq_len}"
+                )
+            # Broadcast to (batch, 1, 1, seq): padding keys are suppressed.
+            additive = (1.0 - mask)[:, None, None, :] * (-30.0)
+            scores = scores + Tensor(additive)
+
+        if self.capture_scores:
+            self.last_scores = scores.data.copy()
+
+        probs = F.attention_softmax(scores, self.softmax_variant)
+        probs = self.attn_dropout(probs)
+
+        context = probs @ v
+        merged = self._merge_heads(context, batch, seq_len)
+        return self.output(merged)

@@ -1,0 +1,221 @@
+"""Differentiable functional operations for the NumPy autograd substrate.
+
+These functions operate on :class:`~repro.nn.tensor.Tensor` objects and are
+the building blocks used by :mod:`repro.nn.layers` and
+:mod:`repro.nn.attention`.  The attention softmax is *pluggable*: the
+:class:`SoftmaxVariant` registry maps a name (``"reference"``, ``"base2"``,
+``"softermax"``, ...) to a forward function and the gradient surrogate used
+in the backward pass, which is how Softermax-aware fine-tuning (bit-accurate
+forward, straight-through backward) is expressed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core import (
+    SoftermaxConfig,
+    softermax as softermax_forward,
+    softermax_float,
+    softmax_reference,
+    base2_softmax,
+    softmax_jacobian_vector_product,
+    log_softmax_reference,
+)
+from repro.nn.tensor import Tensor
+
+
+# --------------------------------------------------------------------------- #
+# simple activations
+# --------------------------------------------------------------------------- #
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Gaussian error linear unit (tanh approximation, as used by BERT)."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = (x + (x * x * x) * 0.044715) * c
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return 1.0 / ((-x).exp() + 1.0)
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: scales kept activations by ``1/(1-p)`` at train time."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    centered = x - mean
+    variance = (centered * centered).mean(axis=-1, keepdims=True)
+    normalized = centered / (variance + eps).sqrt()
+    return normalized * weight + bias
+
+
+def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
+    """Affine transform ``x @ weight + bias`` (weight stored as in_dim x out_dim)."""
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# softmax variants (the pluggable attention softmax)
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SoftmaxVariant:
+    """A named softmax implementation usable inside attention.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    forward_fn:
+        ``forward_fn(scores) -> probabilities`` on raw NumPy arrays (may be
+        non-differentiable, e.g. the bit-accurate Softermax pipeline).
+    surrogate_fn:
+        Smooth float function whose Jacobian is used in the backward pass
+        (the straight-through estimator).  For exact float softmaxes this is
+        the same function as ``forward_fn``.
+    base:
+        Exponential base of the surrogate (needed for the Jacobian scale).
+    """
+
+    name: str
+    forward_fn: Callable[[np.ndarray], np.ndarray]
+    surrogate_fn: Callable[[np.ndarray], np.ndarray]
+    base: float
+
+
+def _registry() -> Dict[str, SoftmaxVariant]:
+    return dict(_SOFTMAX_VARIANTS)
+
+
+_SOFTMAX_VARIANTS: Dict[str, SoftmaxVariant] = {}
+
+
+def register_softmax_variant(variant: SoftmaxVariant) -> None:
+    """Register (or replace) a softmax variant by name."""
+    _SOFTMAX_VARIANTS[variant.name] = variant
+
+
+def get_softmax_variant(name: str) -> SoftmaxVariant:
+    """Look up a registered softmax variant."""
+    try:
+        return _SOFTMAX_VARIANTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown softmax variant {name!r}; available: {sorted(_SOFTMAX_VARIANTS)}"
+        ) from None
+
+
+def available_softmax_variants() -> list:
+    """Names of all registered softmax variants."""
+    return sorted(_SOFTMAX_VARIANTS)
+
+
+def make_softermax_variant(config: SoftermaxConfig | None = None,
+                           name: str = "softermax") -> SoftmaxVariant:
+    """Create a Softermax variant bound to a specific operating point."""
+    cfg = config or SoftermaxConfig.paper_table1()
+
+    def forward(scores: np.ndarray) -> np.ndarray:
+        return softermax_forward(scores, axis=-1, config=cfg)
+
+    return SoftmaxVariant(
+        name=name,
+        forward_fn=forward,
+        surrogate_fn=lambda s: softermax_float(s, axis=-1),
+        base=2.0,
+    )
+
+
+register_softmax_variant(
+    SoftmaxVariant(
+        name="reference",
+        forward_fn=lambda s: softmax_reference(s, axis=-1),
+        surrogate_fn=lambda s: softmax_reference(s, axis=-1),
+        base=np.e,
+    )
+)
+register_softmax_variant(
+    SoftmaxVariant(
+        name="base2",
+        forward_fn=lambda s: base2_softmax(s, axis=-1),
+        surrogate_fn=lambda s: base2_softmax(s, axis=-1),
+        base=2.0,
+    )
+)
+register_softmax_variant(make_softermax_variant())
+
+
+def attention_softmax(scores: Tensor, variant: SoftmaxVariant) -> Tensor:
+    """Apply a softmax variant along the last axis of ``scores``.
+
+    Forward: the variant's (possibly bit-accurate fixed-point) forward
+    function.  Backward: straight-through estimator -- the gradient of the
+    smooth surrogate evaluated at the same input, which is exactly the
+    scheme the paper uses for Softermax-aware fine-tuning.
+    """
+
+    def forward_fn(data: np.ndarray) -> np.ndarray:
+        return variant.forward_fn(data)
+
+    def backward_fn(grad_out: np.ndarray, input_data: np.ndarray,
+                    output_data: np.ndarray) -> np.ndarray:
+        surrogate_probs = variant.surrogate_fn(input_data)
+        return softmax_jacobian_vector_product(
+            surrogate_probs, grad_out, axis=-1, base=variant.base
+        )
+
+    return scores.apply(forward_fn, backward_fn)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Plain differentiable base-e softmax (used outside attention)."""
+    if axis != -1:
+        raise ValueError("softmax currently supports only the last axis")
+
+    def forward_fn(data: np.ndarray) -> np.ndarray:
+        return softmax_reference(data, axis=-1)
+
+    def backward_fn(grad_out: np.ndarray, input_data: np.ndarray,
+                    output_data: np.ndarray) -> np.ndarray:
+        return softmax_jacobian_vector_product(output_data, grad_out, axis=-1, base=np.e)
+
+    return x.apply(forward_fn, backward_fn)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable differentiable log-softmax."""
+    if axis != -1:
+        raise ValueError("log_softmax currently supports only the last axis")
+
+    def forward_fn(data: np.ndarray) -> np.ndarray:
+        return log_softmax_reference(data, axis=-1)
+
+    def backward_fn(grad_out: np.ndarray, input_data: np.ndarray,
+                    output_data: np.ndarray) -> np.ndarray:
+        probs = np.exp(output_data)
+        return grad_out - probs * np.sum(grad_out, axis=-1, keepdims=True)
+
+    return x.apply(forward_fn, backward_fn)

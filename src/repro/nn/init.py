@@ -1,0 +1,47 @@
+"""Weight initializers for the NumPy deep-learning substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization for a (fan_in, fan_out) weight."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = np.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_normal(shape: tuple, rng: np.random.Generator) -> np.ndarray:
+    """He initialization (appropriate for ReLU fan-in)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def truncated_normal(shape: tuple, rng: np.random.Generator, std: float = 0.02,
+                     bound: float = 2.0) -> np.ndarray:
+    """BERT-style truncated normal initialization (values within ±bound·std)."""
+    values = rng.normal(0.0, std, size=shape)
+    while True:
+        outside = np.abs(values) > bound * std
+        if not outside.any():
+            return values
+        values[outside] = rng.normal(0.0, std, size=int(outside.sum()))
+
+
+def _fans(shape: tuple) -> tuple:
+    if len(shape) < 1:
+        raise ValueError("cannot compute fans of a scalar shape")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    fan_in = int(np.prod(shape[:-1]))
+    fan_out = int(shape[-1])
+    return fan_in, fan_out

@@ -1,0 +1,220 @@
+"""Neural-network layers built on the autograd :class:`Tensor`.
+
+The layer/module system intentionally mirrors the small subset of a typical
+deep-learning framework that the paper's experiments need: parameter
+registration and traversal, train/eval modes, and the layers a BERT-style
+encoder is made of (Linear, Embedding, LayerNorm, Dropout).
+
+Quantization hooks: a :class:`Linear` layer optionally carries weight and
+activation :class:`~repro.quant.qat.FakeQuantizer` objects.  When attached
+(by :func:`repro.quant.qat.attach_quantizers`) the layer fake-quantizes its
+operands in the forward pass, which is how the paper's 8-bit
+quantization-aware fine-tuning baseline is modelled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.tensor import Tensor
+
+
+class Module:
+    """Base class providing parameter registration and train/eval modes."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Tensor] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_parameter(self, name: str, tensor: Tensor) -> Tensor:
+        tensor.requires_grad = True
+        tensor.name = name
+        self._parameters[name] = tensor
+        return tensor
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        super().__setattr__(name, value)
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        super().__setattr__(name, module)
+        return module
+
+    # ------------------------------------------------------------------ #
+    # traversal
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> List[Tensor]:
+        """All trainable parameters of this module and its children."""
+        return [tensor for _, tensor in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:
+        for name, tensor in self._parameters.items():
+            yield (f"{prefix}{name}", tensor)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def named_modules(self, prefix: str = "") -> Iterator[Tuple[str, "Module"]]:
+        yield prefix.rstrip("."), self
+        for child_name, child in self._modules.items():
+            yield from child.named_modules(prefix=f"{prefix}{child_name}.")
+
+    # ------------------------------------------------------------------ #
+    # modes & utilities
+    # ------------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return int(sum(p.size for p in self.parameters()))
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays previously produced by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch; missing={sorted(missing)}, unexpected={sorted(unexpected)}"
+            )
+        for name, values in state.items():
+            if own[name].shape != values.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: {own[name].shape} vs {values.shape}"
+                )
+            own[name].data = np.asarray(values, dtype=np.float64).copy()
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+class Linear(Module):
+    """Affine layer ``y = x @ W + b`` with optional fake quantization."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.xavier_uniform((in_features, out_features), rng))
+        )
+        self.bias = (
+            self.register_parameter("bias", Tensor(np.zeros(out_features)))
+            if bias
+            else None
+        )
+        #: Optional weight fake-quantizer (set by ``attach_quantizers``).
+        self.weight_quantizer = None
+        #: Optional input-activation fake-quantizer.
+        self.input_quantizer = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        weight = self.weight
+        if self.weight_quantizer is not None:
+            weight = self.weight_quantizer(weight)
+        if self.input_quantizer is not None:
+            x = self.input_quantizer(x)
+        return F.linear(x, weight, self.bias)
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = self.register_parameter(
+            "weight", Tensor(init.truncated_normal((num_embeddings, embedding_dim), rng))
+        )
+
+    def forward(self, ids: np.ndarray) -> Tensor:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.min(initial=0) < 0 or ids.max(initial=0) >= self.num_embeddings:
+            raise IndexError("embedding id out of range")
+        return self.weight.gather_rows(ids)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension with learnable affine."""
+
+    def __init__(self, normalized_dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.weight = self.register_parameter("weight", Tensor(np.ones(normalized_dim)))
+        self.bias = self.register_parameter("bias", Tensor(np.zeros(normalized_dim)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+
+class Dropout(Module):
+    """Inverted dropout layer; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.1, seed: Optional[int] = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = np.random.default_rng(seed)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for idx, module in enumerate(modules):
+            self.add_module(str(idx), module)
+            self._ordered.append(module)
+
+    def forward(self, x):
+        for module in self._ordered:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self._ordered)
+
+    def __len__(self) -> int:
+        return len(self._ordered)

@@ -1,0 +1,52 @@
+"""Loss functions for training the NumPy Transformer models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between logits and integer class targets.
+
+    Parameters
+    ----------
+    logits:
+        Tensor of shape ``(batch, num_classes)`` (or ``(batch, seq, C)``;
+        all leading dims are flattened).
+    targets:
+        Integer array matching the leading dimensions of ``logits``.
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+    if flat_targets.shape[0] != flat_logits.shape[0]:
+        raise ValueError(
+            f"target count {flat_targets.shape[0]} does not match logits rows {flat_logits.shape[0]}"
+        )
+    if flat_targets.min(initial=0) < 0 or flat_targets.max(initial=0) >= num_classes:
+        raise ValueError("target class index out of range")
+
+    log_probs = F.log_softmax(flat_logits, axis=-1)
+    one_hot = np.zeros((flat_targets.shape[0], num_classes))
+    one_hot[np.arange(flat_targets.shape[0]), flat_targets] = 1.0
+    picked = log_probs * Tensor(one_hot)
+    return -picked.sum() * (1.0 / flat_targets.shape[0])
+
+
+def mse_loss(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean squared error against a float target array."""
+    targets = np.asarray(targets, dtype=np.float64)
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()
+
+
+def span_cross_entropy(start_logits: Tensor, end_logits: Tensor,
+                       start_targets: np.ndarray, end_targets: np.ndarray) -> Tensor:
+    """SQuAD-style loss: average of start-position and end-position CE."""
+    start_loss = cross_entropy(start_logits, start_targets)
+    end_loss = cross_entropy(end_logits, end_targets)
+    return (start_loss + end_loss) * 0.5

@@ -1,0 +1,461 @@
+"""A small reverse-mode autograd engine over NumPy arrays.
+
+The paper's accuracy experiments require *fine-tuning* Transformer models
+with Softermax in the forward pass; since no deep-learning framework is
+available offline, this module provides the minimal-but-complete autograd
+substrate the rest of :mod:`repro.nn` is built on.
+
+Design notes
+------------
+* A :class:`Tensor` wraps a ``float64`` NumPy array, an optional gradient
+  and a closure that propagates gradients to its parents.  Graphs are built
+  eagerly by the arithmetic methods and freed after :meth:`Tensor.backward`.
+* Broadcasting follows NumPy semantics; gradients are un-broadcast by
+  summing over the broadcast axes (:func:`unbroadcast`).
+* Only the operations needed by Transformer training are implemented, but
+  each is implemented completely (forward + backward) and tested against
+  numerical differentiation in ``tests/nn/test_autograd.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+
+Array = np.ndarray
+
+
+def _as_array(value) -> Array:
+    if isinstance(value, Tensor):
+        raise TypeError("expected a raw array, got a Tensor")
+    return np.asarray(value, dtype=np.float64)
+
+
+def unbroadcast(grad: Array, shape: tuple) -> Array:
+    """Reduce ``grad`` back to ``shape`` by summing over broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were 1 in the original shape.
+    for axis, dim in enumerate(shape):
+        if dim == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed tensor that records operations for backpropagation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward_fn", "name")
+    __array_priority__ = 100  # make NumPy defer to our __r*__ operators
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: Sequence["Tensor"] = (),
+        _backward_fn: Optional[Callable[[Array], None]] = None,
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[Array] = None
+        self.requires_grad = bool(requires_grad)
+        self._parents = tuple(_parents)
+        self._backward_fn = _backward_fn
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> Array:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new leaf tensor sharing the same data."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _lift(value) -> "Tensor":
+        if isinstance(value, Tensor):
+            return value
+        return Tensor(np.asarray(value, dtype=np.float64))
+
+    def _make(self, data: Array, parents: Sequence["Tensor"],
+              backward_fn: Callable[[Array], None]) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(
+            data,
+            requires_grad=requires,
+            _parents=parents if requires else (),
+            _backward_fn=backward_fn if requires else None,
+        )
+
+    def _accumulate(self, grad: Array) -> None:
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad = self.grad + grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data + other.data
+
+        def backward(grad: Array) -> None:
+            self._accumulate(unbroadcast(grad, self.shape))
+            other._accumulate(unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: Array) -> None:
+            self._accumulate(-grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        return self + (-Tensor._lift(other))
+
+    def __rsub__(self, other) -> "Tensor":
+        return Tensor._lift(other) + (-self)
+
+    def __mul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data * other.data
+
+        def backward(grad: Array) -> None:
+            self._accumulate(unbroadcast(grad * other.data, self.shape))
+            other._accumulate(unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data / other.data
+
+        def backward(grad: Array) -> None:
+            self._accumulate(unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other) -> "Tensor":
+        other = Tensor._lift(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: Array) -> None:
+            if self.requires_grad:
+                grad_self = grad @ np.swapaxes(other.data, -1, -2)
+                self._accumulate(unbroadcast(grad_self, self.shape))
+            if other.requires_grad:
+                grad_other = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(unbroadcast(grad_other, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad * 0.5 / out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        out_data = np.maximum(self.data, 0.0)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad * (self.data > 0.0))
+
+        return self._make(out_data, (self,), backward)
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        """Clamp values; gradient is passed only where not clipped."""
+        out_data = np.clip(self.data, lo, hi)
+
+        def backward(grad: Array) -> None:
+            inside = (self.data >= lo) & (self.data <= hi)
+            self._accumulate(grad * inside)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions and shape ops
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: Array) -> None:
+            grad = np.asarray(grad)
+            if axis is None:
+                expanded = np.broadcast_to(grad, self.shape)
+            else:
+                if not keepdims:
+                    grad = np.expand_dims(grad, axis)
+                expanded = np.broadcast_to(grad, self.shape)
+            self._accumulate(expanded.astype(np.float64))
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mean = self.mean(axis=axis, keepdims=True)
+        centered = self - mean
+        result = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return result
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        inverse = np.argsort(axes)
+        out_data = self.data.transpose(axes)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(grad.transpose(inverse))
+
+        return self._make(out_data, (self,), backward)
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(*axes)
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: Array) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    def gather_rows(self, indices: Array) -> "Tensor":
+        """Select rows of a 2-D table by integer indices (embedding lookup)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: Array) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices.reshape(-1), grad.reshape(-1, self.shape[-1]))
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # custom ops
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        forward_fn: Callable[[Array], Array],
+        backward_fn: Callable[[Array, Array, Array], Array],
+    ) -> "Tensor":
+        """Apply a custom elementwise-or-not op with an explicit backward.
+
+        Parameters
+        ----------
+        forward_fn:
+            Maps the input array to the output array.
+        backward_fn:
+            ``backward_fn(grad_out, input_data, output_data)`` returns the
+            gradient with respect to the input.  This is the hook used for
+            straight-through estimators (fake quantization, Softermax).
+        """
+        out_data = forward_fn(self.data)
+
+        def backward(grad: Array) -> None:
+            self._accumulate(backward_fn(grad, self.data, out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[Array] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+
+        # Iterative DFS to avoid recursion-depth issues on deep graphs.
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if id(node) in visited or not node.requires_grad:
+                continue
+            if processed:
+                visited.add(id(node))
+                topo.append(node)
+                continue
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited and parent.requires_grad:
+                    stack.append((parent, False))
+
+        self._accumulate(grad)
+        for node in reversed(topo):
+            if node._backward_fn is not None and node.grad is not None:
+                node._backward_fn(node.grad)
+
+    # ------------------------------------------------------------------ #
+    # convenience constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def zeros(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(shape, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+    @staticmethod
+    def randn(shape, scale: float = 1.0, seed: Optional[int] = None,
+              requires_grad: bool = False) -> "Tensor":
+        rng = np.random.default_rng(seed)
+        return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad: Array) -> None:
+        pieces = np.split(grad, len(tensors), axis=axis)
+        for t, piece in zip(tensors, pieces):
+            t._accumulate(np.squeeze(piece, axis=axis))
+
+    requires = any(t.requires_grad for t in tensors)
+    return Tensor(out_data, requires_grad=requires,
+                  _parents=tuple(tensors) if requires else (),
+                  _backward_fn=backward if requires else None)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along an existing axis (differentiable)."""
+    tensors = list(tensors)
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: Array) -> None:
+        for i, t in enumerate(tensors):
+            slicer = [slice(None)] * grad.ndim
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            t._accumulate(grad[tuple(slicer)])
+
+    requires = any(t.requires_grad for t in tensors)
+    return Tensor(out_data, requires_grad=requires,
+                  _parents=tuple(tensors) if requires else (),
+                  _backward_fn=backward if requires else None)

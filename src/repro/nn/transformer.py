@@ -1,0 +1,106 @@
+"""Transformer encoder layers (paper Figure 2).
+
+A Transformer layer is a multi-headed self-attention block followed by a
+position-wise feed-forward block, each wrapped in dropout + residual +
+layer-norm (the post-norm arrangement used by BERT).  The attention softmax
+is pluggable via the ``softmax_variant`` argument, which is how Softermax is
+dropped into a full network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.functional import SoftmaxVariant
+from repro.nn.layers import Dropout, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block (Linear -> GELU -> Linear)."""
+
+    def __init__(self, hidden_dim: int, intermediate_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.expand = Linear(hidden_dim, intermediate_dim, rng=rng)
+        self.contract = Linear(intermediate_dim, hidden_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.contract(F.gelu(self.expand(x)))
+
+
+class TransformerLayer(Module):
+    """One encoder layer: self-attention block + feed-forward block."""
+
+    def __init__(
+        self,
+        hidden_dim: int,
+        num_heads: int,
+        intermediate_dim: int,
+        dropout: float = 0.1,
+        softmax_variant: str | SoftmaxVariant = "reference",
+        rng: Optional[np.random.Generator] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(seed)
+        self.attention = MultiHeadSelfAttention(
+            hidden_dim, num_heads, dropout=dropout,
+            softmax_variant=softmax_variant, rng=rng, seed=seed,
+        )
+        self.attention_norm = LayerNorm(hidden_dim)
+        self.attention_dropout = Dropout(dropout, seed=seed)
+        self.feed_forward = FeedForward(hidden_dim, intermediate_dim, rng=rng)
+        self.output_norm = LayerNorm(hidden_dim)
+        self.output_dropout = Dropout(dropout, seed=seed)
+
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.attention(hidden, attention_mask)
+        hidden = self.attention_norm(hidden + self.attention_dropout(attended))
+        transformed = self.feed_forward(hidden)
+        hidden = self.output_norm(hidden + self.output_dropout(transformed))
+        return hidden
+
+    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+        self.attention.set_softmax_variant(variant)
+
+
+class TransformerEncoder(Module):
+    """A stack of :class:`TransformerLayer` modules."""
+
+    def __init__(
+        self,
+        num_layers: int,
+        hidden_dim: int,
+        num_heads: int,
+        intermediate_dim: int,
+        dropout: float = 0.1,
+        softmax_variant: str | SoftmaxVariant = "reference",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.layers: List[TransformerLayer] = []
+        for i in range(num_layers):
+            layer = TransformerLayer(
+                hidden_dim, num_heads, intermediate_dim, dropout=dropout,
+                softmax_variant=softmax_variant, rng=rng,
+                seed=None if seed is None else seed + i,
+            )
+            self.add_module(f"layer_{i}", layer)
+            self.layers.append(layer)
+
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+        for layer in self.layers:
+            hidden = layer(hidden, attention_mask)
+        return hidden
+
+    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+        """Switch the attention softmax of every layer at once."""
+        for layer in self.layers:
+            layer.set_softmax_variant(variant)

@@ -1,0 +1,41 @@
+"""8-bit integer quantization and quantization-aware training utilities."""
+
+from repro.quant.calibrator import (
+    Calibrator,
+    MaxCalibrator,
+    PercentileCalibrator,
+    calibrate_tensors,
+)
+from repro.quant.quantizer import (
+    QuantParams,
+    compute_scale,
+    quantize_array,
+    dequantize_array,
+    fake_quantize_array,
+    quantization_error,
+)
+from repro.quant.qat import (
+    FakeQuantizer,
+    attach_quantizers,
+    begin_calibration,
+    freeze_quantizers,
+    detach_quantizers,
+)
+
+__all__ = [
+    "Calibrator",
+    "MaxCalibrator",
+    "PercentileCalibrator",
+    "calibrate_tensors",
+    "QuantParams",
+    "compute_scale",
+    "quantize_array",
+    "dequantize_array",
+    "fake_quantize_array",
+    "quantization_error",
+    "FakeQuantizer",
+    "attach_quantizers",
+    "begin_calibration",
+    "freeze_quantizers",
+    "detach_quantizers",
+]

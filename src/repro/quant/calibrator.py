@@ -1,0 +1,136 @@
+"""Calibration of quantization scale factors.
+
+The paper's software setup uses a 99.999th-percentile calibrator to derive
+the scale factors for 8-bit quantization-aware fine-tuning (its reference
+[22], NVIDIA's integer-quantization recipe).  This module provides that
+calibrator plus a simple max calibrator, both operating on streaming batches
+so they can be driven by a few forward passes over the task data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+class Calibrator:
+    """Base class: observe batches of values, then produce an ``amax``."""
+
+    def observe(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def compute_amax(self) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class MaxCalibrator(Calibrator):
+    """Tracks the running absolute maximum of everything observed."""
+
+    amax: float = 0.0
+    observed: bool = False
+
+    def observe(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        self.amax = max(self.amax, float(np.abs(values).max()))
+        self.observed = True
+
+    def compute_amax(self) -> float:
+        if not self.observed:
+            raise RuntimeError("MaxCalibrator.compute_amax() called before any observation")
+        return self.amax
+
+    def reset(self) -> None:
+        self.amax = 0.0
+        self.observed = False
+
+
+@dataclass
+class PercentileCalibrator(Calibrator):
+    """Percentile calibrator (99.999 % by default, as in the paper).
+
+    A histogram of absolute values is accumulated across batches; the scale
+    is the histogram value below which ``percentile`` per cent of the
+    observations fall.  A histogram (rather than storing samples) keeps the
+    memory bounded no matter how much data is observed.
+    """
+
+    percentile: float = 99.999
+    num_bins: int = 2048
+    _histogram: np.ndarray = field(default=None, repr=False)
+    _bin_width: float = 0.0
+    _observed: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if self.num_bins < 2:
+            raise ValueError("num_bins must be >= 2")
+        self.reset()
+
+    def reset(self) -> None:
+        self._histogram = np.zeros(self.num_bins, dtype=np.float64)
+        self._bin_width = 0.0
+        self._observed = False
+
+    def observe(self, values: np.ndarray) -> None:
+        values = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+        if values.size == 0:
+            return
+        batch_max = float(values.max())
+        if batch_max == 0.0:
+            self._observed = True
+            return
+
+        current_max = self._bin_width * self.num_bins
+        if batch_max > current_max:
+            self._rescale(batch_max)
+        indices = np.minimum(
+            (values / self._bin_width).astype(np.int64), self.num_bins - 1
+        )
+        np.add.at(self._histogram, indices, 1.0)
+        self._observed = True
+
+    def _rescale(self, new_max: float) -> None:
+        """Grow the histogram range to cover ``new_max``, preserving counts."""
+        new_bin_width = new_max / self.num_bins
+        if self._bin_width == 0.0:
+            self._bin_width = new_bin_width
+            return
+        old_centers = (np.arange(self.num_bins) + 0.5) * self._bin_width
+        new_indices = np.minimum(
+            (old_centers / new_bin_width).astype(np.int64), self.num_bins - 1
+        )
+        new_hist = np.zeros(self.num_bins, dtype=np.float64)
+        np.add.at(new_hist, new_indices, self._histogram)
+        self._histogram = new_hist
+        self._bin_width = new_bin_width
+
+    def compute_amax(self) -> float:
+        if not self._observed:
+            raise RuntimeError(
+                "PercentileCalibrator.compute_amax() called before any observation"
+            )
+        total = self._histogram.sum()
+        if total == 0.0:
+            return 0.0
+        cumulative = np.cumsum(self._histogram) / total
+        target = self.percentile / 100.0
+        bin_index = int(np.searchsorted(cumulative, target))
+        bin_index = min(bin_index, self.num_bins - 1)
+        return float((bin_index + 1) * self._bin_width)
+
+
+def calibrate_tensors(tensors: List[np.ndarray], percentile: float = 99.999) -> float:
+    """Convenience: run a percentile calibrator over a list of arrays."""
+    calibrator = PercentileCalibrator(percentile=percentile)
+    for tensor in tensors:
+        calibrator.observe(tensor)
+    return calibrator.compute_amax()

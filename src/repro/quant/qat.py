@@ -1,0 +1,177 @@
+"""Quantization-aware training (QAT) with straight-through estimators.
+
+The paper's accuracy baseline is an 8-bit quantized BERT: weights and
+activations are fake-quantized during fine-tuning, with scale factors from a
+99.999th-percentile calibrator and STE gradients.  :class:`FakeQuantizer`
+implements that recipe on top of the autograd :class:`~repro.nn.Tensor`, and
+:func:`attach_quantizers` wires quantizers into every ``Linear`` layer of a
+model.  Softermax's own fixed-point formats are handled separately inside
+:mod:`repro.core`; this module covers the *rest* of the network so that the
+baseline and Softermax runs differ only in their attention softmax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.nn.tensor import Tensor
+from repro.quant.calibrator import Calibrator, MaxCalibrator, PercentileCalibrator
+from repro.quant.quantizer import QuantParams, compute_scale, fake_quantize_array
+
+
+class FakeQuantizer:
+    """Stateful fake-quantization node with calibration and STE gradients.
+
+    Lifecycle::
+
+        q = FakeQuantizer(num_bits=8)
+        q.enable_calibration()
+        ... run forward passes; q.observe() collects statistics ...
+        q.freeze()            # compute the scale from the calibrator
+        ... further forward passes fake-quantize with STE gradients ...
+
+    The quantizer is callable on either a plain array or an autograd
+    :class:`Tensor`; in the latter case the backward pass uses the
+    straight-through estimator (gradients pass through unchanged inside the
+    clipping range and are zeroed outside it).
+    """
+
+    def __init__(self, num_bits: int = 8, symmetric: bool = True,
+                 percentile: Optional[float] = 99.999,
+                 name: str = "") -> None:
+        self.num_bits = num_bits
+        self.symmetric = symmetric
+        self.name = name
+        if percentile is None:
+            self.calibrator: Calibrator = MaxCalibrator()
+        else:
+            self.calibrator = PercentileCalibrator(percentile=percentile)
+        self.params: Optional[QuantParams] = None
+        self.calibrating = False
+        self.enabled = True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def enable_calibration(self) -> None:
+        """Start collecting statistics; quantization is bypassed meanwhile."""
+        self.calibrating = True
+        self.calibrator.reset()
+
+    def freeze(self) -> QuantParams:
+        """Stop calibrating and derive the quantization parameters."""
+        amax = self.calibrator.compute_amax()
+        self.params = compute_scale(amax, self.num_bits, self.symmetric)
+        self.calibrating = False
+        return self.params
+
+    def set_amax(self, amax: float) -> QuantParams:
+        """Set the scale directly (bypassing calibration), e.g. in tests."""
+        self.params = compute_scale(amax, self.num_bits, self.symmetric)
+        self.calibrating = False
+        return self.params
+
+    # ------------------------------------------------------------------ #
+    # application
+    # ------------------------------------------------------------------ #
+    def __call__(self, value):
+        if isinstance(value, Tensor):
+            return self._apply_tensor(value)
+        return self._apply_array(np.asarray(value, dtype=np.float64))
+
+    def _apply_array(self, values: np.ndarray) -> np.ndarray:
+        if not self.enabled:
+            return values
+        if self.calibrating:
+            self.calibrator.observe(values)
+            return values
+        if self.params is None:
+            return values
+        return fake_quantize_array(values, self.params)
+
+    def _apply_tensor(self, tensor: Tensor) -> Tensor:
+        if not self.enabled:
+            return tensor
+        if self.calibrating:
+            self.calibrator.observe(tensor.data)
+            return tensor
+        if self.params is None:
+            return tensor
+
+        params = self.params
+        clip_lo = (params.qmin - params.zero_point) * params.scale
+        clip_hi = (params.qmax - params.zero_point) * params.scale
+
+        def forward_fn(data: np.ndarray) -> np.ndarray:
+            return fake_quantize_array(data, params)
+
+        def backward_fn(grad_out: np.ndarray, input_data: np.ndarray,
+                        output_data: np.ndarray) -> np.ndarray:
+            # Straight-through estimator: pass gradients inside the
+            # representable range, zero them where the value saturated.
+            inside = (input_data >= clip_lo) & (input_data <= clip_hi)
+            return grad_out * inside
+
+        return tensor.apply(forward_fn, backward_fn)
+
+    def __repr__(self) -> str:
+        state = "calibrating" if self.calibrating else (
+            "frozen" if self.params is not None else "unconfigured"
+        )
+        return f"FakeQuantizer(bits={self.num_bits}, {state}, name={self.name!r})"
+
+
+def attach_quantizers(model: Module, num_bits: int = 8,
+                      percentile: Optional[float] = 99.999,
+                      quantize_weights: bool = True,
+                      quantize_activations: bool = True) -> Dict[str, FakeQuantizer]:
+    """Attach fake quantizers to every :class:`Linear` layer of ``model``.
+
+    Returns a dict of all created quantizers keyed by
+    ``"<module path>.weight"`` / ``"<module path>.input"`` so callers can
+    drive the calibrate/freeze lifecycle.
+    """
+    quantizers: Dict[str, FakeQuantizer] = {}
+    for path, module in model.named_modules():
+        if not isinstance(module, Linear):
+            continue
+        if quantize_weights:
+            wq = FakeQuantizer(num_bits, percentile=None, name=f"{path}.weight")
+            # Weight ranges are static, so a max calibrator is exact; the
+            # percentile calibrator is reserved for activations.
+            module.weight_quantizer = wq
+            quantizers[f"{path}.weight"] = wq
+        if quantize_activations:
+            aq = FakeQuantizer(num_bits, percentile=percentile, name=f"{path}.input")
+            module.input_quantizer = aq
+            quantizers[f"{path}.input"] = aq
+    return quantizers
+
+
+def begin_calibration(quantizers: Iterable[FakeQuantizer] | Dict[str, FakeQuantizer]) -> None:
+    """Switch every quantizer into calibration mode."""
+    for quantizer in _values(quantizers):
+        quantizer.enable_calibration()
+
+
+def freeze_quantizers(quantizers: Iterable[FakeQuantizer] | Dict[str, FakeQuantizer]) -> None:
+    """Freeze every quantizer (compute scales from collected statistics)."""
+    for quantizer in _values(quantizers):
+        quantizer.freeze()
+
+
+def detach_quantizers(model: Module) -> None:
+    """Remove all quantizers from the model's Linear layers."""
+    for _, module in model.named_modules():
+        if isinstance(module, Linear):
+            module.weight_quantizer = None
+            module.input_quantizer = None
+
+
+def _values(quantizers) -> List[FakeQuantizer]:
+    if isinstance(quantizers, dict):
+        return list(quantizers.values())
+    return list(quantizers)

@@ -1,0 +1,76 @@
+"""Integer (affine/symmetric) quantization of NumPy arrays.
+
+These are the plain (non-autograd) quantization primitives: map a float
+array to ``num_bits`` integers with a scale (and optionally a zero point),
+and back.  They are used directly by tests and the hardware energy model,
+and wrapped with a straight-through estimator for training in
+:mod:`repro.quant.qat`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantParams:
+    """Scale/zero-point pair describing an integer quantization."""
+
+    scale: float
+    zero_point: int = 0
+    num_bits: int = 8
+    symmetric: bool = True
+
+    @property
+    def qmin(self) -> int:
+        if self.symmetric:
+            return -(2 ** (self.num_bits - 1)) + 1
+        return 0
+
+    @property
+    def qmax(self) -> int:
+        if self.symmetric:
+            return 2 ** (self.num_bits - 1) - 1
+        return 2**self.num_bits - 1
+
+
+def compute_scale(amax: float, num_bits: int = 8, symmetric: bool = True) -> QuantParams:
+    """Derive quantization parameters from an absolute-maximum value."""
+    if amax < 0:
+        raise ValueError("amax must be non-negative")
+    if num_bits < 2:
+        raise ValueError("num_bits must be >= 2")
+    if amax == 0.0:
+        return QuantParams(scale=1.0, num_bits=num_bits, symmetric=symmetric)
+    if symmetric:
+        qmax = 2 ** (num_bits - 1) - 1
+        return QuantParams(scale=amax / qmax, num_bits=num_bits, symmetric=True)
+    qmax = 2**num_bits - 1
+    return QuantParams(scale=amax / qmax, num_bits=num_bits, symmetric=False)
+
+
+def quantize_array(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize to integer codes (int64) with saturation."""
+    values = np.asarray(values, dtype=np.float64)
+    codes = np.round(values / params.scale) + params.zero_point
+    return np.clip(codes, params.qmin, params.qmax).astype(np.int64)
+
+
+def dequantize_array(codes: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Map integer codes back to real values."""
+    codes = np.asarray(codes, dtype=np.float64)
+    return (codes - params.zero_point) * params.scale
+
+
+def fake_quantize_array(values: np.ndarray, params: QuantParams) -> np.ndarray:
+    """Quantize-then-dequantize (the forward of quantization-aware training)."""
+    return dequantize_array(quantize_array(values, params), params)
+
+
+def quantization_error(values: np.ndarray, params: QuantParams) -> float:
+    """RMS error introduced by fake-quantizing ``values``."""
+    values = np.asarray(values, dtype=np.float64)
+    fq = fake_quantize_array(values, params)
+    return float(np.sqrt(np.mean((values - fq) ** 2)))

@@ -1,0 +1,23 @@
+"""Paper-style text tables and figure series export."""
+
+from repro.reporting.tables import (
+    format_table,
+    format_table1,
+    format_table3,
+    format_table4,
+)
+from repro.reporting.figures import (
+    series_to_csv,
+    ascii_bar_chart,
+    stacked_fraction_chart,
+)
+
+__all__ = [
+    "format_table",
+    "format_table1",
+    "format_table3",
+    "format_table4",
+    "series_to_csv",
+    "ascii_bar_chart",
+    "stacked_fraction_chart",
+]

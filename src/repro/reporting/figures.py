@@ -1,0 +1,66 @@
+"""Figure data export: CSV-style series and ASCII charts.
+
+The paper's two figures (runtime breakdown vs sequence length, PE energy vs
+sequence length) are regenerated as numeric series; these helpers render
+them as CSV text (for plotting elsewhere) and as quick ASCII bar charts so
+the benchmark output is readable directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def series_to_csv(x_name: str, x_values: Sequence[object],
+                  columns: Dict[str, Sequence[float]], float_digits: int = 4) -> str:
+    """Render named series as CSV text with ``x_name`` as the first column."""
+    for name, values in columns.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"column {name!r} length does not match x values")
+    header = ",".join([x_name] + list(columns))
+    lines = [header]
+    for i, x in enumerate(x_values):
+        cells = [str(x)] + [f"{columns[name][i]:.{float_digits}f}" for name in columns]
+        lines.append(",".join(cells))
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(labels: Sequence[object], values: Sequence[float],
+                    width: int = 50, title: str = "", unit: str = "") -> str:
+    """Render one series as a horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    max_value = max(values)
+    scale = width / max_value if max_value > 0 else 0.0
+    label_width = max(len(str(label)) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, int(round(value * scale)))
+        lines.append(f"{str(label).rjust(label_width)} | {bar} {value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def stacked_fraction_chart(x_values: Sequence[object],
+                           fractions: Dict[str, Sequence[float]],
+                           width: int = 60, title: str = "") -> str:
+    """Render stacked runtime fractions (Figure 1 style) as ASCII rows.
+
+    Each row shows one x value (sequence length); the row is ``width``
+    characters split proportionally between the operator classes, each drawn
+    with the first letter of its name.
+    """
+    lines = [title] if title else []
+    legend = ", ".join(f"{name[0]}={name}" for name in fractions)
+    lines.append(f"legend: {legend}")
+    label_width = max(len(str(x)) for x in x_values)
+    for i, x in enumerate(x_values):
+        row_chars: List[str] = []
+        for name, series in fractions.items():
+            count = int(round(series[i] * width))
+            row_chars.append(name[0] * count)
+        row = "".join(row_chars)[:width].ljust(width)
+        softmax_pct = fractions.get("softmax", [0.0] * len(x_values))[i] * 100.0
+        lines.append(f"{str(x).rjust(label_width)} |{row}| softmax={softmax_pct:.1f}%")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Plain-text table formatting in the style of the paper's tables.
+
+The benchmark harness prints its results through these helpers so that the
+regenerated Table I/III/IV outputs are easy to compare side by side with the
+paper.  Everything is pure string formatting (no plotting dependencies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "", float_digits: int = 2) -> str:
+    """Render a simple aligned text table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` cells.  Floats
+        are rounded to ``float_digits``.
+    title:
+        Optional title line printed above the table.
+    """
+    headers = [str(h) for h in headers]
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        cells = list(row)
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but there are {len(headers)} headers"
+            )
+        formatted_rows.append([_format_cell(cell, float_digits) for cell in cells])
+
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in formatted_rows)
+    return "\n".join(parts)
+
+
+def _format_cell(cell: object, float_digits: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{float_digits}f}"
+    return str(cell)
+
+
+def format_table1(config) -> str:
+    """Paper Table I: the Softermax bitwidths."""
+    from repro.core import SoftermaxConfig  # local import to avoid cycles
+
+    if not isinstance(config, SoftermaxConfig):
+        raise TypeError("format_table1 expects a SoftermaxConfig")
+    headers = ["Inp.", "LocalMax", "Unnormed", "PowSum", "Recip.", "Outp."]
+    row = [
+        str(config.input_fmt),
+        str(config.max_fmt),
+        str(config.unnormed_fmt),
+        str(config.sum_fmt),
+        str(config.recip_fmt),
+        str(config.output_fmt),
+    ]
+    return format_table(headers, [row],
+                        title="Table I: Summary of Softermax Bitwidths, Q(Int., Frac.)")
+
+
+def format_table3(comparisons: Dict[str, "object"]) -> str:
+    """Paper Table III: accuracy of baseline vs Softermax per model size.
+
+    ``comparisons`` maps a model label (e.g. ``"BERT-Base (tiny surrogate)"``)
+    to an :class:`repro.eval.accuracy.AccuracyComparison`.
+    """
+    lines = []
+    for model_label, comparison in comparisons.items():
+        tasks = comparison.tasks
+        headers = ["Variant"] + [task.upper() for task in tasks] + ["Avg Δ"]
+        baseline_row = ["Baseline"] + [comparison.baseline[t] for t in tasks] + [0.0]
+        softermax_row = (["Softermax"] + [comparison.softermax[t] for t in tasks]
+                         + [comparison.average_delta()])
+        lines.append(format_table(
+            headers, [baseline_row, softermax_row],
+            title=f"Table III ({model_label}): accuracy, higher is better",
+        ))
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def format_table4(result) -> str:
+    """Paper Table IV: Softermax vs DesignWare area/energy ratios."""
+    headers = ["Component", "Area (Softermax/Baseline)", "Energy (Softermax/Baseline)"]
+    rows = []
+    for area_row, energy_row in zip(result.area_rows, result.energy_rows):
+        rows.append([area_row.label, f"{area_row.ratio:.2f}x", f"{energy_row.ratio:.2f}x"])
+    return format_table(headers, rows,
+                        title="Table IV: Softermax comparison to DesignWare-based softmax baseline")

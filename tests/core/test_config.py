@@ -1,0 +1,67 @@
+"""Tests for the Softermax configuration (paper Table I)."""
+
+import pytest
+
+from repro.core import SoftermaxConfig, DEFAULT_CONFIG
+from repro.fixedpoint import QFormat
+
+
+class TestPaperTable1:
+    def test_default_matches_paper_bitwidths(self):
+        cfg = SoftermaxConfig.paper_table1()
+        assert cfg.input_fmt == QFormat(6, 2, signed=True)
+        assert cfg.max_fmt == QFormat(6, 2, signed=True)
+        assert cfg.unnormed_fmt == QFormat(1, 15, signed=False)
+        assert cfg.sum_fmt == QFormat(10, 6, signed=False)
+        assert cfg.recip_fmt == QFormat(1, 7, signed=False)
+        assert cfg.output_fmt == QFormat(1, 7, signed=False)
+
+    def test_eight_bit_io(self):
+        cfg = SoftermaxConfig.paper_table1()
+        assert cfg.input_bits == 8
+        assert cfg.output_bits == 8
+
+    def test_four_lpw_segments(self):
+        cfg = SoftermaxConfig.paper_table1()
+        assert cfg.pow2_segments == 4
+        assert cfg.recip_segments == 4
+
+    def test_feature_flags_enabled(self):
+        cfg = SoftermaxConfig.paper_table1()
+        assert cfg.use_base2
+        assert cfg.use_integer_max
+        assert cfg.use_online_normalization
+
+    def test_default_config_is_paper_config(self):
+        assert DEFAULT_CONFIG == SoftermaxConfig.paper_table1()
+
+
+class TestConfigVariants:
+    def test_with_returns_modified_copy(self):
+        cfg = SoftermaxConfig.paper_table1()
+        modified = cfg.with_(use_base2=False, pow2_segments=8)
+        assert not modified.use_base2
+        assert modified.pow2_segments == 8
+        assert cfg.use_base2  # original untouched
+
+    def test_high_precision_is_wider(self):
+        hp = SoftermaxConfig.high_precision()
+        table1 = SoftermaxConfig.paper_table1()
+        assert hp.input_fmt.total_bits > table1.input_fmt.total_bits
+        assert hp.output_fmt.total_bits > table1.output_fmt.total_bits
+        assert hp.pow2_segments > table1.pow2_segments
+
+    def test_describe_mentions_every_format(self):
+        text = SoftermaxConfig.paper_table1().describe()
+        for token in ("Q(6,2)", "UQ(1,15)", "UQ(10,6)", "UQ(1,7)"):
+            assert token in text
+
+    def test_invalid_segments_rejected(self):
+        with pytest.raises(ValueError):
+            SoftermaxConfig(pow2_segments=0)
+        with pytest.raises(ValueError):
+            SoftermaxConfig(recip_segments=0)
+
+    def test_invalid_slice_width_rejected(self):
+        with pytest.raises(ValueError):
+            SoftermaxConfig(slice_width=0)

@@ -1,0 +1,64 @@
+"""Tests for the softmax error-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    attention_score_batch,
+    base2_softmax,
+    compare_softmax,
+    kl_divergence,
+    softmax_reference,
+)
+
+
+class TestKLDivergence:
+    def test_zero_for_identical_distributions(self, rng):
+        p = softmax_reference(rng.normal(size=(4, 10)))
+        assert np.allclose(kl_divergence(p, p), 0.0, atol=1e-10)
+
+    def test_positive_for_different_distributions(self, rng):
+        p = softmax_reference(rng.normal(size=(4, 10)))
+        q = softmax_reference(rng.normal(size=(4, 10)))
+        assert np.all(kl_divergence(p, q) > 0)
+
+    def test_handles_zero_entries(self):
+        p = np.array([[0.5, 0.5, 0.0]])
+        q = np.array([[0.4, 0.6, 0.0]])
+        assert np.isfinite(kl_divergence(p, q))[0]
+
+
+class TestCompareSoftmax:
+    def test_identical_function_has_zero_error(self, score_rows):
+        report = compare_softmax(softmax_reference, score_rows)
+        assert report.max_abs_error == pytest.approx(0.0, abs=1e-12)
+        assert report.argmax_agreement == 1.0
+        assert report.mean_kl_divergence == pytest.approx(0.0, abs=1e-9)
+
+    def test_base2_vs_basee_has_nonzero_error(self, score_rows):
+        report = compare_softmax(base2_softmax, score_rows)
+        assert report.max_abs_error > 0.0
+
+    def test_as_dict_round_trip(self, score_rows):
+        report = compare_softmax(base2_softmax, score_rows)
+        d = report.as_dict()
+        assert set(d) == {"max_abs_error", "mean_abs_error", "max_row_sum_error",
+                          "mean_kl_divergence", "argmax_agreement"}
+
+
+class TestScoreGenerator:
+    def test_shape_and_determinism(self):
+        a = attention_score_batch(4, 128, seed=11)
+        b = attention_score_batch(4, 128, seed=11)
+        assert a.shape == (4, 128)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = attention_score_batch(4, 64, seed=1)
+        b = attention_score_batch(4, 64, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_contains_peaked_entries(self):
+        scores = attention_score_batch(8, 256, scale=4.0, seed=0)
+        # Each row has a few dominant entries well above the background.
+        assert np.all(scores.max(axis=-1) > 1.0)

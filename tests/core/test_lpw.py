@@ -1,0 +1,90 @@
+"""Tests for the generic linear piece-wise approximation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LPWTable, evaluate_lpw, fit_lpw, max_abs_error
+from repro.fixedpoint import QFormat
+
+
+def _square(x):
+    return np.asarray(x) ** 2
+
+
+class TestFit:
+    def test_endpoint_fit_is_exact_at_segment_starts(self):
+        table = fit_lpw(_square, 0.0, 1.0, 4, method="endpoint")
+        starts = np.array([0.0, 0.25, 0.5, 0.75])
+        approx = evaluate_lpw(table, starts)
+        assert np.allclose(approx, starts**2)
+
+    def test_lstsq_fit_has_lower_error_than_endpoint(self):
+        endpoint = fit_lpw(np.exp2, 0.0, 1.0, 4, method="endpoint")
+        lstsq = fit_lpw(np.exp2, 0.0, 1.0, 4, method="lstsq")
+        assert max_abs_error(lstsq, np.exp2) < max_abs_error(endpoint, np.exp2)
+
+    def test_error_decreases_with_more_segments(self):
+        errors = [max_abs_error(fit_lpw(np.exp2, 0.0, 1.0, n), np.exp2)
+                  for n in (2, 4, 8, 16)]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_single_segment_is_a_line(self):
+        table = fit_lpw(_square, 0.0, 1.0, 1)
+        assert table.num_segments == 1
+        # endpoint fit of x^2 on [0, 1): slope 1, intercept 0
+        assert table.slopes[0] == pytest.approx(1.0)
+        assert table.intercepts[0] == pytest.approx(0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fit_lpw(_square, 1.0, 0.0, 4)
+        with pytest.raises(ValueError):
+            fit_lpw(_square, 0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            fit_lpw(_square, 0.0, 1.0, 4, method="magic")
+
+
+class TestEvaluate:
+    def test_segment_index_clipping(self):
+        table = fit_lpw(_square, 0.0, 1.0, 4)
+        idx = table.segment_index(np.array([-1.0, 0.0, 0.999, 5.0]))
+        assert list(idx) == [0, 0, 3, 3]
+
+    def test_inputs_outside_range_are_clipped(self):
+        table = fit_lpw(_square, 0.0, 1.0, 4)
+        low = evaluate_lpw(table, np.array([-10.0]))
+        high = evaluate_lpw(table, np.array([10.0]))
+        assert low[0] == pytest.approx(0.0)
+        assert high[0] == pytest.approx(evaluate_lpw(table, np.array([0.999999]))[0], rel=1e-3)
+
+    def test_quantized_table_entries_land_on_grid(self):
+        fmt = QFormat(2, 8, signed=True)
+        table = fit_lpw(np.exp2, 0.0, 1.0, 4).quantized(fmt)
+        assert np.all(np.abs(table.slopes * 256 - np.round(table.slopes * 256)) < 1e-9)
+        assert np.all(np.abs(table.intercepts * 256 - np.round(table.intercepts * 256)) < 1e-9)
+
+    def test_output_format_quantization(self):
+        table = fit_lpw(np.exp2, 0.0, 1.0, 4)
+        out = evaluate_lpw(table, np.linspace(0, 0.99, 7), out_fmt=QFormat(1, 7, signed=False))
+        assert np.all(np.abs(out * 128 - np.round(out * 128)) < 1e-9)
+
+    @given(st.floats(min_value=0.0, max_value=0.999999))
+    @settings(max_examples=100, deadline=None)
+    def test_pow2_approximation_error_bound(self, x):
+        table = fit_lpw(np.exp2, 0.0, 1.0, 4, method="endpoint")
+        approx = evaluate_lpw(table, np.array([x]))[0]
+        # Worst-case error of a 4-segment chord fit of 2^x on [0,1) is small.
+        assert abs(approx - 2.0**x) < 0.01
+
+    def test_max_abs_error_reports_positive_value(self):
+        table = fit_lpw(np.exp2, 0.0, 1.0, 4)
+        err = max_abs_error(table, np.exp2)
+        assert 0.0 < err < 0.01
+
+
+class TestLPWTableProperties:
+    def test_segment_width(self):
+        table = LPWTable(0.0, 2.0, np.zeros(8), np.zeros(8))
+        assert table.segment_width == pytest.approx(0.25)
+        assert table.num_segments == 8

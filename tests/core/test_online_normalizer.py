@@ -1,0 +1,97 @@
+"""Tests for the online normalizer with the integer-max co-design."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    OnlineNormalizerState,
+    SoftermaxConfig,
+    integer_max,
+    online_normalizer,
+)
+
+
+class TestIntegerMax:
+    def test_ceil_before_max(self):
+        x = np.array([[1.2, 2.7, -0.5]])
+        assert integer_max(x)[0] == 3.0
+
+    def test_integer_inputs_unchanged(self):
+        x = np.array([[1.0, 2.0, -4.0]])
+        assert integer_max(x)[0] == 2.0
+
+    def test_axis_handling(self):
+        x = np.array([[0.1, 1.1], [2.2, -3.0]])
+        assert np.array_equal(integer_max(x, axis=0), [3.0, 2.0])
+        assert np.array_equal(integer_max(x, axis=1), [2.0, 3.0])
+
+
+class TestExactRecurrence:
+    def test_matches_two_pass_computation(self, rng):
+        x = rng.normal(scale=3.0, size=(4, 100))
+        config = SoftermaxConfig.paper_table1().with_(use_integer_max=False)
+        running_max, running_sum = online_normalizer(x, config=config, exact=True)
+        expected_max = x.max(axis=-1)
+        expected_sum = np.exp2(x - expected_max[:, None]).sum(axis=-1)
+        assert np.allclose(running_max, expected_max)
+        assert np.allclose(running_sum, expected_sum, rtol=1e-12)
+
+    def test_integer_max_recurrence_matches_two_pass(self, rng):
+        x = rng.normal(scale=3.0, size=(4, 64))
+        config = SoftermaxConfig.paper_table1()
+        running_max, running_sum = online_normalizer(x, config=config, exact=True)
+        expected_max = np.ceil(x).max(axis=-1)
+        expected_sum = np.exp2(x - expected_max[:, None]).sum(axis=-1)
+        assert np.allclose(running_max, expected_max)
+        assert np.allclose(running_sum, expected_sum, rtol=1e-12)
+
+    def test_paper_worked_example(self):
+        """Section III-C: processing [2, 1, 3] slice-by-slice gives d = 1.75."""
+        x = np.array([[2.0, 1.0, 3.0]])
+        _, running_sum = online_normalizer(x, config=SoftermaxConfig.paper_table1(),
+                                           slice_width=1, exact=True)
+        assert running_sum[0] == pytest.approx(1.75)
+
+    @given(st.lists(st.floats(min_value=-20.0, max_value=20.0, allow_nan=False),
+                    min_size=1, max_size=64),
+           st.integers(min_value=1, max_value=16))
+    @settings(max_examples=60, deadline=None)
+    def test_slice_width_does_not_change_the_result(self, row, slice_width):
+        x = np.array([row])
+        config = SoftermaxConfig.paper_table1()
+        max_a, sum_a = online_normalizer(x, config=config, slice_width=slice_width, exact=True)
+        max_b, sum_b = online_normalizer(x, config=config, slice_width=1000, exact=True)
+        assert np.allclose(max_a, max_b)
+        assert np.allclose(sum_a, sum_b, rtol=1e-9)
+
+
+class TestStreamingState:
+    def test_incremental_updates_accumulate(self):
+        state = OnlineNormalizerState(shape=(1,), exact=True)
+        state.update(np.array([[2.0]]))
+        state.update(np.array([[1.0]]))
+        state.update(np.array([[3.0]]))
+        running_max, running_sum = state.finalize()
+        assert running_max[0] == 3.0
+        assert running_sum[0] == pytest.approx(1.75)
+
+    def test_shape_mismatch_rejected(self):
+        state = OnlineNormalizerState(shape=(2,), exact=True)
+        with pytest.raises(ValueError):
+            state.update(np.zeros((3, 4)))
+
+    def test_unnormed_outputs_relative_to_slice_max(self):
+        state = OnlineNormalizerState(shape=(1,), exact=True)
+        unnormed = state.update(np.array([[1.0, 3.0]]))
+        # relative to the slice max of 3: 2^-2 and 2^0
+        assert unnormed[0, 0] == pytest.approx(0.25)
+        assert unnormed[0, 1] == pytest.approx(1.0)
+
+    def test_fixed_point_state_saturates_not_explodes(self):
+        config = SoftermaxConfig.paper_table1()
+        state = OnlineNormalizerState(shape=(1,), config=config)
+        for _ in range(200):
+            state.update(np.full((1, 32), 0.0))
+        _, running_sum = state.finalize()
+        assert running_sum[0] <= config.sum_fmt.max_value

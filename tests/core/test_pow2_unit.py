@@ -1,0 +1,111 @@
+"""Tests for the hardware power-of-two unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PowerOfTwoUnit, SoftermaxConfig, build_pow2_table, exact_pow2
+from repro.fixedpoint import QFormat, quantize
+
+
+
+
+def _scalar(value):
+    """First element of a 1-element array as a Python float."""
+    return float(np.asarray(value).reshape(-1)[0])
+
+@pytest.fixture(scope="module")
+def unit():
+    return PowerOfTwoUnit()
+
+
+class TestExactPoints:
+    def test_powers_of_two_at_integer_inputs(self, unit):
+        # At integer inputs the fractional LPW contributes 2^0 = 1 exactly,
+        # so the result is an exact (possibly quantized) power of two.
+        for exponent in range(0, -10, -1):
+            result = _scalar(unit(np.array([float(exponent)])))
+            expected = quantize(np.array([2.0**exponent]), unit.out_fmt)[0]
+            assert result == expected
+
+    def test_zero_maps_to_exactly_one(self, unit):
+        # 2^0 = 1.0 is exactly representable in unsigned Q(1,15).
+        result = _scalar(unit(np.array([0.0])))
+        assert result == pytest.approx(1.0)
+
+    def test_minus_one_is_half(self, unit):
+        assert _scalar(unit(np.array([-1.0]))) == pytest.approx(0.5, abs=1e-4)
+
+    def test_very_negative_input_underflows_to_zero(self, unit):
+        assert _scalar(unit(np.array([-30.0]))) == 0.0
+
+
+class TestAccuracy:
+    def test_max_error_is_small(self, unit):
+        assert unit.max_error() < 5e-3
+
+    def test_output_is_on_the_q115_grid(self, unit):
+        x = quantize(np.linspace(-16.0, 0.0, 200), QFormat(6, 2))
+        out = unit(x)
+        scaled = out * 2**15
+        assert np.all(np.abs(scaled - np.round(scaled)) < 1e-9)
+
+    def test_monotonic_in_input(self, unit):
+        x = quantize(np.linspace(-8.0, 0.0, 100), QFormat(6, 2))
+        out = unit(x)
+        assert np.all(np.diff(out) >= -1e-12)
+
+    @given(st.floats(min_value=-15.0, max_value=0.0))
+    @settings(max_examples=100, deadline=None)
+    def test_error_against_exact_pow2(self, x):
+        unit = PowerOfTwoUnit()
+        x_q = quantize(np.array([x]), QFormat(6, 2))
+        approx = _scalar(unit(x_q))
+        exact = float(exact_pow2(x_q)[0])
+        assert abs(approx - exact) < 5e-3
+
+
+class TestSpecialCase:
+    def test_q62_input_uses_only_the_c_lut(self):
+        """With <= 2 fractional input bits the m LUT is unused (paper IV-A)."""
+        unit = PowerOfTwoUnit()
+        # All representable fractional parts with Q(6,2) input are k/4; the
+        # LPW has 4 segments so frac(xscaled) == 0 and the output equals the
+        # intercept directly.
+        for frac_code in range(4):
+            frac = frac_code / 4.0
+            expected_lpw = unit.table.intercepts[frac_code]
+            result = _scalar(unit(np.array([frac - 1.0])))  # integer part -1
+            assert result == pytest.approx(
+                quantize(np.array([expected_lpw * 0.5]), unit.out_fmt)[0], abs=1e-9
+            )
+
+    def test_finer_input_uses_the_slope_term(self):
+        config = SoftermaxConfig.paper_table1().with_(input_fmt=QFormat(6, 6, signed=True))
+        unit = PowerOfTwoUnit(config)
+        # 2^(-0.9) is between segment entries; a pure c-LUT lookup would give
+        # a noticeably larger error than the full LPW.
+        x = np.array([-0.90625])
+        approx = _scalar(unit(x))
+        assert abs(approx - 2.0 ** x[0]) < 5e-3
+
+
+class TestTableConstruction:
+    def test_segment_count_respected(self):
+        table = build_pow2_table(num_segments=8)
+        assert table.num_segments == 8
+
+    def test_unquantized_table(self):
+        table = build_pow2_table(coeff_fmt=None)
+        # Exact endpoint fit: intercept of segment 0 is 2^0 = 1.
+        assert table.intercepts[0] == pytest.approx(1.0)
+
+    def test_lstsq_table_reduces_max_error(self):
+        # With a fine-grained input format the slope term is exercised, and
+        # the least-squares fit beats the endpoint (chord) fit.  (At the
+        # paper's Q(6,2) input only the intercepts are used, where the
+        # endpoint fit is exact at the representable points by construction.)
+        fine = SoftermaxConfig.paper_table1().with_(input_fmt=QFormat(6, 6, signed=True))
+        endpoint_unit = PowerOfTwoUnit(fine, lpw_method="endpoint")
+        lstsq_unit = PowerOfTwoUnit(fine, lpw_method="lstsq")
+        assert lstsq_unit.max_error() <= endpoint_unit.max_error() + 1e-9

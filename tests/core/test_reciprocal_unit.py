@@ -1,0 +1,101 @@
+"""Tests for the linear piece-wise reciprocal unit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ReciprocalUnit,
+    build_reciprocal_table,
+    exact_reciprocal,
+    normalize_to_unit_range,
+)
+from repro.fixedpoint import QFormat, quantize
+
+
+
+
+def _scalar(value):
+    """First element of a 1-element array as a Python float."""
+    return float(np.asarray(value).reshape(-1)[0])
+
+@pytest.fixture(scope="module")
+def unit():
+    return ReciprocalUnit()
+
+
+class TestNormalization:
+    def test_mantissa_in_unit_range(self):
+        d = np.array([1.0, 1.5, 2.0, 3.7, 100.0, 1000.0])
+        mantissa, exponent = normalize_to_unit_range(d)
+        assert np.all(mantissa >= 1.0)
+        assert np.all(mantissa < 2.0)
+        assert np.allclose(mantissa * 2.0**exponent, d)
+
+    def test_zero_passthrough(self):
+        mantissa, exponent = normalize_to_unit_range(np.array([0.0]))
+        assert mantissa[0] == 0.0
+        assert exponent[0] == 0.0
+
+    @given(st.floats(min_value=1e-3, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_reconstruction_property(self, d):
+        mantissa, exponent = normalize_to_unit_range(np.array([d]))
+        assert mantissa[0] * 2.0 ** exponent[0] == pytest.approx(d, rel=1e-12)
+
+
+class TestReciprocal:
+    def test_exact_powers_of_two(self, unit):
+        for d, expected in [(1.0, 1.0), (2.0, 0.5), (4.0, 0.25), (8.0, 0.125)]:
+            result = _scalar(unit(np.array([d])))
+            expected_q = quantize(np.array([expected]), unit.out_fmt)[0]
+            assert result == pytest.approx(expected_q)
+
+    def test_max_error_over_denominator_range(self, unit):
+        # The denominator of Softermax is always close to or above 1; the
+        # worst-case error combines the 4-segment chord error of 1/m on
+        # [1, 2) (about 0.013) with the Q(1,7) output quantization.
+        assert unit.max_error(lo=1.0, hi=1024.0) < 2.0 / 128
+
+    def test_output_on_q17_grid(self, unit):
+        d = np.linspace(1.0, 700.0, 333)
+        out = unit(d)
+        scaled = out * 128
+        assert np.all(np.abs(scaled - np.round(scaled)) < 1e-9)
+
+    def test_monotonically_nonincreasing(self, unit):
+        d = np.linspace(1.0, 64.0, 500)
+        out = unit(d)
+        assert np.all(np.diff(out) <= 1e-12)
+
+    def test_zero_denominator_returns_zero(self, unit):
+        assert _scalar(unit(np.array([0.0]))) == 0.0
+
+    @given(st.floats(min_value=1.0, max_value=1000.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_error_against_exact(self, d):
+        unit = ReciprocalUnit()
+        approx = _scalar(unit(np.array([d])))
+        exact = 1.0 / d
+        assert abs(approx - exact) < 2.0 / 128
+
+
+class TestTableConstruction:
+    def test_slopes_are_negative(self):
+        table = build_reciprocal_table()
+        assert np.all(table.slopes < 0)
+
+    def test_intercepts_start_at_one(self):
+        table = build_reciprocal_table(coeff_fmt=None)
+        assert table.intercepts[0] == pytest.approx(1.0)
+
+    def test_quantized_coefficients_fit_signed_format(self):
+        fmt = QFormat(2, 15, signed=True)
+        table = build_reciprocal_table(coeff_fmt=fmt)
+        assert np.all(table.slopes >= fmt.min_value)
+        assert np.all(table.intercepts <= fmt.max_value)
+
+    def test_exact_reciprocal_handles_zero(self):
+        out = exact_reciprocal(np.array([0.0, 2.0]))
+        assert out[0] == 0.0
+        assert out[1] == 0.5

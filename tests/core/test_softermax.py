@@ -1,0 +1,147 @@
+"""Tests for the full Softermax pipeline (the paper's contribution)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SoftermaxConfig,
+    SoftermaxPipeline,
+    attention_score_batch,
+    base2_softmax,
+    compare_softmax,
+    softermax,
+    softermax_float,
+)
+
+score_rows_strategy = st.lists(
+    st.floats(min_value=-20.0, max_value=20.0, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=48,
+)
+
+
+class TestBasicBehaviour:
+    def test_output_is_a_probability_like_vector(self, score_rows):
+        # Because the integer max can leave the quantized denominator just
+        # below the true sum, individual outputs can overshoot 1.0 by a
+        # couple of output LSBs; they are never negative.
+        probs = softermax(score_rows)
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0 + 4.0 / 128)
+
+    def test_rows_approximately_sum_to_one_for_peaked_rows(self):
+        scores = attention_score_batch(batch=8, seq_len=32, scale=8.0, seed=3)
+        probs = softermax(scores)
+        # With 8-bit outputs and a peaked distribution the sum is close to 1.
+        assert np.all(np.abs(probs.sum(axis=-1) - 1.0) < 0.2)
+
+    def test_output_on_the_q17_grid(self, score_rows, paper_config):
+        probs = softermax(score_rows, config=paper_config)
+        scaled = probs * 128
+        assert np.all(np.abs(scaled - np.round(scaled)) < 1e-9)
+
+    def test_close_to_float_base2_softmax(self, score_rows):
+        report = compare_softmax(lambda x: softermax(x), score_rows,
+                                 reference_fn=base2_softmax)
+        assert report.max_abs_error < 0.03
+        assert report.mean_abs_error < 0.01
+
+    def test_largest_element_gets_largest_probability(self, rng):
+        scores = rng.normal(scale=4.0, size=(16, 40))
+        # Make the winner unambiguous relative to the Q(6,2) resolution.
+        winners = rng.integers(0, 40, size=16)
+        scores[np.arange(16), winners] = scores.max(axis=-1) + 4.0
+        probs = softermax(scores)
+        assert np.array_equal(np.argmax(probs, axis=-1), winners)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            softermax(np.zeros((2, 0)))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(6, 9))
+        by_cols = softermax(x, axis=0)
+        assert by_cols.shape == x.shape
+        assert np.all(by_cols >= 0)
+
+    def test_three_dimensional_batch(self, rng):
+        x = rng.normal(scale=3.0, size=(2, 3, 24))
+        probs = softermax(x)
+        assert probs.shape == x.shape
+
+    @given(score_rows_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_bounded_by_format_and_nonnegative(self, row):
+        probs = softermax(np.array([row]))
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0 + 4.0 / 128)
+
+
+class TestPipelineInternals:
+    def test_intermediates_exposed(self, paper_config, score_rows):
+        pipeline = SoftermaxPipeline(paper_config)
+        result = pipeline.run(score_rows)
+        inter = result.intermediates
+        assert inter.quantized_input.shape == score_rows.shape
+        assert inter.denominator.shape == score_rows.shape[:-1]
+        assert inter.reciprocal.shape == score_rows.shape[:-1]
+        assert inter.output.shape == score_rows.shape
+
+    def test_denominator_at_least_one(self, paper_config, score_rows):
+        # The running integer max always contributes at least 2^(x - ceil(x))
+        # >= 0.5, and the true maximum contributes close to 1.
+        pipeline = SoftermaxPipeline(paper_config)
+        result = pipeline.run(score_rows)
+        assert np.all(result.intermediates.denominator >= 0.5)
+
+    def test_slice_maxes_are_integers(self, paper_config, score_rows):
+        pipeline = SoftermaxPipeline(paper_config)
+        result = pipeline.run(score_rows)
+        slice_maxes = result.intermediates.slice_maxes
+        assert np.all(slice_maxes == np.round(slice_maxes))
+
+    def test_global_max_is_max_of_slice_maxes(self, paper_config, score_rows):
+        pipeline = SoftermaxPipeline(paper_config)
+        result = pipeline.run(score_rows)
+        inter = result.intermediates
+        assert np.allclose(inter.global_max, inter.slice_maxes.max(axis=-1))
+
+    def test_slice_width_does_not_change_results_much(self, score_rows):
+        wide = softermax(score_rows, config=SoftermaxConfig(slice_width=128))
+        narrow = softermax(score_rows, config=SoftermaxConfig(slice_width=8))
+        assert np.max(np.abs(wide - narrow)) < 0.05
+
+
+class TestConfigurationVariants:
+    def test_online_vs_explicit_max_agree(self, score_rows):
+        online = softermax(score_rows, config=SoftermaxConfig(use_online_normalization=True))
+        explicit = softermax(score_rows, config=SoftermaxConfig(use_online_normalization=False))
+        assert np.max(np.abs(online - explicit)) < 0.05
+
+    def test_high_precision_config_is_more_accurate(self, score_rows):
+        table1 = compare_softmax(
+            lambda x: softermax(x, config=SoftermaxConfig.paper_table1()),
+            score_rows, reference_fn=base2_softmax)
+        hp = compare_softmax(
+            lambda x: softermax(x, config=SoftermaxConfig.high_precision()),
+            score_rows, reference_fn=base2_softmax)
+        assert hp.max_abs_error < table1.max_abs_error
+
+    def test_natural_base_ablation_runs(self, score_rows):
+        probs = softermax(score_rows, config=SoftermaxConfig(use_base2=False))
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0)
+
+    def test_float_max_ablation(self, score_rows):
+        probs = softermax(score_rows, config=SoftermaxConfig(use_integer_max=False))
+        assert np.all(probs >= 0.0)
+
+
+class TestFloatSurrogate:
+    def test_softermax_float_matches_base2(self, score_rows):
+        assert np.allclose(softermax_float(score_rows), base2_softmax(score_rows))
+
+    def test_surrogate_tracks_fixed_point_forward(self, score_rows):
+        fixed = softermax(score_rows)
+        smooth = softermax_float(score_rows)
+        assert np.max(np.abs(fixed - smooth)) < 0.05

@@ -1,0 +1,131 @@
+"""Tests for the reference softmax implementations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    base2_softmax,
+    log_softmax_reference,
+    online_softmax,
+    softmax_jacobian_vector_product,
+    softmax_naive,
+    softmax_reference,
+)
+
+finite_rows = st.lists(
+    st.floats(min_value=-30.0, max_value=30.0, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=24,
+)
+
+
+class TestStableSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 17))
+        probs = softmax_reference(x)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_matches_naive_for_small_inputs(self, rng):
+        x = rng.normal(size=(4, 9))
+        assert np.allclose(softmax_reference(x), softmax_naive(x))
+
+    def test_stable_for_huge_logits_where_naive_overflows(self):
+        x = np.array([[1000.0, 999.0, 998.0]])
+        with np.errstate(over="ignore", invalid="ignore"):
+            naive = softmax_naive(x)
+        stable = softmax_reference(x)
+        assert not np.all(np.isfinite(naive)) or np.any(np.isnan(naive))
+        assert np.all(np.isfinite(stable))
+        assert stable[0, 0] > stable[0, 1] > stable[0, 2]
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 8))
+        assert np.allclose(softmax_reference(x), softmax_reference(x + 123.0))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(4, 6))
+        by_rows = softmax_reference(x, axis=-1)
+        by_cols = softmax_reference(x, axis=0)
+        assert np.allclose(by_rows.sum(axis=-1), 1.0)
+        assert np.allclose(by_cols.sum(axis=0), 1.0)
+
+    @given(finite_rows)
+    @settings(max_examples=60, deadline=None)
+    def test_probabilities_are_valid(self, row):
+        probs = softmax_reference(np.array([row]))
+        assert np.all(probs >= 0)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestBase2Softmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 13))
+        assert np.allclose(base2_softmax(x).sum(axis=-1), 1.0)
+
+    def test_equivalent_to_temperature_scaled_softmax(self, rng):
+        # 2^x / sum 2^x == e^(x ln2) / sum e^(x ln2)
+        x = rng.normal(size=(4, 7))
+        assert np.allclose(base2_softmax(x), softmax_reference(x * np.log(2.0)))
+
+    def test_preserves_ordering(self, rng):
+        x = rng.normal(size=(6, 11))
+        assert np.array_equal(np.argsort(base2_softmax(x)), np.argsort(softmax_reference(x)))
+
+    def test_flatter_than_base_e(self):
+        # Base 2 grows more slowly, so the max probability is smaller.
+        x = np.array([[0.0, 1.0, 2.0, 3.0]])
+        assert base2_softmax(x).max() < softmax_reference(x).max()
+
+
+class TestOnlineSoftmax:
+    def test_matches_stable_softmax_base_e(self, rng):
+        x = rng.normal(size=(4, 50))
+        assert np.allclose(online_softmax(x, base=np.e), softmax_reference(x), atol=1e-12)
+
+    def test_matches_base2_softmax(self, rng):
+        x = rng.normal(size=(4, 50))
+        assert np.allclose(online_softmax(x, base=2.0), base2_softmax(x), atol=1e-12)
+
+    def test_single_element_rows(self):
+        assert np.allclose(online_softmax(np.array([[3.0]])), [[1.0]])
+
+    def test_works_on_other_axes(self, rng):
+        x = rng.normal(size=(5, 7))
+        assert np.allclose(online_softmax(x, axis=0, base=np.e).sum(axis=0), 1.0)
+
+    def test_paper_worked_example(self):
+        """The [2, 1, 3] example from section III-C of the paper."""
+        x = np.array([[2.0, 1.0, 3.0]])
+        probs = online_softmax(x, base=2.0)
+        denominator = 2.0**-1 + 2.0**-2 + 2.0**0  # = 1.75
+        assert probs[0, 2] == pytest.approx(1.0 / denominator)
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestLogSoftmaxAndJacobian:
+    def test_log_softmax_is_log_of_softmax(self, rng):
+        x = rng.normal(size=(3, 9))
+        assert np.allclose(log_softmax_reference(x), np.log(softmax_reference(x)))
+
+    def test_jacobian_vector_product_matches_numerical_gradient(self, rng):
+        x = rng.normal(size=(7,))
+        grad_out = rng.normal(size=(7,))
+
+        def scalar_loss(values):
+            return float(np.dot(softmax_reference(values), grad_out))
+
+        eps = 1e-6
+        numerical = np.array([
+            (scalar_loss(x + eps * np.eye(7)[i]) - scalar_loss(x - eps * np.eye(7)[i])) / (2 * eps)
+            for i in range(7)
+        ])
+        analytic = softmax_jacobian_vector_product(softmax_reference(x), grad_out, base=np.e)
+        assert np.allclose(analytic, numerical, atol=1e-5)
+
+    def test_jacobian_base2_scaling(self, rng):
+        x = rng.normal(size=(5,))
+        grad_out = rng.normal(size=(5,))
+        probs = base2_softmax(x)
+        base2 = softmax_jacobian_vector_product(probs, grad_out, base=2.0)
+        basee = softmax_jacobian_vector_product(probs, grad_out, base=np.e)
+        assert np.allclose(base2, basee * np.log(2.0))

@@ -1,0 +1,119 @@
+"""Tests for the related-work softmax approximations."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LUTExpSoftmax,
+    attention_score_batch,
+    compare_softmax,
+    ibert_softmax,
+    lut_exp_softmax,
+    register_related_work_variants,
+    softmax_reference,
+    split_exp_softmax,
+)
+
+
+@pytest.fixture(scope="module")
+def scores():
+    return attention_score_batch(batch=8, seq_len=128, scale=4.0, seed=5)
+
+
+class TestIBertSoftmax:
+    def test_close_to_reference(self, scores):
+        report = compare_softmax(ibert_softmax, scores)
+        assert report.max_abs_error < 0.02
+        assert report.argmax_agreement > 0.9
+
+    def test_outputs_quantized_to_q17(self, scores):
+        out = ibert_softmax(scores)
+        scaled = out * 128
+        assert np.all(np.abs(scaled - np.round(scaled)) < 1e-9)
+
+    def test_rows_sum_close_to_one(self, scores):
+        # The 8-bit output grid rounds the long tail of small probabilities
+        # to zero, so sums fall a little short of 1 on 128-element rows.
+        sums = ibert_softmax(scores).sum(axis=-1)
+        assert np.all(np.abs(sums - 1.0) < 0.2)
+
+    def test_polynomial_region_accuracy(self):
+        # The polynomial is only used on (-ln2, 0]; check it directly there.
+        x = np.linspace(-0.69, 0.0, 100)
+        from repro.core.variants import _poly_exp_negative
+
+        assert np.max(np.abs(_poly_exp_negative(x) - np.exp(x))) < 0.01
+
+
+class TestLUTExpSoftmax:
+    def test_default_64_entries_accurate(self, scores):
+        report = compare_softmax(lambda s: lut_exp_softmax(s, num_entries=64), scores)
+        assert report.max_abs_error < 0.02
+
+    def test_more_entries_more_accurate(self, scores):
+        coarse = compare_softmax(lambda s: lut_exp_softmax(s, num_entries=8), scores)
+        fine = compare_softmax(lambda s: lut_exp_softmax(s, num_entries=128), scores)
+        assert fine.mean_abs_error <= coarse.mean_abs_error
+
+    def test_clipping_of_very_negative_scores(self):
+        unit = LUTExpSoftmax(num_entries=32, input_range=8.0)
+        x = np.array([[0.0, -100.0]])
+        out = unit(x)
+        assert out[0, 0] > 0.9
+        assert out[0, 1] < 0.1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            LUTExpSoftmax(num_entries=1)
+        with pytest.raises(ValueError):
+            LUTExpSoftmax(input_range=0.0)
+
+
+class TestSplitExpSoftmax:
+    def test_close_to_reference(self, scores):
+        report = compare_softmax(split_exp_softmax, scores)
+        assert report.max_abs_error < 0.05
+        assert report.argmax_agreement > 0.9
+
+    def test_more_fractional_bits_helps(self, scores):
+        coarse = compare_softmax(lambda s: split_exp_softmax(s, frac_bits=2), scores)
+        fine = compare_softmax(lambda s: split_exp_softmax(s, frac_bits=8), scores)
+        assert fine.mean_abs_error <= coarse.mean_abs_error
+
+    def test_invalid_frac_bits(self):
+        with pytest.raises(ValueError):
+            split_exp_softmax(np.zeros((1, 4)), frac_bits=0)
+
+
+class TestRegistration:
+    def test_related_work_variants_register_and_run(self, scores):
+        from repro.nn.functional import available_softmax_variants, get_softmax_variant
+
+        register_related_work_variants()
+        names = available_softmax_variants()
+        assert {"ibert", "lut_exp", "split_exp"} <= set(names)
+        for name in ("ibert", "lut_exp", "split_exp"):
+            variant = get_softmax_variant(name)
+            out = variant.forward_fn(scores)
+            assert out.shape == scores.shape
+
+    def test_registration_is_idempotent(self):
+        register_related_work_variants()
+        register_related_work_variants()  # should not raise or duplicate
+
+    def test_variants_usable_inside_attention(self, scores):
+        from repro.nn import MultiHeadSelfAttention, Tensor
+
+        register_related_work_variants()
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0,
+                                      softmax_variant="ibert")
+        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+
+class TestComparisonAgainstSoftermax:
+    def test_all_variants_roughly_agree_with_reference(self, scores):
+        """All hardware-friendly softmaxes stay near the float reference."""
+        reference = softmax_reference(scores)
+        for fn in (ibert_softmax, lut_exp_softmax, split_exp_softmax):
+            assert np.max(np.abs(fn(scores) - reference)) < 0.05

@@ -1,0 +1,175 @@
+"""Tests for the synthetic GLUE/SQuAD surrogate generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    GLUE_TASK_NAMES,
+    Vocabulary,
+    make_cola,
+    make_glue_suite,
+    make_glue_task,
+    make_mnli,
+    make_mrpc,
+    make_qnli,
+    make_qqp,
+    make_rte,
+    make_squad,
+    make_sst2,
+    make_stsb,
+)
+
+SMALL = dict(num_train=48, num_dev=24)
+
+
+def _all_generators():
+    return [make_rte, make_cola, make_mrpc, make_qnli, make_qqp, make_sst2,
+            make_stsb, make_mnli]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("maker", _all_generators())
+    def test_shapes_and_masks(self, maker):
+        task = maker(**SMALL)
+        assert len(task.train) == 48
+        assert len(task.dev) == 24
+        assert task.train.input_ids.shape[1] == task.seq_len
+        # attention mask is 0/1 and at least CLS + one token + SEP are valid
+        assert set(np.unique(task.train.attention_mask)) <= {0, 1}
+        assert np.all(task.train.attention_mask.sum(axis=1) >= 3)
+
+    @pytest.mark.parametrize("maker", _all_generators())
+    def test_token_ids_within_vocab(self, maker):
+        task = maker(**SMALL)
+        assert task.train.input_ids.min() >= 0
+        assert task.train.input_ids.max() < task.vocab_size
+
+    @pytest.mark.parametrize("maker", _all_generators())
+    def test_deterministic_given_seed(self, maker):
+        a = maker(**SMALL, seed=42)
+        b = maker(**SMALL, seed=42)
+        assert np.array_equal(a.train.input_ids, b.train.input_ids)
+        assert np.array_equal(a.train.labels, b.train.labels)
+
+    @pytest.mark.parametrize("maker", _all_generators())
+    def test_different_seeds_differ(self, maker):
+        a = maker(**SMALL, seed=1)
+        b = maker(**SMALL, seed=2)
+        assert not np.array_equal(a.train.input_ids, b.train.input_ids)
+
+
+class TestClassificationBalance:
+    @pytest.mark.parametrize("maker", [make_rte, make_cola, make_mrpc, make_qnli,
+                                       make_qqp, make_sst2])
+    def test_binary_labels_reasonably_balanced(self, maker):
+        task = maker(num_train=400, num_dev=100)
+        positives = task.train.labels.mean()
+        assert 0.3 < positives < 0.7
+
+    def test_mnli_has_three_classes(self):
+        task = make_mnli(num_train=300, num_dev=60)
+        assert set(np.unique(task.train.labels)) == {0, 1, 2}
+        assert task.num_classes == 3
+
+
+class TestTaskSemantics:
+    def test_sst2_label_matches_majority_rule(self):
+        vocab = Vocabulary()
+        task = make_sst2(num_train=64, num_dev=16, vocab=vocab)
+        content = vocab.content_ids
+        half = len(content) // 2
+        positive = set(content[:half])
+        for row, mask, label in zip(task.train.input_ids, task.train.attention_mask,
+                                    task.train.labels):
+            tokens = [t for t, m in zip(row, mask) if m and t in set(content)]
+            pos = sum(1 for t in tokens if t in positive)
+            neg = len(tokens) - pos
+            assert (pos > neg) == bool(label)
+
+    def test_rte_entailment_is_subset(self):
+        vocab = Vocabulary()
+        task = make_rte(num_train=64, num_dev=16, vocab=vocab)
+        sep = vocab.sep_id
+        for row, label in zip(task.train.input_ids, task.train.labels):
+            sep_positions = np.where(row == sep)[0]
+            premise = set(row[1:sep_positions[0]])
+            hypothesis = set(row[sep_positions[0] + 1:sep_positions[1]])
+            if label == 1:
+                assert hypothesis <= premise
+            else:
+                assert hypothesis.isdisjoint(premise)
+
+    def test_qnli_query_containment(self):
+        vocab = Vocabulary()
+        task = make_qnli(num_train=64, num_dev=16, vocab=vocab)
+        sep = vocab.sep_id
+        for row, label in zip(task.train.input_ids, task.train.labels):
+            sep_positions = np.where(row == sep)[0]
+            query = row[1]
+            sentence = row[sep_positions[0] + 1:sep_positions[1]]
+            assert (query in sentence) == bool(label)
+
+    def test_stsb_scores_in_range(self):
+        task = make_stsb(num_train=64, num_dev=16)
+        assert task.train.labels.min() >= 0.0
+        assert task.train.labels.max() <= 5.0
+        assert task.task_type == "regression"
+
+    def test_cola_metric_is_matthews(self):
+        assert make_cola(**SMALL).metric == "matthews"
+
+    def test_paraphrase_tasks_use_f1(self):
+        assert make_mrpc(**SMALL).metric == "f1"
+        assert make_qqp(**SMALL).metric == "f1"
+
+
+class TestSquad:
+    def test_span_labels_point_at_the_query_token(self):
+        vocab = Vocabulary()
+        task = make_squad(num_train=64, num_dev=16, vocab=vocab)
+        for row, (start, end) in zip(task.train.input_ids, task.train.labels):
+            query = row[1]
+            assert start <= end
+            assert np.all(row[start:end + 1] == query)
+
+    def test_span_within_valid_tokens(self):
+        task = make_squad(num_train=32, num_dev=8)
+        for mask, (start, end) in zip(task.train.attention_mask, task.train.labels):
+            assert mask[start] == 1
+            assert mask[end] == 1
+
+    def test_task_type_and_metric(self):
+        task = make_squad(num_train=16, num_dev=8)
+        assert task.task_type == "span"
+        assert task.metric == "squad_f1"
+
+    def test_invalid_span_length(self):
+        with pytest.raises(ValueError):
+            make_squad(num_train=4, num_dev=2, max_span_len=0)
+
+    def test_seq_len_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            make_squad(num_train=4, num_dev=2, seq_len=6, max_span_len=3)
+
+
+class TestSuite:
+    def test_make_glue_task_by_name(self):
+        task = make_glue_task("sst2", **SMALL)
+        assert task.name == "sst2"
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(KeyError):
+            make_glue_task("imagenet")
+
+    def test_suite_contains_all_eight_tasks(self):
+        suite = make_glue_suite(scale=0.03)
+        assert set(suite) == set(GLUE_TASK_NAMES)
+
+    def test_suite_scale_shrinks_splits(self):
+        suite = make_glue_suite(scale=0.03)
+        assert all(len(task.train) <= 64 for task in suite.values())
+
+    def test_summary_mentions_name_and_metric(self):
+        task = make_sst2(**SMALL)
+        text = task.summary()
+        assert "sst2" in text and "accuracy" in text

@@ -1,0 +1,79 @@
+"""Tests for the vocabulary and the task dataset containers."""
+
+import numpy as np
+import pytest
+
+from repro.data import TaskBatch, TaskSplit, Vocabulary
+from repro.data.tokenizer import CLS_TOKEN, PAD_TOKEN, SEP_TOKEN, SPECIAL_TOKENS
+
+
+class TestVocabulary:
+    def test_special_tokens_come_first(self):
+        vocab = Vocabulary()
+        assert vocab.tokens[: len(SPECIAL_TOKENS)] == list(SPECIAL_TOKENS)
+        assert vocab.pad_id == 0
+
+    def test_size(self):
+        vocab = Vocabulary(num_content_tokens=10)
+        assert len(vocab) == 10 + len(SPECIAL_TOKENS)
+        assert vocab.vocab_size == len(vocab)
+
+    def test_content_ids_exclude_specials(self):
+        vocab = Vocabulary(num_content_tokens=5)
+        content = vocab.content_ids
+        assert len(content) == 5
+        assert min(content) == len(SPECIAL_TOKENS)
+
+    def test_encode_decode_roundtrip(self):
+        vocab = Vocabulary()
+        tokens = [CLS_TOKEN, "tok0", "tok3", SEP_TOKEN, PAD_TOKEN]
+        assert vocab.decode(vocab.encode(tokens)) == tokens
+
+    def test_encode_unknown_token(self):
+        with pytest.raises(KeyError):
+            Vocabulary().encode(["definitely-not-a-token"])
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(IndexError):
+            Vocabulary().decode([999])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Vocabulary(num_content_tokens=0)
+
+
+class TestTaskSplitAndBatch:
+    def _split(self, n=10, seq=6):
+        ids = np.arange(n * seq).reshape(n, seq)
+        mask = np.ones((n, seq), dtype=np.int64)
+        labels = np.arange(n)
+        return TaskSplit(ids, mask, labels)
+
+    def test_len(self):
+        assert len(self._split(7)) == 7
+
+    def test_batches_cover_every_example_once(self):
+        split = self._split(10)
+        seen = []
+        for batch in split.batches(3):
+            seen.extend(batch.labels.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order_but_not_content(self):
+        split = self._split(32)
+        ordered = [l for b in split.batches(8) for l in b.labels.tolist()]
+        shuffled = [l for b in split.batches(8, shuffle=True,
+                                             rng=np.random.default_rng(0))
+                    for l in b.labels.tolist()]
+        assert sorted(ordered) == sorted(shuffled)
+        assert ordered != shuffled
+
+    def test_batch_size_validation(self):
+        with pytest.raises(ValueError):
+            next(self._split().batches(0))
+
+    def test_batch_shape_validation(self):
+        with pytest.raises(ValueError):
+            TaskBatch(np.zeros((2, 4)), np.zeros((2, 5)), np.zeros(2))
+        with pytest.raises(ValueError):
+            TaskBatch(np.zeros((2, 4)), np.zeros((2, 4)), np.zeros(3))

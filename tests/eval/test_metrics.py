@@ -1,0 +1,142 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    METRIC_FUNCTIONS,
+    accuracy,
+    compute_metric,
+    f1_binary,
+    matthews_corrcoef,
+    metric_summary,
+    pearson_corr,
+    pearson_spearman,
+    spearman_corr,
+    squad_em_f1,
+    squad_f1,
+)
+
+
+class TestAccuracy:
+    def test_perfect_and_zero(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 0, 1])) == 100.0
+        assert accuracy(np.array([1, 1, 1]), np.array([0, 0, 0])) == 0.0
+
+    def test_partial(self):
+        assert accuracy(np.array([1, 0, 1, 0]), np.array([1, 0, 0, 1])) == 50.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_binary(np.array([1, 0, 1]), np.array([1, 0, 1])) == 100.0
+
+    def test_no_true_positives(self):
+        assert f1_binary(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    def test_known_value(self):
+        # tp=1, fp=1, fn=1 -> precision=recall=0.5 -> f1=0.5
+        preds = np.array([1, 1, 0])
+        targets = np.array([1, 0, 1])
+        assert f1_binary(preds, targets) == pytest.approx(50.0)
+
+
+class TestMatthews:
+    def test_perfect_correlation(self):
+        labels = np.array([0, 1, 0, 1, 1])
+        assert matthews_corrcoef(labels, labels) == pytest.approx(100.0)
+
+    def test_inverse_correlation(self):
+        preds = np.array([0, 1, 0, 1])
+        assert matthews_corrcoef(preds, 1 - preds) == pytest.approx(-100.0)
+
+    def test_constant_prediction_is_zero(self):
+        assert matthews_corrcoef(np.ones(6, dtype=int), np.array([0, 1, 0, 1, 0, 1])) == 0.0
+
+
+class TestCorrelations:
+    def test_pearson_linear_relationship(self, rng):
+        x = rng.normal(size=200)
+        assert pearson_corr(2 * x + 3, x) == pytest.approx(100.0)
+
+    def test_spearman_monotonic_relationship(self, rng):
+        x = rng.normal(size=200)
+        assert spearman_corr(np.exp(x), x) == pytest.approx(100.0)
+
+    def test_constant_inputs_return_zero(self):
+        assert pearson_corr(np.ones(10), np.arange(10)) == 0.0
+        assert spearman_corr(np.ones(10), np.arange(10)) == 0.0
+
+    def test_pearson_spearman_average(self, rng):
+        x = rng.normal(size=50)
+        y = 0.8 * x + rng.normal(size=50) * 0.1
+        combined = pearson_spearman(y, x)
+        assert combined == pytest.approx((pearson_corr(y, x) + spearman_corr(y, x)) / 2)
+
+    @given(st.integers(min_value=5, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_correlation_bounded(self, n):
+        rng = np.random.default_rng(n)
+        a, b = rng.normal(size=n), rng.normal(size=n)
+        assert -100.0 <= pearson_corr(a, b) <= 100.0
+        assert -100.0 <= spearman_corr(a, b) <= 100.0
+
+
+class TestSquadMetrics:
+    def test_exact_match(self):
+        spans = np.array([[3, 5], [7, 7]])
+        em, f1 = squad_em_f1(spans, spans)
+        assert em == 100.0
+        assert f1 == 100.0
+
+    def test_partial_overlap(self):
+        pred = np.array([[3, 6]])
+        gold = np.array([[4, 6]])
+        em, f1 = squad_em_f1(pred, gold)
+        assert em == 0.0
+        # overlap 3 tokens, pred length 4, gold length 3 -> f1 = 2*0.75*1/(1.75)
+        assert f1 == pytest.approx(2 * 0.75 * 1.0 / 1.75 * 100)
+
+    def test_no_overlap(self):
+        em, f1 = squad_em_f1(np.array([[0, 1]]), np.array([[5, 6]]))
+        assert em == 0.0
+        assert f1 == 0.0
+
+    def test_squad_f1_returns_f1_only(self):
+        pred = np.array([[1, 2]])
+        gold = np.array([[1, 2]])
+        assert squad_f1(pred, gold) == 100.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            squad_em_f1(np.array([[1, 2]]), np.array([[1, 2], [3, 4]]))
+        with pytest.raises(ValueError):
+            squad_em_f1(np.array([1, 2]), np.array([1, 2]))
+
+
+class TestRegistry:
+    def test_all_metrics_registered(self):
+        assert set(METRIC_FUNCTIONS) == {"accuracy", "f1", "matthews",
+                                         "pearson_spearman", "squad_f1"}
+
+    def test_compute_metric_dispatch(self):
+        assert compute_metric("accuracy", np.array([1, 1]), np.array([1, 0])) == 50.0
+
+    def test_unknown_metric(self):
+        with pytest.raises(KeyError):
+            compute_metric("bleu", np.array([1]), np.array([1]))
+
+    def test_metric_summary(self):
+        summary = metric_summary({"a": 1.0, "b": -2.0, "c": 4.0})
+        assert summary["mean"] == pytest.approx(1.0)
+        assert summary["min"] == -2.0
+        assert summary["max"] == 4.0

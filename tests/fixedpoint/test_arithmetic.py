@@ -1,0 +1,112 @@
+"""Tests for fixed-point arithmetic primitives and rounding modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (
+    QFormat,
+    RoundingMode,
+    fixed_accumulate,
+    fixed_add,
+    fixed_mul,
+    fixed_shift,
+    fixed_sub,
+    is_representable,
+    quantize,
+    round_values,
+)
+
+
+class TestRounding:
+    def test_nearest_ties_away_from_zero(self):
+        assert round_values(np.array([0.5]), RoundingMode.NEAREST)[0] == 1.0
+        assert round_values(np.array([1.5]), RoundingMode.NEAREST)[0] == 2.0
+
+    def test_nearest_even(self):
+        assert round_values(np.array([0.5]), RoundingMode.NEAREST_EVEN)[0] == 0.0
+        assert round_values(np.array([1.5]), RoundingMode.NEAREST_EVEN)[0] == 2.0
+
+    def test_floor_ceil_trunc(self):
+        x = np.array([1.7, -1.7])
+        assert np.array_equal(round_values(x, RoundingMode.FLOOR), [1.0, -2.0])
+        assert np.array_equal(round_values(x, RoundingMode.CEIL), [2.0, -1.0])
+        assert np.array_equal(round_values(x, RoundingMode.TOWARD_ZERO), [1.0, -1.0])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            round_values(np.array([1.0]), "bogus")
+
+
+class TestFixedOps:
+    def test_add_exact(self):
+        fmt = QFormat(6, 2)
+        out = fixed_add(np.array([1.25]), np.array([2.5]), fmt)
+        assert out[0] == 3.75
+
+    def test_add_saturates(self):
+        fmt = QFormat(6, 2)
+        out = fixed_add(np.array([31.0]), np.array([31.0]), fmt)
+        assert out[0] == fmt.max_value
+
+    def test_sub(self):
+        fmt = QFormat(6, 2)
+        out = fixed_sub(np.array([1.0]), np.array([2.5]), fmt)
+        assert out[0] == -1.5
+
+    def test_mul_requantizes(self):
+        fmt = QFormat(6, 2)
+        out = fixed_mul(np.array([0.25]), np.array([0.25]), fmt)
+        # 0.0625 is not representable in Q(6,2); rounds to the nearest grid
+        # point (0.0 by the away-from-zero-at-0.5 rule applied to 0.25 LSB).
+        assert out[0] in (0.0, 0.25)
+        assert is_representable(out, fmt)
+
+    def test_shift_left_and_right(self):
+        fmt = QFormat(10, 6, signed=False)
+        out = fixed_shift(np.array([1.5]), np.array([3]), fmt)
+        assert out[0] == 12.0
+        out = fixed_shift(np.array([1.5]), np.array([-2]), fmt)
+        assert out[0] == pytest.approx(0.375)
+
+    def test_shift_requires_integer_amounts(self):
+        with pytest.raises(ValueError):
+            fixed_shift(np.array([1.0]), np.array([0.5]), QFormat(6, 2))
+
+    def test_accumulate_matches_sum_when_wide_enough(self):
+        fmt = QFormat(16, 8, signed=False)
+        values = np.array([[0.25, 0.5, 1.0, 2.0]])
+        acc = fixed_accumulate(values, fmt, axis=-1)
+        assert acc[0] == 3.75
+
+    def test_accumulate_saturates_along_the_way(self):
+        fmt = QFormat(3, 0, signed=False)  # max value 7
+        values = np.full((1, 20), 1.0)
+        acc = fixed_accumulate(values, fmt, axis=-1)
+        assert acc[0] == 7.0
+
+    def test_accumulate_respects_axis(self):
+        fmt = QFormat(10, 6, signed=False)
+        values = np.ones((2, 3))
+        assert np.array_equal(fixed_accumulate(values, fmt, axis=0), [2.0, 2.0, 2.0])
+        assert np.array_equal(fixed_accumulate(values, fmt, axis=1), [3.0, 3.0])
+
+    @given(st.integers(min_value=-128, max_value=127),
+           st.integers(min_value=-128, max_value=127))
+    @settings(max_examples=80, deadline=None)
+    def test_add_is_exact_for_in_range_grid_values(self, code_a, code_b):
+        fmt = QFormat(6, 2)
+        a = code_a * fmt.resolution
+        b = code_b * fmt.resolution
+        wide = QFormat(8, 2)
+        out = fixed_add(np.array([a]), np.array([b]), wide)
+        assert out[0] == pytest.approx(a + b)
+
+    @given(st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+           st.integers(min_value=-6, max_value=6))
+    @settings(max_examples=80, deadline=None)
+    def test_shift_matches_power_of_two_multiplication(self, value, shift):
+        fmt = QFormat(16, 12, signed=False)
+        value = quantize(np.array([value]), fmt)[0]
+        out = fixed_shift(np.array([value]), np.array([shift]), QFormat(20, 12, signed=False))
+        assert out[0] == pytest.approx(value * 2.0**shift, rel=1e-3, abs=2**-12)

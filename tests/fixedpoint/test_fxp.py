@@ -1,0 +1,133 @@
+"""Tests for fixed-point quantization, codes and the FixedPointArray wrapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixedpoint import (
+    FixedPointArray,
+    QFormat,
+    RoundingMode,
+    from_codes,
+    is_representable,
+    quantize,
+    to_codes,
+)
+
+
+class TestQuantize:
+    def test_values_land_on_grid(self):
+        fmt = QFormat(6, 2)
+        values = np.array([0.1, 0.24, 0.26, -0.13, 3.141])
+        q = quantize(values, fmt)
+        assert is_representable(q, fmt)
+
+    def test_nearest_rounding(self):
+        fmt = QFormat(6, 2)
+        assert quantize(np.array([0.12]), fmt)[0] == 0.0
+        assert quantize(np.array([0.13]), fmt)[0] == 0.25
+        assert quantize(np.array([0.38]), fmt)[0] == 0.5
+
+    def test_floor_rounding(self):
+        fmt = QFormat(6, 2)
+        q = quantize(np.array([0.99, -0.01]), fmt, RoundingMode.FLOOR)
+        assert q[0] == 0.75
+        assert q[1] == -0.25
+
+    def test_ceil_rounding(self):
+        fmt = QFormat(6, 2)
+        q = quantize(np.array([0.01, -0.99]), fmt, RoundingMode.CEIL)
+        assert q[0] == 0.25
+        assert q[1] == -0.75
+
+    def test_saturation_high(self):
+        fmt = QFormat(6, 2)
+        q = quantize(np.array([1000.0]), fmt)
+        assert q[0] == fmt.max_value
+
+    def test_saturation_low(self):
+        fmt = QFormat(6, 2)
+        q = quantize(np.array([-1000.0]), fmt)
+        assert q[0] == fmt.min_value
+
+    def test_unsigned_saturates_negative_to_zero(self):
+        fmt = QFormat(1, 7, signed=False)
+        q = quantize(np.array([-0.5]), fmt)
+        assert q[0] == 0.0
+
+    def test_overflow_error_when_not_saturating(self):
+        fmt = QFormat(6, 2)
+        with pytest.raises(OverflowError):
+            quantize(np.array([100.0]), fmt, saturate=False)
+
+    def test_exact_values_unchanged(self):
+        fmt = QFormat(10, 6, signed=False)
+        values = np.array([1.0, 0.015625, 512.5])
+        assert np.array_equal(quantize(values, fmt), values)
+
+    def test_stochastic_rounding_is_unbiased(self):
+        fmt = QFormat(6, 2)
+        rng = np.random.default_rng(0)
+        values = np.full(20000, 0.1)  # between 0 and 0.25
+        q = quantize(values, fmt, RoundingMode.STOCHASTIC, rng=rng)
+        assert abs(q.mean() - 0.1) < 0.01
+
+    @given(st.lists(st.floats(min_value=-31.0, max_value=31.0,
+                              allow_nan=False, allow_infinity=False),
+                    min_size=1, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_error_bounded_by_half_lsb(self, values):
+        fmt = QFormat(6, 2)
+        arr = np.asarray(values)
+        q = quantize(arr, fmt)
+        assert np.all(np.abs(q - arr) <= fmt.resolution / 2 + 1e-12)
+
+
+class TestCodes:
+    def test_roundtrip(self):
+        fmt = QFormat(6, 2)
+        values = quantize(np.linspace(-30, 30, 41), fmt)
+        codes = to_codes(values, fmt)
+        assert np.array_equal(from_codes(codes, fmt), values)
+
+    def test_codes_are_integers(self):
+        fmt = QFormat(1, 15, signed=False)
+        codes = to_codes(np.array([0.5, 0.25]), fmt)
+        assert codes.dtype == np.int64
+        assert codes[0] == 2**14
+
+    def test_is_representable_detects_off_grid(self):
+        fmt = QFormat(6, 2)
+        assert is_representable(np.array([0.25, -1.5]), fmt)
+        assert not is_representable(np.array([0.1]), fmt)
+        assert not is_representable(np.array([100.0]), fmt)
+
+    def test_is_representable_empty(self):
+        assert is_representable(np.array([]), QFormat(6, 2))
+
+
+class TestFixedPointArray:
+    def test_from_float_quantizes(self):
+        arr = FixedPointArray.from_float(np.array([0.1, 0.3]), QFormat(6, 2))
+        assert np.array_equal(arr.values, [0.0, 0.25])
+
+    def test_codes_property(self):
+        arr = FixedPointArray.from_float(np.array([1.0, -0.25]), QFormat(6, 2))
+        assert np.array_equal(arr.codes, [4, -1])
+
+    def test_cast_to_narrower_format(self):
+        arr = FixedPointArray.from_float(np.array([0.33]), QFormat(8, 8))
+        narrow = arr.cast(QFormat(6, 2))
+        assert narrow.fmt == QFormat(6, 2)
+        assert narrow.values[0] == 0.25
+
+    def test_to_float_returns_copy(self):
+        arr = FixedPointArray.from_float(np.array([1.0]), QFormat(6, 2))
+        out = arr.to_float()
+        out[0] = 99.0
+        assert arr.values[0] == 1.0
+
+    def test_len_and_shape(self):
+        arr = FixedPointArray.from_float(np.zeros((3, 4)), QFormat(6, 2))
+        assert arr.shape == (3, 4)
+        assert len(arr) == 3

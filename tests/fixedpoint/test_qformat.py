@@ -1,0 +1,86 @@
+"""Tests for Q-format descriptors."""
+
+import pytest
+
+from repro.fixedpoint import QFormat
+from repro.fixedpoint.qformat import product_format, sum_format
+
+
+class TestQFormatBasics:
+    def test_total_bits(self):
+        assert QFormat(6, 2).total_bits == 8
+        assert QFormat(1, 15, signed=False).total_bits == 16
+        assert QFormat(10, 6, signed=False).total_bits == 16
+
+    def test_resolution(self):
+        assert QFormat(6, 2).resolution == 0.25
+        assert QFormat(1, 7, signed=False).resolution == 1.0 / 128
+        assert QFormat(4, 0).resolution == 1.0
+
+    def test_signed_range(self):
+        fmt = QFormat(6, 2)
+        assert fmt.min_value == -32.0
+        assert fmt.max_value == 32.0 - 0.25
+
+    def test_unsigned_range(self):
+        # Unsigned Q(1,7): one integer bit plus seven fractional bits, so the
+        # softmax outputs in [0, 1] (including exactly 1.0) are representable.
+        fmt = QFormat(1, 7, signed=False)
+        assert fmt.min_value == 0.0
+        assert fmt.max_value == pytest.approx(2.0 - 1.0 / 128)
+
+    def test_codes_signed(self):
+        fmt = QFormat(6, 2)
+        assert fmt.max_code == 127
+        assert fmt.min_code == -128
+
+    def test_codes_unsigned(self):
+        fmt = QFormat(10, 6, signed=False)
+        assert fmt.max_code == 2**16 - 1
+        assert fmt.min_code == 0
+
+    def test_str_representation(self):
+        assert str(QFormat(6, 2)) == "Q(6,2)"
+        assert str(QFormat(1, 7, signed=False)) == "UQ(1,7)"
+
+
+class TestQFormatValidation:
+    def test_negative_int_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(-1, 4)
+
+    def test_negative_frac_bits_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(4, -1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            QFormat(0, 0, signed=False)
+
+    def test_signed_needs_sign_bit(self):
+        with pytest.raises(ValueError):
+            QFormat(0, 8, signed=True)
+
+
+class TestQFormatDerived:
+    def test_widen(self):
+        fmt = QFormat(6, 2).widen(extra_int=2, extra_frac=4)
+        assert fmt == QFormat(8, 6)
+
+    def test_widen_rejects_negative(self):
+        with pytest.raises(ValueError):
+            QFormat(6, 2).widen(extra_int=-1)
+
+    def test_with_signedness(self):
+        assert QFormat(6, 2).with_signedness(False) == QFormat(6, 2, signed=False)
+
+    def test_product_format(self):
+        prod = product_format(QFormat(6, 2), QFormat(1, 7, signed=False))
+        assert prod.int_bits == 7
+        assert prod.frac_bits == 9
+        assert prod.signed
+
+    def test_sum_format(self):
+        total = sum_format(QFormat(6, 2), QFormat(4, 4))
+        assert total.int_bits == 7
+        assert total.frac_bits == 4

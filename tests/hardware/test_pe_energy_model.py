@@ -1,0 +1,165 @@
+"""Tests for the PE model, the workload energy model and the paper's ratios."""
+
+import pytest
+
+from repro.hardware import (
+    AttentionWorkload,
+    PEConfig,
+    ProcessingElement,
+    attention_energy,
+    compute_table4,
+    sequence_length_sweep,
+)
+
+
+class TestPEConfig:
+    def test_paper_table2_configurations(self):
+        wide32 = PEConfig.wide32()
+        wide16 = PEConfig.wide16()
+        assert wide32.vector_size == 32 and wide32.num_lanes == 32
+        assert wide32.weight_buffer_bytes == 128 * 1024
+        assert wide16.vector_size == 16
+        assert wide16.weight_buffer_bytes == 32 * 1024
+        assert wide32.weight_bits == 8 and wide32.accumulation_bits == 24
+
+    def test_num_macs(self):
+        assert PEConfig.wide32().num_macs == 1024
+        assert PEConfig.wide16().num_macs == 256
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            PEConfig(vector_size=0)
+
+
+class TestProcessingElement:
+    def test_softmax_impl_validation(self):
+        with pytest.raises(ValueError):
+            ProcessingElement(softmax_impl="lookup-table")
+
+    def test_area_includes_macs_buffers_and_softmax(self):
+        pe = ProcessingElement(softmax_impl="softermax")
+        items = pe.area().as_dict()
+        assert "mac_array" in items
+        assert "weight_buffer" in items
+        assert any(name.startswith("softmax_unnormed") for name in items)
+        assert any(name.startswith("softmax_norm") for name in items)
+
+    def test_area_without_normalization_unit_is_smaller(self):
+        pe = ProcessingElement(softmax_impl="softermax")
+        with_norm = pe.area(include_normalization_unit=True).total
+        without_norm = pe.area(include_normalization_unit=False).total
+        assert without_norm < with_norm
+
+    def test_buffers_dominate_pe_area(self):
+        pe = ProcessingElement(softmax_impl="softermax")
+        items = pe.area().as_dict()
+        buffers = items["input_buffer"] + items["weight_buffer"] + items["accumulation_collector"]
+        assert buffers > 0.5 * pe.area().total
+
+    def test_softmax_output_bits(self):
+        assert ProcessingElement(softmax_impl="softermax").softmax_output_bits() == 8
+        assert ProcessingElement(softmax_impl="designware").softmax_output_bits() == 16
+
+    def test_mac_energy_positive_and_small(self):
+        pe = ProcessingElement()
+        assert 0.001 < pe.mac_energy() < 1.0
+
+
+class TestAttentionWorkload:
+    def test_squad_workload_dimensions(self):
+        w = AttentionWorkload.squad()
+        assert w.seq_len == 384
+        assert w.num_rows == 384
+        assert w.num_score_elements == 384 * 384
+        assert w.num_macs == 384 * 384 * 64
+
+    def test_multi_head_scaling(self):
+        single = AttentionWorkload(seq_len=128, num_heads=1)
+        multi = AttentionWorkload(seq_len=128, num_heads=16)
+        assert multi.num_macs == 16 * single.num_macs
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            AttentionWorkload(seq_len=0)
+
+
+class TestEnergyModel:
+    def test_energy_grows_quadratically_with_seq_len(self):
+        pe = ProcessingElement(softmax_impl="softermax")
+        small = attention_energy(pe, AttentionWorkload(seq_len=128)).total
+        large = attention_energy(pe, AttentionWorkload(seq_len=512)).total
+        assert large == pytest.approx(16 * small, rel=0.25)
+
+    def test_baseline_softmax_share_is_large(self):
+        pe = ProcessingElement(softmax_impl="designware")
+        breakdown = attention_energy(pe, AttentionWorkload.squad())
+        softmax = sum(v for k, v in breakdown.items.items() if k.startswith("softmax."))
+        assert softmax > 0.3 * breakdown.total
+
+    def test_softermax_softmax_share_is_small(self):
+        pe = ProcessingElement(softmax_impl="softermax")
+        breakdown = attention_energy(pe, AttentionWorkload.squad())
+        softmax = sum(v for k, v in breakdown.items.items() if k.startswith("softmax."))
+        assert softmax < 0.2 * breakdown.total
+
+
+class TestTable4:
+    """The headline Table IV ratios (area and energy, unit and PE level)."""
+
+    @pytest.fixture(scope="class")
+    def table4(self):
+        return compute_table4()
+
+    def test_all_rows_present(self, table4):
+        labels = {row.label for row in table4.area_rows}
+        assert labels == {"Unnormed Softmax Unit", "Normalization Unit", "Full PE"}
+
+    def test_softermax_wins_everywhere(self, table4):
+        for row in table4.area_rows + table4.energy_rows:
+            assert row.ratio < 1.0, row.label
+
+    def test_unnormed_unit_ratios_match_paper_shape(self, table4):
+        # Paper: 0.25x area, 0.10x energy.
+        assert 0.1 < table4.area_ratio("Unnormed Softmax Unit") < 0.4
+        assert 0.04 < table4.energy_ratio("Unnormed Softmax Unit") < 0.2
+
+    def test_normalization_unit_ratios_match_paper_shape(self, table4):
+        # Paper: 0.65x area, 0.39x energy.
+        assert 0.45 < table4.area_ratio("Normalization Unit") < 0.9
+        assert 0.15 < table4.energy_ratio("Normalization Unit") < 0.6
+
+    def test_full_pe_ratios_match_paper_shape(self, table4):
+        # Paper: 0.90x area, 0.43x energy.
+        assert 0.8 < table4.area_ratio("Full PE") < 1.0
+        assert 0.3 < table4.energy_ratio("Full PE") < 0.6
+
+    def test_improvement_is_inverse_of_ratio(self, table4):
+        row = table4.area_rows[0]
+        assert row.improvement == pytest.approx(1.0 / row.ratio)
+
+    def test_as_dict_structure(self, table4):
+        d = table4.as_dict()
+        assert set(d) == {"area", "energy"}
+        assert set(d["area"]) == {"Unnormed Softmax Unit", "Normalization Unit", "Full PE"}
+
+
+class TestFigure5Sweep:
+    def test_sweep_covers_requested_points(self):
+        points = sequence_length_sweep(seq_lens=(128, 384), vector_sizes=(16, 32))
+        assert len(points) == 4
+        assert {p.vector_size for p in points} == {16, 32}
+
+    def test_softermax_always_lower_energy(self):
+        for point in sequence_length_sweep(seq_lens=(128, 512, 2048)):
+            assert point.softermax_energy_uj < point.baseline_energy_uj
+
+    def test_baseline_slope_is_steeper(self):
+        points = sequence_length_sweep(seq_lens=(256, 4096), vector_sizes=(32,))
+        base_slope = points[1].baseline_energy_uj - points[0].baseline_energy_uj
+        soft_slope = points[1].softermax_energy_uj - points[0].softermax_energy_uj
+        assert base_slope > 1.5 * soft_slope
+
+    def test_energy_increases_with_seq_len(self):
+        points = sequence_length_sweep(seq_lens=(128, 256, 512, 1024), vector_sizes=(32,))
+        energies = [p.softermax_energy_uj for p in points]
+        assert energies == sorted(energies)

@@ -1,0 +1,138 @@
+"""Tests for the latency model and the full-model attention mapping."""
+
+import pytest
+
+from repro.hardware import (
+    AcceleratorConfig,
+    BASELINE_LATENCY,
+    PEConfig,
+    SOFTERMAX_LATENCY,
+    SoftmaxLatencyModel,
+    attention_latency,
+    compare_model_attention,
+    latency_sweep,
+    model_attention_cost,
+    model_sweep,
+    row_latency,
+    throughput_sweep,
+)
+from repro.models import BertConfig
+
+
+class TestLatencyModels:
+    def test_builtin_models(self):
+        assert SOFTERMAX_LATENCY.passes_over_scores == 1
+        assert BASELINE_LATENCY.passes_over_scores == 2
+        assert BASELINE_LATENCY.exp_pipeline_depth > SOFTERMAX_LATENCY.exp_pipeline_depth
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SoftmaxLatencyModel("bad", 0, 1, 1)
+        with pytest.raises(ValueError):
+            SoftmaxLatencyModel("bad", 1, 1, 0)
+
+
+class TestRowLatency:
+    def test_breakdown_components(self):
+        breakdown = row_latency(384, SOFTERMAX_LATENCY)
+        assert breakdown.max_pass_cycles == 0  # single pass
+        assert breakdown.score_generation_cycles > 0
+        assert breakdown.total_cycles == (breakdown.score_generation_cycles
+                                          + breakdown.softmax_cycles)
+        assert 0.0 < breakdown.softmax_overhead_fraction < 1.0
+
+    def test_baseline_pays_the_extra_pass(self):
+        soft = row_latency(384, SOFTERMAX_LATENCY)
+        base = row_latency(384, BASELINE_LATENCY)
+        assert base.max_pass_cycles > 0
+        assert base.total_cycles > soft.total_cycles
+
+    def test_latency_scales_with_seq_len(self):
+        short = row_latency(128, SOFTERMAX_LATENCY)
+        long = row_latency(1024, SOFTERMAX_LATENCY)
+        assert long.total_cycles > 6 * short.total_cycles
+
+    def test_wider_pe_is_faster(self):
+        narrow = row_latency(512, SOFTERMAX_LATENCY, PEConfig.wide16())
+        wide = row_latency(512, SOFTERMAX_LATENCY, PEConfig.wide32())
+        assert wide.total_cycles < narrow.total_cycles
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            row_latency(0, SOFTERMAX_LATENCY)
+
+    def test_as_dict_keys(self):
+        d = row_latency(64, BASELINE_LATENCY).as_dict()
+        assert set(d) == {"score_generation", "max_pass", "exponential", "normalization"}
+
+
+class TestSweeps:
+    def test_latency_sweep_speedup_above_one(self):
+        for comparison in latency_sweep(seq_lens=(128, 512, 2048)):
+            assert comparison.speedup > 1.0
+
+    def test_speedup_shrinks_as_macs_dominate(self):
+        # At longer sequences the MAC work grows as fast as the softmax work,
+        # so the relative speedup saturates; it must never increase wildly.
+        comparisons = latency_sweep(seq_lens=(128, 2048))
+        assert comparisons[1].speedup <= comparisons[0].speedup + 0.01
+
+    def test_throughput_sweep(self):
+        reports = throughput_sweep(seq_lens=(128, 1024))
+        for report in reports:
+            assert report.softermax_rows_per_kcycle > report.baseline_rows_per_kcycle
+            assert report.improvement > 1.0
+
+    def test_attention_latency_scales_with_heads(self):
+        one = attention_latency(256, SOFTERMAX_LATENCY, num_heads=1)
+        four = attention_latency(256, SOFTERMAX_LATENCY, num_heads=4)
+        assert four == 4 * one
+
+    def test_attention_latency_validates_heads(self):
+        with pytest.raises(ValueError):
+            attention_latency(256, SOFTERMAX_LATENCY, num_heads=0)
+
+
+class TestModelAttentionMapping:
+    def test_accelerator_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(pe_config=PEConfig.wide32(), num_pes=0)
+
+    def test_energy_scales_with_layers(self):
+        base = BertConfig.bert_base(max_seq_len=2048)
+        large = BertConfig.bert_large(max_seq_len=2048)
+        cost_base = model_attention_cost(base, 512)
+        cost_large = model_attention_cost(large, 512)
+        assert cost_large.energy_uj > cost_base.energy_uj
+        assert cost_base.per_layer_energy_uj * base.num_layers == pytest.approx(
+            cost_base.energy_uj)
+
+    def test_softermax_saves_energy_at_model_level(self):
+        comparison = compare_model_attention(BertConfig.bert_large(max_seq_len=2048), 512)
+        assert comparison.energy_ratio < 0.7
+        assert comparison.cycle_ratio < 1.0
+        assert comparison.energy_saved_uj > 0
+
+    def test_model_level_ratio_matches_pe_level_ratio(self):
+        """Scaling to a full model must not change the per-workload ratio."""
+        from repro.hardware import compute_table4
+
+        comparison = compare_model_attention(BertConfig.bert_base(max_seq_len=512), 384)
+        pe_ratio = compute_table4().energy_ratio("Full PE")
+        assert comparison.energy_ratio == pytest.approx(pe_ratio, rel=0.05)
+
+    def test_model_sweep_covers_grid(self):
+        comparisons = model_sweep([BertConfig.bert_base(max_seq_len=2048)],
+                                  seq_lens=(128, 512))
+        assert len(comparisons) == 2
+        assert all(c.energy_ratio < 1.0 for c in comparisons)
+
+    def test_invalid_seq_len(self):
+        with pytest.raises(ValueError):
+            model_attention_cost(BertConfig.bert_base(), 0)
+
+    def test_as_dict(self):
+        cost = model_attention_cost(BertConfig.bert_base(max_seq_len=512), 384)
+        d = cost.as_dict()
+        assert d["model"] == "bert-base"
+        assert d["seq_len"] == 384

@@ -1,0 +1,89 @@
+"""Tests for the GPU operator runtime model (Figure 1)."""
+
+import pytest
+
+from repro.hardware import (
+    GPUModel,
+    model_runtime_breakdown,
+    runtime_breakdown_sweep,
+    transformer_layer_counts,
+)
+from repro.models import BertConfig
+
+
+class TestOperatorCounts:
+    def test_matmul_flops_match_closed_form(self):
+        config = BertConfig.bert_base(max_seq_len=512)
+        seq = 128
+        counts = transformer_layer_counts(config, seq)
+        h, inter, heads = config.hidden_dim, config.intermediate_dim, config.num_heads
+        expected = 2 * (
+            3 * seq * h * h
+            + heads * seq * seq * (h / heads)
+            + heads * seq * (h / heads) * seq
+            + seq * h * h
+            + seq * inter * h
+            + seq * h * inter
+        )
+        assert counts.matmul_flops == pytest.approx(expected)
+
+    def test_softmax_elements_are_quadratic_in_seq(self):
+        config = BertConfig.bert_large(max_seq_len=4096)
+        small = transformer_layer_counts(config, 128).softmax_elements
+        large = transformer_layer_counts(config, 512).softmax_elements
+        assert large == pytest.approx(16 * small)
+
+    def test_batch_scales_everything(self):
+        config = BertConfig.bert_base()
+        single = transformer_layer_counts(config, 128, batch=1)
+        double = transformer_layer_counts(config, 128, batch=2)
+        assert double.matmul_flops == pytest.approx(2 * single.matmul_flops)
+        assert double.softmax_elements == pytest.approx(2 * single.softmax_elements)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            transformer_layer_counts(BertConfig.bert_base(), 0)
+
+
+class TestRuntimeBreakdown:
+    def test_fractions_sum_to_one(self):
+        breakdown = model_runtime_breakdown(BertConfig.bert_large(max_seq_len=4096), 384)
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_contains_all_operator_classes(self):
+        breakdown = model_runtime_breakdown(BertConfig.bert_large(max_seq_len=4096), 384)
+        assert set(breakdown.times) == {"matmul", "softmax", "dropout", "norm_act_other"}
+
+    def test_softmax_fraction_grows_with_sequence_length(self):
+        """The central claim of Figure 1."""
+        sweep = runtime_breakdown_sweep(seq_lens=(128, 384, 1024, 2048))
+        fractions = [b.softmax_fraction for b in sweep]
+        assert fractions == sorted(fractions)
+        assert fractions[0] < 0.35
+        assert fractions[-1] > 0.45
+
+    def test_matmul_dominates_at_short_sequences(self):
+        breakdown = model_runtime_breakdown(BertConfig.bert_large(max_seq_len=4096), 128)
+        fractions = breakdown.fractions()
+        assert fractions["matmul"] > fractions["softmax"]
+
+    def test_softmax_overtakes_matmul_at_long_sequences(self):
+        breakdown = model_runtime_breakdown(BertConfig.bert_large(max_seq_len=4096), 2048)
+        fractions = breakdown.fractions()
+        assert fractions["softmax"] > fractions["matmul"]
+
+    def test_faster_softmax_unit_shrinks_the_softmax_share(self):
+        slow = GPUModel()
+        fast = GPUModel(softmax_elements_per_second=slow.softmax_elements_per_second * 10)
+        config = BertConfig.bert_large(max_seq_len=4096)
+        share_slow = model_runtime_breakdown(config, 1024, gpu=slow).softmax_fraction
+        share_fast = model_runtime_breakdown(config, 1024, gpu=fast).softmax_fraction
+        assert share_fast < share_slow
+
+    def test_bert_base_has_smaller_softmax_share_than_bert_large(self):
+        # Fewer heads and layers but same per-layer ratio; shares are close,
+        # so just check both are sane probabilities.
+        base = model_runtime_breakdown(BertConfig.bert_base(max_seq_len=2048), 512).softmax_fraction
+        large = model_runtime_breakdown(BertConfig.bert_large(max_seq_len=2048), 512).softmax_fraction
+        assert 0.0 < base < 1.0
+        assert 0.0 < large < 1.0

@@ -1,0 +1,118 @@
+"""Tests for the Softermax and DesignWare-baseline hardware unit models."""
+
+import pytest
+
+from repro.core import SoftermaxConfig
+from repro.hardware import (
+    BaselineNormalizationUnit,
+    BaselineUnnormedUnit,
+    SoftermaxNormalizationUnit,
+    SoftermaxUnnormedUnit,
+)
+
+
+class TestSoftermaxUnnormedUnit:
+    def test_area_breakdown_has_the_papers_subunits(self):
+        unit = SoftermaxUnnormedUnit(vector_size=32)
+        items = unit.area().as_dict()
+        assert any("intmax" in name for name in items)
+        assert any("pow2" in name for name in items)
+        assert any("reduction" in name or "running_sum" in name for name in items)
+
+    def test_area_scales_with_vector_size(self):
+        small = SoftermaxUnnormedUnit(vector_size=16).total_area()
+        large = SoftermaxUnnormedUnit(vector_size=32).total_area()
+        assert 1.5 < large / small < 2.5
+
+    def test_energy_per_element_roughly_independent_of_width(self):
+        small = SoftermaxUnnormedUnit(vector_size=16).energy_per_element()
+        large = SoftermaxUnnormedUnit(vector_size=32).energy_per_element()
+        assert small == pytest.approx(large, rel=0.2)
+
+    def test_row_energy_scales_with_slices(self):
+        unit = SoftermaxUnnormedUnit(vector_size=32)
+        assert unit.row_energy(128).total == pytest.approx(4 * unit.slice_energy().total)
+        assert unit.row_energy(64).total == pytest.approx(2 * unit.slice_energy().total)
+
+    def test_row_energy_validates_seq_len(self):
+        with pytest.raises(ValueError):
+            SoftermaxUnnormedUnit().row_energy(0)
+
+    def test_invalid_vector_size(self):
+        with pytest.raises(ValueError):
+            SoftermaxUnnormedUnit(vector_size=0)
+
+    def test_wider_formats_cost_more(self):
+        table1 = SoftermaxUnnormedUnit(config=SoftermaxConfig.paper_table1())
+        wide = SoftermaxUnnormedUnit(config=SoftermaxConfig.high_precision())
+        assert wide.total_area() > table1.total_area()
+        assert wide.slice_energy().total > table1.slice_energy().total
+
+
+class TestSoftermaxNormalizationUnit:
+    def test_reciprocal_energy_amortized_per_row(self):
+        unit = SoftermaxNormalizationUnit(vector_size=32)
+        short = unit.row_energy(8).total
+        long = unit.row_energy(512).total
+        # Per-element cost dominates for long rows.
+        assert long > 32 * short / 10
+
+    def test_area_has_shifter_and_multiplier(self):
+        items = SoftermaxNormalizationUnit().area().as_dict()
+        assert any("shifter" in name for name in items)
+        assert any("multiplier" in name for name in items)
+
+    def test_row_energy_validates_seq_len(self):
+        with pytest.raises(ValueError):
+            SoftermaxNormalizationUnit().row_energy(-1)
+
+
+class TestBaselineUnits:
+    def test_exp_units_dominate_baseline_area(self):
+        unit = BaselineUnnormedUnit(vector_size=32)
+        items = unit.area().as_dict()
+        assert items["exp_units"] > 0.4 * unit.total_area()
+
+    def test_baseline_charges_a_second_pass(self):
+        energy = BaselineUnnormedUnit(vector_size=32).slice_energy().as_dict()
+        assert "second_pass_restage" in energy
+
+    def test_divider_dominates_baseline_normalization(self):
+        unit = BaselineNormalizationUnit(vector_size=32)
+        items = unit.area().as_dict()
+        assert items["dividers"] > 0.5 * unit.total_area()
+
+    def test_invalid_vector_sizes(self):
+        with pytest.raises(ValueError):
+            BaselineUnnormedUnit(vector_size=0)
+        with pytest.raises(ValueError):
+            BaselineNormalizationUnit(vector_size=0)
+
+
+class TestSoftermaxVsBaseline:
+    """The headline unit-level claims of the paper (section VI.B)."""
+
+    def test_unnormed_unit_is_much_smaller(self):
+        softermax = SoftermaxUnnormedUnit(vector_size=32).total_area()
+        baseline = BaselineUnnormedUnit(vector_size=32).total_area()
+        assert softermax < 0.4 * baseline  # paper: 0.25x
+
+    def test_unnormed_unit_is_much_more_energy_efficient(self):
+        softermax = SoftermaxUnnormedUnit(vector_size=32).row_energy(384).total
+        baseline = BaselineUnnormedUnit(vector_size=32).row_energy(384).total
+        assert softermax < 0.2 * baseline  # paper: 0.10x
+
+    def test_normalization_unit_is_smaller_but_less_dramatically(self):
+        softermax = SoftermaxNormalizationUnit(vector_size=32).total_area()
+        baseline = BaselineNormalizationUnit(vector_size=32).total_area()
+        assert 0.4 * baseline < softermax < 0.9 * baseline  # paper: 0.65x
+
+    def test_normalization_unit_energy_ratio(self):
+        softermax = SoftermaxNormalizationUnit(vector_size=32).row_energy(384).total
+        baseline = BaselineNormalizationUnit(vector_size=32).row_energy(384).total
+        assert softermax < 0.6 * baseline  # paper: 0.39x
+
+    def test_ratios_hold_for_16_wide_units_too(self):
+        softermax = SoftermaxUnnormedUnit(vector_size=16).total_area()
+        baseline = BaselineUnnormedUnit(vector_size=16).total_area()
+        assert softermax < 0.4 * baseline

@@ -1,0 +1,86 @@
+"""Tests for the technology model and the unit composition framework."""
+
+import pytest
+
+from repro.hardware import AreaBreakdown, EnergyBreakdown, Technology, ratio
+from repro.hardware.technology import DEFAULT_TECHNOLOGY
+
+
+class TestTechnologyScaling:
+    def test_adder_scales_linearly_with_bits(self):
+        tech = Technology()
+        assert tech.int_adder_area(16) == pytest.approx(2 * tech.int_adder_area(8))
+        assert tech.int_adder_energy(16) == pytest.approx(2 * tech.int_adder_energy(8))
+
+    def test_multiplier_scales_with_product_of_widths(self):
+        tech = Technology()
+        assert tech.int_multiplier_area(16, 16) == pytest.approx(4 * tech.int_multiplier_area(8, 8))
+
+    def test_mac_is_multiplier_plus_accumulator(self):
+        tech = Technology()
+        assert tech.int_mac_energy(8, 8, 24) == pytest.approx(
+            tech.int_multiplier_energy(8, 8) + tech.int_adder_energy(24))
+
+    def test_shifter_scales_with_log_of_shift_range(self):
+        tech = Technology()
+        assert tech.shifter_area(16, 16) == pytest.approx(4 / 5 * tech.shifter_area(16, 32))
+
+    def test_fp16_exp_is_much_bigger_than_int_adder(self):
+        tech = Technology()
+        assert tech.fp16_exp_area > 50 * tech.int_adder_area(16)
+        assert tech.fp16_exp_energy > 50 * tech.int_adder_energy(16)
+
+    def test_lut_energy_grows_weakly_with_depth(self):
+        tech = Technology()
+        small = tech.lut_read_energy(4, 16)
+        large = tech.lut_read_energy(128, 16)
+        assert large > small
+        assert large < 3 * small
+
+    def test_sram_area_proportional_to_size(self):
+        tech = Technology()
+        assert tech.sram_area(128 * 1024) == pytest.approx(4 * tech.sram_area(32 * 1024))
+
+    def test_invalid_bit_widths_rejected(self):
+        tech = Technology()
+        with pytest.raises(ValueError):
+            tech.int_adder_area(0)
+        with pytest.raises(ValueError):
+            tech.lut_area(0, 8)
+        with pytest.raises(ValueError):
+            tech.sram_area(-1)
+
+    def test_default_instance_exists(self):
+        assert DEFAULT_TECHNOLOGY.name.startswith("tsmc7nm")
+
+
+class TestBreakdowns:
+    def test_area_breakdown_totals_and_merge(self):
+        a = AreaBreakdown()
+        a.add("x", 10.0)
+        a.add("x", 5.0)
+        b = AreaBreakdown()
+        b.add("y", 1.0)
+        a.merge(b, prefix="sub.")
+        assert a.total == pytest.approx(16.0)
+        assert a.as_dict() == {"x": 15.0, "sub.y": 1.0}
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            AreaBreakdown().add("x", -1.0)
+
+    def test_energy_breakdown_scaling(self):
+        e = EnergyBreakdown({"op": 2.0, "mem": 3.0})
+        doubled = e.scaled(2.0)
+        assert doubled.total == pytest.approx(10.0)
+        assert e.total == pytest.approx(5.0)  # original unchanged
+        assert doubled.total_uj == pytest.approx(10.0e-6)
+
+    def test_energy_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyBreakdown({"op": 1.0}).scaled(-1.0)
+
+    def test_ratio_checks_denominator(self):
+        assert ratio(1.0, 2.0) == pytest.approx(0.5)
+        with pytest.raises(ZeroDivisionError):
+            ratio(1.0, 0.0)

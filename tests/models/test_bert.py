@@ -1,0 +1,135 @@
+"""Tests for the BERT-style models and task heads."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_sst2, make_squad, make_stsb
+from repro.models import (
+    BertConfig,
+    BertEncoderModel,
+    ClassificationHead,
+    RegressionHead,
+    SpanHead,
+    TaskModel,
+)
+from repro.nn import Tensor
+
+
+class TestBertConfig:
+    def test_published_geometries(self):
+        base = BertConfig.bert_base()
+        large = BertConfig.bert_large()
+        assert (base.hidden_dim, base.num_layers, base.num_heads) == (768, 12, 12)
+        assert (large.hidden_dim, large.num_layers, large.num_heads) == (1024, 24, 16)
+        assert base.head_dim == 64
+        assert large.head_dim == 64
+
+    def test_parameter_count_estimates_published_sizes(self):
+        # BERT-Base ~110M, BERT-Large ~340M (encoder + embeddings).
+        assert 90e6 < BertConfig.bert_base().parameter_count_estimate() < 130e6
+        assert 280e6 < BertConfig.bert_large().parameter_count_estimate() < 400e6
+
+    def test_tiny_surrogates_are_trainable_sizes(self):
+        tiny = BertConfig.tiny_base()
+        assert tiny.parameter_count_estimate() < 100_000
+        assert BertConfig.tiny_large().parameter_count_estimate() > tiny.parameter_count_estimate()
+
+    def test_head_divisibility_enforced(self):
+        with pytest.raises(ValueError):
+            BertConfig(30, 30, 2, 4, 60, 32)
+
+
+class TestBertEncoderModel:
+    def test_forward_shape(self):
+        config = BertConfig.tiny_base(vocab_size=20, max_seq_len=16)
+        model = BertEncoderModel(config, seed=0)
+        ids = np.random.default_rng(0).integers(0, 20, size=(3, 12))
+        out = model(ids)
+        assert out.shape == (3, 12, config.hidden_dim)
+
+    def test_sequence_length_guard(self):
+        config = BertConfig.tiny_base(vocab_size=20, max_seq_len=8)
+        model = BertEncoderModel(config, seed=0)
+        with pytest.raises(ValueError):
+            model(np.zeros((1, 16), dtype=np.int64))
+
+    def test_parameter_count_matches_estimate_roughly(self):
+        config = BertConfig.tiny_base(vocab_size=20, max_seq_len=16)
+        model = BertEncoderModel(config, seed=0)
+        estimate = config.parameter_count_estimate()
+        actual = model.num_parameters()
+        assert abs(actual - estimate) / estimate < 0.1
+
+    def test_set_softmax_variant_changes_inference(self):
+        config = BertConfig.tiny_base(vocab_size=20, max_seq_len=16)
+        model = BertEncoderModel(config, seed=0)
+        model.eval()
+        ids = np.random.default_rng(0).integers(0, 20, size=(2, 10))
+        ref = model(ids).data.copy()
+        model.set_softmax_variant("softermax")
+        soft = model(ids).data
+        assert not np.allclose(ref, soft)
+        assert np.max(np.abs(ref - soft)) < 1.0
+
+
+class TestHeads:
+    def test_classification_head_shape(self, rng):
+        head = ClassificationHead(16, 3, seed=0)
+        out = head(Tensor(rng.normal(size=(4, 7, 16))))
+        assert out.shape == (4, 3)
+
+    def test_regression_head_shape(self, rng):
+        head = RegressionHead(16, seed=0)
+        out = head(Tensor(rng.normal(size=(5, 7, 16))))
+        assert out.shape == (5,)
+
+    def test_span_head_shapes_and_masking(self, rng):
+        head = SpanHead(16, seed=0)
+        hidden = Tensor(rng.normal(size=(2, 6, 16)))
+        mask = np.array([[1, 1, 1, 0, 0, 0], [1, 1, 1, 1, 1, 1]])
+        start, end = head(hidden, mask)
+        assert start.shape == (2, 6)
+        assert end.shape == (2, 6)
+        assert np.all(start.data[0, 3:] < -10)
+        assert np.all(end.data[0, 3:] < -10)
+
+
+class TestTaskModel:
+    def test_classification_task_model(self):
+        task = make_sst2(num_train=8, num_dev=4)
+        model = TaskModel(BertConfig.tiny_base(vocab_size=task.vocab_size,
+                                               max_seq_len=task.seq_len), task, seed=0)
+        batch = next(task.dev.batches(4))
+        logits = model(batch.input_ids, batch.attention_mask)
+        assert logits.shape == (4, 2)
+
+    def test_regression_task_model(self):
+        task = make_stsb(num_train=8, num_dev=4)
+        model = TaskModel(BertConfig.tiny_base(vocab_size=task.vocab_size,
+                                               max_seq_len=task.seq_len), task, seed=0)
+        batch = next(task.dev.batches(4))
+        out = model(batch.input_ids, batch.attention_mask)
+        assert out.shape == (4,)
+
+    def test_span_task_model(self):
+        task = make_squad(num_train=8, num_dev=4)
+        model = TaskModel(BertConfig.tiny_base(vocab_size=task.vocab_size,
+                                               max_seq_len=task.seq_len), task, seed=0)
+        batch = next(task.dev.batches(4))
+        start, end = model(batch.input_ids, batch.attention_mask)
+        assert start.shape == (4, task.seq_len)
+        assert end.shape == (4, task.seq_len)
+
+    def test_unknown_task_type_rejected(self):
+        task = make_sst2(num_train=8, num_dev=4)
+        task.task_type = "generation"
+        with pytest.raises(ValueError):
+            TaskModel(BertConfig.tiny_base(), task, seed=0)
+
+    def test_set_softmax_variant_propagates(self):
+        task = make_sst2(num_train=8, num_dev=4)
+        model = TaskModel(BertConfig.tiny_base(vocab_size=task.vocab_size,
+                                               max_seq_len=task.seq_len), task, seed=0)
+        model.set_softmax_variant("base2")
+        for layer in model.encoder_model.encoder.layers:
+            assert layer.attention.softmax_variant.name == "base2"

@@ -1,0 +1,113 @@
+"""Tests for the Softermax-aware fine-tuning loop (small, fast settings)."""
+
+import numpy as np
+import pytest
+
+from repro.data import make_sst2, make_squad
+from repro.models import BertConfig, FinetuneConfig, finetune, pretrain_task_model
+from repro.models.finetune import FinetuneResult
+from repro.nn.layers import Linear
+
+
+FAST = FinetuneConfig(pretrain_epochs=4, finetune_epochs=2, batch_size=16,
+                      pretrain_lr=5e-3, calibration_batches=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_task():
+    return make_sst2(num_train=96, num_dev=48, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_config(small_task):
+    return BertConfig.tiny_base(vocab_size=small_task.vocab_size,
+                                max_seq_len=small_task.seq_len)
+
+
+@pytest.fixture(scope="module")
+def pretrained_state(small_task, small_config):
+    model = pretrain_task_model(small_task, small_config, FAST)
+    return model.state_dict()
+
+
+class TestPretraining:
+    def test_pretraining_learns_the_easy_task(self, small_task, small_config, pretrained_state):
+        from repro.eval import evaluate_model
+        from repro.models import TaskModel
+
+        model = TaskModel(small_config, small_task, seed=0)
+        model.load_state_dict(pretrained_state)
+        model.eval()
+        assert evaluate_model(model, small_task, split="train") > 80.0
+
+
+class TestFinetune:
+    def test_baseline_and_softermax_results(self, small_task, small_config, pretrained_state):
+        baseline = finetune(small_task, small_config, "reference", FAST,
+                            pretrained_state=pretrained_state)
+        softermax_run = finetune(small_task, small_config, "softermax", FAST,
+                                 pretrained_state=pretrained_state)
+        assert isinstance(baseline, FinetuneResult)
+        assert baseline.metric_name == "accuracy"
+        assert baseline.softmax_variant == "reference"
+        assert softermax_run.softmax_variant == "softermax"
+        # Both learn the task; Softermax stays within a few points of baseline.
+        assert baseline.score > 75.0
+        assert softermax_run.score > 75.0
+        assert abs(baseline.score - softermax_run.score) < 15.0
+
+    def test_loss_history_recorded_and_decreasing(self, small_task, small_config, pretrained_state):
+        result = finetune(small_task, small_config, "softermax", FAST,
+                          pretrained_state=pretrained_state)
+        assert len(result.loss_history) > 0
+        first = np.mean(result.loss_history[:3])
+        last = np.mean(result.loss_history[-3:])
+        assert last <= first + 0.1
+
+    def test_quantizers_attached_during_finetune(self, small_task, small_config,
+                                                 pretrained_state, monkeypatch):
+        attached = {}
+
+        import importlib
+
+        # repro.models re-exports the finetune *function* under the same name
+        # as the submodule, so resolve the module object explicitly.
+        finetune_module = importlib.import_module("repro.models.finetune")
+        original = finetune_module.attach_quantizers
+
+        def spy(model, **kwargs):
+            result = original(model, **kwargs)
+            attached["count"] = len(result)
+            attached["bits"] = kwargs.get("num_bits")
+            return result
+
+        monkeypatch.setattr(finetune_module, "attach_quantizers", spy)
+        finetune(small_task, small_config, "reference", FAST,
+                 pretrained_state=pretrained_state)
+        assert attached["count"] > 0
+        assert attached["bits"] == 8
+
+    def test_quantization_can_be_disabled(self, small_task, small_config, pretrained_state):
+        config = FinetuneConfig(pretrain_epochs=0, finetune_epochs=1, batch_size=16,
+                                quantize_model=False, seed=0)
+        result = finetune(small_task, small_config, "reference", config,
+                          pretrained_state=pretrained_state)
+        assert result.score > 0.0
+
+    def test_span_task_finetunes(self):
+        task = make_squad(num_train=64, num_dev=24)
+        config = BertConfig.tiny_base(vocab_size=task.vocab_size, max_seq_len=task.seq_len)
+        result = finetune(task, config, "softermax",
+                          FinetuneConfig(pretrain_epochs=3, finetune_epochs=1,
+                                         batch_size=16, seed=0))
+        assert result.metric_name == "squad_f1"
+        assert 0.0 <= result.score <= 100.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, small_task, small_config, pretrained_state):
+        a = finetune(small_task, small_config, "reference", FAST,
+                     pretrained_state=pretrained_state)
+        b = finetune(small_task, small_config, "reference", FAST,
+                     pretrained_state=pretrained_state)
+        assert a.score == pytest.approx(b.score)

@@ -1,0 +1,123 @@
+"""Tests for multi-head attention and the Transformer encoder layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MultiHeadSelfAttention,
+    Tensor,
+    TransformerEncoder,
+    TransformerLayer,
+)
+from repro.nn.functional import get_softmax_variant
+
+
+@pytest.fixture
+def hidden_batch(rng):
+    return Tensor(rng.normal(size=(2, 10, 16)))
+
+
+class TestMultiHeadSelfAttention:
+    def test_output_shape(self, hidden_batch):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        out = attn(hidden_batch)
+        assert out.shape == (2, 10, 16)
+
+    def test_hidden_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_attention_mask_blocks_padding(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        attn.eval()
+        x = rng.normal(size=(1, 6, 16))
+        mask = np.array([[1, 1, 1, 0, 0, 0]])
+        attn.capture_scores = True
+        attn(Tensor(x), attention_mask=mask)
+        scores = attn.last_scores
+        # Masked key positions carry a large negative score.
+        assert np.all(scores[..., 3:] < -10.0)
+
+    def test_mask_shape_validated(self, hidden_batch):
+        attn = MultiHeadSelfAttention(16, 4, seed=0)
+        with pytest.raises(ValueError):
+            attn(hidden_batch, attention_mask=np.ones((2, 3)))
+
+    def test_padding_does_not_change_valid_outputs(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        attn.eval()
+        x_short = rng.normal(size=(1, 4, 16))
+        x_padded = np.concatenate([x_short, rng.normal(size=(1, 3, 16))], axis=1)
+        mask = np.array([[1, 1, 1, 1, 0, 0, 0]])
+        out_short = attn(Tensor(x_short)).data
+        out_padded = attn(Tensor(x_padded), attention_mask=mask).data
+        assert np.allclose(out_short, out_padded[:, :4, :], atol=1e-6)
+
+    def test_switching_softmax_variant_changes_output(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        attn.eval()
+        x = Tensor(rng.normal(size=(1, 8, 16)) * 3.0)
+        reference_out = attn(x).data.copy()
+        attn.set_softmax_variant("softermax")
+        softermax_out = attn(x).data
+        assert not np.allclose(reference_out, softermax_out)
+        # But they should be close (the perturbation is a quantization error).
+        assert np.max(np.abs(reference_out - softermax_out)) < 1.0
+
+    def test_variant_object_accepted(self, hidden_batch):
+        attn = MultiHeadSelfAttention(16, 4, seed=0,
+                                      softmax_variant=get_softmax_variant("base2"))
+        assert attn.softmax_variant.name == "base2"
+
+    def test_gradients_flow_to_all_projections(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        out = attn(Tensor(rng.normal(size=(2, 5, 16))))
+        out.sum().backward()
+        for name, param in attn.named_parameters():
+            assert param.grad is not None, name
+            assert np.any(param.grad != 0), name
+
+
+class TestTransformerLayer:
+    def test_forward_shape_preserved(self, rng):
+        layer = TransformerLayer(16, 4, 32, dropout=0.0, seed=0)
+        out = layer(Tensor(rng.normal(size=(3, 7, 16))))
+        assert out.shape == (3, 7, 16)
+
+    def test_layer_output_is_normalized(self, rng):
+        layer = TransformerLayer(16, 4, 32, dropout=0.0, seed=0)
+        layer.eval()
+        out = layer(Tensor(rng.normal(size=(2, 5, 16)) * 10)).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+
+    def test_set_softmax_variant_propagates(self):
+        layer = TransformerLayer(16, 4, 32, seed=0)
+        layer.set_softmax_variant("softermax")
+        assert layer.attention.softmax_variant.name == "softermax"
+
+
+class TestTransformerEncoder:
+    def test_stacks_layers(self, rng):
+        encoder = TransformerEncoder(3, 16, 4, 32, dropout=0.0, seed=0)
+        assert len(encoder.layers) == 3
+        out = encoder(Tensor(rng.normal(size=(2, 6, 16))))
+        assert out.shape == (2, 6, 16)
+
+    def test_set_softmax_variant_hits_every_layer(self):
+        encoder = TransformerEncoder(3, 16, 4, 32, seed=0)
+        encoder.set_softmax_variant("base2")
+        assert all(layer.attention.softmax_variant.name == "base2"
+                   for layer in encoder.layers)
+
+    def test_deterministic_with_seed(self, rng):
+        x = rng.normal(size=(1, 5, 16))
+        out_a = TransformerEncoder(2, 16, 4, 32, dropout=0.0, seed=7)(Tensor(x)).data
+        out_b = TransformerEncoder(2, 16, 4, 32, dropout=0.0, seed=7)(Tensor(x)).data
+        assert np.allclose(out_a, out_b)
+
+    def test_gradients_flow_through_the_stack(self, rng):
+        encoder = TransformerEncoder(2, 16, 4, 32, dropout=0.0, seed=0)
+        out = encoder(Tensor(rng.normal(size=(2, 4, 16))))
+        out.sum().backward()
+        grads = [p.grad for p in encoder.parameters()]
+        assert all(g is not None for g in grads)

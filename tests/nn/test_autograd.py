@@ -1,0 +1,217 @@
+"""Gradient-correctness tests for the autograd Tensor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Tensor, concatenate, stack, unbroadcast
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    for index in np.ndindex(x.shape):
+        plus = x.copy()
+        plus[index] += eps
+        minus = x.copy()
+        minus[index] -= eps
+        grad[index] = (f(plus) - f(minus)) / (2 * eps)
+    return grad
+
+
+def check_gradient(op, shape, rng, atol=1e-5):
+    """Compare analytic and numerical gradients of ``op`` on a random input."""
+    x0 = rng.normal(size=shape)
+
+    def scalar(values):
+        return op(Tensor(values, requires_grad=True)).sum().item()
+
+    x = Tensor(x0.copy(), requires_grad=True)
+    out = op(x).sum()
+    out.backward()
+    numeric = numerical_gradient(scalar, x0)
+    assert np.allclose(x.grad, numeric, atol=atol), (
+        f"max diff {np.abs(x.grad - numeric).max()}"
+    )
+
+
+class TestElementwiseGradients:
+    @pytest.mark.parametrize("op", [
+        lambda t: t * 3.0 + 1.0,
+        lambda t: t * t,
+        lambda t: (t * 0.3).exp(),
+        lambda t: (t * t + 1.0).log(),
+        lambda t: (t * t + 0.5).sqrt(),
+        lambda t: t.tanh(),
+        lambda t: t.relu(),
+        lambda t: t / 2.5,
+        lambda t: 1.0 / (t * t + 1.0),
+        lambda t: t ** 3,
+        lambda t: -t,
+        lambda t: t.clip(-0.5, 0.5),
+    ], ids=["affine", "square", "exp", "log", "sqrt", "tanh", "relu", "div",
+            "reciprocal", "pow", "neg", "clip"])
+    def test_gradient_matches_numerical(self, op, rng):
+        check_gradient(op, (3, 4), rng)
+
+    def test_relu_gradient_zero_below_threshold(self):
+        x = Tensor(np.array([-1.0, 2.0]), requires_grad=True)
+        x.relu().sum().backward()
+        assert np.array_equal(x.grad, [0.0, 1.0])
+
+
+class TestMatmulAndReductions:
+    def test_matmul_gradients(self, rng):
+        a0 = rng.normal(size=(3, 4))
+        b0 = rng.normal(size=(4, 2))
+
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (a @ b).sum().backward()
+
+        def loss_a(values):
+            return float((values @ b0).sum())
+
+        def loss_b(values):
+            return float((a0 @ values).sum())
+
+        assert np.allclose(a.grad, numerical_gradient(loss_a, a0), atol=1e-5)
+        assert np.allclose(b.grad, numerical_gradient(loss_b, b0), atol=1e-5)
+
+    def test_batched_matmul_gradients(self, rng):
+        a0 = rng.normal(size=(2, 3, 4))
+        b0 = rng.normal(size=(2, 4, 5))
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (a @ b).sum().backward()
+        assert a.grad.shape == a0.shape
+        assert b.grad.shape == b0.shape
+        def loss_a(values):
+            return float((values @ b0).sum())
+        assert np.allclose(a.grad, numerical_gradient(loss_a, a0), atol=1e-5)
+
+    def test_sum_with_axis_and_keepdims(self, rng):
+        check_gradient(lambda t: t.sum(axis=1), (3, 5), rng)
+        check_gradient(lambda t: t.sum(axis=0, keepdims=True), (3, 5), rng)
+
+    def test_mean_and_var(self, rng):
+        check_gradient(lambda t: t.mean(axis=-1), (4, 6), rng)
+        check_gradient(lambda t: t.var(axis=-1), (4, 6), rng, atol=1e-4)
+
+    def test_broadcast_add_gradients(self, rng):
+        a0 = rng.normal(size=(3, 4))
+        b0 = rng.normal(size=(4,))
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (a + b).sum().backward()
+        assert np.allclose(a.grad, np.ones((3, 4)))
+        assert np.allclose(b.grad, np.full(4, 3.0))
+
+    def test_broadcast_mul_gradients(self, rng):
+        a0 = rng.normal(size=(2, 3))
+        b0 = rng.normal(size=(1, 3))
+        a = Tensor(a0, requires_grad=True)
+        b = Tensor(b0, requires_grad=True)
+        (a * b).sum().backward()
+        assert np.allclose(b.grad, a0.sum(axis=0, keepdims=True))
+
+
+class TestShapeOps:
+    def test_reshape_gradient(self, rng):
+        check_gradient(lambda t: (t.reshape(6, 2) * 2.0), (3, 4), rng)
+
+    def test_transpose_gradient(self, rng):
+        check_gradient(lambda t: t.transpose(1, 0) * 1.5, (3, 4), rng)
+
+    def test_swapaxes_gradient(self, rng):
+        check_gradient(lambda t: t.swapaxes(-1, -2) * 1.5, (2, 3, 4), rng)
+
+    def test_getitem_gradient(self, rng):
+        x = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        x[:, 0].sum().backward()
+        expected = np.zeros((4, 5))
+        expected[:, 0] = 1.0
+        assert np.array_equal(x.grad, expected)
+
+    def test_gather_rows_gradient_accumulates_duplicates(self, rng):
+        table = Tensor(rng.normal(size=(6, 3)), requires_grad=True)
+        ids = np.array([[0, 2, 0], [5, 5, 1]])
+        table.gather_rows(ids).sum().backward()
+        assert table.grad[0].sum() == pytest.approx(2 * 3)
+        assert table.grad[5].sum() == pytest.approx(2 * 3)
+        assert table.grad[3].sum() == 0.0
+
+    def test_stack_and_concatenate_gradients(self, rng):
+        a = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(rng.normal(size=(2, 3)), requires_grad=True)
+        stack([a, b], axis=0).sum().backward()
+        assert np.allclose(a.grad, 1.0)
+        a.zero_grad(); b.zero_grad()
+        concatenate([a, b], axis=1).sum().backward()
+        assert np.allclose(b.grad, 1.0)
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_across_uses(self, rng):
+        x = Tensor(rng.normal(size=(3,)), requires_grad=True)
+        y = (x * 2.0) + (x * 3.0)
+        y.sum().backward()
+        assert np.allclose(x.grad, 5.0)
+
+    def test_diamond_graph_not_double_counted(self, rng):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        a = x * 3.0
+        b = a + a  # the same node used twice
+        b.backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(6.0)
+
+    def test_no_grad_for_leaf_without_requires_grad(self):
+        x = Tensor(np.ones(3), requires_grad=False)
+        y = Tensor(np.ones(3), requires_grad=True)
+        (x * y).sum().backward()
+        assert x.grad is None
+        assert y.grad is not None
+
+    def test_backward_on_non_scalar_requires_grad_argument(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        x = Tensor(np.ones(2), requires_grad=False)
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_detach_breaks_the_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        assert not y.requires_grad
+
+    def test_deep_chain_does_not_hit_recursion_limit(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward(np.array([1.0]))
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_apply_custom_op_straight_through(self):
+        x = Tensor(np.array([0.3, 0.7]), requires_grad=True)
+        out = x.apply(lambda v: np.round(v), lambda g, v, o: g)
+        assert np.array_equal(out.data, [0.0, 1.0])
+        out.sum().backward()
+        assert np.array_equal(x.grad, [1.0, 1.0])
+
+
+class TestUnbroadcast:
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_unbroadcast_restores_shape(self, rows, cols):
+        grad = np.ones((rows, cols))
+        assert unbroadcast(grad, (1, cols)).shape == (1, cols)
+        assert unbroadcast(grad, (cols,)).shape == (cols,) if rows >= 1 else True
+
+    def test_unbroadcast_sums_over_expanded_axes(self):
+        grad = np.ones((5, 3))
+        assert np.array_equal(unbroadcast(grad, (3,)), np.full(3, 5.0))
+        assert np.array_equal(unbroadcast(grad, (1, 3)), np.full((1, 3), 5.0))

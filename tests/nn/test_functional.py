@@ -1,0 +1,171 @@
+"""Tests for functional ops and the pluggable softmax variants."""
+
+import numpy as np
+import pytest
+
+from repro.core import SoftermaxConfig, base2_softmax, softmax_reference
+from repro.nn import Tensor, functional as F
+from repro.nn.functional import (
+    SoftmaxVariant,
+    attention_softmax,
+    available_softmax_variants,
+    get_softmax_variant,
+    make_softermax_variant,
+    register_softmax_variant,
+)
+
+
+class TestActivations:
+    def test_gelu_matches_known_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = F.gelu(x).data
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(0.8412, abs=1e-3)
+        assert out[2] == pytest.approx(-0.1588, abs=1e-3)
+
+    def test_sigmoid_range(self, rng):
+        out = F.sigmoid(Tensor(rng.normal(size=(10,)) * 5)).data
+        assert np.all(out > 0) and np.all(out < 1)
+
+    def test_relu(self):
+        out = F.relu(Tensor(np.array([-2.0, 3.0]))).data
+        assert np.array_equal(out, [0.0, 3.0])
+
+    def test_gelu_gradient_flows(self, rng):
+        x = Tensor(rng.normal(size=(4,)), requires_grad=True)
+        F.gelu(x).sum().backward()
+        assert x.grad is not None
+        assert np.all(np.isfinite(x.grad))
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        x = Tensor(rng.normal(size=(8, 8)))
+        out = F.dropout(x, p=0.5, training=False, rng=np.random.default_rng(0))
+        assert np.array_equal(out.data, x.data)
+
+    def test_training_mode_zeroes_and_scales(self):
+        x = Tensor(np.ones((200, 50)))
+        out = F.dropout(x, p=0.5, training=True, rng=np.random.default_rng(0))
+        kept = out.data[out.data != 0]
+        assert np.allclose(kept, 2.0)
+        assert abs((out.data == 0).mean() - 0.5) < 0.05
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.5, training=True,
+                      rng=np.random.default_rng(0))
+
+    def test_zero_probability_identity(self, rng):
+        x = Tensor(rng.normal(size=(5,)))
+        out = F.dropout(x, p=0.0, training=True, rng=np.random.default_rng(0))
+        assert np.array_equal(out.data, x.data)
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dimension(self, rng):
+        x = Tensor(rng.normal(loc=3.0, scale=2.0, size=(4, 16)))
+        out = F.layer_norm(x, Tensor(np.ones(16)), Tensor(np.zeros(16))).data
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_affine_parameters_applied(self, rng):
+        x = Tensor(rng.normal(size=(2, 8)))
+        out = F.layer_norm(x, Tensor(np.full(8, 2.0)), Tensor(np.full(8, 5.0))).data
+        assert out.mean() == pytest.approx(5.0, abs=1e-6)
+
+
+class TestSoftmaxVariants:
+    def test_builtin_variants_registered(self):
+        names = available_softmax_variants()
+        assert {"reference", "base2", "softermax"} <= set(names)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(KeyError):
+            get_softmax_variant("not-a-softmax")
+
+    def test_register_custom_variant(self):
+        variant = SoftmaxVariant("unit-test-variant",
+                                 forward_fn=lambda s: softmax_reference(s),
+                                 surrogate_fn=lambda s: softmax_reference(s),
+                                 base=np.e)
+        register_softmax_variant(variant)
+        assert get_softmax_variant("unit-test-variant") is variant
+
+    def test_make_softermax_variant_uses_config(self):
+        cfg = SoftermaxConfig.high_precision()
+        variant = make_softermax_variant(cfg, name="softermax-hp")
+        scores = np.random.default_rng(0).normal(size=(2, 16))
+        out = variant.forward_fn(scores)
+        assert out.shape == scores.shape
+
+    def test_reference_variant_forward_matches_softmax(self, rng):
+        scores = rng.normal(size=(3, 10))
+        variant = get_softmax_variant("reference")
+        assert np.allclose(variant.forward_fn(scores), softmax_reference(scores))
+
+    def test_base2_variant_forward(self, rng):
+        scores = rng.normal(size=(3, 10))
+        variant = get_softmax_variant("base2")
+        assert np.allclose(variant.forward_fn(scores), base2_softmax(scores))
+
+
+class TestAttentionSoftmax:
+    def test_forward_uses_variant_forward(self, rng):
+        scores = Tensor(rng.normal(size=(2, 2, 4, 4)))
+        out = attention_softmax(scores, get_softmax_variant("softermax"))
+        # outputs on the Q(1,7) grid prove the fixed-point path ran
+        scaled = out.data * 128
+        assert np.all(np.abs(scaled - np.round(scaled)) < 1e-9)
+
+    def test_backward_uses_surrogate_jacobian(self, rng):
+        scores0 = rng.normal(size=(3, 6))
+        grad_out = rng.normal(size=(3, 6))
+        variant = get_softmax_variant("reference")
+
+        scores = Tensor(scores0, requires_grad=True)
+        out = attention_softmax(scores, variant)
+        out.backward(grad_out)
+
+        def loss(values):
+            return float((softmax_reference(values) * grad_out).sum())
+
+        eps = 1e-6
+        numeric = np.zeros_like(scores0)
+        for index in np.ndindex(scores0.shape):
+            plus = scores0.copy(); plus[index] += eps
+            minus = scores0.copy(); minus[index] -= eps
+            numeric[index] = (loss(plus) - loss(minus)) / (2 * eps)
+        assert np.allclose(scores.grad, numeric, atol=1e-5)
+
+    def test_softermax_ste_gradient_is_smooth(self, rng):
+        scores = Tensor(rng.normal(size=(2, 8)), requires_grad=True)
+        out = attention_softmax(scores, get_softmax_variant("softermax"))
+        out.sum().backward()
+        assert np.all(np.isfinite(scores.grad))
+
+
+class TestSoftmaxAndLogSoftmax:
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = F.softmax(Tensor(rng.normal(size=(5, 7)))).data
+        assert np.allclose(out.sum(axis=-1), 1.0)
+
+    def test_log_softmax_matches_log_of_softmax(self, rng):
+        x = rng.normal(size=(4, 9))
+        assert np.allclose(F.log_softmax(Tensor(x)).data,
+                           np.log(softmax_reference(x)))
+
+    def test_log_softmax_gradient(self, rng):
+        x0 = rng.normal(size=(2, 5))
+        x = Tensor(x0, requires_grad=True)
+        F.log_softmax(x)[ :, 0].sum().backward()
+        # d/dx_j sum_b log p_{b,0} = [j==0] - p_{b,j}
+        expected = -softmax_reference(x0)
+        expected[:, 0] += 1.0
+        assert np.allclose(x.grad, expected, atol=1e-9)
+
+    def test_non_last_axis_rejected(self, rng):
+        with pytest.raises(ValueError):
+            F.softmax(Tensor(rng.normal(size=(3, 3))), axis=0)
+        with pytest.raises(ValueError):
+            F.log_softmax(Tensor(rng.normal(size=(3, 3))), axis=0)

@@ -1,0 +1,156 @@
+"""Tests for the Module system and the basic layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Sequential,
+    Tensor,
+)
+from repro.quant import FakeQuantizer
+
+
+class TestModuleSystem:
+    def test_parameters_collected_recursively(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.layer_a = Linear(4, 3, rng=np.random.default_rng(0))
+                self.layer_b = Linear(3, 2, rng=np.random.default_rng(1))
+
+            def forward(self, x):
+                return self.layer_b(self.layer_a(x))
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert set(names) == {"layer_a.weight", "layer_a.bias",
+                              "layer_b.weight", "layer_b.bias"}
+        assert len(net.parameters()) == 4
+
+    def test_num_parameters(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(0))
+        assert layer.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(5, 4, rng=np.random.default_rng(0))
+        b = Linear(5, 4, rng=np.random.default_rng(99))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.weight.data, b.weight.data)
+
+    def test_state_dict_mismatch_rejected(self):
+        a = Linear(5, 4)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": np.zeros((5, 4))})  # missing bias
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        a = Linear(5, 4)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_zero_grad_clears_gradients(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((4, 3))))
+        out.sum().backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_named_modules_paths(self):
+        seq = Sequential(Linear(2, 2), LayerNorm(2))
+        paths = [name for name, _ in seq.named_modules()]
+        assert "" in paths and "0" in paths and "1" in paths
+
+
+class TestLinear:
+    def test_forward_matches_numpy(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = rng.normal(size=(5, 4))
+        out = layer(Tensor(x)).data
+        assert np.allclose(out, x @ layer.weight.data + layer.bias.data)
+
+    def test_no_bias_option(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_weight_quantizer_hook(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        quantizer = FakeQuantizer(num_bits=4, percentile=None)
+        quantizer.set_amax(float(np.abs(layer.weight.data).max()))
+        layer.weight_quantizer = quantizer
+        x = rng.normal(size=(2, 4))
+        out_quant = layer(Tensor(x)).data
+        layer.weight_quantizer = None
+        out_float = layer(Tensor(x)).data
+        assert not np.allclose(out_quant, out_float)
+
+    def test_gradients_reach_parameters(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        out = layer(Tensor(rng.normal(size=(6, 4))))
+        out.sum().backward()
+        assert layer.weight.grad.shape == (4, 3)
+        assert layer.bias.grad.shape == (3,)
+
+
+class TestEmbedding:
+    def test_lookup_returns_rows(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        ids = np.array([[1, 2], [3, 1]])
+        out = emb(ids).data
+        assert out.shape == (2, 2, 4)
+        assert np.array_equal(out[0, 0], emb.weight.data[1])
+
+    def test_out_of_range_ids_rejected(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        with pytest.raises(IndexError):
+            emb(np.array([[10]]))
+        with pytest.raises(IndexError):
+            emb(np.array([[-1]]))
+
+    def test_gradient_accumulates_per_row(self, rng):
+        emb = Embedding(6, 3, rng=rng)
+        emb(np.array([[0, 0, 1]])).sum().backward()
+        assert np.allclose(emb.weight.grad[0], 2.0)
+        assert np.allclose(emb.weight.grad[1], 1.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestLayerNormAndDropout:
+    def test_layernorm_learnable_params(self):
+        norm = LayerNorm(8)
+        assert len(norm.parameters()) == 2
+        out = norm(Tensor(np.random.default_rng(0).normal(size=(3, 8))))
+        assert out.shape == (3, 8)
+
+    def test_dropout_eval_identity(self, rng):
+        drop = Dropout(0.9, seed=0)
+        drop.eval()
+        x = rng.normal(size=(4, 4))
+        assert np.array_equal(drop(Tensor(x)).data, x)
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_sequential_applies_in_order(self, rng):
+        a = Linear(4, 4, rng=rng)
+        b = Linear(4, 2, rng=rng)
+        seq = Sequential(a, b)
+        x = rng.normal(size=(3, 4))
+        assert np.allclose(seq(Tensor(x)).data, b(a(Tensor(x))).data)
+        assert len(seq) == 2

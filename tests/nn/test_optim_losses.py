@@ -1,0 +1,174 @@
+"""Tests for optimizers, LR schedules, gradient clipping and loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    LinearWarmupSchedule,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    cross_entropy,
+    mse_loss,
+    span_cross_entropy,
+)
+from repro.core import log_softmax_reference
+
+
+def quadratic_loss(param: Tensor) -> Tensor:
+    target = Tensor(np.array([3.0, -2.0, 0.5]))
+    diff = param - target
+    return (diff * diff).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(3), requires_grad=True)
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            loss = quadratic_loss(param)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(param.data, [3.0, -2.0, 0.5], atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        param_plain = Tensor(np.zeros(3), requires_grad=True)
+        param_momentum = Tensor(np.zeros(3), requires_grad=True)
+        plain = SGD([param_plain], lr=0.01)
+        momentum = SGD([param_momentum], lr=0.01, momentum=0.9)
+        for _ in range(50):
+            for param, opt in ((param_plain, plain), (param_momentum, momentum)):
+                loss = quadratic_loss(param)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+        assert quadratic_loss(param_momentum).item() < quadratic_loss(param_plain).item()
+
+    def test_weight_decay_shrinks_weights(self):
+        param = Tensor(np.array([5.0]), requires_grad=True)
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        # No data gradient: only the decay acts.
+        param.grad = np.array([0.0])
+        opt.step()
+        assert param.data[0] < 5.0
+
+    def test_requires_parameters(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor(np.zeros(1), requires_grad=True)], lr=0.0)
+
+    def test_skips_parameters_without_gradients(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(2), requires_grad=True)
+        opt = SGD([a, b], lr=0.1)
+        a.grad = np.ones(2)
+        opt.step()
+        assert np.allclose(b.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = Tensor(np.zeros(3), requires_grad=True)
+        opt = Adam([param], lr=0.05)
+        for _ in range(400):
+            loss = quadratic_loss(param)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert np.allclose(param.data, [3.0, -2.0, 0.5], atol=1e-2)
+
+    def test_step_count_advances(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([param], lr=0.01)
+        param.grad = np.array([1.0])
+        opt.step()
+        opt.step()
+        assert opt._step_count == 2
+
+
+class TestSchedule:
+    def test_warmup_then_decay(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([param], lr=1.0)
+        schedule = LinearWarmupSchedule(opt, warmup_steps=10, total_steps=100)
+        lrs = [schedule.step() for _ in range(100)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert max(lrs) == pytest.approx(1.0)
+        assert lrs[-1] < 0.05
+
+    def test_invalid_arguments(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        opt = Adam([param], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(opt, warmup_steps=5, total_steps=0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(opt, warmup_steps=50, total_steps=10)
+
+
+class TestClipGradNorm:
+    def test_clips_large_gradients(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 10.0)
+        norm = clip_grad_norm([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients_alone(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        param.grad = np.full(4, 0.01)
+        clip_grad_norm([param], max_norm=1.0)
+        assert np.allclose(param.grad, 0.01)
+
+    def test_no_gradients_returns_zero(self):
+        param = Tensor(np.zeros(4), requires_grad=True)
+        assert clip_grad_norm([param], max_norm=1.0) == 0.0
+
+
+class TestLosses:
+    def test_cross_entropy_matches_log_softmax(self, rng):
+        logits = rng.normal(size=(6, 4))
+        targets = rng.integers(0, 4, size=6)
+        loss = cross_entropy(Tensor(logits), targets).item()
+        expected = -log_softmax_reference(logits)[np.arange(6), targets].mean()
+        assert loss == pytest.approx(expected)
+
+    def test_cross_entropy_gradient_direction(self, rng):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        targets = np.array([0, 2])
+        cross_entropy(logits, targets).backward()
+        # Gradient decreases the logit of the correct class.
+        assert logits.grad[0, 0] < 0
+        assert logits.grad[1, 2] < 0
+
+    def test_cross_entropy_rejects_bad_targets(self, rng):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(rng.normal(size=(2, 3))), np.array([0]))
+
+    def test_perfect_prediction_has_low_loss(self):
+        logits = np.full((4, 3), -20.0)
+        targets = np.array([0, 1, 2, 0])
+        logits[np.arange(4), targets] = 20.0
+        assert cross_entropy(Tensor(logits), targets).item() < 1e-6
+
+    def test_mse_loss(self, rng):
+        preds = rng.normal(size=(8,))
+        targets = rng.normal(size=(8,))
+        loss = mse_loss(Tensor(preds), targets).item()
+        assert loss == pytest.approx(np.mean((preds - targets) ** 2))
+
+    def test_span_loss_averages_start_and_end(self, rng):
+        start_logits = rng.normal(size=(3, 10))
+        end_logits = rng.normal(size=(3, 10))
+        starts = np.array([1, 2, 3])
+        ends = np.array([4, 5, 6])
+        loss = span_cross_entropy(Tensor(start_logits), Tensor(end_logits), starts, ends).item()
+        expected = 0.5 * (cross_entropy(Tensor(start_logits), starts).item()
+                          + cross_entropy(Tensor(end_logits), ends).item())
+        assert loss == pytest.approx(expected)

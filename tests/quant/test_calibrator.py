@@ -1,0 +1,101 @@
+"""Tests for the quantization calibrators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quant import MaxCalibrator, PercentileCalibrator, calibrate_tensors
+
+
+class TestMaxCalibrator:
+    def test_tracks_running_maximum(self):
+        cal = MaxCalibrator()
+        cal.observe(np.array([1.0, -3.0]))
+        cal.observe(np.array([2.0]))
+        assert cal.compute_amax() == 3.0
+
+    def test_requires_observation(self):
+        with pytest.raises(RuntimeError):
+            MaxCalibrator().compute_amax()
+
+    def test_reset(self):
+        cal = MaxCalibrator()
+        cal.observe(np.array([5.0]))
+        cal.reset()
+        with pytest.raises(RuntimeError):
+            cal.compute_amax()
+
+    def test_empty_observation_ignored(self):
+        cal = MaxCalibrator()
+        cal.observe(np.array([]))
+        with pytest.raises(RuntimeError):
+            cal.compute_amax()
+
+
+class TestPercentileCalibrator:
+    def test_hundred_percentile_close_to_max(self, rng):
+        cal = PercentileCalibrator(percentile=100.0)
+        values = rng.normal(size=10000)
+        cal.observe(values)
+        amax = cal.compute_amax()
+        assert amax >= np.abs(values).max() * 0.999
+
+    def test_percentile_clips_outliers(self, rng):
+        cal = PercentileCalibrator(percentile=99.0)
+        values = rng.normal(size=10000)
+        values[0] = 1000.0  # a single massive outlier
+        cal.observe(values)
+        amax = cal.compute_amax()
+        assert amax < 100.0
+
+    def test_99999_percentile_default(self):
+        cal = PercentileCalibrator()
+        assert cal.percentile == pytest.approx(99.999)
+
+    def test_multiple_batches_accumulate(self, rng):
+        cal = PercentileCalibrator(percentile=100.0)
+        first = rng.normal(size=1000)
+        second = rng.normal(size=1000) * 10
+        cal.observe(first)
+        cal.observe(second)
+        assert cal.compute_amax() >= np.abs(second).max() * 0.99
+
+    def test_rescaling_preserves_counts(self, rng):
+        cal = PercentileCalibrator(percentile=50.0, num_bins=64)
+        cal.observe(np.full(100, 1.0))
+        cal.observe(np.full(1, 64.0))  # forces a histogram rescale
+        # The median is still dominated by the mass at 1.0.
+        assert cal.compute_amax() < 10.0
+
+    def test_all_zero_observation(self):
+        cal = PercentileCalibrator()
+        cal.observe(np.zeros(100))
+        assert cal.compute_amax() == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PercentileCalibrator(percentile=0.0)
+        with pytest.raises(ValueError):
+            PercentileCalibrator(percentile=101.0)
+        with pytest.raises(ValueError):
+            PercentileCalibrator(num_bins=1)
+
+    def test_requires_observation(self):
+        with pytest.raises(RuntimeError):
+            PercentileCalibrator().compute_amax()
+
+    @given(st.floats(min_value=0.5, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_amax_never_exceeds_observed_max_by_much(self, scale):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=2000) * scale
+        cal = PercentileCalibrator(percentile=99.999)
+        cal.observe(values)
+        assert cal.compute_amax() <= np.abs(values).max() * 1.01
+
+
+class TestConvenience:
+    def test_calibrate_tensors(self, rng):
+        tensors = [rng.normal(size=100) for _ in range(5)]
+        amax = calibrate_tensors(tensors)
+        assert amax > 0

@@ -1,0 +1,179 @@
+"""Tests for integer quantization and the QAT fake-quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import Linear, Sequential, Tensor
+from repro.quant import (
+    FakeQuantizer,
+    QuantParams,
+    attach_quantizers,
+    begin_calibration,
+    compute_scale,
+    dequantize_array,
+    detach_quantizers,
+    fake_quantize_array,
+    freeze_quantizers,
+    quantization_error,
+    quantize_array,
+)
+
+
+class TestQuantParams:
+    def test_symmetric_8bit_range(self):
+        params = compute_scale(1.0, num_bits=8, symmetric=True)
+        assert params.qmin == -127
+        assert params.qmax == 127
+        assert params.scale == pytest.approx(1.0 / 127)
+
+    def test_asymmetric_range(self):
+        params = compute_scale(2.0, num_bits=8, symmetric=False)
+        assert params.qmin == 0
+        assert params.qmax == 255
+
+    def test_zero_amax_gives_unit_scale(self):
+        assert compute_scale(0.0).scale == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            compute_scale(-1.0)
+        with pytest.raises(ValueError):
+            compute_scale(1.0, num_bits=1)
+
+
+class TestArrayQuantization:
+    def test_roundtrip_within_half_lsb(self, rng):
+        values = rng.normal(size=100)
+        params = compute_scale(float(np.abs(values).max()))
+        restored = dequantize_array(quantize_array(values, params), params)
+        assert np.all(np.abs(values - restored) <= params.scale / 2 + 1e-12)
+
+    def test_saturation(self):
+        params = compute_scale(1.0)
+        codes = quantize_array(np.array([5.0, -5.0]), params)
+        assert codes[0] == params.qmax
+        assert codes[1] == params.qmin
+
+    def test_fake_quantize_is_idempotent(self, rng):
+        values = rng.normal(size=50)
+        params = compute_scale(float(np.abs(values).max()))
+        once = fake_quantize_array(values, params)
+        twice = fake_quantize_array(once, params)
+        assert np.allclose(once, twice)
+
+    def test_quantization_error_decreases_with_bits(self, rng):
+        values = rng.normal(size=1000)
+        amax = float(np.abs(values).max())
+        err4 = quantization_error(values, compute_scale(amax, num_bits=4))
+        err8 = quantization_error(values, compute_scale(amax, num_bits=8))
+        assert err8 < err4
+
+    @given(st.integers(min_value=2, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_codes_within_range(self, bits):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=200) * 3
+        params = compute_scale(float(np.abs(values).max()), num_bits=bits)
+        codes = quantize_array(values, params)
+        assert codes.max() <= params.qmax
+        assert codes.min() >= params.qmin
+
+
+class TestFakeQuantizer:
+    def test_lifecycle_calibrate_freeze_quantize(self, rng):
+        quantizer = FakeQuantizer(num_bits=8)
+        quantizer.enable_calibration()
+        values = rng.normal(size=(100,))
+        out = quantizer(values)
+        assert np.array_equal(out, values)  # passthrough while calibrating
+        quantizer.freeze()
+        quantized = quantizer(values)
+        assert not np.array_equal(quantized, values)
+        assert np.max(np.abs(quantized - values)) <= quantizer.params.scale
+
+    def test_unconfigured_quantizer_is_identity(self, rng):
+        quantizer = FakeQuantizer()
+        values = rng.normal(size=10)
+        assert np.array_equal(quantizer(values), values)
+
+    def test_disabled_quantizer_is_identity(self, rng):
+        quantizer = FakeQuantizer()
+        quantizer.set_amax(1.0)
+        quantizer.enabled = False
+        values = rng.normal(size=10)
+        assert np.array_equal(quantizer(values), values)
+
+    def test_tensor_forward_and_ste_backward(self, rng):
+        quantizer = FakeQuantizer(num_bits=8)
+        quantizer.set_amax(1.0)
+        x0 = np.array([0.3, -0.4, 5.0])  # the last element saturates
+        x = Tensor(x0, requires_grad=True)
+        out = quantizer(x)
+        out.sum().backward()
+        # STE: gradient 1 inside the clipping range, 0 where saturated.
+        assert np.array_equal(x.grad, [1.0, 1.0, 0.0])
+
+    def test_repr_mentions_state(self):
+        quantizer = FakeQuantizer(name="probe")
+        assert "unconfigured" in repr(quantizer)
+        quantizer.set_amax(1.0)
+        assert "frozen" in repr(quantizer)
+
+
+class TestAttachQuantizers:
+    def _model(self):
+        rng = np.random.default_rng(0)
+        return Sequential(Linear(8, 8, rng=rng), Linear(8, 4, rng=rng))
+
+    def test_attaches_to_every_linear(self):
+        model = self._model()
+        quantizers = attach_quantizers(model)
+        assert len(quantizers) == 4  # weight + input per Linear
+        for _, module in model.named_modules():
+            if isinstance(module, Linear):
+                assert module.weight_quantizer is not None
+                assert module.input_quantizer is not None
+
+    def test_weights_only_option(self):
+        model = self._model()
+        quantizers = attach_quantizers(model, quantize_activations=False)
+        assert all(name.endswith(".weight") for name in quantizers)
+
+    def test_calibrate_freeze_quantize_changes_output(self, rng):
+        model = self._model()
+        model.eval()
+        x = rng.normal(size=(16, 8))
+        float_out = model(Tensor(x)).data.copy()
+
+        quantizers = attach_quantizers(model, num_bits=4)
+        begin_calibration(quantizers)
+        model(Tensor(x))
+        freeze_quantizers(quantizers)
+        quant_out = model(Tensor(x)).data
+        assert not np.allclose(float_out, quant_out)
+        # 4-bit quantization is coarse but should not destroy the output.
+        assert np.max(np.abs(float_out - quant_out)) < 2.0
+
+    def test_detach_restores_float_behaviour(self, rng):
+        model = self._model()
+        model.eval()
+        x = rng.normal(size=(4, 8))
+        float_out = model(Tensor(x)).data.copy()
+        quantizers = attach_quantizers(model, num_bits=4)
+        begin_calibration(quantizers)
+        model(Tensor(x))
+        freeze_quantizers(quantizers)
+        detach_quantizers(model)
+        assert np.allclose(model(Tensor(x)).data, float_out)
+
+    def test_gradients_flow_through_quantized_model(self, rng):
+        model = self._model()
+        quantizers = attach_quantizers(model)
+        begin_calibration(quantizers)
+        model(Tensor(rng.normal(size=(8, 8))))
+        freeze_quantizers(quantizers)
+        out = model(Tensor(rng.normal(size=(8, 8))))
+        out.sum().backward()
+        for param in model.parameters():
+            assert param.grad is not None

@@ -1,0 +1,95 @@
+"""Tests for the paper-style table and figure formatting."""
+
+import pytest
+
+from repro.core import SoftermaxConfig
+from repro.eval import AccuracyComparison
+from repro.hardware import compute_table4
+from repro.reporting import (
+    ascii_bar_chart,
+    format_table,
+    format_table1,
+    format_table3,
+    format_table4,
+    series_to_csv,
+    stacked_fraction_chart,
+)
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_float_rounding(self):
+        text = format_table(["x"], [[3.14159]], float_digits=3)
+        assert "3.142" in text
+
+    def test_row_length_validation(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestPaperTables:
+    def test_table1_contains_formats(self):
+        text = format_table1(SoftermaxConfig.paper_table1())
+        assert "Q(6,2)" in text
+        assert "UQ(10,6)" in text
+        assert text.startswith("Table I")
+
+    def test_table1_type_check(self):
+        with pytest.raises(TypeError):
+            format_table1("not a config")
+
+    def test_table3_lists_both_variants(self):
+        comparison = AccuracyComparison(model_name="tiny-base",
+                                        baseline={"sst2": 90.0, "rte": 70.0},
+                                        softermax={"sst2": 91.0, "rte": 69.5})
+        text = format_table3({"BERT-Base (surrogate)": comparison})
+        assert "Baseline" in text and "Softermax" in text
+        assert "SST2" in text and "RTE" in text
+
+    def test_table4_has_three_rows_and_ratios(self):
+        text = format_table4(compute_table4())
+        assert "Unnormed Softmax Unit" in text
+        assert "Normalization Unit" in text
+        assert "Full PE" in text
+        assert text.count("x") >= 6  # six ratio cells formatted as "0.NNx"
+
+
+class TestFigures:
+    def test_series_to_csv(self):
+        csv = series_to_csv("seq", [128, 256], {"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        lines = csv.splitlines()
+        assert lines[0] == "seq,a,b"
+        assert lines[1].startswith("128,1.0000,3.0000")
+
+    def test_series_length_validation(self):
+        with pytest.raises(ValueError):
+            series_to_csv("x", [1, 2], {"a": [1.0]})
+
+    def test_ascii_bar_chart_scales_to_width(self):
+        chart = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10, title="chart")
+        lines = chart.splitlines()
+        assert lines[0] == "chart"
+        assert lines[2].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_ascii_bar_chart_empty(self):
+        assert ascii_bar_chart([], [], title="empty") == "empty"
+
+    def test_ascii_bar_chart_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_stacked_fraction_chart(self):
+        chart = stacked_fraction_chart(
+            [128, 256],
+            {"matmul": [0.6, 0.4], "softmax": [0.4, 0.6]},
+            width=20, title="breakdown")
+        assert "legend" in chart
+        assert "softmax=40.0%" in chart
+        assert "softmax=60.0%" in chart

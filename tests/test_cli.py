@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in ("table1", "table4", "figure1", "figure5", "table3",
+                        "compare-softmax", "latency", "model-cost"):
+            args = parser.parse_args([command] if command != "table3"
+                                     else [command, "--tasks", "sst2"])
+            assert args.command == command
+
+
+class TestFastCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Q(6,2)" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Unnormed Softmax Unit" in out
+        assert "Full PE" in out
+
+    def test_table4_16_wide(self, capsys):
+        assert main(["table4", "--width", "16", "--seq-len", "128"]) == 0
+        assert "Normalization Unit" in capsys.readouterr().out
+
+    def test_figure1(self, capsys):
+        assert main(["figure1", "--seq-lens", "128", "512"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("seq_len,")
+        assert "512" in out
+
+    def test_figure5(self, capsys):
+        assert main(["figure5", "--seq-lens", "128", "384", "--widths", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "softermax_uJ_32w" in out
+
+    def test_compare_softmax(self, capsys):
+        assert main(["compare-softmax", "--seq-len", "64", "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "softermax (Table I)" in out
+        assert "i-bert polynomial" in out
+
+    def test_latency(self, capsys):
+        assert main(["latency", "--seq-lens", "128", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_model_cost(self, capsys):
+        assert main(["model-cost", "--model", "bert-base", "--seq-len", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "bert-base" in out
+        assert "ratio" in out
+
+
+class TestTable3Command:
+    def test_single_quick_task(self, capsys):
+        code = main(["table3", "--tasks", "sst2", "--num-train", "64",
+                     "--num-dev", "32", "--epochs", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Baseline" in out and "Softermax" in out
+
+    def test_unknown_task_is_an_error(self, capsys):
+        code = main(["table3", "--tasks", "imagenet", "--num-train", "32",
+                     "--num-dev", "16", "--epochs", "1"])
+        assert code == 2

@@ -1,0 +1,113 @@
+"""Cross-module integration tests.
+
+These exercise the paths the benchmarks and examples rely on: the public
+package surface, the drop-in use of Softermax inside a Transformer, the
+end-to-end fine-tuning recipe on a small task, and the hardware experiment
+entry points.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import SoftermaxConfig, base2_softmax, softermax
+from repro.data import make_glue_suite, make_qnli, make_squad
+from repro.eval import evaluate_model, runtime_fraction_series
+from repro.hardware import compute_table4, sequence_length_sweep
+from repro.models import BertConfig, FinetuneConfig, TaskModel, finetune
+from repro.reporting import format_table1, format_table4
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        x = np.random.default_rng(0).normal(size=(2, 16))
+        assert repro.softermax(x).shape == x.shape
+        assert repro.softmax_reference(x).shape == x.shape
+        assert isinstance(repro.SoftermaxConfig(), SoftermaxConfig)
+
+
+class TestSoftermaxInsideTransformer:
+    def test_drop_in_replacement_changes_little(self):
+        task = make_qnli(num_train=16, num_dev=16)
+        config = BertConfig.tiny_base(vocab_size=task.vocab_size, max_seq_len=task.seq_len)
+        model = TaskModel(config, task, seed=0)
+        model.eval()
+        batch = next(task.dev.batches(8))
+
+        reference_logits = model(batch.input_ids, batch.attention_mask).data.copy()
+        model.set_softmax_variant("softermax")
+        softermax_logits = model(batch.input_ids, batch.attention_mask).data
+
+        assert reference_logits.shape == softermax_logits.shape
+        # Without fine-tuning the perturbation is visible but bounded.
+        assert 0.0 < np.max(np.abs(reference_logits - softermax_logits)) < 2.0
+
+    def test_softermax_predictions_mostly_agree_with_reference(self):
+        task = make_qnli(num_train=16, num_dev=32)
+        config = BertConfig.tiny_base(vocab_size=task.vocab_size, max_seq_len=task.seq_len)
+        model = TaskModel(config, task, seed=0)
+        model.eval()
+        batch = next(task.dev.batches(32))
+        ref_pred = np.argmax(model(batch.input_ids, batch.attention_mask).data, axis=-1)
+        model.set_softmax_variant("softermax")
+        soft_pred = np.argmax(model(batch.input_ids, batch.attention_mask).data, axis=-1)
+        assert (ref_pred == soft_pred).mean() > 0.8
+
+
+class TestEndToEndFinetuning:
+    def test_full_recipe_on_one_task(self):
+        """Pre-train -> calibrate -> QAT fine-tune with Softermax -> evaluate."""
+        task = make_qnli(num_train=96, num_dev=48)
+        config = BertConfig.tiny_base(vocab_size=task.vocab_size, max_seq_len=task.seq_len)
+        result = finetune(task, config, "softermax",
+                          FinetuneConfig(pretrain_epochs=4, finetune_epochs=2,
+                                         batch_size=16, calibration_batches=2, seed=1))
+        assert result.task_name == "qnli"
+        assert 0.0 <= result.score <= 100.0
+
+    def test_span_task_end_to_end(self):
+        task = make_squad(num_train=96, num_dev=32)
+        config = BertConfig.tiny_base(vocab_size=task.vocab_size, max_seq_len=task.seq_len)
+        result = finetune(task, config, "softermax",
+                          FinetuneConfig(pretrain_epochs=4, finetune_epochs=1,
+                                         batch_size=16, calibration_batches=2, seed=0))
+        assert result.metric_name == "squad_f1"
+        # This is a smoke-test-sized run (96 examples, a handful of epochs);
+        # the Table III benchmark trains the full-size surrogate instead.
+        assert result.score > 5.0
+
+
+class TestExperimentEntryPoints:
+    def test_suite_generation_is_fast_and_complete(self):
+        suite = make_glue_suite(scale=0.02)
+        assert len(suite) == 8
+        for task in suite.values():
+            model = TaskModel(BertConfig.tiny_base(vocab_size=task.vocab_size,
+                                                   max_seq_len=task.seq_len), task, seed=0)
+            score = evaluate_model(model, task)
+            assert 0.0 <= abs(score) <= 100.0
+
+    def test_table4_and_figure5_consistent(self):
+        table4 = compute_table4()
+        sweep = sequence_length_sweep(seq_lens=(384,), vector_sizes=(32,))
+        # The Figure 5 point at seq 384 / 32-wide equals the Table IV PE ratio.
+        assert sweep[0].ratio == pytest.approx(table4.energy_ratio("Full PE"), rel=1e-6)
+
+    def test_figure1_series_monotone_softmax_share(self):
+        series = runtime_fraction_series(seq_lens=(128, 512, 2048))
+        softmax_share = series.series("softmax")
+        assert softmax_share[0] < softmax_share[-1]
+
+    def test_reports_render(self):
+        assert "Table I" in format_table1(SoftermaxConfig.paper_table1())
+        assert "Table IV" in format_table4(compute_table4())
+
+
+class TestNumericalConsistency:
+    def test_softermax_tracks_base2_softmax_on_attention_scores(self, score_rows):
+        fixed = softermax(score_rows)
+        smooth = base2_softmax(score_rows)
+        assert np.max(np.abs(fixed - smooth)) < 0.03

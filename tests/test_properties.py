@@ -1,0 +1,139 @@
+"""Cross-cutting property-based tests.
+
+These encode the mathematical invariants that hold across module boundaries
+and that the paper's correctness argument rests on:
+
+* the online-normalizer recurrence is exactly equivalent to the two-pass
+  softmax in exact arithmetic, for any slicing of the input;
+* Softermax is invariant to adding an integer constant to every score
+  (because the base is 2 and the running max is an integer, the shift
+  cancels exactly -- the fixed-point analogue of softmax shift invariance);
+* Softermax is equivariant under permutations of the score vector;
+* quantization is idempotent and projection-like;
+* the straight-through fake-quantizer never changes values that are already
+  representable.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    SoftermaxConfig,
+    base2_softmax,
+    online_softmax,
+    softermax,
+    softmax_reference,
+)
+from repro.fixedpoint import QFormat, quantize
+from repro.quant import FakeQuantizer, compute_scale, fake_quantize_array
+
+score_rows = st.lists(
+    st.floats(min_value=-15.0, max_value=15.0, allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=40,
+)
+
+
+class TestSoftmaxEquivalences:
+    @given(score_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_online_equals_two_pass_for_any_row(self, row):
+        x = np.array([row])
+        assert np.allclose(online_softmax(x, base=np.e), softmax_reference(x), atol=1e-12)
+
+    @given(score_rows, st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_reference_softmax_shift_invariance(self, row, shift):
+        x = np.array([row])
+        assert np.allclose(softmax_reference(x), softmax_reference(x + shift), atol=1e-9)
+
+    @given(score_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_base2_preserves_ranking(self, row):
+        x = np.array([row])
+        assert np.array_equal(np.argsort(base2_softmax(x)), np.argsort(softmax_reference(x)))
+
+
+class TestSoftermaxInvariances:
+    @given(score_rows, st.integers(min_value=-8, max_value=8))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_shift_invariance(self, row, shift):
+        """Adding an integer to every score leaves Softermax unchanged.
+
+        The integer max shifts by exactly the same integer, so every
+        ``x - max`` difference -- and hence every power of two, the running
+        sum and the outputs -- is bit-identical (as long as nothing
+        saturates at the input quantizer).
+        """
+        x = np.array([row])
+        config = SoftermaxConfig.paper_table1()
+        # Keep both versions inside the representable input range.
+        if np.max(np.abs(x)) + abs(shift) >= config.input_fmt.max_value - 1:
+            return
+        assert np.array_equal(softermax(x, config=config),
+                              softermax(x + shift, config=config))
+
+    @given(score_rows, st.randoms(use_true_random=False))
+    @settings(max_examples=50, deadline=None)
+    def test_permutation_equivariance(self, row, rnd):
+        x = np.array(row)
+        permutation = list(range(len(row)))
+        rnd.shuffle(permutation)
+        permutation = np.array(permutation)
+        config = SoftermaxConfig.paper_table1()
+        direct = softermax(x[None, permutation], config=config)[0]
+        permuted = softermax(x[None, :], config=config)[0][permutation]
+        assert np.array_equal(direct, permuted)
+
+    @given(score_rows)
+    @settings(max_examples=50, deadline=None)
+    def test_monotonicity_of_outputs_in_scores(self, row):
+        """Larger scores never receive smaller probabilities."""
+        x = np.array([row])
+        probs = softermax(x)[0]
+        order = np.argsort(np.array(row))
+        sorted_probs = probs[order]
+        assert np.all(np.diff(sorted_probs) >= -1e-12)
+
+
+class TestQuantizationProperties:
+    @given(st.lists(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False),
+                    min_size=1, max_size=64),
+           st.integers(min_value=0, max_value=12),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_quantize_is_idempotent(self, values, frac_bits, int_bits):
+        fmt = QFormat(int_bits, frac_bits, signed=True)
+        arr = np.asarray(values)
+        once = quantize(arr, fmt)
+        twice = quantize(once, fmt)
+        assert np.array_equal(once, twice)
+
+    @given(st.lists(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False),
+                    min_size=1, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_fake_quantize_is_a_projection(self, values):
+        arr = np.asarray(values)
+        params = compute_scale(10.0, num_bits=8)
+        once = fake_quantize_array(arr, params)
+        twice = fake_quantize_array(once, params)
+        assert np.allclose(once, twice)
+
+    @given(st.integers(min_value=-127, max_value=127))
+    @settings(max_examples=60, deadline=None)
+    def test_fake_quantizer_fixes_representable_points(self, code):
+        quantizer = FakeQuantizer(num_bits=8)
+        params = quantizer.set_amax(127.0)
+        value = np.array([code * params.scale])
+        assert np.allclose(quantizer(value), value)
+
+    @given(st.lists(st.floats(min_value=-50.0, max_value=50.0, allow_nan=False),
+                    min_size=2, max_size=32))
+    @settings(max_examples=60, deadline=None)
+    def test_quantization_preserves_ordering_up_to_ties(self, values):
+        fmt = QFormat(7, 2, signed=True)
+        arr = np.asarray(values)
+        q = quantize(arr, fmt)
+        # Quantization is monotone: if a < b then q(a) <= q(b).
+        order = np.argsort(arr, kind="stable")
+        assert np.all(np.diff(q[order]) >= -1e-12)
