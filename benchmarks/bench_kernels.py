@@ -1,0 +1,131 @@
+"""Kernel engine benchmark: slice-loop oracle vs fused batched kernel.
+
+Times every requested kernel across sequence lengths and batch sizes and
+writes ``benchmarks/results/BENCH_kernels.json`` so later PRs have a
+recorded perf trajectory.  The headline metric is the speedup of the fused
+kernel over the slice-loop ``SoftermaxPipeline`` at sequence length 512 on
+the row-latency workload (a small batch of rows, the unit of work an
+attention head hands the softmax engine); the fused kernel must stay
+bitwise-identical (checked here too, on top of the equivalence suite).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py            # full sweep
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
+
+This is a standalone harness (not a pytest benchmark) so it can run outside
+the test session; ``scripts/ci.sh`` invokes the ``--quick`` mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).parent))  # for bench_utils
+from bench_utils import RESULTS_DIR
+
+from repro.core import SoftermaxConfig, attention_score_batch
+from repro.eval import kernel_timing_sweep
+from repro.kernels import resolve_kernel
+
+#: The pair the acceptance criterion is about.
+ORACLE = "softermax-bit-accurate"
+FUSED = "softermax-fused"
+
+
+def run_bench(seq_lens, batches, kernels, repeats: int) -> dict:
+    """Time the kernels and assemble the JSON payload."""
+    config = SoftermaxConfig.paper_table1()
+
+    # Sanity: the fused kernel must agree bit-for-bit before we time it.
+    oracle_fn = resolve_kernel(ORACLE, config)
+    fused_fn = resolve_kernel(FUSED, config)
+    check = attention_score_batch(batch=4, seq_len=max(seq_lens), seed=1)
+    if not np.array_equal(oracle_fn(check), fused_fn(check)):
+        raise AssertionError("fused kernel diverged from the bit-accurate oracle")
+
+    points = kernel_timing_sweep(kernels=kernels, seq_lens=seq_lens,
+                                 batches=batches, config=config,
+                                 repeats=repeats)
+    results = [vars(p) for p in points]
+
+    def best(kernel: str, seq_len: int, batch: int) -> float | None:
+        for p in points:
+            if p.kernel == kernel and p.seq_len == seq_len and p.batch == batch:
+                return p.best_seconds
+        return None
+
+    speedups = {}
+    for seq_len in seq_lens:
+        for batch in batches:
+            ref = best(ORACLE, seq_len, batch)
+            fused = best(FUSED, seq_len, batch)
+            if ref is not None and fused is not None:
+                speedups[f"seq{seq_len}_batch{batch}"] = round(ref / fused, 2)
+
+    headline_batch = min(batches)
+    headline = None
+    if 512 in seq_lens:
+        headline = speedups.get(f"seq512_batch{headline_batch}")
+
+    return {
+        "workload": "attention_score_batch rows, paper Table I config",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernels": list(kernels),
+        "seq_lens": list(seq_lens),
+        "batches": list(batches),
+        "results": results,
+        "speedup_fused_vs_oracle": speedups,
+        "speedup_at_512": headline,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs (no JSON rewrite)")
+    parser.add_argument("--seq-lens", type=int, nargs="+",
+                        default=[64, 128, 256, 512, 1024])
+    parser.add_argument("--batches", type=int, nargs="+", default=[8, 64])
+    parser.add_argument("--kernels", nargs="+",
+                        default=[ORACLE, FUSED, "reference", "base2"])
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--output", default=str(RESULTS_DIR / "BENCH_kernels.json"))
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        payload = run_bench(seq_lens=(64, 512), batches=(8,),
+                            kernels=(ORACLE, FUSED), repeats=2)
+    else:
+        payload = run_bench(seq_lens=tuple(args.seq_lens),
+                            batches=tuple(args.batches),
+                            kernels=tuple(args.kernels),
+                            repeats=args.repeats)
+
+    for key, value in sorted(payload["speedup_fused_vs_oracle"].items()):
+        print(f"{key:>18}: fused speedup {value:5.1f}x")
+    if payload["speedup_at_512"] is not None:
+        print(f"headline (seq 512): {payload['speedup_at_512']:.1f}x")
+
+    if args.quick:
+        # The smoke run verifies the harness end to end without clobbering
+        # the recorded trajectory with low-repeat numbers.
+        print("quick mode: results not written")
+        return 0
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

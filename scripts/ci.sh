@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 test suite plus a kernel-benchmark smoke run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== kernel benchmark smoke =="
+python benchmarks/bench_kernels.py --quick

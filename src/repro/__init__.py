@@ -6,6 +6,9 @@ Efficient Softmax for Transformers* (DAC 2021).  It provides:
 * ``repro.core`` -- the Softermax algorithm family (base-2 softmax, online
   normalization, fixed-point linear-piecewise power-of-two and reciprocal
   units) together with reference softmax implementations.
+* ``repro.kernels`` -- the softmax kernel engine: a fused whole-tensor
+  Softermax bitwise-identical to the slice-loop pipeline, and a named
+  registry with ``"auto"`` selection used across the stack.
 * ``repro.fixedpoint`` -- a Q-format fixed-point arithmetic substrate.
 * ``repro.quant`` -- 8-bit integer quantization and quantization-aware
   training utilities (percentile calibration, straight-through estimator).
@@ -37,8 +40,9 @@ from repro.core import (
     base2_softmax,
     online_softmax,
 )
+from repro.kernels import fused_softermax, resolve_kernel, available_kernels
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SoftermaxConfig",
@@ -46,5 +50,8 @@ __all__ = [
     "softmax_reference",
     "base2_softmax",
     "online_softmax",
+    "fused_softermax",
+    "resolve_kernel",
+    "available_kernels",
     "__version__",
 ]

@@ -7,9 +7,14 @@ Every paper experiment can be regenerated from the command line::
     python -m repro.cli figure1 --seq-lens 128 384 1024 2048
     python -m repro.cli figure5
     python -m repro.cli table3 --tasks sst2 rte --model tiny-base
-    python -m repro.cli compare-softmax --seq-len 384
+    python -m repro.cli compare-softmax --seq-len 384 --kernel softermax-fused
     python -m repro.cli latency
     python -m repro.cli model-cost --model bert-large --seq-len 512
+    python -m repro.cli kernels
+
+Softermax commands take a ``--kernel`` selector (see ``repro.cli kernels``
+for the registry); the default ``auto`` resolves to the fused fast path,
+which is bitwise-identical to the slice-loop oracle.
 
 (The Table III command trains real NumPy models and can take minutes for the
 full task list; the default runs a single quick task.)
@@ -28,10 +33,10 @@ from repro.core import (
     compare_softmax,
     ibert_softmax,
     lut_exp_softmax,
-    softermax,
     softmax_reference,
     split_exp_softmax,
 )
+from repro.kernels import available_kernels, get_kernel, resolve_kernel
 from repro.reporting import format_table, format_table1, format_table3, format_table4, series_to_csv
 
 
@@ -100,18 +105,49 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     finetune_config = FinetuneConfig(pretrain_epochs=args.epochs,
                                      finetune_epochs=max(1, args.epochs // 3),
                                      seed=args.seed)
+    if args.kernel != "auto":
+        # Rebind the registered "softermax" variant to the requested kernel
+        # so the whole fine-tuning stack picks it up.
+        from repro.nn.functional import make_softermax_variant, register_softmax_variant
+
+        _resolve_kernel_or_exit(args.kernel, bit_accurate_only=True)
+        register_softmax_variant(make_softermax_variant(kernel=args.kernel))
     comparison = run_accuracy_comparison(tasks, model_config, finetune_config)
     print(format_table3({args.model: comparison}))
     print(f"\naverage delta (Softermax - baseline): {comparison.average_delta():+.2f}")
     return 0
 
 
+def _resolve_kernel_or_exit(name: str, config=None, bit_accurate_only: bool = False):
+    """Resolve a kernel name, exiting with a clean message on a bad name.
+
+    ``bit_accurate_only`` restricts the choice to the Softermax family:
+    commands that label their output "Softermax" must not silently run a
+    float reference under that name.
+    """
+    try:
+        spec = get_kernel(name)
+    except KeyError:
+        print(f"unknown kernel {name!r}; available: "
+              f"{', '.join(['auto', *available_kernels()])}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if bit_accurate_only and not spec.bit_accurate:
+        accurate = [k for k in available_kernels() if get_kernel(k).bit_accurate]
+        print(f"kernel {name!r} is not a bit-accurate Softermax implementation; "
+              f"choose from: {', '.join(['auto', *accurate])}", file=sys.stderr)
+        raise SystemExit(2)
+    return resolve_kernel(name, config)
+
+
 def _cmd_compare_softmax(args: argparse.Namespace) -> int:
     scores = attention_score_batch(batch=args.batch, seq_len=args.seq_len,
                                    seed=args.seed)
+    softermax_fn = _resolve_kernel_or_exit(args.kernel,
+                                           SoftermaxConfig.paper_table1(),
+                                           bit_accurate_only=True)
     variants = {
         "base-2 float": base2_softmax,
-        "softermax (Table I)": lambda x: softermax(x),
+        "softermax (Table I)": softermax_fn,
         "i-bert polynomial": ibert_softmax,
         "LUT exp (64 entries)": lut_exp_softmax,
         "split high/low exp": split_exp_softmax,
@@ -125,6 +161,36 @@ def _cmd_compare_softmax(args: argparse.Namespace) -> int:
         ["variant", "max |err| vs base-e", "mean |err|", "argmax agreement"],
         rows, title=f"Softmax approximations on seq_len={args.seq_len} scores",
         float_digits=4))
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    from repro.reporting import format_table
+
+    rows = []
+    for name in available_kernels():
+        spec = get_kernel(name)
+        rows.append([name, "yes" if spec.bit_accurate else "no",
+                     spec.description])
+    print(format_table(["kernel", "bit-accurate", "description"], rows,
+                       title="Registered softmax kernels (auto -> softermax-fused)"))
+    return 0
+
+
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.eval import kernel_timing_sweep
+    from repro.reporting import format_table
+
+    for name in args.kernels:
+        _resolve_kernel_or_exit(name)
+    points = kernel_timing_sweep(kernels=tuple(args.kernels),
+                                 seq_lens=tuple(args.seq_lens),
+                                 batches=(args.batch,))
+    rows = [[p.kernel, p.seq_len, p.batch, p.best_seconds * 1e3,
+             p.rows_per_second] for p in points]
+    print(format_table(
+        ["kernel", "seq_len", "batch", "best ms/call", "rows/s"], rows,
+        title="Softmax kernel timing", float_digits=3))
     return 0
 
 
@@ -194,12 +260,26 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--num-dev", type=int, default=128)
     table3.add_argument("--epochs", type=int, default=8)
     table3.add_argument("--seed", type=int, default=0)
+    table3.add_argument("--kernel", default="auto",
+                        help="Softermax kernel (see the 'kernels' command)")
 
     compare = sub.add_parser("compare-softmax",
                              help="numerical comparison of softmax approximations")
     compare.add_argument("--seq-len", type=int, default=384)
     compare.add_argument("--batch", type=int, default=16)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--kernel", default="auto",
+                         help="Softermax kernel (see the 'kernels' command)")
+
+    sub.add_parser("kernels", help="list the registered softmax kernels")
+
+    bench = sub.add_parser("bench-kernels",
+                           help="time registered kernels on batched rows")
+    bench.add_argument("--kernels", nargs="+",
+                       default=["softermax-bit-accurate", "softermax-fused"])
+    bench.add_argument("--seq-lens", type=int, nargs="+",
+                       default=[64, 128, 256, 512, 1024])
+    bench.add_argument("--batch", type=int, default=8)
 
     latency = sub.add_parser("latency", help="row-latency comparison")
     latency.add_argument("--seq-lens", type=int, nargs="+",
@@ -221,6 +301,8 @@ _HANDLERS = {
     "figure5": _cmd_figure5,
     "table3": _cmd_table3,
     "compare-softmax": _cmd_compare_softmax,
+    "kernels": _cmd_kernels,
+    "bench-kernels": _cmd_bench_kernels,
     "latency": _cmd_latency,
     "model-cost": _cmd_model_cost,
 }

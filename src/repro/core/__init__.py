@@ -36,6 +36,7 @@ from repro.core.online_normalizer import (
 from repro.core.softermax import (
     SoftermaxPipeline,
     SoftermaxIntermediates,
+    SoftermaxResult,
     softermax,
     softermax_float,
 )
@@ -78,6 +79,7 @@ __all__ = [
     "integer_max",
     "SoftermaxPipeline",
     "SoftermaxIntermediates",
+    "SoftermaxResult",
     "softermax",
     "softermax_float",
     "SoftmaxErrorReport",

@@ -23,6 +23,7 @@ used.  Both paths are modelled here bit-accurately.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -36,10 +37,20 @@ def _pow2_frac(x: np.ndarray) -> np.ndarray:
     return np.power(2.0, np.asarray(x, dtype=np.float64))
 
 
+@lru_cache(maxsize=None)
+def _cached_pow2_table(num_segments: int, coeff_fmt: QFormat | None,
+                       method: str) -> LPWTable:
+    table = fit_lpw(_pow2_frac, 0.0, 1.0, num_segments, method=method)
+    if coeff_fmt is not None:
+        table = table.quantized(coeff_fmt)
+    return table
+
+
 def build_pow2_table(
     num_segments: int = 4,
     coeff_fmt: QFormat | None = QFormat(2, 15, signed=False),
     method: str = "endpoint",
+    cache: bool = True,
 ) -> LPWTable:
     """Build the LPW table for ``2**f`` with ``f`` in [0, 1).
 
@@ -53,11 +64,15 @@ def build_pow2_table(
         keeps the coefficients in full precision (used for error analysis).
     method:
         ``"endpoint"`` or ``"lstsq"`` (see :func:`repro.core.lpw.fit_lpw`).
+    cache:
+        Memoize the construction: equal parameters return the *same*
+        :class:`LPWTable` instance (tables are frozen and never mutated).
+        Pass ``False`` to force a fresh fit, e.g. for ablations that poke
+        at the table arrays.
     """
-    table = fit_lpw(_pow2_frac, 0.0, 1.0, num_segments, method=method)
-    if coeff_fmt is not None:
-        table = table.quantized(coeff_fmt)
-    return table
+    if cache:
+        return _cached_pow2_table(num_segments, coeff_fmt, method)
+    return _cached_pow2_table.__wrapped__(num_segments, coeff_fmt, method)
 
 
 @dataclass
@@ -71,6 +86,9 @@ class PowerOfTwoUnit:
         segment count.
     lpw_method:
         Table construction method, exposed for ablations.
+    cache_tables:
+        Share memoized LPW tables between units with equal parameters
+        (default).  Disable to force a private table instance.
 
     Examples
     --------
@@ -81,6 +99,7 @@ class PowerOfTwoUnit:
 
     config: SoftermaxConfig = None
     lpw_method: str = "endpoint"
+    cache_tables: bool = True
 
     def __post_init__(self) -> None:
         if self.config is None:
@@ -89,6 +108,7 @@ class PowerOfTwoUnit:
             self.config.pow2_segments,
             coeff_fmt=QFormat(2, self.config.unnormed_fmt.frac_bits, signed=False),
             method=self.lpw_method,
+            cache=self.cache_tables,
         )
 
     @property

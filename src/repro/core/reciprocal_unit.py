@@ -12,6 +12,7 @@ numerator by the reciprocal is an integer multiplier.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -25,21 +26,33 @@ def _reciprocal_mantissa(m: np.ndarray) -> np.ndarray:
     return 1.0 / np.asarray(m, dtype=np.float64)
 
 
+@lru_cache(maxsize=None)
+def _cached_reciprocal_table(num_segments: int, coeff_fmt: QFormat | None,
+                             method: str) -> LPWTable:
+    table = fit_lpw(_reciprocal_mantissa, 1.0, 2.0, num_segments, method=method)
+    if coeff_fmt is not None:
+        table = table.quantized(coeff_fmt)
+    return table
+
+
 def build_reciprocal_table(
     num_segments: int = 4,
     coeff_fmt: QFormat | None = QFormat(2, 15, signed=True),
     method: str = "endpoint",
+    cache: bool = True,
 ) -> LPWTable:
     """Build the LPW table for ``1/m`` with ``m`` in [1, 2).
 
     The slopes of ``1/m`` are negative, so the coefficient LUT format must
     be signed (a signed Q(2,15) covers slopes in [-0.25, 0) and intercepts
     in (0.5, 1] with plenty of headroom).
+
+    With ``cache`` (the default) equal parameters return the same memoized
+    :class:`LPWTable` instance; pass ``False`` to force a fresh fit.
     """
-    table = fit_lpw(_reciprocal_mantissa, 1.0, 2.0, num_segments, method=method)
-    if coeff_fmt is not None:
-        table = table.quantized(coeff_fmt)
-    return table
+    if cache:
+        return _cached_reciprocal_table(num_segments, coeff_fmt, method)
+    return _cached_reciprocal_table.__wrapped__(num_segments, coeff_fmt, method)
 
 
 def normalize_to_unit_range(d: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -76,6 +89,7 @@ class ReciprocalUnit:
 
     config: SoftermaxConfig = None
     lpw_method: str = "endpoint"
+    cache_tables: bool = True
 
     def __post_init__(self) -> None:
         if self.config is None:
@@ -84,6 +98,7 @@ class ReciprocalUnit:
             self.config.recip_segments,
             coeff_fmt=QFormat(2, 15, signed=True),
             method=self.lpw_method,
+            cache=self.cache_tables,
         )
 
     @property

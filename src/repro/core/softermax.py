@@ -85,7 +85,7 @@ class SoftermaxPipeline:
         """Apply Softermax along ``axis`` and return the probabilities."""
         return self.run(x, axis=axis).output_moved_back(axis)
 
-    def run(self, x: np.ndarray, axis: int = -1) -> "_SoftermaxResult":
+    def run(self, x: np.ndarray, axis: int = -1) -> "SoftermaxResult":
         """Run the full pipeline, retaining every intermediate signal."""
         cfg = self.config
         moved = np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
@@ -181,7 +181,7 @@ class SoftermaxPipeline:
             reciprocal=reciprocal,
             output=output,
         )
-        return _SoftermaxResult(intermediates)
+        return SoftermaxResult(intermediates)
 
     def _pow2(self, x: np.ndarray) -> np.ndarray:
         if self.config.use_base2:
@@ -192,7 +192,7 @@ class SoftermaxPipeline:
         return quantize(np.exp(x), self.config.unnormed_fmt, RoundingMode.NEAREST)
 
 
-class _SoftermaxResult:
+class SoftermaxResult:
     """Wrapper giving convenient access to the pipeline outputs."""
 
     def __init__(self, intermediates: SoftermaxIntermediates) -> None:
@@ -204,6 +204,10 @@ class _SoftermaxResult:
 
     def output_moved_back(self, axis: int) -> np.ndarray:
         return np.moveaxis(self.intermediates.output, -1, axis)
+
+
+#: Backwards-compatible alias (the wrapper predates the kernels subsystem).
+_SoftermaxResult = SoftermaxResult
 
 
 def softermax(

@@ -31,6 +31,8 @@ from repro.eval.sweeps import (
     energy_sweep_series,
     AccuracySweepPoint,
     softermax_error_sweep,
+    KernelTimingPoint,
+    kernel_timing_sweep,
 )
 
 __all__ = [
@@ -57,4 +59,6 @@ __all__ = [
     "energy_sweep_series",
     "AccuracySweepPoint",
     "softermax_error_sweep",
+    "KernelTimingPoint",
+    "kernel_timing_sweep",
 ]

@@ -4,19 +4,24 @@ These wrap the hardware models with convenient "give me the series the
 paper plots" functions: the Figure 1 softmax-runtime-fraction trend and the
 Figure 5 energy-vs-sequence-length curves, plus a numerical-accuracy sweep
 of the Softermax pipeline across sequence lengths (not a paper figure, but
-a useful sanity series referenced by the ablation benchmarks).
+a useful sanity series referenced by the ablation benchmarks).  The
+Softermax sweeps take a ``kernel`` selector (see :mod:`repro.kernels`) so
+they can run on the fused fast path or the slice-loop oracle
+interchangeably.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
-from repro.core import SoftermaxConfig, base2_softmax, compare_softmax, softermax, attention_score_batch
+from repro.core import SoftermaxConfig, base2_softmax, compare_softmax, attention_score_batch
 from repro.hardware.energy_model import SweepPoint, sequence_length_sweep
 from repro.hardware.runtime_model import RuntimeBreakdown, runtime_breakdown_sweep
+from repro.kernels import resolve_kernel
 from repro.models.bert import BertConfig
 
 
@@ -90,19 +95,76 @@ def softermax_error_sweep(
     batch: int = 16,
     config: SoftermaxConfig | None = None,
     seed: int = 0,
+    kernel: str = "auto",
 ) -> List[AccuracySweepPoint]:
-    """Numerical error of Softermax vs the float base-2 softmax, per seq len."""
+    """Numerical error of Softermax vs the float base-2 softmax, per seq len.
+
+    ``kernel`` picks the Softermax implementation from the registry; the
+    bit-accurate family yields identical numbers, so this only changes how
+    long the sweep takes.
+    """
     config = config or SoftermaxConfig.paper_table1()
+    kernel_fn = resolve_kernel(kernel, config)
     points: List[AccuracySweepPoint] = []
     for seq_len in seq_lens:
         scores = attention_score_batch(batch, seq_len, seed=seed)
-        report = compare_softmax(
-            lambda s: softermax(s, config=config), scores, reference_fn=base2_softmax
-        )
+        report = compare_softmax(kernel_fn, scores, reference_fn=base2_softmax)
         points.append(AccuracySweepPoint(
             seq_len=seq_len,
             max_abs_error=report.max_abs_error,
             mean_abs_error=report.mean_abs_error,
             argmax_agreement=report.argmax_agreement,
         ))
+    return points
+
+
+@dataclass
+class KernelTimingPoint:
+    """Wall-clock timing of one kernel on one workload shape."""
+
+    kernel: str
+    seq_len: int
+    batch: int
+    best_seconds: float
+    calls_per_second: float
+    rows_per_second: float
+
+
+def kernel_timing_sweep(
+    kernels: Sequence[str] = ("softermax-bit-accurate", "softermax-fused"),
+    seq_lens: Sequence[int] = (64, 128, 256, 512, 1024),
+    batches: Sequence[int] = (8,),
+    config: SoftermaxConfig | None = None,
+    repeats: int = 3,
+    min_calls: int = 2,
+    seed: int = 0,
+) -> List[KernelTimingPoint]:
+    """Time registered kernels over batched attention-score rows.
+
+    Used by ``benchmarks/bench_kernels.py`` to record the perf trajectory
+    of the kernel engine (best-of-``repeats`` wall-clock per call).
+    """
+    config = config or SoftermaxConfig.paper_table1()
+    points: List[KernelTimingPoint] = []
+    for name in kernels:
+        kernel_fn = resolve_kernel(name, config)
+        for seq_len in seq_lens:
+            for batch in batches:
+                scores = attention_score_batch(batch, seq_len, seed=seed)
+                kernel_fn(scores)  # warm caches and tables
+                calls = max(min_calls, int(50_000 / (batch * seq_len)))
+                best = float("inf")
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    for _ in range(calls):
+                        kernel_fn(scores)
+                    best = min(best, (time.perf_counter() - start) / calls)
+                points.append(KernelTimingPoint(
+                    kernel=name,
+                    seq_len=seq_len,
+                    batch=batch,
+                    best_seconds=best,
+                    calls_per_second=1.0 / best,
+                    rows_per_second=batch / best,
+                ))
     return points

@@ -1,0 +1,39 @@
+"""Softmax kernel engine: named, swappable softmax implementations.
+
+``repro.core`` defines *what* Softermax computes (the bit-accurate
+slice-loop pipeline); this subpackage is about *how fast* it runs and how a
+caller picks an implementation:
+
+* :mod:`repro.kernels.fused` -- the fused whole-tensor kernel, bitwise
+  identical to :class:`~repro.core.softermax.SoftermaxPipeline` but an order
+  of magnitude faster on batched attention-score tensors.
+* :mod:`repro.kernels.registry` -- the name -> implementation registry with
+  ``"auto"`` selection, used by the attention layers, sweeps, the CLI and
+  the benchmarks.
+"""
+
+from repro.kernels.fused import (
+    FusedSoftermaxKernel,
+    fused_softermax,
+    get_fused_kernel,
+)
+from repro.kernels.registry import (
+    AUTO_KERNEL,
+    KernelSpec,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
+
+__all__ = [
+    "FusedSoftermaxKernel",
+    "fused_softermax",
+    "get_fused_kernel",
+    "AUTO_KERNEL",
+    "KernelSpec",
+    "available_kernels",
+    "get_kernel",
+    "register_kernel",
+    "resolve_kernel",
+]

@@ -1,0 +1,155 @@
+"""Named softmax kernel registry.
+
+One place that maps a kernel name to an executable softmax implementation,
+so callers (attention layers, sweep drivers, the CLI, benchmarks) select
+implementations by string instead of importing them:
+
+* ``"reference"`` / ``"base2"`` -- floating-point references.
+* ``"softermax-bit-accurate"`` -- the slice-loop :class:`SoftermaxPipeline`
+  (the oracle every other Softermax kernel is validated against).
+* ``"softermax-fused"`` -- the fused whole-tensor kernel, bitwise-identical
+  to the oracle and the default fast path.
+* ``"ibert"`` / ``"lut-exp"`` / ``"split-exp"`` -- the related-work
+  approximations from :mod:`repro.core.variants`.
+* ``"auto"`` -- resolves to the preferred Softermax implementation
+  (currently the fused kernel).
+
+Every kernel resolves to a callable ``fn(x, axis=-1) -> probabilities``;
+Softermax kernels are bound to a :class:`SoftermaxConfig` at resolution
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig
+from repro.core.softermax import SoftermaxPipeline, softermax_float
+from repro.core.softmax_reference import base2_softmax, softmax_reference
+from repro.core.variants import ibert_softmax, lut_exp_softmax, split_exp_softmax
+from repro.kernels.fused import get_fused_kernel
+
+#: Name the ``"auto"`` alias resolves to.
+AUTO_KERNEL = "softermax-fused"
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A registered softmax kernel.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    factory:
+        ``factory(config) -> fn(x, axis=-1)``; non-Softermax kernels ignore
+        the config.
+    description:
+        One-line human-readable summary (shown by ``repro.cli kernels``).
+    bit_accurate:
+        Whether the kernel models the fixed-point Softermax datapath
+        bit-for-bit (as opposed to a float reference or approximation).
+    """
+
+    name: str
+    factory: Callable[[Optional[SoftermaxConfig]], Callable]
+    description: str
+    bit_accurate: bool = False
+
+
+_KERNELS: Dict[str, KernelSpec] = {}
+
+
+def register_kernel(spec: KernelSpec) -> None:
+    """Register (or replace) a kernel by name."""
+    if spec.name == "auto":
+        raise ValueError('"auto" is a reserved alias, not a registrable name')
+    _KERNELS[spec.name] = spec
+
+
+def get_kernel(name: str) -> KernelSpec:
+    """Look up a registered kernel spec (resolving the ``"auto"`` alias)."""
+    if name == "auto":
+        name = AUTO_KERNEL
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown softmax kernel {name!r}; available: {available_kernels()}"
+        ) from None
+
+
+def available_kernels() -> List[str]:
+    """Sorted names of all registered kernels (excluding the auto alias)."""
+    return sorted(_KERNELS)
+
+
+def resolve_kernel(
+    name: str = "auto",
+    config: SoftermaxConfig | None = None,
+) -> Callable[..., np.ndarray]:
+    """Resolve a kernel name to a ``fn(x, axis=-1)`` callable.
+
+    Softermax kernels are bound to ``config`` (paper Table I when omitted);
+    float kernels ignore it.
+    """
+    return get_kernel(name).factory(config)
+
+
+# --------------------------------------------------------------------------- #
+# built-in kernels
+# --------------------------------------------------------------------------- #
+def _softermax_pipeline_factory(config):
+    pipeline = SoftermaxPipeline(config) if config is not None else SoftermaxPipeline()
+    return pipeline.__call__
+
+
+def _softermax_fused_factory(config):
+    return get_fused_kernel(config).__call__
+
+
+register_kernel(KernelSpec(
+    name="reference",
+    factory=lambda config: softmax_reference,
+    description="float64 base-e softmax (numerically stable reference)",
+))
+register_kernel(KernelSpec(
+    name="base2",
+    factory=lambda config: base2_softmax,
+    description="float64 base-2 softmax (the paper's base replacement)",
+))
+register_kernel(KernelSpec(
+    name="softermax-float",
+    factory=lambda config: softermax_float,
+    description="smooth float surrogate of Softermax (fine-tuning backward)",
+))
+register_kernel(KernelSpec(
+    name="softermax-bit-accurate",
+    factory=_softermax_pipeline_factory,
+    description="slice-loop SoftermaxPipeline (bit-accurate hardware oracle)",
+    bit_accurate=True,
+))
+register_kernel(KernelSpec(
+    name="softermax-fused",
+    factory=_softermax_fused_factory,
+    description="fused whole-tensor Softermax (bitwise-identical, fast path)",
+    bit_accurate=True,
+))
+register_kernel(KernelSpec(
+    name="ibert",
+    factory=lambda config: ibert_softmax,
+    description="I-BERT style polynomial integer softmax (related work)",
+))
+register_kernel(KernelSpec(
+    name="lut-exp",
+    factory=lambda config: lut_exp_softmax,
+    description="64-entry LUT natural-exp softmax (related work)",
+))
+register_kernel(KernelSpec(
+    name="split-exp",
+    factory=lambda config: split_exp_softmax,
+    description="split high/low-bit exponential softmax (related work)",
+))

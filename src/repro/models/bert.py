@@ -94,6 +94,7 @@ class BertEncoderModel(Module):
 
     def __init__(self, config: BertConfig,
                  softmax_variant: str | SoftmaxVariant = "reference",
+                 kernel: str = "auto",
                  seed: Optional[int] = None) -> None:
         super().__init__()
         rng = np.random.default_rng(seed)
@@ -109,6 +110,7 @@ class BertEncoderModel(Module):
             intermediate_dim=config.intermediate_dim,
             dropout=config.dropout,
             softmax_variant=softmax_variant,
+            kernel=kernel,
             seed=seed,
         )
 
@@ -125,9 +127,10 @@ class BertEncoderModel(Module):
         hidden = self.embedding_dropout(self.embedding_norm(hidden))
         return self.encoder(hidden, attention_mask)
 
-    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+    def set_softmax_variant(self, variant: str | SoftmaxVariant,
+                            kernel: str = "auto") -> None:
         """Switch the attention softmax of every encoder layer."""
-        self.encoder.set_softmax_variant(variant)
+        self.encoder.set_softmax_variant(variant, kernel=kernel)
 
 
 class ClassificationHead(Module):
@@ -190,11 +193,13 @@ class TaskModel(Module):
 
     def __init__(self, config: BertConfig, task: TaskDataset,
                  softmax_variant: str | SoftmaxVariant = "reference",
+                 kernel: str = "auto",
                  seed: Optional[int] = None) -> None:
         super().__init__()
         self.config = config
         self.task_type = task.task_type
-        self.encoder_model = BertEncoderModel(config, softmax_variant, seed=seed)
+        self.encoder_model = BertEncoderModel(config, softmax_variant,
+                                              kernel=kernel, seed=seed)
         if task.task_type == "classification":
             self.head = ClassificationHead(config.hidden_dim, task.num_classes,
                                            dropout=config.dropout, seed=seed)
@@ -211,5 +216,6 @@ class TaskModel(Module):
             return self.head(hidden, attention_mask)
         return self.head(hidden)
 
-    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
-        self.encoder_model.set_softmax_variant(variant)
+    def set_softmax_variant(self, variant: str | SoftmaxVariant,
+                            kernel: str = "auto") -> None:
+        self.encoder_model.set_softmax_variant(variant, kernel=kernel)

@@ -35,6 +35,12 @@ class MultiHeadSelfAttention(Module):
     softmax_variant:
         Either a registered variant name (``"reference"``, ``"base2"``,
         ``"softermax"``) or a :class:`SoftmaxVariant` instance.
+    kernel:
+        Softermax kernel selector (see :mod:`repro.kernels`): when the
+        variant is the string ``"softermax"``, pick the named implementation
+        (``"auto"`` resolves to the fused fast path; pass
+        ``"softermax-bit-accurate"`` to force the slice-loop oracle).
+        Ignored for other variants.
     rng:
         Generator for weight initialization.
     """
@@ -45,6 +51,7 @@ class MultiHeadSelfAttention(Module):
         num_heads: int,
         dropout: float = 0.1,
         softmax_variant: str | SoftmaxVariant = "reference",
+        kernel: str = "auto",
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -64,17 +71,29 @@ class MultiHeadSelfAttention(Module):
         self.output = Linear(hidden_dim, hidden_dim, rng=rng)
         self.attn_dropout = Dropout(dropout, seed=seed)
 
-        self.set_softmax_variant(softmax_variant)
+        self.set_softmax_variant(softmax_variant, kernel=kernel)
         #: Populated by :meth:`forward` when ``capture_scores`` is enabled:
         #: the raw scaled attention scores of the last call (for calibration
         #: and for feeding the hardware cost model with realistic data).
         self.last_scores: Optional[np.ndarray] = None
         self.capture_scores = False
 
-    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
-        """Switch the attention softmax implementation."""
+    def set_softmax_variant(self, variant: str | SoftmaxVariant,
+                            kernel: str = "auto") -> None:
+        """Switch the attention softmax implementation.
+
+        ``kernel`` selects the Softermax implementation when ``variant`` is
+        the string ``"softermax"`` (every kernel in the registry's
+        bit-accurate family produces identical outputs, so this only
+        affects speed).
+        """
         if isinstance(variant, str):
-            variant = get_softmax_variant(variant)
+            if variant == "softermax" and kernel != "auto":
+                from repro.nn.functional import make_softermax_variant
+
+                variant = make_softermax_variant(kernel=kernel)
+            else:
+                variant = get_softmax_variant(variant)
         self.softmax_variant = variant
 
     def _split_heads(self, x: Tensor, batch: int, seq_len: int) -> Tensor:

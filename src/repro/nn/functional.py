@@ -134,12 +134,28 @@ def available_softmax_variants() -> list:
 
 
 def make_softermax_variant(config: SoftermaxConfig | None = None,
-                           name: str = "softermax") -> SoftmaxVariant:
-    """Create a Softermax variant bound to a specific operating point."""
+                           name: str = "softermax",
+                           kernel: str = "auto") -> SoftmaxVariant:
+    """Create a Softermax variant bound to a specific operating point.
+
+    Parameters
+    ----------
+    config:
+        Operating point (paper Table I when omitted).
+    name:
+        Registry key of the resulting variant.
+    kernel:
+        Named implementation from :mod:`repro.kernels` (``"auto"`` selects
+        the fused fast path, which is bitwise-identical to the
+        ``"softermax-bit-accurate"`` oracle).
+    """
+    from repro.kernels import resolve_kernel
+
     cfg = config or SoftermaxConfig.paper_table1()
+    kernel_fn = resolve_kernel(kernel, cfg)
 
     def forward(scores: np.ndarray) -> np.ndarray:
-        return softermax_forward(scores, axis=-1, config=cfg)
+        return kernel_fn(scores, axis=-1)
 
     return SoftmaxVariant(
         name=name,

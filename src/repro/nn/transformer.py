@@ -44,6 +44,7 @@ class TransformerLayer(Module):
         intermediate_dim: int,
         dropout: float = 0.1,
         softmax_variant: str | SoftmaxVariant = "reference",
+        kernel: str = "auto",
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -51,7 +52,7 @@ class TransformerLayer(Module):
         rng = rng or np.random.default_rng(seed)
         self.attention = MultiHeadSelfAttention(
             hidden_dim, num_heads, dropout=dropout,
-            softmax_variant=softmax_variant, rng=rng, seed=seed,
+            softmax_variant=softmax_variant, kernel=kernel, rng=rng, seed=seed,
         )
         self.attention_norm = LayerNorm(hidden_dim)
         self.attention_dropout = Dropout(dropout, seed=seed)
@@ -66,8 +67,9 @@ class TransformerLayer(Module):
         hidden = self.output_norm(hidden + self.output_dropout(transformed))
         return hidden
 
-    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
-        self.attention.set_softmax_variant(variant)
+    def set_softmax_variant(self, variant: str | SoftmaxVariant,
+                            kernel: str = "auto") -> None:
+        self.attention.set_softmax_variant(variant, kernel=kernel)
 
 
 class TransformerEncoder(Module):
@@ -81,6 +83,7 @@ class TransformerEncoder(Module):
         intermediate_dim: int,
         dropout: float = 0.1,
         softmax_variant: str | SoftmaxVariant = "reference",
+        kernel: str = "auto",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -89,7 +92,7 @@ class TransformerEncoder(Module):
         for i in range(num_layers):
             layer = TransformerLayer(
                 hidden_dim, num_heads, intermediate_dim, dropout=dropout,
-                softmax_variant=softmax_variant, rng=rng,
+                softmax_variant=softmax_variant, kernel=kernel, rng=rng,
                 seed=None if seed is None else seed + i,
             )
             self.add_module(f"layer_{i}", layer)
@@ -100,7 +103,8 @@ class TransformerEncoder(Module):
             hidden = layer(hidden, attention_mask)
         return hidden
 
-    def set_softmax_variant(self, variant: str | SoftmaxVariant) -> None:
+    def set_softmax_variant(self, variant: str | SoftmaxVariant,
+                            kernel: str = "auto") -> None:
         """Switch the attention softmax of every layer at once."""
         for layer in self.layers:
-            layer.set_softmax_variant(variant)
+            layer.set_softmax_variant(variant, kernel=kernel)

@@ -1,0 +1,77 @@
+"""LPW table memoization: equal configs share tables, ablations can opt out."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import (
+    PowerOfTwoUnit,
+    ReciprocalUnit,
+    SoftermaxConfig,
+    SoftermaxPipeline,
+    build_pow2_table,
+    build_reciprocal_table,
+)
+
+
+class TestTableSharing:
+    def test_equal_pipelines_share_tables(self):
+        a = SoftermaxPipeline(SoftermaxConfig.paper_table1())
+        b = SoftermaxPipeline(SoftermaxConfig.paper_table1())
+        assert a.pow2_unit.table is b.pow2_unit.table
+        assert a.reciprocal_unit.table is b.reciprocal_unit.table
+
+    def test_fused_kernel_shares_pipeline_tables(self):
+        from repro.kernels import get_fused_kernel
+
+        config = SoftermaxConfig.paper_table1()
+        pipeline = SoftermaxPipeline(config)
+        kernel = get_fused_kernel(config)
+        assert pipeline.pow2_unit.table is kernel.pow2_unit.table
+        assert pipeline.reciprocal_unit.table is kernel.reciprocal_unit.table
+
+    def test_different_segment_counts_get_different_tables(self):
+        a = PowerOfTwoUnit(SoftermaxConfig(pow2_segments=4))
+        b = PowerOfTwoUnit(SoftermaxConfig(pow2_segments=8))
+        assert a.table is not b.table
+        assert a.table.num_segments == 4 and b.table.num_segments == 8
+
+    def test_method_is_part_of_the_cache_key(self):
+        a = PowerOfTwoUnit(lpw_method="endpoint")
+        b = PowerOfTwoUnit(lpw_method="lstsq")
+        assert a.table is not b.table
+
+
+class TestCacheBypass:
+    def test_units_can_opt_out_of_sharing(self):
+        shared = PowerOfTwoUnit()
+        private = PowerOfTwoUnit(cache_tables=False)
+        assert shared.table is not private.table
+        np.testing.assert_array_equal(shared.table.slopes, private.table.slopes)
+        np.testing.assert_array_equal(shared.table.intercepts,
+                                      private.table.intercepts)
+
+        shared_r = ReciprocalUnit()
+        private_r = ReciprocalUnit(cache_tables=False)
+        assert shared_r.table is not private_r.table
+
+    def test_builder_bypass_returns_fresh_equal_tables(self):
+        cached = build_pow2_table()
+        assert build_pow2_table() is cached
+        fresh = build_pow2_table(cache=False)
+        assert fresh is not cached
+        np.testing.assert_array_equal(fresh.intercepts, cached.intercepts)
+
+        cached_r = build_reciprocal_table()
+        assert build_reciprocal_table() is cached_r
+        assert build_reciprocal_table(cache=False) is not cached_r
+
+    def test_bypass_supports_table_ablation(self, rng, paper_config):
+        """A mutated private table must not leak into shared units."""
+        private = PowerOfTwoUnit(cache_tables=False)
+        private.table.intercepts[:] = 1.0  # deliberately corrupt the copy
+        shared = PowerOfTwoUnit()
+        x = -rng.random(64) * 3.0
+        assert not np.array_equal(private(x), shared(x))
+        # A fresh shared unit still sees the pristine cached table.
+        np.testing.assert_array_equal(PowerOfTwoUnit()(x), shared(x))

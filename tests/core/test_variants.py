@@ -101,13 +101,13 @@ class TestRegistration:
         register_related_work_variants()
         register_related_work_variants()  # should not raise or duplicate
 
-    def test_variants_usable_inside_attention(self, scores):
+    def test_variants_usable_inside_attention(self, rng):
         from repro.nn import MultiHeadSelfAttention, Tensor
 
         register_related_work_variants()
         attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0,
                                       softmax_variant="ibert")
-        out = attn(Tensor(np.random.default_rng(0).normal(size=(2, 6, 16))))
+        out = attn(Tensor(rng.normal(size=(2, 6, 16))))
         assert out.shape == (2, 6, 16)
 
 

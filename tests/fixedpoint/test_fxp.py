@@ -65,9 +65,8 @@ class TestQuantize:
         values = np.array([1.0, 0.015625, 512.5])
         assert np.array_equal(quantize(values, fmt), values)
 
-    def test_stochastic_rounding_is_unbiased(self):
+    def test_stochastic_rounding_is_unbiased(self, rng):
         fmt = QFormat(6, 2)
-        rng = np.random.default_rng(0)
         values = np.full(20000, 0.1)  # between 0 and 0.25
         q = quantize(values, fmt, RoundingMode.STOCHASTIC, rng=rng)
         assert abs(q.mean() - 0.1) < 0.01

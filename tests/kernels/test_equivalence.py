@@ -1,0 +1,200 @@
+"""Equivalence and property tests for the softmax kernel engine.
+
+The contract under test: the fused whole-tensor kernel is *bitwise*
+identical to the slice-loop :class:`SoftermaxPipeline` oracle -- outputs
+and every exposed intermediate -- across shapes, slice widths, axes and
+operating points; and every registered kernel behaves like a softmax
+(probabilities in [0, 1], rows summing to ~1, permutation equivariance
+along the reduction axis).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SoftermaxConfig, SoftermaxPipeline
+from repro.fixedpoint import QFormat
+from repro.kernels import (
+    FusedSoftermaxKernel,
+    available_kernels,
+    fused_softermax,
+    get_fused_kernel,
+    get_kernel,
+    resolve_kernel,
+)
+
+INTERMEDIATE_FIELDS = (
+    "quantized_input",
+    "slice_maxes",
+    "unnormed",
+    "global_max",
+    "denominator",
+    "reciprocal",
+    "output",
+)
+
+CONFIGS = {
+    "paper": SoftermaxConfig.paper_table1(),
+    "high_precision": SoftermaxConfig.high_precision(),
+    "explicit_max": SoftermaxConfig(use_online_normalization=False),
+    "float_max": SoftermaxConfig(use_integer_max=False),
+    "base_e": SoftermaxConfig(use_base2=False),
+    "slice_8": SoftermaxConfig(slice_width=8),
+    "slice_1": SoftermaxConfig(slice_width=1),
+    "mixed_max_fmt": SoftermaxConfig(max_fmt=QFormat(7, 4, signed=True)),
+    # Too wide to tabulate: exercises the fused float fallback path.
+    "no_lut": SoftermaxConfig(input_fmt=QFormat(8, 16, signed=True),
+                              max_fmt=QFormat(8, 16, signed=True)),
+}
+
+SHAPES = [(16,), (1, 16), (3, 33), (2, 2, 40), (2, 3, 4, 24), (5, 96), (4, 512)]
+
+
+def _assert_bitwise_equal(pipeline, kernel, x):
+    ref = pipeline.run(x).intermediates
+    fused = kernel.run(x).intermediates
+    for field in INTERMEDIATE_FIELDS:
+        a, b = getattr(ref, field), getattr(fused, field)
+        assert np.array_equal(a, b), (
+            f"{field} diverged: max abs diff "
+            f"{np.max(np.abs(np.asarray(a) - np.asarray(b)))}"
+        )
+    assert np.array_equal(kernel(x), ref.output)
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+@pytest.mark.parametrize("shape", SHAPES, ids=str)
+def test_fused_bitwise_identical(rng, config_name, shape):
+    config = CONFIGS[config_name]
+    pipeline = SoftermaxPipeline(config)
+    kernel = get_fused_kernel(config)
+    # Moderate scale exercises the LPW range; the large scale saturates the
+    # input/max formats (non-integer shifts -> the fused float back end).
+    for scale in (6.0, 40.0):
+        _assert_bitwise_equal(pipeline, kernel, rng.normal(0.0, scale, size=shape))
+
+
+@pytest.mark.parametrize("axis", [0, 1, 2, -1, -2])
+def test_fused_axis_handling(rng, paper_config, axis):
+    x = rng.normal(0.0, 5.0, size=(6, 7, 40))
+    pipeline = SoftermaxPipeline(paper_config)
+    assert np.array_equal(pipeline(x, axis=axis), fused_softermax(x, axis=axis))
+
+
+def test_fused_extreme_and_degenerate_inputs(paper_config):
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = get_fused_kernel(paper_config)
+    # The third case forces a renormalization shift of 63 (one slice maxes
+    # at +31, another at -32): the shift count must saturate safely in the
+    # int32 code domain, not over-shift.
+    wide_shift = np.concatenate([np.full((2, 32), 31.0),
+                                 np.full((2, 32), -32.0)], axis=-1)
+    cases = [
+        np.zeros((3, 37)),
+        np.full((2, 40), -31.0),
+        wide_shift,
+        np.full((2, 40), 31.75),
+        np.linspace(-64.0, 64.0, 96).reshape(2, 48),  # saturates both ends
+        np.asarray([[1e30, -1e30, 0.0, 2.5]]),
+    ]
+    for x in cases:
+        _assert_bitwise_equal(pipeline, kernel, x)
+
+
+def test_fused_empty_axis_raises(paper_config):
+    with pytest.raises(ValueError):
+        get_fused_kernel(paper_config)(np.zeros((4, 0)))
+    with pytest.raises(ValueError):
+        SoftermaxPipeline(paper_config)(np.zeros((4, 0)))
+
+
+def test_fused_does_not_mutate_input(rng, paper_config):
+    x = rng.normal(0.0, 6.0, size=(4, 64))
+    before = x.copy()
+    get_fused_kernel(paper_config)(x)
+    assert np.array_equal(x, before)
+
+
+def test_fused_kernel_memoized_per_config():
+    a = get_fused_kernel(SoftermaxConfig.paper_table1())
+    b = get_fused_kernel(SoftermaxConfig.paper_table1())
+    c = get_fused_kernel(SoftermaxConfig(slice_width=8))
+    assert a is b
+    assert a is not c
+    assert isinstance(a, FusedSoftermaxKernel)
+
+
+# --------------------------------------------------------------------------- #
+# softmax properties of every registered kernel
+# --------------------------------------------------------------------------- #
+def _kernel_tolerance(name: str) -> float:
+    """Permutation/rounding tolerance per kernel family.
+
+    Pure float softmaxes only see summation-order noise; kernels that
+    quantize their output to Q(1,7) can legitimately flip a last bit when
+    the reduction order changes; the multi-slice Softermax datapath rounds
+    its denominator once per slice, so a permutation that regroups the
+    slices can move the output by a couple of output LSBs.
+    """
+    if name in ("reference", "base2", "softermax-float"):
+        return 1e-9
+    if name.startswith("softermax"):
+        return 4.0 / 128.0
+    return 1.5 / 128.0
+
+
+@pytest.mark.parametrize("name", sorted(
+    set(available_kernels()) | {"auto"}))
+def test_kernel_is_a_softmax(rng, name):
+    kernel_fn = resolve_kernel(name, SoftermaxConfig.paper_table1())
+    x = rng.normal(0.0, 4.0, size=(8, 96))
+    probs = kernel_fn(x, axis=-1)
+    assert probs.shape == x.shape
+    assert np.all(probs >= 0.0) and np.all(probs <= 1.0)
+    # Float kernels sum to one up to accumulation noise; the fixed-point
+    # datapath quantizes each output to Q(1,7) with a floor renormalization,
+    # so long rows legitimately sum a few percent short of one (paper
+    # section IV; the attention matmul is insensitive to this).
+    if name in ("reference", "base2", "softermax-float"):
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-9)
+    else:
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=0.1)
+
+
+@pytest.mark.parametrize("name", sorted(available_kernels()))
+def test_kernel_permutation_equivariant(rng, name):
+    x = rng.normal(0.0, 4.0, size=(5, 96))
+    perm = rng.permutation(x.shape[-1])
+    kernel_fn = resolve_kernel(name, SoftermaxConfig.paper_table1())
+    direct = kernel_fn(x, axis=-1)[..., perm]
+    permuted = kernel_fn(x[..., perm], axis=-1)
+    np.testing.assert_allclose(permuted, direct, atol=_kernel_tolerance(name))
+
+
+@pytest.mark.parametrize("name", ["softermax-bit-accurate", "softermax-fused"])
+def test_softermax_single_slice_permutation_exact(rng, name):
+    """Within one hardware slice the datapath is order-independent.
+
+    The slice maximum is a permutation-invariant reduction and the
+    fixed-point slice sum is exact (order-independent), so permuting a
+    single-slice row must permute the output bit-for-bit.
+    """
+    config = SoftermaxConfig(slice_width=128)
+    kernel_fn = resolve_kernel(name, config)
+    x = rng.normal(0.0, 4.0, size=(6, 128))
+    perm = rng.permutation(128)
+    assert np.array_equal(kernel_fn(x[..., perm], axis=-1),
+                          kernel_fn(x, axis=-1)[..., perm])
+
+
+def test_bit_accurate_kernels_agree_through_registry(rng):
+    """The registry's bit-accurate family is interchangeable."""
+    config = SoftermaxConfig.paper_table1()
+    x = rng.normal(0.0, 6.0, size=(4, 4, 80))
+    outputs = [resolve_kernel(name, config)(x, axis=-1)
+               for name in available_kernels()
+               if get_kernel(name).bit_accurate]
+    assert len(outputs) >= 2
+    for other in outputs[1:]:
+        assert np.array_equal(outputs[0], other)

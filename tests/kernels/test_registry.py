@@ -1,0 +1,84 @@
+"""Tests for the named softmax kernel registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SoftermaxConfig, softmax_reference
+from repro.kernels import (
+    AUTO_KERNEL,
+    KernelSpec,
+    available_kernels,
+    get_kernel,
+    register_kernel,
+    resolve_kernel,
+)
+from repro.kernels import registry as registry_module
+
+
+class TestRegistryLookup:
+    def test_builtin_kernels_registered(self):
+        names = available_kernels()
+        for expected in ("reference", "base2", "softermax-bit-accurate",
+                         "softermax-fused", "ibert", "lut-exp", "split-exp"):
+            assert expected in names
+
+    def test_auto_alias_resolves_to_fused(self):
+        assert AUTO_KERNEL == "softermax-fused"
+        assert get_kernel("auto") is get_kernel("softermax-fused")
+        assert "auto" not in available_kernels()
+
+    def test_unknown_kernel_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="available"):
+            get_kernel("definitely-not-a-kernel")
+
+    def test_bit_accurate_flags(self):
+        assert get_kernel("softermax-fused").bit_accurate
+        assert get_kernel("softermax-bit-accurate").bit_accurate
+        assert not get_kernel("reference").bit_accurate
+        assert not get_kernel("ibert").bit_accurate
+
+
+class TestResolve:
+    def test_resolved_kernel_is_callable(self, rng):
+        fn = resolve_kernel("reference", None)
+        x = rng.normal(size=(3, 12))
+        np.testing.assert_allclose(fn(x, axis=-1), softmax_reference(x, axis=-1))
+
+    def test_softermax_kernels_bind_config(self, rng):
+        config = SoftermaxConfig(slice_width=8)
+        fused = resolve_kernel("softermax-fused", config)
+        oracle = resolve_kernel("softermax-bit-accurate", config)
+        x = rng.normal(0.0, 5.0, size=(2, 40))
+        assert np.array_equal(fused(x), oracle(x))
+
+    def test_default_config_is_paper_table1(self, rng, paper_config):
+        x = rng.normal(0.0, 5.0, size=(2, 48))
+        assert np.array_equal(
+            resolve_kernel("softermax-fused", None)(x),
+            resolve_kernel("softermax-fused", paper_config)(x),
+        )
+
+
+class TestRegistration:
+    def test_register_and_replace(self):
+        spec = KernelSpec(name="test-identity",
+                          factory=lambda config: lambda x, axis=-1: np.asarray(x),
+                          description="test-only kernel")
+        register_kernel(spec)
+        try:
+            assert get_kernel("test-identity") is spec
+            replacement = KernelSpec(name="test-identity",
+                                     factory=spec.factory,
+                                     description="replaced")
+            register_kernel(replacement)
+            assert get_kernel("test-identity").description == "replaced"
+        finally:
+            registry_module._KERNELS.pop("test-identity", None)
+
+    def test_auto_name_is_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_kernel(KernelSpec(name="auto",
+                                       factory=lambda config: None,
+                                       description="nope"))

@@ -40,10 +40,10 @@ class TestBertConfig:
 
 
 class TestBertEncoderModel:
-    def test_forward_shape(self):
+    def test_forward_shape(self, rng):
         config = BertConfig.tiny_base(vocab_size=20, max_seq_len=16)
         model = BertEncoderModel(config, seed=0)
-        ids = np.random.default_rng(0).integers(0, 20, size=(3, 12))
+        ids = rng.integers(0, 20, size=(3, 12))
         out = model(ids)
         assert out.shape == (3, 12, config.hidden_dim)
 
@@ -60,11 +60,11 @@ class TestBertEncoderModel:
         actual = model.num_parameters()
         assert abs(actual - estimate) / estimate < 0.1
 
-    def test_set_softmax_variant_changes_inference(self):
+    def test_set_softmax_variant_changes_inference(self, rng):
         config = BertConfig.tiny_base(vocab_size=20, max_seq_len=16)
         model = BertEncoderModel(config, seed=0)
         model.eval()
-        ids = np.random.default_rng(0).integers(0, 20, size=(2, 10))
+        ids = rng.integers(0, 20, size=(2, 10))
         ref = model(ids).data.copy()
         model.set_softmax_variant("softermax")
         soft = model(ids).data

@@ -92,10 +92,10 @@ class TestSoftmaxVariants:
         register_softmax_variant(variant)
         assert get_softmax_variant("unit-test-variant") is variant
 
-    def test_make_softermax_variant_uses_config(self):
+    def test_make_softermax_variant_uses_config(self, rng):
         cfg = SoftermaxConfig.high_precision()
         variant = make_softermax_variant(cfg, name="softermax-hp")
-        scores = np.random.default_rng(0).normal(size=(2, 16))
+        scores = rng.normal(size=(2, 16))
         out = variant.forward_fn(scores)
         assert out.shape == scores.shape
 

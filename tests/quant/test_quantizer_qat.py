@@ -122,12 +122,11 @@ class TestFakeQuantizer:
 
 
 class TestAttachQuantizers:
-    def _model(self):
-        rng = np.random.default_rng(0)
+    @pytest.fixture
+    def model(self, rng):
         return Sequential(Linear(8, 8, rng=rng), Linear(8, 4, rng=rng))
 
-    def test_attaches_to_every_linear(self):
-        model = self._model()
+    def test_attaches_to_every_linear(self, model):
         quantizers = attach_quantizers(model)
         assert len(quantizers) == 4  # weight + input per Linear
         for _, module in model.named_modules():
@@ -135,13 +134,11 @@ class TestAttachQuantizers:
                 assert module.weight_quantizer is not None
                 assert module.input_quantizer is not None
 
-    def test_weights_only_option(self):
-        model = self._model()
+    def test_weights_only_option(self, model):
         quantizers = attach_quantizers(model, quantize_activations=False)
         assert all(name.endswith(".weight") for name in quantizers)
 
-    def test_calibrate_freeze_quantize_changes_output(self, rng):
-        model = self._model()
+    def test_calibrate_freeze_quantize_changes_output(self, model, rng):
         model.eval()
         x = rng.normal(size=(16, 8))
         float_out = model(Tensor(x)).data.copy()
@@ -155,8 +152,7 @@ class TestAttachQuantizers:
         # 4-bit quantization is coarse but should not destroy the output.
         assert np.max(np.abs(float_out - quant_out)) < 2.0
 
-    def test_detach_restores_float_behaviour(self, rng):
-        model = self._model()
+    def test_detach_restores_float_behaviour(self, model, rng):
         model.eval()
         x = rng.normal(size=(4, 8))
         float_out = model(Tensor(x)).data.copy()
@@ -167,8 +163,7 @@ class TestAttachQuantizers:
         detach_quantizers(model)
         assert np.allclose(model(Tensor(x)).data, float_out)
 
-    def test_gradients_flow_through_quantized_model(self, rng):
-        model = self._model()
+    def test_gradients_flow_through_quantized_model(self, model, rng):
         quantizers = attach_quantizers(model)
         begin_calibration(quantizers)
         model(Tensor(rng.normal(size=(8, 8))))

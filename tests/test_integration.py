@@ -22,8 +22,8 @@ class TestPackageSurface:
     def test_version(self):
         assert repro.__version__
 
-    def test_top_level_exports(self):
-        x = np.random.default_rng(0).normal(size=(2, 16))
+    def test_top_level_exports(self, rng):
+        x = rng.normal(size=(2, 16))
         assert repro.softermax(x).shape == x.shape
         assert repro.softmax_reference(x).shape == x.shape
         assert isinstance(repro.SoftermaxConfig(), SoftermaxConfig)
