@@ -1,0 +1,8 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a proper package lets every benchmark (the pytest
+ones and the standalone ``bench_kernels`` script) import the shared helpers
+as ``benchmarks.bench_utils`` instead of each file patching ``sys.path``.
+Run the standalone harness as ``python -m benchmarks.bench_kernels`` from
+the repository root.
+"""

@@ -1,71 +1,106 @@
-"""Kernel engine benchmark: slice-loop oracle vs fused batched kernel.
+"""Kernel engine benchmark: oracle vs fused vs blocked vs parallel.
 
 Times every requested kernel across sequence lengths and batch sizes and
 writes ``benchmarks/results/BENCH_kernels.json`` so later PRs have a
-recorded perf trajectory.  The headline metric is the speedup of the fused
-kernel over the slice-loop ``SoftermaxPipeline`` at sequence length 512 on
-the row-latency workload (a small batch of rows, the unit of work an
-attention head hands the softmax engine); the fused kernel must stay
-bitwise-identical (checked here too, on top of the equivalence suite).
+recorded perf trajectory.  Two workloads are covered:
+
+* the **row-latency** workload (small batches of rows, the unit of work an
+  attention head hands the softmax engine) -- headline: the fused kernel's
+  speedup over the slice-loop ``SoftermaxPipeline`` at sequence length 512;
+* the **huge-tensor throughput** workload (batch x heads worth of rows at a
+  long sequence length, default 64 x 16 rows @ seq 2048) -- headline: the
+  blocked/parallel engines' speedup over the fused kernel, the
+  bandwidth-bound regime this engine exists for.
+
+Every timed Softermax kernel stays bitwise-identical (checked here too, on
+top of the equivalence suite), and each timing point records the
+tracemalloc peak of one call so memory wins are part of the trajectory.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py            # full sweep
-    PYTHONPATH=src python benchmarks/bench_kernels.py --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.bench_kernels            # full sweep
+    PYTHONPATH=src python -m benchmarks.bench_kernels --quick    # CI smoke
 
-This is a standalone harness (not a pytest benchmark) so it can run outside
-the test session; ``scripts/ci.sh`` invokes the ``--quick`` mode.
+The ``--quick`` mode also diffs its measurements against the recorded JSON
+(warn-only, generous tolerance) so perf regressions surface in every PR;
+``scripts/ci.sh`` invokes it.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 from pathlib import Path
 
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
 import numpy as np
 
-sys.path.insert(0, str(Path(__file__).parent))  # for bench_utils
-from bench_utils import RESULTS_DIR
+if __package__ in (None, ""):  # executed as a plain script
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.bench_utils import RESULTS_DIR
 
 from repro.core import SoftermaxConfig, attention_score_batch
 from repro.eval import kernel_timing_sweep
 from repro.kernels import resolve_kernel
 
-#: The pair the acceptance criterion is about.
+#: The pair the row-latency acceptance criterion is about.
 ORACLE = "softermax-bit-accurate"
 FUSED = "softermax-fused"
+BLOCKED = "softermax-blocked"
+PARALLEL = "softermax-parallel"
+
+#: Huge-tensor throughput workload: 64 batch x 16 heads worth of rows at
+#: sequence length 2048 (~2M elements / 16 MB of float64 scores per call).
+HUGE_ROWS = 64 * 16
+HUGE_SEQ = 2048
+
+#: Warn when a measured speedup falls below this fraction of the recorded
+#: baseline (generous: the boxes running CI are noisy and heterogeneous).
+BASELINE_TOLERANCE = 0.5
+
+
+def _best(points, kernel: str, seq_len: int, batch: int):
+    for p in points:
+        if p.kernel == kernel and p.seq_len == seq_len and p.batch == batch:
+            return p.best_seconds
+    return None
+
+
+def _check_bitwise(config, kernels, seq_len: int) -> None:
+    """The timed kernels must agree bit-for-bit before we time them."""
+    oracle_fn = resolve_kernel(ORACLE, config)
+    check = attention_score_batch(batch=4, seq_len=seq_len, seed=1)
+    expected = oracle_fn(check)
+    for name in kernels:
+        if name == ORACLE or not name.startswith("softermax"):
+            continue
+        if name.startswith("softermax-float"):
+            continue
+        if not np.array_equal(expected, resolve_kernel(name, config)(check)):
+            raise AssertionError(
+                f"kernel {name!r} diverged from the bit-accurate oracle")
 
 
 def run_bench(seq_lens, batches, kernels, repeats: int) -> dict:
-    """Time the kernels and assemble the JSON payload."""
+    """Time the row-latency workload and assemble the JSON payload."""
     config = SoftermaxConfig.paper_table1()
-
-    # Sanity: the fused kernel must agree bit-for-bit before we time it.
-    oracle_fn = resolve_kernel(ORACLE, config)
-    fused_fn = resolve_kernel(FUSED, config)
-    check = attention_score_batch(batch=4, seq_len=max(seq_lens), seed=1)
-    if not np.array_equal(oracle_fn(check), fused_fn(check)):
-        raise AssertionError("fused kernel diverged from the bit-accurate oracle")
+    _check_bitwise(config, kernels, max(seq_lens))
 
     points = kernel_timing_sweep(kernels=kernels, seq_lens=seq_lens,
                                  batches=batches, config=config,
                                  repeats=repeats)
-    results = [vars(p) for p in points]
-
-    def best(kernel: str, seq_len: int, batch: int) -> float | None:
-        for p in points:
-            if p.kernel == kernel and p.seq_len == seq_len and p.batch == batch:
-                return p.best_seconds
-        return None
-
     speedups = {}
     for seq_len in seq_lens:
         for batch in batches:
-            ref = best(ORACLE, seq_len, batch)
-            fused = best(FUSED, seq_len, batch)
+            ref = _best(points, ORACLE, seq_len, batch)
+            fused = _best(points, FUSED, seq_len, batch)
             if ref is not None and fused is not None:
                 speedups[f"seq{seq_len}_batch{batch}"] = round(ref / fused, 2)
 
@@ -78,46 +113,155 @@ def run_bench(seq_lens, batches, kernels, repeats: int) -> dict:
         "workload": "attention_score_batch rows, paper Table I config",
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
         "kernels": list(kernels),
         "seq_lens": list(seq_lens),
         "batches": list(batches),
-        "results": results,
+        "results": [vars(p) for p in points],
         "speedup_fused_vs_oracle": speedups,
         "speedup_at_512": headline,
     }
 
 
+def run_huge_bench(rows: int, seq_len: int, repeats: int,
+                   workers: int | None = None) -> dict:
+    """Time the huge-tensor throughput workload (no oracle: too slow)."""
+    config = SoftermaxConfig.paper_table1()
+    cpu = os.cpu_count() or 1
+    workers = workers or min(4, max(2, cpu))
+    kernels = (FUSED, BLOCKED, f"{PARALLEL}(workers={workers})")
+    _check_bitwise(config, kernels, 256)
+
+    points = kernel_timing_sweep(kernels=kernels, seq_lens=(seq_len,),
+                                 batches=(rows,), config=config,
+                                 repeats=repeats, min_calls=1)
+    fused = _best(points, FUSED, seq_len, rows)
+    blocked = _best(points, BLOCKED, seq_len, rows)
+    parallel = _best(points, f"{PARALLEL}(workers={workers})", seq_len, rows)
+    payload = {
+        "workload": f"{rows} rows x seq {seq_len} "
+                    f"({rows * seq_len} elements, huge-tensor throughput)",
+        "rows": rows,
+        "seq_len": seq_len,
+        "workers": workers,
+        "cpu_count": cpu,
+        "results": [vars(p) for p in points],
+        "speedup_blocked_vs_fused":
+            None if fused is None or blocked is None
+            else round(fused / blocked, 2),
+        "speedup_parallel_vs_fused":
+            None if fused is None or parallel is None
+            else round(fused / parallel, 2),
+    }
+    if cpu <= 1:
+        payload["note"] = ("single-core box: the parallel backend pays pool "
+                           "overhead with no extra cores; its recorded "
+                           "number is a machinery cost, not a capability "
+                           "ceiling")
+    return payload
+
+
+def check_against_baseline(payload: dict, baseline_path: Path,
+                           tolerance: float = BASELINE_TOLERANCE) -> list:
+    """Warn-only diff of measured speedups against the recorded trajectory.
+
+    Returns the warning lines (empty when everything is within tolerance
+    or no baseline exists yet).
+    """
+    if not baseline_path.exists():
+        return [f"no recorded baseline at {baseline_path}; skipping check"]
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    warnings = []
+
+    recorded = baseline.get("speedup_fused_vs_oracle", {})
+    measured = payload.get("speedup_fused_vs_oracle", {})
+    for key in sorted(set(recorded) & set(measured)):
+        if recorded[key] and measured[key] < recorded[key] * tolerance:
+            warnings.append(
+                f"fused-vs-oracle speedup at {key} fell to {measured[key]}x "
+                f"(recorded {recorded[key]}x, tolerance {tolerance:.0%})")
+
+    rec_huge = baseline.get("huge", {})
+    mes_huge = payload.get("huge", {})
+    same_workload = (rec_huge.get("rows") == mes_huge.get("rows")
+                     and rec_huge.get("seq_len") == mes_huge.get("seq_len"))
+    if mes_huge and rec_huge and not same_workload:
+        warnings.append(
+            f"huge workload shape differs from the recorded baseline "
+            f"({mes_huge.get('rows')}x{mes_huge.get('seq_len')} vs "
+            f"{rec_huge.get('rows')}x{rec_huge.get('seq_len')}); "
+            "skipping the huge-tensor speedup diff")
+    elif same_workload:
+        for field in ("speedup_blocked_vs_fused", "speedup_parallel_vs_fused"):
+            rec, mes = rec_huge.get(field), mes_huge.get(field)
+            if rec and mes and mes < rec * tolerance:
+                warnings.append(
+                    f"huge-tensor {field} fell to {mes}x "
+                    f"(recorded {rec}x, tolerance {tolerance:.0%})")
+    return warnings
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
-                        help="small sweep for CI smoke runs (no JSON rewrite)")
+                        help="small sweep for CI smoke runs (no JSON "
+                             "rewrite, warn-only baseline diff)")
     parser.add_argument("--seq-lens", type=int, nargs="+",
                         default=[64, 128, 256, 512, 1024])
     parser.add_argument("--batches", type=int, nargs="+", default=[8, 64])
     parser.add_argument("--kernels", nargs="+",
-                        default=[ORACLE, FUSED, "reference", "base2"])
+                        default=[ORACLE, FUSED, BLOCKED, "reference", "base2"])
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--huge-rows", type=int, default=HUGE_ROWS)
+    parser.add_argument("--huge-seq", type=int, default=HUGE_SEQ)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the huge-workload parallel point")
+    parser.add_argument("--skip-huge", action="store_true",
+                        help="skip the huge-tensor throughput workload")
     parser.add_argument("--output", default=str(RESULTS_DIR / "BENCH_kernels.json"))
     args = parser.parse_args(argv)
 
     if args.quick:
         payload = run_bench(seq_lens=(64, 512), batches=(8,),
                             kernels=(ORACLE, FUSED), repeats=2)
+        if not args.skip_huge:
+            # Same workload shape as the recorded trajectory so the
+            # baseline diff below compares like with like.
+            payload["huge"] = run_huge_bench(rows=args.huge_rows,
+                                             seq_len=args.huge_seq,
+                                             repeats=2, workers=args.workers)
     else:
         payload = run_bench(seq_lens=tuple(args.seq_lens),
                             batches=tuple(args.batches),
                             kernels=tuple(args.kernels),
                             repeats=args.repeats)
+        if not args.skip_huge:
+            payload["huge"] = run_huge_bench(rows=args.huge_rows,
+                                             seq_len=args.huge_seq,
+                                             repeats=args.repeats,
+                                             workers=args.workers)
+    payload["ru_maxrss_kb"] = (
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if resource is not None else None)
 
     for key, value in sorted(payload["speedup_fused_vs_oracle"].items()):
         print(f"{key:>18}: fused speedup {value:5.1f}x")
     if payload["speedup_at_512"] is not None:
         print(f"headline (seq 512): {payload['speedup_at_512']:.1f}x")
+    huge = payload.get("huge")
+    if huge:
+        print(f"huge workload ({huge['workload']}):")
+        print(f"  blocked  vs fused: {huge['speedup_blocked_vs_fused']}x")
+        print(f"  parallel vs fused: {huge['speedup_parallel_vs_fused']}x "
+              f"(workers={huge['workers']}, cpu_count={huge['cpu_count']})")
 
     if args.quick:
         # The smoke run verifies the harness end to end without clobbering
-        # the recorded trajectory with low-repeat numbers.
-        print("quick mode: results not written")
+        # the recorded trajectory with low-repeat numbers -- but it does
+        # compare against the recorded speedups so regressions are visible.
+        for line in check_against_baseline(payload, Path(args.output)):
+            print(f"WARNING: {line}")
+        print("quick mode: results not written (baseline diff is warn-only)")
         return 0
 
     out = Path(args.output)

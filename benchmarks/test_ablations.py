@@ -16,7 +16,7 @@ each choice in isolation:
 
 import numpy as np
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.core import (
     PowerOfTwoUnit,
     SoftermaxConfig,

@@ -7,7 +7,7 @@ series (runtime fraction per operator class at each sequence length) is
 written to ``benchmarks/results/figure1_runtime_breakdown.txt``.
 """
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.eval import runtime_fraction_series
 from repro.models import BertConfig
 from repro.reporting import series_to_csv, stacked_fraction_chart

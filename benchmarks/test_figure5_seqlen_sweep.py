@@ -6,7 +6,7 @@ DesignWare-baseline PE.  The paper's claims: Softermax starts from a lower
 energy and its energy grows with a shallower slope as sequences get longer.
 """
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.eval import energy_sweep_series
 from repro.reporting import ascii_bar_chart, series_to_csv
 

@@ -8,7 +8,7 @@ NumPy softmax, and how does the cost scale with sequence length.
 import numpy as np
 import pytest
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.core import (
     SoftermaxConfig,
     attention_score_batch,

@@ -8,7 +8,7 @@ number a software user of the library cares about).
 
 import numpy as np
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.core import SoftermaxConfig, attention_score_batch, softermax
 from repro.fixedpoint import QFormat
 from repro.reporting import format_table1

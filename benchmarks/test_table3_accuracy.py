@@ -21,7 +21,7 @@ to run a reduced version of the same experiment.
 
 import pytest
 
-from bench_utils import bench_scale, write_result
+from benchmarks.bench_utils import bench_scale, write_result
 from repro.data import make_glue_suite, make_squad
 from repro.eval import run_accuracy_comparison
 from repro.models import BertConfig, FinetuneConfig

@@ -14,7 +14,7 @@ Full PE                0.90x  0.43x
 =====================  =====  ======
 """
 
-from bench_utils import write_result
+from benchmarks.bench_utils import write_result
 from repro.hardware import AttentionWorkload, PEConfig, compute_table4
 from repro.reporting import format_table, format_table4
 

@@ -8,5 +8,5 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== kernel benchmark smoke =="
-python benchmarks/bench_kernels.py --quick
+echo "== kernel benchmark smoke (warn-only baseline diff) =="
+python -m benchmarks.bench_kernels --quick

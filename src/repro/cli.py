@@ -36,7 +36,12 @@ from repro.core import (
     softmax_reference,
     split_exp_softmax,
 )
-from repro.kernels import available_kernels, get_kernel, resolve_kernel
+from repro.kernels import (
+    auto_kernel_choice,
+    available_kernels,
+    get_kernel,
+    resolve_kernel,
+)
 from repro.reporting import format_table, format_table1, format_table3, format_table4, series_to_csv
 
 
@@ -105,20 +110,43 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     finetune_config = FinetuneConfig(pretrain_epochs=args.epochs,
                                      finetune_epochs=max(1, args.epochs // 3),
                                      seed=args.seed)
-    if args.kernel != "auto":
+    kernel_options = _kernel_options(args)
+    if args.kernel != "auto" or kernel_options:
         # Rebind the registered "softermax" variant to the requested kernel
         # so the whole fine-tuning stack picks it up.
         from repro.nn.functional import make_softermax_variant, register_softmax_variant
 
-        _resolve_kernel_or_exit(args.kernel, bit_accurate_only=True)
-        register_softmax_variant(make_softermax_variant(kernel=args.kernel))
+        _resolve_kernel_or_exit(args.kernel, bit_accurate_only=True,
+                                **kernel_options)
+        register_softmax_variant(make_softermax_variant(
+            kernel=args.kernel, kernel_options=kernel_options))
     comparison = run_accuracy_comparison(tasks, model_config, finetune_config)
     print(format_table3({args.model: comparison}))
     print(f"\naverage delta (Softermax - baseline): {comparison.average_delta():+.2f}")
     return 0
 
 
-def _resolve_kernel_or_exit(name: str, config=None, bit_accurate_only: bool = False):
+def _kernel_options(args: argparse.Namespace) -> dict:
+    """Engine knobs (``--workers``, ``--block-rows``) present on ``args``."""
+    options = {}
+    if getattr(args, "workers", None) is not None:
+        options["workers"] = args.workers
+    if getattr(args, "block_rows", None) is not None:
+        options["block_rows"] = args.block_rows
+    return options
+
+
+def _add_kernel_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the parallel kernel "
+                             "(default: cpu count)")
+    parser.add_argument("--block-rows", type=int, default=None,
+                        help="rows per block for the blocked/parallel "
+                             "kernels (default: adaptive)")
+
+
+def _resolve_kernel_or_exit(name: str, config=None,
+                            bit_accurate_only: bool = False, **options):
     """Resolve a kernel name, exiting with a clean message on a bad name.
 
     ``bit_accurate_only`` restricts the choice to the Softermax family:
@@ -127,7 +155,7 @@ def _resolve_kernel_or_exit(name: str, config=None, bit_accurate_only: bool = Fa
     """
     try:
         spec = get_kernel(name)
-    except KeyError:
+    except (KeyError, ValueError):
         print(f"unknown kernel {name!r}; available: "
               f"{', '.join(['auto', *available_kernels()])}", file=sys.stderr)
         raise SystemExit(2) from None
@@ -136,7 +164,13 @@ def _resolve_kernel_or_exit(name: str, config=None, bit_accurate_only: bool = Fa
         print(f"kernel {name!r} is not a bit-accurate Softermax implementation; "
               f"choose from: {', '.join(['auto', *accurate])}", file=sys.stderr)
         raise SystemExit(2)
-    return resolve_kernel(name, config)
+    try:
+        return resolve_kernel(name, config, **options)
+    except (TypeError, ValueError) as exc:
+        # Unsupported option for this kernel, or an invalid option value
+        # (e.g. workers=0): a usage error, not a crash.
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _cmd_compare_softmax(args: argparse.Namespace) -> int:
@@ -144,7 +178,8 @@ def _cmd_compare_softmax(args: argparse.Namespace) -> int:
                                    seed=args.seed)
     softermax_fn = _resolve_kernel_or_exit(args.kernel,
                                            SoftermaxConfig.paper_table1(),
-                                           bit_accurate_only=True)
+                                           bit_accurate_only=True,
+                                           **_kernel_options(args))
     variants = {
         "base-2 float": base2_softmax,
         "softermax (Table I)": softermax_fn,
@@ -167,13 +202,20 @@ def _cmd_compare_softmax(args: argparse.Namespace) -> int:
 def _cmd_kernels(args: argparse.Namespace) -> int:
     from repro.reporting import format_table
 
+    auto_pick = auto_kernel_choice(args.batch, args.seq_len,
+                                   workers=args.workers)
     rows = []
     for name in available_kernels():
         spec = get_kernel(name)
-        rows.append([name, "yes" if spec.bit_accurate else "no",
-                     spec.description])
-    print(format_table(["kernel", "bit-accurate", "description"], rows,
-                       title="Registered softmax kernels (auto -> softermax-fused)"))
+        marker = " <- auto" if name == auto_pick else ""
+        rows.append([name + marker, "yes" if spec.bit_accurate else "no",
+                     spec.selection or "-", spec.description])
+    print(format_table(
+        ["kernel", "bit-accurate", "selection", "description"], rows,
+        title='Registered softmax kernels ("auto" dispatches per call)'))
+    print(f"\nauto resolves to: {auto_pick} for shape "
+          f"(batch={args.batch}, seq_len={args.seq_len}, "
+          f"elements={args.batch * args.seq_len})")
     return 0
 
 
@@ -181,15 +223,29 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.eval import kernel_timing_sweep
     from repro.reporting import format_table
 
+    from repro.kernels import supported_options
+
+    options = _kernel_options(args)
     for name in args.kernels:
         _resolve_kernel_or_exit(name)
+        if options:
+            # Shared knobs only reach the kernels that understand them (the
+            # sweep filters the same way), so `--block-rows` can ride along
+            # a list that also contains e.g. the oracle.
+            accepted = supported_options(name)
+            _resolve_kernel_or_exit(
+                name, **{k: v for k, v in options.items() if k in accepted})
     points = kernel_timing_sweep(kernels=tuple(args.kernels),
                                  seq_lens=tuple(args.seq_lens),
-                                 batches=(args.batch,))
+                                 batches=(args.batch,),
+                                 kernel_options=options)
     rows = [[p.kernel, p.seq_len, p.batch, p.best_seconds * 1e3,
-             p.rows_per_second] for p in points]
+             p.rows_per_second,
+             "-" if p.peak_mem_bytes is None else p.peak_mem_bytes / 1e6]
+            for p in points]
     print(format_table(
-        ["kernel", "seq_len", "batch", "best ms/call", "rows/s"], rows,
+        ["kernel", "seq_len", "batch", "best ms/call", "rows/s",
+         "peak MB/call"], rows,
         title="Softmax kernel timing", float_digits=3))
     return 0
 
@@ -262,6 +318,7 @@ def build_parser() -> argparse.ArgumentParser:
     table3.add_argument("--seed", type=int, default=0)
     table3.add_argument("--kernel", default="auto",
                         help="Softermax kernel (see the 'kernels' command)")
+    _add_kernel_knobs(table3)
 
     compare = sub.add_parser("compare-softmax",
                              help="numerical comparison of softmax approximations")
@@ -270,16 +327,28 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--kernel", default="auto",
                          help="Softermax kernel (see the 'kernels' command)")
+    _add_kernel_knobs(compare)
 
-    sub.add_parser("kernels", help="list the registered softmax kernels")
+    kernels = sub.add_parser("kernels",
+                             help="list the registered softmax kernels and "
+                                  "the auto selection for a shape")
+    kernels.add_argument("--batch", type=int, default=8,
+                         help="rows of the probe shape auto is resolved for")
+    kernels.add_argument("--seq-len", type=int, default=512,
+                         help="reduction length of the probe shape")
+    kernels.add_argument("--workers", type=int, default=None,
+                         help="worker budget assumed for the auto probe "
+                              "(default: cpu count)")
 
     bench = sub.add_parser("bench-kernels",
                            help="time registered kernels on batched rows")
     bench.add_argument("--kernels", nargs="+",
-                       default=["softermax-bit-accurate", "softermax-fused"])
+                       default=["softermax-bit-accurate", "softermax-fused",
+                                "softermax-blocked"])
     bench.add_argument("--seq-lens", type=int, nargs="+",
                        default=[64, 128, 256, 512, 1024])
     bench.add_argument("--batch", type=int, default=8)
+    _add_kernel_knobs(bench)
 
     latency = sub.add_parser("latency", help="row-latency comparison")
     latency.add_argument("--seq-lens", type=int, nargs="+",

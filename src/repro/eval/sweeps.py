@@ -13,15 +13,16 @@ interchangeably.
 from __future__ import annotations
 
 import time
+import tracemalloc
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core import SoftermaxConfig, base2_softmax, compare_softmax, attention_score_batch
 from repro.hardware.energy_model import SweepPoint, sequence_length_sweep
 from repro.hardware.runtime_model import RuntimeBreakdown, runtime_breakdown_sweep
-from repro.kernels import resolve_kernel
+from repro.kernels import resolve_kernel, supported_options
 from repro.models.bert import BertConfig
 
 
@@ -96,15 +97,17 @@ def softermax_error_sweep(
     config: SoftermaxConfig | None = None,
     seed: int = 0,
     kernel: str = "auto",
+    kernel_options: Optional[dict] = None,
 ) -> List[AccuracySweepPoint]:
     """Numerical error of Softermax vs the float base-2 softmax, per seq len.
 
-    ``kernel`` picks the Softermax implementation from the registry; the
-    bit-accurate family yields identical numbers, so this only changes how
-    long the sweep takes.
+    ``kernel`` (plus any engine knobs in ``kernel_options``) picks the
+    Softermax implementation from the registry; the bit-accurate family
+    yields identical numbers, so this only changes how long the sweep
+    takes.
     """
     config = config or SoftermaxConfig.paper_table1()
-    kernel_fn = resolve_kernel(kernel, config)
+    kernel_fn = resolve_kernel(kernel, config, **(kernel_options or {}))
     points: List[AccuracySweepPoint] = []
     for seq_len in seq_lens:
         scores = attention_score_batch(batch, seq_len, seed=seed)
@@ -120,7 +123,12 @@ def softermax_error_sweep(
 
 @dataclass
 class KernelTimingPoint:
-    """Wall-clock timing of one kernel on one workload shape."""
+    """Wall-clock timing of one kernel on one workload shape.
+
+    ``peak_mem_bytes`` is the tracemalloc high-water mark of one call
+    (Python-side allocations, which for these kernels means the NumPy
+    arrays; allocations made inside worker processes are not visible).
+    """
 
     kernel: str
     seq_len: int
@@ -128,6 +136,20 @@ class KernelTimingPoint:
     best_seconds: float
     calls_per_second: float
     rows_per_second: float
+    peak_mem_bytes: Optional[int] = None
+
+
+def _call_peak_memory(kernel_fn, scores) -> Optional[int]:
+    """Peak traced allocation of one kernel call (None if already tracing)."""
+    if tracemalloc.is_tracing():
+        return None
+    tracemalloc.start()
+    try:
+        kernel_fn(scores)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
 
 
 def kernel_timing_sweep(
@@ -138,20 +160,33 @@ def kernel_timing_sweep(
     repeats: int = 3,
     min_calls: int = 2,
     seed: int = 0,
+    kernel_options: Optional[dict] = None,
+    measure_memory: bool = True,
 ) -> List[KernelTimingPoint]:
     """Time registered kernels over batched attention-score rows.
 
     Used by ``benchmarks/bench_kernels.py`` to record the perf trajectory
     of the kernel engine (best-of-``repeats`` wall-clock per call).
+    Kernel names may embed engine knobs (``"softermax-parallel(workers=4)"``)
+    and ``kernel_options`` applies extra knobs to every kernel that
+    understands them (knobs a kernel's factory does not accept are simply
+    not forwarded, so one ``workers=...`` can ride along a mixed kernel
+    list).  The memory probe runs outside the timed loop so it never skews
+    timings.
     """
     config = config or SoftermaxConfig.paper_table1()
     points: List[KernelTimingPoint] = []
     for name in kernels:
-        kernel_fn = resolve_kernel(name, config)
+        accepted = supported_options(name)
+        options = {key: value for key, value in (kernel_options or {}).items()
+                   if key in accepted}
+        kernel_fn = resolve_kernel(name, config, **options)
         for seq_len in seq_lens:
             for batch in batches:
                 scores = attention_score_batch(batch, seq_len, seed=seed)
                 kernel_fn(scores)  # warm caches and tables
+                peak = (_call_peak_memory(kernel_fn, scores)
+                        if measure_memory else None)
                 calls = max(min_calls, int(50_000 / (batch * seq_len)))
                 best = float("inf")
                 for _ in range(repeats):
@@ -166,5 +201,6 @@ def kernel_timing_sweep(
                     best_seconds=best,
                     calls_per_second=1.0 / best,
                     rows_per_second=batch / best,
+                    peak_mem_bytes=peak,
                 ))
     return points

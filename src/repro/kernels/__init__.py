@@ -5,35 +5,69 @@ slice-loop pipeline); this subpackage is about *how fast* it runs and how a
 caller picks an implementation:
 
 * :mod:`repro.kernels.fused` -- the fused whole-tensor kernel, bitwise
-  identical to :class:`~repro.core.softermax.SoftermaxPipeline` but an order
-  of magnitude faster on batched attention-score tensors.
+  identical to :class:`~repro.core.softermax.SoftermaxPipeline` and an order
+  of magnitude faster on small batched attention-score tensors (the latency
+  regime).
+* :mod:`repro.kernels.blocked` -- the row-blocked streaming kernel with
+  preallocated scratch buffers, the fast path for the bandwidth-bound
+  huge-tensor regime.
+* :mod:`repro.kernels.parallel` -- row blocks fanned out over a
+  ``multiprocessing`` pool via shared memory (results written in place).
 * :mod:`repro.kernels.registry` -- the name -> implementation registry with
-  ``"auto"`` selection, used by the attention layers, sweeps, the CLI and
-  the benchmarks.
+  adaptive ``"auto"`` selection, used by the attention layers, sweeps, the
+  CLI and the benchmarks.
 """
 
+from repro.kernels.blocked import (
+    BlockedSoftermaxKernel,
+    blocked_softermax,
+    get_blocked_kernel,
+)
 from repro.kernels.fused import (
     FusedSoftermaxKernel,
     fused_softermax,
     get_fused_kernel,
 )
+from repro.kernels.parallel import (
+    ParallelSoftermaxKernel,
+    get_parallel_kernel,
+    parallel_softermax,
+)
 from repro.kernels.registry import (
+    AUTO_BLOCKED_MIN_ELEMENTS,
     AUTO_KERNEL,
+    AUTO_PARALLEL_MIN_ELEMENTS,
+    AdaptiveSoftermaxKernel,
     KernelSpec,
+    auto_kernel_choice,
     available_kernels,
     get_kernel,
+    parse_kernel_name,
     register_kernel,
     resolve_kernel,
+    supported_options,
 )
 
 __all__ = [
+    "BlockedSoftermaxKernel",
+    "blocked_softermax",
+    "get_blocked_kernel",
     "FusedSoftermaxKernel",
     "fused_softermax",
     "get_fused_kernel",
+    "ParallelSoftermaxKernel",
+    "get_parallel_kernel",
+    "parallel_softermax",
+    "AUTO_BLOCKED_MIN_ELEMENTS",
     "AUTO_KERNEL",
+    "AUTO_PARALLEL_MIN_ELEMENTS",
+    "AdaptiveSoftermaxKernel",
     "KernelSpec",
+    "auto_kernel_choice",
     "available_kernels",
     "get_kernel",
+    "parse_kernel_name",
     "register_kernel",
     "resolve_kernel",
+    "supported_options",
 ]

@@ -1,0 +1,404 @@
+"""Blocked streaming Softermax kernel for the bandwidth-bound regime.
+
+The fused kernel (:mod:`repro.kernels.fused`) wins an order of magnitude on
+small row batches, but in the huge-tensor regime (large batch x heads x
+sequence) it materializes several whole-tensor intermediates -- the float
+quantization buffer, the gather index, the unnormalized codes, the product
+-- each of which is written and re-read through main memory.  At that point
+the kernel is bandwidth-bound: most of the wall clock is page faults on
+fresh multi-megabyte allocations and cache misses on full-tensor passes.
+
+This module exploits the property the Softermax paper is built on: online
+(slice-wise) normalization makes the softmax *streamable*, so rows can be
+processed in cache-sized blocks with O(block) working state.  The blocked
+kernel
+
+* flattens the input to a 2-D row view and walks it in row blocks sized so
+  the whole per-block working set (quantization buffer, gather index,
+  unnormalized codes, product) stays resident in cache;
+* keeps every per-block intermediate in **preallocated scratch buffers**
+  that are reused across blocks and across calls -- the only per-call
+  allocation of consequence is the output tensor itself;
+* reuses the fused kernel's tables (difference LUT, reciprocal LUT, output
+  value table) and its bit-accurate helper stages, so equivalence with the
+  :class:`~repro.core.softermax.SoftermaxPipeline` oracle is inherited, not
+  re-derived: every row is processed by exactly the arithmetic the fused
+  kernel would apply, just restricted to a block.
+
+Row blocks are free to cut anywhere (rows are independent), so block
+boundaries need no alignment with the hardware slice width along the
+reduction axis -- the slice structure within each row is untouched.  The
+equivalence suite pins the blocked kernel to the oracle across unaligned
+block sizes, single-row blocks and every operating point.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.softermax import SoftermaxIntermediates, SoftermaxResult
+from repro.fixedpoint import RoundingMode, quantize
+from repro.kernels.fused import _clip, get_fused_kernel, narrowest_int_dtype
+
+#: Target per-block working-set size in bytes.  The scratch set costs about
+#: 8 (quantization buffer) + 2-4 (gather index) + 4-8 (unnormed codes) +
+#: 4-8 (product) bytes per element; 8 MiB keeps a block inside a typical
+#: last-level cache while amortizing the per-block Python/merge overhead
+#: (smaller blocks pay the slice recurrence once per block).
+TARGET_BLOCK_BYTES = 8 << 20
+
+#: Hard bounds on the adaptive block size (rows).
+MIN_BLOCK_ROWS = 1
+MAX_BLOCK_ROWS = 512
+
+
+class BlockedSoftermaxKernel:
+    """Row-blocked Softermax, bitwise-identical to the slice-loop pipeline.
+
+    Parameters
+    ----------
+    config:
+        Operating point; must match the pipeline being replaced.
+    block_rows:
+        Rows per block.  ``None`` (the default) sizes blocks adaptively so
+        the per-block scratch working set targets :data:`TARGET_BLOCK_BYTES`.
+        Any positive value is legal -- blocks need not divide the row count
+        and need no relationship to the hardware slice width.
+    lpw_method:
+        LPW table construction method (forwarded to the fused kernel whose
+        tables are shared).
+    """
+
+    def __init__(
+        self,
+        config: SoftermaxConfig | None = None,
+        block_rows: Optional[int] = None,
+        lpw_method: str = "endpoint",
+    ) -> None:
+        if block_rows is not None and block_rows < 1:
+            raise ValueError("block_rows must be >= 1")
+        self.config = config or DEFAULT_CONFIG
+        self.block_rows = block_rows
+        self.fused = get_fused_kernel(self.config, lpw_method=lpw_method)
+        # Input codes live in the narrowest dtype that also holds the
+        # integer-max requantization arithmetic (ceil/shift) without
+        # overflow -- int16 at the paper's operating point, halving the
+        # traffic of the max/gather-index passes.
+        cfg = self.config
+        fi, fm = cfg.input_fmt.frac_bits, cfg.max_fmt.frac_bits
+        hi = max(cfg.input_fmt.max_code + (1 << fi),
+                 ((cfg.input_fmt.max_code >> fi) + 1) << fm,
+                 cfg.input_fmt.max_code << max(fm - fi, 0))
+        lo = min(cfg.input_fmt.min_code, (cfg.input_fmt.min_code >> fi) << fm)
+        self._icode_dtype = narrowest_int_dtype(lo, hi)
+        # The unnormalized codes fit uint16 at the paper's operating point
+        # (max code 2**15); keeping a narrow copy of the difference LUT
+        # halves the traffic of the gather/sum/shift passes.
+        f = self.fused
+        if f._lut_codes is not None:
+            lut_max = int(f._lut_codes.max(initial=0))
+            self._ucode_dtype = np.uint16 if lut_max <= np.iinfo(np.uint16).max \
+                else f._work_dtype
+            self._lut = f._lut_codes.astype(self._ucode_dtype)
+            # Slice sums (online) / row sums (explicit max) are bounded by
+            # the element count times the largest unnormed code.
+            self._sum_bound_per_element = max(lut_max, 1)
+        else:
+            self._ucode_dtype = None
+            self._lut = None
+        # Scratch buffers (flat, viewed per block); allocated lazily and
+        # grown monotonically so repeated calls on the same shapes allocate
+        # nothing but the output.
+        self._cap = 0
+        self._pad_key = None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities."""
+        x = np.asarray(x, dtype=np.float64)
+        if axis == -1 or axis == x.ndim - 1:
+            output, _ = self._forward(x, want_intermediates=False)
+            return output
+        output, _ = self._forward(np.moveaxis(x, axis, -1),
+                                  want_intermediates=False)
+        return np.moveaxis(output, -1, axis)
+
+    def run(self, x: np.ndarray, axis: int = -1) -> SoftermaxResult:
+        """Run the blocked kernel, retaining every intermediate signal."""
+        moved = np.moveaxis(np.asarray(x, dtype=np.float64), axis, -1)
+        _, result = self._forward(moved, want_intermediates=True)
+        return result
+
+    def forward_rows_into(self, rows: np.ndarray, out: np.ndarray) -> None:
+        """Process a 2-D row batch, writing probabilities in place.
+
+        This is the entry point the multi-worker backend uses: ``rows`` and
+        ``out`` are views into shared memory, so the result never travels
+        through pickling.
+        """
+        if rows.ndim != 2 or rows.shape != out.shape:
+            raise ValueError("forward_rows_into expects matching 2-D arrays")
+        if self.fused._lut_codes is None:
+            out[...], _ = self.fused._forward_float(rows, False)
+            return
+        self._forward_rows(rows, out, None)
+
+    # ------------------------------------------------------------------ #
+    # forward
+    # ------------------------------------------------------------------ #
+    def _forward(self, moved: np.ndarray, want_intermediates: bool):
+        length = moved.shape[-1]
+        if length == 0:
+            raise ValueError("softermax requires a non-empty reduction axis")
+        if moved.ndim == 1:
+            output, result = self._forward(moved[None, :], want_intermediates)
+            output = np.squeeze(output, axis=0)
+            if result is not None:
+                i = result.intermediates
+                result = SoftermaxResult(SoftermaxIntermediates(
+                    *(np.squeeze(a, axis=0) for a in (
+                        i.quantized_input, i.slice_maxes, i.unnormed,
+                        i.global_max, i.denominator, i.reciprocal, i.output))
+                ))
+            return output, result
+        if self.fused._lut_codes is None:
+            # Exotic operating point (diff LUT too large): the fused float
+            # path is already whole-tensor; blocking adds nothing.
+            return self.fused._forward(moved, want_intermediates)
+
+        lead = moved.shape[:-1]
+        rows = int(np.prod(lead))
+        x2 = moved.reshape(rows, length)
+        out2 = np.empty((rows, length), dtype=np.float64)
+
+        slabs = None
+        if want_intermediates:
+            width = self.config.slice_width
+            num_slices = (length + width - 1) // width
+            slabs = {
+                "quantized_input": np.empty((rows, length)),
+                "slice_maxes": np.empty((rows, num_slices)),
+                "unnormed": np.empty((rows, length)),
+                "global_max": np.empty(rows),
+                "denominator": np.empty(rows),
+                "reciprocal": np.empty(rows),
+            }
+        self._forward_rows(x2, out2, slabs)
+
+        output = out2.reshape(lead + (length,))
+        if not want_intermediates:
+            return output, None
+        intermediates = SoftermaxIntermediates(
+            quantized_input=slabs["quantized_input"].reshape(lead + (length,)),
+            slice_maxes=slabs["slice_maxes"].reshape(
+                lead + (slabs["slice_maxes"].shape[-1],)),
+            unnormed=slabs["unnormed"].reshape(lead + (length,)),
+            global_max=slabs["global_max"].reshape(lead),
+            denominator=slabs["denominator"].reshape(lead),
+            reciprocal=slabs["reciprocal"].reshape(lead),
+            output=output,
+        )
+        return output, SoftermaxResult(intermediates)
+
+    def effective_block_rows(self, length: int) -> int:
+        """Rows per block for reduction length ``length``."""
+        if self.block_rows is not None:
+            return int(self.block_rows)
+        cfg = self.config
+        width = cfg.slice_width
+        padded = ((length + width - 1) // width) * width
+        f = self.fused
+        per_row = padded * (8 + f._idx_dtype().itemsize
+                            + np.dtype(self._icode_dtype).itemsize
+                            + np.dtype(self._ucode_dtype).itemsize
+                            + np.dtype(f._work_dtype).itemsize)
+        block = TARGET_BLOCK_BYTES // max(per_row, 1)
+        return int(min(max(block, MIN_BLOCK_ROWS), MAX_BLOCK_ROWS))
+
+    def _ensure_scratch(self, block: int, padded_len: int, length: int) -> None:
+        f = self.fused
+        need = block * padded_len
+        if need > self._cap:
+            self._cap = need
+            self._buf = np.empty(need, dtype=np.float64)
+            self._icodes = np.empty(need, dtype=self._icode_dtype)
+            self._idx = np.empty(need, dtype=f._idx_dtype)
+            self._ucodes = np.empty(need, dtype=self._ucode_dtype)
+            self._prod = np.empty(need, dtype=f._work_dtype)
+            self._pad_key = None
+        key = (block, padded_len, length)
+        if self._pad_key != key:
+            # Padding columns of the int-code view are constant across
+            # blocks and calls; refresh them only when the layout changes.
+            view = self._icodes[:need].reshape(block, padded_len)
+            view[:, length:] = self.config.input_fmt.min_code
+            self._pad_key = key
+
+    def _forward_rows(self, x2: np.ndarray, out2: np.ndarray, slabs) -> None:
+        cfg = self.config
+        f = self.fused
+        rows, length = x2.shape
+        width = cfg.slice_width
+        num_slices = (length + width - 1) // width
+        padded_len = num_slices * width
+        block = self.effective_block_rows(length)
+        self._ensure_scratch(block, padded_len, length)
+        flat = block * padded_len
+
+        in_fmt = cfg.input_fmt
+        for r0 in range(0, rows, block):
+            b = min(block, rows - r0)
+            n = b * padded_len
+
+            # --- quantize straight to int codes, in scratch ------------- #
+            # clip-then-floor equals the pipeline's floor-then-clip (the
+            # bounds are integers), and the floor ufunc casts straight into
+            # the int scratch -- one fewer full pass than floor/clip/astype.
+            buf = self._buf[:n].reshape(b, padded_len)[:, :length]
+            np.multiply(x2[r0:r0 + b], 1.0 / f._in_res, out=buf)
+            buf += 0.5
+            _clip(buf, in_fmt.min_code, in_fmt.max_code, buf)
+            icodes = self._icodes[:flat].reshape(block, padded_len)[:b]
+            np.floor(buf, out=icodes[:, :length], casting="unsafe")
+            tiles = icodes.reshape(b, num_slices, width)
+
+            # --- per-slice maxima --------------------------------------- #
+            slice_mc = tiles.max(axis=-1)
+            if cfg.use_online_normalization:
+                mcq = f._quantize_max_codes(slice_mc)
+                slice_max_f = mcq * f._max_res
+                ref_mcq = mcq
+            else:
+                mcq_g = f._quantize_max_codes(slice_mc.max(axis=-1))
+                global_max = mcq_g * f._max_res
+                slice_max_f = np.ascontiguousarray(
+                    np.broadcast_to(global_max[:, None], (b, num_slices)))
+                ref_mcq = mcq_g[:, None]
+
+            # --- unnormalized exponentials: gather into scratch --------- #
+            if f._max_scale == 1:
+                offset = ref_mcq + f._lo_code
+            else:
+                offset = ref_mcq * f._max_scale + f._lo_code
+            off = offset[..., :, None] if cfg.use_online_normalization \
+                else offset[..., None]
+            idx = self._idx[:n].reshape(b, num_slices, width)
+            if f._in_scale == 1:
+                np.subtract(tiles, off, out=idx, casting="unsafe")
+            else:
+                np.multiply(tiles, f._in_scale, out=idx, casting="unsafe")
+                np.subtract(idx, off, out=idx, casting="unsafe")
+            ucodes = self._ucodes[:n].reshape(b, num_slices, width)
+            self._lut.take(idx, out=ucodes, mode="clip")
+            if padded_len != length:
+                ucodes.reshape(b, padded_len)[:, length:] = 0
+
+            # --- denominator -------------------------------------------- #
+            # Sums accumulate exactly in the narrowest dtype that holds the
+            # worst case (element count x largest unnormed code).
+            if cfg.use_online_normalization:
+                sum_dtype = (np.int32 if width * self._sum_bound_per_element
+                             < 2**31 else np.int64)
+                sum_codes = f._quantize_sum_codes(
+                    ucodes.sum(axis=-1, dtype=sum_dtype))
+                running_max, rs = f._online_merge(slice_max_f, sum_codes)
+                rs_codes = rs.astype(np.int64)
+            else:
+                running_max = global_max
+                sum_dtype = (np.int32 if padded_len * self._sum_bound_per_element
+                             < 2**31 else np.int64)
+                rs_codes = f._quantize_sum_codes(
+                    ucodes.sum(axis=(-2, -1), dtype=sum_dtype)).astype(np.int64)
+            running_sum = rs_codes * f._sum_res
+            if f._recip_values is not None:
+                reciprocal = f._recip_values.take(rs_codes)
+            else:
+                reciprocal = f.reciprocal_unit(running_sum)
+
+            # --- renormalize and divide, into the output slab ----------- #
+            shift_exp = slice_max_f - running_max[:, None]
+            ufloat = self._normalize_into(
+                ucodes, shift_exp, reciprocal, out2[r0:r0 + b],
+                length, want_unnormed=slabs is not None)
+
+            if slabs is not None:
+                slabs["quantized_input"][r0:r0 + b] = icodes[:, :length]
+                slabs["quantized_input"][r0:r0 + b] *= f._in_res
+                slabs["slice_maxes"][r0:r0 + b] = slice_max_f
+                slabs["unnormed"][r0:r0 + b] = \
+                    ufloat.reshape(b, padded_len)[:, :length]
+                slabs["global_max"][r0:r0 + b] = running_max
+                slabs["denominator"][r0:r0 + b] = running_sum
+                slabs["reciprocal"][r0:r0 + b] = reciprocal
+
+    def _normalize_into(self, ucodes, shift_exp, reciprocal, outblk, length,
+                        want_unnormed: bool):
+        """The fused back end, writing into a preallocated output block."""
+        cfg = self.config
+        f = self.fused
+        b, num_slices, width = ucodes.shape
+        padded_len = num_slices * width
+        ufloat = ucodes * f._un_res if want_unnormed else None
+        integer_shifts = bool(np.all(shift_exp == np.floor(shift_exp)))
+        if not integer_shifts:
+            # Rare path (a maximum saturated at the max_fmt ceiling): the
+            # pipeline's elementwise float expression, block-sized.
+            if ufloat is None:
+                ufloat = ucodes * f._un_res
+            shift = np.power(2.0, shift_exp)
+            renormed = quantize(ufloat * shift[..., None], cfg.unnormed_fmt,
+                                RoundingMode.FLOOR)
+            out = quantize(renormed * reciprocal[..., None, None],
+                           cfg.output_fmt, RoundingMode.NEAREST)
+            outblk[...] = out.reshape(b, padded_len)[:, :length]
+            return ufloat
+
+        k = np.minimum(-shift_exp, float(f._max_shift)).astype(f._work_dtype)
+        recip_codes = np.rint(reciprocal / f._recip_res).astype(f._work_dtype)
+        prod = self._prod[:b * padded_len].reshape(b, num_slices, width)
+        if k.any():
+            np.right_shift(ucodes, k[..., None], out=prod)
+            prod *= recip_codes[..., None, None]
+        else:
+            np.multiply(ucodes, recip_codes[..., None, None], out=prod)
+        out_shift = (cfg.unnormed_fmt.frac_bits + cfg.recip_fmt.frac_bits
+                     - cfg.output_fmt.frac_bits)
+        if out_shift > 0:
+            prod += 1 << (out_shift - 1)
+            prod >>= out_shift
+        else:
+            prod <<= -out_shift
+        _clip(prod, cfg.output_fmt.min_code, cfg.output_fmt.max_code, prod)
+        codes = prod.reshape(b, padded_len)[:, :length]
+        if f._out_values is not None:
+            f._out_values.take(codes, out=outblk)
+        else:
+            outblk[...] = codes
+            outblk *= f._out_res
+        return ufloat
+
+
+@lru_cache(maxsize=None)
+def get_blocked_kernel(config: SoftermaxConfig | None = None,
+                       block_rows: Optional[int] = None,
+                       lpw_method: str = "endpoint") -> BlockedSoftermaxKernel:
+    """Memoized kernel factory: one kernel (and scratch set) per signature."""
+    return BlockedSoftermaxKernel(config or DEFAULT_CONFIG,
+                                  block_rows=block_rows,
+                                  lpw_method=lpw_method)
+
+
+def blocked_softermax(
+    x: np.ndarray,
+    axis: int = -1,
+    config: SoftermaxConfig | None = None,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Drop-in blocked Softermax over ``axis`` (bitwise-identical, streaming)."""
+    return get_blocked_kernel(config, block_rows)(x, axis=axis)

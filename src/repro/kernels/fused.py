@@ -65,6 +65,15 @@ except ImportError:  # pragma: no cover - older numpy layouts
 MAX_LUT_ENTRIES = 1 << 20
 
 
+def narrowest_int_dtype(lo: int, hi: int) -> type:
+    """Smallest signed NumPy integer dtype whose range covers [lo, hi]."""
+    for dtype in (np.int16, np.int32, np.int64):
+        info = np.iinfo(dtype)
+        if info.min <= lo and hi <= info.max:
+            return dtype
+    raise OverflowError(f"range [{lo}, {hi}] exceeds int64")
+
+
 @dataclass
 class FusedSoftermaxKernel:
     """Whole-tensor Softermax, bitwise-identical to the slice-loop pipeline.
@@ -158,6 +167,7 @@ class FusedSoftermaxKernel:
         entries = int(round((hi - lo) / res)) + 1
         if entries > MAX_LUT_ENTRIES:
             self._lut_codes = None
+            self._idx_dtype = None
             return
         values = lo + np.arange(entries, dtype=np.float64) * res
         codes = np.rint(self._pow2(values) / self._un_res)
@@ -167,6 +177,17 @@ class FusedSoftermaxKernel:
         self._in_scale = 1 << (frac - cfg.input_fmt.frac_bits)
         self._max_scale = 1 << (frac - cfg.max_fmt.frac_bits)
         self._lo_code = int(round(lo / res))
+        # The gather index is the largest int intermediate of the forward
+        # pass; its value range is known at build time (input and max codes
+        # are narrow), so it can usually live in int16 -- half the memory
+        # traffic of the former int32 index on the bandwidth-bound shapes.
+        t_lo = cfg.input_fmt.min_code * self._in_scale
+        t_hi = cfg.input_fmt.max_code * self._in_scale
+        off_lo = cfg.max_fmt.min_code * self._max_scale + self._lo_code
+        off_hi = cfg.max_fmt.max_code * self._max_scale + self._lo_code
+        self._idx_dtype = narrowest_int_dtype(
+            min(t_lo, t_lo - off_hi), max(t_hi, t_hi - off_lo)
+        )
 
     # ------------------------------------------------------------------ #
     # forward
@@ -256,13 +277,16 @@ class FusedSoftermaxKernel:
             offset = ref_mcq + self._lo_code  # small array
         else:
             offset = ref_mcq * self._max_scale + self._lo_code
+        off = offset[..., :, None] if cfg.use_online_normalization \
+            else offset[..., None]
+        # The downcast to the narrow index dtype is exact: the bounds were
+        # enumerated at LUT-build time over every possible code pair.
+        idx = np.empty(tiles.shape, dtype=self._idx_dtype)
         if self._in_scale == 1:
-            idx = tiles - offset[..., :, None] if cfg.use_online_normalization \
-                else tiles - offset[..., None]
+            np.subtract(tiles, off, out=idx, casting="unsafe")
         else:
-            idx = tiles * self._in_scale
-            idx -= offset[..., :, None] if cfg.use_online_normalization \
-                else offset[..., None]
+            np.multiply(tiles, self._in_scale, out=idx, casting="unsafe")
+            np.subtract(idx, off, out=idx, casting="unsafe")
         ucodes = self._lut_codes.take(idx, mode="clip")
         if lane_pad is not None:
             ucodes[..., lane_pad] = 0
@@ -367,9 +391,17 @@ class FusedSoftermaxKernel:
         if num_slices == 1:
             return running_max, sc[0]
 
-        run_shift = np.power(2.0, acc[:-1] - acc[1:])
-        loc_shift = np.power(2.0, smf - acc)
-        local = sc * loc_shift  # exact: codes scaled by powers of two
+        # One reused (num_slices, rows) temporary carries both shift-factor
+        # families: it holds the local shifts just long enough to rescale the
+        # slice sums in place (``sc`` becomes ``local``), then is overwritten
+        # with the running-state shifts.  Peak state of the recurrence is
+        # three slice-major arrays (acc, sc, tmp) instead of five.
+        tmp = np.subtract(smf, acc)
+        np.power(2.0, tmp, out=tmp)  # local shift factors
+        needs_round = (tmp != 1.0).reshape(num_slices, -1).any(axis=1)
+        sc *= tmp  # local = slice sums rescaled (exact: powers of two)
+        np.subtract(acc[:-1], acc[1:], out=tmp[:-1])
+        run_shift = np.power(2.0, tmp[:-1], out=tmp[:-1])
 
         lo = float(cfg.sum_fmt.min_code)
         hi = float(cfg.sum_fmt.max_code)
@@ -380,12 +412,11 @@ class FusedSoftermaxKernel:
         # integer-valued after a floor).  Common case: the running maximum
         # stabilizes after the first few slices.
         needs_mul = (run_shift != 1.0).reshape(num_slices - 1, -1).any(axis=1)
-        needs_round = (loc_shift != 1.0).reshape(num_slices, -1).any(axis=1)
         rs = sc[0].copy()
         for s in range(1, num_slices):
             if needs_mul[s - 1]:
                 rs *= run_shift[s - 1]
-            rs += local[s]
+            rs += sc[s]
             if needs_mul[s - 1] or needs_round[s]:
                 rs += 0.5
                 np.floor(rs, out=rs)

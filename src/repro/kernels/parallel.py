@@ -1,0 +1,242 @@
+"""Multi-worker Softermax backend: row blocks fanned out over processes.
+
+The blocked kernel removes the allocation/bandwidth overhead of the fused
+whole-tensor path but still runs on one core.  This backend completes the
+engine for the huge-tensor regime: the flattened row view is split into
+contiguous row ranges and dispatched to a persistent ``multiprocessing``
+pool, with the input and output living in POSIX shared memory so no tensor
+data ever travels through pickling -- workers read their rows in place and
+write their probabilities in place.
+
+Design points:
+
+* **LUTs are built once per worker.**  The pool initializer constructs a
+  :class:`~repro.kernels.blocked.BlockedSoftermaxKernel` (which builds or
+  inherits the fused kernel's tables) before the first task arrives; tasks
+  carry only shared-memory names and row ranges.
+* **Bitwise equivalence is structural.**  Rows are independent and every
+  worker runs the same blocked engine, so the multi-worker result is the
+  blocked result, which is the oracle result.  The equivalence suite pins
+  the worker path (including ``workers > rows``) against the oracle.
+* **Graceful degradation.**  With one worker, fewer than two rows, or an
+  operating point too wide to tabulate, the call runs the in-process
+  blocked engine -- same bits, no IPC.
+
+The pool is created lazily on the first parallel call and reused for the
+kernel's lifetime (workers are daemonic, so they never outlive the parent).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from functools import lru_cache
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
+from repro.core.softermax import SoftermaxResult
+from repro.kernels.blocked import BlockedSoftermaxKernel
+
+#: Fallback worker count when ``workers`` is not given.
+DEFAULT_WORKERS = os.cpu_count() or 1
+
+# ------------------------------------------------------------------------- #
+# worker side
+# ------------------------------------------------------------------------- #
+_WORKER_KERNEL: Optional[BlockedSoftermaxKernel] = None
+
+
+def _init_worker(config, block_rows, lpw_method) -> None:
+    """Pool initializer: build the blocked engine (and its LUTs) once."""
+    global _WORKER_KERNEL
+    _WORKER_KERNEL = BlockedSoftermaxKernel(config, block_rows=block_rows,
+                                            lpw_method=lpw_method)
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method(allow_none=True) != "fork":
+        # Under spawn each child has its own resource tracker, which would
+        # otherwise try to unlink the parent's segment at child exit.
+        try:  # pragma: no cover - spawn-only housekeeping
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def _run_rows(task) -> int:
+    """Process one contiguous row range of the shared input in place."""
+    in_name, out_name, rows, length, start, stop = task
+    shm_in = _attach(in_name)
+    shm_out = _attach(out_name)
+    try:
+        x = np.ndarray((rows, length), dtype=np.float64, buffer=shm_in.buf)
+        out = np.ndarray((rows, length), dtype=np.float64, buffer=shm_out.buf)
+        _WORKER_KERNEL.forward_rows_into(x[start:stop], out[start:stop])
+    finally:
+        shm_in.close()
+        shm_out.close()
+    return stop - start
+
+
+# ------------------------------------------------------------------------- #
+# parent side
+# ------------------------------------------------------------------------- #
+_LIVE_POOLS = []
+
+
+def _shutdown_pools() -> None:  # pragma: no cover - exit-time housekeeping
+    for pool in _LIVE_POOLS:
+        try:
+            pool.terminate()
+        except Exception:
+            pass
+    _LIVE_POOLS.clear()
+
+
+atexit.register(_shutdown_pools)
+
+
+class ParallelSoftermaxKernel:
+    """Softermax fanned out over a worker pool via shared memory.
+
+    Parameters
+    ----------
+    config:
+        Operating point; must match the pipeline being replaced.
+    workers:
+        Worker process count; ``None`` means ``os.cpu_count()``.  Worker
+        counts above the row count simply leave the surplus workers idle.
+    block_rows:
+        Forwarded to each worker's blocked engine (``None`` = adaptive).
+    lpw_method:
+        LPW table construction method (forwarded to the blocked engine).
+    """
+
+    def __init__(
+        self,
+        config: SoftermaxConfig | None = None,
+        workers: Optional[int] = None,
+        block_rows: Optional[int] = None,
+        lpw_method: str = "endpoint",
+    ) -> None:
+        workers = DEFAULT_WORKERS if workers is None else int(workers)
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.config = config or DEFAULT_CONFIG
+        self.workers = workers
+        self.block_rows = block_rows
+        self.lpw_method = lpw_method
+        # In-process engine: the single-worker/few-rows fast path, and the
+        # provider of `.run` intermediates (gathering every intermediate
+        # across processes would move far more data than the compute saves).
+        self.blocked = BlockedSoftermaxKernel(self.config,
+                                              block_rows=block_rows,
+                                              lpw_method=lpw_method)
+        self._pool = None
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities."""
+        x = np.asarray(x, dtype=np.float64)
+        moved = x if (axis == -1 or axis == x.ndim - 1) \
+            else np.moveaxis(x, axis, -1)
+        length = moved.shape[-1] if moved.ndim else 0
+        if length == 0:
+            raise ValueError("softermax requires a non-empty reduction axis")
+        lead = moved.shape[:-1]
+        rows = int(np.prod(lead)) if lead else 1
+        if (self.workers <= 1 or rows < 2
+                or self.blocked.fused._lut_codes is None):
+            output = self.blocked(moved, axis=-1)
+        else:
+            out2 = self._dispatch(np.ascontiguousarray(
+                moved.reshape(rows, length)))
+            output = out2.reshape(lead + (length,))
+        if moved is not x:
+            output = np.moveaxis(output, -1, axis)
+        return output
+
+    def run(self, x: np.ndarray, axis: int = -1) -> SoftermaxResult:
+        """Run with every intermediate signal (computed in process)."""
+        return self.blocked.run(x, axis=axis)
+
+    def close(self) -> None:
+        """Terminate the worker pool (idempotent)."""
+        if self._pool is not None:
+            pool, self._pool = self._pool, None
+            if pool in _LIVE_POOLS:
+                _LIVE_POOLS.remove(pool)
+            pool.terminate()
+            pool.join()
+
+    def __del__(self):  # pragma: no cover - interpreter-exit ordering
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        if self._pool is None:
+            ctx = multiprocessing.get_context()
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(self.config, self.block_rows, self.lpw_method),
+            )
+            _LIVE_POOLS.append(self._pool)
+        return self._pool
+
+    def _dispatch(self, x2: np.ndarray) -> np.ndarray:
+        rows, length = x2.shape
+        nbytes = x2.nbytes
+        shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
+        shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            np.copyto(np.ndarray((rows, length), dtype=np.float64,
+                                 buffer=shm_in.buf), x2)
+            nw = min(self.workers, rows)
+            bounds = np.linspace(0, rows, nw + 1).astype(int)
+            tasks = [(shm_in.name, shm_out.name, rows, length,
+                      int(bounds[i]), int(bounds[i + 1]))
+                     for i in range(nw) if bounds[i] < bounds[i + 1]]
+            self._ensure_pool().map(_run_rows, tasks, chunksize=1)
+            # Copy out before the segment is unlinked.
+            out = np.array(np.ndarray((rows, length), dtype=np.float64,
+                                      buffer=shm_out.buf))
+        finally:
+            shm_in.close()
+            shm_in.unlink()
+            shm_out.close()
+            shm_out.unlink()
+        return out
+
+
+@lru_cache(maxsize=None)
+def get_parallel_kernel(config: SoftermaxConfig | None = None,
+                        workers: Optional[int] = None,
+                        block_rows: Optional[int] = None,
+                        lpw_method: str = "endpoint") -> ParallelSoftermaxKernel:
+    """Memoized kernel factory: one pool per (config, workers, block_rows)."""
+    return ParallelSoftermaxKernel(config or DEFAULT_CONFIG, workers=workers,
+                                   block_rows=block_rows,
+                                   lpw_method=lpw_method)
+
+
+def parallel_softermax(
+    x: np.ndarray,
+    axis: int = -1,
+    config: SoftermaxConfig | None = None,
+    workers: Optional[int] = None,
+    block_rows: Optional[int] = None,
+) -> np.ndarray:
+    """Drop-in multi-worker Softermax over ``axis`` (bitwise-identical)."""
+    return get_parallel_kernel(config, workers, block_rows)(x, axis=axis)

@@ -8,11 +8,21 @@ implementations by string instead of importing them:
 * ``"softermax-bit-accurate"`` -- the slice-loop :class:`SoftermaxPipeline`
   (the oracle every other Softermax kernel is validated against).
 * ``"softermax-fused"`` -- the fused whole-tensor kernel, bitwise-identical
-  to the oracle and the default fast path.
+  to the oracle and the latency fast path for small row batches.
+* ``"softermax-blocked"`` -- the row-blocked streaming kernel with reusable
+  scratch buffers, the fast path for the bandwidth-bound huge-tensor regime.
+* ``"softermax-parallel"`` -- row blocks fanned out over a worker pool via
+  shared memory.
 * ``"ibert"`` / ``"lut-exp"`` / ``"split-exp"`` -- the related-work
   approximations from :mod:`repro.core.variants`.
-* ``"auto"`` -- resolves to the preferred Softermax implementation
-  (currently the fused kernel).
+* ``"auto"`` -- the adaptive dispatcher (``"softermax-adaptive"``): picks
+  fused / blocked / parallel per call from the tensor size and the worker
+  budget.  Every candidate is bitwise-identical, so the choice only affects
+  speed.
+
+Kernel names may carry options, e.g. ``"softermax-parallel(workers=4)"`` or
+``"softermax-blocked(block_rows=64)"``; the same options can be passed as
+keyword arguments to :func:`resolve_kernel` (keywords win on conflict).
 
 Every kernel resolves to a callable ``fn(x, axis=-1) -> probabilities``;
 Softermax kernels are bound to a :class:`SoftermaxConfig` at resolution
@@ -21,19 +31,36 @@ time.
 
 from __future__ import annotations
 
+import inspect
+import os
+import re
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.core.config import SoftermaxConfig
+from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
 from repro.core.softermax import SoftermaxPipeline, softermax_float
 from repro.core.softmax_reference import base2_softmax, softmax_reference
 from repro.core.variants import ibert_softmax, lut_exp_softmax, split_exp_softmax
+from repro.kernels.blocked import get_blocked_kernel
 from repro.kernels.fused import get_fused_kernel
+from repro.kernels.parallel import get_parallel_kernel
 
 #: Name the ``"auto"`` alias resolves to.
-AUTO_KERNEL = "softermax-fused"
+AUTO_KERNEL = "softermax-adaptive"
+
+#: Tensor size (rows x reduction length, in elements) at and above which the
+#: adaptive dispatcher prefers the blocked streaming kernel over the fused
+#: whole-tensor kernel.  Below this the fused kernel's single-dispatch
+#: whole-tensor passes win; above it the fused kernel's fresh multi-megabyte
+#: intermediates hit the allocation/bandwidth wall.
+AUTO_BLOCKED_MIN_ELEMENTS = 1 << 19
+
+#: Tensor size at and above which the adaptive dispatcher fans out to the
+#: worker pool -- only when more than one worker is available (the pool is
+#: pure overhead on a single core).
+AUTO_PARALLEL_MIN_ELEMENTS = 1 << 22
 
 
 @dataclass(frozen=True)
@@ -45,22 +72,64 @@ class KernelSpec:
     name:
         Registry key.
     factory:
-        ``factory(config) -> fn(x, axis=-1)``; non-Softermax kernels ignore
-        the config.
+        ``factory(config, **options) -> fn(x, axis=-1)``; non-Softermax
+        kernels ignore the config and accept no options.
     description:
         One-line human-readable summary (shown by ``repro.cli kernels``).
     bit_accurate:
         Whether the kernel models the fixed-point Softermax datapath
         bit-for-bit (as opposed to a float reference or approximation).
+    selection:
+        Human-readable summary of when the adaptive ``"auto"`` dispatcher
+        (or a user) would pick this kernel, shown by ``repro.cli kernels``.
+    runner_factory:
+        Optional ``factory(config, **options) -> object`` returning a
+        kernel object exposing ``run(x, axis)`` with full intermediates
+        (used by the equivalence suite to pin every bit-accurate kernel to
+        the oracle automatically).
     """
 
     name: str
-    factory: Callable[[Optional[SoftermaxConfig]], Callable]
+    factory: Callable[..., Callable]
     description: str
     bit_accurate: bool = False
+    selection: str = ""
+    runner_factory: Optional[Callable[..., object]] = None
 
 
 _KERNELS: Dict[str, KernelSpec] = {}
+
+_NAME_RE = re.compile(r"^(?P<base>[A-Za-z0-9_.-]+)(?:\((?P<opts>[^()]*)\))?$")
+
+
+def parse_kernel_name(name: str) -> Tuple[str, Dict[str, int]]:
+    """Split ``"kernel(key=value, ...)"`` into ``(base, options)``.
+
+    Option values are integers (the engine knobs are worker and row
+    counts).  A bare name parses to ``(name, {})``.
+    """
+    match = _NAME_RE.match(name.strip())
+    if not match:
+        raise ValueError(f"malformed kernel name {name!r}")
+    base = match.group("base")
+    options: Dict[str, int] = {}
+    opts = match.group("opts")
+    if opts:
+        for item in opts.split(","):
+            if not item.strip():
+                continue
+            key, sep, value = item.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"malformed kernel option {item.strip()!r} in {name!r} "
+                    "(expected key=value)")
+            try:
+                options[key.strip()] = int(value)
+            except ValueError:
+                raise ValueError(
+                    f"kernel option {key.strip()!r} in {name!r} must be an "
+                    f"integer, got {value.strip()!r}") from None
+    return base, options
 
 
 def register_kernel(spec: KernelSpec) -> None:
@@ -71,14 +140,18 @@ def register_kernel(spec: KernelSpec) -> None:
 
 
 def get_kernel(name: str) -> KernelSpec:
-    """Look up a registered kernel spec (resolving the ``"auto"`` alias)."""
-    if name == "auto":
-        name = AUTO_KERNEL
+    """Look up a registered kernel spec.
+
+    Resolves the ``"auto"`` alias and ignores any ``(...)`` options suffix.
+    """
+    base, _ = parse_kernel_name(name)
+    if base == "auto":
+        base = AUTO_KERNEL
     try:
-        return _KERNELS[name]
+        return _KERNELS[base]
     except KeyError:
         raise KeyError(
-            f"unknown softmax kernel {name!r}; available: {available_kernels()}"
+            f"unknown softmax kernel {base!r}; available: {available_kernels()}"
         ) from None
 
 
@@ -87,16 +160,108 @@ def available_kernels() -> List[str]:
     return sorted(_KERNELS)
 
 
+def supported_options(name: str) -> Set[str]:
+    """Engine knobs a kernel's factory accepts (beyond the config).
+
+    Lets multi-kernel drivers (``bench-kernels``, the timing sweep) apply
+    shared knobs like ``workers`` only to the kernels that understand them
+    instead of erroring on the rest.
+    """
+    params = list(inspect.signature(get_kernel(name).factory).parameters
+                  .values())[1:]  # first parameter is the config
+    names = set()
+    for param in params:
+        if param.kind == inspect.Parameter.VAR_KEYWORD:
+            continue
+        names.add(param.name)
+    return names
+
+
 def resolve_kernel(
     name: str = "auto",
     config: SoftermaxConfig | None = None,
+    **options,
 ) -> Callable[..., np.ndarray]:
     """Resolve a kernel name to a ``fn(x, axis=-1)`` callable.
 
     Softermax kernels are bound to ``config`` (paper Table I when omitted);
-    float kernels ignore it.
+    float kernels ignore it.  Engine knobs (``workers``, ``block_rows``)
+    may be embedded in the name -- ``"softermax-parallel(workers=4)"`` --
+    or passed as keyword arguments; keyword arguments win on conflict, and
+    ``None`` values are dropped so CLI plumbing can pass unset flags
+    through unconditionally.
     """
-    return get_kernel(name).factory(config)
+    spec = get_kernel(name)
+    _, parsed = parse_kernel_name(name)
+    parsed.update({k: v for k, v in options.items() if v is not None})
+    if not parsed:
+        return spec.factory(config)
+    try:
+        return spec.factory(config, **parsed)
+    except TypeError as exc:
+        raise TypeError(
+            f"kernel {spec.name!r} does not accept options {sorted(parsed)}: {exc}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# adaptive dispatch
+# --------------------------------------------------------------------------- #
+def auto_kernel_choice(rows: int, length: int,
+                       workers: Optional[int] = None) -> str:
+    """Kernel the adaptive dispatcher picks for a ``rows x length`` call.
+
+    ``workers`` is the worker budget (``None`` means ``os.cpu_count()``).
+    """
+    workers = (os.cpu_count() or 1) if workers is None else int(workers)
+    elements = rows * length
+    if elements >= AUTO_PARALLEL_MIN_ELEMENTS and workers > 1 and rows > 1:
+        return "softermax-parallel"
+    if elements >= AUTO_BLOCKED_MIN_ELEMENTS:
+        return "softermax-blocked"
+    return "softermax-fused"
+
+
+class AdaptiveSoftermaxKernel:
+    """Per-call size dispatch over the bit-accurate kernel family.
+
+    Every candidate produces identical bits, so dispatch only affects
+    speed: the fused kernel handles the latency regime (small row
+    batches), the blocked kernel the bandwidth regime (huge tensors), and
+    the worker pool the huge-tensor regime when more than one worker is
+    available.  The underlying kernels are memoized per config, and the
+    worker pool is only spun up if a call actually crosses the parallel
+    threshold.
+    """
+
+    def __init__(self, config: SoftermaxConfig | None = None,
+                 workers: Optional[int] = None,
+                 block_rows: Optional[int] = None) -> None:
+        self.config = config or DEFAULT_CONFIG
+        self.workers = workers
+        self.block_rows = block_rows
+
+    def _kernel_for(self, name: str):
+        if name == "softermax-parallel":
+            return get_parallel_kernel(self.config, self.workers,
+                                       self.block_rows)
+        if name == "softermax-blocked":
+            return get_blocked_kernel(self.config, self.block_rows)
+        return get_fused_kernel(self.config)
+
+    def _choose(self, x: np.ndarray, axis: int) -> str:
+        length = x.shape[axis] if x.ndim else 0
+        if length == 0:
+            raise ValueError("softermax requires a non-empty reduction axis")
+        return auto_kernel_choice(x.size // length, length, self.workers)
+
+    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._kernel_for(self._choose(x, axis))(x, axis=axis)
+
+    def run(self, x: np.ndarray, axis: int = -1):
+        x = np.asarray(x, dtype=np.float64)
+        return self._kernel_for(self._choose(x, axis)).run(x, axis=axis)
 
 
 # --------------------------------------------------------------------------- #
@@ -104,11 +269,7 @@ def resolve_kernel(
 # --------------------------------------------------------------------------- #
 def _softermax_pipeline_factory(config):
     pipeline = SoftermaxPipeline(config) if config is not None else SoftermaxPipeline()
-    return pipeline.__call__
-
-
-def _softermax_fused_factory(config):
-    return get_fused_kernel(config).__call__
+    return pipeline
 
 
 register_kernel(KernelSpec(
@@ -128,15 +289,53 @@ register_kernel(KernelSpec(
 ))
 register_kernel(KernelSpec(
     name="softermax-bit-accurate",
-    factory=_softermax_pipeline_factory,
+    factory=lambda config: _softermax_pipeline_factory(config).__call__,
     description="slice-loop SoftermaxPipeline (bit-accurate hardware oracle)",
     bit_accurate=True,
+    selection="never picked by auto (validation oracle)",
+    runner_factory=_softermax_pipeline_factory,
 ))
 register_kernel(KernelSpec(
     name="softermax-fused",
-    factory=_softermax_fused_factory,
-    description="fused whole-tensor Softermax (bitwise-identical, fast path)",
+    factory=lambda config: get_fused_kernel(config).__call__,
+    description="fused whole-tensor Softermax (bitwise-identical, latency path)",
     bit_accurate=True,
+    selection=f"auto: below {AUTO_BLOCKED_MIN_ELEMENTS} elements",
+    runner_factory=lambda config: get_fused_kernel(config),
+))
+register_kernel(KernelSpec(
+    name="softermax-blocked",
+    factory=lambda config, block_rows=None:
+        get_blocked_kernel(config, block_rows).__call__,
+    description="row-blocked streaming Softermax with reusable scratch "
+                "(bitwise-identical, bandwidth path)",
+    bit_accurate=True,
+    selection=f"auto: >= {AUTO_BLOCKED_MIN_ELEMENTS} elements "
+              "(single worker); block_rows=N overrides the adaptive block",
+    runner_factory=lambda config, block_rows=None:
+        get_blocked_kernel(config, block_rows),
+))
+register_kernel(KernelSpec(
+    name="softermax-parallel",
+    factory=lambda config, workers=None, block_rows=None:
+        get_parallel_kernel(config, workers, block_rows).__call__,
+    description="row blocks fanned out over a shared-memory worker pool "
+                "(bitwise-identical, multicore path)",
+    bit_accurate=True,
+    selection=f"auto: >= {AUTO_PARALLEL_MIN_ELEMENTS} elements when "
+              "workers > 1; workers=N sets the pool size (default cpu count)",
+    runner_factory=lambda config, workers=None, block_rows=None:
+        get_parallel_kernel(config, workers, block_rows),
+))
+register_kernel(KernelSpec(
+    name="softermax-adaptive",
+    factory=lambda config, workers=None, block_rows=None:
+        AdaptiveSoftermaxKernel(config, workers, block_rows),
+    description="per-call dispatch: fused / blocked / parallel by tensor size",
+    bit_accurate=True,
+    selection="the auto alias; dispatches on rows x length per call",
+    runner_factory=lambda config, workers=None, block_rows=None:
+        AdaptiveSoftermaxKernel(config, workers, block_rows),
 ))
 register_kernel(KernelSpec(
     name="ibert",

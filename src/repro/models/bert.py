@@ -95,6 +95,7 @@ class BertEncoderModel(Module):
     def __init__(self, config: BertConfig,
                  softmax_variant: str | SoftmaxVariant = "reference",
                  kernel: str = "auto",
+                 kernel_options: Optional[dict] = None,
                  seed: Optional[int] = None) -> None:
         super().__init__()
         rng = np.random.default_rng(seed)
@@ -111,6 +112,7 @@ class BertEncoderModel(Module):
             dropout=config.dropout,
             softmax_variant=softmax_variant,
             kernel=kernel,
+            kernel_options=kernel_options,
             seed=seed,
         )
 
@@ -128,9 +130,11 @@ class BertEncoderModel(Module):
         return self.encoder(hidden, attention_mask)
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
-                            kernel: str = "auto") -> None:
+                            kernel: str = "auto",
+                            kernel_options: Optional[dict] = None) -> None:
         """Switch the attention softmax of every encoder layer."""
-        self.encoder.set_softmax_variant(variant, kernel=kernel)
+        self.encoder.set_softmax_variant(variant, kernel=kernel,
+                                        kernel_options=kernel_options)
 
 
 class ClassificationHead(Module):
@@ -194,12 +198,15 @@ class TaskModel(Module):
     def __init__(self, config: BertConfig, task: TaskDataset,
                  softmax_variant: str | SoftmaxVariant = "reference",
                  kernel: str = "auto",
+                 kernel_options: Optional[dict] = None,
                  seed: Optional[int] = None) -> None:
         super().__init__()
         self.config = config
         self.task_type = task.task_type
         self.encoder_model = BertEncoderModel(config, softmax_variant,
-                                              kernel=kernel, seed=seed)
+                                              kernel=kernel,
+                                              kernel_options=kernel_options,
+                                              seed=seed)
         if task.task_type == "classification":
             self.head = ClassificationHead(config.hidden_dim, task.num_classes,
                                            dropout=config.dropout, seed=seed)
@@ -217,5 +224,7 @@ class TaskModel(Module):
         return self.head(hidden)
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
-                            kernel: str = "auto") -> None:
-        self.encoder_model.set_softmax_variant(variant, kernel=kernel)
+                            kernel: str = "auto",
+                            kernel_options: Optional[dict] = None) -> None:
+        self.encoder_model.set_softmax_variant(variant, kernel=kernel,
+                                               kernel_options=kernel_options)

@@ -135,7 +135,8 @@ def available_softmax_variants() -> list:
 
 def make_softermax_variant(config: SoftermaxConfig | None = None,
                            name: str = "softermax",
-                           kernel: str = "auto") -> SoftmaxVariant:
+                           kernel: str = "auto",
+                           kernel_options: dict | None = None) -> SoftmaxVariant:
     """Create a Softermax variant bound to a specific operating point.
 
     Parameters
@@ -146,13 +147,17 @@ def make_softermax_variant(config: SoftermaxConfig | None = None,
         Registry key of the resulting variant.
     kernel:
         Named implementation from :mod:`repro.kernels` (``"auto"`` selects
-        the fused fast path, which is bitwise-identical to the
-        ``"softermax-bit-accurate"`` oracle).
+        the adaptive fused/blocked/parallel dispatcher; every kernel in
+        the bit-accurate family matches the ``"softermax-bit-accurate"``
+        oracle bit for bit).
+    kernel_options:
+        Engine knobs forwarded to the kernel factory (e.g. ``workers``,
+        ``block_rows``).
     """
     from repro.kernels import resolve_kernel
 
     cfg = config or SoftermaxConfig.paper_table1()
-    kernel_fn = resolve_kernel(kernel, cfg)
+    kernel_fn = resolve_kernel(kernel, cfg, **(kernel_options or {}))
 
     def forward(scores: np.ndarray) -> np.ndarray:
         return kernel_fn(scores, axis=-1)

@@ -45,6 +45,7 @@ class TransformerLayer(Module):
         dropout: float = 0.1,
         softmax_variant: str | SoftmaxVariant = "reference",
         kernel: str = "auto",
+        kernel_options: Optional[dict] = None,
         rng: Optional[np.random.Generator] = None,
         seed: Optional[int] = None,
     ) -> None:
@@ -52,7 +53,8 @@ class TransformerLayer(Module):
         rng = rng or np.random.default_rng(seed)
         self.attention = MultiHeadSelfAttention(
             hidden_dim, num_heads, dropout=dropout,
-            softmax_variant=softmax_variant, kernel=kernel, rng=rng, seed=seed,
+            softmax_variant=softmax_variant, kernel=kernel,
+            kernel_options=kernel_options, rng=rng, seed=seed,
         )
         self.attention_norm = LayerNorm(hidden_dim)
         self.attention_dropout = Dropout(dropout, seed=seed)
@@ -68,8 +70,10 @@ class TransformerLayer(Module):
         return hidden
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
-                            kernel: str = "auto") -> None:
-        self.attention.set_softmax_variant(variant, kernel=kernel)
+                            kernel: str = "auto",
+                            kernel_options: Optional[dict] = None) -> None:
+        self.attention.set_softmax_variant(variant, kernel=kernel,
+                                           kernel_options=kernel_options)
 
 
 class TransformerEncoder(Module):
@@ -84,6 +88,7 @@ class TransformerEncoder(Module):
         dropout: float = 0.1,
         softmax_variant: str | SoftmaxVariant = "reference",
         kernel: str = "auto",
+        kernel_options: Optional[dict] = None,
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -92,7 +97,8 @@ class TransformerEncoder(Module):
         for i in range(num_layers):
             layer = TransformerLayer(
                 hidden_dim, num_heads, intermediate_dim, dropout=dropout,
-                softmax_variant=softmax_variant, kernel=kernel, rng=rng,
+                softmax_variant=softmax_variant, kernel=kernel,
+                kernel_options=kernel_options, rng=rng,
                 seed=None if seed is None else seed + i,
             )
             self.add_module(f"layer_{i}", layer)
@@ -104,7 +110,9 @@ class TransformerEncoder(Module):
         return hidden
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
-                            kernel: str = "auto") -> None:
+                            kernel: str = "auto",
+                            kernel_options: Optional[dict] = None) -> None:
         """Switch the attention softmax of every layer at once."""
         for layer in self.layers:
-            layer.set_softmax_variant(variant, kernel=kernel)
+            layer.set_softmax_variant(variant, kernel=kernel,
+                                      kernel_options=kernel_options)

@@ -1,11 +1,16 @@
 """Equivalence and property tests for the softmax kernel engine.
 
-The contract under test: the fused whole-tensor kernel is *bitwise*
-identical to the slice-loop :class:`SoftermaxPipeline` oracle -- outputs
-and every exposed intermediate -- across shapes, slice widths, axes and
-operating points; and every registered kernel behaves like a softmax
-(probabilities in [0, 1], rows summing to ~1, permutation equivariance
-along the reduction axis).
+The contract under test: **every** kernel the registry flags as
+``bit_accurate`` is *bitwise* identical to the slice-loop
+:class:`SoftermaxPipeline` oracle -- outputs and every exposed intermediate
+-- across shapes, slice widths, axes and operating points.  The kernel
+list is pulled from the registry at collection time, so a newly registered
+bit-accurate kernel is pinned to the oracle automatically (via its spec's
+``runner_factory``).  On top of that, every registered kernel must behave
+like a softmax (probabilities in [0, 1], rows summing to ~1, permutation
+equivariance along the reduction axis), and the blocked/parallel engines
+get dedicated cases: block boundaries with no relationship to the slice
+width, single-row blocks, and more workers than rows.
 """
 
 from __future__ import annotations
@@ -16,11 +21,14 @@ import pytest
 from repro.core import SoftermaxConfig, SoftermaxPipeline
 from repro.fixedpoint import QFormat
 from repro.kernels import (
+    BlockedSoftermaxKernel,
     FusedSoftermaxKernel,
     available_kernels,
     fused_softermax,
+    get_blocked_kernel,
     get_fused_kernel,
     get_kernel,
+    get_parallel_kernel,
     resolve_kernel,
 )
 
@@ -50,12 +58,33 @@ CONFIGS = {
 
 SHAPES = [(16,), (1, 16), (3, 33), (2, 2, 40), (2, 3, 4, 24), (5, 96), (4, 512)]
 
+#: Every bit-accurate kernel in the registry with full-intermediate access.
+#: Automatically includes kernels added by later PRs: registering a
+#: bit-accurate kernel without a runner_factory fails the registry test
+#: below, and registering one with it pins it to the oracle here.
+BIT_ACCURATE = sorted(
+    name for name in available_kernels()
+    if get_kernel(name).bit_accurate and name != "softermax-bit-accurate"
+)
+
+#: Per-kernel options for the equivalence matrix: the parallel kernel must
+#: exercise the real worker path even on a single-core box.
+RUNNER_OPTIONS = {"softermax-parallel": {"workers": 2}}
+
+
+def _runner(name: str, config):
+    spec = get_kernel(name)
+    assert spec.runner_factory is not None, (
+        f"bit-accurate kernel {name!r} must expose a runner_factory so the "
+        "equivalence suite can pin its intermediates to the oracle")
+    return spec.runner_factory(config, **RUNNER_OPTIONS.get(name, {}))
+
 
 def _assert_bitwise_equal(pipeline, kernel, x):
     ref = pipeline.run(x).intermediates
-    fused = kernel.run(x).intermediates
+    got = kernel.run(x).intermediates
     for field in INTERMEDIATE_FIELDS:
-        a, b = getattr(ref, field), getattr(fused, field)
+        a, b = getattr(ref, field), getattr(got, field)
         assert np.array_equal(a, b), (
             f"{field} diverged: max abs diff "
             f"{np.max(np.abs(np.asarray(a) - np.asarray(b)))}"
@@ -65,26 +94,38 @@ def _assert_bitwise_equal(pipeline, kernel, x):
 
 @pytest.mark.parametrize("config_name", sorted(CONFIGS))
 @pytest.mark.parametrize("shape", SHAPES, ids=str)
-def test_fused_bitwise_identical(rng, config_name, shape):
+def test_bit_accurate_kernels_bitwise_identical(rng, config_name, shape):
     config = CONFIGS[config_name]
     pipeline = SoftermaxPipeline(config)
-    kernel = get_fused_kernel(config)
+    kernels = {name: _runner(name, config) for name in BIT_ACCURATE}
     # Moderate scale exercises the LPW range; the large scale saturates the
     # input/max formats (non-integer shifts -> the fused float back end).
     for scale in (6.0, 40.0):
-        _assert_bitwise_equal(pipeline, kernel, rng.normal(0.0, scale, size=shape))
+        x = rng.normal(0.0, scale, size=shape)
+        ref = pipeline.run(x).intermediates
+        for name, kernel in kernels.items():
+            got = kernel.run(x).intermediates
+            for field in INTERMEDIATE_FIELDS:
+                a, b = getattr(ref, field), getattr(got, field)
+                assert np.array_equal(a, b), (
+                    f"{name}: {field} diverged on {config_name}/{shape}"
+                )
+            assert np.array_equal(kernel(x), ref.output), name
 
 
+@pytest.mark.parametrize("name", BIT_ACCURATE)
 @pytest.mark.parametrize("axis", [0, 1, 2, -1, -2])
-def test_fused_axis_handling(rng, paper_config, axis):
+def test_bit_accurate_axis_handling(rng, paper_config, name, axis):
     x = rng.normal(0.0, 5.0, size=(6, 7, 40))
     pipeline = SoftermaxPipeline(paper_config)
-    assert np.array_equal(pipeline(x, axis=axis), fused_softermax(x, axis=axis))
+    kernel = _runner(name, paper_config)
+    assert np.array_equal(pipeline(x, axis=axis), kernel(x, axis=axis))
 
 
-def test_fused_extreme_and_degenerate_inputs(paper_config):
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_bit_accurate_extreme_and_degenerate_inputs(paper_config, name):
     pipeline = SoftermaxPipeline(paper_config)
-    kernel = get_fused_kernel(paper_config)
+    kernel = _runner(name, paper_config)
     # The third case forces a renormalization shift of 63 (one slice maxes
     # at +31, another at -32): the shift count must saturate safely in the
     # int32 code domain, not over-shift.
@@ -102,17 +143,19 @@ def test_fused_extreme_and_degenerate_inputs(paper_config):
         _assert_bitwise_equal(pipeline, kernel, x)
 
 
-def test_fused_empty_axis_raises(paper_config):
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_bit_accurate_empty_axis_raises(paper_config, name):
     with pytest.raises(ValueError):
-        get_fused_kernel(paper_config)(np.zeros((4, 0)))
+        _runner(name, paper_config)(np.zeros((4, 0)))
     with pytest.raises(ValueError):
         SoftermaxPipeline(paper_config)(np.zeros((4, 0)))
 
 
-def test_fused_does_not_mutate_input(rng, paper_config):
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_bit_accurate_does_not_mutate_input(rng, paper_config, name):
     x = rng.normal(0.0, 6.0, size=(4, 64))
     before = x.copy()
-    get_fused_kernel(paper_config)(x)
+    _runner(name, paper_config)(x)
     assert np.array_equal(x, before)
 
 
@@ -123,6 +166,77 @@ def test_fused_kernel_memoized_per_config():
     assert a is b
     assert a is not c
     assert isinstance(a, FusedSoftermaxKernel)
+    assert isinstance(fused_softermax(np.zeros((2, 8))), np.ndarray)
+
+
+# --------------------------------------------------------------------------- #
+# blocked/parallel-specific cases
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("block_rows", [1, 3, 5, 7])
+def test_blocked_boundaries_unaligned_to_slice_width(rng, block_rows):
+    """Row-block cuts have no relationship to the hardware slice width.
+
+    13 rows of length 77 with slice width 32: the row tail is a partial
+    slice, the row count is prime relative to every block size, and the
+    final block is partial for every block_rows tested -- including
+    single-row blocks.
+    """
+    config = SoftermaxConfig.paper_table1()
+    pipeline = SoftermaxPipeline(config)
+    kernel = BlockedSoftermaxKernel(config, block_rows=block_rows)
+    x = rng.normal(0.0, 6.0, size=(13, 77))
+    _assert_bitwise_equal(pipeline, kernel, x)
+
+
+def test_blocked_scratch_reused_across_calls(rng, paper_config):
+    """Repeated same-shape calls must not grow the scratch set."""
+    kernel = BlockedSoftermaxKernel(paper_config, block_rows=4)
+    x = rng.normal(0.0, 5.0, size=(16, 96))
+    kernel(x)
+    buf_id = id(kernel._buf)
+    cap = kernel._cap
+    out_a = kernel(x)
+    assert id(kernel._buf) == buf_id and kernel._cap == cap
+    # Growing shapes reallocate; shrinking ones reuse the larger scratch.
+    kernel(rng.normal(size=(32, 128)))
+    assert kernel._cap >= cap
+    out_b = kernel(x)
+    assert np.array_equal(out_a, out_b)
+
+
+def test_blocked_kernel_memoized_per_signature():
+    a = get_blocked_kernel(SoftermaxConfig.paper_table1())
+    b = get_blocked_kernel(SoftermaxConfig.paper_table1())
+    c = get_blocked_kernel(SoftermaxConfig.paper_table1(), 8)
+    assert a is b
+    assert a is not c
+    assert c.block_rows == 8
+
+
+def test_blocked_rejects_bad_block_rows(paper_config):
+    with pytest.raises(ValueError):
+        BlockedSoftermaxKernel(paper_config, block_rows=0)
+
+
+def test_parallel_workers_exceed_rows(rng, paper_config):
+    """More workers than rows: surplus workers idle, bits unchanged."""
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = get_parallel_kernel(paper_config, 4)
+    x = rng.normal(0.0, 6.0, size=(2, 80))
+    assert np.array_equal(kernel(x), pipeline(x))
+    # A single row short-circuits to the in-process blocked engine.
+    y = rng.normal(0.0, 6.0, size=(1, 80))
+    assert np.array_equal(kernel(y), pipeline(y))
+    z = rng.normal(0.0, 6.0, size=80)
+    assert np.array_equal(kernel(z), pipeline(z))
+
+
+def test_parallel_matches_oracle_through_worker_path(rng, paper_config):
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = get_parallel_kernel(paper_config, 2, 3)  # block_rows=3 too
+    x = rng.normal(0.0, 6.0, size=(3, 5, 40))
+    assert np.array_equal(kernel(x), pipeline(x))
+    assert np.array_equal(kernel(x, axis=1), pipeline(x, axis=1))
 
 
 # --------------------------------------------------------------------------- #
@@ -172,7 +286,8 @@ def test_kernel_permutation_equivariant(rng, name):
     np.testing.assert_allclose(permuted, direct, atol=_kernel_tolerance(name))
 
 
-@pytest.mark.parametrize("name", ["softermax-bit-accurate", "softermax-fused"])
+@pytest.mark.parametrize("name", ["softermax-bit-accurate", "softermax-fused",
+                                  "softermax-blocked"])
 def test_softermax_single_slice_permutation_exact(rng, name):
     """Within one hardware slice the datapath is order-independent.
 
@@ -195,6 +310,6 @@ def test_bit_accurate_kernels_agree_through_registry(rng):
     outputs = [resolve_kernel(name, config)(x, axis=-1)
                for name in available_kernels()
                if get_kernel(name).bit_accurate]
-    assert len(outputs) >= 2
+    assert len(outputs) >= 4
     for other in outputs[1:]:
         assert np.array_equal(outputs[0], other)

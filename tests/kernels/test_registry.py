@@ -1,4 +1,4 @@
-"""Tests for the named softmax kernel registry."""
+"""Tests for the named softmax kernel registry and adaptive dispatch."""
 
 from __future__ import annotations
 
@@ -7,10 +7,15 @@ import pytest
 
 from repro.core import SoftermaxConfig, softmax_reference
 from repro.kernels import (
+    AUTO_BLOCKED_MIN_ELEMENTS,
     AUTO_KERNEL,
+    AUTO_PARALLEL_MIN_ELEMENTS,
+    AdaptiveSoftermaxKernel,
     KernelSpec,
+    auto_kernel_choice,
     available_kernels,
     get_kernel,
+    parse_kernel_name,
     register_kernel,
     resolve_kernel,
 )
@@ -21,12 +26,14 @@ class TestRegistryLookup:
     def test_builtin_kernels_registered(self):
         names = available_kernels()
         for expected in ("reference", "base2", "softermax-bit-accurate",
-                         "softermax-fused", "ibert", "lut-exp", "split-exp"):
+                         "softermax-fused", "softermax-blocked",
+                         "softermax-parallel", "softermax-adaptive",
+                         "ibert", "lut-exp", "split-exp"):
             assert expected in names
 
-    def test_auto_alias_resolves_to_fused(self):
-        assert AUTO_KERNEL == "softermax-fused"
-        assert get_kernel("auto") is get_kernel("softermax-fused")
+    def test_auto_alias_resolves_to_adaptive(self):
+        assert AUTO_KERNEL == "softermax-adaptive"
+        assert get_kernel("auto") is get_kernel("softermax-adaptive")
         assert "auto" not in available_kernels()
 
     def test_unknown_kernel_raises_with_suggestions(self):
@@ -34,10 +41,50 @@ class TestRegistryLookup:
             get_kernel("definitely-not-a-kernel")
 
     def test_bit_accurate_flags(self):
-        assert get_kernel("softermax-fused").bit_accurate
-        assert get_kernel("softermax-bit-accurate").bit_accurate
+        for name in ("softermax-fused", "softermax-bit-accurate",
+                     "softermax-blocked", "softermax-parallel",
+                     "softermax-adaptive"):
+            assert get_kernel(name).bit_accurate, name
         assert not get_kernel("reference").bit_accurate
         assert not get_kernel("ibert").bit_accurate
+
+    def test_bit_accurate_kernels_expose_runners(self):
+        """Every bit-accurate kernel must be pinnable by the equivalence
+        suite: a runner_factory returning an object with run()."""
+        config = SoftermaxConfig.paper_table1()
+        for name in available_kernels():
+            spec = get_kernel(name)
+            if not spec.bit_accurate:
+                continue
+            assert spec.runner_factory is not None, name
+            runner = spec.runner_factory(config)
+            assert callable(runner) and hasattr(runner, "run"), name
+
+    def test_engine_kernels_document_selection(self):
+        for name in ("softermax-fused", "softermax-blocked",
+                     "softermax-parallel", "softermax-adaptive"):
+            assert get_kernel(name).selection, name
+
+
+class TestNameParsing:
+    def test_bare_name(self):
+        assert parse_kernel_name("softermax-fused") == ("softermax-fused", {})
+
+    def test_options_suffix(self):
+        base, options = parse_kernel_name(
+            "softermax-parallel(workers=4, block_rows=8)")
+        assert base == "softermax-parallel"
+        assert options == {"workers": 4, "block_rows": 8}
+
+    def test_get_kernel_ignores_options(self):
+        assert get_kernel("softermax-parallel(workers=4)") \
+            is get_kernel("softermax-parallel")
+
+    def test_malformed_names_raise(self):
+        for bad in ("softermax-parallel(workers)", "kernel(workers=two)",
+                    "name(x=1"):
+            with pytest.raises(ValueError):
+                parse_kernel_name(bad)
 
 
 class TestResolve:
@@ -59,6 +106,68 @@ class TestResolve:
             resolve_kernel("softermax-fused", None)(x),
             resolve_kernel("softermax-fused", paper_config)(x),
         )
+
+    def test_options_from_name_and_kwargs(self, rng, paper_config):
+        x = rng.normal(0.0, 5.0, size=(4, 64))
+        expected = resolve_kernel("softermax-bit-accurate", paper_config)(x)
+        by_name = resolve_kernel("softermax-blocked(block_rows=2)", paper_config)
+        by_kwarg = resolve_kernel("softermax-blocked", paper_config, block_rows=2)
+        assert np.array_equal(by_name(x), expected)
+        assert np.array_equal(by_kwarg(x), expected)
+
+    def test_none_options_are_dropped(self, rng, paper_config):
+        fn = resolve_kernel("softermax-fused", paper_config,
+                            workers=None, block_rows=None)
+        x = rng.normal(0.0, 5.0, size=(2, 32))
+        assert fn(x).shape == x.shape
+
+    def test_unsupported_options_raise_cleanly(self):
+        with pytest.raises(TypeError, match="does not accept options"):
+            resolve_kernel("reference", None, workers=2)
+
+    def test_supported_options_reflect_factory_signatures(self):
+        from repro.kernels import supported_options
+
+        assert supported_options("reference") == set()
+        assert supported_options("softermax-fused") == set()
+        assert supported_options("softermax-blocked") == {"block_rows"}
+        assert supported_options("softermax-parallel") \
+            == {"workers", "block_rows"}
+        assert supported_options("auto") == {"workers", "block_rows"}
+
+
+class TestAdaptiveDispatch:
+    def test_choice_thresholds(self):
+        assert auto_kernel_choice(8, 512, workers=1) == "softermax-fused"
+        big_rows = AUTO_BLOCKED_MIN_ELEMENTS // 512
+        assert auto_kernel_choice(big_rows, 512, workers=1) \
+            == "softermax-blocked"
+        huge_rows = AUTO_PARALLEL_MIN_ELEMENTS // 512
+        assert auto_kernel_choice(huge_rows, 512, workers=1) \
+            == "softermax-blocked"  # no extra workers -> stay in process
+        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+            == "softermax-parallel"
+        # One giant row cannot be split across workers.
+        assert auto_kernel_choice(1, AUTO_PARALLEL_MIN_ELEMENTS, workers=4) \
+            == "softermax-blocked"
+
+    def test_adaptive_kernel_dispatches_and_matches(self, rng, paper_config):
+        kernel = AdaptiveSoftermaxKernel(paper_config, workers=1)
+        small = rng.normal(0.0, 5.0, size=(4, 64))
+        assert kernel._choose(small, -1) == "softermax-fused"
+        rows = AUTO_BLOCKED_MIN_ELEMENTS // 256
+        big = rng.normal(0.0, 5.0, size=(rows, 256))
+        assert kernel._choose(big, -1) == "softermax-blocked"
+        oracle = resolve_kernel("softermax-bit-accurate", paper_config)
+        assert np.array_equal(kernel(small), oracle(small))
+        probs = kernel(big)
+        assert probs.shape == big.shape
+        # Spot-check a band of the big tensor against the oracle.
+        assert np.array_equal(probs[:8], oracle(big[:8]))
+
+    def test_adaptive_empty_axis_raises(self, paper_config):
+        with pytest.raises(ValueError):
+            AdaptiveSoftermaxKernel(paper_config)(np.zeros((4, 0)))
 
 
 class TestRegistration:

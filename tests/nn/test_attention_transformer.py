@@ -69,6 +69,22 @@ class TestMultiHeadSelfAttention:
                                       softmax_variant=get_softmax_variant("base2"))
         assert attn.softmax_variant.name == "base2"
 
+    def test_kernel_options_thread_through(self, rng):
+        """Engine knobs select a different engine but identical bits."""
+        x = Tensor(rng.normal(size=(1, 8, 16)) * 3.0)
+        outputs = []
+        for kernel, options in [("softermax-bit-accurate", None),
+                                ("softermax-blocked", {"block_rows": 2}),
+                                ("auto", {"workers": 1, "block_rows": 3})]:
+            attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0,
+                                          softmax_variant="softermax",
+                                          kernel=kernel,
+                                          kernel_options=options)
+            attn.eval()
+            outputs.append(attn(x).data)
+        assert np.array_equal(outputs[0], outputs[1])
+        assert np.array_equal(outputs[0], outputs[2])
+
     def test_gradients_flow_to_all_projections(self, rng):
         attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
         out = attn(Tensor(rng.normal(size=(2, 5, 16))))

@@ -52,6 +52,59 @@ class TestFastCommands:
         assert "softermax (Table I)" in out
         assert "i-bert polynomial" in out
 
+    def test_compare_softmax_with_engine_knobs(self, capsys):
+        assert main(["compare-softmax", "--seq-len", "64", "--batch", "4",
+                     "--kernel", "softermax-blocked", "--block-rows", "2"]) == 0
+        assert "softermax (Table I)" in capsys.readouterr().out
+
+    def test_compare_softmax_rejects_float_kernel(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare-softmax", "--seq-len", "64", "--batch", "4",
+                  "--kernel", "reference"])
+
+    def test_kernels_lists_registry_and_auto_choice(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        for name in ("softermax-fused", "softermax-blocked",
+                     "softermax-parallel", "softermax-adaptive"):
+            assert name in out
+        assert "auto resolves to: softermax-fused" in out
+        assert "selection" in out
+
+    def test_kernels_auto_choice_tracks_shape(self, capsys):
+        assert main(["kernels", "--batch", "1024", "--seq-len", "2048",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "auto resolves to: softermax-blocked" in out
+        assert main(["kernels", "--batch", "4096", "--seq-len", "2048",
+                     "--workers", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "auto resolves to: softermax-parallel" in out
+
+    def test_bench_kernels_quick(self, capsys):
+        assert main(["bench-kernels", "--kernels", "softermax-fused",
+                     "softermax-blocked(block_rows=4)", "--seq-lens", "64",
+                     "--batch", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "peak MB/call" in out
+        assert "softermax-blocked(block_rows=4)" in out
+
+    def test_bench_kernels_knobs_skip_kernels_that_reject_them(self, capsys):
+        # --block-rows must ride along a list that includes kernels
+        # without that knob (the oracle, the fused kernel).
+        assert main(["bench-kernels", "--kernels", "softermax-bit-accurate",
+                     "softermax-fused", "softermax-blocked",
+                     "--seq-lens", "64", "--batch", "4",
+                     "--block-rows", "4", "--workers", "2"]) == 0
+        assert "softermax-bit-accurate" in capsys.readouterr().out
+
+    def test_invalid_kernel_option_value_is_a_clean_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare-softmax", "--seq-len", "32", "--batch", "2",
+                  "--kernel", "softermax-blocked(block_rows=0)"])
+        assert excinfo.value.code == 2
+        assert "block_rows" in capsys.readouterr().err
+
     def test_latency(self, capsys):
         assert main(["latency", "--seq-lens", "128", "512"]) == 0
         out = capsys.readouterr().out
