@@ -1,0 +1,186 @@
+"""Serving-layer benchmark: batched vs unbatched throughput curve.
+
+Drives the same open-loop harness as the ``loadtest`` CLI command
+(:mod:`repro.serving.loadtest`) across a sweep of ``max_batch_size``
+settings and records the curve to ``benchmarks/results/BENCH_serving.json``
+so later PRs have a recorded serving trajectory.  Headline: throughput of
+dynamic batching at batch 32 over sequential single-request serving
+(``max_batch_size=1``) on the same box -- the acceptance criterion is a
+>= 3x win.
+
+The response cache is disabled and every request is unique, so the
+recorded win is pure batching.  A separate point records a 50%-duplicate
+workload with the cache enabled, putting the memoization win on the
+trajectory too.  Before anything is timed, a bit-transparency check
+asserts that batched responses are bitwise identical to solo responses
+(the serving layer's correctness contract).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_serving            # full sweep
+    PYTHONPATH=src python -m benchmarks.bench_serving --quick    # CI smoke
+
+``--quick`` also diffs its measurement against the recorded JSON
+(warn-only, generous tolerance) so serving regressions surface in every
+PR; ``scripts/ci.sh`` invokes it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+import numpy as np
+
+if __package__ in (None, ""):  # executed as a plain script
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.bench_utils import RESULTS_DIR
+
+from repro.serving.loadtest import run_loadtest, synthetic_requests
+from repro.serving.service import ServiceConfig, build_encoder_service
+
+#: Batch sizes of the recorded throughput curve (1 == sequential serving).
+CURVE_BATCH_SIZES = (1, 4, 8, 16, 32)
+
+#: Warn when the measured batched-vs-sequential speedup falls below this
+#: fraction of the recorded baseline.
+BASELINE_TOLERANCE = 0.5
+
+
+def check_bit_transparency(num_requests: int = 16, seed: int = 7) -> None:
+    """Batched responses must be bitwise identical to solo responses."""
+    requests = synthetic_requests(num_requests, seed=seed)
+    service = build_encoder_service(
+        config=ServiceConfig(max_batch_size=num_requests, max_wait_ms=5.0,
+                             cache_size=0))
+    with service:
+        batched = [r.result(60.0) for r in
+                   [service.submit(tokens) for tokens in requests]]
+    solo = [service.model.encode_ragged([list(tokens)])[0]
+            for tokens in requests]
+    for i, (got, expected) in enumerate(zip(batched, solo)):
+        if not np.array_equal(got, expected):
+            raise AssertionError(
+                f"batched response {i} diverged from the solo response; "
+                "serving bit-transparency is broken")
+
+
+def run_curve(num_requests: int, batch_sizes, max_wait_ms: float,
+              seed: int) -> dict:
+    """Measure the batched-vs-unbatched throughput curve."""
+    requests = synthetic_requests(num_requests, seed=seed)
+    points = []
+    for batch_size in batch_sizes:
+        result = run_loadtest(requests, batch_size=batch_size,
+                              max_wait_ms=max_wait_ms if batch_size > 1
+                              else 0.0,
+                              cache_size=0, seed=seed)
+        points.append(result.as_dict())
+    by_batch = {p["batch_size"]: p for p in points}
+    sequential = by_batch.get(1)
+    speedups = {}
+    if sequential:
+        for batch_size, point in sorted(by_batch.items()):
+            if batch_size != 1:
+                speedups[f"batch{batch_size}"] = round(
+                    point["requests_per_second"]
+                    / sequential["requests_per_second"], 2)
+    payload = {
+        "workload": f"{num_requests} unique requests of 8-16 tokens, "
+                    "tiny-base encoder, adaptive Softermax kernel, "
+                    "cache disabled",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "requests": num_requests,
+        "batch_sizes": list(batch_sizes),
+        "results": points,
+        "speedup_vs_sequential": speedups,
+        "speedup_batch32_vs_sequential": speedups.get("batch32"),
+    }
+    return payload
+
+
+def run_cached_point(num_requests: int, seed: int) -> dict:
+    """One point with a 50%-duplicate workload and the cache enabled."""
+    requests = synthetic_requests(num_requests, seed=seed,
+                                  duplicate_fraction=0.5)
+    result = run_loadtest(requests, batch_size=32, cache_size=1024, seed=seed)
+    return {
+        "workload": f"{num_requests} requests, 50% duplicates, LRU cache on",
+        **result.as_dict(),
+    }
+
+
+def check_against_baseline(payload: dict, baseline_path: Path,
+                           tolerance: float = BASELINE_TOLERANCE) -> list:
+    """Warn-only diff against the recorded serving trajectory."""
+    if not baseline_path.exists():
+        return [f"no recorded baseline at {baseline_path}; skipping check"]
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    warnings = []
+    recorded = baseline.get("speedup_vs_sequential", {})
+    measured = payload.get("speedup_vs_sequential", {})
+    for key in sorted(set(recorded) & set(measured)):
+        if recorded[key] and measured[key] < recorded[key] * tolerance:
+            warnings.append(
+                f"serving speedup at {key} fell to {measured[key]}x "
+                f"(recorded {recorded[key]}x, tolerance {tolerance:.0%})")
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sweep for CI smoke runs (no JSON "
+                             "rewrite, warn-only baseline diff)")
+    parser.add_argument("--requests", type=int, default=512)
+    parser.add_argument("--batch-sizes", type=int, nargs="+",
+                        default=list(CURVE_BATCH_SIZES))
+    parser.add_argument("--max-wait-ms", type=float, default=2.0)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--output",
+                        default=str(RESULTS_DIR / "BENCH_serving.json"))
+    args = parser.parse_args(argv)
+
+    check_bit_transparency()
+    print("bit-transparency check passed (batched == solo, bitwise)")
+
+    if args.quick:
+        payload = run_curve(num_requests=128, batch_sizes=(1, 32),
+                            max_wait_ms=args.max_wait_ms, seed=args.seed)
+    else:
+        payload = run_curve(num_requests=args.requests,
+                            batch_sizes=tuple(args.batch_sizes),
+                            max_wait_ms=args.max_wait_ms, seed=args.seed)
+        payload["cached_point"] = run_cached_point(args.requests, args.seed)
+
+    for point in payload["results"]:
+        print(f"batch {point['batch_size']:>3}: "
+              f"{point['requests_per_second']:8.1f} req/s  "
+              f"p50 {point['p50_ms']} ms  p99 {point['p99_ms']} ms")
+    for key, value in sorted(payload["speedup_vs_sequential"].items()):
+        print(f"{key:>8}: {value:5.2f}x vs sequential")
+    headline = payload["speedup_batch32_vs_sequential"]
+    if headline is not None:
+        print(f"headline (batch 32 vs sequential): {headline:.2f}x")
+
+    if args.quick:
+        for line in check_against_baseline(payload, Path(args.output)):
+            print(f"WARNING: {line}")
+        print("quick mode: results not written (baseline diff is warn-only)")
+        return 0
+
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

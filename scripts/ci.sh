@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 test suite plus a kernel-benchmark smoke run.
+# CI entry point: tier-1 test suite plus kernel/serving benchmark smoke runs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -10,3 +10,10 @@ python -m pytest -x -q
 
 echo "== kernel benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_kernels --quick
+
+echo "== serving smoke (serve CLI round trip) =="
+printf '1 2 3 4 5\n1 2 3 4 5\nquit\n' \
+    | python -m repro.cli serve --max-batch-size 4 --max-wait-ms 1
+
+echo "== serving benchmark smoke (warn-only baseline diff) =="
+python -m benchmarks.bench_serving --quick

@@ -12,6 +12,11 @@ Every paper experiment can be regenerated from the command line::
     python -m repro.cli model-cost --model bert-large --seq-len 512
     python -m repro.cli kernels
 
+Beyond the paper experiments, the serving layer is driven from here too::
+
+    python -m repro.cli serve --max-batch-size 32 --max-wait-ms 2
+    python -m repro.cli loadtest --requests 512 --batch-size 32
+
 Softermax commands take a ``--kernel`` selector (see ``repro.cli kernels``
 for the registry); the default ``auto`` resolves to the fused fast path,
 which is bitwise-identical to the slice-loop oracle.
@@ -250,6 +255,98 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Interactive stdin loop over the dynamic-batching inference service."""
+    import numpy as np
+
+    from repro.serving import ServiceConfig, build_encoder_service
+
+    config = ServiceConfig(max_batch_size=args.max_batch_size,
+                           max_wait_ms=args.max_wait_ms,
+                           max_queue_depth=args.queue_depth,
+                           cache_size=args.cache_size)
+    try:
+        service = build_encoder_service(model_name=args.model,
+                                        kernel=args.kernel,
+                                        kernel_options=_kernel_options(args),
+                                        seed=args.seed, config=config)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    print(f"serving {args.model} (kernel={args.kernel}, "
+          f"max_batch_size={config.max_batch_size}, "
+          f"max_wait_ms={config.max_wait_ms}); enter whitespace-separated "
+          "token ids, 'quit' to exit", flush=True)
+    with service:
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            if line in ("quit", "exit"):
+                break
+            try:
+                tokens = [int(tok) for tok in line.split()]
+            except ValueError:
+                print(f"error: not a token-id line: {line!r}", file=sys.stderr)
+                continue
+            try:
+                request = service.submit(tokens)
+                hidden = request.result(timeout=30.0)
+            except Exception as exc:  # noqa: BLE001 - user-facing loop
+                print(f"error: {exc}", file=sys.stderr)
+                continue
+            pooled = np.round(hidden.mean(axis=0)[:4], 6).tolist()
+            print(f"ok tokens={len(tokens)} hidden={hidden.shape} "
+                  f"cached={request.cached} pooled[:4]={pooled}", flush=True)
+        snap = service.snapshot()
+    print(f"served {snap['completed']} requests "
+          f"(p50={snap['p50_ms']} ms, p99={snap['p99_ms']} ms, "
+          f"cache hit rate {snap['cache']['hit_rate']:.0%})")
+    return 0
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    """Synthetic open-loop client: batched vs sequential serving."""
+    from repro.serving.loadtest import batched_vs_sequential
+
+    try:
+        payload = batched_vs_sequential(
+            num_requests=args.requests, batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms, min_tokens=args.min_tokens,
+            max_tokens=args.max_tokens, model_name=args.model,
+            kernel=args.kernel, seed=args.seed,
+            duplicate_fraction=args.duplicate_fraction,
+            cache_size=args.cache_size)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    rows = []
+    for label in ("sequential", "batched"):
+        result = payload[label]
+        rows.append([label, result["batch_size"], result["requests_per_second"],
+                     result["p50_ms"], result["p99_ms"],
+                     result["mean_batch_size"] or 1.0])
+    workload = payload["workload"]
+    print(format_table(
+        ["mode", "max batch", "req/s", "p50 ms", "p99 ms", "mean batch"],
+        rows,
+        title=f"Serving loadtest: {workload['requests']} requests of "
+              f"{workload['min_tokens']}-{workload['max_tokens']} tokens "
+              f"({workload['model']}, kernel={workload['kernel']})",
+        float_digits=2))
+    print(f"\nbatched (batch {args.batch_size}) vs sequential throughput: "
+          f"{payload['speedup_batched_vs_sequential']:.2f}x")
+    if args.output:
+        import json
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    return 0
+
+
 def _cmd_latency(args: argparse.Namespace) -> int:
     from repro.hardware import latency_sweep
 
@@ -350,6 +447,47 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch", type=int, default=8)
     _add_kernel_knobs(bench)
 
+    serve = sub.add_parser("serve",
+                           help="interactive dynamic-batching inference "
+                                "service (token-id lines on stdin)")
+    serve.add_argument("--model", choices=("tiny-base", "tiny-large"),
+                       default="tiny-base")
+    serve.add_argument("--kernel", default="auto",
+                       help="Softermax kernel (see the 'kernels' command)")
+    serve.add_argument("--max-batch-size", type=int, default=32,
+                       help="largest coalesced micro-batch")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="coalescing window after the first request")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="bounded request-queue depth (backpressure)")
+    serve.add_argument("--cache-size", type=int, default=1024,
+                       help="LRU response-cache entries (0 disables)")
+    serve.add_argument("--seed", type=int, default=0)
+    _add_kernel_knobs(serve)
+
+    loadtest = sub.add_parser("loadtest",
+                              help="synthetic open-loop client: batched vs "
+                                   "sequential serving throughput")
+    loadtest.add_argument("--requests", type=int, default=512)
+    loadtest.add_argument("--batch-size", type=int, default=32,
+                          help="max_batch_size of the batched configuration")
+    loadtest.add_argument("--max-wait-ms", type=float, default=2.0)
+    loadtest.add_argument("--min-tokens", type=int, default=8)
+    loadtest.add_argument("--max-tokens", type=int, default=16)
+    loadtest.add_argument("--model", choices=("tiny-base", "tiny-large"),
+                          default="tiny-base")
+    loadtest.add_argument("--kernel", default="auto",
+                          help="Softermax kernel (see the 'kernels' command)")
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--duplicate-fraction", type=float, default=0.0,
+                          help="fraction of repeated requests (exercises "
+                               "the cache and in-batch dedup)")
+    loadtest.add_argument("--cache-size", type=int, default=0,
+                          help="response-cache entries (default off so the "
+                               "measured win is batching, not memoization)")
+    loadtest.add_argument("--output", default=None,
+                          help="also write the JSON payload to this path")
+
     latency = sub.add_parser("latency", help="row-latency comparison")
     latency.add_argument("--seq-lens", type=int, nargs="+",
                          default=[128, 256, 384, 512, 1024, 2048])
@@ -372,6 +510,8 @@ _HANDLERS = {
     "compare-softmax": _cmd_compare_softmax,
     "kernels": _cmd_kernels,
     "bench-kernels": _cmd_bench_kernels,
+    "serve": _cmd_serve,
+    "loadtest": _cmd_loadtest,
     "latency": _cmd_latency,
     "model-cost": _cmd_model_cost,
 }

@@ -83,6 +83,7 @@ class BlockedSoftermaxKernel:
             raise ValueError("block_rows must be >= 1")
         self.config = config or DEFAULT_CONFIG
         self.block_rows = block_rows
+        self.lpw_method = lpw_method
         self.fused = get_fused_kernel(self.config, lpw_method=lpw_method)
         # Input codes live in the narrowest dtype that also holds the
         # integer-max requantization arithmetic (ceil/shift) without

@@ -89,11 +89,18 @@ def _run_rows(task) -> int:
 # ------------------------------------------------------------------------- #
 # parent side
 # ------------------------------------------------------------------------- #
+#: Pools owned by this process, as ``(owner_pid, pool)``.  The pid matters:
+#: after ``os.fork()`` the child inherits this list, but the worker
+#: processes belong to the parent -- terminating them from the child would
+#: kill the parent's pool out from under it.
 _LIVE_POOLS = []
 
 
 def _shutdown_pools() -> None:  # pragma: no cover - exit-time housekeeping
-    for pool in _LIVE_POOLS:
+    pid = os.getpid()
+    for owner_pid, pool in _LIVE_POOLS:
+        if owner_pid != pid:
+            continue
         try:
             pool.terminate()
         except Exception:
@@ -141,6 +148,7 @@ class ParallelSoftermaxKernel:
                                               block_rows=block_rows,
                                               lpw_method=lpw_method)
         self._pool = None
+        self._pool_pid = None
 
     # ------------------------------------------------------------------ #
     def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -169,11 +177,17 @@ class ParallelSoftermaxKernel:
         return self.blocked.run(x, axis=axis)
 
     def close(self) -> None:
-        """Terminate the worker pool (idempotent)."""
+        """Terminate the worker pool (idempotent, fork-safe)."""
         if self._pool is not None:
             pool, self._pool = self._pool, None
-            if pool in _LIVE_POOLS:
-                _LIVE_POOLS.remove(pool)
+            owner_pid, self._pool_pid = self._pool_pid, None
+            entry = (owner_pid, pool)
+            if entry in _LIVE_POOLS:
+                _LIVE_POOLS.remove(entry)
+            if owner_pid != os.getpid():
+                # Inherited across fork: the worker processes belong to the
+                # parent, so the child must only drop its handle.
+                return
             pool.terminate()
             pool.join()
 
@@ -185,6 +199,12 @@ class ParallelSoftermaxKernel:
 
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
+        if self._pool is not None and self._pool_pid != os.getpid():
+            # Pool handle inherited across os.fork(): its processes and
+            # queues live in the parent, so using (or terminating) them here
+            # would corrupt the parent's pool.  Drop the handle and build a
+            # pool of our own.
+            self.close()
         if self._pool is None:
             ctx = multiprocessing.get_context()
             self._pool = ctx.Pool(
@@ -192,7 +212,8 @@ class ParallelSoftermaxKernel:
                 initializer=_init_worker,
                 initargs=(self.config, self.block_rows, self.lpw_method),
             )
-            _LIVE_POOLS.append(self._pool)
+            self._pool_pid = os.getpid()
+            _LIVE_POOLS.append((self._pool_pid, self._pool))
         return self._pool
 
     def _dispatch(self, x2: np.ndarray) -> np.ndarray:
@@ -208,7 +229,22 @@ class ParallelSoftermaxKernel:
             tasks = [(shm_in.name, shm_out.name, rows, length,
                       int(bounds[i]), int(bounds[i + 1]))
                      for i in range(nw) if bounds[i] < bounds[i + 1]]
-            self._ensure_pool().map(_run_rows, tasks, chunksize=1)
+            try:
+                self._ensure_pool().map(_run_rows, tasks, chunksize=1)
+            except Exception:
+                # A worker failure (crashed process, poisoned task, a pool
+                # terminated behind our back) must not leave the memoized
+                # kernel holding a broken pool.  Tear it down, rebuild it
+                # once, and if the fresh pool fails too fall back to the
+                # in-process blocked engine -- same bits, no IPC.
+                self.close()
+                try:
+                    self._ensure_pool().map(_run_rows, tasks, chunksize=1)
+                except Exception:
+                    self.close()
+                    out = np.empty((rows, length), dtype=np.float64)
+                    self.blocked.forward_rows_into(x2, out)
+                    return out
             # Copy out before the segment is unlinked.
             out = np.array(np.ndarray((rows, length), dtype=np.float64,
                                       buffer=shm_out.buf))
@@ -221,14 +257,30 @@ class ParallelSoftermaxKernel:
 
 
 @lru_cache(maxsize=None)
+def _get_parallel_kernel(config: SoftermaxConfig, workers: int,
+                         block_rows: Optional[int],
+                         lpw_method: str) -> ParallelSoftermaxKernel:
+    return ParallelSoftermaxKernel(config, workers=workers,
+                                   block_rows=block_rows,
+                                   lpw_method=lpw_method)
+
+
 def get_parallel_kernel(config: SoftermaxConfig | None = None,
                         workers: Optional[int] = None,
                         block_rows: Optional[int] = None,
                         lpw_method: str = "endpoint") -> ParallelSoftermaxKernel:
-    """Memoized kernel factory: one pool per (config, workers, block_rows)."""
-    return ParallelSoftermaxKernel(config or DEFAULT_CONFIG, workers=workers,
-                                   block_rows=block_rows,
-                                   lpw_method=lpw_method)
+    """Memoized kernel factory: one pool per (config, workers, block_rows).
+
+    Arguments are normalized before the cache key (``config=None`` ->
+    :data:`DEFAULT_CONFIG`, ``workers=None`` -> :data:`DEFAULT_WORKERS`) so
+    spelling the default explicitly cannot create a second kernel -- and a
+    second worker pool -- for the same effective configuration.
+    """
+    workers = DEFAULT_WORKERS if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    return _get_parallel_kernel(config or DEFAULT_CONFIG, workers,
+                                block_rows, lpw_method)
 
 
 def parallel_softermax(

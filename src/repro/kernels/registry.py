@@ -20,8 +20,9 @@ implementations by string instead of importing them:
   budget.  Every candidate is bitwise-identical, so the choice only affects
   speed.
 
-Kernel names may carry options, e.g. ``"softermax-parallel(workers=4)"`` or
-``"softermax-blocked(block_rows=64)"``; the same options can be passed as
+Kernel names may carry options, e.g. ``"softermax-parallel(workers=4)"``,
+``"softermax-blocked(block_rows=64)"`` or string-valued knobs like
+``"softermax-blocked(lpw_method=lstsq)"``; the same options can be passed as
 keyword arguments to :func:`resolve_kernel` (keywords win on conflict).
 
 Every kernel resolves to a callable ``fn(x, axis=-1) -> probabilities``;
@@ -102,17 +103,21 @@ _KERNELS: Dict[str, KernelSpec] = {}
 _NAME_RE = re.compile(r"^(?P<base>[A-Za-z0-9_.-]+)(?:\((?P<opts>[^()]*)\))?$")
 
 
-def parse_kernel_name(name: str) -> Tuple[str, Dict[str, int]]:
+_IDENTIFIER_VALUE_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+def parse_kernel_name(name: str) -> Tuple[str, Dict[str, object]]:
     """Split ``"kernel(key=value, ...)"`` into ``(base, options)``.
 
-    Option values are integers (the engine knobs are worker and row
-    counts).  A bare name parses to ``(name, {})``.
+    Option values are integers (worker and row counts) or identifier-shaped
+    strings (e.g. ``lpw_method=lstsq``); anything else is a usage error.  A
+    bare name parses to ``(name, {})``.
     """
     match = _NAME_RE.match(name.strip())
     if not match:
         raise ValueError(f"malformed kernel name {name!r}")
     base = match.group("base")
-    options: Dict[str, int] = {}
+    options: Dict[str, object] = {}
     opts = match.group("opts")
     if opts:
         for item in opts.split(","):
@@ -123,12 +128,16 @@ def parse_kernel_name(name: str) -> Tuple[str, Dict[str, int]]:
                 raise ValueError(
                     f"malformed kernel option {item.strip()!r} in {name!r} "
                     "(expected key=value)")
+            value = value.strip()
             try:
                 options[key.strip()] = int(value)
             except ValueError:
-                raise ValueError(
-                    f"kernel option {key.strip()!r} in {name!r} must be an "
-                    f"integer, got {value.strip()!r}") from None
+                if not _IDENTIFIER_VALUE_RE.match(value):
+                    raise ValueError(
+                        f"kernel option {key.strip()!r} in {name!r} must be "
+                        f"an integer or an identifier, got {value!r}"
+                    ) from None
+                options[key.strip()] = value
     return base, options
 
 
@@ -236,18 +245,21 @@ class AdaptiveSoftermaxKernel:
 
     def __init__(self, config: SoftermaxConfig | None = None,
                  workers: Optional[int] = None,
-                 block_rows: Optional[int] = None) -> None:
+                 block_rows: Optional[int] = None,
+                 lpw_method: str = "endpoint") -> None:
         self.config = config or DEFAULT_CONFIG
         self.workers = workers
         self.block_rows = block_rows
+        self.lpw_method = lpw_method
 
     def _kernel_for(self, name: str):
         if name == "softermax-parallel":
             return get_parallel_kernel(self.config, self.workers,
-                                       self.block_rows)
+                                       self.block_rows, self.lpw_method)
         if name == "softermax-blocked":
-            return get_blocked_kernel(self.config, self.block_rows)
-        return get_fused_kernel(self.config)
+            return get_blocked_kernel(self.config, self.block_rows,
+                                      self.lpw_method)
+        return get_fused_kernel(self.config, self.lpw_method)
 
     def _choose(self, x: np.ndarray, axis: int) -> str:
         length = x.shape[axis] if x.ndim else 0
@@ -297,45 +309,50 @@ register_kernel(KernelSpec(
 ))
 register_kernel(KernelSpec(
     name="softermax-fused",
-    factory=lambda config: get_fused_kernel(config).__call__,
+    factory=lambda config, lpw_method="endpoint":
+        get_fused_kernel(config, lpw_method).__call__,
     description="fused whole-tensor Softermax (bitwise-identical, latency path)",
     bit_accurate=True,
     selection=f"auto: below {AUTO_BLOCKED_MIN_ELEMENTS} elements",
-    runner_factory=lambda config: get_fused_kernel(config),
+    runner_factory=lambda config, lpw_method="endpoint":
+        get_fused_kernel(config, lpw_method),
 ))
 register_kernel(KernelSpec(
     name="softermax-blocked",
-    factory=lambda config, block_rows=None:
-        get_blocked_kernel(config, block_rows).__call__,
+    factory=lambda config, block_rows=None, lpw_method="endpoint":
+        get_blocked_kernel(config, block_rows, lpw_method).__call__,
     description="row-blocked streaming Softermax with reusable scratch "
                 "(bitwise-identical, bandwidth path)",
     bit_accurate=True,
     selection=f"auto: >= {AUTO_BLOCKED_MIN_ELEMENTS} elements "
               "(single worker); block_rows=N overrides the adaptive block",
-    runner_factory=lambda config, block_rows=None:
-        get_blocked_kernel(config, block_rows),
+    runner_factory=lambda config, block_rows=None, lpw_method="endpoint":
+        get_blocked_kernel(config, block_rows, lpw_method),
 ))
 register_kernel(KernelSpec(
     name="softermax-parallel",
-    factory=lambda config, workers=None, block_rows=None:
-        get_parallel_kernel(config, workers, block_rows).__call__,
+    factory=lambda config, workers=None, block_rows=None, lpw_method="endpoint":
+        get_parallel_kernel(config, workers, block_rows, lpw_method).__call__,
     description="row blocks fanned out over a shared-memory worker pool "
                 "(bitwise-identical, multicore path)",
     bit_accurate=True,
     selection=f"auto: >= {AUTO_PARALLEL_MIN_ELEMENTS} elements when "
               "workers > 1; workers=N sets the pool size (default cpu count)",
-    runner_factory=lambda config, workers=None, block_rows=None:
-        get_parallel_kernel(config, workers, block_rows),
+    runner_factory=lambda config, workers=None, block_rows=None,
+                          lpw_method="endpoint":
+        get_parallel_kernel(config, workers, block_rows, lpw_method),
 ))
 register_kernel(KernelSpec(
     name="softermax-adaptive",
-    factory=lambda config, workers=None, block_rows=None:
-        AdaptiveSoftermaxKernel(config, workers, block_rows),
+    factory=lambda config, workers=None, block_rows=None,
+                   lpw_method="endpoint":
+        AdaptiveSoftermaxKernel(config, workers, block_rows, lpw_method),
     description="per-call dispatch: fused / blocked / parallel by tensor size",
     bit_accurate=True,
     selection="the auto alias; dispatches on rows x length per call",
-    runner_factory=lambda config, workers=None, block_rows=None:
-        AdaptiveSoftermaxKernel(config, workers, block_rows),
+    runner_factory=lambda config, workers=None, block_rows=None,
+                          lpw_method="endpoint":
+        AdaptiveSoftermaxKernel(config, workers, block_rows, lpw_method),
 ))
 register_kernel(KernelSpec(
     name="ibert",

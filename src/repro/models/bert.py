@@ -117,7 +117,8 @@ class BertEncoderModel(Module):
         )
 
     def forward(self, input_ids: np.ndarray,
-                attention_mask: Optional[np.ndarray] = None) -> Tensor:
+                attention_mask: Optional[np.ndarray] = None,
+                exact_mask: bool = False) -> Tensor:
         input_ids = np.asarray(input_ids, dtype=np.int64)
         batch, seq_len = input_ids.shape
         if seq_len > self.config.max_seq_len:
@@ -127,7 +128,54 @@ class BertEncoderModel(Module):
         positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
         hidden = self.token_embedding(input_ids) + self.position_embedding(positions)
         hidden = self.embedding_dropout(self.embedding_norm(hidden))
-        return self.encoder(hidden, attention_mask)
+        return self.encoder(hidden, attention_mask, exact_mask=exact_mask)
+
+    def encode_ragged(self, sequences, pad_id: int = 0) -> list:
+        """Encode a batch of variable-length token sequences in one pass.
+
+        The serving entry point: sequences are padded to the longest length
+        in the batch, run through the encoder as a single batched forward
+        with *exact* attention masking (padded keys carry exactly zero
+        probability, each sequence's softmax runs over only its valid
+        prefix), and the per-sequence hidden states are sliced back out.
+
+        Because every per-token operation is row-independent and the exact
+        mask excludes padding from the attention reduction, the returned
+        hidden states are **bitwise identical** to encoding each sequence
+        alone -- coalescing requests into a batch is a pure throughput
+        optimization.  Requires eval mode (the autograd-free masked
+        attention path).
+
+        Returns a list of ``(length_i, hidden_dim)`` float64 arrays, one per
+        input sequence.
+        """
+        if self.training:
+            raise RuntimeError(
+                "encode_ragged is an inference entry point; call eval() first")
+        if len(sequences) == 0:
+            return []
+        lengths = [len(seq) for seq in sequences]
+        if min(lengths) < 1:
+            raise ValueError("every sequence must contain at least one token")
+        if max(lengths) > self.config.max_seq_len:
+            raise ValueError(
+                f"sequence length {max(lengths)} exceeds max_seq_len "
+                f"{self.config.max_seq_len}")
+        # Pad width floor of 2: a width-1 batch would route the per-token
+        # GEMMs through BLAS's single-row (gemv) path, whose accumulation
+        # differs from the gemm path used at any other width -- which would
+        # break bitwise transparency between a solo length-1 request and the
+        # same request inside a wider batch.
+        max_len = max(2, *lengths)
+        batch = len(sequences)
+        input_ids = np.full((batch, max_len), pad_id, dtype=np.int64)
+        mask = np.zeros((batch, max_len), dtype=np.float64)
+        for i, seq in enumerate(sequences):
+            input_ids[i, :lengths[i]] = np.asarray(seq, dtype=np.int64)
+            mask[i, :lengths[i]] = 1.0
+        hidden = self.forward(input_ids, mask, exact_mask=True).data
+        return [np.array(hidden[i, :length]) for i, length in
+                enumerate(lengths)]
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
                             kernel: str = "auto",

@@ -111,7 +111,8 @@ class MultiHeadSelfAttention(Module):
         # (batch, heads, seq, head_dim) -> (batch, seq, hidden)
         return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_dim)
 
-    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
+                exact_mask: bool = False) -> Tensor:
         """Apply self-attention.
 
         Parameters
@@ -122,12 +123,36 @@ class MultiHeadSelfAttention(Module):
             Optional boolean/0-1 array of shape ``(batch, seq_len)`` where 1
             marks valid tokens.  Masked (padding) positions receive a large
             negative score before the softmax.
+        exact_mask:
+            Inference-only alternative masking scheme for ragged batches:
+            instead of an additive penalty (which leaves padded keys a tiny
+            but nonzero probability), padded keys are excluded *exactly* --
+            each sequence's softmax runs over only its valid prefix, so a
+            request's attention output is bitwise identical whether it rides
+            alone or inside a coalesced padded batch.  Requires a
+            right-padded prefix mask and eval mode.
         """
         batch, seq_len, _ = hidden.shape
 
         q = self._split_heads(self.query(hidden), batch, seq_len)
         k = self._split_heads(self.key(hidden), batch, seq_len)
         v = self._split_heads(self.value(hidden), batch, seq_len)
+
+        if exact_mask and attention_mask is not None:
+            if self.training:
+                raise RuntimeError(
+                    "exact masking is an inference-only path (it bypasses "
+                    "the autograd graph); call eval() first")
+            mask = np.asarray(attention_mask, dtype=np.float64)
+            if mask.shape != (batch, seq_len):
+                raise ValueError(
+                    f"attention_mask shape {mask.shape} does not match "
+                    f"(batch, seq)={batch, seq_len}")
+            lengths = F.prefix_mask_lengths(mask)
+            context = Tensor(self._exact_masked_attention(
+                q.data, k.data, v.data, lengths))
+            merged = self._merge_heads(context, batch, seq_len)
+            return self.output(merged)
 
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / np.sqrt(self.head_dim))
 
@@ -150,3 +175,30 @@ class MultiHeadSelfAttention(Module):
         context = probs @ v
         merged = self._merge_heads(context, batch, seq_len)
         return self.output(merged)
+
+    def _exact_masked_attention(self, q: np.ndarray, k: np.ndarray,
+                                v: np.ndarray,
+                                lengths: np.ndarray) -> np.ndarray:
+        """Length-grouped attention with padded keys excluded exactly.
+
+        Sequences are grouped by valid length; each group's scores, softmax
+        and context are computed on the ``[:length]`` slices only, in one
+        kernel call per group.  Per-sequence results are therefore bitwise
+        identical to running that sequence alone (rows are independent in
+        every bit-accurate kernel, and the per-(batch, head) GEMM operands
+        have identical shapes either way).  Padded positions come back as
+        exact zeros.
+        """
+        scale = 1.0 / np.sqrt(self.head_dim)
+        context = np.zeros_like(v)
+        for length in np.unique(lengths):
+            idx = np.nonzero(lengths == length)[0]
+            qb = np.ascontiguousarray(q[idx][:, :, :length, :])
+            kb = np.ascontiguousarray(k[idx][:, :, :length, :])
+            vb = np.ascontiguousarray(v[idx][:, :, :length, :])
+            scores = (qb @ kb.swapaxes(-1, -2)) * scale
+            probs = self.softmax_variant.forward_fn(scores)
+            ctx = probs @ vb
+            for j, b in enumerate(idx):
+                context[b, :, :length, :] = ctx[j]
+        return context

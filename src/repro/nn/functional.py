@@ -78,6 +78,29 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     return out
 
 
+def prefix_mask_lengths(mask: np.ndarray) -> np.ndarray:
+    """Per-sequence valid-token counts of a right-padded attention mask.
+
+    The exact-masking attention path excludes padded keys *exactly* (their
+    probability is zero by construction, not an additive penalty), which is
+    only well-defined when every sequence is a prefix of valid tokens
+    followed by padding.  Raises :class:`ValueError` for interior holes,
+    non-0/1 values, or all-padding rows.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    lengths = np.rint(mask.sum(axis=-1)).astype(np.int64)
+    expected = (np.arange(mask.shape[-1]) < lengths[..., None]).astype(
+        np.float64)
+    if not np.array_equal(mask, expected):
+        raise ValueError(
+            "exact masking requires right-padded 0/1 prefix masks "
+            "(all 1s followed by all 0s per sequence)")
+    if (lengths < 1).any():
+        raise ValueError("exact masking requires at least one valid token "
+                         "per sequence")
+    return lengths
+
+
 # --------------------------------------------------------------------------- #
 # softmax variants (the pluggable attention softmax)
 # --------------------------------------------------------------------------- #

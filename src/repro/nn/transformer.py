@@ -62,8 +62,9 @@ class TransformerLayer(Module):
         self.output_norm = LayerNorm(hidden_dim)
         self.output_dropout = Dropout(dropout, seed=seed)
 
-    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
-        attended = self.attention(hidden, attention_mask)
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
+                exact_mask: bool = False) -> Tensor:
+        attended = self.attention(hidden, attention_mask, exact_mask=exact_mask)
         hidden = self.attention_norm(hidden + self.attention_dropout(attended))
         transformed = self.feed_forward(hidden)
         hidden = self.output_norm(hidden + self.output_dropout(transformed))
@@ -104,9 +105,10 @@ class TransformerEncoder(Module):
             self.add_module(f"layer_{i}", layer)
             self.layers.append(layer)
 
-    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None) -> Tensor:
+    def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
+                exact_mask: bool = False) -> Tensor:
         for layer in self.layers:
-            hidden = layer(hidden, attention_mask)
+            hidden = layer(hidden, attention_mask, exact_mask=exact_mask)
         return hidden
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,

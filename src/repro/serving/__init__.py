@@ -1,0 +1,49 @@
+"""Dynamic-batching inference serving on the adaptive Softermax engine.
+
+``repro.kernels`` makes a single softmax call fast; this subpackage turns
+single-tensor calls into a *served* workload, the regime the Softermax
+paper targets (transformer inference at datacenter request rates):
+
+* :mod:`repro.serving.batcher` -- the dynamic micro-batcher: a bounded
+  request queue plus ``max_batch_size`` / ``max_wait_ms`` coalescing.
+* :mod:`repro.serving.service` -- :class:`InferenceService`: accepts
+  per-request token sequences, coalesces them into padded batches, runs
+  them through the BERT encoder / adaptive Softermax kernel as one
+  forward, and returns per-request results.
+* :mod:`repro.serving.cache` -- the LRU response cache.
+* :mod:`repro.serving.stats` -- latency/throughput accounting (p50/p99,
+  req/s, batch-size distribution).
+
+The load-bearing guarantee is **bit-transparency**: a request's answer is
+bitwise identical whether it rode alone or inside a coalesced batch (see
+:meth:`repro.models.bert.BertEncoderModel.encode_ragged`), so batching is
+purely a throughput knob and the response cache can never serve a value
+that differs from a fresh computation.
+"""
+
+from repro.serving.batcher import (
+    MicroBatcher,
+    PendingRequest,
+    QueueFullError,
+    ServiceClosedError,
+)
+from repro.serving.cache import LRUCache
+from repro.serving.service import (
+    InferenceService,
+    ServiceConfig,
+    build_encoder_service,
+)
+from repro.serving.stats import LatencyStats, percentile
+
+__all__ = [
+    "MicroBatcher",
+    "PendingRequest",
+    "QueueFullError",
+    "ServiceClosedError",
+    "LRUCache",
+    "InferenceService",
+    "ServiceConfig",
+    "build_encoder_service",
+    "LatencyStats",
+    "percentile",
+]

@@ -1,0 +1,195 @@
+"""Dynamic micro-batching: a bounded request queue with time/size coalescing.
+
+The batcher is the heart of the serving layer's throughput win: requests
+arriving within a short window are coalesced into one padded batch so the
+encoder (and the adaptive Softermax kernel under it) amortizes per-call
+overhead over many requests.  Policy:
+
+* a batch closes as soon as it holds ``max_batch_size`` requests, or
+* ``max_wait_ms`` after its *first* request was dequeued, whichever comes
+  first -- so a lone request never waits longer than the coalescing window,
+  and a burst never waits at all.
+
+The queue is bounded (``max_queue_depth``); when it is full, ``submit``
+raises :class:`QueueFullError` immediately instead of buffering without
+limit -- backpressure is the caller's signal to shed load.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import List, Optional, Tuple
+
+
+class QueueFullError(RuntimeError):
+    """The bounded request queue is full (shed load or retry later)."""
+
+
+class ServiceClosedError(RuntimeError):
+    """The service/batcher has been stopped and accepts no new requests."""
+
+
+class PendingRequest:
+    """A submitted request: token key plus a completion slot.
+
+    A minimal future: the worker thread completes it with
+    :meth:`set_result` / :meth:`set_exception`, the submitting thread
+    blocks in :meth:`result`.
+    """
+
+    __slots__ = ("key", "submitted_at", "cached", "_event", "_result",
+                 "_exception")
+
+    def __init__(self, key: Tuple[int, ...],
+                 clock=time.perf_counter) -> None:
+        self.key = key
+        self.submitted_at = clock()
+        self.cached = False
+        self._event = threading.Event()
+        self._result = None
+        self._exception: Optional[BaseException] = None
+
+    def set_result(self, value) -> None:
+        self._result = value
+        self._event.set()
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._exception = exc
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block until completed; raises the worker's exception if any."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"request not completed within {timeout} seconds")
+        if self._exception is not None:
+            raise self._exception
+        return self._result
+
+
+#: Queue sentinel that unblocks the worker on close.
+_CLOSED = object()
+
+
+class MicroBatcher:
+    """Bounded queue + size/deadline coalescing into micro-batches.
+
+    Parameters
+    ----------
+    max_batch_size:
+        Largest batch handed to the model in one forward.
+    max_wait_ms:
+        Longest a dequeued request waits for companions before its batch
+        closes.  ``0`` disables coalescing-by-time: a batch is whatever is
+        already queued at dequeue time.
+    max_queue_depth:
+        Bound on queued (not yet dequeued) requests; beyond it ``submit``
+        raises :class:`QueueFullError`.
+    """
+
+    def __init__(self, max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 max_queue_depth: int = 1024) -> None:
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue_depth)
+        self._closed = threading.Event()
+        # Serializes submit against close: without it, a submitter that
+        # passed the closed-check could be preempted, have close() + a
+        # final drain run to completion, then enqueue into the dead
+        # batcher -- a request nothing would ever complete.
+        self._submit_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    def depth(self) -> int:
+        """Approximate number of queued, not yet dequeued requests."""
+        return self._queue.qsize()
+
+    def submit(self, request: PendingRequest) -> None:
+        """Enqueue a request; raises on a full queue or a closed batcher."""
+        with self._submit_lock:
+            if self.closed:
+                raise ServiceClosedError("batcher is closed")
+            try:
+                self._queue.put_nowait(request)
+            except queue.Full:
+                raise QueueFullError(
+                    f"request queue is full ({self._queue.maxsize} pending)"
+                ) from None
+
+    def next_batch(self, timeout: Optional[float] = None
+                   ) -> List[PendingRequest]:
+        """Dequeue the next micro-batch (worker-thread side).
+
+        Blocks up to ``timeout`` seconds for the first request (forever
+        when ``None``); returns ``[]`` on timeout or when the batcher is
+        closed and drained.  Once a first request arrives, keeps coalescing
+        until the batch is full or ``max_wait_ms`` has passed.
+        """
+        try:
+            first = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return []
+        if first is _CLOSED:
+            return []
+        batch = [first]
+        deadline = time.perf_counter() + self.max_wait_ms / 1e3
+        while len(batch) < self.max_batch_size:
+            remaining = deadline - time.perf_counter()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _CLOSED:
+                break
+            batch.append(item)
+        return batch
+
+    def drain(self) -> List[PendingRequest]:
+        """Remove and return everything still queued (used on shutdown)."""
+        drained = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return drained
+            if item is not _CLOSED:
+                drained.append(item)
+
+    def close(self) -> None:
+        """Stop accepting requests and unblock a waiting worker.
+
+        Taking the submit lock guarantees that once ``close()`` returns, no
+        in-flight ``submit`` can still land a request: every submitter has
+        either enqueued already (a later ``drain()`` will see it) or will
+        observe ``closed`` and raise.
+        """
+        with self._submit_lock:
+            if self._closed.is_set():
+                return
+            self._closed.set()
+            try:
+                # Sentinel wakes a worker blocked in next_batch.  On a full
+                # queue the sentinel is dropped -- workers must therefore
+                # poll with a finite timeout and re-check ``closed`` (the
+                # service worker loop does).
+                self._queue.put_nowait(_CLOSED)
+            except queue.Full:
+                pass

@@ -1,0 +1,84 @@
+"""Thread-safe LRU response cache for the inference service.
+
+Because batching is bit-transparent (a request's answer does not depend on
+which batch it rode in), a cached response is *exactly* the response a
+fresh computation would produce -- caching never changes served bits, only
+latency.  Values are stored once and copied out on every hit so callers
+can never corrupt the cache through the arrays they receive.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+import numpy as np
+
+
+class LRUCache:
+    """A bounded mapping evicting the least-recently-used entry.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; ``0`` disables the cache entirely
+        (every ``get`` misses, ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Return a copy of the cached value, or ``None`` on a miss."""
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value.copy()
+
+    def put(self, key: Hashable, value: np.ndarray) -> None:
+        """Insert (or refresh) an entry, evicting the oldest if full."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = np.asarray(value).copy()
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when never queried)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "size": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }

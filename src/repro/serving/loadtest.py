@@ -1,0 +1,185 @@
+"""Synthetic open-loop load generator for the inference service.
+
+One knob matters for the headline: ``batch_size``.  The same open-loop
+client (submit the whole request set up front, wait for everything) is run
+against a service configured with ``max_batch_size=1`` (sequential
+single-request serving -- the worker computes one request per forward) and
+``max_batch_size=N`` (dynamic batching); the throughput ratio is the
+serving layer's win.  Both the ``loadtest`` CLI command and
+``benchmarks/bench_serving.py`` drive this module, so the demonstrated and
+the recorded numbers come from the same harness.
+
+The default workload models the short-query regime serving optimizes for
+(classification/QA-style requests of 8-16 tokens); request sets are unique
+by default and the response cache is disabled so the measured win is pure
+batching, not memoization.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.service import InferenceService, ServiceConfig, \
+    build_encoder_service
+
+#: Default synthetic workload: short-query lengths (inclusive bounds).
+DEFAULT_MIN_TOKENS = 8
+DEFAULT_MAX_TOKENS = 16
+
+
+@dataclass(frozen=True)
+class LoadtestResult:
+    """One measured serving configuration."""
+
+    batch_size: int
+    max_wait_ms: float
+    requests: int
+    elapsed_seconds: float
+    requests_per_second: float
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+    mean_batch_size: Optional[float]
+    cache_hit_rate: float
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def synthetic_requests(
+    num_requests: int,
+    min_tokens: int = DEFAULT_MIN_TOKENS,
+    max_tokens: int = DEFAULT_MAX_TOKENS,
+    vocab_size: int = 32,
+    seed: int = 0,
+    duplicate_fraction: float = 0.0,
+) -> List[Tuple[int, ...]]:
+    """Generate a deterministic synthetic request set.
+
+    ``duplicate_fraction`` > 0 resubmits earlier requests (uniformly) for
+    that fraction of the set, to exercise the response cache and in-batch
+    deduplication; the default of 0 keeps every request unique.
+    """
+    if not 1 <= min_tokens <= max_tokens:
+        raise ValueError("need 1 <= min_tokens <= max_tokens")
+    if not 0.0 <= duplicate_fraction <= 1.0:
+        raise ValueError("duplicate_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    requests: List[Tuple[int, ...]] = []
+    for i in range(num_requests):
+        if requests and rng.random() < duplicate_fraction:
+            requests.append(requests[int(rng.integers(len(requests)))])
+            continue
+        length = int(rng.integers(min_tokens, max_tokens + 1))
+        # Token 0 is the pad id; keep synthetic tokens clear of it.
+        requests.append(tuple(
+            int(t) for t in rng.integers(1, vocab_size, size=length)))
+    return requests
+
+
+def run_loadtest(
+    requests: Sequence[Tuple[int, ...]],
+    batch_size: int,
+    max_wait_ms: float = 2.0,
+    cache_size: int = 0,
+    service: Optional[InferenceService] = None,
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    kernel_options: Optional[dict] = None,
+    seed: int = 0,
+    timeout: float = 300.0,
+) -> LoadtestResult:
+    """Open-loop run: submit every request up front, wait for all results.
+
+    Builds a fresh encoder service unless ``service`` is supplied (the
+    caller then owns its lifecycle and the batching knobs are read from
+    it).  Returns the measured :class:`LoadtestResult`.
+    """
+    if not requests:
+        raise ValueError("run_loadtest needs a non-empty request set")
+    own_service = service is None
+    if own_service:
+        config = ServiceConfig(max_batch_size=batch_size,
+                               max_wait_ms=max_wait_ms,
+                               max_queue_depth=len(requests) + 1,
+                               cache_size=cache_size)
+        service = build_encoder_service(model_name=model_name, kernel=kernel,
+                                        kernel_options=kernel_options,
+                                        seed=seed, config=config)
+    else:
+        batch_size = service.config.max_batch_size
+        max_wait_ms = service.config.max_wait_ms
+    try:
+        if own_service:
+            service.start()
+        # Warm the kernel LUTs/pools outside the timed window.
+        service.infer(requests[0], timeout=timeout)
+        service.cache.clear()
+        service.stats.start()
+        start = time.perf_counter()
+        pending = [service.submit(tokens) for tokens in requests]
+        for request in pending:
+            request.result(timeout)
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        snap = service.snapshot()
+    finally:
+        if own_service:
+            service.stop()
+    return LoadtestResult(
+        batch_size=batch_size,
+        max_wait_ms=max_wait_ms,
+        requests=len(requests),
+        elapsed_seconds=round(elapsed, 4),
+        requests_per_second=round(len(requests) / elapsed, 1),
+        p50_ms=snap["p50_ms"],
+        p99_ms=snap["p99_ms"],
+        mean_batch_size=snap["mean_batch_size"],
+        cache_hit_rate=snap["cache"]["hit_rate"],
+    )
+
+
+def batched_vs_sequential(
+    num_requests: int = 512,
+    batch_size: int = 32,
+    max_wait_ms: float = 2.0,
+    min_tokens: int = DEFAULT_MIN_TOKENS,
+    max_tokens: int = DEFAULT_MAX_TOKENS,
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    seed: int = 0,
+    duplicate_fraction: float = 0.0,
+    cache_size: int = 0,
+) -> dict:
+    """The acceptance comparison: one workload, two batching configs.
+
+    Returns a payload with the sequential (``max_batch_size=1``) and
+    batched results plus their throughput ratio.
+    """
+    requests = synthetic_requests(num_requests, min_tokens, max_tokens,
+                                  seed=seed,
+                                  duplicate_fraction=duplicate_fraction)
+    sequential = run_loadtest(requests, batch_size=1, max_wait_ms=0.0,
+                              cache_size=cache_size, model_name=model_name,
+                              kernel=kernel, seed=seed)
+    batched = run_loadtest(requests, batch_size=batch_size,
+                           max_wait_ms=max_wait_ms, cache_size=cache_size,
+                           model_name=model_name, kernel=kernel, seed=seed)
+    ratio = (batched.requests_per_second
+             / max(sequential.requests_per_second, 1e-9))
+    return {
+        "workload": {
+            "requests": num_requests,
+            "min_tokens": min_tokens,
+            "max_tokens": max_tokens,
+            "duplicate_fraction": duplicate_fraction,
+            "model": model_name,
+            "kernel": kernel,
+            "seed": seed,
+        },
+        "sequential": sequential.as_dict(),
+        "batched": batched.as_dict(),
+        "speedup_batched_vs_sequential": round(ratio, 2),
+    }

@@ -1,0 +1,251 @@
+"""The dynamic-batching inference service.
+
+:class:`InferenceService` glues the pieces together: callers submit token
+sequences from any thread; a single worker thread pulls coalesced
+micro-batches from the :class:`~repro.serving.batcher.MicroBatcher`, runs
+them through the encoder's ragged-batch entry point
+(:meth:`~repro.models.bert.BertEncoderModel.encode_ragged` -- padding,
+exact attention masking, one adaptive-Softermax forward per batch) and
+completes each request with its own slice of the result.
+
+Correctness properties the test suite pins:
+
+* **Bit-transparency** -- a response is bitwise identical whether the
+  request rode alone, in a batch, or was served from cache.
+* **Deduplication** -- identical concurrent requests are computed once per
+  batch and each waiter gets its own copy.
+* **Isolation** -- a worker failure fails the affected requests with the
+  underlying exception; it does not wedge the service.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serving.batcher import (
+    MicroBatcher,
+    PendingRequest,
+    ServiceClosedError,
+)
+from repro.serving.cache import LRUCache
+from repro.serving.stats import LatencyStats
+
+#: Worker poll interval: how often an idle worker re-checks for shutdown.
+_IDLE_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the dynamic batcher and response cache."""
+
+    max_batch_size: int = 32
+    max_wait_ms: float = 2.0
+    max_queue_depth: int = 1024
+    cache_size: int = 1024
+    pad_id: int = 0
+
+
+class InferenceService:
+    """Dynamic-batching front end over a ragged-batch encoder.
+
+    Parameters
+    ----------
+    model:
+        Any object exposing ``encode_ragged(sequences, pad_id) -> list of
+        per-sequence arrays`` and (optionally) ``eval()`` -- in practice a
+        :class:`~repro.models.bert.BertEncoderModel`.  The model is
+        switched to eval mode at construction: serving is inference, and
+        the exact-masking path that makes batching bit-transparent requires
+        it.
+    config:
+        Batching/caching knobs (:class:`ServiceConfig`).
+    """
+
+    def __init__(self, model, config: ServiceConfig = ServiceConfig()) -> None:
+        if config.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        self.model = model
+        self.config = config
+        if hasattr(model, "eval"):
+            model.eval()
+        self.batcher = MicroBatcher(max_batch_size=config.max_batch_size,
+                                    max_wait_ms=config.max_wait_ms,
+                                    max_queue_depth=config.max_queue_depth)
+        self.cache = LRUCache(config.cache_size)
+        self.stats = LatencyStats()
+        self._worker: Optional[threading.Thread] = None
+        self._stopping = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "InferenceService":
+        if self._worker is not None:
+            raise RuntimeError("service already started")
+        if self.batcher.closed:
+            # Restart after stop(): the old batcher is closed and drained,
+            # so a fresh one makes the service reusable.
+            self.batcher = MicroBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.max_wait_ms,
+                max_queue_depth=self.config.max_queue_depth)
+        self._stopping.clear()
+        self.stats.start()
+        self._worker = threading.Thread(target=self._serve_loop,
+                                        name="inference-service-worker",
+                                        daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the worker; pending requests fail with ServiceClosedError."""
+        if self._worker is None:
+            return
+        self._stopping.set()
+        self.batcher.close()
+        self._worker.join()
+        self._worker = None
+        for request in self.batcher.drain():
+            request.set_exception(ServiceClosedError("service stopped"))
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+    def submit(self, tokens: Sequence[int]) -> PendingRequest:
+        """Enqueue one request; returns a waitable :class:`PendingRequest`.
+
+        Cache hits complete immediately without touching the queue.  A full
+        queue raises :class:`~repro.serving.batcher.QueueFullError` --
+        backpressure, not silent buffering.
+        """
+        if self._worker is None:
+            raise ServiceClosedError("service is not running")
+        key = self._validate(tokens)
+        request = PendingRequest(key)
+        cached = self.cache.get(key)
+        if cached is not None:
+            request.cached = True
+            request.set_result(cached)
+            self.stats.record(0.0, cached=True)
+            return request
+        self.batcher.submit(request)
+        return request
+
+    def infer(self, tokens: Sequence[int],
+              timeout: Optional[float] = 30.0) -> np.ndarray:
+        """Synchronous submit + wait; returns the per-token hidden states."""
+        return self.submit(tokens).result(timeout)
+
+    def infer_many(self, sequences: Iterable[Sequence[int]],
+                   timeout: Optional[float] = 30.0) -> List[np.ndarray]:
+        """Submit a burst of requests, then wait for all of them."""
+        pending = [self.submit(tokens) for tokens in sequences]
+        return [request.result(timeout) for request in pending]
+
+    def snapshot(self) -> dict:
+        """Service-level stats: latency percentiles, req/s, cache, queue."""
+        snap = self.stats.snapshot()
+        snap["cache"] = self.cache.stats()
+        snap["queue_depth"] = self.batcher.depth()
+        snap["max_batch_size"] = self.config.max_batch_size
+        snap["max_wait_ms"] = self.config.max_wait_ms
+        return snap
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def _validate(self, tokens: Sequence[int]) -> Tuple[int, ...]:
+        key = tuple(int(t) for t in tokens)
+        if not key:
+            raise ValueError("a request must contain at least one token")
+        model_config = getattr(self.model, "config", None)
+        max_seq_len = getattr(model_config, "max_seq_len", None)
+        if max_seq_len is not None and len(key) > max_seq_len:
+            raise ValueError(
+                f"request length {len(key)} exceeds max_seq_len {max_seq_len}")
+        # Reject out-of-vocabulary ids at submit time: a negative id would
+        # silently wrap through numpy indexing into the wrong embedding row
+        # (and poison the cache), and an overlarge one would blow up inside
+        # the worker, failing every innocent request in the same batch.
+        vocab_size = getattr(model_config, "vocab_size", None)
+        if vocab_size is not None:
+            bad = [t for t in key if not 0 <= t < vocab_size]
+            if bad:
+                raise ValueError(
+                    f"token ids {bad[:4]} outside the model vocabulary "
+                    f"[0, {vocab_size})")
+        return key
+
+    def _serve_loop(self) -> None:
+        while not (self._stopping.is_set() and self.batcher.depth() == 0):
+            batch = self.batcher.next_batch(timeout=_IDLE_POLL_SECONDS)
+            if not batch:
+                if self._stopping.is_set():
+                    return
+                continue
+            self._execute(batch)
+
+    def _execute(self, batch: List[PendingRequest]) -> None:
+        # Identical concurrent requests ride the batch once: encode each
+        # distinct key a single time, answer every waiter with its own copy.
+        unique: "dict[Tuple[int, ...], int]" = {}
+        for request in batch:
+            unique.setdefault(request.key, len(unique))
+        keys = list(unique)
+        try:
+            outputs = self.model.encode_ragged(
+                [list(key) for key in keys], pad_id=self.config.pad_id)
+        except Exception as exc:  # noqa: BLE001 - forwarded to the callers
+            for request in batch:
+                request.set_exception(exc)
+            return
+        self.stats.record_batch(len(batch))
+        for key, hidden in zip(keys, outputs):
+            self.cache.put(key, hidden)
+        by_key = dict(zip(keys, outputs))
+        for request in batch:
+            request.set_result(by_key[request.key].copy())
+            self.stats.record(time.perf_counter() - request.submitted_at)
+
+
+def build_encoder_service(
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    kernel_options: Optional[dict] = None,
+    seed: int = 0,
+    config: ServiceConfig = ServiceConfig(),
+):
+    """Construct an :class:`InferenceService` over a Softermax BERT encoder.
+
+    The encoder runs the bit-accurate Softermax attention (``"softermax"``
+    variant) through the requested kernel -- ``"auto"`` resolves to the
+    adaptive fused/blocked/parallel dispatcher, which is the configuration
+    the serving benchmarks record.
+    """
+    from repro.models import BertConfig
+    from repro.models.bert import BertEncoderModel
+
+    if model_name == "tiny-large":
+        model_config = BertConfig.tiny_large()
+    elif model_name == "tiny-base":
+        model_config = BertConfig.tiny_base()
+    else:
+        raise ValueError(
+            f"unknown serving model {model_name!r}; choose tiny-base or "
+            "tiny-large (the published geometries are cost-model "
+            "descriptors, not runnable NumPy models)")
+    model = BertEncoderModel(model_config, softmax_variant="softermax",
+                             kernel=kernel, kernel_options=kernel_options,
+                             seed=seed).eval()
+    return InferenceService(model, config)

@@ -1,0 +1,104 @@
+"""Latency and throughput accounting for the inference service.
+
+Latencies are kept in a bounded sliding window (the service is meant to
+run indefinitely; unbounded accumulation would be a slow leak), while the
+request/batch counters are exact over the service lifetime.  Percentiles
+use the nearest-rank method on the window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional, Sequence
+
+#: Default sliding-window size for latency percentiles.
+DEFAULT_WINDOW = 4096
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be in [0, 100]")
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    ordered = sorted(values)
+    rank = max(1, int(-(-q / 100.0 * len(ordered) // 1)))  # ceil, 1-based
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyStats:
+    """Sliding-window latency tracker with lifetime throughput counters."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW,
+                 clock=time.perf_counter) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self._latencies = deque(maxlen=window)
+        self._lock = threading.Lock()
+        self._clock = clock
+        self.started_at: Optional[float] = None
+        self.completed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.cache_hits = 0
+
+    def start(self) -> None:
+        """Begin a fresh measurement interval.
+
+        Resets the latency window and every counter along with the
+        throughput clock, so samples recorded before ``start()`` (e.g. a
+        warmup request) can never leak into the reported percentiles.
+        """
+        with self._lock:
+            self.started_at = self._clock()
+            self._latencies.clear()
+            self.completed = 0
+            self.batches = 0
+            self.batched_requests = 0
+            self.cache_hits = 0
+
+    def record(self, latency_seconds: float, cached: bool = False) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self._latencies.append(latency_seconds)
+            self.completed += 1
+            if cached:
+                self.cache_hits += 1
+
+    def record_batch(self, size: int) -> None:
+        """Record one executed micro-batch of ``size`` requests."""
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+
+    def snapshot(self) -> dict:
+        """Current p50/p99/mean latency (ms), req/s and batch shape."""
+        with self._lock:
+            latencies = list(self._latencies)
+            elapsed = (self._clock() - self.started_at
+                       if self.started_at is not None else None)
+            completed = self.completed
+            batches = self.batches
+            batched = self.batched_requests
+            cache_hits = self.cache_hits
+        snap = {
+            "completed": completed,
+            "cache_hits": cache_hits,
+            "batches": batches,
+            "mean_batch_size": round(batched / batches, 2) if batches else None,
+            "p50_ms": None,
+            "p99_ms": None,
+            "mean_ms": None,
+            "max_ms": None,
+            "requests_per_second": None,
+        }
+        if latencies:
+            snap["p50_ms"] = round(percentile(latencies, 50.0) * 1e3, 3)
+            snap["p99_ms"] = round(percentile(latencies, 99.0) * 1e3, 3)
+            snap["mean_ms"] = round(sum(latencies) / len(latencies) * 1e3, 3)
+            snap["max_ms"] = round(max(latencies) * 1e3, 3)
+        if elapsed is not None and elapsed > 0:
+            snap["requests_per_second"] = round(completed / elapsed, 1)
+        return snap

@@ -15,6 +15,8 @@ width, single-row blocks, and more workers than rows.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -237,6 +239,163 @@ def test_parallel_matches_oracle_through_worker_path(rng, paper_config):
     x = rng.normal(0.0, 6.0, size=(3, 5, 40))
     assert np.array_equal(kernel(x), pipeline(x))
     assert np.array_equal(kernel(x, axis=1), pipeline(x, axis=1))
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_bit_accurate_degenerate_shapes(rng, paper_config, name):
+    """Zero-row batches, 1-D inputs and rows < workers all match the oracle.
+
+    These are the shapes a serving layer actually produces between real
+    batches (empty flushes, single requests, tiny coalesced batches on a
+    wide pool), so every bit-accurate kernel must handle them.
+    """
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = _runner(name, paper_config)
+    cases = [
+        np.zeros((0, 16)),                     # zero rows
+        np.zeros((0, 3, 24)),                  # zero rows, extra lead dims
+        rng.normal(0.0, 6.0, size=37),         # 1-D input
+        rng.normal(0.0, 6.0, size=(3, 40)),    # rows < typical worker count
+    ]
+    for x in cases:
+        got = kernel(x)
+        expected = pipeline(x)
+        assert got.shape == expected.shape, (name, x.shape)
+        assert np.array_equal(got, expected), (name, x.shape)
+
+
+# --------------------------------------------------------------------------- #
+# parallel-engine lifecycle: memoization, crash recovery, fork safety
+# --------------------------------------------------------------------------- #
+def test_parallel_kernel_memoization_normalizes_defaults(paper_config):
+    """Spelling a default explicitly must not create a second worker pool."""
+    from repro.kernels.parallel import DEFAULT_WORKERS
+
+    implicit = get_parallel_kernel(paper_config)
+    explicit = get_parallel_kernel(paper_config, os.cpu_count() or 1)
+    assert DEFAULT_WORKERS == (os.cpu_count() or 1)
+    assert implicit is explicit
+    # config=None normalizes to the default config.
+    from repro.core.config import DEFAULT_CONFIG
+
+    assert get_parallel_kernel(None, 2) is get_parallel_kernel(DEFAULT_CONFIG, 2)
+    # Distinct effective configurations still get distinct kernels.
+    assert get_parallel_kernel(paper_config, 2) \
+        is not get_parallel_kernel(paper_config, 3)
+    with pytest.raises(ValueError):
+        get_parallel_kernel(paper_config, 0)
+
+
+class _FailingPool:
+    """A pool stand-in whose map always fails (a crashed/broken pool)."""
+
+    def __init__(self):
+        self.terminated = False
+
+    def map(self, *args, **kwargs):
+        raise RuntimeError("worker died")
+
+    def terminate(self):
+        self.terminated = True
+
+    def join(self):
+        pass
+
+
+def test_parallel_recovers_after_pool_breaks(rng, paper_config):
+    """A broken pool is torn down and rebuilt; the call still succeeds."""
+    from repro.kernels.parallel import ParallelSoftermaxKernel, _LIVE_POOLS
+
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = ParallelSoftermaxKernel(paper_config, workers=2)
+    x = rng.normal(0.0, 6.0, size=(6, 48))
+    try:
+        assert np.array_equal(kernel(x), pipeline(x))
+        # Break the live pool behind the kernel's back.
+        broken = _FailingPool()
+        entry = (kernel._pool_pid, kernel._pool)
+        if entry in _LIVE_POOLS:
+            _LIVE_POOLS.remove(entry)
+        kernel._pool.terminate()
+        kernel._pool.join()
+        kernel._pool = broken
+        _LIVE_POOLS.append((os.getpid(), broken))
+        # The next call must tear the broken pool down, rebuild once, and
+        # still produce oracle bits.
+        assert np.array_equal(kernel(x), pipeline(x))
+        assert broken.terminated
+        assert kernel._pool is not broken and kernel._pool is not None
+        # The rebuilt pool is a real one: a second call works too.
+        assert np.array_equal(kernel(x), pipeline(x))
+    finally:
+        kernel.close()
+
+
+def test_parallel_falls_back_to_blocked_when_rebuild_fails(rng, paper_config,
+                                                           monkeypatch):
+    """If the rebuilt pool fails as well, the blocked engine answers."""
+    from repro.kernels.parallel import ParallelSoftermaxKernel
+
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = ParallelSoftermaxKernel(paper_config, workers=2)
+    monkeypatch.setattr(kernel, "_ensure_pool", lambda: _FailingPool())
+    x = rng.normal(0.0, 6.0, size=(5, 64))
+    try:
+        assert np.array_equal(kernel(x), pipeline(x))
+    finally:
+        kernel.close()
+
+
+def test_parallel_terminated_pool_is_rebuilt(rng, paper_config):
+    """pool.terminate() from outside (a real crash mode) is recovered."""
+    from repro.kernels.parallel import ParallelSoftermaxKernel
+
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = ParallelSoftermaxKernel(paper_config, workers=2)
+    x = rng.normal(0.0, 6.0, size=(4, 40))
+    try:
+        assert np.array_equal(kernel(x), pipeline(x))
+        kernel._pool.terminate()  # map() on a terminated pool raises
+        assert np.array_equal(kernel(x), pipeline(x))
+    finally:
+        kernel.close()
+
+
+@pytest.mark.skipif(not hasattr(os, "fork"), reason="requires os.fork")
+def test_parallel_pool_handle_rebuilt_across_fork(rng, paper_config):
+    """A pool handle inherited across fork is rebuilt, not reused.
+
+    The child must (a) produce oracle bits through its own pool and (b)
+    leave the parent's pool untouched -- the parent keeps computing
+    through its original pool afterwards.
+    """
+    from repro.kernels.parallel import ParallelSoftermaxKernel
+
+    pipeline = SoftermaxPipeline(paper_config)
+    kernel = ParallelSoftermaxKernel(paper_config, workers=2)
+    x = rng.normal(0.0, 6.0, size=(4, 48))
+    expected = pipeline(x)
+    try:
+        assert np.array_equal(kernel(x), expected)
+        parent_pool = kernel._pool
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 1
+            try:
+                if np.array_equal(kernel(x), expected) \
+                        and kernel._pool is not parent_pool:
+                    status = 0
+                kernel.close()
+            finally:
+                os._exit(status)
+        _, wait_status = os.waitpid(pid, 0)
+        assert wait_status == 0, \
+            "child failed to rebuild the inherited pool handle"
+        # The parent's pool survived the child's lifecycle.
+        assert kernel._pool is parent_pool
+        assert np.array_equal(kernel(x), expected)
+    finally:
+        kernel.close()
 
 
 # --------------------------------------------------------------------------- #

@@ -81,10 +81,23 @@ class TestNameParsing:
             is get_kernel("softermax-parallel")
 
     def test_malformed_names_raise(self):
-        for bad in ("softermax-parallel(workers)", "kernel(workers=two)",
-                    "name(x=1"):
+        for bad in ("softermax-parallel(workers)", "kernel(workers=2.5)",
+                    "name(x=1", "kernel(x=a b)", "kernel(x=-lstsq)"):
             with pytest.raises(ValueError):
                 parse_kernel_name(bad)
+
+    def test_string_option_values_parse(self):
+        """Identifier-shaped values reach the factory as strings."""
+        base, options = parse_kernel_name(
+            "softermax-blocked(lpw_method=lstsq, block_rows=8)")
+        assert base == "softermax-blocked"
+        assert options == {"lpw_method": "lstsq", "block_rows": 8}
+        # Type errors in string-valued knobs surface at resolution, not
+        # parse: "two" is identifier-shaped, so it parses...
+        assert parse_kernel_name("k(workers=two)") == ("k", {"workers": "two"})
+        # ...and then fails cleanly when the parallel factory coerces it.
+        with pytest.raises((TypeError, ValueError)):
+            resolve_kernel("softermax-parallel(workers=two)")
 
 
 class TestResolve:
@@ -129,11 +142,31 @@ class TestResolve:
         from repro.kernels import supported_options
 
         assert supported_options("reference") == set()
-        assert supported_options("softermax-fused") == set()
-        assert supported_options("softermax-blocked") == {"block_rows"}
+        assert supported_options("softermax-fused") == {"lpw_method"}
+        assert supported_options("softermax-blocked") \
+            == {"block_rows", "lpw_method"}
         assert supported_options("softermax-parallel") \
-            == {"workers", "block_rows"}
-        assert supported_options("auto") == {"workers", "block_rows"}
+            == {"workers", "block_rows", "lpw_method"}
+        assert supported_options("auto") \
+            == {"workers", "block_rows", "lpw_method"}
+
+    def test_lpw_method_reachable_via_parameterized_name(self, rng,
+                                                         paper_config):
+        """String knobs select genuinely different table fits."""
+        x = rng.normal(0.0, 5.0, size=(4, 64))
+        blocked = resolve_kernel("softermax-blocked(lpw_method=lstsq)",
+                                 paper_config)
+        fused = resolve_kernel("softermax-fused(lpw_method=lstsq)",
+                               paper_config)
+        assert np.array_equal(blocked(x), fused(x))
+        endpoint = resolve_kernel("softermax-blocked", paper_config)
+        assert not np.array_equal(blocked(x), endpoint(x))
+
+    def test_adaptive_forwards_lpw_method_to_children(self, paper_config):
+        kernel = resolve_kernel("auto", paper_config, lpw_method="lstsq")
+        for child in ("softermax-fused", "softermax-blocked",
+                      "softermax-parallel"):
+            assert kernel._kernel_for(child).lpw_method == "lstsq", child
 
 
 class TestAdaptiveDispatch:

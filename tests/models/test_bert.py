@@ -133,3 +133,53 @@ class TestTaskModel:
         model.set_softmax_variant("base2")
         for layer in model.encoder_model.encoder.layers:
             assert layer.attention.softmax_variant.name == "base2"
+
+
+class TestEncodeRagged:
+    """The ragged-batch serving entry point and its bit-transparency."""
+
+    def _model(self, variant="softermax"):
+        return BertEncoderModel(BertConfig.tiny_base(), softmax_variant=variant,
+                                kernel="auto", seed=0).eval()
+
+    def test_batched_bitwise_identical_to_solo(self):
+        model = self._model()
+        rng = np.random.default_rng(11)
+        seqs = [list(rng.integers(1, 32, size=length))
+                for length in (1, 2, 5, 9, 9, 17, 32)]
+        batched = model.encode_ragged(seqs)
+        for seq, got in zip(seqs, batched):
+            alone = model.encode_ragged([seq])[0]
+            assert got.shape == (len(seq), model.config.hidden_dim)
+            assert np.array_equal(got, alone)
+
+    def test_batch_order_does_not_change_bits(self):
+        model = self._model()
+        rng = np.random.default_rng(12)
+        seqs = [list(rng.integers(1, 32, size=length))
+                for length in (4, 12, 7, 12, 30)]
+        forward = model.encode_ragged(seqs)
+        backward = model.encode_ragged(seqs[::-1])[::-1]
+        for a, b in zip(forward, backward):
+            assert np.array_equal(a, b)
+
+    def test_reference_variant_also_transparent(self):
+        model = self._model(variant="reference")
+        rng = np.random.default_rng(13)
+        seqs = [list(rng.integers(1, 32, size=length)) for length in (3, 11, 24)]
+        batched = model.encode_ragged(seqs)
+        for seq, got in zip(seqs, batched):
+            assert np.array_equal(got, model.encode_ragged([seq])[0])
+
+    def test_empty_batch_and_validation(self):
+        model = self._model()
+        assert model.encode_ragged([]) == []
+        with pytest.raises(ValueError, match="at least one token"):
+            model.encode_ragged([[1, 2], []])
+        with pytest.raises(ValueError, match="max_seq_len"):
+            model.encode_ragged([[1] * (model.config.max_seq_len + 1)])
+
+    def test_requires_eval_mode(self):
+        model = self._model().train()
+        with pytest.raises(RuntimeError, match="eval"):
+            model.encode_ragged([[1, 2, 3]])

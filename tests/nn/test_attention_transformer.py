@@ -137,3 +137,56 @@ class TestTransformerEncoder:
         out.sum().backward()
         grads = [p.grad for p in encoder.parameters()]
         assert all(g is not None for g in grads)
+
+
+class TestExactMasking:
+    """The inference-only exact-mask path used by the serving layer."""
+
+    def test_padded_keys_have_exactly_zero_influence(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        attn.eval()
+        valid = rng.normal(size=(1, 4, 16))
+        # Same valid tokens, two different paddings: the valid positions'
+        # outputs must be bitwise identical.
+        for pad_width in (2, 5):
+            padded = np.concatenate(
+                [valid, rng.normal(size=(1, pad_width, 16))], axis=1)
+            mask = np.concatenate(
+                [np.ones((1, 4)), np.zeros((1, pad_width))], axis=1)
+            out = attn(Tensor(padded), attention_mask=mask,
+                       exact_mask=True).data
+            if pad_width == 2:
+                first = out[:, :4].copy()
+            else:
+                assert np.array_equal(out[:, :4], first)
+
+    def test_exact_mask_requires_eval_mode(self, rng):
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        x = Tensor(rng.normal(size=(2, 6, 16)))
+        mask = np.ones((2, 6))
+        with pytest.raises(RuntimeError, match="eval"):
+            attn(x, attention_mask=mask, exact_mask=True)
+
+    def test_exact_mask_rejects_non_prefix_masks(self, rng):
+        from repro.nn.functional import prefix_mask_lengths
+
+        attn = MultiHeadSelfAttention(16, 4, dropout=0.0, seed=0)
+        attn.eval()
+        x = Tensor(rng.normal(size=(1, 4, 16)))
+        with pytest.raises(ValueError, match="prefix"):
+            attn(x, attention_mask=np.array([[1.0, 0.0, 1.0, 0.0]]),
+                 exact_mask=True)
+        with pytest.raises(ValueError, match="at least one valid token"):
+            attn(x, attention_mask=np.zeros((1, 4)), exact_mask=True)
+        assert prefix_mask_lengths(np.array([[1, 1, 0], [1, 1, 1]])).tolist() \
+            == [2, 3]
+
+    def test_exact_mask_flag_threads_through_encoder(self, rng):
+        encoder = TransformerEncoder(num_layers=2, hidden_dim=16, num_heads=4,
+                                     intermediate_dim=32, dropout=0.0, seed=0)
+        encoder.eval()
+        x = Tensor(rng.normal(size=(2, 6, 16)))
+        mask = np.array([[1, 1, 1, 1, 0, 0], [1, 1, 1, 1, 1, 1]],
+                        dtype=np.float64)
+        out = encoder(x, mask, exact_mask=True)
+        assert out.shape == (2, 6, 16)

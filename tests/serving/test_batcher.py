@@ -1,0 +1,114 @@
+"""Dynamic micro-batcher: coalescing, backpressure, shutdown."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serving import (
+    MicroBatcher,
+    PendingRequest,
+    QueueFullError,
+    ServiceClosedError,
+)
+
+
+def _request(key=(1, 2, 3)) -> PendingRequest:
+    return PendingRequest(tuple(key))
+
+
+def test_batch_closes_at_max_size():
+    batcher = MicroBatcher(max_batch_size=4, max_wait_ms=1000.0)
+    for i in range(6):
+        batcher.submit(_request((i,)))
+    batch = batcher.next_batch(timeout=1.0)
+    assert [r.key for r in batch] == [(0,), (1,), (2,), (3,)]
+    # The remainder forms the next batch without waiting out the window
+    # (they are already queued).
+    batch = batcher.next_batch(timeout=1.0)
+    assert [r.key for r in batch] == [(4,), (5,)]
+
+
+def test_lone_request_released_after_wait_window():
+    batcher = MicroBatcher(max_batch_size=32, max_wait_ms=5.0)
+    batcher.submit(_request())
+    start = time.perf_counter()
+    batch = batcher.next_batch(timeout=1.0)
+    elapsed = time.perf_counter() - start
+    assert len(batch) == 1
+    assert elapsed < 0.5  # released by the 5 ms window, not the timeout
+
+
+def test_zero_wait_takes_whatever_is_queued():
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0)
+    for i in range(3):
+        batcher.submit(_request((i,)))
+    assert len(batcher.next_batch(timeout=1.0)) == 3
+
+
+def test_empty_timeout_returns_empty_batch():
+    batcher = MicroBatcher()
+    assert batcher.next_batch(timeout=0.01) == []
+
+
+def test_bounded_queue_backpressure():
+    batcher = MicroBatcher(max_queue_depth=2)
+    batcher.submit(_request((0,)))
+    batcher.submit(_request((1,)))
+    with pytest.raises(QueueFullError):
+        batcher.submit(_request((2,)))
+    assert batcher.depth() == 2
+
+
+def test_closed_batcher_rejects_and_unblocks():
+    batcher = MicroBatcher()
+    woke = threading.Event()
+
+    def worker():
+        batcher.next_batch(timeout=5.0)
+        woke.set()
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    batcher.close()
+    assert woke.wait(1.0), "close() must unblock a waiting worker"
+    thread.join(1.0)
+    with pytest.raises(ServiceClosedError):
+        batcher.submit(_request())
+
+
+def test_drain_returns_pending_requests():
+    batcher = MicroBatcher()
+    batcher.submit(_request((0,)))
+    batcher.submit(_request((1,)))
+    batcher.close()
+    drained = batcher.drain()
+    assert [r.key for r in drained] == [(0,), (1,)]
+    assert batcher.drain() == []
+
+
+def test_invalid_knobs_rejected():
+    with pytest.raises(ValueError):
+        MicroBatcher(max_batch_size=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(max_wait_ms=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(max_queue_depth=0)
+
+
+def test_pending_request_result_and_exception():
+    request = _request()
+    assert not request.done()
+    with pytest.raises(TimeoutError):
+        request.result(timeout=0.01)
+    request.set_result(41)
+    assert request.done()
+    assert request.result(timeout=0.01) == 41
+
+    failing = _request()
+    failing.set_exception(RuntimeError("boom"))
+    with pytest.raises(RuntimeError, match="boom"):
+        failing.result(timeout=0.01)

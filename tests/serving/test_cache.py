@@ -1,0 +1,69 @@
+"""LRU response-cache semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving import LRUCache
+
+
+def test_basic_put_get_and_miss():
+    cache = LRUCache(capacity=4)
+    value = np.arange(6.0).reshape(2, 3)
+    cache.put(("a",), value)
+    got = cache.get(("a",))
+    assert np.array_equal(got, value)
+    assert cache.get(("missing",)) is None
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_get_returns_a_private_copy():
+    """A caller mutating its response must not corrupt the cache."""
+    cache = LRUCache(capacity=2)
+    cache.put("k", np.ones(3))
+    first = cache.get("k")
+    first[:] = -1.0
+    assert np.array_equal(cache.get("k"), np.ones(3))
+
+
+def test_put_copies_the_value():
+    cache = LRUCache(capacity=2)
+    value = np.ones(3)
+    cache.put("k", value)
+    value[:] = 7.0
+    assert np.array_equal(cache.get("k"), np.ones(3))
+
+
+def test_lru_eviction_order():
+    cache = LRUCache(capacity=2)
+    cache.put("a", np.zeros(1))
+    cache.put("b", np.ones(1))
+    assert cache.get("a") is not None  # refreshes "a"
+    cache.put("c", np.full(1, 2.0))   # evicts "b", the least recent
+    assert "b" not in cache
+    assert "a" in cache and "c" in cache
+    assert len(cache) == 2
+
+
+def test_zero_capacity_disables_caching():
+    cache = LRUCache(capacity=0)
+    cache.put("k", np.ones(1))
+    assert cache.get("k") is None
+    assert len(cache) == 0
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        LRUCache(capacity=-1)
+
+
+def test_stats_payload():
+    cache = LRUCache(capacity=3)
+    cache.put("k", np.ones(1))
+    cache.get("k")
+    cache.get("nope")
+    stats = cache.stats()
+    assert stats == {"capacity": 3, "size": 1, "hits": 1, "misses": 1,
+                     "hit_rate": 0.5}

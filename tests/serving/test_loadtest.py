@@ -1,0 +1,59 @@
+"""Loadtest harness: deterministic workloads, sane measurements."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.loadtest import (
+    batched_vs_sequential,
+    run_loadtest,
+    synthetic_requests,
+)
+
+
+def test_synthetic_requests_deterministic_and_bounded():
+    a = synthetic_requests(50, min_tokens=4, max_tokens=9, seed=2)
+    b = synthetic_requests(50, min_tokens=4, max_tokens=9, seed=2)
+    assert a == b
+    assert all(4 <= len(r) <= 9 for r in a)
+    assert all(all(t != 0 for t in r) for r in a), "pad id must not appear"
+    assert len(set(a)) == len(a), "default workload is duplicate-free"
+
+
+def test_synthetic_requests_duplicates():
+    requests = synthetic_requests(200, seed=0, duplicate_fraction=0.5)
+    assert len(set(requests)) < len(requests)
+
+
+def test_synthetic_requests_validation():
+    with pytest.raises(ValueError):
+        synthetic_requests(4, min_tokens=0)
+    with pytest.raises(ValueError):
+        synthetic_requests(4, min_tokens=9, max_tokens=3)
+    with pytest.raises(ValueError):
+        synthetic_requests(4, duplicate_fraction=1.5)
+
+
+def test_run_loadtest_rejects_empty_request_set():
+    with pytest.raises(ValueError, match="non-empty"):
+        run_loadtest([], batch_size=4)
+
+
+@pytest.mark.slow
+def test_run_loadtest_measures_throughput():
+    requests = synthetic_requests(48, seed=1)
+    result = run_loadtest(requests, batch_size=8, max_wait_ms=2.0)
+    assert result.requests == 48
+    assert result.requests_per_second > 0
+    assert result.p50_ms is not None
+    assert result.mean_batch_size > 1.0
+    assert result.cache_hit_rate == 0.0
+
+
+@pytest.mark.slow
+def test_batched_vs_sequential_payload_shape():
+    payload = batched_vs_sequential(num_requests=48, batch_size=8)
+    assert payload["sequential"]["batch_size"] == 1
+    assert payload["batched"]["batch_size"] == 8
+    assert payload["speedup_batched_vs_sequential"] > 0
+    assert payload["workload"]["requests"] == 48

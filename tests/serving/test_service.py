@@ -1,0 +1,212 @@
+"""InferenceService end-to-end: bit-transparency, caching, dedup, failure
+isolation.
+
+The first test is the serving layer's acceptance contract: a request's
+response is **bitwise identical** whether it rode alone through a
+sequential service, inside a coalesced batch, or out of the response
+cache.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    InferenceService,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceConfig,
+    build_encoder_service,
+)
+from repro.serving.loadtest import synthetic_requests
+
+
+@pytest.fixture(scope="module")
+def encoder_service_model():
+    """One shared encoder model (construction is the expensive part)."""
+    return build_encoder_service().model
+
+
+def _service(model, **overrides) -> InferenceService:
+    defaults = dict(max_batch_size=8, max_wait_ms=5.0, max_queue_depth=256,
+                    cache_size=64)
+    defaults.update(overrides)
+    return InferenceService(model, ServiceConfig(**defaults))
+
+
+# --------------------------------------------------------------------------- #
+# bit-transparency (the acceptance criterion)
+# --------------------------------------------------------------------------- #
+def test_batched_responses_bitwise_identical_to_single_request(
+        encoder_service_model):
+    """Batched == sequential == cached, bit for bit."""
+    requests = synthetic_requests(24, min_tokens=3, max_tokens=20, seed=3)
+
+    # Sequential single-request serving: every request rides alone.
+    with _service(encoder_service_model, max_batch_size=1, max_wait_ms=0.0,
+                  cache_size=0) as sequential:
+        alone = [sequential.infer(tokens) for tokens in requests]
+
+    # Dynamic batching: the whole burst coalesces into padded batches.
+    with _service(encoder_service_model, max_batch_size=24,
+                  cache_size=64) as batched:
+        coalesced = batched.infer_many(requests)
+        # And once more out of the response cache.
+        cached = batched.infer_many(requests)
+        assert batched.cache.hits >= len(requests)
+
+    for solo, in_batch, from_cache in zip(alone, coalesced, cached):
+        assert np.array_equal(solo, in_batch)
+        assert np.array_equal(solo, from_cache)
+
+
+def test_responses_are_isolated_copies(encoder_service_model):
+    with _service(encoder_service_model) as service:
+        tokens = (5, 9, 3)
+        first = service.infer(tokens)
+        first[:] = -99.0
+        second = service.infer(tokens)
+        assert not np.array_equal(first, second)
+        assert np.all(second != -99.0)
+
+
+# --------------------------------------------------------------------------- #
+# batching behavior
+# --------------------------------------------------------------------------- #
+def test_burst_is_coalesced_into_batches(encoder_service_model):
+    requests = synthetic_requests(32, seed=5)
+    with _service(encoder_service_model, max_batch_size=16,
+                  max_wait_ms=20.0, cache_size=0) as service:
+        service.infer_many(requests)
+        snap = service.snapshot()
+    assert snap["completed"] == 32
+    assert snap["batches"] < 32, "a burst must not be served one by one"
+    assert snap["mean_batch_size"] > 1.0
+    assert snap["p50_ms"] is not None and snap["p99_ms"] is not None
+    assert snap["requests_per_second"] is not None
+
+
+def test_identical_concurrent_requests_deduplicated(encoder_service_model):
+    tokens = (4, 8, 15, 16, 23)
+    with _service(encoder_service_model, max_batch_size=16, max_wait_ms=50.0,
+                  cache_size=0) as service:
+        pending = [service.submit(tokens) for _ in range(10)]
+        results = [p.result(30.0) for p in pending]
+        snap = service.snapshot()
+    for result in results[1:]:
+        assert np.array_equal(results[0], result)
+    # All ten rode batches, but each batch encoded the key once; with no
+    # cache this still holds because dedup happens inside the batch.
+    assert snap["completed"] == 10
+
+
+def test_cache_hits_skip_the_queue(encoder_service_model):
+    tokens = (7, 7, 7)
+    with _service(encoder_service_model) as service:
+        miss = service.submit(tokens)
+        first = miss.result(30.0)
+        hit = service.submit(tokens)
+        assert hit.cached and hit.done()
+        assert np.array_equal(hit.result(0.0), first)
+        assert service.cache.hits == 1
+
+
+# --------------------------------------------------------------------------- #
+# validation, backpressure, lifecycle
+# --------------------------------------------------------------------------- #
+def test_invalid_requests_rejected(encoder_service_model):
+    with _service(encoder_service_model) as service:
+        with pytest.raises(ValueError, match="at least one token"):
+            service.submit(())
+        max_seq_len = encoder_service_model.config.max_seq_len
+        with pytest.raises(ValueError, match="max_seq_len"):
+            service.submit((1,) * (max_seq_len + 1))
+        # Out-of-vocabulary ids are rejected at submit time: a negative id
+        # would otherwise wrap through numpy indexing into the wrong
+        # embedding row, and an overlarge one would fail the whole batch.
+        with pytest.raises(ValueError, match="vocabulary"):
+            service.submit((1, -1, 2))
+        vocab = encoder_service_model.config.vocab_size
+        with pytest.raises(ValueError, match="vocabulary"):
+            service.submit((1, vocab, 2))
+
+
+def test_queue_backpressure_surfaces_to_submitter(encoder_service_model):
+    service = _service(encoder_service_model, max_queue_depth=4,
+                       cache_size=0)
+    # Not started: the worker never drains, so the bounded queue fills.
+    service._worker = threading.Thread(target=lambda: None)  # mark running
+    requests = synthetic_requests(16, seed=11)
+    accepted = 0
+    with pytest.raises(QueueFullError):
+        for tokens in requests:
+            service.submit(tokens)
+            accepted += 1
+    assert accepted == 4
+    for request in service.batcher.drain():
+        request.set_exception(ServiceClosedError("test cleanup"))
+
+
+def test_submit_requires_running_service(encoder_service_model):
+    service = _service(encoder_service_model)
+    with pytest.raises(ServiceClosedError):
+        service.submit((1, 2))
+    with service:
+        service.infer((1, 2))
+    with pytest.raises(ServiceClosedError):
+        service.submit((1, 2))
+
+
+def test_worker_failure_fails_requests_but_not_service(encoder_service_model):
+    class ExplodingModel:
+        config = encoder_service_model.config
+
+        def __init__(self, inner):
+            self.inner = inner
+            self.explode = False
+
+        def eval(self):
+            return self
+
+        def encode_ragged(self, sequences, pad_id=0):
+            if self.explode:
+                raise RuntimeError("model exploded")
+            return self.inner.encode_ragged(sequences, pad_id=pad_id)
+
+    model = ExplodingModel(encoder_service_model)
+    with InferenceService(model, ServiceConfig(max_batch_size=4,
+                                               cache_size=0)) as service:
+        baseline = service.infer((1, 2, 3))
+        model.explode = True
+        with pytest.raises(RuntimeError, match="model exploded"):
+            service.infer((4, 5, 6))
+        # The worker survived the failure and keeps serving.
+        model.explode = False
+        again = service.infer((1, 2, 3))
+        assert np.array_equal(baseline, again)
+
+
+def test_stop_fails_undrained_requests(encoder_service_model):
+    service = _service(encoder_service_model, cache_size=0)
+    service.start()
+    service.stop()
+    # Stopped: a stranded request (injected directly) is failed on stop.
+    service.start()
+    pending = service.submit((9, 9, 9))
+    service.stop()
+    # Either the worker completed it before exiting or stop() failed it.
+    try:
+        result = pending.result(0.5)
+    except ServiceClosedError:
+        pass
+    else:
+        assert result.shape == (3, encoder_service_model.config.hidden_dim)
+
+
+def test_double_start_rejected(encoder_service_model):
+    with _service(encoder_service_model) as service:
+        with pytest.raises(RuntimeError, match="already started"):
+            service.start()

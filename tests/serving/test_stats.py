@@ -1,0 +1,71 @@
+"""Latency/throughput accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import LatencyStats, percentile
+
+
+def test_percentile_nearest_rank():
+    values = [10.0, 20.0, 30.0, 40.0]
+    assert percentile(values, 0.0) == 10.0
+    assert percentile(values, 50.0) == 20.0
+    assert percentile(values, 75.0) == 30.0
+    assert percentile(values, 99.0) == 40.0
+    assert percentile(values, 100.0) == 40.0
+    assert percentile([5.0], 50.0) == 5.0
+
+
+def test_percentile_rejects_bad_input():
+    with pytest.raises(ValueError):
+        percentile([], 50.0)
+    with pytest.raises(ValueError):
+        percentile([1.0], 101.0)
+
+
+def test_snapshot_before_any_traffic():
+    stats = LatencyStats()
+    snap = stats.snapshot()
+    assert snap["completed"] == 0
+    assert snap["p50_ms"] is None
+    assert snap["requests_per_second"] is None
+
+
+def test_record_and_snapshot():
+    now = [100.0]
+    stats = LatencyStats(clock=lambda: now[0])
+    stats.start()
+    for latency in (0.010, 0.020, 0.030, 0.040):
+        stats.record(latency)
+    stats.record_batch(4)
+    now[0] += 2.0
+    snap = stats.snapshot()
+    assert snap["completed"] == 4
+    assert snap["p50_ms"] == 20.0
+    assert snap["p99_ms"] == 40.0
+    assert snap["max_ms"] == 40.0
+    assert snap["mean_batch_size"] == 4.0
+    assert snap["requests_per_second"] == 2.0
+
+
+def test_start_resets_the_measurement_interval():
+    """Samples recorded before start() (warmups) never leak into stats."""
+    stats = LatencyStats()
+    stats.record(99.0)  # warmup-style sample
+    stats.record_batch(1)
+    stats.start()
+    stats.record(0.010)
+    snap = stats.snapshot()
+    assert snap["completed"] == 1
+    assert snap["max_ms"] == 10.0
+    assert snap["batches"] == 0
+
+
+def test_window_is_bounded():
+    stats = LatencyStats(window=8)
+    for i in range(100):
+        stats.record(float(i))
+    assert stats.snapshot()["completed"] == 100
+    # Only the last 8 latencies (92..99 s) inform the percentiles.
+    assert stats.snapshot()["p50_ms"] >= 92_000.0

@@ -129,3 +129,48 @@ class TestTable3Command:
         code = main(["table3", "--tasks", "imagenet", "--num-train", "32",
                      "--num-dev", "16", "--epochs", "1"])
         assert code == 2
+
+
+class TestServingCommands:
+    def test_parser_registers_serve_and_loadtest(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--max-batch-size", "4"])
+        assert args.command == "serve" and args.max_batch_size == 4
+        args = parser.parse_args(["loadtest", "--requests", "16"])
+        assert args.command == "loadtest" and args.requests == 16
+
+    def test_serve_round_trip(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("3 5 7\n3 5 7\nnot tokens\nquit\n"))
+        assert main(["serve", "--max-batch-size", "4",
+                     "--max-wait-ms", "1"]) == 0
+        captured = capsys.readouterr()
+        ok_lines = [line for line in captured.out.splitlines()
+                    if line.startswith("ok ")]
+        assert len(ok_lines) == 2
+        assert "cached=False" in ok_lines[0]
+        assert "cached=True" in ok_lines[1]
+        # Identical request -> identical pooled output, cached or not.
+        assert ok_lines[0].split("pooled")[1] == ok_lines[1].split("pooled")[1]
+        assert "not a token-id line" in captured.err
+        assert "served 2 requests" in captured.out
+
+    def test_serve_rejects_unknown_kernel(self, capsys):
+        assert main(["serve", "--kernel", "not-a-kernel"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_loadtest_reports_comparison(self, capsys, tmp_path):
+        out_path = tmp_path / "loadtest.json"
+        assert main(["loadtest", "--requests", "48", "--batch-size", "8",
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "sequential" in out and "batched" in out
+        assert "vs sequential throughput" in out
+        import json
+
+        payload = json.loads(out_path.read_text())
+        assert payload["batched"]["batch_size"] == 8
+        assert payload["speedup_batched_vs_sequential"] > 0
