@@ -11,6 +11,9 @@ python -m pytest -x -q
 echo "== kernel benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_kernels --quick
 
+echo "== encoder benchmark smoke (graph vs plan, warn-only baseline diff) =="
+python -m benchmarks.bench_encoder --quick
+
 echo "== serving smoke (serve CLI round trip) =="
 printf '1 2 3 4 5\n1 2 3 4 5\nquit\n' \
     | python -m repro.cli serve --max-batch-size 4 --max-wait-ms 1

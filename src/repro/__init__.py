@@ -14,6 +14,11 @@ Efficient Softmax for Transformers* (DAC 2021).  It provides:
   training utilities (percentile calibration, straight-through estimator).
 * ``repro.nn`` -- a NumPy reverse-mode autograd substrate with Transformer
   layers and a pluggable attention softmax.
+* ``repro.infer`` -- the graph-free inference engine: compiled op-list
+  plans with workspace-arena buffer reuse, bitwise identical to the
+  autograd forward (the serving fast path).
+* ``repro.serving`` -- the dynamic-batching inference service (micro
+  batcher, LRU response cache, latency stats, loadtest harness).
 * ``repro.models`` -- BERT-style encoder models, task heads and the
   Softermax-aware fine-tuning loop.
 * ``repro.data`` -- synthetic surrogate tasks standing in for SQuAD/GLUE.

@@ -264,7 +264,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServiceConfig(max_batch_size=args.max_batch_size,
                            max_wait_ms=args.max_wait_ms,
                            max_queue_depth=args.queue_depth,
-                           cache_size=args.cache_size)
+                           cache_size=args.cache_size,
+                           engine=args.engine,
+                           fuse_qkv=args.fuse_qkv)
     try:
         service = build_encoder_service(model_name=args.model,
                                         kernel=args.kernel,
@@ -273,7 +275,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (KeyError, TypeError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
-    print(f"serving {args.model} (kernel={args.kernel}, "
+    print(f"serving {args.model} (engine={config.engine}, "
+          f"kernel={args.kernel}, "
           f"max_batch_size={config.max_batch_size}, "
           f"max_wait_ms={config.max_wait_ms}); enter whitespace-separated "
           "token ids, 'quit' to exit", flush=True)
@@ -302,6 +305,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"served {snap['completed']} requests "
           f"(p50={snap['p50_ms']} ms, p99={snap['p99_ms']} ms, "
           f"cache hit rate {snap['cache']['hit_rate']:.0%})")
+    print(f"latency split: queue wait p50={snap['queue_wait_p50_ms']} ms "
+          f"p99={snap['queue_wait_p99_ms']} ms; model forward "
+          f"p50={snap['forward_p50_ms']} ms p99={snap['forward_p99_ms']} ms")
     return 0
 
 
@@ -314,7 +320,7 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             num_requests=args.requests, batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms, min_tokens=args.min_tokens,
             max_tokens=args.max_tokens, model_name=args.model,
-            kernel=args.kernel, seed=args.seed,
+            kernel=args.kernel, engine=args.engine, seed=args.seed,
             duplicate_fraction=args.duplicate_fraction,
             cache_size=args.cache_size)
     except (KeyError, TypeError, ValueError) as exc:
@@ -325,17 +331,23 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         result = payload[label]
         rows.append([label, result["batch_size"], result["requests_per_second"],
                      result["p50_ms"], result["p99_ms"],
+                     result["queue_wait_p50_ms"], result["forward_p50_ms"],
                      result["mean_batch_size"] or 1.0])
     workload = payload["workload"]
     print(format_table(
-        ["mode", "max batch", "req/s", "p50 ms", "p99 ms", "mean batch"],
+        ["mode", "max batch", "req/s", "p50 ms", "p99 ms", "queue p50 ms",
+         "fwd p50 ms", "mean batch"],
         rows,
         title=f"Serving loadtest: {workload['requests']} requests of "
               f"{workload['min_tokens']}-{workload['max_tokens']} tokens "
-              f"({workload['model']}, kernel={workload['kernel']})",
+              f"({workload['model']}, engine={workload['engine']}, "
+              f"kernel={workload['kernel']})",
         float_digits=2))
     print(f"\nbatched (batch {args.batch_size}) vs sequential throughput: "
           f"{payload['speedup_batched_vs_sequential']:.2f}x")
+    print("cache hit rate: sequential "
+          f"{payload['sequential']['cache_hit_rate']:.0%}, batched "
+          f"{payload['batched']['cache_hit_rate']:.0%}")
     if args.output:
         import json
         from pathlib import Path
@@ -454,6 +466,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default="tiny-base")
     serve.add_argument("--kernel", default="auto",
                        help="Softermax kernel (see the 'kernels' command)")
+    serve.add_argument("--engine", choices=("plan", "graph"), default="plan",
+                       help="encoder forward engine: the compiled graph-free "
+                            "plan (default, bitwise-identical) or the "
+                            "autograd graph")
+    serve.add_argument("--fuse-qkv", action="store_true",
+                       help="plan engine only: fuse the Q/K/V projections "
+                            "into one GEMM (mathematically identical, not "
+                            "bit-guaranteed)")
     serve.add_argument("--max-batch-size", type=int, default=32,
                        help="largest coalesced micro-batch")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -478,6 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
                           default="tiny-base")
     loadtest.add_argument("--kernel", default="auto",
                           help="Softermax kernel (see the 'kernels' command)")
+    loadtest.add_argument("--engine", choices=("plan", "graph"),
+                          default="plan",
+                          help="encoder forward engine for both "
+                               "configurations (plan = graph-free fast "
+                               "path, the default)")
     loadtest.add_argument("--seed", type=int, default=0)
     loadtest.add_argument("--duplicate-fraction", type=float, default=0.0,
                           help="fraction of repeated requests (exercises "

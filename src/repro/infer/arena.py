@@ -1,0 +1,152 @@
+"""Shape-keyed workspace arena for the graph-free inference engine.
+
+The graph path allocates fresh float64 temporaries for every op of every
+layer of every call; at serving rates that allocation traffic -- not the
+arithmetic -- dominates the encoder forward.  :class:`WorkspaceArena` is
+the antidote: a pool of preallocated scratch buffers keyed by shape, so
+the plan executor's ``acquire``/``release`` cycle reuses the same handful
+of arrays across layers *and* across calls.  Steady-state serving (same
+request shapes arriving repeatedly) performs no per-request large
+intermediate allocations.
+
+Two release flavors:
+
+* :meth:`release` -- the buffer is dead now; it goes straight back to the
+  free pool and the next ``acquire`` of that shape reuses it.
+* :meth:`release_deferred` -- the buffer is the *result* the caller is
+  about to read (e.g. :meth:`~repro.infer.plan.InferencePlan.run_ragged`
+  output, copied out immediately by ``encode_ragged``).  It is parked and
+  only returned to the pool by :meth:`begin_call` at the start of the
+  next execution, so the caller's read window is safe.
+
+The arena is not thread-safe by itself; :class:`~repro.infer.plan.
+InferencePlan` serializes executions with a lock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+Shape = Tuple[int, ...]
+
+
+#: Default cap on pooled (free) bytes.  Steady-state serving of one shape
+#: family stays far below this; the cap only bites when a long-lived
+#: service sees many distinct (batch, padded-length) shapes, in which case
+#: the least-recently-used shapes' buffers are dropped instead of growing
+#: the pool without bound.
+DEFAULT_MAX_FREE_BYTES = 64 * 1024 * 1024
+
+
+class WorkspaceArena:
+    """A free-list of float64 scratch buffers keyed by exact shape.
+
+    The free pool is bounded by ``max_free_bytes``: releases beyond the
+    budget evict buffers from the least-recently-used *shape* (freshly
+    used shapes -- the serving steady state -- are kept hot).
+    """
+
+    def __init__(self, max_free_bytes: int = DEFAULT_MAX_FREE_BYTES) -> None:
+        if max_free_bytes < 0:
+            raise ValueError("max_free_bytes must be >= 0")
+        self.max_free_bytes = max_free_bytes
+        self._free: Dict[Shape, List[np.ndarray]] = {}
+        self._free_bytes = 0
+        self._deferred: List[np.ndarray] = []
+        self._tick = 0
+        self._last_used: Dict[Shape, int] = {}
+        #: Number of ``acquire`` calls served from the pool.
+        self.hits = 0
+        #: Number of ``acquire`` calls that had to allocate.
+        self.misses = 0
+        #: Number of pooled buffers dropped by the byte-budget eviction.
+        self.evictions = 0
+        #: Total bytes ever allocated by this arena.
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # the acquire/release cycle
+    # ------------------------------------------------------------------ #
+    def acquire(self, shape) -> np.ndarray:
+        """Hand out a C-contiguous float64 buffer of exactly ``shape``.
+
+        Contents are unspecified (pooled buffers carry stale values); every
+        plan op fully overwrites its output, and the few that need zeros
+        (the exact-mask attention context) fill them explicitly.
+        """
+        shape = tuple(int(dim) for dim in shape)
+        self._touch(shape)
+        pool = self._free.get(shape)
+        if pool:
+            self.hits += 1
+            buffer = pool.pop()
+            self._free_bytes -= buffer.nbytes
+            if not pool:
+                del self._free[shape]
+            return buffer
+        self.misses += 1
+        buffer = np.empty(shape, dtype=np.float64)
+        self.allocated_bytes += buffer.nbytes
+        return buffer
+
+    def release(self, buffer: np.ndarray) -> None:
+        """Return a previously acquired buffer to the free pool."""
+        self._touch(buffer.shape)
+        self._free.setdefault(buffer.shape, []).append(buffer)
+        self._free_bytes += buffer.nbytes
+        self._evict()
+
+    def _touch(self, shape: Shape) -> None:
+        self._tick += 1
+        self._last_used[shape] = self._tick
+
+    def _evict(self) -> None:
+        """Drop LRU shapes' buffers until the pool fits the byte budget."""
+        while self._free_bytes > self.max_free_bytes and self._free:
+            shape = min(self._free, key=lambda s: self._last_used.get(s, 0))
+            pool = self._free[shape]
+            dropped = pool.pop()
+            self._free_bytes -= dropped.nbytes
+            self.evictions += 1
+            if not pool:
+                del self._free[shape]
+
+    def release_deferred(self, buffer: np.ndarray) -> None:
+        """Return ``buffer`` to the pool at the *next* :meth:`begin_call`.
+
+        Used for execution outputs the caller still reads (and copies)
+        after the executor returns but before the next execution starts.
+        """
+        self._deferred.append(buffer)
+
+    def begin_call(self) -> None:
+        """Start a new execution: reclaim buffers parked by the last one."""
+        for buffer in self._deferred:
+            self.release(buffer)
+        self._deferred.clear()
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Pool occupancy and hit/miss counters (for tests and benchmarks)."""
+        pooled = sum(len(pool) for pool in self._free.values())
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "free_buffers": pooled,
+            "free_bytes": self._free_bytes,
+            "max_free_bytes": self.max_free_bytes,
+            "deferred_buffers": len(self._deferred),
+            "allocated_bytes": self.allocated_bytes,
+            "shapes": sorted(self._free),
+        }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (f"WorkspaceArena(free={stats['free_buffers']}, "
+                f"hits={stats['hits']}, misses={stats['misses']}, "
+                f"allocated={stats['allocated_bytes']} B)")

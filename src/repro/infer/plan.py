@@ -1,0 +1,300 @@
+"""Graph-free inference plans: compile a Module tree to a flat op list.
+
+The autograd substrate makes every eval-mode forward pay for training
+machinery it never uses: each ``Linear``/``LayerNorm``/GELU/residual wraps
+arrays in :class:`~repro.nn.tensor.Tensor`, records backward closures
+(parameters require grad even in eval mode, so the whole graph is built),
+and allocates fresh float64 temporaries per op, per layer, per call.
+:class:`InferencePlan` removes all of it:
+
+* **Compile once** -- :meth:`InferencePlan.from_model` walks the module
+  tree through its ``export_plan`` hooks, snapshots every weight (with
+  frozen fake-quantizers pre-applied, and Q/K/V optionally concatenated
+  for a fused projection GEMM), and emits an ordered list of
+  :class:`PlanOp` closures over a flat register file.
+* **Execute with arena buffers** -- ops acquire their outputs from a
+  :class:`~repro.infer.arena.WorkspaceArena` and release dead registers
+  immediately, so steady-state serving reuses the same scratch buffers
+  across layers and across calls.
+* **Bit-transparent by construction** -- the default plan replays the
+  exact float64 NumPy call sequence of the Tensor path (see the
+  ``*_infer`` variants in :mod:`repro.nn.functional`), so plan outputs are
+  bitwise identical to the graph engine and every golden/serving bitwise
+  test pins the plan automatically.  The opt-in ``fuse_qkv`` projection
+  trades that guarantee for one GEMM instead of three (mathematically
+  identical, tolerance-tested).
+
+Snapshot semantics: a plan is frozen at compile time.  Later
+``load_state_dict`` / ``set_softmax_variant`` / quantizer changes do NOT
+flow into an existing plan -- recompile (``BertEncoderModel`` invalidates
+its cached plans on both mutations).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.infer.arena import WorkspaceArena
+from repro.nn import functional as F
+
+#: Reserved register names for runtime inputs.
+INPUT_IDS = "input_ids"
+INPUT_HIDDEN = "hidden_in"
+
+
+@dataclass(frozen=True)
+class PlanOp:
+    """One step of a compiled plan: a named closure over the context."""
+
+    name: str
+    fn: Callable[["ExecutionContext"], None]
+
+
+class ExecutionContext:
+    """Mutable state of one plan execution: registers + buffer ownership.
+
+    ``regs`` maps register names to arrays.  ``owned`` marks registers
+    whose buffers were acquired from the arena (runtime inputs and views
+    are not owned and are never released to the pool).  ``mask`` and
+    ``lengths`` carry the per-call attention mask; a non-``None``
+    ``lengths`` switches attention cores to the exact-mask path.
+    """
+
+    __slots__ = ("regs", "arena", "owned", "mask", "lengths")
+
+    def __init__(self, arena: WorkspaceArena) -> None:
+        self.regs: Dict[str, np.ndarray] = {}
+        self.arena = arena
+        self.owned: Set[str] = set()
+        self.mask: Optional[np.ndarray] = None
+        self.lengths: Optional[np.ndarray] = None
+
+    def acquire(self, shape) -> np.ndarray:
+        """Arena buffer for an op output (mark owned via :meth:`put`)."""
+        return self.arena.acquire(shape)
+
+    def put(self, reg: str, buffer: np.ndarray, owned: bool = True) -> None:
+        """Bind ``reg`` to ``buffer``; owned buffers return to the arena."""
+        self.regs[reg] = buffer
+        if owned:
+            self.owned.add(reg)
+
+    def pop_release(self, reg: str) -> None:
+        """Drop a register; its buffer goes back to the pool if owned."""
+        buffer = self.regs.pop(reg)
+        if reg in self.owned:
+            self.owned.discard(reg)
+            self.arena.release(buffer)
+
+    def transfer(self, src: str, dst: str) -> None:
+        """Rebind ``src``'s buffer (and ownership) under the name ``dst``."""
+        buffer = self.regs.pop(src)
+        self.regs[dst] = buffer
+        if src in self.owned:
+            self.owned.discard(src)
+            self.owned.add(dst)
+
+
+class PlanBuilder:
+    """Accumulates :class:`PlanOp` items while ``export_plan`` hooks run."""
+
+    def __init__(self) -> None:
+        self.ops: List[PlanOp] = []
+        self.meta: Dict[str, object] = {}
+        self._counter = 0
+
+    def reg(self, hint: str) -> str:
+        """A fresh, globally unique register name."""
+        self._counter += 1
+        return f"%{self._counter}:{hint}"
+
+    def emit(self, name: str, fn: Callable[[ExecutionContext], None]) -> None:
+        self.ops.append(PlanOp(name, fn))
+
+    def emit_release(self, name: str, *regs: str) -> None:
+        """Emit an op that returns the given registers' buffers to the pool."""
+
+        def release_op(ctx: ExecutionContext) -> None:
+            for reg in regs:
+                ctx.pop_release(reg)
+
+        self.ops.append(PlanOp(name, release_op))
+
+
+class InferencePlan:
+    """A compiled, executable snapshot of a model's eval-mode forward.
+
+    Build with :meth:`from_model` (any module exposing ``export_plan`` and
+    ``plan_input_kind`` -- :class:`~repro.models.bert.BertEncoderModel`
+    takes token ids, :class:`~repro.nn.transformer.TransformerEncoder`
+    takes pre-embedded hidden states).  Executions are serialized by an
+    internal lock; the arena is private to the plan.
+    """
+
+    def __init__(self, ops: List[PlanOp], output_reg: str, input_kind: str,
+                 meta: Optional[dict] = None, fuse_qkv: bool = False,
+                 source: str = "") -> None:
+        if input_kind not in ("ids", "hidden"):
+            raise ValueError(f"unknown plan input kind {input_kind!r}")
+        self.ops = list(ops)
+        self.output_reg = output_reg
+        self.input_kind = input_kind
+        self.meta = dict(meta or {})
+        self.fuse_qkv = fuse_qkv
+        self.source = source
+        self.arena = WorkspaceArena()
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # compilation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_model(cls, model, fuse_qkv: bool = False) -> "InferencePlan":
+        """Compile ``model`` into a plan (weights snapshotted now)."""
+        input_kind = getattr(model, "plan_input_kind", None)
+        if input_kind is None or not hasattr(model, "export_plan"):
+            raise TypeError(
+                f"{type(model).__name__} does not support plan export; "
+                "expected a module with export_plan/plan_input_kind "
+                "(BertEncoderModel or TransformerEncoder)")
+        builder = PlanBuilder()
+        input_reg = INPUT_IDS if input_kind == "ids" else INPUT_HIDDEN
+        output_reg = model.export_plan(builder, input_reg, fuse_qkv=fuse_qkv)
+        return cls(builder.ops, output_reg, input_kind,
+                   meta=builder.meta, fuse_qkv=fuse_qkv,
+                   source=type(model).__name__)
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def run(self, inputs, attention_mask=None) -> np.ndarray:
+        """Eval-mode forward (optional additive masking).
+
+        Bitwise identical to the graph engine's
+        ``model.eval(); model.forward(inputs, attention_mask).data``.
+        Returns a caller-owned ``(batch, seq, hidden)`` float64 array.
+        """
+        regs, batch_seq = self._prepare_inputs(inputs)
+        mask = (None if attention_mask is None
+                else self._validate_mask(attention_mask, batch_seq))
+        return self._execute(regs, mask=mask, lengths=None,
+                             detach_output=True)
+
+    def run_ragged(self, inputs, attention_mask, extract=None):
+        """Eval-mode forward with *exact* masking (right-padded batches).
+
+        Padded keys get exactly zero attention probability, so each
+        sequence's rows are bitwise identical to running it alone.
+
+        ``extract`` is the safe way to consume the result: it is called on
+        the output buffer *inside* the execution lock (copy out what you
+        keep -- :meth:`~repro.models.bert.BertEncoderModel.encode_ragged`
+        slices per-sequence copies) and its return value is returned;
+        the buffer then goes straight back to the arena.  Without
+        ``extract`` the raw arena buffer is returned and stays valid only
+        until the next execution -- safe for a single-threaded caller,
+        racy if the plan is shared across threads.
+        """
+        regs, batch_seq = self._prepare_inputs(inputs)
+        mask = self._validate_mask(attention_mask, batch_seq)
+        lengths = F.prefix_mask_lengths(mask)
+        return self._execute(regs, mask=mask, lengths=lengths,
+                             detach_output=False, extract=extract)
+
+    def _prepare_inputs(self, inputs) -> Tuple[Dict[str, np.ndarray], tuple]:
+        if self.input_kind == "ids":
+            ids = np.asarray(inputs, dtype=np.int64)
+            if ids.ndim != 2:
+                raise ValueError(
+                    f"expected (batch, seq) token ids, got shape {ids.shape}")
+            max_seq_len = self.meta.get("max_seq_len")
+            if max_seq_len is not None and ids.shape[1] > max_seq_len:
+                raise ValueError(
+                    f"sequence length {ids.shape[1]} exceeds max_seq_len "
+                    f"{max_seq_len}")
+            vocab_size = self.meta.get("vocab_size")
+            if vocab_size is not None and (
+                    ids.min(initial=0) < 0
+                    or ids.max(initial=0) >= vocab_size):
+                raise IndexError("embedding id out of range")
+            return {INPUT_IDS: ids}, ids.shape
+        hidden = np.asarray(inputs, dtype=np.float64)
+        if hidden.ndim != 3:
+            raise ValueError(
+                f"expected (batch, seq, hidden) states, got {hidden.shape}")
+        return {INPUT_HIDDEN: hidden}, hidden.shape[:2]
+
+    @staticmethod
+    def _validate_mask(attention_mask, batch_seq: tuple) -> np.ndarray:
+        mask = np.asarray(attention_mask, dtype=np.float64)
+        if mask.shape != tuple(batch_seq):
+            raise ValueError(
+                f"attention_mask shape {mask.shape} does not match "
+                f"(batch, seq)={tuple(batch_seq)}")
+        return mask
+
+    def _execute(self, regs: Dict[str, np.ndarray],
+                 mask: Optional[np.ndarray],
+                 lengths: Optional[np.ndarray],
+                 detach_output: bool, extract=None) -> np.ndarray:
+        with self._lock:
+            self.arena.begin_call()
+            ctx = ExecutionContext(self.arena)
+            ctx.regs.update(regs)
+            ctx.mask = mask
+            ctx.lengths = lengths
+            for op in self.ops:
+                op.fn(ctx)
+            output = ctx.regs.pop(self.output_reg)
+            output_owned = self.output_reg in ctx.owned
+            ctx.owned.discard(self.output_reg)
+            # Balanced plans leave nothing behind; sweep defensively so a
+            # hook that forgot a release cannot grow the working set.
+            for reg in list(ctx.regs):
+                ctx.pop_release(reg)
+            self.calls += 1
+            if extract is not None:
+                # Consume the output while still holding the lock (the
+                # caller's copies happen here), then recycle it at once.
+                result = extract(output)
+                if output_owned:
+                    self.arena.release(output)
+                return result
+            if output_owned and not detach_output:
+                # Caller reads (and copies) before the next execution.
+                self.arena.release_deferred(output)
+            return output
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def op_names(self) -> List[str]:
+        return [op.name for op in self.ops]
+
+    def describe(self) -> str:
+        """Human-readable plan listing (op order and arena state)."""
+        header = (f"InferencePlan({self.source or 'module'}, "
+                  f"input={self.input_kind}, ops={self.num_ops}, "
+                  f"fuse_qkv={self.fuse_qkv}, calls={self.calls})")
+        lines = [header] + [f"  {i:3d}. {name}"
+                            for i, name in enumerate(self.op_names())]
+        return "\n".join(lines)
+
+    def stats(self) -> dict:
+        """Execution counters plus the arena's buffer statistics."""
+        return {"calls": self.calls, "ops": self.num_ops,
+                "fuse_qkv": self.fuse_qkv, "arena": self.arena.stats()}
+
+    def __repr__(self) -> str:
+        return (f"InferencePlan(source={self.source!r}, "
+                f"input_kind={self.input_kind!r}, ops={self.num_ops}, "
+                f"fuse_qkv={self.fuse_qkv})")

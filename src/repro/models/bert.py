@@ -92,6 +92,9 @@ class BertConfig:
 class BertEncoderModel(Module):
     """Token + position embeddings followed by a Transformer encoder stack."""
 
+    #: Inference plans compiled from this model take token ids as input.
+    plan_input_kind = "ids"
+
     def __init__(self, config: BertConfig,
                  softmax_variant: str | SoftmaxVariant = "reference",
                  kernel: str = "auto",
@@ -115,6 +118,11 @@ class BertEncoderModel(Module):
             kernel_options=kernel_options,
             seed=seed,
         )
+        #: Compiled inference plans, keyed by their ``fuse_qkv`` flag.
+        #: Plans snapshot weights at compile time; both mutation entry
+        #: points (``load_state_dict``, ``set_softmax_variant``) clear
+        #: this cache so the next plan-engine call recompiles.
+        self._plans: dict = {}
 
     def forward(self, input_ids: np.ndarray,
                 attention_mask: Optional[np.ndarray] = None,
@@ -130,7 +138,90 @@ class BertEncoderModel(Module):
         hidden = self.embedding_dropout(self.embedding_norm(hidden))
         return self.encoder(hidden, attention_mask, exact_mask=exact_mask)
 
-    def encode_ragged(self, sequences, pad_id: int = 0) -> list:
+    # ------------------------------------------------------------------ #
+    # inference engines (graph vs compiled plan)
+    # ------------------------------------------------------------------ #
+    def export_plan(self, builder, ids_reg: str = "input_ids",
+                    fuse_qkv: bool = False) -> str:
+        """Emit embeddings + encoder onto a plan builder (see
+        :class:`repro.infer.InferencePlan`)."""
+        from repro.nn.functional import embedding_infer
+
+        token_weight = self.token_embedding.plan_weight()
+        position_weight = self.position_embedding.plan_weight()
+        hidden_dim = self.config.hidden_dim
+        builder.meta.update(vocab_size=self.config.vocab_size,
+                            max_seq_len=self.config.max_seq_len,
+                            hidden_dim=hidden_dim)
+        embed_reg = builder.reg("embeddings")
+
+        def embed_op(ctx) -> None:
+            ids = ctx.regs[ids_reg]
+            batch, seq_len = ids.shape
+            tokens = ctx.acquire((batch, seq_len, hidden_dim))
+            embedding_infer(token_weight, ids, out=tokens)
+            positions = ctx.acquire((batch, seq_len, hidden_dim))
+            position_ids = np.broadcast_to(np.arange(seq_len),
+                                           (batch, seq_len))
+            embedding_infer(position_weight, position_ids, out=positions)
+            np.add(tokens, positions, out=tokens)
+            ctx.arena.release(positions)
+            ctx.put(embed_reg, tokens)
+
+        builder.emit("embeddings", embed_op)
+        normed_reg = self.embedding_norm.export_plan(builder, embed_reg,
+                                                     "embedding_norm")
+        builder.emit_release("embeddings.free", embed_reg)
+        # embedding_dropout is the identity in eval mode (plan semantics).
+        return self.encoder.export_plan(builder, normed_reg,
+                                        prefix="encoder", fuse_qkv=fuse_qkv)
+
+    def inference_plan(self, fuse_qkv: bool = False,
+                       refresh: bool = False):
+        """The cached compiled plan for this model (compile on first use).
+
+        Plans snapshot weights, quantizer scales and the softmax variant
+        at compile time; ``load_state_dict`` and ``set_softmax_variant``
+        invalidate the cache, other mutations (e.g. attaching quantizers)
+        need ``refresh=True``.
+        """
+        from repro.infer import InferencePlan
+
+        if refresh:
+            # A mutation invalidates every snapshot, not just the one the
+            # caller happens to ask for first.
+            self._plans.clear()
+        key = bool(fuse_qkv)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = InferencePlan.from_model(self, fuse_qkv=fuse_qkv)
+            self._plans[key] = plan
+        return plan
+
+    def encode(self, input_ids: np.ndarray,
+               attention_mask: Optional[np.ndarray] = None,
+               engine: str = "graph", fuse_qkv: bool = False) -> np.ndarray:
+        """Eval-mode forward returning a raw hidden-state array.
+
+        ``engine="graph"`` runs the autograd Tensor path;
+        ``engine="plan"`` runs the compiled graph-free plan, which is
+        bitwise identical (``fuse_qkv=True`` swaps in the fused Q/K/V
+        projection -- mathematically equal, not bit-guaranteed).
+        """
+        if engine == "graph":
+            return self.forward(input_ids, attention_mask).data
+        if engine == "plan":
+            if self.training:
+                raise RuntimeError(
+                    "the plan engine replays eval-mode semantics; call "
+                    "eval() first")
+            plan = self.inference_plan(fuse_qkv=fuse_qkv)
+            return plan.run(input_ids, attention_mask)
+        raise ValueError(
+            f"unknown inference engine {engine!r}; choose 'graph' or 'plan'")
+
+    def encode_ragged(self, sequences, pad_id: int = 0,
+                      engine: str = "graph", fuse_qkv: bool = False) -> list:
         """Encode a batch of variable-length token sequences in one pass.
 
         The serving entry point: sequences are padded to the longest length
@@ -146,12 +237,20 @@ class BertEncoderModel(Module):
         optimization.  Requires eval mode (the autograd-free masked
         attention path).
 
+        ``engine`` selects the forward implementation: ``"graph"`` (the
+        autograd Tensor path) or ``"plan"`` (the compiled graph-free fast
+        path, bitwise identical; the serving layer defaults to it).
+
         Returns a list of ``(length_i, hidden_dim)`` float64 arrays, one per
         input sequence.
         """
         if self.training:
             raise RuntimeError(
                 "encode_ragged is an inference entry point; call eval() first")
+        if engine not in ("graph", "plan"):
+            raise ValueError(
+                f"unknown inference engine {engine!r}; choose 'graph' or "
+                "'plan'")
         if len(sequences) == 0:
             return []
         lengths = [len(seq) for seq in sequences]
@@ -173,9 +272,22 @@ class BertEncoderModel(Module):
         for i, seq in enumerate(sequences):
             input_ids[i, :lengths[i]] = np.asarray(seq, dtype=np.int64)
             mask[i, :lengths[i]] = 1.0
-        hidden = self.forward(input_ids, mask, exact_mask=True).data
-        return [np.array(hidden[i, :length]) for i, length in
-                enumerate(lengths)]
+        def slices(hidden: np.ndarray) -> list:
+            return [np.array(hidden[i, :length]) for i, length in
+                    enumerate(lengths)]
+
+        if engine == "plan":
+            # run_ragged applies ``slices`` to the arena output buffer
+            # while still holding the plan's execution lock, so the copies
+            # can never race a concurrent execution recycling the buffer.
+            return self.inference_plan(fuse_qkv=fuse_qkv).run_ragged(
+                input_ids, mask, extract=slices)
+        return slices(self.forward(input_ids, mask, exact_mask=True).data)
+
+    def _on_state_loaded(self) -> None:
+        """Invalidate compiled plans after any state-dict load (fires even
+        when the load happens on a wrapper module, e.g. ``TaskModel``)."""
+        self._plans.clear()
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
                             kernel: str = "auto",
@@ -183,6 +295,7 @@ class BertEncoderModel(Module):
         """Switch the attention softmax of every encoder layer."""
         self.encoder.set_softmax_variant(variant, kernel=kernel,
                                         kernel_options=kernel_options)
+        self._plans.clear()
 
 
 class ClassificationHead(Module):

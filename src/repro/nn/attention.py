@@ -179,26 +179,125 @@ class MultiHeadSelfAttention(Module):
     def _exact_masked_attention(self, q: np.ndarray, k: np.ndarray,
                                 v: np.ndarray,
                                 lengths: np.ndarray) -> np.ndarray:
-        """Length-grouped attention with padded keys excluded exactly.
+        """Length-grouped exact-mask attention (see
+        :func:`repro.nn.functional.exact_masked_attention`, shared with the
+        plan engine)."""
+        return F.exact_masked_attention(
+            q, k, v, lengths, 1.0 / np.sqrt(self.head_dim),
+            self.softmax_variant.forward_fn)
 
-        Sequences are grouped by valid length; each group's scores, softmax
-        and context are computed on the ``[:length]`` slices only, in one
-        kernel call per group.  Per-sequence results are therefore bitwise
-        identical to running that sequence alone (rows are independent in
-        every bit-accurate kernel, and the per-(batch, head) GEMM operands
-        have identical shapes either way).  Padded positions come back as
-        exact zeros.
+    # ------------------------------------------------------------------ #
+    # plan export (graph-free inference)
+    # ------------------------------------------------------------------ #
+    def export_plan(self, builder, x_reg: str, prefix: str = "attention",
+                    fuse_qkv: bool = False) -> str:
+        """Emit this attention block's ops onto ``builder``.
+
+        The emitted ops replay the eval-mode forward bit for bit: Q/K/V
+        projections, head split (views), the attention core (additive-mask
+        scores + pluggable softmax, or the exact-mask length-grouped path
+        when the execution context carries ``lengths``), head merge, and
+        the output projection.  The softmax variant's forward function and
+        all weights are snapshotted at export time.
+
+        ``fuse_qkv`` replaces the three projection GEMMs with one GEMM
+        against the column-concatenated ``[Wq | Wk | Wv]`` weight.  The
+        result is mathematically identical but *not* guaranteed bitwise
+        equal (BLAS may block the wider GEMM differently), which is why it
+        is opt-in; quantized projections cannot be fused (each projection
+        carries its own input-quantizer scale).
         """
+        heads, head_dim = self.num_heads, self.head_dim
+        hidden_dim = self.hidden_dim
         scale = 1.0 / np.sqrt(self.head_dim)
-        context = np.zeros_like(v)
-        for length in np.unique(lengths):
-            idx = np.nonzero(lengths == length)[0]
-            qb = np.ascontiguousarray(q[idx][:, :, :length, :])
-            kb = np.ascontiguousarray(k[idx][:, :, :length, :])
-            vb = np.ascontiguousarray(v[idx][:, :, :length, :])
-            scores = (qb @ kb.swapaxes(-1, -2)) * scale
-            probs = self.softmax_variant.forward_fn(scores)
-            ctx = probs @ vb
-            for j, b in enumerate(idx):
-                context[b, :, :length, :] = ctx[j]
-        return context
+        softmax_forward = self.softmax_variant.forward_fn
+
+        def split(x: np.ndarray) -> np.ndarray:
+            batch, seq_len, _ = x.shape
+            return x.reshape(batch, seq_len, heads,
+                             head_dim).transpose(0, 2, 1, 3)
+
+        if fuse_qkv:
+            projections = (self.query, self.key, self.value)
+            if any(p.plan_input_quant_params() is not None
+                   for p in projections):
+                raise ValueError(
+                    "fuse_qkv cannot fuse quantized projections (each "
+                    "carries its own input-quantizer scale); compile with "
+                    "fuse_qkv=False")
+            fused_weight = np.concatenate(
+                [p.plan_weight() for p in projections], axis=1)
+            fused_bias = np.concatenate(
+                [p.plan_bias() for p in projections])
+            qkv_reg = builder.reg(f"{prefix}.qkv_fused")
+            core_in = (qkv_reg,)
+
+            def project_op(ctx) -> None:
+                x = ctx.regs[x_reg]
+                batch, seq_len, _ = x.shape
+                qkv = ctx.acquire((batch, seq_len, 3 * hidden_dim))
+                F.linear_infer(x, fused_weight, fused_bias, out=qkv)
+                ctx.put(qkv_reg, qkv)
+
+            def heads_of(ctx):
+                qkv = ctx.regs[qkv_reg]
+                batch, seq_len, _ = qkv.shape
+                by_proj = qkv.reshape(batch, seq_len, 3, heads, head_dim)
+                return tuple(by_proj[:, :, i].transpose(0, 2, 1, 3)
+                             for i in range(3))
+
+            builder.emit(f"{prefix}.qkv_fused", project_op)
+        else:
+            q_reg = self.query.export_plan(builder, x_reg, f"{prefix}.query")
+            k_reg = self.key.export_plan(builder, x_reg, f"{prefix}.key")
+            v_reg = self.value.export_plan(builder, x_reg, f"{prefix}.value")
+            core_in = (q_reg, k_reg, v_reg)
+
+            def heads_of(ctx):
+                return (split(ctx.regs[q_reg]), split(ctx.regs[k_reg]),
+                        split(ctx.regs[v_reg]))
+
+        context_reg = builder.reg(f"{prefix}.context")
+
+        def core_op(ctx) -> None:
+            q, k, v = heads_of(ctx)
+            batch, _, seq_len, _ = q.shape
+            context = ctx.acquire((batch, heads, seq_len, head_dim))
+            if ctx.lengths is not None:
+                F.exact_masked_attention(q, k, v, ctx.lengths, scale,
+                                         softmax_forward, out=context)
+            else:
+                scores = ctx.acquire((batch, heads, seq_len, seq_len))
+                np.matmul(q, k.swapaxes(-1, -2), out=scores)
+                np.multiply(scores, scale, out=scores)
+                if ctx.mask is not None:
+                    additive = (1.0 - ctx.mask)[:, None, None, :] * (-30.0)
+                    np.add(scores, additive, out=scores)
+                # The kernel owns its output allocation (its scratch
+                # strategy lives in repro.kernels); release the scores
+                # buffer as soon as the probabilities exist.
+                probs = softmax_forward(scores)
+                ctx.arena.release(scores)
+                np.matmul(probs, v, out=context)
+            ctx.put(context_reg, context)
+            for reg in core_in:
+                ctx.pop_release(reg)
+
+        builder.emit(f"{prefix}.core", core_op)
+
+        merged_reg = builder.reg(f"{prefix}.merge")
+
+        def merge_op(ctx) -> None:
+            context = ctx.regs[context_reg]
+            batch, _, seq_len, _ = context.shape
+            merged = ctx.acquire((batch, seq_len, hidden_dim))
+            np.copyto(merged.reshape(batch, seq_len, heads, head_dim),
+                      context.transpose(0, 2, 1, 3))
+            ctx.put(merged_reg, merged)
+            ctx.pop_release(context_reg)
+
+        builder.emit(f"{prefix}.merge", merge_op)
+        out_reg = self.output.export_plan(builder, merged_reg,
+                                          f"{prefix}.output")
+        builder.emit_release(f"{prefix}.merge.free", merged_reg)
+        return out_reg

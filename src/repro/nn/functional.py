@@ -102,6 +102,124 @@ def prefix_mask_lengths(mask: np.ndarray) -> np.ndarray:
 
 
 # --------------------------------------------------------------------------- #
+# graph-free inference variants (raw ndarrays, ``out=`` threading)
+# --------------------------------------------------------------------------- #
+# These mirror the Tensor ops above *bit for bit* -- same NumPy calls in the
+# same order, so an :class:`repro.infer.InferencePlan` built from them
+# replays the exact float64 sequence the autograd path would, just without
+# Tensor wrapping, backward closures, or fresh large temporaries.  The
+# ``out=``/``scratch=`` parameters accept arena buffers; when omitted the
+# functions allocate (useful standalone and in tests).
+#
+# Bitwise-critical details, pinned by tests/infer/test_plan.py:
+# * ``Tensor.mean`` is ``sum * (1.0 / count)`` -- NOT ``np.mean`` (which
+#   divides); ``layer_norm_infer`` replays the multiply-by-reciprocal.
+# * ``Tensor.__sub__`` is ``a + (-b)``; IEEE-754 addition of a negated
+#   operand is bitwise identical to subtraction, so ``np.subtract`` is safe.
+# * GELU's association order ``(x * 0.5) * (tanh(...) + 1.0)`` is kept.
+
+def linear_infer(x: np.ndarray, weight: np.ndarray,
+                 bias: Optional[np.ndarray] = None,
+                 out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Affine transform on raw arrays; bitwise equal to :func:`linear`."""
+    out = np.matmul(x, weight, out=out)
+    if bias is not None:
+        np.add(out, bias, out=out)
+    return out
+
+
+def layer_norm_infer(x: np.ndarray, weight: np.ndarray, bias: np.ndarray,
+                     eps: float = 1e-5,
+                     out: Optional[np.ndarray] = None,
+                     scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Layer norm on raw arrays; bitwise equal to :func:`layer_norm`.
+
+    ``out`` doubles as the centered buffer, ``scratch`` holds the squared
+    deviations; the per-row statistics are a small fresh ``(..., 1)``
+    allocation.
+    """
+    if out is None:
+        out = np.empty_like(x)
+    if scratch is None:
+        scratch = np.empty_like(x)
+    count = x.shape[-1]
+    stat = np.sum(x, axis=-1, keepdims=True)
+    np.multiply(stat, 1.0 / count, out=stat)          # mean
+    np.subtract(x, stat, out=out)                     # centered
+    np.multiply(out, out, out=scratch)
+    np.sum(scratch, axis=-1, keepdims=True, out=stat)
+    np.multiply(stat, 1.0 / count, out=stat)          # variance
+    np.add(stat, eps, out=stat)
+    np.sqrt(stat, out=stat)
+    np.divide(out, stat, out=out)                     # normalized
+    np.multiply(out, weight, out=out)
+    np.add(out, bias, out=out)
+    return out
+
+
+def gelu_infer(x: np.ndarray, out: Optional[np.ndarray] = None,
+               scratch: Optional[np.ndarray] = None) -> np.ndarray:
+    """Tanh-approximation GELU on raw arrays; bitwise equal to :func:`gelu`."""
+    if out is None:
+        out = np.empty_like(x)
+    if scratch is None:
+        scratch = np.empty_like(x)
+    c = np.sqrt(2.0 / np.pi)
+    np.multiply(x, x, out=scratch)
+    np.multiply(scratch, x, out=scratch)
+    np.multiply(scratch, 0.044715, out=scratch)
+    np.add(x, scratch, out=scratch)
+    np.multiply(scratch, c, out=scratch)
+    np.tanh(scratch, out=scratch)
+    np.add(scratch, 1.0, out=scratch)
+    np.multiply(x, 0.5, out=out)
+    np.multiply(out, scratch, out=out)
+    return out
+
+
+def embedding_infer(weight: np.ndarray, ids: np.ndarray,
+                    out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Row gather on a raw table; bitwise equal to ``Tensor.gather_rows``."""
+    return np.take(weight, np.asarray(ids, dtype=np.int64), axis=0, out=out)
+
+
+def exact_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                           lengths: np.ndarray, scale: float,
+                           softmax_forward: Callable[[np.ndarray], np.ndarray],
+                           out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Length-grouped attention with padded keys excluded exactly.
+
+    Sequences are grouped by valid length; each group's scores, softmax and
+    context are computed on the ``[:length]`` slices only, in one kernel
+    call per group.  Per-sequence results are therefore bitwise identical
+    to running that sequence alone (rows are independent in every
+    bit-accurate kernel, and the per-(batch, head) GEMM operands have
+    identical shapes either way).  Padded positions come back as exact
+    zeros.
+
+    Shared by the graph path (:class:`~repro.nn.attention.
+    MultiHeadSelfAttention`) and the plan engine; ``out`` may be an arena
+    buffer (it is zero-filled here).  The per-group temporaries are
+    data-dependent in size and stay ordinary allocations.
+    """
+    if out is None:
+        out = np.zeros_like(v)
+    else:
+        out.fill(0.0)
+    for length in np.unique(lengths):
+        idx = np.nonzero(lengths == length)[0]
+        qb = np.ascontiguousarray(q[idx][:, :, :length, :])
+        kb = np.ascontiguousarray(k[idx][:, :, :length, :])
+        vb = np.ascontiguousarray(v[idx][:, :, :length, :])
+        scores = (qb @ kb.swapaxes(-1, -2)) * scale
+        probs = softmax_forward(scores)
+        ctx = probs @ vb
+        for j, b in enumerate(idx):
+            out[b, :, :length, :] = ctx[j]
+    return out
+
+
+# --------------------------------------------------------------------------- #
 # softmax variants (the pluggable attention softmax)
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)

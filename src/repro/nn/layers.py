@@ -112,6 +112,14 @@ class Module:
                     f"shape mismatch for {name}: {own[name].shape} vs {values.shape}"
                 )
             own[name].data = np.asarray(values, dtype=np.float64).copy()
+        # Parameters are rebound by dotted name, so submodule overrides of
+        # this method never run; notify every module in the tree instead
+        # (compiled-state caches -- e.g. inference plans -- hook this).
+        for module in self.modules():
+            module._on_state_loaded()
+
+    def _on_state_loaded(self) -> None:
+        """Called on every module in the tree after a state-dict load."""
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
@@ -150,6 +158,65 @@ class Linear(Module):
             x = self.input_quantizer(x)
         return F.linear(x, weight, self.bias)
 
+    # ------------------------------------------------------------------ #
+    # plan export (graph-free inference)
+    # ------------------------------------------------------------------ #
+    def plan_weight(self) -> np.ndarray:
+        """Snapshot of the effective GEMM weight for an inference plan.
+
+        A frozen weight quantizer is *pre-applied* here: the weight is
+        static, so fake-quantizing once at compile time is bitwise
+        identical to the graph path's per-forward fake-quantization.  An
+        unconfigured or disabled quantizer is a pass-through (exactly as
+        in :meth:`forward`); a calibrating one is a compile error -- plan
+        execution must not mutate calibration statistics.
+        """
+        quantizer = self.weight_quantizer
+        if quantizer is not None and quantizer.calibrating:
+            raise RuntimeError(
+                "cannot compile an inference plan while a weight quantizer "
+                "is calibrating; freeze() it first")
+        weight = self.weight.data
+        if quantizer is not None:
+            weight = np.asarray(quantizer(weight), dtype=np.float64)
+        return weight.copy()
+
+    def plan_bias(self) -> Optional[np.ndarray]:
+        """Snapshot of the bias (``None`` for bias-free layers)."""
+        return None if self.bias is None else self.bias.data.copy()
+
+    def plan_input_quant_params(self):
+        """Frozen input-quantizer params to replay per call (or ``None``)."""
+        quantizer = self.input_quantizer
+        if quantizer is None or not quantizer.enabled:
+            return None
+        if quantizer.calibrating:
+            raise RuntimeError(
+                "cannot compile an inference plan while an input quantizer "
+                "is calibrating; freeze() it first")
+        return quantizer.params  # None (pass-through) until frozen
+
+    def export_plan(self, builder, x_reg: str, prefix: str = "linear") -> str:
+        """Emit this layer's ops onto ``builder``; returns the output reg."""
+        from repro.quant.quantizer import fake_quantize_array
+
+        weight = self.plan_weight()
+        bias = self.plan_bias()
+        quant_params = self.plan_input_quant_params()
+        out_features = self.out_features
+        out_reg = builder.reg(prefix)
+
+        def op(ctx) -> None:
+            x = ctx.regs[x_reg]
+            if quant_params is not None:
+                x = fake_quantize_array(x, quant_params)
+            out = ctx.acquire(x.shape[:-1] + (out_features,))
+            F.linear_infer(x, weight, bias, out=out)
+            ctx.put(out_reg, out)
+
+        builder.emit(prefix, op)
+        return out_reg
+
 
 class Embedding(Module):
     """Lookup table mapping integer ids to dense vectors."""
@@ -170,6 +237,10 @@ class Embedding(Module):
             raise IndexError("embedding id out of range")
         return self.weight.gather_rows(ids)
 
+    def plan_weight(self) -> np.ndarray:
+        """Snapshot of the lookup table for an inference plan."""
+        return self.weight.data.copy()
+
 
 class LayerNorm(Module):
     """Layer normalization over the last dimension with learnable affine."""
@@ -182,6 +253,24 @@ class LayerNorm(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.layer_norm(x, self.weight, self.bias, self.eps)
+
+    def export_plan(self, builder, x_reg: str, prefix: str = "norm") -> str:
+        """Emit the layer-norm op; ``out``/``scratch`` come from the arena."""
+        weight = self.weight.data.copy()
+        bias = self.bias.data.copy()
+        eps = self.eps
+        out_reg = builder.reg(prefix)
+
+        def op(ctx) -> None:
+            x = ctx.regs[x_reg]
+            out = ctx.acquire(x.shape)
+            scratch = ctx.acquire(x.shape)
+            F.layer_norm_infer(x, weight, bias, eps, out=out, scratch=scratch)
+            ctx.arena.release(scratch)
+            ctx.put(out_reg, out)
+
+        builder.emit(prefix, op)
+        return out_reg
 
 
 class Dropout(Module):
@@ -196,6 +285,10 @@ class Dropout(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return F.dropout(x, self.p, self.training, self.rng)
+
+    def export_plan(self, builder, x_reg: str, prefix: str = "dropout") -> str:
+        """Inference plans replay eval mode: dropout is the identity."""
+        return x_reg
 
 
 class Sequential(Module):

@@ -33,6 +33,28 @@ class FeedForward(Module):
     def forward(self, x: Tensor) -> Tensor:
         return self.contract(F.gelu(self.expand(x)))
 
+    def export_plan(self, builder, x_reg: str, prefix: str = "ffn") -> str:
+        """Emit expand -> GELU -> contract; intermediates go back to the
+        arena as soon as they are dead."""
+        expanded_reg = self.expand.export_plan(builder, x_reg,
+                                               f"{prefix}.expand")
+        gelu_reg = builder.reg(f"{prefix}.gelu")
+
+        def gelu_op(ctx) -> None:
+            expanded = ctx.regs[expanded_reg]
+            out = ctx.acquire(expanded.shape)
+            scratch = ctx.acquire(expanded.shape)
+            F.gelu_infer(expanded, out=out, scratch=scratch)
+            ctx.arena.release(scratch)
+            ctx.put(gelu_reg, out)
+            ctx.pop_release(expanded_reg)
+
+        builder.emit(f"{prefix}.gelu", gelu_op)
+        out_reg = self.contract.export_plan(builder, gelu_reg,
+                                            f"{prefix}.contract")
+        builder.emit_release(f"{prefix}.gelu.free", gelu_reg)
+        return out_reg
+
 
 class TransformerLayer(Module):
     """One encoder layer: self-attention block + feed-forward block."""
@@ -76,6 +98,47 @@ class TransformerLayer(Module):
         self.attention.set_softmax_variant(variant, kernel=kernel,
                                            kernel_options=kernel_options)
 
+    def export_plan(self, builder, hidden_reg: str, prefix: str = "layer",
+                    fuse_qkv: bool = False) -> str:
+        """Emit one encoder layer (attention block + feed-forward block).
+
+        Residual sums are computed in place into the newer operand's
+        buffer (bitwise equal: ``np.add(h, a, out=a)`` is ``h + a``), and
+        every buffer goes back to the arena the op after its last read.
+        """
+        attended_reg = self.attention.export_plan(
+            builder, hidden_reg, f"{prefix}.attention", fuse_qkv=fuse_qkv)
+        sum1_reg = builder.reg(f"{prefix}.residual1")
+
+        def residual1_op(ctx) -> None:
+            hidden = ctx.regs[hidden_reg]
+            attended = ctx.regs[attended_reg]
+            np.add(hidden, attended, out=attended)
+            ctx.transfer(attended_reg, sum1_reg)
+            ctx.pop_release(hidden_reg)
+
+        builder.emit(f"{prefix}.residual1", residual1_op)
+        normed_reg = self.attention_norm.export_plan(
+            builder, sum1_reg, f"{prefix}.attention_norm")
+        builder.emit_release(f"{prefix}.residual1.free", sum1_reg)
+
+        transformed_reg = self.feed_forward.export_plan(
+            builder, normed_reg, f"{prefix}.ffn")
+        sum2_reg = builder.reg(f"{prefix}.residual2")
+
+        def residual2_op(ctx) -> None:
+            normed = ctx.regs[normed_reg]
+            transformed = ctx.regs[transformed_reg]
+            np.add(normed, transformed, out=transformed)
+            ctx.transfer(transformed_reg, sum2_reg)
+            ctx.pop_release(normed_reg)
+
+        builder.emit(f"{prefix}.residual2", residual2_op)
+        out_reg = self.output_norm.export_plan(
+            builder, sum2_reg, f"{prefix}.output_norm")
+        builder.emit_release(f"{prefix}.residual2.free", sum2_reg)
+        return out_reg
+
 
 class TransformerEncoder(Module):
     """A stack of :class:`TransformerLayer` modules."""
@@ -118,3 +181,16 @@ class TransformerEncoder(Module):
         for layer in self.layers:
             layer.set_softmax_variant(variant, kernel=kernel,
                                       kernel_options=kernel_options)
+
+    #: Inference plans compiled from a bare encoder take pre-embedded
+    #: hidden states as their runtime input (see ``InferencePlan.run``).
+    plan_input_kind = "hidden"
+
+    def export_plan(self, builder, hidden_reg: str, prefix: str = "encoder",
+                    fuse_qkv: bool = False) -> str:
+        """Emit the whole layer stack; returns the final hidden register."""
+        for i, layer in enumerate(self.layers):
+            hidden_reg = layer.export_plan(builder, hidden_reg,
+                                           f"{prefix}.layer_{i}",
+                                           fuse_qkv=fuse_qkv)
+        return hidden_reg

@@ -33,7 +33,14 @@ DEFAULT_MAX_TOKENS = 16
 
 @dataclass(frozen=True)
 class LoadtestResult:
-    """One measured serving configuration."""
+    """One measured serving configuration.
+
+    Latency is reported end-to-end (``p50_ms``/``p99_ms``) and split into
+    its stages: queue wait (submit until the batch forward started, i.e.
+    queueing + coalescing) and model forward (per-batch encoder time), so
+    engine-level speedups and batching-policy effects are separately
+    visible.
+    """
 
     batch_size: int
     max_wait_ms: float
@@ -42,8 +49,13 @@ class LoadtestResult:
     requests_per_second: float
     p50_ms: Optional[float]
     p99_ms: Optional[float]
+    queue_wait_p50_ms: Optional[float]
+    queue_wait_p99_ms: Optional[float]
+    forward_p50_ms: Optional[float]
+    forward_p99_ms: Optional[float]
     mean_batch_size: Optional[float]
     cache_hit_rate: float
+    engine: str
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -89,6 +101,7 @@ def run_loadtest(
     model_name: str = "tiny-base",
     kernel: str = "auto",
     kernel_options: Optional[dict] = None,
+    engine: str = "plan",
     seed: int = 0,
     timeout: float = 300.0,
 ) -> LoadtestResult:
@@ -96,7 +109,9 @@ def run_loadtest(
 
     Builds a fresh encoder service unless ``service`` is supplied (the
     caller then owns its lifecycle and the batching knobs are read from
-    it).  Returns the measured :class:`LoadtestResult`.
+    it).  ``engine`` selects the encoder forward implementation
+    (``"plan"`` -- the graph-free fast path -- or ``"graph"``).  Returns
+    the measured :class:`LoadtestResult`.
     """
     if not requests:
         raise ValueError("run_loadtest needs a non-empty request set")
@@ -105,7 +120,8 @@ def run_loadtest(
         config = ServiceConfig(max_batch_size=batch_size,
                                max_wait_ms=max_wait_ms,
                                max_queue_depth=len(requests) + 1,
-                               cache_size=cache_size)
+                               cache_size=cache_size,
+                               engine=engine)
         service = build_encoder_service(model_name=model_name, kernel=kernel,
                                         kernel_options=kernel_options,
                                         seed=seed, config=config)
@@ -136,8 +152,13 @@ def run_loadtest(
         requests_per_second=round(len(requests) / elapsed, 1),
         p50_ms=snap["p50_ms"],
         p99_ms=snap["p99_ms"],
+        queue_wait_p50_ms=snap["queue_wait_p50_ms"],
+        queue_wait_p99_ms=snap["queue_wait_p99_ms"],
+        forward_p50_ms=snap["forward_p50_ms"],
+        forward_p99_ms=snap["forward_p99_ms"],
         mean_batch_size=snap["mean_batch_size"],
         cache_hit_rate=snap["cache"]["hit_rate"],
+        engine=snap["engine"],
     )
 
 
@@ -149,6 +170,7 @@ def batched_vs_sequential(
     max_tokens: int = DEFAULT_MAX_TOKENS,
     model_name: str = "tiny-base",
     kernel: str = "auto",
+    engine: str = "plan",
     seed: int = 0,
     duplicate_fraction: float = 0.0,
     cache_size: int = 0,
@@ -163,10 +185,11 @@ def batched_vs_sequential(
                                   duplicate_fraction=duplicate_fraction)
     sequential = run_loadtest(requests, batch_size=1, max_wait_ms=0.0,
                               cache_size=cache_size, model_name=model_name,
-                              kernel=kernel, seed=seed)
+                              kernel=kernel, engine=engine, seed=seed)
     batched = run_loadtest(requests, batch_size=batch_size,
                            max_wait_ms=max_wait_ms, cache_size=cache_size,
-                           model_name=model_name, kernel=kernel, seed=seed)
+                           model_name=model_name, kernel=kernel,
+                           engine=engine, seed=seed)
     ratio = (batched.requests_per_second
              / max(sequential.requests_per_second, 1e-9))
     return {
@@ -177,6 +200,7 @@ def batched_vs_sequential(
             "duplicate_fraction": duplicate_fraction,
             "model": model_name,
             "kernel": kernel,
+            "engine": engine,
             "seed": seed,
         },
         "sequential": sequential.as_dict(),

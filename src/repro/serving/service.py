@@ -20,6 +20,7 @@ Correctness properties the test suite pins:
 
 from __future__ import annotations
 
+import inspect
 import threading
 import time
 from dataclasses import dataclass
@@ -41,13 +42,25 @@ _IDLE_POLL_SECONDS = 0.05
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Knobs of the dynamic batcher and response cache."""
+    """Knobs of the dynamic batcher, response cache and forward engine.
+
+    ``engine`` selects the encoder forward implementation: ``"plan"`` (the
+    default) runs the compiled graph-free fast path
+    (:class:`repro.infer.InferencePlan`, bitwise identical to the graph
+    path), ``"graph"`` the autograd Tensor path.  ``fuse_qkv`` opts the
+    plan engine into the fused Q/K/V projection GEMM (mathematically
+    identical, not bit-guaranteed -- leave off when bit-transparency with
+    the graph path matters).  Models whose ``encode_ragged`` does not take
+    an ``engine`` argument (test doubles) are called without one.
+    """
 
     max_batch_size: int = 32
     max_wait_ms: float = 2.0
     max_queue_depth: int = 1024
     cache_size: int = 1024
     pad_id: int = 0
+    engine: str = "plan"
+    fuse_qkv: bool = False
 
 
 class InferenceService:
@@ -69,8 +82,22 @@ class InferenceService:
     def __init__(self, model, config: ServiceConfig = ServiceConfig()) -> None:
         if config.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
+        if config.engine not in ("plan", "graph"):
+            raise ValueError(
+                f"unknown inference engine {config.engine!r}; choose "
+                "'plan' or 'graph'")
         self.model = model
         self.config = config
+        # Only forward the engine selection to models that understand it;
+        # plain ``encode_ragged(sequences, pad_id)`` duck types keep
+        # working (they implicitly serve their only engine).
+        try:
+            parameters = inspect.signature(model.encode_ragged).parameters
+            self._engine_kwargs = (
+                {"engine": config.engine, "fuse_qkv": config.fuse_qkv}
+                if "engine" in parameters else {})
+        except (TypeError, ValueError):
+            self._engine_kwargs = {}
         if hasattr(model, "eval"):
             model.eval()
         self.batcher = MicroBatcher(max_batch_size=config.max_batch_size,
@@ -160,6 +187,7 @@ class InferenceService:
         snap["queue_depth"] = self.batcher.depth()
         snap["max_batch_size"] = self.config.max_batch_size
         snap["max_wait_ms"] = self.config.max_wait_ms
+        snap["engine"] = self.config.engine
         return snap
 
     # ------------------------------------------------------------------ #
@@ -203,20 +231,27 @@ class InferenceService:
         for request in batch:
             unique.setdefault(request.key, len(unique))
         keys = list(unique)
+        forward_start = time.perf_counter()
         try:
             outputs = self.model.encode_ragged(
-                [list(key) for key in keys], pad_id=self.config.pad_id)
+                [list(key) for key in keys], pad_id=self.config.pad_id,
+                **self._engine_kwargs)
         except Exception as exc:  # noqa: BLE001 - forwarded to the callers
             for request in batch:
                 request.set_exception(exc)
             return
-        self.stats.record_batch(len(batch))
+        forward_seconds = time.perf_counter() - forward_start
+        self.stats.record_batch(len(batch), forward_seconds=forward_seconds)
         for key, hidden in zip(keys, outputs):
             self.cache.put(key, hidden)
         by_key = dict(zip(keys, outputs))
         for request in batch:
             request.set_result(by_key[request.key].copy())
-            self.stats.record(time.perf_counter() - request.submitted_at)
+            # Queue wait: submission until this batch's forward started
+            # (covers queueing plus the coalescing window).
+            self.stats.record(
+                time.perf_counter() - request.submitted_at,
+                queue_wait_seconds=forward_start - request.submitted_at)
 
 
 def build_encoder_service(

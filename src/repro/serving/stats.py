@@ -36,6 +36,11 @@ class LatencyStats:
         if window < 1:
             raise ValueError("window must be >= 1")
         self._latencies = deque(maxlen=window)
+        # End-to-end latency split by stage: time spent queued/coalescing
+        # before the batch forward started, and per-batch model-forward
+        # time -- so an encoder fast path shows up in the right column.
+        self._queue_waits = deque(maxlen=window)
+        self._forwards = deque(maxlen=window)
         self._lock = threading.Lock()
         self._clock = clock
         self.started_at: Optional[float] = None
@@ -54,29 +59,51 @@ class LatencyStats:
         with self._lock:
             self.started_at = self._clock()
             self._latencies.clear()
+            self._queue_waits.clear()
+            self._forwards.clear()
             self.completed = 0
             self.batches = 0
             self.batched_requests = 0
             self.cache_hits = 0
 
-    def record(self, latency_seconds: float, cached: bool = False) -> None:
-        """Record one completed request."""
+    def record(self, latency_seconds: float, cached: bool = False,
+               queue_wait_seconds: Optional[float] = None) -> None:
+        """Record one completed request.
+
+        ``queue_wait_seconds`` is the submit-to-forward-start component of
+        the latency (queueing + batch coalescing); cached responses skip
+        the queue and record no wait sample.
+        """
         with self._lock:
             self._latencies.append(latency_seconds)
+            if queue_wait_seconds is not None:
+                self._queue_waits.append(queue_wait_seconds)
             self.completed += 1
             if cached:
                 self.cache_hits += 1
 
-    def record_batch(self, size: int) -> None:
+    def record_batch(self, size: int,
+                     forward_seconds: Optional[float] = None) -> None:
         """Record one executed micro-batch of ``size`` requests."""
         with self._lock:
             self.batches += 1
             self.batched_requests += size
+            if forward_seconds is not None:
+                self._forwards.append(forward_seconds)
 
     def snapshot(self) -> dict:
-        """Current p50/p99/mean latency (ms), req/s and batch shape."""
+        """Current p50/p99/mean latency (ms), stage split, req/s, batches.
+
+        Besides the end-to-end percentiles, the snapshot reports the
+        latency *components*: ``queue_wait_p50_ms``/``p99`` (submit until
+        the batch forward started) and ``forward_p50_ms``/``p99``
+        (per-batch model-forward time), so a faster encoder and a longer
+        coalescing window are distinguishable at a glance.
+        """
         with self._lock:
             latencies = list(self._latencies)
+            queue_waits = list(self._queue_waits)
+            forwards = list(self._forwards)
             elapsed = (self._clock() - self.started_at
                        if self.started_at is not None else None)
             completed = self.completed
@@ -92,6 +119,10 @@ class LatencyStats:
             "p99_ms": None,
             "mean_ms": None,
             "max_ms": None,
+            "queue_wait_p50_ms": None,
+            "queue_wait_p99_ms": None,
+            "forward_p50_ms": None,
+            "forward_p99_ms": None,
             "requests_per_second": None,
         }
         if latencies:
@@ -99,6 +130,14 @@ class LatencyStats:
             snap["p99_ms"] = round(percentile(latencies, 99.0) * 1e3, 3)
             snap["mean_ms"] = round(sum(latencies) / len(latencies) * 1e3, 3)
             snap["max_ms"] = round(max(latencies) * 1e3, 3)
+        if queue_waits:
+            snap["queue_wait_p50_ms"] = round(
+                percentile(queue_waits, 50.0) * 1e3, 3)
+            snap["queue_wait_p99_ms"] = round(
+                percentile(queue_waits, 99.0) * 1e3, 3)
+        if forwards:
+            snap["forward_p50_ms"] = round(percentile(forwards, 50.0) * 1e3, 3)
+            snap["forward_p99_ms"] = round(percentile(forwards, 99.0) * 1e3, 3)
         if elapsed is not None and elapsed > 0:
             snap["requests_per_second"] = round(completed / elapsed, 1)
         return snap

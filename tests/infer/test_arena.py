@@ -1,0 +1,100 @@
+"""WorkspaceArena: shape-keyed reuse, deferred release, stats."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.infer import WorkspaceArena
+
+
+def test_acquire_allocates_float64_c_contiguous():
+    arena = WorkspaceArena()
+    buffer = arena.acquire((3, 4))
+    assert buffer.shape == (3, 4)
+    assert buffer.dtype == np.float64
+    assert buffer.flags.c_contiguous
+    assert arena.misses == 1 and arena.hits == 0
+
+
+def test_release_then_acquire_reuses_the_same_buffer():
+    arena = WorkspaceArena()
+    first = arena.acquire((8, 8))
+    arena.release(first)
+    second = arena.acquire((8, 8))
+    assert second is first
+    assert arena.hits == 1 and arena.misses == 1
+
+
+def test_shapes_are_pooled_separately():
+    arena = WorkspaceArena()
+    small = arena.acquire((2, 2))
+    arena.release(small)
+    big = arena.acquire((4, 4))
+    assert big is not small
+    assert arena.misses == 2
+    # Both shapes now pooled independently.
+    arena.release(big)
+    assert arena.acquire((2, 2)) is small
+    assert arena.acquire((4, 4)) is big
+
+
+def test_deferred_release_survives_until_next_call():
+    arena = WorkspaceArena()
+    result = arena.acquire((4,))
+    arena.release_deferred(result)
+    # Still parked: an acquire in the same window must not hand it out.
+    assert arena.acquire((4,)) is not result
+    assert arena.stats()["deferred_buffers"] == 1
+    arena.begin_call()
+    assert arena.stats()["deferred_buffers"] == 0
+    assert arena.acquire((4,)) is result
+
+
+def test_stats_report_pool_state():
+    arena = WorkspaceArena()
+    a = arena.acquire((2, 3))
+    b = arena.acquire((2, 3))
+    arena.release(a)
+    arena.release(b)
+    stats = arena.stats()
+    assert stats["free_buffers"] == 2
+    assert stats["free_bytes"] == a.nbytes + b.nbytes
+    assert stats["allocated_bytes"] == a.nbytes + b.nbytes
+    assert stats["shapes"] == [(2, 3)]
+    assert stats["evictions"] == 0
+
+
+def test_byte_budget_evicts_least_recently_used_shape():
+    # Budget fits the two newest shapes (64 + 128 bytes) but not all three.
+    arena = WorkspaceArena(max_free_bytes=192)
+    stale = arena.acquire((4,))    # 32 bytes, released first -> LRU
+    warm = arena.acquire((8,))     # 64 bytes
+    hot = arena.acquire((16,))     # 128 bytes
+    arena.release(stale)
+    arena.release(warm)
+    arena.release(hot)
+    stats = arena.stats()
+    assert stats["evictions"] == 1
+    assert stats["free_bytes"] == 192
+    assert stats["shapes"] == [(8,), (16,)]
+    # The evicted shape allocates fresh again; the kept ones still hit.
+    assert arena.acquire((4,)) is not stale
+    assert arena.acquire((8,)) is warm
+
+
+def test_zero_budget_pools_nothing():
+    arena = WorkspaceArena(max_free_bytes=0)
+    buffer = arena.acquire((8, 8))
+    arena.release(buffer)
+    stats = arena.stats()
+    assert stats["free_buffers"] == 0
+    assert stats["free_bytes"] == 0
+    assert stats["evictions"] == 1
+    assert arena.acquire((8, 8)) is not buffer
+
+
+def test_negative_budget_rejected():
+    import pytest
+
+    with pytest.raises(ValueError):
+        WorkspaceArena(max_free_bytes=-1)

@@ -1,0 +1,342 @@
+"""InferencePlan: bit-transparency vs the graph engine, arena reuse,
+snapshot semantics, eval-mode no-ops, and the fused-QKV opt-in.
+
+The load-bearing tests are the bitwise ones: the default plan engine must
+replay the exact float64 op sequence of the autograd Tensor path, so every
+output -- unmasked, additive-masked, and exact-masked ragged -- compares
+with ``np.array_equal``, not ``allclose``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infer import InferencePlan
+from repro.models import BertConfig
+from repro.models.bert import BertEncoderModel
+from repro.nn import TransformerEncoder, Tensor
+from repro.quant.qat import attach_quantizers
+
+pytestmark = pytest.mark.plan
+
+VOCAB = 24
+MAX_SEQ = 16
+
+
+def make_model(softmax_variant: str = "softermax",
+               seed: int = 0) -> BertEncoderModel:
+    config = BertConfig.tiny_base(vocab_size=VOCAB, max_seq_len=MAX_SEQ)
+    model = BertEncoderModel(config, softmax_variant=softmax_variant,
+                             kernel="auto", seed=seed)
+    return model.eval()
+
+
+@pytest.fixture(scope="module")
+def model() -> BertEncoderModel:
+    return make_model()
+
+
+@pytest.fixture
+def ids(rng) -> np.ndarray:
+    return rng.integers(0, VOCAB, size=(3, 12))
+
+
+# --------------------------------------------------------------------------- #
+# bit-transparency (the tentpole's acceptance contract)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("batch,seq", [(1, 2), (1, MAX_SEQ), (4, 7), (2, 12)])
+def test_plan_bitwise_equals_graph_unmasked(model, rng, batch, seq):
+    ids = rng.integers(0, VOCAB, size=(batch, seq))
+    graph = model.encode(ids, engine="graph")
+    plan = model.encode(ids, engine="plan")
+    assert np.array_equal(graph, plan)
+
+
+def test_plan_bitwise_equals_graph_with_additive_mask(model, ids):
+    mask = np.ones(ids.shape)
+    mask[0, 9:] = 0.0
+    mask[2, 4:] = 0.0
+    graph = model.encode(ids, mask, engine="graph")
+    plan = model.encode(ids, mask, engine="plan")
+    assert np.array_equal(graph, plan)
+
+
+def test_plan_ragged_bitwise_equals_graph_and_solo(model, rng):
+    sequences = [list(rng.integers(1, VOCAB, size=int(n)))
+                 for n in (3, 11, 7, 2, 7)]
+    graph = model.encode_ragged(sequences, engine="graph")
+    plan = model.encode_ragged(sequences, engine="plan")
+    for got, expected in zip(plan, graph):
+        assert np.array_equal(got, expected)
+    # Each sequence is also bitwise equal to riding alone (the serving
+    # bit-transparency contract, now through the plan engine).
+    for seq, expected in zip(sequences, plan):
+        solo = model.encode_ragged([seq], engine="plan")[0]
+        assert np.array_equal(solo, expected)
+
+
+def test_encoder_only_plan_takes_hidden_states(rng):
+    encoder = TransformerEncoder(num_layers=2, hidden_dim=16, num_heads=2,
+                                 intermediate_dim=32, dropout=0.0,
+                                 softmax_variant="reference", seed=3).eval()
+    hidden = rng.normal(size=(2, 6, 16))
+    graph = encoder(Tensor(hidden)).data
+    plan = InferencePlan.from_model(encoder)
+    assert plan.input_kind == "hidden"
+    assert np.array_equal(graph, plan.run(hidden))
+
+
+def test_plan_deterministic_across_repeated_calls(model, ids):
+    first = model.encode(ids, engine="plan")
+    for _ in range(3):
+        assert np.array_equal(first, model.encode(ids, engine="plan"))
+
+
+# --------------------------------------------------------------------------- #
+# workspace arena behavior
+# --------------------------------------------------------------------------- #
+def test_steady_state_ragged_calls_do_not_allocate(model, rng):
+    sequences = [list(rng.integers(1, VOCAB, size=int(n)))
+                 for n in (5, 9, 12, 9)]
+    plan = model.inference_plan()
+    model.encode_ragged(sequences, engine="plan")
+    model.encode_ragged(sequences, engine="plan")
+    misses_before = plan.arena.misses
+    model.encode_ragged(sequences, engine="plan")
+    assert plan.arena.misses == misses_before, \
+        "steady-state serving must reuse arena buffers, not allocate"
+    assert plan.arena.hits > 0
+
+
+def test_run_output_is_caller_owned(model, rng):
+    ids_a = rng.integers(0, VOCAB, size=(2, 8))
+    ids_b = rng.integers(0, VOCAB, size=(2, 8))
+    out_a = model.encode(ids_a, engine="plan")
+    expected_a = out_a.copy()
+    # A later call with the same shapes must not recycle out_a's buffer.
+    out_b = model.encode(ids_b, engine="plan")
+    assert np.array_equal(out_a, expected_a)
+    out_a[:] = -1.0  # caller may scribble without corrupting the plan
+    out_c = model.encode(ids_b, engine="plan")
+    assert np.array_equal(out_b, out_c)
+
+
+def test_plan_introspection(model):
+    plan = model.inference_plan()
+    names = plan.op_names()
+    assert plan.num_ops == len(names)
+    assert names[0] == "embeddings"
+    assert any("encoder.layer_0.attention.core" == n for n in names)
+    assert any("encoder.layer_1.output_norm" == n for n in names)
+    description = plan.describe()
+    assert "BertEncoderModel" in description and "embeddings" in description
+    assert plan.stats()["arena"]["misses"] >= 0
+
+
+# --------------------------------------------------------------------------- #
+# fused QKV projection (opt-in, tolerance contract)
+# --------------------------------------------------------------------------- #
+def test_fused_qkv_matches_within_tolerance(model, ids):
+    graph = model.encode(ids, engine="graph")
+    fused = model.encode(ids, engine="plan", fuse_qkv=True)
+    np.testing.assert_allclose(fused, graph, rtol=1e-10, atol=1e-12)
+
+
+def test_fused_qkv_emits_one_projection_gemm(model):
+    fused_plan = model.inference_plan(fuse_qkv=True)
+    names = fused_plan.op_names()
+    assert any(name.endswith("qkv_fused") for name in names)
+    assert not any(name.endswith(".query") for name in names)
+    plain_plan = model.inference_plan(fuse_qkv=False)
+    # Two fewer projection ops per layer.
+    assert fused_plan.num_ops < plain_plan.num_ops
+
+
+def test_fused_qkv_rejects_quantized_projections():
+    model = make_model(seed=5)
+    quantizers = attach_quantizers(model)
+    for quantizer in quantizers.values():
+        quantizer.set_amax(1.0)
+    with pytest.raises(ValueError, match="fuse_qkv"):
+        model.inference_plan(fuse_qkv=True, refresh=True)
+
+
+def test_concurrent_ragged_calls_are_isolated(model, rng):
+    """Two threads hammering the same model's plan engine with same-shaped
+    batches must never see each other's hidden states (the per-sequence
+    copies happen inside the plan's execution lock)."""
+    import threading
+
+    set_a = [list(rng.integers(1, VOCAB, size=n)) for n in (6, 10, 4)]
+    set_b = [list(rng.integers(1, VOCAB, size=n)) for n in (6, 10, 4)]
+    expected = {0: model.encode_ragged(set_a, engine="plan"),
+                1: model.encode_ragged(set_b, engine="plan")}
+    failures = []
+
+    def worker(index, sequences):
+        for _ in range(25):
+            outputs = model.encode_ragged(sequences, engine="plan")
+            for got, want in zip(outputs, expected[index]):
+                if not np.array_equal(got, want):
+                    failures.append(index)
+                    return
+
+    threads = [threading.Thread(target=worker, args=(0, set_a)),
+               threading.Thread(target=worker, args=(1, set_b))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, "concurrent plan executions corrupted responses"
+
+
+# --------------------------------------------------------------------------- #
+# snapshot semantics: state_dict round trips and cache invalidation
+# --------------------------------------------------------------------------- #
+def test_state_dict_roundtrip_through_plan(rng):
+    model = make_model(seed=1)
+    donor = make_model(seed=2)
+    ids = rng.integers(0, VOCAB, size=(2, 6))
+
+    stale_plan = model.inference_plan()
+    old_output = stale_plan.run(ids).copy()
+
+    model.load_state_dict(donor.state_dict())
+    # The pre-load plan snapshotted the old weights (documented snapshot
+    # semantics): it still reproduces the old outputs ...
+    assert np.array_equal(stale_plan.run(ids), old_output)
+    # ... while the model's cached plan was invalidated by the load, so
+    # the plan engine now sees the new weights, bitwise equal to both the
+    # graph path and a donor-built plan.
+    fresh = model.encode(ids, engine="plan")
+    assert np.array_equal(fresh, model.encode(ids, engine="graph"))
+    assert np.array_equal(fresh, donor.encode(ids, engine="plan"))
+    assert not np.array_equal(fresh, old_output)
+
+
+def test_wrapper_load_state_dict_invalidates_encoder_plans(rng):
+    """Loading through a wrapper module (the TaskModel shape) must still
+    invalidate the inner encoder's cached plans -- the base
+    ``Module.load_state_dict`` rebinds parameters by dotted name and
+    notifies every module in the tree via ``_on_state_loaded``."""
+    from repro.nn import Module
+
+    class Wrapper(Module):
+        def __init__(self, encoder):
+            super().__init__()
+            self.encoder_model = encoder
+
+    wrapped = Wrapper(make_model(seed=1))
+    donor = Wrapper(make_model(seed=2))
+    ids = rng.integers(0, VOCAB, size=(2, 6))
+    old_output = wrapped.encoder_model.encode(ids, engine="plan")
+    wrapped.load_state_dict(donor.state_dict())
+    fresh = wrapped.encoder_model.encode(ids, engine="plan")
+    assert np.array_equal(
+        fresh, wrapped.encoder_model.encode(ids, engine="graph"))
+    assert not np.array_equal(fresh, old_output)
+
+
+def test_refresh_recompiles_every_cached_plan(rng):
+    model = make_model(seed=3)
+    plain = model.inference_plan(fuse_qkv=False)
+    fused = model.inference_plan(fuse_qkv=True)
+    model.inference_plan(refresh=True)
+    assert model.inference_plan(fuse_qkv=False) is not plain
+    # refresh clears the whole cache, not just the requested key: the
+    # fused plan must not survive as a stale snapshot.
+    assert model.inference_plan(fuse_qkv=True) is not fused
+
+
+def test_set_softmax_variant_invalidates_cached_plans(rng):
+    model = make_model(softmax_variant="softermax", seed=4)
+    ids = rng.integers(0, VOCAB, size=(2, 6))
+    softermax_out = model.encode(ids, engine="plan")
+    model.set_softmax_variant("reference")
+    reference_out = model.encode(ids, engine="plan")
+    assert not np.array_equal(softermax_out, reference_out)
+    assert np.array_equal(reference_out, model.encode(ids, engine="graph"))
+
+
+# --------------------------------------------------------------------------- #
+# eval-mode no-ops: dropout and quantizers on the plan path
+# --------------------------------------------------------------------------- #
+def test_eval_dropout_is_noop_on_plan_path(rng):
+    # tiny_base carries dropout=0.05; in eval mode both engines must
+    # ignore it entirely (bitwise, across repeated calls -- no RNG drift).
+    model = make_model(seed=6)
+    assert model.config.dropout > 0.0
+    ids = rng.integers(0, VOCAB, size=(2, 9))
+    graph = model.encode(ids, engine="graph")
+    plan = model.encode(ids, engine="plan")
+    assert np.array_equal(graph, plan)
+    assert np.array_equal(plan, model.encode(ids, engine="plan"))
+
+
+def test_unconfigured_quantizers_pass_through(rng):
+    model = make_model(seed=7)
+    ids = rng.integers(0, VOCAB, size=(2, 8))
+    baseline = model.encode(ids, engine="graph")
+    attach_quantizers(model)  # attached but never calibrated/frozen
+    plan_out = model.encode(ids, engine="plan")
+    assert np.array_equal(plan_out, baseline)
+
+
+def test_frozen_quantizers_replayed_bitwise(rng):
+    model = make_model(seed=8)
+    ids = rng.integers(0, VOCAB, size=(2, 8))
+    quantizers = attach_quantizers(model)
+    for quantizer in quantizers.values():
+        quantizer.set_amax(2.0)
+    graph = model.encode(ids, engine="graph")
+    plan = model.encode(ids, engine="plan")
+    assert np.array_equal(graph, plan)
+    assert not np.array_equal(graph, make_model(seed=8).encode(
+        ids, engine="graph")), "quantization must actually change outputs"
+
+
+def test_calibrating_quantizers_block_compilation(rng):
+    model = make_model(seed=9)
+    quantizers = attach_quantizers(model)
+    for quantizer in quantizers.values():
+        quantizer.enable_calibration()
+    with pytest.raises(RuntimeError, match="calibrating"):
+        model.inference_plan(refresh=True)
+
+
+# --------------------------------------------------------------------------- #
+# validation and error paths
+# --------------------------------------------------------------------------- #
+def test_plan_engine_requires_eval_mode(model, ids):
+    model.train()
+    try:
+        with pytest.raises(RuntimeError, match="eval"):
+            model.encode(ids, engine="plan")
+    finally:
+        model.eval()
+
+
+def test_unknown_engine_rejected(model, ids):
+    with pytest.raises(ValueError, match="unknown inference engine"):
+        model.encode(ids, engine="jit")
+    with pytest.raises(ValueError, match="unknown inference engine"):
+        model.encode_ragged([[1, 2]], engine="jit")
+
+
+def test_plan_validates_inputs_like_the_graph(model):
+    plan = model.inference_plan()
+    with pytest.raises(IndexError, match="out of range"):
+        plan.run(np.full((1, 4), VOCAB, dtype=np.int64))
+    with pytest.raises(ValueError, match="max_seq_len"):
+        plan.run(np.zeros((1, MAX_SEQ + 1), dtype=np.int64))
+    with pytest.raises(ValueError, match="attention_mask shape"):
+        plan.run(np.zeros((2, 4), dtype=np.int64), np.ones((2, 5)))
+    with pytest.raises(ValueError, match="right-padded"):
+        plan.run_ragged(np.zeros((1, 4), dtype=np.int64),
+                        np.array([[1.0, 0.0, 1.0, 0.0]]))
+
+
+def test_from_model_rejects_plain_modules():
+    with pytest.raises(TypeError, match="plan export"):
+        InferencePlan.from_model(object())

@@ -170,7 +170,10 @@ class TestResolve:
 
 
 class TestAdaptiveDispatch:
-    def test_choice_thresholds(self):
+    def test_choice_thresholds(self, monkeypatch):
+        # Pin a multicore host so the thresholds (not the single-core
+        # gate) are what is under test here.
+        monkeypatch.setattr("os.cpu_count", lambda: 4)
         assert auto_kernel_choice(8, 512, workers=1) == "softermax-fused"
         big_rows = AUTO_BLOCKED_MIN_ELEMENTS // 512
         assert auto_kernel_choice(big_rows, 512, workers=1) \
@@ -183,6 +186,32 @@ class TestAdaptiveDispatch:
         # One giant row cannot be split across workers.
         assert auto_kernel_choice(1, AUTO_PARALLEL_MIN_ELEMENTS, workers=4) \
             == "softermax-blocked"
+
+    def test_single_core_host_never_picks_the_pool(self, monkeypatch):
+        """On a 1-core box the pool is pure overhead (the ROADMAP-noted
+        0.8x regression): auto skips parallel even with an explicit
+        multi-worker budget and falls straight to blocked."""
+        huge_rows = AUTO_PARALLEL_MIN_ELEMENTS // 512
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+            == "softermax-blocked"
+        assert auto_kernel_choice(huge_rows, 512) == "softermax-blocked"
+        # cpu_count() may report None (unknown): treated as single core.
+        monkeypatch.setattr("os.cpu_count", lambda: None)
+        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+            == "softermax-blocked"
+        # Back on a multicore host the same call fans out again.
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+            == "softermax-parallel"
+
+    def test_single_core_gate_applies_to_the_adaptive_kernel(
+            self, monkeypatch, paper_config):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        kernel = AdaptiveSoftermaxKernel(paper_config, workers=4)
+        rows = AUTO_PARALLEL_MIN_ELEMENTS // 256
+        huge = np.zeros((rows, 256))
+        assert kernel._choose(huge, -1) == "softermax-blocked"
 
     def test_adaptive_kernel_dispatches_and_matches(self, rng, paper_config):
         kernel = AdaptiveSoftermaxKernel(paper_config, workers=1)

@@ -48,6 +48,12 @@ def test_run_loadtest_measures_throughput():
     assert result.p50_ms is not None
     assert result.mean_batch_size > 1.0
     assert result.cache_hit_rate == 0.0
+    # The latency split rides every result: queue wait vs model forward.
+    assert result.engine == "plan"
+    assert result.queue_wait_p50_ms is not None
+    assert result.queue_wait_p99_ms >= result.queue_wait_p50_ms
+    assert result.forward_p50_ms is not None and result.forward_p50_ms > 0
+    assert result.forward_p99_ms >= result.forward_p50_ms
 
 
 @pytest.mark.slow

@@ -63,6 +63,49 @@ def test_batched_responses_bitwise_identical_to_single_request(
         assert np.array_equal(solo, from_cache)
 
 
+def test_service_defaults_to_the_plan_engine(encoder_service_model):
+    """The service runs the graph-free plan engine by default, and its
+    responses stay bitwise identical to the graph engine's solo path."""
+    assert ServiceConfig().engine == "plan"
+    requests = synthetic_requests(8, min_tokens=3, max_tokens=12, seed=13)
+    with _service(encoder_service_model, cache_size=0) as service:
+        assert service.config.engine == "plan"
+        assert service._engine_kwargs == {"engine": "plan",
+                                          "fuse_qkv": False}
+        served = service.infer_many(requests)
+        assert service.snapshot()["engine"] == "plan"
+    for tokens, got in zip(requests, served):
+        graph_solo = encoder_service_model.encode_ragged(
+            [list(tokens)], engine="graph")[0]
+        assert np.array_equal(got, graph_solo)
+
+
+def test_graph_engine_still_selectable(encoder_service_model):
+    tokens = (3, 1, 4, 1, 5)
+    with _service(encoder_service_model, cache_size=0,
+                  engine="graph") as service:
+        graph_served = service.infer(tokens)
+    with _service(encoder_service_model, cache_size=0) as service:
+        plan_served = service.infer(tokens)
+    assert np.array_equal(graph_served, plan_served)
+
+
+def test_unknown_engine_rejected(encoder_service_model):
+    with pytest.raises(ValueError, match="unknown inference engine"):
+        _service(encoder_service_model, engine="jit")
+
+
+def test_latency_split_reported(encoder_service_model):
+    with _service(encoder_service_model, cache_size=0) as service:
+        service.infer_many(synthetic_requests(6, seed=17))
+        snap = service.snapshot()
+    assert snap["queue_wait_p50_ms"] is not None
+    assert snap["forward_p50_ms"] is not None
+    # Queue wait + forward bound the end-to-end latency from below.
+    assert snap["queue_wait_p50_ms"] >= 0.0
+    assert snap["forward_p50_ms"] > 0.0
+
+
 def test_responses_are_isolated_copies(encoder_service_model):
     with _service(encoder_service_model) as service:
         tokens = (5, 9, 3)

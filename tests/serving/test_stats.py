@@ -62,6 +62,42 @@ def test_start_resets_the_measurement_interval():
     assert snap["batches"] == 0
 
 
+def test_latency_split_components():
+    stats = LatencyStats()
+    stats.start()
+    stats.record(0.030, queue_wait_seconds=0.010)
+    stats.record(0.050, queue_wait_seconds=0.020)
+    stats.record_batch(2, forward_seconds=0.025)
+    snap = stats.snapshot()
+    assert snap["queue_wait_p50_ms"] == 10.0
+    assert snap["queue_wait_p99_ms"] == 20.0
+    assert snap["forward_p50_ms"] == 25.0
+    assert snap["forward_p99_ms"] == 25.0
+
+
+def test_latency_split_absent_without_samples():
+    """Cached completions record no queue wait; old-style calls keep
+    working and simply leave the split columns empty."""
+    stats = LatencyStats()
+    stats.start()
+    stats.record(0.001, cached=True)
+    stats.record_batch(1)
+    snap = stats.snapshot()
+    assert snap["completed"] == 1
+    assert snap["queue_wait_p50_ms"] is None
+    assert snap["forward_p50_ms"] is None
+
+
+def test_start_clears_the_split_windows():
+    stats = LatencyStats()
+    stats.record(0.5, queue_wait_seconds=0.4)
+    stats.record_batch(1, forward_seconds=0.1)
+    stats.start()
+    snap = stats.snapshot()
+    assert snap["queue_wait_p50_ms"] is None
+    assert snap["forward_p50_ms"] is None
+
+
 def test_window_is_bounded():
     stats = LatencyStats(window=8)
     for i in range(100):

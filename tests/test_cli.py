@@ -71,7 +71,9 @@ class TestFastCommands:
         assert "auto resolves to: softermax-fused" in out
         assert "selection" in out
 
-    def test_kernels_auto_choice_tracks_shape(self, capsys):
+    def test_kernels_auto_choice_tracks_shape(self, capsys, monkeypatch):
+        # Pin a multicore host: on a 1-core box auto never picks the pool.
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         assert main(["kernels", "--batch", "1024", "--seq-len", "2048",
                      "--workers", "1"]) == 0
         out = capsys.readouterr().out
@@ -80,6 +82,14 @@ class TestFastCommands:
                      "--workers", "8"]) == 0
         out = capsys.readouterr().out
         assert "auto resolves to: softermax-parallel" in out
+
+    def test_kernels_auto_choice_single_core_skips_pool(self, capsys,
+                                                        monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        assert main(["kernels", "--batch", "4096", "--seq-len", "2048",
+                     "--workers", "8"]) == 0
+        assert ("auto resolves to: softermax-blocked"
+                in capsys.readouterr().out)
 
     def test_bench_kernels_quick(self, capsys):
         assert main(["bench-kernels", "--kernels", "softermax-fused",
@@ -136,8 +146,16 @@ class TestServingCommands:
         parser = build_parser()
         args = parser.parse_args(["serve", "--max-batch-size", "4"])
         assert args.command == "serve" and args.max_batch_size == 4
+        assert args.engine == "plan" and args.fuse_qkv is False
+        args = parser.parse_args(["serve", "--engine", "graph"])
+        assert args.engine == "graph"
+        args = parser.parse_args(["serve", "--fuse-qkv"])
+        assert args.fuse_qkv is True
         args = parser.parse_args(["loadtest", "--requests", "16"])
         assert args.command == "loadtest" and args.requests == 16
+        assert args.engine == "plan"
+        args = parser.parse_args(["loadtest", "--engine", "graph"])
+        assert args.engine == "graph"
 
     def test_serve_round_trip(self, capsys, monkeypatch):
         import io
@@ -156,6 +174,18 @@ class TestServingCommands:
         assert ok_lines[0].split("pooled")[1] == ok_lines[1].split("pooled")[1]
         assert "not a token-id line" in captured.err
         assert "served 2 requests" in captured.out
+        assert "engine=plan" in captured.out
+        assert "latency split: queue wait" in captured.out
+
+    def test_serve_round_trip_graph_engine(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("3 5 7\nquit\n"))
+        assert main(["serve", "--engine", "graph", "--max-batch-size", "2",
+                     "--max-wait-ms", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "engine=graph" in captured.out
+        assert "served 1 requests" in captured.out
 
     def test_serve_rejects_unknown_kernel(self, capsys):
         assert main(["serve", "--kernel", "not-a-kernel"]) == 2
@@ -174,3 +204,8 @@ class TestServingCommands:
         payload = json.loads(out_path.read_text())
         assert payload["batched"]["batch_size"] == 8
         assert payload["speedup_batched_vs_sequential"] > 0
+        # The latency split and cache hit rate surface in the summary.
+        assert "queue p50 ms" in out and "fwd p50 ms" in out
+        assert "cache hit rate:" in out
+        assert payload["workload"]["engine"] == "plan"
+        assert payload["batched"]["forward_p50_ms"] is not None
