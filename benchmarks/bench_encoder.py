@@ -19,6 +19,12 @@ Two workloads are recorded to ``benchmarks/results/BENCH_encoder.json``:
 
 Besides wall time, each point records the tracemalloc peak per call --
 the plan engine's second claim is a large cut in per-call allocation.
+The ragged workload additionally records (and *asserts*) the steady-state
+allocation counters of the workspace-aware kernel boundary: after warmup,
+repeated ragged plan calls must show zero arena misses, zero kernel
+output allocations and zero kernel-scratch reallocations, or the run
+fails -- this is the hard check ``scripts/ci.sh`` relies on (the latency
+baseline diff below stays warn-only).
 Before anything is timed, plan outputs are asserted bitwise equal to
 graph outputs (and the fused plan allclose), so the recorded speedups are
 guaranteed to compare equal computations.
@@ -100,6 +106,46 @@ def check_equivalence(model) -> None:
                                  "graph engine on the ragged workload")
 
 
+def measure_ragged_steady_state(model, sequences, iterations: int = 20,
+                                warmup: int = 3) -> dict:
+    """Allocation counters over steady-state ragged plan serving.
+
+    After ``warmup`` calls populate the arena and the kernel workspace,
+    ``iterations`` further calls must not miss the arena, allocate a
+    kernel output, or regrow the kernel scratch -- the workspace-aware
+    kernel boundary's contract.
+    """
+    from repro.kernels import output_allocation_count
+
+    plan = model.inference_plan()
+    for _ in range(warmup):
+        model.encode_ragged(sequences, engine="plan")
+    arena_misses = plan.arena.misses
+    kernel_allocs = output_allocation_count()
+    scratch_reallocs = plan.scratch.reallocs
+    for _ in range(iterations):
+        model.encode_ragged(sequences, engine="plan")
+    return {
+        "iterations": iterations,
+        "arena_misses": plan.arena.misses - arena_misses,
+        "kernel_output_allocations":
+            output_allocation_count() - kernel_allocs,
+        "kernel_scratch_reallocs": plan.scratch.reallocs - scratch_reallocs,
+    }
+
+
+def assert_zero_steady_state_allocations(steady: dict) -> None:
+    """Hard check: the serving hot path stays allocation-free."""
+    failures = [f"{key}={steady[key]}" for key in
+                ("arena_misses", "kernel_output_allocations",
+                 "kernel_scratch_reallocs") if steady[key] != 0]
+    if failures:
+        raise AssertionError(
+            "steady-state ragged serving performed allocations at the "
+            f"kernel boundary: {', '.join(failures)} over "
+            f"{steady['iterations']} iterations")
+
+
 def best_seconds(fn, number: int, repeat: int) -> float:
     """Best mean seconds/call over ``repeat`` timing loops."""
     fn()  # warmup (LUTs, arena population, BLAS threads)
@@ -161,6 +207,9 @@ def run_benchmark(model_name: str, number: int, repeat: int,
     ragged["workload"] = (f"{len(sequences)} ragged requests of 8-16 "
                           "tokens via encode_ragged (exact masking)")
 
+    steady = measure_ragged_steady_state(model, sequences)
+    assert_zero_steady_state_allocations(steady)
+
     plan = model.inference_plan()
     return {
         "python": platform.python_version(),
@@ -170,7 +219,9 @@ def run_benchmark(model_name: str, number: int, repeat: int,
         "timing": {"number": number, "repeat": repeat},
         "single": single,
         "ragged_batch": ragged,
-        "plan": {"ops": plan.num_ops, "arena": plan.arena.stats()},
+        "ragged_steady_state": steady,
+        "plan": {"ops": plan.num_ops, "arena": plan.arena.stats(),
+                 "kernel_scratch": plan.scratch.stats()},
         "speedup_plan_vs_graph_single": single["speedup_vs_graph"]["plan"],
         "target_speedup": TARGET_SPEEDUP,
     }
@@ -219,6 +270,12 @@ def main(argv=None) -> int:
                   f"peak {point['tracemalloc_peak_kb']:8.1f} KB")
         for name, speedup in block["speedup_vs_graph"].items():
             print(f"  {name:>10}: {speedup:5.2f}x vs graph")
+    steady = payload["ragged_steady_state"]
+    print(f"ragged steady state ({steady['iterations']} iterations): "
+          f"{steady['arena_misses']} arena misses, "
+          f"{steady['kernel_output_allocations']} kernel output "
+          f"allocations, {steady['kernel_scratch_reallocs']} scratch "
+          "reallocs (asserted zero)")
     headline = payload["speedup_plan_vs_graph_single"]
     print(f"headline (plan vs graph, single request): {headline:.2f}x "
           f"(target >= {TARGET_SPEEDUP}x)")

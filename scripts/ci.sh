@@ -11,7 +11,9 @@ python -m pytest -x -q
 echo "== kernel benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_kernels --quick
 
-echo "== encoder benchmark smoke (graph vs plan, warn-only baseline diff) =="
+echo "== encoder benchmark smoke (graph vs plan; asserts zero steady-state"
+echo "   kernel-output allocations + arena misses on the ragged serving run;"
+echo "   latency baseline diff stays warn-only) =="
 python -m benchmarks.bench_encoder --quick
 
 echo "== serving smoke (serve CLI round trip) =="

@@ -141,6 +141,11 @@ def _kernel_options(args: argparse.Namespace) -> dict:
     return options
 
 
+def _zero_if_none(value):
+    """Zero-request summaries print zeros, not ``None`` cells."""
+    return 0.0 if value is None else value
+
+
 def _add_kernel_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for the parallel kernel "
@@ -213,10 +218,17 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     for name in available_kernels():
         spec = get_kernel(name)
         marker = " <- auto" if name == auto_pick else ""
+        if spec.supports_out and spec.supports_scratch:
+            inplace = "out+scratch"
+        elif spec.supports_out:
+            inplace = "out"
+        else:
+            inplace = "copy"
         rows.append([name + marker, "yes" if spec.bit_accurate else "no",
-                     spec.selection or "-", spec.description])
+                     inplace, spec.selection or "-", spec.description])
     print(format_table(
-        ["kernel", "bit-accurate", "selection", "description"], rows,
+        ["kernel", "bit-accurate", "out=/scratch", "selection",
+         "description"], rows,
         title='Registered softmax kernels ("auto" dispatches per call)'))
     print(f"\nauto resolves to: {auto_pick} for shape "
           f"(batch={args.batch}, seq_len={args.seq_len}, "
@@ -302,12 +314,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"ok tokens={len(tokens)} hidden={hidden.shape} "
                   f"cached={request.cached} pooled[:4]={pooled}", flush=True)
         snap = service.snapshot()
+    # A zero-request session has no latency samples; report zeros, not None.
+    p = {key: _zero_if_none(snap[key]) for key in
+         ("p50_ms", "p99_ms", "queue_wait_p50_ms", "queue_wait_p99_ms",
+          "forward_p50_ms", "forward_p99_ms")}
     print(f"served {snap['completed']} requests "
-          f"(p50={snap['p50_ms']} ms, p99={snap['p99_ms']} ms, "
+          f"(p50={p['p50_ms']} ms, p99={p['p99_ms']} ms, "
           f"cache hit rate {snap['cache']['hit_rate']:.0%})")
-    print(f"latency split: queue wait p50={snap['queue_wait_p50_ms']} ms "
-          f"p99={snap['queue_wait_p99_ms']} ms; model forward "
-          f"p50={snap['forward_p50_ms']} ms p99={snap['forward_p99_ms']} ms")
+    print(f"latency split: queue wait p50={p['queue_wait_p50_ms']} ms "
+          f"p99={p['queue_wait_p99_ms']} ms; model forward "
+          f"p50={p['forward_p50_ms']} ms p99={p['forward_p99_ms']} ms")
     return 0
 
 
@@ -329,9 +345,14 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     rows = []
     for label in ("sequential", "batched"):
         result = payload[label]
-        rows.append([label, result["batch_size"], result["requests_per_second"],
-                     result["p50_ms"], result["p99_ms"],
-                     result["queue_wait_p50_ms"], result["forward_p50_ms"],
+        # Sample-less columns (e.g. an all-cached run records no queue
+        # waits) print as zeros rather than "None" cells.
+        rows.append([label, result["batch_size"],
+                     _zero_if_none(result["requests_per_second"]),
+                     _zero_if_none(result["p50_ms"]),
+                     _zero_if_none(result["p99_ms"]),
+                     _zero_if_none(result["queue_wait_p50_ms"]),
+                     _zero_if_none(result["forward_p50_ms"]),
                      result["mean_batch_size"] or 1.0])
     workload = payload["workload"]
     print(format_table(

@@ -3,11 +3,18 @@
 The graph path allocates fresh float64 temporaries for every op of every
 layer of every call; at serving rates that allocation traffic -- not the
 arithmetic -- dominates the encoder forward.  :class:`WorkspaceArena` is
-the antidote: a pool of preallocated scratch buffers keyed by shape, so
-the plan executor's ``acquire``/``release`` cycle reuses the same handful
-of arrays across layers *and* across calls.  Steady-state serving (same
-request shapes arriving repeatedly) performs no per-request large
-intermediate allocations.
+the antidote: a pool of preallocated scratch buffers keyed by shape (and
+dtype), so the plan executor's ``acquire``/``release`` cycle reuses the
+same handful of arrays across layers *and* across calls.  Steady-state
+serving (same request shapes arriving repeatedly) performs no per-request
+large intermediate allocations.
+
+Buffers default to float64 (the plan's register file), but the pools are
+dtype-aware: the kernel boundary's scratch workspaces
+(:class:`repro.kernels.workspace.KernelWorkspace`) draw their narrow
+integer buffers (int16 gather indices, uint16 unnormalized codes, ...)
+from the same arena, so one byte budget and one set of hit/miss counters
+covers the whole inference working set.
 
 Two release flavors:
 
@@ -17,7 +24,8 @@ Two release flavors:
   about to read (e.g. :meth:`~repro.infer.plan.InferencePlan.run_ragged`
   output, copied out immediately by ``encode_ragged``).  It is parked and
   only returned to the pool by :meth:`begin_call` at the start of the
-  next execution, so the caller's read window is safe.
+  next execution, so the caller's read window is safe.  Parked buffers are
+  exempt from the byte-budget eviction until they re-enter the pool.
 
 The arena is not thread-safe by itself; :class:`~repro.infer.plan.
 InferencePlan` serializes executions with a lock.
@@ -30,6 +38,10 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 Shape = Tuple[int, ...]
+#: Pool key: (shape, dtype).  Keys hold the interned ``np.dtype`` object --
+#: hashing it is cheap, while ``dtype.name`` is a computed property that
+#: showed up in the serving profile; names are only rendered in ``stats``.
+PoolKey = Tuple[Shape, np.dtype]
 
 
 #: Default cap on pooled (free) bytes.  Steady-state serving of one shape
@@ -41,22 +53,24 @@ DEFAULT_MAX_FREE_BYTES = 64 * 1024 * 1024
 
 
 class WorkspaceArena:
-    """A free-list of float64 scratch buffers keyed by exact shape.
+    """A free-list of scratch buffers keyed by exact (shape, dtype).
 
     The free pool is bounded by ``max_free_bytes``: releases beyond the
     budget evict buffers from the least-recently-used *shape* (freshly
-    used shapes -- the serving steady state -- are kept hot).
+    used shapes -- the serving steady state -- are kept hot).  A budget of
+    zero disables pooling entirely: every release drops its buffer on the
+    spot (counted as an eviction) without touching the recency bookkeeping.
     """
 
     def __init__(self, max_free_bytes: int = DEFAULT_MAX_FREE_BYTES) -> None:
         if max_free_bytes < 0:
             raise ValueError("max_free_bytes must be >= 0")
         self.max_free_bytes = max_free_bytes
-        self._free: Dict[Shape, List[np.ndarray]] = {}
+        self._free: Dict[PoolKey, List[np.ndarray]] = {}
         self._free_bytes = 0
         self._deferred: List[np.ndarray] = []
         self._tick = 0
-        self._last_used: Dict[Shape, int] = {}
+        self._last_used: Dict[PoolKey, int] = {}
         #: Number of ``acquire`` calls served from the pool.
         self.hits = 0
         #: Number of ``acquire`` calls that had to allocate.
@@ -66,58 +80,76 @@ class WorkspaceArena:
         #: Total bytes ever allocated by this arena.
         self.allocated_bytes = 0
 
+    @staticmethod
+    def _key_of(buffer: np.ndarray) -> PoolKey:
+        return (buffer.shape, buffer.dtype)
+
     # ------------------------------------------------------------------ #
     # the acquire/release cycle
     # ------------------------------------------------------------------ #
-    def acquire(self, shape) -> np.ndarray:
-        """Hand out a C-contiguous float64 buffer of exactly ``shape``.
+    def acquire(self, shape, dtype=np.float64) -> np.ndarray:
+        """Hand out a C-contiguous buffer of exactly ``shape`` / ``dtype``.
 
         Contents are unspecified (pooled buffers carry stale values); every
         plan op fully overwrites its output, and the few that need zeros
         (the exact-mask attention context) fill them explicitly.
         """
-        shape = tuple(int(dim) for dim in shape)
-        self._touch(shape)
-        pool = self._free.get(shape)
+        if type(shape) is not tuple:
+            shape = tuple(shape)
+        dtype = np.dtype(dtype)
+        key = (shape, dtype)
+        self._touch(key)
+        pool = self._free.get(key)
         if pool:
             self.hits += 1
             buffer = pool.pop()
             self._free_bytes -= buffer.nbytes
             if not pool:
-                del self._free[shape]
+                del self._free[key]
+                self._last_used.pop(key, None)
             return buffer
         self.misses += 1
-        buffer = np.empty(shape, dtype=np.float64)
+        buffer = np.empty(shape, dtype=dtype)
         self.allocated_bytes += buffer.nbytes
         return buffer
 
     def release(self, buffer: np.ndarray) -> None:
         """Return a previously acquired buffer to the free pool."""
-        self._touch(buffer.shape)
-        self._free.setdefault(buffer.shape, []).append(buffer)
+        if self.max_free_bytes == 0:
+            # No pool to park it in: drop on the spot, touching neither
+            # the byte count nor the recency map (a zero-budget arena must
+            # never accumulate bookkeeping for buffers it cannot keep).
+            self.evictions += 1
+            return
+        key = self._key_of(buffer)
+        self._touch(key)
+        self._free.setdefault(key, []).append(buffer)
         self._free_bytes += buffer.nbytes
         self._evict()
 
-    def _touch(self, shape: Shape) -> None:
+    def _touch(self, key: PoolKey) -> None:
         self._tick += 1
-        self._last_used[shape] = self._tick
+        self._last_used[key] = self._tick
 
     def _evict(self) -> None:
         """Drop LRU shapes' buffers until the pool fits the byte budget."""
         while self._free_bytes > self.max_free_bytes and self._free:
-            shape = min(self._free, key=lambda s: self._last_used.get(s, 0))
-            pool = self._free[shape]
+            key = min(self._free, key=lambda k: self._last_used.get(k, 0))
+            pool = self._free[key]
             dropped = pool.pop()
             self._free_bytes -= dropped.nbytes
             self.evictions += 1
             if not pool:
-                del self._free[shape]
+                del self._free[key]
+                self._last_used.pop(key, None)
 
     def release_deferred(self, buffer: np.ndarray) -> None:
         """Return ``buffer`` to the pool at the *next* :meth:`begin_call`.
 
         Used for execution outputs the caller still reads (and copies)
         after the executor returns but before the next execution starts.
+        Parked buffers are not part of the free pool, so the byte-budget
+        eviction cannot reclaim them early.
         """
         self._deferred.append(buffer)
 
@@ -142,7 +174,8 @@ class WorkspaceArena:
             "max_free_bytes": self.max_free_bytes,
             "deferred_buffers": len(self._deferred),
             "allocated_bytes": self.allocated_bytes,
-            "shapes": sorted(self._free),
+            "shapes": sorted((shape, dtype.name) for shape, dtype
+                             in self._free),
         }
 
     def __repr__(self) -> str:

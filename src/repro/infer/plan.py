@@ -39,6 +39,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro.infer.arena import WorkspaceArena
+from repro.kernels.workspace import KernelWorkspace
 from repro.nn import functional as F
 
 #: Reserved register names for runtime inputs.
@@ -62,16 +63,22 @@ class ExecutionContext:
     are not owned and are never released to the pool).  ``mask`` and
     ``lengths`` carry the per-call attention mask; a non-``None``
     ``lengths`` switches attention cores to the exact-mask path.
+    ``scratch`` is the plan's kernel workspace
+    (:class:`~repro.kernels.workspace.KernelWorkspace`): attention ops
+    pass it to the softmax kernels so their internal temporaries ride the
+    same arena as the register file.
     """
 
-    __slots__ = ("regs", "arena", "owned", "mask", "lengths")
+    __slots__ = ("regs", "arena", "owned", "mask", "lengths", "scratch")
 
-    def __init__(self, arena: WorkspaceArena) -> None:
+    def __init__(self, arena: WorkspaceArena,
+                 scratch: Optional[KernelWorkspace] = None) -> None:
         self.regs: Dict[str, np.ndarray] = {}
         self.arena = arena
         self.owned: Set[str] = set()
         self.mask: Optional[np.ndarray] = None
         self.lengths: Optional[np.ndarray] = None
+        self.scratch = scratch
 
     def acquire(self, shape) -> np.ndarray:
         """Arena buffer for an op output (mark owned via :meth:`put`)."""
@@ -147,6 +154,9 @@ class InferencePlan:
         self.fuse_qkv = fuse_qkv
         self.source = source
         self.arena = WorkspaceArena()
+        # Kernel scratch rides the same arena, so one byte budget and one
+        # set of counters covers registers and kernel temporaries alike.
+        self.scratch = KernelWorkspace(arena=self.arena)
         self.calls = 0
         self._lock = threading.Lock()
 
@@ -244,7 +254,7 @@ class InferencePlan:
                  detach_output: bool, extract=None) -> np.ndarray:
         with self._lock:
             self.arena.begin_call()
-            ctx = ExecutionContext(self.arena)
+            ctx = ExecutionContext(self.arena, scratch=self.scratch)
             ctx.regs.update(regs)
             ctx.mask = mask
             ctx.lengths = lengths
@@ -290,9 +300,10 @@ class InferencePlan:
         return "\n".join(lines)
 
     def stats(self) -> dict:
-        """Execution counters plus the arena's buffer statistics."""
+        """Execution counters plus arena and kernel-scratch statistics."""
         return {"calls": self.calls, "ops": self.num_ops,
-                "fuse_qkv": self.fuse_qkv, "arena": self.arena.stats()}
+                "fuse_qkv": self.fuse_qkv, "arena": self.arena.stats(),
+                "kernel_scratch": self.scratch.stats()}
 
     def __repr__(self) -> str:
         return (f"InferencePlan(source={self.source!r}, "

@@ -16,6 +16,10 @@ caller picks an implementation:
 * :mod:`repro.kernels.registry` -- the name -> implementation registry with
   adaptive ``"auto"`` selection, used by the attention layers, sweeps, the
   CLI and the benchmarks.
+* :mod:`repro.kernels.workspace` -- the workspace-aware call contract:
+  caller-owned ``out=`` buffers, the :class:`KernelWorkspace` scratch pool
+  shared by every engine, and the kernel output-allocation counters the
+  serving benchmarks assert against.
 """
 
 from repro.kernels.blocked import (
@@ -47,6 +51,13 @@ from repro.kernels.registry import (
     resolve_kernel,
     supported_options,
 )
+from repro.kernels.workspace import (
+    KernelWorkspace,
+    check_out_buffer,
+    output_allocation_count,
+    record_output_allocation,
+    reset_output_allocations,
+)
 
 __all__ = [
     "BlockedSoftermaxKernel",
@@ -70,4 +81,9 @@ __all__ = [
     "register_kernel",
     "resolve_kernel",
     "supported_options",
+    "KernelWorkspace",
+    "check_out_buffer",
+    "output_allocation_count",
+    "record_output_allocation",
+    "reset_output_allocations",
 ]

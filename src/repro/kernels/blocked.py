@@ -43,6 +43,11 @@ from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
 from repro.core.softermax import SoftermaxIntermediates, SoftermaxResult
 from repro.fixedpoint import RoundingMode, quantize
 from repro.kernels.fused import _clip, get_fused_kernel, narrowest_int_dtype
+from repro.kernels.workspace import (
+    KernelWorkspace,
+    check_out_buffer,
+    record_output_allocation,
+)
 
 #: Target per-block working-set size in bytes.  The scratch set costs about
 #: 8 (quantization buffer) + 2-4 (gather index) + 4-8 (unnormed codes) +
@@ -111,24 +116,40 @@ class BlockedSoftermaxKernel:
         else:
             self._ucode_dtype = None
             self._lut = None
-        # Scratch buffers (flat, viewed per block); allocated lazily and
+        # Built-in scratch workspace (flat buffers, viewed per block):
         # grown monotonically so repeated calls on the same shapes allocate
-        # nothing but the output.
-        self._cap = 0
-        self._pad_key = None
+        # nothing but the output.  A caller-owned workspace passed via
+        # ``scratch=`` replaces it for that call (the arena-backed serving
+        # path), sharing one scratch set across every engine.
+        self._workspace = KernelWorkspace()
 
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Apply Softermax along ``axis`` and return the probabilities."""
+    def __call__(self, x: np.ndarray, axis: int = -1,
+                 out: Optional[np.ndarray] = None,
+                 scratch: Optional[KernelWorkspace] = None) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities.
+
+        ``out``/``scratch`` follow the registry's workspace-aware kernel
+        contract: ``out`` (float64, ``x``'s shape) receives the result in
+        place, ``scratch`` replaces the kernel's built-in workspace.
+        """
         x = np.asarray(x, dtype=np.float64)
-        if axis == -1 or axis == x.ndim - 1:
-            output, _ = self._forward(x, want_intermediates=False)
+        check_out_buffer(out, x.shape)
+        last_axis = axis == -1 or axis == x.ndim - 1
+        if last_axis and (out is None or out.flags.c_contiguous):
+            output, _ = self._forward(x, want_intermediates=False, out=out,
+                                      ws=scratch)
             return output
-        output, _ = self._forward(np.moveaxis(x, axis, -1),
-                                  want_intermediates=False)
-        return np.moveaxis(output, -1, axis)
+        moved = x if last_axis else np.moveaxis(x, axis, -1)
+        output, _ = self._forward(moved, want_intermediates=False, ws=scratch)
+        if not last_axis:
+            output = np.moveaxis(output, -1, axis)
+        if out is None:
+            return output
+        np.copyto(out, output)
+        return out
 
     def run(self, x: np.ndarray, axis: int = -1) -> SoftermaxResult:
         """Run the blocked kernel, retaining every intermediate signal."""
@@ -136,7 +157,8 @@ class BlockedSoftermaxKernel:
         _, result = self._forward(moved, want_intermediates=True)
         return result
 
-    def forward_rows_into(self, rows: np.ndarray, out: np.ndarray) -> None:
+    def forward_rows_into(self, rows: np.ndarray, out: np.ndarray,
+                          scratch: Optional[KernelWorkspace] = None) -> None:
         """Process a 2-D row batch, writing probabilities in place.
 
         This is the entry point the multi-worker backend uses: ``rows`` and
@@ -148,18 +170,22 @@ class BlockedSoftermaxKernel:
         if self.fused._lut_codes is None:
             out[...], _ = self.fused._forward_float(rows, False)
             return
-        self._forward_rows(rows, out, None)
+        self._forward_rows(rows, out, None, scratch)
 
     # ------------------------------------------------------------------ #
     # forward
     # ------------------------------------------------------------------ #
-    def _forward(self, moved: np.ndarray, want_intermediates: bool):
+    def _forward(self, moved: np.ndarray, want_intermediates: bool,
+                 out: Optional[np.ndarray] = None,
+                 ws: Optional[KernelWorkspace] = None):
         length = moved.shape[-1]
         if length == 0:
             raise ValueError("softermax requires a non-empty reduction axis")
         if moved.ndim == 1:
-            output, result = self._forward(moved[None, :], want_intermediates)
-            output = np.squeeze(output, axis=0)
+            inner_out = None if out is None else out[None, :]
+            output, result = self._forward(moved[None, :], want_intermediates,
+                                           out=inner_out, ws=ws)
+            output = out if out is not None else np.squeeze(output, axis=0)
             if result is not None:
                 i = result.intermediates
                 result = SoftermaxResult(SoftermaxIntermediates(
@@ -171,12 +197,16 @@ class BlockedSoftermaxKernel:
         if self.fused._lut_codes is None:
             # Exotic operating point (diff LUT too large): the fused float
             # path is already whole-tensor; blocking adds nothing.
-            return self.fused._forward(moved, want_intermediates)
+            return self.fused._forward(moved, want_intermediates, out=out)
 
         lead = moved.shape[:-1]
         rows = int(np.prod(lead))
         x2 = moved.reshape(rows, length)
-        out2 = np.empty((rows, length), dtype=np.float64)
+        if out is not None:
+            out2 = out.reshape(rows, length)
+        else:
+            out2 = np.empty((rows, length), dtype=np.float64)
+            record_output_allocation()
 
         slabs = None
         if want_intermediates:
@@ -190,9 +220,9 @@ class BlockedSoftermaxKernel:
                 "denominator": np.empty(rows),
                 "reciprocal": np.empty(rows),
             }
-        self._forward_rows(x2, out2, slabs)
+        self._forward_rows(x2, out2, slabs, ws)
 
-        output = out2.reshape(lead + (length,))
+        output = out if out is not None else out2.reshape(lead + (length,))
         if not want_intermediates:
             return output, None
         intermediates = SoftermaxIntermediates(
@@ -222,26 +252,17 @@ class BlockedSoftermaxKernel:
         block = TARGET_BLOCK_BYTES // max(per_row, 1)
         return int(min(max(block, MIN_BLOCK_ROWS), MAX_BLOCK_ROWS))
 
-    def _ensure_scratch(self, block: int, padded_len: int, length: int) -> None:
+    def _take_scratch(self, ws: KernelWorkspace, flat: int):
+        """The per-block scratch set, drawn from ``ws`` (grown, reused)."""
         f = self.fused
-        need = block * padded_len
-        if need > self._cap:
-            self._cap = need
-            self._buf = np.empty(need, dtype=np.float64)
-            self._icodes = np.empty(need, dtype=self._icode_dtype)
-            self._idx = np.empty(need, dtype=f._idx_dtype)
-            self._ucodes = np.empty(need, dtype=self._ucode_dtype)
-            self._prod = np.empty(need, dtype=f._work_dtype)
-            self._pad_key = None
-        key = (block, padded_len, length)
-        if self._pad_key != key:
-            # Padding columns of the int-code view are constant across
-            # blocks and calls; refresh them only when the layout changes.
-            view = self._icodes[:need].reshape(block, padded_len)
-            view[:, length:] = self.config.input_fmt.min_code
-            self._pad_key = key
+        return (ws.take("blocked.buf", flat, np.float64),
+                ws.take("blocked.icodes", flat, self._icode_dtype),
+                ws.take("blocked.idx", flat, f._idx_dtype),
+                ws.take("blocked.ucodes", flat, self._ucode_dtype),
+                ws.take("blocked.prod", flat, f._work_dtype))
 
-    def _forward_rows(self, x2: np.ndarray, out2: np.ndarray, slabs) -> None:
+    def _forward_rows(self, x2: np.ndarray, out2: np.ndarray, slabs,
+                      ws: Optional[KernelWorkspace] = None) -> None:
         cfg = self.config
         f = self.fused
         rows, length = x2.shape
@@ -249,10 +270,16 @@ class BlockedSoftermaxKernel:
         num_slices = (length + width - 1) // width
         padded_len = num_slices * width
         block = self.effective_block_rows(length)
-        self._ensure_scratch(block, padded_len, length)
         flat = block * padded_len
+        ws = ws if ws is not None else self._workspace
+        s_buf, s_icodes, s_idx, s_ucodes, s_prod = self._take_scratch(ws, flat)
 
         in_fmt = cfg.input_fmt
+        if padded_len != length:
+            # Padding columns of the int-code view are constant across
+            # blocks; fill them once per call (the region is at most one
+            # slice wide, a negligible write next to the quantize pass).
+            s_icodes.reshape(block, padded_len)[:, length:] = in_fmt.min_code
         for r0 in range(0, rows, block):
             b = min(block, rows - r0)
             n = b * padded_len
@@ -261,11 +288,11 @@ class BlockedSoftermaxKernel:
             # clip-then-floor equals the pipeline's floor-then-clip (the
             # bounds are integers), and the floor ufunc casts straight into
             # the int scratch -- one fewer full pass than floor/clip/astype.
-            buf = self._buf[:n].reshape(b, padded_len)[:, :length]
+            buf = s_buf[:n].reshape(b, padded_len)[:, :length]
             np.multiply(x2[r0:r0 + b], 1.0 / f._in_res, out=buf)
             buf += 0.5
             _clip(buf, in_fmt.min_code, in_fmt.max_code, buf)
-            icodes = self._icodes[:flat].reshape(block, padded_len)[:b]
+            icodes = s_icodes[:flat].reshape(block, padded_len)[:b]
             np.floor(buf, out=icodes[:, :length], casting="unsafe")
             tiles = icodes.reshape(b, num_slices, width)
 
@@ -289,13 +316,13 @@ class BlockedSoftermaxKernel:
                 offset = ref_mcq * f._max_scale + f._lo_code
             off = offset[..., :, None] if cfg.use_online_normalization \
                 else offset[..., None]
-            idx = self._idx[:n].reshape(b, num_slices, width)
+            idx = s_idx[:n].reshape(b, num_slices, width)
             if f._in_scale == 1:
                 np.subtract(tiles, off, out=idx, casting="unsafe")
             else:
                 np.multiply(tiles, f._in_scale, out=idx, casting="unsafe")
                 np.subtract(idx, off, out=idx, casting="unsafe")
-            ucodes = self._ucodes[:n].reshape(b, num_slices, width)
+            ucodes = s_ucodes[:n].reshape(b, num_slices, width)
             self._lut.take(idx, out=ucodes, mode="clip")
             if padded_len != length:
                 ucodes.reshape(b, padded_len)[:, length:] = 0
@@ -326,7 +353,7 @@ class BlockedSoftermaxKernel:
             shift_exp = slice_max_f - running_max[:, None]
             ufloat = self._normalize_into(
                 ucodes, shift_exp, reciprocal, out2[r0:r0 + b],
-                length, want_unnormed=slabs is not None)
+                length, want_unnormed=slabs is not None, prod_scratch=s_prod)
 
             if slabs is not None:
                 slabs["quantized_input"][r0:r0 + b] = icodes[:, :length]
@@ -339,7 +366,7 @@ class BlockedSoftermaxKernel:
                 slabs["reciprocal"][r0:r0 + b] = reciprocal
 
     def _normalize_into(self, ucodes, shift_exp, reciprocal, outblk, length,
-                        want_unnormed: bool):
+                        want_unnormed: bool, prod_scratch):
         """The fused back end, writing into a preallocated output block."""
         cfg = self.config
         f = self.fused
@@ -362,7 +389,7 @@ class BlockedSoftermaxKernel:
 
         k = np.minimum(-shift_exp, float(f._max_shift)).astype(f._work_dtype)
         recip_codes = np.rint(reciprocal / f._recip_res).astype(f._work_dtype)
-        prod = self._prod[:b * padded_len].reshape(b, num_slices, width)
+        prod = prod_scratch[:b * padded_len].reshape(b, num_slices, width)
         if k.any():
             np.right_shift(ucodes, k[..., None], out=prod)
             prod *= recip_codes[..., None, None]
@@ -400,6 +427,9 @@ def blocked_softermax(
     axis: int = -1,
     config: SoftermaxConfig | None = None,
     block_rows: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[KernelWorkspace] = None,
 ) -> np.ndarray:
     """Drop-in blocked Softermax over ``axis`` (bitwise-identical, streaming)."""
-    return get_blocked_kernel(config, block_rows)(x, axis=axis)
+    return get_blocked_kernel(config, block_rows)(x, axis=axis, out=out,
+                                                  scratch=scratch)

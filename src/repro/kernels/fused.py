@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 import numpy as np
 
@@ -50,6 +51,11 @@ from repro.core.pow2_unit import PowerOfTwoUnit
 from repro.core.reciprocal_unit import ReciprocalUnit
 from repro.core.softermax import SoftermaxIntermediates, SoftermaxResult
 from repro.fixedpoint import RoundingMode, quantize
+from repro.kernels.workspace import (
+    KernelWorkspace,
+    check_out_buffer,
+    record_output_allocation,
+)
 
 try:
     # The raw clip ufunc skips np.clip's Python dispatch overhead, which is
@@ -192,15 +198,35 @@ class FusedSoftermaxKernel:
     # ------------------------------------------------------------------ #
     # forward
     # ------------------------------------------------------------------ #
-    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Apply Softermax along ``axis`` and return the probabilities."""
+    def __call__(self, x: np.ndarray, axis: int = -1,
+                 out: Optional[np.ndarray] = None,
+                 scratch: Optional[KernelWorkspace] = None) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities.
+
+        ``out`` is an optional float64 buffer of ``x``'s exact shape: the
+        probabilities are written into it in place (bitwise identical to
+        the allocate mode) and it is returned.  ``scratch`` is an optional
+        :class:`~repro.kernels.workspace.KernelWorkspace` that hosts the
+        whole-tensor temporaries, so a caller that reuses one workspace
+        across calls pays no steady-state scratch allocation.
+        """
         x = np.asarray(x, dtype=np.float64)
-        if axis == -1 or axis == x.ndim - 1:
-            output, _ = self._forward(x, want_intermediates=False)
+        check_out_buffer(out, x.shape)
+        last_axis = axis == -1 or axis == x.ndim - 1
+        if last_axis and (out is None or out.flags.c_contiguous):
+            output, _ = self._forward(x, want_intermediates=False, out=out,
+                                      ws=scratch)
             return output
-        output, _ = self._forward(np.moveaxis(x, axis, -1),
-                                  want_intermediates=False)
-        return np.moveaxis(output, -1, axis)
+        # Non-last axis (or a non-contiguous out): compute on the moved
+        # view, then copy into the caller's buffer.
+        moved = x if last_axis else np.moveaxis(x, axis, -1)
+        output, _ = self._forward(moved, want_intermediates=False, ws=scratch)
+        if not last_axis:
+            output = np.moveaxis(output, -1, axis)
+        if out is None:
+            return output
+        np.copyto(out, output)
+        return out
 
     def run(self, x: np.ndarray, axis: int = -1) -> SoftermaxResult:
         """Run the fused kernel, retaining every intermediate signal.
@@ -212,7 +238,16 @@ class FusedSoftermaxKernel:
         _, result = self._forward(moved, want_intermediates=True)
         return result
 
-    def _forward(self, moved: np.ndarray, want_intermediates: bool):
+    @staticmethod
+    def _take(ws: Optional[KernelWorkspace], key: str, shape, dtype):
+        """Scratch array of ``shape``: workspace-backed or freshly allocated."""
+        if ws is None:
+            return np.empty(shape, dtype=dtype)
+        return ws.take_shaped(key, shape, dtype)
+
+    def _forward(self, moved: np.ndarray, want_intermediates: bool,
+                 out: Optional[np.ndarray] = None,
+                 ws: Optional[KernelWorkspace] = None):
         cfg = self.config
         length = moved.shape[-1]
         if length == 0:
@@ -220,8 +255,10 @@ class FusedSoftermaxKernel:
         if moved.ndim == 1:
             # Process a lone row as a batch of one; per-row state arrays
             # (running max/sum) must be arrays, not scalars.
-            output, result = self._forward(moved[None, :], want_intermediates)
-            output = np.squeeze(output, axis=0)
+            inner_out = None if out is None else out[None, :]
+            output, result = self._forward(moved[None, :], want_intermediates,
+                                           out=inner_out, ws=ws)
+            output = out if out is not None else np.squeeze(output, axis=0)
             if result is not None:
                 i = result.intermediates
                 result = SoftermaxResult(SoftermaxIntermediates(
@@ -233,15 +270,23 @@ class FusedSoftermaxKernel:
         if self._lut_codes is None:
             # Exotic operating point (diff LUT too large): vectorized float
             # path, still fused, still bitwise-identical.
-            return self._forward_float(moved, want_intermediates)
+            output, result = self._forward_float(moved, want_intermediates)
+            if out is not None:
+                np.copyto(out, output)
+                output = out
+            else:
+                record_output_allocation()
+            return output, result
 
         # --- input quantization, straight to int32 codes ----------------- #
         in_fmt = cfg.input_fmt
-        buf = moved * (1.0 / self._in_res)  # exact: resolution is a power of 2
+        buf = self._take(ws, "fused.buf", moved.shape, np.float64)
+        np.multiply(moved, 1.0 / self._in_res, out=buf)  # exact: power of 2
         buf += 0.5
         np.floor(buf, out=buf)
         _clip(buf, in_fmt.min_code, in_fmt.max_code, buf)
-        icodes = buf.astype(np.int32)
+        icodes = self._take(ws, "fused.icodes", moved.shape, np.int32)
+        np.copyto(icodes, buf, casting="unsafe")
 
         width = cfg.slice_width
         num_slices = (length + width - 1) // width
@@ -249,7 +294,9 @@ class FusedSoftermaxKernel:
         lead = moved.shape[:-1]
 
         if padded_len != length:
-            padded = np.full(lead + (padded_len,), in_fmt.min_code, dtype=np.int32)
+            padded = self._take(ws, "fused.padded", lead + (padded_len,),
+                                np.int32)
+            padded[..., length:] = in_fmt.min_code
             padded[..., :length] = icodes
             lane_pad = (np.arange(padded_len) >= length).reshape(num_slices, width)
         else:
@@ -281,13 +328,14 @@ class FusedSoftermaxKernel:
             else offset[..., None]
         # The downcast to the narrow index dtype is exact: the bounds were
         # enumerated at LUT-build time over every possible code pair.
-        idx = np.empty(tiles.shape, dtype=self._idx_dtype)
+        idx = self._take(ws, "fused.idx", tiles.shape, self._idx_dtype)
         if self._in_scale == 1:
             np.subtract(tiles, off, out=idx, casting="unsafe")
         else:
             np.multiply(tiles, self._in_scale, out=idx, casting="unsafe")
             np.subtract(idx, off, out=idx, casting="unsafe")
-        ucodes = self._lut_codes.take(idx, mode="clip")
+        ucodes = self._take(ws, "fused.ucodes", tiles.shape, self._work_dtype)
+        self._lut_codes.take(idx, mode="clip", out=ucodes)
         if lane_pad is not None:
             ucodes[..., lane_pad] = 0
 
@@ -310,10 +358,8 @@ class FusedSoftermaxKernel:
 
         # --- renormalize and divide ---------------------------------------- #
         shift_exp = slice_max_f - running_max[..., None]  # <= 0 by construction
-        output_tiles, ufloat = self._normalize(ucodes, shift_exp, reciprocal,
-                                               want_intermediates)
-
-        output = output_tiles.reshape(lead + (padded_len,))[..., :length]
+        output, ufloat = self._normalize(ucodes, shift_exp, reciprocal,
+                                         want_intermediates, length, out=out)
 
         if not want_intermediates:
             return output, None
@@ -423,7 +469,8 @@ class FusedSoftermaxKernel:
             _clip(rs, lo, hi, rs)
         return running_max, rs
 
-    def _normalize(self, ucodes, shift_exp, reciprocal, want_intermediates):
+    def _normalize(self, ucodes, shift_exp, reciprocal, want_intermediates,
+                   length, out=None):
         """Renormalize the numerators and multiply by the reciprocal.
 
         The integer fast path applies when the per-slice shifts are pure
@@ -432,8 +479,15 @@ class FusedSoftermaxKernel:
         right shift of the codes and the final NEAREST rounding is an
         add-and-shift.  Otherwise fall back to the pipeline's elementwise
         float expression, which is identical by construction.
+
+        Returns the final *unpadded* ``(..., length)`` output: the last
+        gather reads the valid lanes through a strided view of the padded
+        tiles and writes straight into ``out`` when given, so the in-place
+        mode adds no staging copy over the allocate mode.
         """
         cfg = self.config
+        lead = ucodes.shape[:-2]
+        padded_len = ucodes.shape[-2] * ucodes.shape[-1]
         ufloat = ucodes * self._un_res if want_intermediates else None
         integer_shifts = bool(np.all(shift_exp == np.floor(shift_exp)))
         if not integer_shifts:
@@ -442,19 +496,27 @@ class FusedSoftermaxKernel:
             shift = np.power(2.0, shift_exp)
             renormed = quantize(ufloat * shift[..., None], cfg.unnormed_fmt,
                                 RoundingMode.FLOOR)
-            output = quantize(renormed * reciprocal[..., None, None],
-                              cfg.output_fmt, RoundingMode.NEAREST)
+            output_tiles = quantize(renormed * reciprocal[..., None, None],
+                                    cfg.output_fmt, RoundingMode.NEAREST)
+            output = output_tiles.reshape(lead + (padded_len,))[..., :length]
+            if out is not None:
+                np.copyto(out, output)
+                return out, ufloat
+            record_output_allocation()
             return output, ufloat
 
         # shift_exp <= 0; cap the shift count below the work dtype's bit
         # width (the codes are long gone to zero by then).
         k = np.minimum(-shift_exp, float(self._max_shift)).astype(self._work_dtype)
         recip_codes = np.rint(reciprocal / self._recip_res).astype(self._work_dtype)
+        # The product overwrites the unnormalized codes in place: they are
+        # not read again (the intermediates snapshot was taken above).
+        prod = ucodes
         if k.any():
-            prod = ucodes >> k[..., None]
+            np.right_shift(ucodes, k[..., None], out=prod)
             prod *= recip_codes[..., None, None]
         else:
-            prod = ucodes * recip_codes[..., None, None]
+            np.multiply(ucodes, recip_codes[..., None, None], out=prod)
         out_shift = (cfg.unnormed_fmt.frac_bits + cfg.recip_fmt.frac_bits
                      - cfg.output_fmt.frac_bits)
         if out_shift > 0:
@@ -463,12 +525,18 @@ class FusedSoftermaxKernel:
         else:
             prod <<= -out_shift
         _clip(prod, cfg.output_fmt.min_code, cfg.output_fmt.max_code, prod)
+        codes = prod.reshape(lead + (padded_len,))
+        if padded_len != length:
+            codes = codes[..., :length]
+        if out is None:
+            out = np.empty(lead + (length,), dtype=np.float64)
+            record_output_allocation()
         if self._out_values is not None:
-            output = self._out_values.take(prod)
+            self._out_values.take(codes, out=out)
         else:
-            output = prod.astype(np.float64)
-            output *= self._out_res
-        return output, ufloat
+            np.copyto(out, codes)
+            out *= self._out_res
+        return out, ufloat
 
     # ------------------------------------------------------------------ #
     # float fallback (no diff LUT)
@@ -569,11 +637,14 @@ def fused_softermax(
     x: np.ndarray,
     axis: int = -1,
     config: SoftermaxConfig | None = None,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[KernelWorkspace] = None,
 ) -> np.ndarray:
     """Drop-in fused Softermax over ``axis`` (see :func:`repro.core.softermax`).
 
     Bitwise-identical to the slice-loop reference, an order of magnitude
     faster on batched attention-score tensors, and cached per config so
-    repeated calls pay no table-construction cost.
+    repeated calls pay no table-construction cost.  ``out``/``scratch``
+    follow the registry's workspace-aware kernel contract.
     """
-    return get_fused_kernel(config)(x, axis=axis)
+    return get_fused_kernel(config)(x, axis=axis, out=out, scratch=scratch)

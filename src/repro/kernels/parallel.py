@@ -40,6 +40,11 @@ import numpy as np
 from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
 from repro.core.softermax import SoftermaxResult
 from repro.kernels.blocked import BlockedSoftermaxKernel
+from repro.kernels.workspace import (
+    KernelWorkspace,
+    check_out_buffer,
+    record_output_allocation,
+)
 
 #: Fallback worker count when ``workers`` is not given.
 DEFAULT_WORKERS = os.cpu_count() or 1
@@ -151,9 +156,18 @@ class ParallelSoftermaxKernel:
         self._pool_pid = None
 
     # ------------------------------------------------------------------ #
-    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Apply Softermax along ``axis`` and return the probabilities."""
+    def __call__(self, x: np.ndarray, axis: int = -1,
+                 out: Optional[np.ndarray] = None,
+                 scratch: Optional[KernelWorkspace] = None) -> np.ndarray:
+        """Apply Softermax along ``axis`` and return the probabilities.
+
+        ``out``/``scratch`` follow the registry's workspace-aware kernel
+        contract; on the worker-pool path the shared-memory result is
+        copied straight into ``out`` (the scratch workspace only feeds the
+        in-process fallback -- workers own their scratch).
+        """
         x = np.asarray(x, dtype=np.float64)
+        check_out_buffer(out, x.shape)
         moved = x if (axis == -1 or axis == x.ndim - 1) \
             else np.moveaxis(x, axis, -1)
         length = moved.shape[-1] if moved.ndim else 0
@@ -161,15 +175,22 @@ class ParallelSoftermaxKernel:
             raise ValueError("softermax requires a non-empty reduction axis")
         lead = moved.shape[:-1]
         rows = int(np.prod(lead)) if lead else 1
+        inplace = out is not None and moved is x and out.flags.c_contiguous
         if (self.workers <= 1 or rows < 2
                 or self.blocked.fused._lut_codes is None):
-            output = self.blocked(moved, axis=-1)
+            output = self.blocked(moved, axis=-1,
+                                  out=out if inplace else None,
+                                  scratch=scratch)
         else:
-            out2 = self._dispatch(np.ascontiguousarray(
-                moved.reshape(rows, length)))
-            output = out2.reshape(lead + (length,))
+            out2 = self._dispatch(
+                np.ascontiguousarray(moved.reshape(rows, length)),
+                out2=out.reshape(rows, length) if inplace else None)
+            output = out if inplace else out2.reshape(lead + (length,))
         if moved is not x:
             output = np.moveaxis(output, -1, axis)
+        if out is not None and not inplace:
+            np.copyto(out, output)
+            output = out
         return output
 
     def run(self, x: np.ndarray, axis: int = -1) -> SoftermaxResult:
@@ -216,7 +237,8 @@ class ParallelSoftermaxKernel:
             _LIVE_POOLS.append((self._pool_pid, self._pool))
         return self._pool
 
-    def _dispatch(self, x2: np.ndarray) -> np.ndarray:
+    def _dispatch(self, x2: np.ndarray,
+                  out2: Optional[np.ndarray] = None) -> np.ndarray:
         rows, length = x2.shape
         nbytes = x2.nbytes
         shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
@@ -242,18 +264,25 @@ class ParallelSoftermaxKernel:
                     self._ensure_pool().map(_run_rows, tasks, chunksize=1)
                 except Exception:
                     self.close()
-                    out = np.empty((rows, length), dtype=np.float64)
-                    self.blocked.forward_rows_into(x2, out)
-                    return out
+                    if out2 is None:
+                        out2 = np.empty((rows, length), dtype=np.float64)
+                        record_output_allocation()
+                    self.blocked.forward_rows_into(x2, out2)
+                    return out2
             # Copy out before the segment is unlinked.
-            out = np.array(np.ndarray((rows, length), dtype=np.float64,
-                                      buffer=shm_out.buf))
+            shared = np.ndarray((rows, length), dtype=np.float64,
+                                buffer=shm_out.buf)
+            if out2 is None:
+                out2 = np.array(shared)
+                record_output_allocation()
+            else:
+                np.copyto(out2, shared)
         finally:
             shm_in.close()
             shm_in.unlink()
             shm_out.close()
             shm_out.unlink()
-        return out
+        return out2
 
 
 @lru_cache(maxsize=None)
@@ -289,6 +318,10 @@ def parallel_softermax(
     config: SoftermaxConfig | None = None,
     workers: Optional[int] = None,
     block_rows: Optional[int] = None,
+    out: Optional[np.ndarray] = None,
+    scratch: Optional[KernelWorkspace] = None,
 ) -> np.ndarray:
     """Drop-in multi-worker Softermax over ``axis`` (bitwise-identical)."""
-    return get_parallel_kernel(config, workers, block_rows)(x, axis=axis)
+    return get_parallel_kernel(config, workers, block_rows)(x, axis=axis,
+                                                            out=out,
+                                                            scratch=scratch)

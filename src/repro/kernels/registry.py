@@ -25,9 +25,21 @@ Kernel names may carry options, e.g. ``"softermax-parallel(workers=4)"``,
 ``"softermax-blocked(lpw_method=lstsq)"``; the same options can be passed as
 keyword arguments to :func:`resolve_kernel` (keywords win on conflict).
 
-Every kernel resolves to a callable ``fn(x, axis=-1) -> probabilities``;
-Softermax kernels are bound to a :class:`SoftermaxConfig` at resolution
-time.
+Every kernel resolves to a callable following the **workspace-aware
+contract** ``fn(x, axis=-1, out=None, scratch=None) -> probabilities``:
+
+* ``out`` -- optional float64 buffer of ``x``'s shape; the result is
+  written into it in place (bitwise identical to the allocate mode) and it
+  is returned.  A mismatched shape or dtype raises :class:`ValueError`.
+* ``scratch`` -- optional :class:`~repro.kernels.workspace.KernelWorkspace`
+  hosting the kernel's sizeable internal temporaries, reused across calls.
+
+Kernels whose implementation writes in place natively advertise it via
+``KernelSpec.supports_out`` / ``supports_scratch``; the rest (the float
+references, the related-work approximations, the slice-loop oracle) are
+wrapped at resolution time with copy-out semantics, so every resolved
+callable accepts the full surface.  Softermax kernels are bound to a
+:class:`SoftermaxConfig` at resolution time.
 """
 
 from __future__ import annotations
@@ -47,6 +59,11 @@ from repro.core.variants import ibert_softmax, lut_exp_softmax, split_exp_softma
 from repro.kernels.blocked import get_blocked_kernel
 from repro.kernels.fused import get_fused_kernel
 from repro.kernels.parallel import get_parallel_kernel
+from repro.kernels.workspace import (
+    KernelWorkspace,
+    check_out_buffer,
+    record_output_allocation,
+)
 
 #: Name the ``"auto"`` alias resolves to.
 AUTO_KERNEL = "softermax-adaptive"
@@ -88,6 +105,16 @@ class KernelSpec:
         kernel object exposing ``run(x, axis)`` with full intermediates
         (used by the equivalence suite to pin every bit-accurate kernel to
         the oracle automatically).
+    supports_out:
+        Whether the factory's callable natively writes into a caller
+        ``out=`` buffer without allocating its output.  Kernels without
+        native support are wrapped at resolution time (compute, then copy
+        into ``out``), so the *surface* is uniform; the flag reports which
+        kernels are allocation-free, and the equivalence suite auto-pins
+        the in-place contract for every kernel that sets it.
+    supports_scratch:
+        Whether the kernel houses its internal temporaries in a caller
+        ``scratch=`` :class:`~repro.kernels.workspace.KernelWorkspace`.
     """
 
     name: str
@@ -96,6 +123,8 @@ class KernelSpec:
     bit_accurate: bool = False
     selection: str = ""
     runner_factory: Optional[Callable[..., object]] = None
+    supports_out: bool = False
+    supports_scratch: bool = False
 
 
 _KERNELS: Dict[str, KernelSpec] = {}
@@ -186,12 +215,38 @@ def supported_options(name: str) -> Set[str]:
     return names
 
 
+def _with_out_support(fn: Callable) -> Callable:
+    """Adapt a plain ``fn(x, axis)`` kernel to the workspace-aware contract.
+
+    The wrapped kernel allocates its output on every call (and records the
+    allocation); a caller ``out=`` buffer is validated against the contract
+    and filled by copy, ``scratch`` is accepted and ignored.  This keeps the
+    resolved surface uniform while ``KernelSpec.supports_out`` stays honest
+    about which kernels are natively allocation-free.
+    """
+
+    def wrapped(x: np.ndarray, axis: int = -1,
+                out: Optional[np.ndarray] = None,
+                scratch: Optional[KernelWorkspace] = None) -> np.ndarray:
+        result = np.asarray(fn(x, axis=axis))
+        record_output_allocation()
+        if out is None:
+            return result
+        check_out_buffer(out, result.shape)
+        np.copyto(out, result)
+        return out
+
+    wrapped.__wrapped__ = fn
+    return wrapped
+
+
 def resolve_kernel(
     name: str = "auto",
     config: SoftermaxConfig | None = None,
     **options,
 ) -> Callable[..., np.ndarray]:
-    """Resolve a kernel name to a ``fn(x, axis=-1)`` callable.
+    """Resolve a kernel name to an ``fn(x, axis=-1, out=None, scratch=None)``
+    callable (the workspace-aware contract; see the module docstring).
 
     Softermax kernels are bound to ``config`` (paper Table I when omitted);
     float kernels ignore it.  Engine knobs (``workers``, ``block_rows``)
@@ -204,13 +259,16 @@ def resolve_kernel(
     _, parsed = parse_kernel_name(name)
     parsed.update({k: v for k, v in options.items() if v is not None})
     if not parsed:
-        return spec.factory(config)
-    try:
-        return spec.factory(config, **parsed)
-    except TypeError as exc:
-        raise TypeError(
-            f"kernel {spec.name!r} does not accept options {sorted(parsed)}: {exc}"
-        ) from None
+        fn = spec.factory(config)
+    else:
+        try:
+            fn = spec.factory(config, **parsed)
+        except TypeError as exc:
+            raise TypeError(
+                f"kernel {spec.name!r} does not accept options "
+                f"{sorted(parsed)}: {exc}"
+            ) from None
+    return fn if spec.supports_out else _with_out_support(fn)
 
 
 # --------------------------------------------------------------------------- #
@@ -275,9 +333,12 @@ class AdaptiveSoftermaxKernel:
             raise ValueError("softermax requires a non-empty reduction axis")
         return auto_kernel_choice(x.size // length, length, self.workers)
 
-    def __call__(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+    def __call__(self, x: np.ndarray, axis: int = -1,
+                 out: Optional[np.ndarray] = None,
+                 scratch: Optional[KernelWorkspace] = None) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
-        return self._kernel_for(self._choose(x, axis))(x, axis=axis)
+        return self._kernel_for(self._choose(x, axis))(x, axis=axis, out=out,
+                                                       scratch=scratch)
 
     def run(self, x: np.ndarray, axis: int = -1):
         x = np.asarray(x, dtype=np.float64)
@@ -324,6 +385,8 @@ register_kernel(KernelSpec(
     selection=f"auto: below {AUTO_BLOCKED_MIN_ELEMENTS} elements",
     runner_factory=lambda config, lpw_method="endpoint":
         get_fused_kernel(config, lpw_method),
+    supports_out=True,
+    supports_scratch=True,
 ))
 register_kernel(KernelSpec(
     name="softermax-blocked",
@@ -336,6 +399,8 @@ register_kernel(KernelSpec(
               "(single worker); block_rows=N overrides the adaptive block",
     runner_factory=lambda config, block_rows=None, lpw_method="endpoint":
         get_blocked_kernel(config, block_rows, lpw_method),
+    supports_out=True,
+    supports_scratch=True,
 ))
 register_kernel(KernelSpec(
     name="softermax-parallel",
@@ -350,6 +415,8 @@ register_kernel(KernelSpec(
     runner_factory=lambda config, workers=None, block_rows=None,
                           lpw_method="endpoint":
         get_parallel_kernel(config, workers, block_rows, lpw_method),
+    supports_out=True,
+    supports_scratch=True,
 ))
 register_kernel(KernelSpec(
     name="softermax-adaptive",
@@ -362,6 +429,8 @@ register_kernel(KernelSpec(
     runner_factory=lambda config, workers=None, block_rows=None,
                           lpw_method="endpoint":
         AdaptiveSoftermaxKernel(config, workers, block_rows, lpw_method),
+    supports_out=True,
+    supports_scratch=True,
 ))
 register_kernel(KernelSpec(
     name="ibert",

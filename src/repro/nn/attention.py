@@ -210,7 +210,10 @@ class MultiHeadSelfAttention(Module):
         heads, head_dim = self.num_heads, self.head_dim
         hidden_dim = self.hidden_dim
         scale = 1.0 / np.sqrt(self.head_dim)
-        softmax_forward = self.softmax_variant.forward_fn
+        # Uniform workspace-aware surface (custom variants with a plain
+        # forward get copy-out semantics): the core op threads the arena
+        # buffer and the plan's kernel workspace through the softmax.
+        softmax_forward = F.softmax_forward_with_out(self.softmax_variant)
 
         def split(x: np.ndarray) -> np.ndarray:
             batch, seq_len, _ = x.shape
@@ -265,7 +268,8 @@ class MultiHeadSelfAttention(Module):
             context = ctx.acquire((batch, heads, seq_len, head_dim))
             if ctx.lengths is not None:
                 F.exact_masked_attention(q, k, v, ctx.lengths, scale,
-                                         softmax_forward, out=context)
+                                         softmax_forward, out=context,
+                                         arena=ctx.arena, scratch=ctx.scratch)
             else:
                 scores = ctx.acquire((batch, heads, seq_len, seq_len))
                 np.matmul(q, k.swapaxes(-1, -2), out=scores)
@@ -273,12 +277,15 @@ class MultiHeadSelfAttention(Module):
                 if ctx.mask is not None:
                     additive = (1.0 - ctx.mask)[:, None, None, :] * (-30.0)
                     np.add(scores, additive, out=scores)
-                # The kernel owns its output allocation (its scratch
-                # strategy lives in repro.kernels); release the scores
-                # buffer as soon as the probabilities exist.
-                probs = softmax_forward(scores)
+                # The probabilities land in an arena buffer and the kernel
+                # draws its scratch from the plan's workspace: the softmax
+                # stage -- the paper's hot spot -- performs no per-call
+                # allocation at all in steady state.
+                probs = ctx.acquire(scores.shape)
+                softmax_forward(scores, out=probs, scratch=ctx.scratch)
                 ctx.arena.release(scores)
                 np.matmul(probs, v, out=context)
+                ctx.arena.release(probs)
             ctx.put(context_reg, context)
             for reg in core_in:
                 ctx.pop_release(reg)

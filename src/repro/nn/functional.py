@@ -186,7 +186,8 @@ def embedding_infer(weight: np.ndarray, ids: np.ndarray,
 def exact_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
                            lengths: np.ndarray, scale: float,
                            softmax_forward: Callable[[np.ndarray], np.ndarray],
-                           out: Optional[np.ndarray] = None) -> np.ndarray:
+                           out: Optional[np.ndarray] = None,
+                           arena=None, scratch=None) -> np.ndarray:
     """Length-grouped attention with padded keys excluded exactly.
 
     Sequences are grouped by valid length; each group's scores, softmax and
@@ -199,23 +200,75 @@ def exact_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
 
     Shared by the graph path (:class:`~repro.nn.attention.
     MultiHeadSelfAttention`) and the plan engine; ``out`` may be an arena
-    buffer (it is zero-filled here).  The per-group temporaries are
-    data-dependent in size and stay ordinary allocations.
+    buffer (it is zero-filled here).
+
+    ``arena``/``scratch`` switch the helper to its allocation-free mode,
+    used by the plan executor: every per-group temporary -- the gathered
+    Q/K/V slices, the score matrix, and crucially the softmax *output* --
+    lives in the caller's :class:`~repro.kernels.workspace.KernelWorkspace`
+    (itself arena-backed in the plan), and the kernel is invoked through
+    the workspace-aware contract (``out=`` pointing at the staged buffer,
+    ``scratch=`` forwarding the same workspace).  Callers passing
+    ``arena``/``scratch`` must pass an out-capable ``softmax_forward``
+    (see :func:`softmax_forward_with_out`).  Without them the per-group
+    temporaries are ordinary allocations and ``softmax_forward`` is called
+    with scores only, so plain graph-path variants keep working.
     """
     if out is None:
         out = np.zeros_like(v)
     else:
         out.fill(0.0)
+    transient = None
+    if scratch is None and arena is not None:
+        # Arena without a workspace: wrap it so the group staging below
+        # still draws from (and is accounted to) the caller's pool; the
+        # transient wrapper returns its buffers on the way out.
+        from repro.kernels.workspace import KernelWorkspace
+
+        scratch = transient = KernelWorkspace(arena=arena)
+    try:
+        return _exact_masked_attention_groups(q, k, v, lengths, scale,
+                                              softmax_forward, out, scratch)
+    finally:
+        if transient is not None:
+            transient.clear()
+
+
+def _exact_masked_attention_groups(q, k, v, lengths, scale, softmax_forward,
+                                   out, scratch) -> np.ndarray:
+    heads, head_dim = q.shape[1], q.shape[-1]
     for length in np.unique(lengths):
         idx = np.nonzero(lengths == length)[0]
-        qb = np.ascontiguousarray(q[idx][:, :, :length, :])
-        kb = np.ascontiguousarray(k[idx][:, :, :length, :])
-        vb = np.ascontiguousarray(v[idx][:, :, :length, :])
-        scores = (qb @ kb.swapaxes(-1, -2)) * scale
-        probs = softmax_forward(scores)
-        ctx = probs @ vb
+        length = int(length)
+        if scratch is None:
+            qb = np.ascontiguousarray(q[idx][:, :, :length, :])
+            kb = np.ascontiguousarray(k[idx][:, :, :length, :])
+            vb = np.ascontiguousarray(v[idx][:, :, :length, :])
+            scores = (qb @ kb.swapaxes(-1, -2)) * scale
+            probs = softmax_forward(scores)
+            ctx = probs @ vb
+            for j, b in enumerate(idx):
+                out[b, :, :length, :] = ctx[j]
+            continue
+        group = (len(idx), heads, length, head_dim)
+        qb = scratch.take_shaped("attn.qb", group)
+        kb = scratch.take_shaped("attn.kb", group)
+        vb = scratch.take_shaped("attn.vb", group)
         for j, b in enumerate(idx):
-            out[b, :, :length, :] = ctx[j]
+            np.copyto(qb[j], q[b, :, :length, :])
+            np.copyto(kb[j], k[b, :, :length, :])
+            np.copyto(vb[j], v[b, :, :length, :])
+        scores = scratch.take_shaped("attn.scores",
+                                     (len(idx), heads, length, length))
+        np.matmul(qb, kb.swapaxes(-1, -2), out=scores)
+        np.multiply(scores, scale, out=scores)
+        probs = scratch.take_shaped("attn.probs", scores.shape)
+        softmax_forward(scores, out=probs, scratch=scratch)
+        # qb's data is consumed; its buffer doubles as the context target.
+        ctx = qb
+        np.matmul(probs, vb, out=ctx)
+        for j, b in enumerate(idx):
+            np.copyto(out[b, :, :length, :], ctx[j])
     return out
 
 
@@ -239,12 +292,19 @@ class SoftmaxVariant:
         the same function as ``forward_fn``.
     base:
         Exponential base of the surrogate (needed for the Jacobian scale).
+    supports_out:
+        Whether ``forward_fn`` accepts the workspace-aware keywords
+        (``out=``, ``scratch=``) of the kernel contract.  The built-in
+        variants all do; custom variants registered with a plain
+        single-argument forward are adapted by
+        :func:`softmax_forward_with_out` where needed.
     """
 
     name: str
     forward_fn: Callable[[np.ndarray], np.ndarray]
     surrogate_fn: Callable[[np.ndarray], np.ndarray]
     base: float
+    supports_out: bool = False
 
 
 def _registry() -> Dict[str, SoftmaxVariant]:
@@ -274,6 +334,28 @@ def available_softmax_variants() -> list:
     return sorted(_SOFTMAX_VARIANTS)
 
 
+def softmax_forward_with_out(variant: SoftmaxVariant) -> Callable:
+    """A uniform ``fn(scores, out=None, scratch=None)`` over any variant.
+
+    Out-capable variants return their forward unchanged; plain forwards
+    are adapted with copy-out semantics so callers that thread arena
+    buffers (the plan executor) work with custom variants too.
+    """
+    if variant.supports_out:
+        return variant.forward_fn
+    forward = variant.forward_fn
+
+    def adapted(scores: np.ndarray, out: Optional[np.ndarray] = None,
+                scratch=None) -> np.ndarray:
+        probs = forward(scores)
+        if out is None:
+            return probs
+        np.copyto(out, probs)
+        return out
+
+    return adapted
+
+
 def make_softermax_variant(config: SoftermaxConfig | None = None,
                            name: str = "softermax",
                            kernel: str = "auto",
@@ -300,33 +382,41 @@ def make_softermax_variant(config: SoftermaxConfig | None = None,
     cfg = config or SoftermaxConfig.paper_table1()
     kernel_fn = resolve_kernel(kernel, cfg, **(kernel_options or {}))
 
-    def forward(scores: np.ndarray) -> np.ndarray:
-        return kernel_fn(scores, axis=-1)
+    def forward(scores: np.ndarray, out: Optional[np.ndarray] = None,
+                scratch=None) -> np.ndarray:
+        return kernel_fn(scores, axis=-1, out=out, scratch=scratch)
 
     return SoftmaxVariant(
         name=name,
         forward_fn=forward,
         surrogate_fn=lambda s: softermax_float(s, axis=-1),
         base=2.0,
+        supports_out=True,
     )
 
 
-register_softmax_variant(
-    SoftmaxVariant(
-        name="reference",
-        forward_fn=lambda s: softmax_reference(s, axis=-1),
-        surrogate_fn=lambda s: softmax_reference(s, axis=-1),
-        base=np.e,
+def _float_variant(name: str, fn: Callable, base: float) -> SoftmaxVariant:
+    """A float-reference variant with copy-out contract support."""
+
+    def forward(scores: np.ndarray, out: Optional[np.ndarray] = None,
+                scratch=None) -> np.ndarray:
+        probs = fn(scores, axis=-1)
+        if out is None:
+            return probs
+        np.copyto(out, probs)
+        return out
+
+    return SoftmaxVariant(
+        name=name,
+        forward_fn=forward,
+        surrogate_fn=lambda s: fn(s, axis=-1),
+        base=base,
+        supports_out=True,
     )
-)
-register_softmax_variant(
-    SoftmaxVariant(
-        name="base2",
-        forward_fn=lambda s: base2_softmax(s, axis=-1),
-        surrogate_fn=lambda s: base2_softmax(s, axis=-1),
-        base=2.0,
-    )
-)
+
+
+register_softmax_variant(_float_variant("reference", softmax_reference, np.e))
+register_softmax_variant(_float_variant("base2", base2_softmax, 2.0))
 register_softmax_variant(make_softermax_variant())
 
 

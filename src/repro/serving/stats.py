@@ -18,11 +18,16 @@ DEFAULT_WINDOW = 4096
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile of ``values`` (``q`` in [0, 100])."""
+    """Nearest-rank percentile of ``values`` (``q`` in [0, 100]).
+
+    An empty sample list yields 0.0 rather than raising: a zero-request
+    ``serve``/``loadtest`` summary reports zeros, and ad-hoc consumers of
+    the stats window cannot blow up on a quiet service.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError("percentile q must be in [0, 100]")
     if not values:
-        raise ValueError("percentile of an empty sequence")
+        return 0.0
     ordered = sorted(values)
     rank = max(1, int(-(-q / 100.0 * len(ordered) // 1)))  # ceil, 1-based
     return ordered[min(rank, len(ordered)) - 1]

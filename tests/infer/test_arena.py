@@ -60,7 +60,7 @@ def test_stats_report_pool_state():
     assert stats["free_buffers"] == 2
     assert stats["free_bytes"] == a.nbytes + b.nbytes
     assert stats["allocated_bytes"] == a.nbytes + b.nbytes
-    assert stats["shapes"] == [(2, 3)]
+    assert stats["shapes"] == [((2, 3), "float64")]
     assert stats["evictions"] == 0
 
 
@@ -76,7 +76,7 @@ def test_byte_budget_evicts_least_recently_used_shape():
     stats = arena.stats()
     assert stats["evictions"] == 1
     assert stats["free_bytes"] == 192
-    assert stats["shapes"] == [(8,), (16,)]
+    assert stats["shapes"] == [((8,), "float64"), ((16,), "float64")]
     # The evicted shape allocates fresh again; the kept ones still hit.
     assert arena.acquire((4,)) is not stale
     assert arena.acquire((8,)) is warm
@@ -91,6 +91,72 @@ def test_zero_budget_pools_nothing():
     assert stats["free_bytes"] == 0
     assert stats["evictions"] == 1
     assert arena.acquire((8, 8)) is not buffer
+
+
+def test_zero_budget_release_keeps_bookkeeping_clean():
+    """Regression: zero-budget releases must evict immediately without
+    corrupting the byte count or growing the recency map."""
+    arena = WorkspaceArena(max_free_bytes=0)
+    for i in range(5):
+        buffer = arena.acquire((i + 1,))
+        arena.release(buffer)
+        assert arena._free_bytes == 0
+        assert arena._free == {}
+    # Releases touched nothing: only the acquires are in the recency map,
+    # and no key lingers for a shape that can never be pooled.
+    assert len(arena._last_used) <= 5
+    stats = arena.stats()
+    assert stats["evictions"] == 5
+    assert stats["free_bytes"] == 0 and stats["free_buffers"] == 0
+    # Zero-size buffers follow the same immediate-drop rule.
+    empty = arena.acquire((0, 4))
+    arena.release(empty)
+    assert arena.stats()["free_buffers"] == 0
+
+
+def test_eviction_prunes_the_recency_map():
+    """Shapes that leave the pool leave the LRU bookkeeping with them."""
+    arena = WorkspaceArena(max_free_bytes=64)
+    stale = arena.acquire((4,))    # 32 bytes
+    hot = arena.acquire((8,))      # 64 bytes
+    arena.release(stale)
+    arena.release(hot)             # evicts the stale shape entirely
+    f64 = np.dtype(np.float64)
+    assert ((4,), f64) not in arena._free
+    assert ((4,), f64) not in arena._last_used
+    assert ((8,), f64) in arena._last_used
+
+
+def test_deferred_releases_exempt_from_eviction_until_begin_call():
+    """A parked execution output survives even a zero-byte budget until
+    the next ``begin_call`` reclaims (and then immediately drops) it."""
+    arena = WorkspaceArena(max_free_bytes=0)
+    result = arena.acquire((16,))
+    marker = 42.0
+    result.fill(marker)
+    arena.release_deferred(result)
+    assert arena.stats()["deferred_buffers"] == 1
+    assert arena.stats()["evictions"] == 0
+    # The caller's read window: the buffer is untouched and unpooled.
+    assert np.all(result == marker)
+    assert arena.acquire((16,)) is not result
+    arena.begin_call()
+    snap = arena.stats()
+    assert snap["deferred_buffers"] == 0
+    assert snap["evictions"] == 1 and snap["free_buffers"] == 0
+
+
+def test_dtype_pools_are_separate():
+    """The kernel-scratch dtypes pool independently of the float64 file."""
+    arena = WorkspaceArena()
+    wide = arena.acquire((8,))
+    narrow = arena.acquire((8,), dtype=np.int16)
+    assert narrow.dtype == np.int16 and narrow.flags.c_contiguous
+    arena.release(wide)
+    arena.release(narrow)
+    assert arena.acquire((8,), dtype=np.int16) is narrow
+    assert arena.acquire((8,)) is wide
+    assert arena.misses == 2 and arena.hits == 2
 
 
 def test_negative_budget_rejected():

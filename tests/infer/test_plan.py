@@ -97,16 +97,37 @@ def test_plan_deterministic_across_repeated_calls(model, ids):
 # workspace arena behavior
 # --------------------------------------------------------------------------- #
 def test_steady_state_ragged_calls_do_not_allocate(model, rng):
+    from repro.kernels import output_allocation_count
+
     sequences = [list(rng.integers(1, VOCAB, size=int(n)))
                  for n in (5, 9, 12, 9)]
     plan = model.inference_plan()
     model.encode_ragged(sequences, engine="plan")
     model.encode_ragged(sequences, engine="plan")
     misses_before = plan.arena.misses
+    kernel_allocs_before = output_allocation_count()
+    scratch_reallocs_before = plan.scratch.reallocs
     model.encode_ragged(sequences, engine="plan")
     assert plan.arena.misses == misses_before, \
         "steady-state serving must reuse arena buffers, not allocate"
     assert plan.arena.hits > 0
+    # The workspace-aware kernel boundary: the softmax stage writes into
+    # arena buffers (out=) and draws scratch from the plan workspace, so
+    # steady state performs zero kernel-output allocations too.
+    assert output_allocation_count() == kernel_allocs_before, \
+        "steady-state serving must not allocate kernel outputs"
+    assert plan.scratch.reallocs == scratch_reallocs_before
+
+
+def test_plan_stats_include_kernel_scratch(model, rng):
+    sequences = [list(rng.integers(1, VOCAB, size=int(n))) for n in (4, 7)]
+    model.encode_ragged(sequences, engine="plan")
+    stats = model.inference_plan().stats()
+    scratch = stats["kernel_scratch"]
+    assert scratch["buffers"] > 0 and scratch["nbytes"] > 0
+    # Arena-backed scratch: the workspace's bytes were allocated by (and
+    # are accounted to) the plan's arena.
+    assert stats["arena"]["allocated_bytes"] >= scratch["nbytes"]
 
 
 def test_run_output_is_caller_owned(model, rng):

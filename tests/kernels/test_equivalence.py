@@ -25,12 +25,14 @@ from repro.fixedpoint import QFormat
 from repro.kernels import (
     BlockedSoftermaxKernel,
     FusedSoftermaxKernel,
+    KernelWorkspace,
     available_kernels,
     fused_softermax,
     get_blocked_kernel,
     get_fused_kernel,
     get_kernel,
     get_parallel_kernel,
+    output_allocation_count,
     resolve_kernel,
 )
 
@@ -191,18 +193,21 @@ def test_blocked_boundaries_unaligned_to_slice_width(rng, block_rows):
 
 
 def test_blocked_scratch_reused_across_calls(rng, paper_config):
-    """Repeated same-shape calls must not grow the scratch set."""
+    """Repeated same-shape calls must not grow the built-in workspace."""
     kernel = BlockedSoftermaxKernel(paper_config, block_rows=4)
     x = rng.normal(0.0, 5.0, size=(16, 96))
     kernel(x)
-    buf_id = id(kernel._buf)
-    cap = kernel._cap
+    reallocs = kernel._workspace.reallocs
+    nbytes = kernel._workspace.nbytes
     out_a = kernel(x)
-    assert id(kernel._buf) == buf_id and kernel._cap == cap
+    assert kernel._workspace.reallocs == reallocs
+    assert kernel._workspace.nbytes == nbytes
     # Growing shapes reallocate; shrinking ones reuse the larger scratch.
     kernel(rng.normal(size=(32, 128)))
-    assert kernel._cap >= cap
+    assert kernel._workspace.nbytes >= nbytes
+    reallocs = kernel._workspace.reallocs
     out_b = kernel(x)
+    assert kernel._workspace.reallocs == reallocs
     assert np.array_equal(out_a, out_b)
 
 
@@ -396,6 +401,128 @@ def test_parallel_pool_handle_rebuilt_across_fork(rng, paper_config):
         assert np.array_equal(kernel(x), expected)
     finally:
         kernel.close()
+
+
+# --------------------------------------------------------------------------- #
+# the workspace-aware out=/scratch= contract
+# --------------------------------------------------------------------------- #
+# Parameterized over BIT_ACCURATE (i.e. over runner_factory), so a newly
+# registered bit-accurate kernel gets the in-place contract pinned for free.
+OUT_SHAPES = [(16,), (3, 33), (2, 2, 40), (5, 96), (0, 16)]
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_engine_kernels_declare_out_capability(name):
+    spec = get_kernel(name)
+    assert spec.supports_out, name
+    assert spec.supports_scratch, name
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+@pytest.mark.parametrize("shape", OUT_SHAPES, ids=str)
+def test_out_mode_bitwise_identical_to_allocate_mode(rng, paper_config,
+                                                     name, shape):
+    """A fresh ``out=`` buffer receives the exact allocate-mode bits."""
+    kernel = _runner(name, paper_config)
+    x = rng.normal(0.0, 6.0, size=shape)
+    expected = kernel(x)
+    out = np.full(shape, np.nan)
+    returned = kernel(x, out=out)
+    assert returned is out
+    assert np.array_equal(out, expected)
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_out_buffer_reused_across_calls(rng, paper_config, name):
+    """Stale contents of a reused ``out=`` buffer never leak through."""
+    kernel = _runner(name, paper_config)
+    out = np.full((6, 48), np.inf)
+    for seed in range(3):
+        x = np.random.default_rng(seed).normal(0.0, 6.0, size=(6, 48))
+        returned = kernel(x, out=out)
+        assert returned is out
+        assert np.array_equal(out, kernel(x))
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_out_mismatch_raises(rng, paper_config, name):
+    kernel = _runner(name, paper_config)
+    x = rng.normal(0.0, 6.0, size=(4, 40))
+    for bad in (np.empty((4, 39)), np.empty((3, 40)), np.empty(40),
+                np.empty((4, 40), dtype=np.float32),
+                np.empty((4, 40), dtype=np.int64)):
+        with pytest.raises(ValueError):
+            kernel(x, out=bad)
+    with pytest.raises(ValueError):
+        kernel(x, out=[[0.0] * 40] * 4)  # not an ndarray
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+@pytest.mark.parametrize("axis", [0, 1, -1, -2])
+def test_out_mode_handles_every_axis(rng, paper_config, name, axis):
+    kernel = _runner(name, paper_config)
+    x = rng.normal(0.0, 5.0, size=(5, 6, 40))
+    out = np.empty_like(x)
+    assert np.array_equal(kernel(x, axis=axis, out=out),
+                          kernel(x, axis=axis))
+
+
+@pytest.mark.parametrize("name", BIT_ACCURATE)
+def test_caller_scratch_workspace_bitwise_identical(rng, paper_config, name):
+    """One caller-owned workspace serves every engine, across shapes."""
+    kernel = _runner(name, paper_config)
+    ws = KernelWorkspace()
+    for shape in ((4, 64), (2, 17), (8, 96), (4, 64)):
+        x = rng.normal(0.0, 6.0, size=shape)
+        assert np.array_equal(kernel(x, scratch=ws), kernel(x)), shape
+        out = np.empty(shape)
+        assert np.array_equal(kernel(x, out=out, scratch=ws), kernel(x))
+
+
+def test_out_mode_steady_state_performs_no_output_allocations(rng,
+                                                              paper_config):
+    """out= + scratch= means zero allocation traffic at the kernel boundary
+    (the serving fast path's contract, also asserted by bench_encoder)."""
+    for factory in (lambda: get_fused_kernel(paper_config),
+                    lambda: get_blocked_kernel(paper_config, 4)):
+        kernel = factory()
+        ws = KernelWorkspace()
+        x = rng.normal(0.0, 6.0, size=(8, 64))
+        out = np.empty_like(x)
+        kernel(x, out=out, scratch=ws)  # warm the workspace
+        before = output_allocation_count()
+        reallocs = ws.reallocs
+        for _ in range(3):
+            kernel(x, out=out, scratch=ws)
+        assert output_allocation_count() == before
+        assert ws.reallocs == reallocs
+        # Allocate mode is counted.
+        kernel(x)
+        assert output_allocation_count() == before + 1
+
+
+def test_input_never_mutated_by_out_mode(rng, paper_config):
+    for name in BIT_ACCURATE:
+        kernel = _runner(name, paper_config)
+        x = rng.normal(0.0, 6.0, size=(4, 48))
+        before = x.copy()
+        kernel(x, out=np.empty_like(x), scratch=KernelWorkspace())
+        assert np.array_equal(x, before), name
+
+
+def test_resolved_kernels_all_accept_out(rng, paper_config):
+    """The resolution-time wrapper gives every kernel the full surface --
+    non-native kernels (oracle, float references) get copy-out semantics."""
+    x = rng.normal(0.0, 4.0, size=(4, 40))
+    for name in sorted(set(available_kernels()) | {"auto"}):
+        fn = resolve_kernel(name, paper_config)
+        expected = fn(x, axis=-1)
+        out = np.full(x.shape, np.nan)
+        returned = fn(x, axis=-1, out=out, scratch=KernelWorkspace())
+        assert returned is out, name
+        assert np.array_equal(out, expected), name
+        with pytest.raises(ValueError):
+            fn(x, out=np.empty((2, 2)))
 
 
 # --------------------------------------------------------------------------- #

@@ -65,6 +65,18 @@ class TestRegistryLookup:
                      "softermax-parallel", "softermax-adaptive"):
             assert get_kernel(name).selection, name
 
+    def test_out_capability_flags(self):
+        """The engine family writes in place natively; the oracle and the
+        float/related-work kernels are copy-wrapped at resolution time."""
+        for name in ("softermax-fused", "softermax-blocked",
+                     "softermax-parallel", "softermax-adaptive"):
+            spec = get_kernel(name)
+            assert spec.supports_out and spec.supports_scratch, name
+        for name in ("softermax-bit-accurate", "reference", "base2",
+                     "softermax-float", "ibert", "lut-exp", "split-exp"):
+            spec = get_kernel(name)
+            assert not spec.supports_out and not spec.supports_scratch, name
+
 
 class TestNameParsing:
     def test_bare_name(self):
@@ -137,6 +149,20 @@ class TestResolve:
     def test_unsupported_options_raise_cleanly(self):
         with pytest.raises(TypeError, match="does not accept options"):
             resolve_kernel("reference", None, workers=2)
+
+    def test_wrapped_kernels_get_copy_out_semantics(self, rng):
+        """Kernels without native support still honor the full contract."""
+        fn = resolve_kernel("reference", None)
+        x = rng.normal(size=(3, 12))
+        expected = softmax_reference(x, axis=-1)
+        out = np.full(x.shape, np.nan)
+        returned = fn(x, axis=-1, out=out)
+        assert returned is out
+        np.testing.assert_allclose(out, expected)
+        with pytest.raises(ValueError):
+            fn(x, out=np.empty((3, 11)))
+        with pytest.raises(ValueError):
+            fn(x, out=np.empty((3, 12), dtype=np.float32))
 
     def test_supported_options_reflect_factory_signatures(self):
         from repro.kernels import supported_options

@@ -1,0 +1,122 @@
+"""KernelWorkspace: keyed growth, view cache, arena backing, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.infer import WorkspaceArena
+from repro.kernels import (
+    KernelWorkspace,
+    check_out_buffer,
+    output_allocation_count,
+    record_output_allocation,
+)
+
+
+def test_take_grows_monotonically_and_reuses():
+    ws = KernelWorkspace()
+    small = ws.take("k", 8)
+    assert small.size == 8 and small.dtype == np.float64
+    assert ws.reallocs == 1
+    again = ws.take("k", 4)
+    assert again.base is small.base or again.base is not None
+    assert ws.reallocs == 1 and ws.reuses == 1
+    big = ws.take("k", 16)
+    assert ws.reallocs == 2
+    assert big.size == 16
+
+
+def test_take_zero_size():
+    ws = KernelWorkspace()
+    empty = ws.take("k", 0)
+    assert empty.size == 0
+
+
+def test_dtype_change_replaces_the_buffer():
+    ws = KernelWorkspace()
+    ws.take("k", 8, np.float64)
+    narrow = ws.take("k", 8, np.int16)
+    assert narrow.dtype == np.int16
+    assert ws.reallocs == 2
+
+
+def test_keys_are_independent():
+    ws = KernelWorkspace()
+    a = ws.take("a", 8)
+    b = ws.take("b", 8)
+    a_view = a.reshape(2, 4)
+    a_view.fill(1.0)
+    b.fill(2.0)
+    assert np.all(a == 1.0)
+
+
+def test_take_shaped_caches_views():
+    ws = KernelWorkspace()
+    first = ws.take_shaped("k", (2, 4))
+    second = ws.take_shaped("k", (2, 4))
+    assert second is first  # steady state: one dict hit, no reshape
+    other = ws.take_shaped("k", (8,))
+    assert other is not first
+    # Growth invalidates the cached views for the key.
+    ws.take_shaped("k", (4, 4))
+    refreshed = ws.take_shaped("k", (2, 4))
+    assert refreshed is not first
+    assert refreshed.base is ws._buffers["k"]
+
+
+def test_buffer_growth_drops_stale_cached_views():
+    """Regression: replaced buffers must not stay pinned by cached views."""
+    import weakref
+
+    ws = KernelWorkspace()
+    view = ws.take_shaped("k", (1000,))
+    old_buffer = ws._buffers["k"]
+    ref = weakref.ref(old_buffer)
+    ws.take("k", 2000)  # outgrows and replaces the buffer
+    assert all(ck[0] != "k" or v.base is ws._buffers["k"]
+               for ck, v in ws._views.items())
+    del view, old_buffer
+    assert ref() is None, "outgrown buffer still pinned by a stale view"
+
+
+def test_arena_backed_workspace_draws_from_and_returns_to_the_pool():
+    arena = WorkspaceArena()
+    ws = KernelWorkspace(arena=arena)
+    ws.take("k", 8, np.int16)
+    assert arena.misses == 1
+    # Growth releases the outgrown buffer back to the arena pool.
+    ws.take("k", 16, np.int16)
+    assert arena.stats()["free_buffers"] == 1
+    ws.clear()
+    assert arena.stats()["free_buffers"] == 2
+    assert ws.stats()["buffers"] == 0
+
+
+def test_stats_and_nbytes():
+    ws = KernelWorkspace()
+    ws.take("a", 4, np.float64)
+    ws.take("b", 4, np.int16)
+    stats = ws.stats()
+    assert stats["buffers"] == 2
+    assert stats["nbytes"] == 4 * 8 + 4 * 2
+    assert stats["keys"] == ["a", "b"]
+    assert "KernelWorkspace" in repr(ws)
+
+
+def test_check_out_buffer_contract():
+    check_out_buffer(None, (2, 3))  # None is always fine
+    check_out_buffer(np.empty((2, 3)), (2, 3))
+    with pytest.raises(ValueError, match="numpy array"):
+        check_out_buffer([[0.0] * 3] * 2, (2, 3))
+    with pytest.raises(ValueError, match="float64"):
+        check_out_buffer(np.empty((2, 3), dtype=np.float32), (2, 3))
+    with pytest.raises(ValueError, match="shape"):
+        check_out_buffer(np.empty((2, 4)), (2, 3))
+
+
+def test_output_allocation_counter_monotonic():
+    before = output_allocation_count()
+    record_output_allocation()
+    record_output_allocation(2)
+    assert output_allocation_count() == before + 3

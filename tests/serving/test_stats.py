@@ -17,11 +17,18 @@ def test_percentile_nearest_rank():
     assert percentile([5.0], 50.0) == 5.0
 
 
-def test_percentile_rejects_bad_input():
-    with pytest.raises(ValueError):
-        percentile([], 50.0)
+def test_percentile_of_empty_samples_is_zero():
+    """A zero-request summary prints zeros instead of raising."""
+    assert percentile([], 0.0) == 0.0
+    assert percentile([], 50.0) == 0.0
+    assert percentile([], 100.0) == 0.0
+
+
+def test_percentile_rejects_bad_q():
     with pytest.raises(ValueError):
         percentile([1.0], 101.0)
+    with pytest.raises(ValueError):
+        percentile([], -1.0)
 
 
 def test_snapshot_before_any_traffic():
