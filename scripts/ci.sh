@@ -16,6 +16,11 @@ echo "   kernel-output allocations + arena misses on the ragged serving run;"
 echo "   latency baseline diff stays warn-only) =="
 python -m benchmarks.bench_encoder --quick
 
+echo "== long-context benchmark smoke (chunked attention; asserts chunked"
+echo "   plan == graph bitwise + zero steady-state allocations; latency"
+echo "   baseline diff stays warn-only) =="
+python -m benchmarks.bench_longseq --quick
+
 echo "== serving smoke (serve CLI round trip) =="
 printf '1 2 3 4 5\n1 2 3 4 5\nquit\n' \
     | python -m repro.cli serve --max-batch-size 4 --max-wait-ms 1

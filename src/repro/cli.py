@@ -278,7 +278,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            max_queue_depth=args.queue_depth,
                            cache_size=args.cache_size,
                            engine=args.engine,
-                           fuse_qkv=args.fuse_qkv)
+                           fuse_qkv=args.fuse_qkv,
+                           block_kv=args.block_kv)
     try:
         service = build_encoder_service(model_name=args.model,
                                         kernel=args.kernel,
@@ -336,7 +337,8 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
             num_requests=args.requests, batch_size=args.batch_size,
             max_wait_ms=args.max_wait_ms, min_tokens=args.min_tokens,
             max_tokens=args.max_tokens, model_name=args.model,
-            kernel=args.kernel, engine=args.engine, seed=args.seed,
+            kernel=args.kernel, engine=args.engine,
+            block_kv=args.block_kv, seed=args.seed,
             duplicate_fraction=args.duplicate_fraction,
             cache_size=args.cache_size)
     except (KeyError, TypeError, ValueError) as exc:
@@ -483,7 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = sub.add_parser("serve",
                            help="interactive dynamic-batching inference "
                                 "service (token-id lines on stdin)")
-    serve.add_argument("--model", choices=("tiny-base", "tiny-large"),
+    serve.add_argument("--model",
+                       choices=("tiny-base", "tiny-large", "tiny-long"),
                        default="tiny-base")
     serve.add_argument("--kernel", default="auto",
                        help="Softermax kernel (see the 'kernels' command)")
@@ -495,6 +498,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="plan engine only: fuse the Q/K/V projections "
                             "into one GEMM (mathematically identical, not "
                             "bit-guaranteed)")
+    serve.add_argument("--block-kv", type=int, default=None,
+                       help="serve through chunked O(block)-memory "
+                            "attention with this key/value block size "
+                            "(long-context mode; see the README tolerance "
+                            "contract)")
     serve.add_argument("--max-batch-size", type=int, default=32,
                        help="largest coalesced micro-batch")
     serve.add_argument("--max-wait-ms", type=float, default=2.0,
@@ -515,7 +523,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--max-wait-ms", type=float, default=2.0)
     loadtest.add_argument("--min-tokens", type=int, default=8)
     loadtest.add_argument("--max-tokens", type=int, default=16)
-    loadtest.add_argument("--model", choices=("tiny-base", "tiny-large"),
+    loadtest.add_argument("--model",
+                          choices=("tiny-base", "tiny-large", "tiny-long"),
                           default="tiny-base")
     loadtest.add_argument("--kernel", default="auto",
                           help="Softermax kernel (see the 'kernels' command)")
@@ -524,6 +533,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="encoder forward engine for both "
                                "configurations (plan = graph-free fast "
                                "path, the default)")
+    loadtest.add_argument("--block-kv", type=int, default=None,
+                          help="chunked-attention key/value block size for "
+                               "both configurations (long-context mode)")
     loadtest.add_argument("--seed", type=int, default=0)
     loadtest.add_argument("--duplicate-fraction", type=float, default=0.0,
                           help="fraction of repeated requests (exercises "

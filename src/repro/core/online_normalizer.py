@@ -91,6 +91,12 @@ class OnlineNormalizerState:
             raise ValueError(
                 f"slice shape {slice_values.shape[:-1]} does not match state shape {tuple(self.shape)}"
             )
+        if slice_values.shape[-1] == 0:
+            # A zero-width slice contributes nothing: leave the state
+            # untouched and hand back its (empty) unnormalized slice.  The
+            # chunked-attention tail path for ragged length groups produces
+            # exactly this shape, and ``np.max`` raises on an empty axis.
+            return np.zeros_like(slice_values)
 
         local_max = self._reduce_max(slice_values)
         unnormed = self._pow2(slice_values - local_max[..., None])

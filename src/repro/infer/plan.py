@@ -144,7 +144,7 @@ class InferencePlan:
 
     def __init__(self, ops: List[PlanOp], output_reg: str, input_kind: str,
                  meta: Optional[dict] = None, fuse_qkv: bool = False,
-                 source: str = "") -> None:
+                 block_kv: Optional[int] = None, source: str = "") -> None:
         if input_kind not in ("ids", "hidden"):
             raise ValueError(f"unknown plan input kind {input_kind!r}")
         self.ops = list(ops)
@@ -152,6 +152,7 @@ class InferencePlan:
         self.input_kind = input_kind
         self.meta = dict(meta or {})
         self.fuse_qkv = fuse_qkv
+        self.block_kv = block_kv
         self.source = source
         self.arena = WorkspaceArena()
         # Kernel scratch rides the same arena, so one byte budget and one
@@ -164,8 +165,16 @@ class InferencePlan:
     # compilation
     # ------------------------------------------------------------------ #
     @classmethod
-    def from_model(cls, model, fuse_qkv: bool = False) -> "InferencePlan":
-        """Compile ``model`` into a plan (weights snapshotted now)."""
+    def from_model(cls, model, fuse_qkv: bool = False,
+                   block_kv: Optional[int] = None) -> "InferencePlan":
+        """Compile ``model`` into a plan (weights snapshotted now).
+
+        ``block_kv`` compiles attention cores to the chunked O(block)
+        exact-mask path (see :func:`repro.nn.functional.
+        chunked_masked_attention`); such plans reject additive masks in
+        :meth:`run` -- use :meth:`run_ragged` with a prefix mask, or no
+        mask.
+        """
         input_kind = getattr(model, "plan_input_kind", None)
         if input_kind is None or not hasattr(model, "export_plan"):
             raise TypeError(
@@ -174,9 +183,14 @@ class InferencePlan:
                 "(BertEncoderModel or TransformerEncoder)")
         builder = PlanBuilder()
         input_reg = INPUT_IDS if input_kind == "ids" else INPUT_HIDDEN
-        output_reg = model.export_plan(builder, input_reg, fuse_qkv=fuse_qkv)
+        export_kwargs = {"fuse_qkv": fuse_qkv}
+        if block_kv is not None:
+            # Only threaded when set, so exporters predating the knob
+            # (custom test modules) keep compiling unchanged.
+            export_kwargs["block_kv"] = block_kv
+        output_reg = model.export_plan(builder, input_reg, **export_kwargs)
         return cls(builder.ops, output_reg, input_kind,
-                   meta=builder.meta, fuse_qkv=fuse_qkv,
+                   meta=builder.meta, fuse_qkv=fuse_qkv, block_kv=block_kv,
                    source=type(model).__name__)
 
     # ------------------------------------------------------------------ #
@@ -190,6 +204,11 @@ class InferencePlan:
         Returns a caller-owned ``(batch, seq, hidden)`` float64 array.
         """
         regs, batch_seq = self._prepare_inputs(inputs)
+        if attention_mask is not None and self.block_kv is not None:
+            raise ValueError(
+                "this plan was compiled with block_kv (chunked exact-mask "
+                "attention) and cannot honor an additive mask; use "
+                "run_ragged with a right-padded prefix mask, or no mask")
         mask = (None if attention_mask is None
                 else self._validate_mask(attention_mask, batch_seq))
         return self._execute(regs, mask=mask, lengths=None,
@@ -294,7 +313,8 @@ class InferencePlan:
         """Human-readable plan listing (op order and arena state)."""
         header = (f"InferencePlan({self.source or 'module'}, "
                   f"input={self.input_kind}, ops={self.num_ops}, "
-                  f"fuse_qkv={self.fuse_qkv}, calls={self.calls})")
+                  f"fuse_qkv={self.fuse_qkv}, block_kv={self.block_kv}, "
+                  f"calls={self.calls})")
         lines = [header] + [f"  {i:3d}. {name}"
                             for i, name in enumerate(self.op_names())]
         return "\n".join(lines)
@@ -302,7 +322,8 @@ class InferencePlan:
     def stats(self) -> dict:
         """Execution counters plus arena and kernel-scratch statistics."""
         return {"calls": self.calls, "ops": self.num_ops,
-                "fuse_qkv": self.fuse_qkv, "arena": self.arena.stats(),
+                "fuse_qkv": self.fuse_qkv, "block_kv": self.block_kv,
+                "arena": self.arena.stats(),
                 "kernel_scratch": self.scratch.stats()}
 
     def __repr__(self) -> str:

@@ -238,6 +238,101 @@ class FusedSoftermaxKernel:
         _, result = self._forward(moved, want_intermediates=True)
         return result
 
+    def online_stats(self, x: np.ndarray,
+                     ws: Optional[KernelWorkspace] = None):
+        """Front half of the kernel for streaming consumers.
+
+        Returns ``(unnormed, slice_maxes, running_max, running_sum)`` --
+        bitwise the same values as the matching intermediates of
+        :meth:`run` on the same input (they are produced by the same code
+        path), but *without* the renormalize-and-divide back end and
+        without allocating an output.  ``unnormed`` is shaped like ``x``
+        and holds the unnormalized exponential codes times the unnormed
+        resolution, relative to the per-slice maxima ``slice_maxes``.
+
+        This is the primitive the chunked attention path
+        (:func:`repro.nn.functional.chunked_masked_attention`) calls per
+        key/value block: blocks are merged downstream with power-of-two
+        shifts on ``(running_max, running_sum)`` -- the online-normalizer
+        recurrence at block granularity -- so nothing quadratic in the
+        sequence length is ever materialized.  ``unnormed`` may live in
+        ``ws``; consume it before the next call on the same workspace.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            u, sm, rm, rs = self.online_stats(x[None, :], ws=ws)
+            return u[0], sm[0], rm[0], rs[0]
+        cfg = self.config
+        length = x.shape[-1]
+        if length == 0:
+            raise ValueError("softermax requires a non-empty reduction axis")
+        if self._lut_codes is None or not cfg.use_online_normalization:
+            # Exotic operating point or the no-online ablation: take the
+            # intermediates from the vectorized float path (still bitwise
+            # vs the pipeline).  Without online normalization the "state"
+            # is the broadcast global max and the whole-row sum, which the
+            # block merge downstream handles unchanged.
+            _, result = self._forward_float(x, want_intermediates=True)
+            i = result.intermediates
+            return i.unnormed, i.slice_maxes, i.global_max, i.denominator
+
+        # --- input quantization, straight to int32 codes (as _forward) --- #
+        in_fmt = cfg.input_fmt
+        buf = self._take(ws, "fused.buf", x.shape, np.float64)
+        np.multiply(x, 1.0 / self._in_res, out=buf)  # exact: power of 2
+        buf += 0.5
+        np.floor(buf, out=buf)
+        _clip(buf, in_fmt.min_code, in_fmt.max_code, buf)
+        icodes = self._take(ws, "fused.icodes", x.shape, np.int32)
+        np.copyto(icodes, buf, casting="unsafe")
+
+        width = cfg.slice_width
+        num_slices = (length + width - 1) // width
+        padded_len = num_slices * width
+        lead = x.shape[:-1]
+        if padded_len != length:
+            padded = self._take(ws, "fused.padded", lead + (padded_len,),
+                                np.int32)
+            padded[..., length:] = in_fmt.min_code
+            padded[..., :length] = icodes
+            lane_pad = (np.arange(padded_len) >= length).reshape(num_slices,
+                                                                 width)
+        else:
+            padded = icodes
+            lane_pad = None
+        tiles = padded.reshape(lead + (num_slices, width))
+
+        # --- per-slice maxima + LUT gather (as _forward) ------------------ #
+        slice_mc = tiles.max(axis=-1)
+        mcq = self._quantize_max_codes(slice_mc)
+        slice_max_f = mcq * self._max_res
+        if self._max_scale == 1:
+            offset = mcq + self._lo_code
+        else:
+            offset = mcq * self._max_scale + self._lo_code
+        off = offset[..., :, None]
+        idx = self._take(ws, "fused.idx", tiles.shape, self._idx_dtype)
+        if self._in_scale == 1:
+            np.subtract(tiles, off, out=idx, casting="unsafe")
+        else:
+            np.multiply(tiles, self._in_scale, out=idx, casting="unsafe")
+            np.subtract(idx, off, out=idx, casting="unsafe")
+        ucodes = self._take(ws, "fused.ucodes", tiles.shape, self._work_dtype)
+        self._lut_codes.take(idx, mode="clip", out=ucodes)
+        if lane_pad is not None:
+            ucodes[..., lane_pad] = 0
+
+        # --- merged (max, sum) state (as _forward) ------------------------ #
+        sum_codes = self._quantize_sum_codes(ucodes.sum(axis=-1,
+                                                        dtype=np.int64))
+        running_max, rs_codes = self._online_merge(slice_max_f, sum_codes)
+        running_sum = rs_codes.astype(np.int64) * self._sum_res
+
+        ufloat = self._take(ws, "fused.ufloat", tiles.shape, np.float64)
+        np.multiply(ucodes, self._un_res, out=ufloat)
+        unnormed = ufloat.reshape(lead + (padded_len,))[..., :length]
+        return unnormed, slice_max_f, running_max, running_sum
+
     @staticmethod
     def _take(ws: Optional[KernelWorkspace], key: str, shape, dtype):
         """Scratch array of ``shape``: workspace-backed or freshly allocated."""

@@ -77,6 +77,15 @@ class BertConfig:
         """Surrogate for BERT-Large: deeper and wider than ``tiny_base``."""
         return cls(vocab_size, 48, 3, 4, 96, max_seq_len, dropout=0.05, name="tiny-large")
 
+    @classmethod
+    def tiny_long(cls, vocab_size: int = 32,
+                  max_seq_len: int = 32768) -> "BertConfig":
+        """Long-context surrogate: ``tiny_base`` widths with one layer and a
+        32k position table, sized for the chunked-attention benchmarks
+        (dense attention at this length would need a 34 GB score matrix)."""
+        return cls(vocab_size, 32, 1, 4, 64, max_seq_len, dropout=0.0,
+                   name="tiny-long")
+
     def parameter_count_estimate(self) -> int:
         """Closed-form parameter count (embeddings + encoder), for reporting."""
         embed = (self.vocab_size + self.max_seq_len) * self.hidden_dim
@@ -118,7 +127,7 @@ class BertEncoderModel(Module):
             kernel_options=kernel_options,
             seed=seed,
         )
-        #: Compiled inference plans, keyed by their ``fuse_qkv`` flag.
+        #: Compiled inference plans, keyed by ``(fuse_qkv, block_kv)``.
         #: Plans snapshot weights at compile time; both mutation entry
         #: points (``load_state_dict``, ``set_softmax_variant``) clear
         #: this cache so the next plan-engine call recompiles.
@@ -126,7 +135,8 @@ class BertEncoderModel(Module):
 
     def forward(self, input_ids: np.ndarray,
                 attention_mask: Optional[np.ndarray] = None,
-                exact_mask: bool = False) -> Tensor:
+                exact_mask: bool = False,
+                block_kv: Optional[int] = None) -> Tensor:
         input_ids = np.asarray(input_ids, dtype=np.int64)
         batch, seq_len = input_ids.shape
         if seq_len > self.config.max_seq_len:
@@ -136,13 +146,15 @@ class BertEncoderModel(Module):
         positions = np.broadcast_to(np.arange(seq_len), (batch, seq_len))
         hidden = self.token_embedding(input_ids) + self.position_embedding(positions)
         hidden = self.embedding_dropout(self.embedding_norm(hidden))
-        return self.encoder(hidden, attention_mask, exact_mask=exact_mask)
+        return self.encoder(hidden, attention_mask, exact_mask=exact_mask,
+                            block_kv=block_kv)
 
     # ------------------------------------------------------------------ #
     # inference engines (graph vs compiled plan)
     # ------------------------------------------------------------------ #
     def export_plan(self, builder, ids_reg: str = "input_ids",
-                    fuse_qkv: bool = False) -> str:
+                    fuse_qkv: bool = False,
+                    block_kv: Optional[int] = None) -> str:
         """Emit embeddings + encoder onto a plan builder (see
         :class:`repro.infer.InferencePlan`)."""
         from repro.nn.functional import embedding_infer
@@ -174,16 +186,19 @@ class BertEncoderModel(Module):
         builder.emit_release("embeddings.free", embed_reg)
         # embedding_dropout is the identity in eval mode (plan semantics).
         return self.encoder.export_plan(builder, normed_reg,
-                                        prefix="encoder", fuse_qkv=fuse_qkv)
+                                        prefix="encoder", fuse_qkv=fuse_qkv,
+                                        block_kv=block_kv)
 
     def inference_plan(self, fuse_qkv: bool = False,
+                       block_kv: Optional[int] = None,
                        refresh: bool = False):
         """The cached compiled plan for this model (compile on first use).
 
         Plans snapshot weights, quantizer scales and the softmax variant
-        at compile time; ``load_state_dict`` and ``set_softmax_variant``
-        invalidate the cache, other mutations (e.g. attaching quantizers)
-        need ``refresh=True``.
+        at compile time and are keyed by their compile options
+        (``fuse_qkv``, ``block_kv``); ``load_state_dict`` and
+        ``set_softmax_variant`` invalidate the cache, other mutations
+        (e.g. attaching quantizers) need ``refresh=True``.
         """
         from repro.infer import InferencePlan
 
@@ -191,37 +206,58 @@ class BertEncoderModel(Module):
             # A mutation invalidates every snapshot, not just the one the
             # caller happens to ask for first.
             self._plans.clear()
-        key = bool(fuse_qkv)
+        key = (bool(fuse_qkv), block_kv)
         plan = self._plans.get(key)
         if plan is None:
-            plan = InferencePlan.from_model(self, fuse_qkv=fuse_qkv)
+            plan = InferencePlan.from_model(self, fuse_qkv=fuse_qkv,
+                                            block_kv=block_kv)
             self._plans[key] = plan
         return plan
 
     def encode(self, input_ids: np.ndarray,
                attention_mask: Optional[np.ndarray] = None,
-               engine: str = "graph", fuse_qkv: bool = False) -> np.ndarray:
+               engine: str = "graph", fuse_qkv: bool = False,
+               block_kv: Optional[int] = None) -> np.ndarray:
         """Eval-mode forward returning a raw hidden-state array.
 
         ``engine="graph"`` runs the autograd Tensor path;
         ``engine="plan"`` runs the compiled graph-free plan, which is
         bitwise identical (``fuse_qkv=True`` swaps in the fused Q/K/V
         projection -- mathematically equal, not bit-guaranteed).
+
+        ``block_kv`` opts into chunked O(block)-memory attention (see
+        :func:`repro.nn.functional.chunked_masked_attention` for the
+        tolerance contract).  It switches masking to the *exact* scheme: a
+        provided ``attention_mask`` must then be a right-padded 0/1 prefix
+        mask, and with no mask the full sequence is attended.  Graph and
+        plan engines stay bitwise identical to each other under
+        ``block_kv``.
         """
         if engine == "graph":
-            return self.forward(input_ids, attention_mask).data
+            if block_kv is None:
+                return self.forward(input_ids, attention_mask).data
+            return self.forward(input_ids, attention_mask,
+                                exact_mask=attention_mask is not None,
+                                block_kv=block_kv).data
         if engine == "plan":
             if self.training:
                 raise RuntimeError(
                     "the plan engine replays eval-mode semantics; call "
                     "eval() first")
-            plan = self.inference_plan(fuse_qkv=fuse_qkv)
+            plan = self.inference_plan(fuse_qkv=fuse_qkv, block_kv=block_kv)
+            if block_kv is not None and attention_mask is not None:
+                # Chunked plans reject additive masks; a prefix mask rides
+                # the exact-mask ragged entry point instead (np.array
+                # detaches the arena buffer under the plan lock).
+                return plan.run_ragged(input_ids, attention_mask,
+                                       extract=np.array)
             return plan.run(input_ids, attention_mask)
         raise ValueError(
             f"unknown inference engine {engine!r}; choose 'graph' or 'plan'")
 
     def encode_ragged(self, sequences, pad_id: int = 0,
-                      engine: str = "graph", fuse_qkv: bool = False) -> list:
+                      engine: str = "graph", fuse_qkv: bool = False,
+                      block_kv: Optional[int] = None) -> list:
         """Encode a batch of variable-length token sequences in one pass.
 
         The serving entry point: sequences are padded to the longest length
@@ -240,6 +276,13 @@ class BertEncoderModel(Module):
         ``engine`` selects the forward implementation: ``"graph"`` (the
         autograd Tensor path) or ``"plan"`` (the compiled graph-free fast
         path, bitwise identical; the serving layer defaults to it).
+
+        ``block_kv`` opts into chunked O(block)-memory attention for long
+        sequences.  Chunked length groups follow the documented tolerance
+        contract of :func:`repro.nn.functional.chunked_masked_attention`
+        instead of being bitwise-equal to the dense path -- but chunking
+        depends only on a sequence's own length group, so batching remains
+        bit-transparent (solo vs coalesced results stay identical).
 
         Returns a list of ``(length_i, hidden_dim)`` float64 arrays, one per
         input sequence.
@@ -280,9 +323,11 @@ class BertEncoderModel(Module):
             # run_ragged applies ``slices`` to the arena output buffer
             # while still holding the plan's execution lock, so the copies
             # can never race a concurrent execution recycling the buffer.
-            return self.inference_plan(fuse_qkv=fuse_qkv).run_ragged(
+            return self.inference_plan(
+                fuse_qkv=fuse_qkv, block_kv=block_kv).run_ragged(
                 input_ids, mask, extract=slices)
-        return slices(self.forward(input_ids, mask, exact_mask=True).data)
+        return slices(self.forward(input_ids, mask, exact_mask=True,
+                                   block_kv=block_kv).data)
 
     def _on_state_loaded(self) -> None:
         """Invalidate compiled plans after any state-dict load (fires even

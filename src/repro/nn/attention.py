@@ -112,7 +112,8 @@ class MultiHeadSelfAttention(Module):
         return x.transpose(0, 2, 1, 3).reshape(batch, seq_len, self.hidden_dim)
 
     def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
-                exact_mask: bool = False) -> Tensor:
+                exact_mask: bool = False,
+                block_kv: Optional[int] = None) -> Tensor:
         """Apply self-attention.
 
         Parameters
@@ -131,26 +132,45 @@ class MultiHeadSelfAttention(Module):
             request's attention output is bitwise identical whether it rides
             alone or inside a coalesced padded batch.  Requires a
             right-padded prefix mask and eval mode.
+        block_kv:
+            Opt-in chunked long-context path (inference-only): attention
+            runs in ``block_kv``-sized query/key blocks through the
+            online-normalizer merge, never materializing the full
+            ``seq x seq`` score matrix (see :func:`repro.nn.functional.
+            chunked_masked_attention` for the tolerance contract).  Uses
+            exact masking; with a mask it therefore requires
+            ``exact_mask=True``, and with no mask it attends over the full
+            sequence.
         """
         batch, seq_len, _ = hidden.shape
+        if block_kv is not None and attention_mask is not None \
+                and not exact_mask:
+            raise ValueError(
+                "block_kv (chunked attention) uses exact masking and "
+                "cannot honor the additive -30.0 mask penalty; pass "
+                "exact_mask=True with a prefix mask, or no mask")
 
         q = self._split_heads(self.query(hidden), batch, seq_len)
         k = self._split_heads(self.key(hidden), batch, seq_len)
         v = self._split_heads(self.value(hidden), batch, seq_len)
 
-        if exact_mask and attention_mask is not None:
+        if (exact_mask and attention_mask is not None) or block_kv is not None:
             if self.training:
                 raise RuntimeError(
                     "exact masking is an inference-only path (it bypasses "
                     "the autograd graph); call eval() first")
-            mask = np.asarray(attention_mask, dtype=np.float64)
-            if mask.shape != (batch, seq_len):
-                raise ValueError(
-                    f"attention_mask shape {mask.shape} does not match "
-                    f"(batch, seq)={batch, seq_len}")
-            lengths = F.prefix_mask_lengths(mask)
+            if attention_mask is not None:
+                mask = np.asarray(attention_mask, dtype=np.float64)
+                if mask.shape != (batch, seq_len):
+                    raise ValueError(
+                        f"attention_mask shape {mask.shape} does not match "
+                        f"(batch, seq)={batch, seq_len}")
+                lengths = F.prefix_mask_lengths(mask)
+            else:
+                # Chunked attention without a mask: every key is valid.
+                lengths = np.full(batch, seq_len, dtype=np.int64)
             context = Tensor(self._exact_masked_attention(
-                q.data, k.data, v.data, lengths))
+                q.data, k.data, v.data, lengths, block_kv=block_kv))
             merged = self._merge_heads(context, batch, seq_len)
             return self.output(merged)
 
@@ -177,11 +197,15 @@ class MultiHeadSelfAttention(Module):
         return self.output(merged)
 
     def _exact_masked_attention(self, q: np.ndarray, k: np.ndarray,
-                                v: np.ndarray,
-                                lengths: np.ndarray) -> np.ndarray:
+                                v: np.ndarray, lengths: np.ndarray,
+                                block_kv: Optional[int] = None) -> np.ndarray:
         """Length-grouped exact-mask attention (see
         :func:`repro.nn.functional.exact_masked_attention`, shared with the
-        plan engine)."""
+        plan engine); ``block_kv`` selects the chunked O(block) path."""
+        if block_kv is not None:
+            return F.chunked_masked_attention(
+                q, k, v, lengths, 1.0 / np.sqrt(self.head_dim),
+                self.softmax_variant, block_kv)
         return F.exact_masked_attention(
             q, k, v, lengths, 1.0 / np.sqrt(self.head_dim),
             self.softmax_variant.forward_fn)
@@ -190,7 +214,8 @@ class MultiHeadSelfAttention(Module):
     # plan export (graph-free inference)
     # ------------------------------------------------------------------ #
     def export_plan(self, builder, x_reg: str, prefix: str = "attention",
-                    fuse_qkv: bool = False) -> str:
+                    fuse_qkv: bool = False,
+                    block_kv: Optional[int] = None) -> str:
         """Emit this attention block's ops onto ``builder``.
 
         The emitted ops replay the eval-mode forward bit for bit: Q/K/V
@@ -206,10 +231,19 @@ class MultiHeadSelfAttention(Module):
         equal (BLAS may block the wider GEMM differently), which is why it
         is opt-in; quantized projections cannot be fused (each projection
         carries its own input-quantizer scale).
+
+        ``block_kv`` compiles the attention core to the chunked O(block)
+        exact-mask path (:func:`repro.nn.functional.
+        chunked_masked_attention`): with ``lengths`` on the execution
+        context it chunks each length group, without lengths or mask it
+        attends over the full sequence; block buffers are staged on the
+        plan's arena-backed workspace.  Additive masks are rejected at the
+        plan level (see :meth:`repro.infer.plan.InferencePlan.run`).
         """
         heads, head_dim = self.num_heads, self.head_dim
         hidden_dim = self.hidden_dim
         scale = 1.0 / np.sqrt(self.head_dim)
+        variant = self.softmax_variant
         # Uniform workspace-aware surface (custom variants with a plain
         # forward get copy-out semantics): the core op threads the arena
         # buffer and the plan's kernel workspace through the softmax.
@@ -266,7 +300,21 @@ class MultiHeadSelfAttention(Module):
             q, k, v = heads_of(ctx)
             batch, _, seq_len, _ = q.shape
             context = ctx.acquire((batch, heads, seq_len, head_dim))
-            if ctx.lengths is not None:
+            # A chunked plan takes the blocked path whenever exact masking
+            # applies: ragged runs carry ``lengths`` (run_ragged sets the
+            # prefix mask alongside them), unmasked runs synthesize full
+            # lengths.  Additive masks never reach here -- ``run`` rejects
+            # them on block_kv plans.
+            if block_kv is not None and (ctx.lengths is not None
+                                         or ctx.mask is None):
+                lengths = ctx.lengths
+                if lengths is None:
+                    lengths = np.full(batch, seq_len, dtype=np.int64)
+                F.chunked_masked_attention(q, k, v, lengths, scale, variant,
+                                           block_kv, out=context,
+                                           arena=ctx.arena,
+                                           scratch=ctx.scratch)
+            elif ctx.lengths is not None:
                 F.exact_masked_attention(q, k, v, ctx.lengths, scale,
                                          softmax_forward, out=context,
                                          arena=ctx.arena, scratch=ctx.scratch)

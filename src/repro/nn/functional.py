@@ -17,7 +17,9 @@ from typing import Callable, Dict, Optional
 import numpy as np
 
 from repro.core import (
+    OnlineNormalizerState,
     SoftermaxConfig,
+    integer_max,
     softermax as softermax_forward,
     softermax_float,
     softmax_reference,
@@ -25,6 +27,7 @@ from repro.core import (
     softmax_jacobian_vector_product,
     log_softmax_reference,
 )
+from repro.fixedpoint import RoundingMode, quantize
 from repro.nn.tensor import Tensor
 
 
@@ -236,40 +239,298 @@ def exact_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
 
 def _exact_masked_attention_groups(q, k, v, lengths, scale, softmax_forward,
                                    out, scratch) -> np.ndarray:
-    heads, head_dim = q.shape[1], q.shape[-1]
     for length in np.unique(lengths):
         idx = np.nonzero(lengths == length)[0]
-        length = int(length)
-        if scratch is None:
-            qb = np.ascontiguousarray(q[idx][:, :, :length, :])
-            kb = np.ascontiguousarray(k[idx][:, :, :length, :])
-            vb = np.ascontiguousarray(v[idx][:, :, :length, :])
-            scores = (qb @ kb.swapaxes(-1, -2)) * scale
-            probs = softmax_forward(scores)
-            ctx = probs @ vb
-            for j, b in enumerate(idx):
-                out[b, :, :length, :] = ctx[j]
-            continue
-        group = (len(idx), heads, length, head_dim)
-        qb = scratch.take_shaped("attn.qb", group)
-        kb = scratch.take_shaped("attn.kb", group)
-        vb = scratch.take_shaped("attn.vb", group)
-        for j, b in enumerate(idx):
-            np.copyto(qb[j], q[b, :, :length, :])
-            np.copyto(kb[j], k[b, :, :length, :])
-            np.copyto(vb[j], v[b, :, :length, :])
-        scores = scratch.take_shaped("attn.scores",
-                                     (len(idx), heads, length, length))
-        np.matmul(qb, kb.swapaxes(-1, -2), out=scores)
-        np.multiply(scores, scale, out=scores)
-        probs = scratch.take_shaped("attn.probs", scores.shape)
-        softmax_forward(scores, out=probs, scratch=scratch)
-        # qb's data is consumed; its buffer doubles as the context target.
-        ctx = qb
-        np.matmul(probs, vb, out=ctx)
-        for j, b in enumerate(idx):
-            np.copyto(out[b, :, :length, :], ctx[j])
+        _attend_group_dense(q, k, v, idx, int(length), scale,
+                            softmax_forward, out, scratch)
     return out
+
+
+def _attend_group_dense(q, k, v, idx, length, scale, softmax_forward,
+                        out, scratch) -> None:
+    """Dense attention over one length group (full scores/probs matrices)."""
+    heads, head_dim = q.shape[1], q.shape[-1]
+    if scratch is None:
+        qb = np.ascontiguousarray(q[idx][:, :, :length, :])
+        kb = np.ascontiguousarray(k[idx][:, :, :length, :])
+        vb = np.ascontiguousarray(v[idx][:, :, :length, :])
+        scores = (qb @ kb.swapaxes(-1, -2)) * scale
+        probs = softmax_forward(scores)
+        ctx = probs @ vb
+        for j, b in enumerate(idx):
+            out[b, :, :length, :] = ctx[j]
+        return
+    group = (len(idx), heads, length, head_dim)
+    qb = scratch.take_shaped("attn.qb", group)
+    kb = scratch.take_shaped("attn.kb", group)
+    vb = scratch.take_shaped("attn.vb", group)
+    for j, b in enumerate(idx):
+        np.copyto(qb[j], q[b, :, :length, :])
+        np.copyto(kb[j], k[b, :, :length, :])
+        np.copyto(vb[j], v[b, :, :length, :])
+    scores = scratch.take_shaped("attn.scores",
+                                 (len(idx), heads, length, length))
+    np.matmul(qb, kb.swapaxes(-1, -2), out=scores)
+    np.multiply(scores, scale, out=scores)
+    probs = scratch.take_shaped("attn.probs", scores.shape)
+    softmax_forward(scores, out=probs, scratch=scratch)
+    # qb's data is consumed; its buffer doubles as the context target.
+    ctx = qb
+    np.matmul(probs, vb, out=ctx)
+    for j, b in enumerate(idx):
+        np.copyto(out[b, :, :length, :], ctx[j])
+
+
+# --------------------------------------------------------------------------- #
+# chunked O(block)-memory attention on the online-normalizer recurrence
+# --------------------------------------------------------------------------- #
+#: Tolerance contract of the chunked whole-row merge for the float softmax
+#: variants (``"reference"``, ``"base2"``): chunked output vs the dense
+#: engine on shapes both can run.  Every cross-block renormalization is an
+#: exact power of two (the integer running max of the paper's recurrence),
+#: so the only deviation is float summation order across blocks.
+CHUNKED_MERGE_RTOL = 1e-9
+CHUNKED_MERGE_ATOL = 1e-12
+
+
+class _ExactChunkRule:
+    """Per-query-block streaming softmax state for the float variants.
+
+    Rides :class:`~repro.core.OnlineNormalizerState` in exact mode, one
+    :meth:`update` per key/value block.  The integer running max makes
+    every cross-block renormalization factor ``2**(old_max - new_max)`` an
+    exact power of two, so merging accumulates no rounding beyond float
+    summation order (see :data:`CHUNKED_MERGE_RTOL`).  Base-e variants are
+    handled upstream by folding ``log2(e)`` into the score scale:
+    ``e**x == 2**(x * log2(e))``.
+    """
+
+    def __init__(self, rows_shape) -> None:
+        self._state = OnlineNormalizerState(rows_shape, exact=True)
+        self._prev_max = None
+
+    def feed(self, scores: np.ndarray):
+        """Consume one key/value block of scaled scores.
+
+        Returns ``(weights, ctx_shift)``: unnormalized weights relative to
+        the *new* running max, and the factor (or ``None`` when it is
+        identically one) that rescales the partial context accumulated so
+        far onto the new max.
+        """
+        state = self._state
+        prev_max = self._prev_max
+        local_max = integer_max(scores, axis=-1)
+        unnormed = state.update(scores)
+        new_max = state.running_max
+        np.multiply(unnormed,
+                    np.power(2.0, local_max - new_max)[..., None],
+                    out=unnormed)
+        self._prev_max = new_max
+        if prev_max is None:
+            return unnormed, None
+        shift = np.power(2.0, prev_max - new_max)
+        if np.all(shift == 1.0):
+            return unnormed, None
+        return unnormed, shift
+
+    def finalize_(self, ctx: np.ndarray) -> None:
+        """Divide the accumulated context by the merged denominator."""
+        np.divide(ctx, self._state.running_sum[..., None], out=ctx)
+
+
+class _SoftermaxChunkRule:
+    """Per-query-block streaming state for bit-accurate Softermax variants.
+
+    Per-block statistics come from the fused kernel front end
+    (:meth:`~repro.kernels.fused.FusedSoftermaxKernel.online_stats`),
+    bitwise-pinned to the slice-loop pipeline; blocks are then merged with
+    the paper's own hardware recurrence at block granularity -- power-of-two
+    shifts on the integer running max plus a ``sum_fmt`` round-to-nearest
+    on the running sum -- and the final division uses the bit-accurate
+    reciprocal unit.  The whole bit-accurate kernel family shares one
+    oracle, so the chunked statistics are identical whichever kernel the
+    variant itself selected.
+    """
+
+    def __init__(self, config: SoftermaxConfig, ws) -> None:
+        from repro.kernels.fused import get_fused_kernel
+
+        self._kernel = get_fused_kernel(config)
+        self._config = config
+        self._ws = ws
+        self._max = None
+        self._sum = None
+
+    def feed(self, scores: np.ndarray):
+        cfg = self._config
+        unnormed, slice_maxes, bmax, bsum = self._kernel.online_stats(
+            scores, ws=self._ws)
+        if self._max is None:
+            new_max = bmax
+            self._sum = bsum
+            shift = None
+        else:
+            new_max = np.maximum(self._max, bmax)
+            run_shift = np.power(2.0, self._max - new_max)
+            loc_shift = np.power(2.0, bmax - new_max)
+            merged = self._sum * run_shift + bsum * loc_shift
+            self._sum = quantize(merged, cfg.sum_fmt, RoundingMode.NEAREST)
+            shift = None if np.all(run_shift == 1.0) else run_shift
+        # Rescale the per-slice-relative numerators onto the running max;
+        # the exponents are integers, so the factors are exact.
+        exp = np.repeat(slice_maxes - new_max[..., None],
+                        cfg.slice_width, axis=-1)
+        np.multiply(unnormed,
+                    np.power(2.0, exp[..., :scores.shape[-1]]),
+                    out=unnormed)
+        self._max = new_max
+        return unnormed, shift
+
+    def finalize_(self, ctx: np.ndarray) -> None:
+        recip = self._kernel.reciprocal_unit(self._sum)
+        np.multiply(ctx, recip[..., None], out=ctx)
+
+
+def _chunk_rule(variant: "SoftmaxVariant", rows_shape, scratch):
+    if variant.chunk_kind == "softermax":
+        cfg = variant.config or SoftermaxConfig.paper_table1()
+        return _SoftermaxChunkRule(cfg, scratch)
+    return _ExactChunkRule(rows_shape)
+
+
+def _chunk_scale(variant: "SoftmaxVariant", scale: float) -> float:
+    """Score scale for the chunked path (folds base-e onto base 2)."""
+    if variant.chunk_kind == "exact" and variant.base != 2.0:
+        return scale * np.log2(variant.base)
+    return scale
+
+
+def chunked_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                             lengths: np.ndarray, scale: float,
+                             variant: "SoftmaxVariant", block_kv: int,
+                             out: Optional[np.ndarray] = None,
+                             arena=None, scratch=None) -> np.ndarray:
+    """Length-grouped attention in O(block) peak memory.
+
+    Same contract and masking semantics as :func:`exact_masked_attention`,
+    but nothing quadratic in the sequence length is ever materialized:
+    both the query and the key/value axes are processed in blocks of
+    ``block_kv`` (blocking only the keys would still leave an
+    ``seq x block`` score strip per query row -- at 32k queries that is
+    hundreds of megabytes), carrying ``(running_max, running_sum, partial
+    context)`` through the online-normalizer merge.  Peak extra memory per
+    group is the staged Q/K/V slices (linear in the sequence) plus
+    ``O(block_kv**2)`` score/weight temporaries.
+
+    Length groups not longer than ``block_kv`` delegate to the dense group
+    path and are therefore *bitwise identical* to
+    :func:`exact_masked_attention`.  Longer groups follow the documented
+    tolerance contract (the same opt-in rule as ``fuse_qkv``):
+
+    * float variants (``chunk_kind == "exact"``): within
+      :data:`CHUNKED_MERGE_RTOL`/:data:`CHUNKED_MERGE_ATOL` of the dense
+      engine -- all cross-block renormalizations are exact powers of two,
+      only float summation order differs;
+    * bit-accurate Softermax variants (``chunk_kind == "softermax"``):
+      per-block statistics stay bitwise-pinned to the slice-loop oracle
+      (via :meth:`~repro.kernels.fused.FusedSoftermaxKernel.online_stats`)
+      and blocks merge with the paper's hardware recurrence, but the
+      streaming path cannot apply the dense back end's two output-side
+      roundings (the FLOOR requantize of renormalized numerators and the
+      NEAREST ``output_fmt`` rounding), so whole-row results differ from
+      the dense engine by a few output resolutions per probability --
+      bounded in practice by ``~output_fmt.resolution * sqrt(L) *
+      max|V|`` per context element (pinned by the chunked test suite).
+
+    Variants without a declared ``chunk_kind`` (custom registrations) are
+    rejected: their forward is a black box with no streaming recurrence.
+
+    ``out``/``arena``/``scratch`` follow the PR 5 allocation-free contract:
+    block buffers are staged on the caller's workspace (arena-backed in the
+    plan executor), so steady-state executions allocate nothing.
+    """
+    block_kv = int(block_kv)
+    if block_kv < 1:
+        raise ValueError(f"block_kv must be >= 1, got {block_kv}")
+    if getattr(variant, "chunk_kind", None) is None:
+        raise ValueError(
+            f"softmax variant {variant.name!r} does not define a chunked "
+            "(online-merge) recurrence; chunked attention supports the "
+            "float reference variants and Softermax variants built by "
+            "make_softermax_variant")
+    if out is None:
+        out = np.zeros_like(v)
+    else:
+        out.fill(0.0)
+    softmax_fwd = softmax_forward_with_out(variant)
+    transient = None
+    if scratch is None and arena is not None:
+        from repro.kernels.workspace import KernelWorkspace
+
+        scratch = transient = KernelWorkspace(arena=arena)
+    try:
+        for length in np.unique(lengths):
+            idx = np.nonzero(lengths == length)[0]
+            length = int(length)
+            if length <= block_kv:
+                # Single-block groups degenerate to the dense path: bitwise
+                # identical to exact_masked_attention by construction.
+                _attend_group_dense(q, k, v, idx, length, scale,
+                                    softmax_fwd, out, scratch)
+            else:
+                _attend_group_chunked(q, k, v, idx, length, scale, variant,
+                                      block_kv, out, scratch)
+        return out
+    finally:
+        if transient is not None:
+            transient.clear()
+
+
+def _attend_group_chunked(q, k, v, idx, length, scale, variant, block,
+                          out, scratch) -> None:
+    """Blocked attention over one length group (O(block**2) temporaries)."""
+    heads, head_dim = q.shape[1], q.shape[-1]
+    g = len(idx)
+
+    def take(key, shape):
+        if scratch is None:
+            return np.empty(shape, dtype=np.float64)
+        return scratch.take_shaped(key, shape)
+
+    # Staged contiguous group slices (linear in the sequence length --
+    # the same staging the dense path does).
+    qb = take("chunk.qb", (g, heads, length, head_dim))
+    kb = take("chunk.kb", (g, heads, length, head_dim))
+    vb = take("chunk.vb", (g, heads, length, head_dim))
+    for j, b in enumerate(idx):
+        np.copyto(qb[j], q[b, :, :length, :])
+        np.copyto(kb[j], k[b, :, :length, :])
+        np.copyto(vb[j], v[b, :, :length, :])
+    eff_scale = _chunk_scale(variant, scale)
+    for qs in range(0, length, block):
+        qe = min(qs + block, length)
+        qw = qe - qs
+        rule = _chunk_rule(variant, (g, heads, qw), scratch)
+        ctx = take("chunk.ctx", (g, heads, qw, head_dim))
+        qview = qb[:, :, qs:qe, :]
+        for ks in range(0, length, block):
+            ke = min(ks + block, length)
+            kw = ke - ks
+            scores = take("chunk.scores", (g, heads, qw, kw))
+            np.matmul(qview, kb[:, :, ks:ke, :].swapaxes(-1, -2), out=scores)
+            np.multiply(scores, eff_scale, out=scores)
+            weights, ctx_shift = rule.feed(scores)
+            if ks == 0:
+                np.matmul(weights, vb[:, :, ks:ke, :], out=ctx)
+                continue
+            if ctx_shift is not None:
+                np.multiply(ctx, ctx_shift[..., None], out=ctx)
+            part = take("chunk.part", (g, heads, qw, head_dim))
+            np.matmul(weights, vb[:, :, ks:ke, :], out=part)
+            np.add(ctx, part, out=ctx)
+        rule.finalize_(ctx)
+        for j, b in enumerate(idx):
+            np.copyto(out[b, :, qs:qe, :], ctx[j])
 
 
 # --------------------------------------------------------------------------- #
@@ -298,6 +559,15 @@ class SoftmaxVariant:
         variants all do; custom variants registered with a plain
         single-argument forward are adapted by
         :func:`softmax_forward_with_out` where needed.
+    config:
+        Softermax operating point the variant is bound to (``None`` for
+        float variants); consulted by the chunked attention path.
+    chunk_kind:
+        Which streaming recurrence :func:`chunked_masked_attention` may
+        use for this variant: ``"exact"`` (float online-normalizer merge),
+        ``"softermax"`` (bit-accurate block statistics merged with the
+        hardware recurrence), or ``None`` (not chunkable -- the forward is
+        a black box).
     """
 
     name: str
@@ -305,6 +575,8 @@ class SoftmaxVariant:
     surrogate_fn: Callable[[np.ndarray], np.ndarray]
     base: float
     supports_out: bool = False
+    config: Optional[SoftermaxConfig] = None
+    chunk_kind: Optional[str] = None
 
 
 def _registry() -> Dict[str, SoftmaxVariant]:
@@ -392,6 +664,8 @@ def make_softermax_variant(config: SoftermaxConfig | None = None,
         surrogate_fn=lambda s: softermax_float(s, axis=-1),
         base=2.0,
         supports_out=True,
+        config=cfg,
+        chunk_kind="softermax",
     )
 
 
@@ -412,6 +686,7 @@ def _float_variant(name: str, fn: Callable, base: float) -> SoftmaxVariant:
         surrogate_fn=lambda s: fn(s, axis=-1),
         base=base,
         supports_out=True,
+        chunk_kind="exact",
     )
 
 

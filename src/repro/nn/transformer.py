@@ -85,8 +85,10 @@ class TransformerLayer(Module):
         self.output_dropout = Dropout(dropout, seed=seed)
 
     def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
-                exact_mask: bool = False) -> Tensor:
-        attended = self.attention(hidden, attention_mask, exact_mask=exact_mask)
+                exact_mask: bool = False,
+                block_kv: Optional[int] = None) -> Tensor:
+        attended = self.attention(hidden, attention_mask, exact_mask=exact_mask,
+                                  block_kv=block_kv)
         hidden = self.attention_norm(hidden + self.attention_dropout(attended))
         transformed = self.feed_forward(hidden)
         hidden = self.output_norm(hidden + self.output_dropout(transformed))
@@ -99,7 +101,8 @@ class TransformerLayer(Module):
                                            kernel_options=kernel_options)
 
     def export_plan(self, builder, hidden_reg: str, prefix: str = "layer",
-                    fuse_qkv: bool = False) -> str:
+                    fuse_qkv: bool = False,
+                    block_kv: Optional[int] = None) -> str:
         """Emit one encoder layer (attention block + feed-forward block).
 
         Residual sums are computed in place into the newer operand's
@@ -107,7 +110,8 @@ class TransformerLayer(Module):
         every buffer goes back to the arena the op after its last read.
         """
         attended_reg = self.attention.export_plan(
-            builder, hidden_reg, f"{prefix}.attention", fuse_qkv=fuse_qkv)
+            builder, hidden_reg, f"{prefix}.attention", fuse_qkv=fuse_qkv,
+            block_kv=block_kv)
         sum1_reg = builder.reg(f"{prefix}.residual1")
 
         def residual1_op(ctx) -> None:
@@ -169,9 +173,11 @@ class TransformerEncoder(Module):
             self.layers.append(layer)
 
     def forward(self, hidden: Tensor, attention_mask: Optional[np.ndarray] = None,
-                exact_mask: bool = False) -> Tensor:
+                exact_mask: bool = False,
+                block_kv: Optional[int] = None) -> Tensor:
         for layer in self.layers:
-            hidden = layer(hidden, attention_mask, exact_mask=exact_mask)
+            hidden = layer(hidden, attention_mask, exact_mask=exact_mask,
+                           block_kv=block_kv)
         return hidden
 
     def set_softmax_variant(self, variant: str | SoftmaxVariant,
@@ -187,10 +193,12 @@ class TransformerEncoder(Module):
     plan_input_kind = "hidden"
 
     def export_plan(self, builder, hidden_reg: str, prefix: str = "encoder",
-                    fuse_qkv: bool = False) -> str:
+                    fuse_qkv: bool = False,
+                    block_kv: Optional[int] = None) -> str:
         """Emit the whole layer stack; returns the final hidden register."""
         for i, layer in enumerate(self.layers):
             hidden_reg = layer.export_plan(builder, hidden_reg,
                                            f"{prefix}.layer_{i}",
-                                           fuse_qkv=fuse_qkv)
+                                           fuse_qkv=fuse_qkv,
+                                           block_kv=block_kv)
         return hidden_reg

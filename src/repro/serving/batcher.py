@@ -141,10 +141,17 @@ class MicroBatcher:
         until the batch is full or ``max_wait_ms`` has passed.
         """
         try:
-            first = self._queue.get(timeout=timeout)
+            if self.closed:
+                # Never block on a closed batcher: hand out whatever is
+                # still queued, but a drained queue means we are done now,
+                # not after the full idle timeout.
+                first = self._queue.get_nowait()
+            else:
+                first = self._queue.get(timeout=timeout)
         except queue.Empty:
             return []
         if first is _CLOSED:
+            self._repost_close_sentinel()
             return []
         batch = [first]
         deadline = time.perf_counter() + self.max_wait_ms / 1e3
@@ -158,9 +165,24 @@ class MicroBatcher:
             except queue.Empty:
                 break
             if item is _CLOSED:
+                self._repost_close_sentinel()
                 break
             batch.append(item)
         return batch
+
+    def _repost_close_sentinel(self) -> None:
+        """Put the consumed ``_CLOSED`` sentinel back for the next reader.
+
+        The sentinel is consumed wherever it surfaces (first slot or
+        mid-coalesce); without re-posting it, the *next* ``next_batch``
+        call on a drained queue would block its full timeout even though
+        the batcher is closed.  Dropping it on a full queue is fine: the
+        closed-check above never blocks once ``closed`` is set.
+        """
+        try:
+            self._queue.put_nowait(_CLOSED)
+        except queue.Full:
+            pass
 
     def drain(self) -> List[PendingRequest]:
         """Remove and return everything still queued (used on shutdown)."""

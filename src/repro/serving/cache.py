@@ -44,7 +44,10 @@ class LRUCache:
                 return None
             self._entries.move_to_end(key)
             self.hits += 1
-            return value.copy()
+        # Copy outside the lock: entries are never mutated in place (put
+        # stores a private copy and only rebinds), so concurrent hits can
+        # memcpy in parallel instead of serializing behind the lock.
+        return value.copy()
 
     def put(self, key: Hashable, value: np.ndarray) -> None:
         """Insert (or refresh) an entry, evicting the oldest if full."""

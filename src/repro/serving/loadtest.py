@@ -102,6 +102,7 @@ def run_loadtest(
     kernel: str = "auto",
     kernel_options: Optional[dict] = None,
     engine: str = "plan",
+    block_kv: Optional[int] = None,
     seed: int = 0,
     timeout: float = 300.0,
 ) -> LoadtestResult:
@@ -110,8 +111,9 @@ def run_loadtest(
     Builds a fresh encoder service unless ``service`` is supplied (the
     caller then owns its lifecycle and the batching knobs are read from
     it).  ``engine`` selects the encoder forward implementation
-    (``"plan"`` -- the graph-free fast path -- or ``"graph"``).  Returns
-    the measured :class:`LoadtestResult`.
+    (``"plan"`` -- the graph-free fast path -- or ``"graph"``); a non-None
+    ``block_kv`` serves requests through the chunked O(block)-memory
+    attention path.  Returns the measured :class:`LoadtestResult`.
     """
     if not requests:
         raise ValueError("run_loadtest needs a non-empty request set")
@@ -121,7 +123,8 @@ def run_loadtest(
                                max_wait_ms=max_wait_ms,
                                max_queue_depth=len(requests) + 1,
                                cache_size=cache_size,
-                               engine=engine)
+                               engine=engine,
+                               block_kv=block_kv)
         service = build_encoder_service(model_name=model_name, kernel=kernel,
                                         kernel_options=kernel_options,
                                         seed=seed, config=config)
@@ -171,6 +174,7 @@ def batched_vs_sequential(
     model_name: str = "tiny-base",
     kernel: str = "auto",
     engine: str = "plan",
+    block_kv: Optional[int] = None,
     seed: int = 0,
     duplicate_fraction: float = 0.0,
     cache_size: int = 0,
@@ -185,11 +189,12 @@ def batched_vs_sequential(
                                   duplicate_fraction=duplicate_fraction)
     sequential = run_loadtest(requests, batch_size=1, max_wait_ms=0.0,
                               cache_size=cache_size, model_name=model_name,
-                              kernel=kernel, engine=engine, seed=seed)
+                              kernel=kernel, engine=engine,
+                              block_kv=block_kv, seed=seed)
     batched = run_loadtest(requests, batch_size=batch_size,
                            max_wait_ms=max_wait_ms, cache_size=cache_size,
                            model_name=model_name, kernel=kernel,
-                           engine=engine, seed=seed)
+                           engine=engine, block_kv=block_kv, seed=seed)
     ratio = (batched.requests_per_second
              / max(sequential.requests_per_second, 1e-9))
     return {
@@ -201,6 +206,7 @@ def batched_vs_sequential(
             "model": model_name,
             "kernel": kernel,
             "engine": engine,
+            "block_kv": block_kv,
             "seed": seed,
         },
         "sequential": sequential.as_dict(),

@@ -52,6 +52,12 @@ class ServiceConfig:
     identical, not bit-guaranteed -- leave off when bit-transparency with
     the graph path matters).  Models whose ``encode_ragged`` does not take
     an ``engine`` argument (test doubles) are called without one.
+
+    ``block_kv`` opts into chunked O(block)-memory attention for
+    long-context serving (see :func:`repro.nn.functional.
+    chunked_masked_attention` for the tolerance contract); sequences no
+    longer than ``block_kv`` still take the dense path bit-for-bit, and
+    batching stays bit-transparent either way.
     """
 
     max_batch_size: int = 32
@@ -61,6 +67,7 @@ class ServiceConfig:
     pad_id: int = 0
     engine: str = "plan"
     fuse_qkv: bool = False
+    block_kv: Optional[int] = None
 
 
 class InferenceService:
@@ -93,9 +100,13 @@ class InferenceService:
         # working (they implicitly serve their only engine).
         try:
             parameters = inspect.signature(model.encode_ragged).parameters
-            self._engine_kwargs = (
-                {"engine": config.engine, "fuse_qkv": config.fuse_qkv}
-                if "engine" in parameters else {})
+            if "engine" in parameters:
+                self._engine_kwargs = {"engine": config.engine,
+                                       "fuse_qkv": config.fuse_qkv}
+                if config.block_kv is not None:
+                    self._engine_kwargs["block_kv"] = config.block_kv
+            else:
+                self._engine_kwargs = {}
         except (TypeError, ValueError):
             self._engine_kwargs = {}
         if hasattr(model, "eval"):
@@ -188,6 +199,7 @@ class InferenceService:
         snap["max_batch_size"] = self.config.max_batch_size
         snap["max_wait_ms"] = self.config.max_wait_ms
         snap["engine"] = self.config.engine
+        snap["block_kv"] = self.config.block_kv
         return snap
 
     # ------------------------------------------------------------------ #
@@ -275,11 +287,13 @@ def build_encoder_service(
         model_config = BertConfig.tiny_large()
     elif model_name == "tiny-base":
         model_config = BertConfig.tiny_base()
+    elif model_name == "tiny-long":
+        model_config = BertConfig.tiny_long()
     else:
         raise ValueError(
-            f"unknown serving model {model_name!r}; choose tiny-base or "
-            "tiny-large (the published geometries are cost-model "
-            "descriptors, not runnable NumPy models)")
+            f"unknown serving model {model_name!r}; choose tiny-base, "
+            "tiny-large or tiny-long (the published geometries are "
+            "cost-model descriptors, not runnable NumPy models)")
     model = BertEncoderModel(model_config, softmax_variant="softermax",
                              kernel=kernel, kernel_options=kernel_options,
                              seed=seed).eval()

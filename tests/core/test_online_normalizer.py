@@ -88,6 +88,40 @@ class TestStreamingState:
         assert unnormed[0, 0] == pytest.approx(0.25)
         assert unnormed[0, 1] == pytest.approx(1.0)
 
+    def test_zero_width_slice_is_a_no_op(self):
+        """Regression: an empty slice must not crash (np.max on an empty
+        axis raises) and must leave the running statistics untouched --
+        the chunked-attention tail path for ragged groups produces it."""
+        state = OnlineNormalizerState(shape=(2,), exact=True)
+        state.update(np.array([[2.0, 1.0], [0.0, 3.0]]))
+        max_before = state.running_max.copy()
+        sum_before = state.running_sum.copy()
+        unnormed = state.update(np.zeros((2, 0)))
+        assert unnormed.shape == (2, 0)
+        assert np.array_equal(state.running_max, max_before)
+        assert np.array_equal(state.running_sum, sum_before)
+
+    def test_zero_width_slice_on_fresh_state(self):
+        state = OnlineNormalizerState(shape=(1,), exact=True)
+        assert state.update(np.zeros((1, 0))).shape == (1, 0)
+        state.update(np.array([[2.0, 3.0]]))
+        running_max, running_sum = state.finalize()
+        assert running_max[0] == 3.0
+        assert running_sum[0] == pytest.approx(1.5)
+
+    def test_interleaved_empty_slices_do_not_change_the_result(self):
+        plain = OnlineNormalizerState(shape=(1,), exact=True)
+        padded = OnlineNormalizerState(shape=(1,), exact=True)
+        for chunk in ([[2.0]], [[1.0]], [[3.0]]):
+            plain.update(np.array(chunk))
+            padded.update(np.zeros((1, 0)))
+            padded.update(np.array(chunk))
+        padded.update(np.zeros((1, 0)))
+        max_a, sum_a = plain.finalize()
+        max_b, sum_b = padded.finalize()
+        assert np.array_equal(max_a, max_b)
+        assert np.array_equal(sum_a, sum_b)
+
     def test_fixed_point_state_saturates_not_explodes(self):
         config = SoftermaxConfig.paper_table1()
         state = OnlineNormalizerState(shape=(1,), config=config)

@@ -1,0 +1,168 @@
+"""Chunked attention through the compiled plan: graph/plan bitwise parity
+under ``block_kv``, zero steady-state allocation, mask rejection, and the
+per-``(fuse_qkv, block_kv)`` plan cache.
+
+The tolerance contract of the chunked recurrence itself is pinned in
+``tests/nn/test_chunked_attention.py``; here the load-bearing claims are
+that the plan executor replays the graph path bit for bit *under the same
+block_kv* and that blocked execution stays allocation-free in steady state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.models import BertConfig
+from repro.models.bert import BertEncoderModel
+
+pytestmark = pytest.mark.plan
+
+VOCAB = 24
+MAX_SEQ = 32
+BLOCK = 8
+
+
+def make_model(softmax_variant: str = "softermax",
+               seed: int = 0) -> BertEncoderModel:
+    config = BertConfig.tiny_base(vocab_size=VOCAB, max_seq_len=MAX_SEQ)
+    model = BertEncoderModel(config, softmax_variant=softmax_variant,
+                             kernel="auto", seed=seed)
+    return model.eval()
+
+
+@pytest.fixture(scope="module")
+def model() -> BertEncoderModel:
+    return make_model()
+
+
+def _ragged(rng, lengths):
+    return [list(rng.integers(1, VOCAB, size=int(n))) for n in lengths]
+
+
+# --------------------------------------------------------------------------- #
+# graph/plan bitwise parity under block_kv
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("batch,seq", [(2, MAX_SEQ), (3, 27), (1, 9)])
+def test_plan_bitwise_equals_graph_unmasked(model, rng, batch, seq):
+    ids = rng.integers(0, VOCAB, size=(batch, seq))
+    graph = model.encode(ids, engine="graph", block_kv=BLOCK)
+    plan = model.encode(ids, engine="plan", block_kv=BLOCK)
+    assert np.array_equal(graph, plan)
+
+
+def test_plan_ragged_bitwise_equals_graph_and_solo(model, rng):
+    sequences = _ragged(rng, (31, 12, 25, 3, 25))
+    graph = model.encode_ragged(sequences, engine="graph", block_kv=BLOCK)
+    plan = model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    for got, expected in zip(plan, graph):
+        assert np.array_equal(got, expected)
+    # Chunking depends only on a sequence's own length group, so batching
+    # stays bit-transparent even on the chunked path.
+    for seq, expected in zip(sequences, plan):
+        solo = model.encode_ragged([seq], engine="plan", block_kv=BLOCK)[0]
+        assert np.array_equal(solo, expected)
+
+
+def test_prefix_mask_encode_rides_the_ragged_path(model, rng):
+    ids = rng.integers(1, VOCAB, size=(3, 20))
+    mask = np.ones(ids.shape)
+    mask[0, 15:] = 0.0
+    mask[2, 9:] = 0.0
+    graph = model.encode(ids, mask, engine="graph", block_kv=BLOCK)
+    plan = model.encode(ids, mask, engine="plan", block_kv=BLOCK)
+    assert np.array_equal(graph, plan)
+
+
+# --------------------------------------------------------------------------- #
+# relation to the dense engine
+# --------------------------------------------------------------------------- #
+def test_block_geq_max_len_is_bitwise_dense(model, rng):
+    sequences = _ragged(rng, (18, 7, 12))
+    dense = model.encode_ragged(sequences, engine="plan")
+    chunked = model.encode_ragged(sequences, engine="plan",
+                                  block_kv=MAX_SEQ)
+    for got, expected in zip(chunked, dense):
+        assert np.array_equal(got, expected)
+
+
+def test_chunked_stays_close_to_dense_through_the_stack():
+    """End-to-end sanity: two encoder layers of Softermax attention with
+    blocked rows drift only by the attention-level tolerance, not
+    something structural (wrong rows, missing rescale, ...)."""
+    model = make_model()
+    rng = np.random.default_rng(99)
+    sequences = _ragged(rng, (MAX_SEQ, 21))
+    dense = model.encode_ragged(sequences, engine="plan")
+    chunked = model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    for got, expected in zip(chunked, dense):
+        assert got.shape == expected.shape
+        assert np.max(np.abs(got - expected)) < 0.5
+
+
+def test_float_reference_variant_matches_dense_tightly(rng):
+    from repro.nn.functional import CHUNKED_MERGE_RTOL
+
+    model = make_model(softmax_variant="reference")
+    sequences = _ragged(rng, (30, 13))
+    dense = model.encode_ragged(sequences, engine="plan")
+    chunked = model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    for got, expected in zip(chunked, dense):
+        np.testing.assert_allclose(got, expected,
+                                   rtol=CHUNKED_MERGE_RTOL * 100,
+                                   atol=1e-10)
+
+
+# --------------------------------------------------------------------------- #
+# workspace arena behavior under block_kv
+# --------------------------------------------------------------------------- #
+def test_steady_state_chunked_calls_do_not_allocate(model, rng):
+    from repro.kernels import output_allocation_count
+
+    sequences = _ragged(rng, (26, 31, 26, 24))
+    plan = model.inference_plan(block_kv=BLOCK)
+    assert plan.block_kv == BLOCK
+    model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    misses_before = plan.arena.misses
+    kernel_allocs_before = output_allocation_count()
+    scratch_reallocs_before = plan.scratch.reallocs
+    model.encode_ragged(sequences, engine="plan", block_kv=BLOCK)
+    assert plan.arena.misses == misses_before, \
+        "steady-state chunked serving must reuse arena buffers"
+    assert plan.arena.hits > 0
+    assert output_allocation_count() == kernel_allocs_before, \
+        "chunked block statistics must not allocate kernel outputs"
+    assert plan.scratch.reallocs == scratch_reallocs_before
+
+
+# --------------------------------------------------------------------------- #
+# plan cache and mask rejection
+# --------------------------------------------------------------------------- #
+def test_plans_cached_per_block_kv(model):
+    chunked = model.inference_plan(block_kv=BLOCK)
+    assert model.inference_plan(block_kv=BLOCK) is chunked
+    assert model.inference_plan() is not chunked
+    assert model.inference_plan(block_kv=4) is not chunked
+
+
+def test_chunked_plan_rejects_additive_mask(model, rng):
+    ids = rng.integers(1, VOCAB, size=(2, 12))
+    mask = np.ones(ids.shape)
+    mask[1, 7:] = 0.0
+    plan = model.inference_plan(block_kv=BLOCK)
+    with pytest.raises(ValueError, match="block_kv"):
+        plan.run(ids, mask)
+
+
+def test_graph_forward_rejects_additive_mask_with_block_kv(model, rng):
+    ids = rng.integers(1, VOCAB, size=(2, 12))
+    mask = np.ones(ids.shape)
+    with pytest.raises(ValueError):
+        model.forward(ids, mask, exact_mask=False, block_kv=BLOCK)
+
+
+def test_describe_and_stats_report_block_kv(model, rng):
+    plan = model.inference_plan(block_kv=BLOCK)
+    assert str(BLOCK) in plan.describe()
+    assert plan.stats()["block_kv"] == BLOCK

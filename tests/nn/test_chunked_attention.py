@@ -1,0 +1,223 @@
+"""Chunked O(block)-memory attention vs the dense exact-mask engine.
+
+The contract under test (see ``chunked_masked_attention``):
+
+* length groups no longer than ``block_kv`` are *bitwise identical* to
+  :func:`repro.nn.functional.exact_masked_attention`;
+* float variants differ from dense only by cross-block float summation
+  order (every renormalization is an exact power of two);
+* Softermax variants keep their per-block statistics bitwise-pinned to
+  the slice-loop oracle and stay within the documented whole-row bound
+  of ``~output_fmt.resolution * sqrt(L) * max|V|`` per context element;
+* results are independent of the block size and of batch composition.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import SoftermaxConfig
+from repro.kernels.fused import get_fused_kernel
+from repro.kernels.workspace import KernelWorkspace
+from repro.nn.functional import (
+    CHUNKED_MERGE_ATOL,
+    CHUNKED_MERGE_RTOL,
+    SoftmaxVariant,
+    chunked_masked_attention,
+    exact_masked_attention,
+    get_softmax_variant,
+    softmax_forward_with_out,
+)
+
+HEADS, HEAD_DIM = 2, 8
+
+
+def _qkv(rng, batch: int, seq_len: int):
+    shape = (batch, HEADS, seq_len, HEAD_DIM)
+    return (rng.normal(scale=1.5, size=shape),
+            rng.normal(scale=1.5, size=shape),
+            rng.normal(scale=1.5, size=shape))
+
+
+def _dense(q, k, v, lengths, variant, scale=0.25):
+    return exact_masked_attention(q, k, v, np.asarray(lengths), scale,
+                                  softmax_forward_with_out(variant))
+
+
+def _chunked(q, k, v, lengths, variant, block, scale=0.25, **kw):
+    return chunked_masked_attention(q, k, v, np.asarray(lengths), scale,
+                                    variant, block, **kw)
+
+
+# --------------------------------------------------------------------------- #
+# per-block statistics: bitwise-pinned to the oracle
+# --------------------------------------------------------------------------- #
+class TestOnlineStatsOracle:
+    def test_online_stats_bitwise_vs_run_intermediates(self, rng):
+        kernel = get_fused_kernel(SoftermaxConfig.paper_table1())
+        x = rng.normal(scale=4.0, size=(5, 96))
+        u, sm, rm, rs = kernel.online_stats(x)
+        i = kernel.run(x).intermediates
+        assert np.array_equal(u, i.unnormed)
+        assert np.array_equal(sm, i.slice_maxes)
+        assert np.array_equal(rm, i.global_max)
+        assert np.array_equal(rs, i.denominator)
+
+    def test_online_stats_unaligned_length(self, rng):
+        """Lengths off the slice grid exercise the padded-lane path."""
+        kernel = get_fused_kernel(SoftermaxConfig.paper_table1())
+        x = rng.normal(scale=4.0, size=(3, 45))
+        u, sm, rm, rs = kernel.online_stats(x)
+        i = kernel.run(x).intermediates
+        assert np.array_equal(u, i.unnormed)
+        assert np.array_equal(rm, i.global_max)
+        assert np.array_equal(rs, i.denominator)
+
+    def test_online_stats_workspace_is_transparent(self, rng):
+        kernel = get_fused_kernel(SoftermaxConfig.paper_table1())
+        x = rng.normal(scale=4.0, size=(4, 70))
+        plain = kernel.online_stats(x)
+        ws = KernelWorkspace()
+        staged = kernel.online_stats(x, ws=ws)
+        for a, b in zip(plain, staged):
+            assert np.array_equal(a, b)
+
+    def test_online_stats_rejects_empty_rows(self):
+        kernel = get_fused_kernel(SoftermaxConfig.paper_table1())
+        with pytest.raises(ValueError):
+            kernel.online_stats(np.zeros((2, 0)))
+
+
+# --------------------------------------------------------------------------- #
+# whole-row contract per variant family
+# --------------------------------------------------------------------------- #
+class TestFloatVariants:
+    @pytest.mark.parametrize("variant_name", ["reference", "base2"])
+    @pytest.mark.parametrize("block", [32, 48, 7])
+    def test_matches_dense_within_merge_tolerance(self, rng, variant_name,
+                                                  block):
+        variant = get_softmax_variant(variant_name)
+        q, k, v = _qkv(rng, batch=3, seq_len=96)
+        lengths = [96, 96, 96]
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block)
+        np.testing.assert_allclose(chunked, dense, rtol=CHUNKED_MERGE_RTOL,
+                                   atol=CHUNKED_MERGE_ATOL)
+
+    @pytest.mark.parametrize("variant_name", ["reference", "base2"])
+    def test_ragged_lengths_and_padding_zeros(self, rng, variant_name):
+        variant = get_softmax_variant(variant_name)
+        q, k, v = _qkv(rng, batch=4, seq_len=64)
+        lengths = [64, 33, 17, 5]
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block=16)
+        np.testing.assert_allclose(chunked, dense, rtol=CHUNKED_MERGE_RTOL,
+                                   atol=CHUNKED_MERGE_ATOL)
+        for b, length in enumerate(lengths):
+            assert np.all(chunked[b, :, length:, :] == 0.0)
+
+
+class TestBlockGeqSeqIsBitwiseDense:
+    @pytest.mark.parametrize("variant_name",
+                             ["reference", "base2", "softermax"])
+    @pytest.mark.parametrize("block", [96, 200])
+    def test_degenerates_to_dense(self, rng, variant_name, block):
+        variant = get_softmax_variant(variant_name)
+        q, k, v = _qkv(rng, batch=3, seq_len=96)
+        lengths = [96, 40, 96]
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block)
+        assert np.array_equal(chunked, dense)
+
+
+class TestSoftermaxVariant:
+    def test_within_documented_output_resolution_bound(self, rng):
+        variant = get_softmax_variant("softermax")
+        cfg = variant.config or SoftermaxConfig.paper_table1()
+        q, k, v = _qkv(rng, batch=2, seq_len=96)
+        lengths = [96, 96]
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block=32)
+        bound = cfg.output_fmt.resolution * np.sqrt(96) * np.abs(v).max()
+        assert np.max(np.abs(chunked - dense)) <= bound
+
+    def test_no_further_from_float_surrogate_than_dense(self, rng):
+        """The streaming path skips the dense back end's output-side
+        roundings, so it must not sit farther from the ideal float
+        softmax than the dense engine does (with slack for noise)."""
+        variant = get_softmax_variant("softermax")
+        q, k, v = _qkv(rng, batch=2, seq_len=96)
+        lengths = [96, 96]
+        float_ref = _dense(q, k, v, lengths, get_softmax_variant("base2"))
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block=32)
+        chunk_err = np.max(np.abs(chunked - float_ref))
+        dense_err = np.max(np.abs(dense - float_ref))
+        assert chunk_err <= dense_err * 1.5 + 1e-12
+
+    @pytest.mark.parametrize("block", [32, 48, 7])
+    def test_block_size_stays_within_bound(self, rng, block):
+        variant = get_softmax_variant("softermax")
+        cfg = variant.config or SoftermaxConfig.paper_table1()
+        q, k, v = _qkv(rng, batch=2, seq_len=80)
+        lengths = [80, 51]
+        dense = _dense(q, k, v, lengths, variant)
+        chunked = _chunked(q, k, v, lengths, variant, block)
+        bound = cfg.output_fmt.resolution * np.sqrt(80) * np.abs(v).max()
+        assert np.max(np.abs(chunked - dense)) <= bound
+
+
+# --------------------------------------------------------------------------- #
+# batching and workspace transparency
+# --------------------------------------------------------------------------- #
+class TestComposition:
+    def test_solo_vs_batched_bitwise(self, rng):
+        """A sequence's chunked result must not depend on its batch."""
+        variant = get_softmax_variant("softermax")
+        q, k, v = _qkv(rng, batch=3, seq_len=64)
+        lengths = np.array([64, 64, 40])
+        together = _chunked(q, k, v, lengths, variant, block=16)
+        for b in range(3):
+            alone = _chunked(q[b:b + 1], k[b:b + 1], v[b:b + 1],
+                             lengths[b:b + 1], variant, block=16)
+            assert np.array_equal(alone[0], together[b])
+
+    def test_scratch_workspace_is_transparent(self, rng):
+        variant = get_softmax_variant("softermax")
+        q, k, v = _qkv(rng, batch=2, seq_len=64)
+        lengths = [64, 30]
+        plain = _chunked(q, k, v, lengths, variant, block=16)
+        ws = KernelWorkspace()
+        staged = _chunked(q, k, v, lengths, variant, block=16, scratch=ws)
+        assert np.array_equal(plain, staged)
+
+    def test_out_buffer_is_used_and_zero_filled(self, rng):
+        variant = get_softmax_variant("reference")
+        q, k, v = _qkv(rng, batch=2, seq_len=32)
+        lengths = [32, 20]
+        out = np.full_like(v, 7.0)
+        got = _chunked(q, k, v, lengths, variant, 8, out=out)
+        assert got is out
+        assert np.all(out[1, :, 20:, :] == 0.0)
+
+
+# --------------------------------------------------------------------------- #
+# argument validation
+# --------------------------------------------------------------------------- #
+class TestValidation:
+    def test_unchunkable_variant_rejected(self, rng):
+        opaque = SoftmaxVariant(
+            name="opaque",
+            forward_fn=lambda s: s,
+            surrogate_fn=lambda s: s,
+            base=np.e,
+        )
+        q, k, v = _qkv(rng, batch=1, seq_len=16)
+        with pytest.raises(ValueError, match="chunked"):
+            _chunked(q, k, v, [16], opaque, block=4)
+
+    def test_nonpositive_block_rejected(self, rng):
+        q, k, v = _qkv(rng, batch=1, seq_len=16)
+        with pytest.raises(ValueError, match="block_kv"):
+            _chunked(q, k, v, [16], get_softmax_variant("reference"), 0)

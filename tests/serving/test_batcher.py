@@ -80,6 +80,52 @@ def test_closed_batcher_rejects_and_unblocks():
         batcher.submit(_request())
 
 
+def test_closed_full_queue_drains_without_blocking():
+    """Regression: ``next_batch`` on a closed batcher must never block.
+
+    With ``max_queue_depth=1`` the close() wake-up sentinel is dropped on
+    the full queue, so a worker relying on the sentinel alone would sleep
+    out its whole timeout; the closed-check must kick in instead.
+    """
+    batcher = MicroBatcher(max_batch_size=1, max_queue_depth=1,
+                           max_wait_ms=0.0)
+    batcher.submit(_request((0,)))
+    batcher.close()  # queue full: the wake-up sentinel is dropped
+    start = time.perf_counter()
+    assert [r.key for r in batcher.next_batch(timeout=5.0)] == [(0,)]
+    assert batcher.next_batch(timeout=5.0) == []
+    assert time.perf_counter() - start < 1.0
+
+
+def test_close_sentinel_reposted_after_first_slot_consumption():
+    """Regression: consuming the close sentinel must put it back.
+
+    Without the re-post, the reader that swallowed the sentinel leaves the
+    next reader to block its full timeout on the drained queue.
+    """
+    batcher = MicroBatcher(max_wait_ms=0.0)
+    batcher.close()
+    assert batcher.next_batch(timeout=0.5) == []
+    assert batcher.depth() == 1  # the sentinel went back on the queue
+    start = time.perf_counter()
+    assert batcher.next_batch(timeout=5.0) == []
+    assert time.perf_counter() - start < 1.0
+
+
+def test_close_sentinel_mid_coalesce_ends_batch_and_reposts():
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=500.0)
+    batcher.submit(_request((0,)))
+    batcher.close()  # the sentinel lands behind the queued request
+    start = time.perf_counter()
+    batch = batcher.next_batch(timeout=1.0)
+    assert [r.key for r in batch] == [(0,)]
+    # The sentinel ended coalescing immediately (well inside the 500 ms
+    # window) and was re-posted for the next reader.
+    assert time.perf_counter() - start < 0.4
+    assert batcher.depth() == 1
+    assert batcher.next_batch(timeout=5.0) == []
+
+
 def test_drain_returns_pending_requests():
     batcher = MicroBatcher()
     batcher.submit(_request((0,)))

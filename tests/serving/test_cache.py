@@ -36,6 +36,33 @@ def test_put_copies_the_value():
     assert np.array_equal(cache.get("k"), np.ones(3))
 
 
+class _LockProbeValue:
+    """Stand-in entry whose ``copy()`` records whether the lock was held."""
+
+    def __init__(self, cache: LRUCache) -> None:
+        self._cache = cache
+        self.copied_outside_lock = None
+
+    def copy(self):
+        acquired = self._cache._lock.acquire(blocking=False)
+        if acquired:
+            self._cache._lock.release()
+        self.copied_outside_lock = acquired
+        return np.ones(1)
+
+
+def test_hit_copies_outside_the_lock():
+    """Regression: the hit-path memcpy must not serialize behind the lock."""
+    cache = LRUCache(capacity=2)
+    probe = _LockProbeValue(cache)
+    with cache._lock:
+        cache._entries["k"] = probe  # plant directly: put() would copy it
+    got = cache.get("k")
+    assert probe.copied_outside_lock is True
+    assert np.array_equal(got, np.ones(1))
+    assert cache.hits == 1
+
+
 def test_lru_eviction_order():
     cache = LRUCache(capacity=2)
     cache.put("a", np.zeros(1))

@@ -80,6 +80,30 @@ def test_service_defaults_to_the_plan_engine(encoder_service_model):
         assert np.array_equal(got, graph_solo)
 
 
+def test_block_kv_serving_bit_transparent_and_near_dense(
+        encoder_service_model):
+    """Chunked long-context serving: solo == batched bit for bit, and the
+    served bits match the model's own chunked entry point; vs the dense
+    service the responses follow the chunked tolerance contract."""
+    requests = synthetic_requests(8, min_tokens=3, max_tokens=20, seed=5)
+    with _service(encoder_service_model, cache_size=0,
+                  block_kv=4) as chunked:
+        assert chunked._engine_kwargs["block_kv"] == 4
+        assert chunked.snapshot()["block_kv"] == 4
+        batched = chunked.infer_many(requests)
+    with _service(encoder_service_model, max_batch_size=1, max_wait_ms=0.0,
+                  cache_size=0, block_kv=4) as solo_service:
+        solo = [solo_service.infer(tokens) for tokens in requests]
+    for tokens, in_batch, alone in zip(requests, batched, solo):
+        assert np.array_equal(in_batch, alone)
+        direct = encoder_service_model.encode_ragged(
+            [list(tokens)], engine="plan", block_kv=4)[0]
+        assert np.array_equal(in_batch, direct)
+        dense = encoder_service_model.encode_ragged(
+            [list(tokens)], engine="plan")[0]
+        assert np.max(np.abs(in_batch - dense)) < 0.5
+
+
 def test_graph_engine_still_selectable(encoder_service_model):
     tokens = (3, 1, 4, 1, 5)
     with _service(encoder_service_model, cache_size=0,
