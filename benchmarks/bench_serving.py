@@ -13,7 +13,11 @@ recorded win is pure batching.  A separate point records a 50%-duplicate
 workload with the cache enabled, putting the memoization win on the
 trajectory too.  Before anything is timed, a bit-transparency check
 asserts that batched responses are bitwise identical to solo responses
-(the serving layer's correctness contract).
+(the serving layer's correctness contract).  The full sweep also records
+a **chaos point**: the seeded fault-injection loadtest against the
+supervised service, asserting zero-drop (every request resolves to a
+result or typed error across worker crashes/hangs/restarts) and bitwise
+identity to solo inference.
 
 Usage::
 
@@ -116,6 +120,32 @@ def run_cached_point(num_requests: int, seed: int) -> dict:
     }
 
 
+def run_chaos_point(num_requests: int, seed: int) -> dict:
+    """The robustness point: zero-drop + bitwise under injected faults.
+
+    Runs the seeded chaos loadtest (worker crashes, hangs, typed model
+    errors, per-request deadlines on a fraction of the set) against the
+    supervised service and records the guarantees as booleans alongside
+    the fault/restart accounting.  ``zero_drop`` and
+    ``bitwise_identical_to_solo`` are hard assertions here -- a bench run
+    that drops a request is a failure, not a data point.
+    """
+    from repro.serving.loadtest import run_chaos_loadtest
+
+    payload = run_chaos_loadtest(
+        num_requests=num_requests, batch_size=4, crash_rate=0.10,
+        hang_rate=0.10, error_rate=0.04, hang_seconds=0.5,
+        hang_timeout_s=0.12, deadline_ms=150.0, deadline_fraction=0.3,
+        seed=seed)
+    if not payload["zero_drop"]:
+        raise AssertionError(
+            f"chaos loadtest dropped requests: {payload['outcomes']}")
+    if not payload["bitwise_identical_to_solo"]:
+        raise AssertionError(
+            "chaos responses diverged bitwise from solo inference")
+    return payload
+
+
 def check_against_baseline(payload: dict, baseline_path: Path,
                            tolerance: float = BASELINE_TOLERANCE) -> list:
     """Warn-only diff against the recorded serving trajectory."""
@@ -158,6 +188,12 @@ def main(argv=None) -> int:
                             batch_sizes=tuple(args.batch_sizes),
                             max_wait_ms=args.max_wait_ms, seed=args.seed)
         payload["cached_point"] = run_cached_point(args.requests, args.seed)
+        payload["chaos_point"] = run_chaos_point(96, args.seed + 2)
+        chaos = payload["chaos_point"]
+        print(f"chaos point: {chaos['resolved']}/{chaos['workload']['requests']} "
+              f"resolved, {chaos['restarts']} restarts, "
+              f"outcomes {chaos['outcomes']}, zero_drop={chaos['zero_drop']}, "
+              f"bitwise={chaos['bitwise_identical_to_solo']}")
 
     for point in payload["results"]:
         print(f"batch {point['batch_size']:>3}: "

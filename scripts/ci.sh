@@ -25,5 +25,14 @@ echo "== serving smoke (serve CLI round trip) =="
 printf '1 2 3 4 5\n1 2 3 4 5\nquit\n' \
     | python -m repro.cli serve --max-batch-size 4 --max-wait-ms 1
 
+echo "== daemon smoke (TCP round trip over a real socket; asserts wire"
+echo "   responses bitwise identical to solo inference) =="
+python -m repro.cli daemon --smoke 6 --max-batch-size 4 --max-wait-ms 1
+
+echo "== chaos smoke (injected crashes/hangs under supervision; hard"
+echo "   zero-drop + bitwise assertions, timing warn-only) =="
+python -m repro.cli loadtest --chaos --quick --batch-size 4 \
+    --deadline-ms 150 --deadline-fraction 0.3 --seed 2
+
 echo "== serving benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_serving --quick

@@ -15,7 +15,9 @@ Every paper experiment can be regenerated from the command line::
 Beyond the paper experiments, the serving layer is driven from here too::
 
     python -m repro.cli serve --max-batch-size 32 --max-wait-ms 2
+    python -m repro.cli daemon --port 7777 --max-restarts 5
     python -m repro.cli loadtest --requests 512 --batch-size 32
+    python -m repro.cli loadtest --chaos --quick --deadline-ms 120
 
 Softermax commands take a ``--kernel`` selector (see ``repro.cli kernels``
 for the registry); the default ``auto`` resolves to the fused fast path,
@@ -293,28 +295,54 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max_batch_size={config.max_batch_size}, "
           f"max_wait_ms={config.max_wait_ms}); enter whitespace-separated "
           "token ids, 'quit' to exit", flush=True)
-    with service:
-        for line in sys.stdin:
-            line = line.strip()
-            if not line:
-                continue
-            if line in ("quit", "exit"):
-                break
+    # SIGINT/SIGTERM shut down gracefully: drain, print the final stats
+    # snapshot, exit 0 -- not a traceback.  SIGTERM is mapped onto the
+    # KeyboardInterrupt path so both signals share one handler.
+    import signal
+
+    def _sigterm(signum, frame):  # pragma: no cover - exercised via tests
+        raise KeyboardInterrupt
+
+    previous_sigterm = None
+    try:
+        previous_sigterm = signal.signal(signal.SIGTERM, _sigterm)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
+    interrupted = False
+    try:
+        with service:
             try:
-                tokens = [int(tok) for tok in line.split()]
-            except ValueError:
-                print(f"error: not a token-id line: {line!r}", file=sys.stderr)
-                continue
-            try:
-                request = service.submit(tokens)
-                hidden = request.result(timeout=30.0)
-            except Exception as exc:  # noqa: BLE001 - user-facing loop
-                print(f"error: {exc}", file=sys.stderr)
-                continue
-            pooled = np.round(hidden.mean(axis=0)[:4], 6).tolist()
-            print(f"ok tokens={len(tokens)} hidden={hidden.shape} "
-                  f"cached={request.cached} pooled[:4]={pooled}", flush=True)
-        snap = service.snapshot()
+                for line in sys.stdin:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    if line in ("quit", "exit"):
+                        break
+                    try:
+                        tokens = [int(tok) for tok in line.split()]
+                    except ValueError:
+                        print(f"error: not a token-id line: {line!r}",
+                              file=sys.stderr)
+                        continue
+                    try:
+                        request = service.submit(tokens)
+                        hidden = request.result(timeout=30.0)
+                    except Exception as exc:  # noqa: BLE001 - user loop
+                        print(f"error: {exc}", file=sys.stderr)
+                        continue
+                    pooled = np.round(hidden.mean(axis=0)[:4], 6).tolist()
+                    print(f"ok tokens={len(tokens)} hidden={hidden.shape} "
+                          f"cached={request.cached} pooled[:4]={pooled}",
+                          flush=True)
+            except KeyboardInterrupt:
+                interrupted = True
+            snap = service.snapshot()
+    finally:
+        if previous_sigterm is not None:
+            signal.signal(signal.SIGTERM, previous_sigterm)
+    if interrupted:
+        print("\ninterrupted; draining and shutting down gracefully",
+              flush=True)
     # A zero-request session has no latency samples; report zeros, not None.
     p = {key: _zero_if_none(snap[key]) for key in
          ("p50_ms", "p99_ms", "queue_wait_p50_ms", "queue_wait_p99_ms",
@@ -328,8 +356,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest_chaos(args: argparse.Namespace) -> int:
+    """Chaos loadtest: injected crashes/hangs/errors under supervision.
+
+    The zero-drop and bitwise-transparency guarantees are **hard**
+    assertions (nonzero exit on violation); latency numbers are reported
+    warn-only, since fault injection makes tail latency a function of the
+    schedule, not the serving layer.
+    """
+    from repro.serving.loadtest import run_chaos_loadtest
+
+    num_requests = min(args.requests, 96) if args.quick else args.requests
+    try:
+        payload = run_chaos_loadtest(
+            num_requests=num_requests, batch_size=args.batch_size,
+            max_wait_ms=args.max_wait_ms, crash_rate=args.crash_rate,
+            hang_rate=args.hang_rate, error_rate=args.error_rate,
+            hang_seconds=args.hang_seconds,
+            hang_timeout_s=args.hang_timeout,
+            max_restarts=args.max_restarts, deadline_ms=args.deadline_ms,
+            deadline_fraction=args.deadline_fraction,
+            model_name=args.model, kernel=args.kernel, seed=args.seed)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    outcomes = payload["outcomes"]
+    rows = [[name, count] for name, count in outcomes.items() if count]
+    print(format_table(
+        ["outcome", "requests"], rows,
+        title=f"Chaos loadtest: {num_requests} requests, "
+              f"{payload['faults']['injected']} faults injected, "
+              f"{payload['restarts']} restarts "
+              f"(seed {payload['workload']['seed']})"))
+    print(f"fault schedule: {payload['faults']['counts']} over "
+          f"{payload['faults']['forward_calls']} forward calls; "
+          f"events: {payload['events']}")
+    print(f"latency (warn-only under faults): "
+          f"p50={_zero_if_none(payload['p50_ms'])} ms "
+          f"p99={_zero_if_none(payload['p99_ms'])} ms, "
+          f"elapsed {payload['elapsed_seconds']}s")
+    if args.output:
+        import json
+        from pathlib import Path
+
+        out = Path(args.output)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {out}")
+    failures = []
+    if not payload["zero_drop"]:
+        failures.append(
+            f"zero-drop violated: {outcomes['lost']} lost, "
+            f"{outcomes['hung']} hung, {payload['unresolved']} unresolved "
+            f"of {num_requests}")
+    if not payload["bitwise_identical_to_solo"]:
+        failures.append("served responses diverged bitwise from solo "
+                        "inference across restarts")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"zero-drop holds: {payload['resolved']}/{num_requests} requests "
+          f"resolved (result or typed error); "
+          f"{payload['bitwise_checked']} responses verified bitwise "
+          "against solo inference")
+    return 0
+
+
 def _cmd_loadtest(args: argparse.Namespace) -> int:
     """Synthetic open-loop client: batched vs sequential serving."""
+    if args.chaos:
+        return _cmd_loadtest_chaos(args)
     from repro.serving.loadtest import batched_vs_sequential
 
     try:
@@ -379,6 +476,52 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
         print(f"wrote {out}")
+    return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    """TCP serving daemon over the supervised inference service."""
+    from repro.serving import (
+        RestartPolicy,
+        ServiceConfig,
+        build_supervised_service,
+    )
+    from repro.serving.daemon import daemon_smoke, run_daemon
+
+    config = ServiceConfig(max_batch_size=args.max_batch_size,
+                           max_wait_ms=args.max_wait_ms,
+                           max_queue_depth=args.queue_depth,
+                           cache_size=args.cache_size,
+                           engine=args.engine,
+                           fuse_qkv=args.fuse_qkv,
+                           block_kv=args.block_kv)
+    try:
+        policy = RestartPolicy(max_restarts=args.max_restarts,
+                               hang_timeout_s=args.hang_timeout,
+                               seed=args.seed)
+        service = build_supervised_service(
+            model_name=args.model, kernel=args.kernel,
+            kernel_options=_kernel_options(args), seed=args.seed,
+            config=config, policy=policy)
+    except (KeyError, TypeError, ValueError) as exc:
+        print(exc.args[0] if exc.args else exc, file=sys.stderr)
+        return 2
+    if args.smoke:
+        summary = daemon_smoke(service, num_requests=args.smoke)
+        print(f"daemon smoke: {summary['ok']}/{summary['requests']} "
+              f"requests ok over a real socket "
+              f"({summary['connections_total']} connection(s)), "
+              f"bitwise_identical_to_solo="
+              f"{summary['bitwise_identical_to_solo']}")
+        return 0 if (summary["ok"] == summary["requests"]
+                     and summary["bitwise_identical_to_solo"]) else 1
+    snap = run_daemon(service, host=args.host, port=args.port)
+    print(f"daemon served {snap['daemon_requests_total']} requests over "
+          f"{snap['connections_total']} connection(s); "
+          f"restarts={snap['restarts']}/{snap['max_restarts']}, "
+          f"p50={_zero_if_none(snap['p50_ms'])} ms "
+          f"p99={_zero_if_none(snap['p99_ms'])} ms, "
+          f"cache hit rate {snap['cache']['hit_rate']:.0%}")
     return 0
 
 
@@ -545,6 +688,76 @@ def build_parser() -> argparse.ArgumentParser:
                                "measured win is batching, not memoization)")
     loadtest.add_argument("--output", default=None,
                           help="also write the JSON payload to this path")
+    loadtest.add_argument("--chaos", action="store_true",
+                          help="run against a fault-injected supervised "
+                               "service instead: injected crashes/hangs/"
+                               "errors, hard zero-drop + bitwise "
+                               "assertions, warn-only latency")
+    loadtest.add_argument("--quick", action="store_true",
+                          help="chaos mode: cap the request count for a "
+                               "fast CI smoke")
+    loadtest.add_argument("--crash-rate", type=float, default=0.08,
+                          help="chaos: per-forward worker-crash "
+                               "probability")
+    loadtest.add_argument("--hang-rate", type=float, default=0.04,
+                          help="chaos: per-forward hang probability")
+    loadtest.add_argument("--error-rate", type=float, default=0.02,
+                          help="chaos: per-forward typed model-error "
+                               "probability (isolated, no restart)")
+    loadtest.add_argument("--hang-seconds", type=float, default=0.4,
+                          help="chaos: how long an injected hang sleeps")
+    loadtest.add_argument("--hang-timeout", type=float, default=0.15,
+                          help="chaos: supervisor hang-declaration "
+                               "timeout (seconds)")
+    loadtest.add_argument("--max-restarts", type=int, default=64,
+                          help="chaos: supervisor restart budget")
+    loadtest.add_argument("--deadline-ms", type=float, default=None,
+                          help="chaos: attach this deadline to "
+                               "--deadline-fraction of requests")
+    loadtest.add_argument("--deadline-fraction", type=float, default=0.25,
+                          help="chaos: fraction of requests carrying "
+                               "--deadline-ms")
+
+    daemon = sub.add_parser("daemon",
+                            help="asyncio TCP serving daemon (line-"
+                                 "delimited JSON protocol) over the "
+                                 "supervised inference service")
+    daemon.add_argument("--host", default="127.0.0.1")
+    daemon.add_argument("--port", type=int, default=0,
+                        help="bind port (0 picks a free port, printed on "
+                             "startup)")
+    daemon.add_argument("--model",
+                        choices=("tiny-base", "tiny-large", "tiny-long"),
+                        default="tiny-base")
+    daemon.add_argument("--kernel", default="auto",
+                        help="Softermax kernel (see the 'kernels' command)")
+    daemon.add_argument("--engine", choices=("plan", "graph"),
+                        default="plan",
+                        help="encoder forward engine (plan = graph-free "
+                             "fast path, the default)")
+    daemon.add_argument("--fuse-qkv", action="store_true",
+                        help="plan engine only: fuse the Q/K/V "
+                             "projections into one GEMM")
+    daemon.add_argument("--block-kv", type=int, default=None,
+                        help="chunked-attention key/value block size "
+                             "(long-context mode)")
+    daemon.add_argument("--max-batch-size", type=int, default=32)
+    daemon.add_argument("--max-wait-ms", type=float, default=2.0)
+    daemon.add_argument("--queue-depth", type=int, default=1024)
+    daemon.add_argument("--cache-size", type=int, default=1024)
+    daemon.add_argument("--max-restarts", type=int, default=5,
+                        help="supervisor restart budget before the "
+                             "service fails terminally")
+    daemon.add_argument("--hang-timeout", type=float, default=2.0,
+                        help="seconds a forward may run before the "
+                             "supervisor declares the worker hung")
+    daemon.add_argument("--seed", type=int, default=0)
+    daemon.add_argument("--smoke", type=int, default=0, metavar="N",
+                        help="instead of serving: bind a free port, "
+                             "round-trip N requests over a real socket, "
+                             "verify bitwise against solo inference, "
+                             "exit (used by CI)")
+    _add_kernel_knobs(daemon)
 
     latency = sub.add_parser("latency", help="row-latency comparison")
     latency.add_argument("--seq-lens", type=int, nargs="+",
@@ -569,6 +782,7 @@ _HANDLERS = {
     "kernels": _cmd_kernels,
     "bench-kernels": _cmd_bench_kernels,
     "serve": _cmd_serve,
+    "daemon": _cmd_daemon,
     "loadtest": _cmd_loadtest,
     "latency": _cmd_latency,
     "model-cost": _cmd_model_cost,

@@ -12,7 +12,18 @@ paper targets (transformer inference at datacenter request rates):
   forward, and returns per-request results.
 * :mod:`repro.serving.cache` -- the LRU response cache.
 * :mod:`repro.serving.stats` -- latency/throughput accounting (p50/p99,
-  req/s, batch-size distribution).
+  req/s, batch-size distribution, robustness event counters).
+* :mod:`repro.serving.supervisor` -- :class:`SupervisedService`: the
+  inference worker under actor-style supervision (heartbeat health
+  checks, crash/hang restarts with in-flight requeue, bounded restarts
+  with exponential backoff + seeded jitter).
+* :mod:`repro.serving.daemon` -- the asyncio TCP front end: a
+  line-delimited JSON protocol multiplexing many open-loop clients into
+  the micro-batcher, with per-request deadlines and typed overload
+  responses.
+* :mod:`repro.serving.faults` -- deterministic fault injection (seeded
+  schedules of worker crashes, hangs, model errors, kernel-pool death)
+  driving both the test suite and ``loadtest --chaos``.
 
 The load-bearing guarantee is **bit-transparency**: a request's answer is
 bitwise identical whether it rode alone or inside a coalesced batch (see
@@ -22,28 +33,54 @@ that differs from a fresh computation.
 """
 
 from repro.serving.batcher import (
+    DeadlineExceededError,
     MicroBatcher,
+    OverloadedError,
     PendingRequest,
     QueueFullError,
+    RequestCancelledError,
     ServiceClosedError,
+    WorkerCrashError,
 )
 from repro.serving.cache import LRUCache
+from repro.serving.faults import Fault, FaultSchedule, FaultyModel
 from repro.serving.service import (
     InferenceService,
     ServiceConfig,
+    build_encoder_model,
     build_encoder_service,
 )
 from repro.serving.stats import LatencyStats, percentile
+from repro.serving.supervisor import (
+    RestartPolicy,
+    SupervisedService,
+    SupervisorExhaustedError,
+    WorkerHungError,
+    build_supervised_service,
+)
 
 __all__ = [
     "MicroBatcher",
     "PendingRequest",
     "QueueFullError",
     "ServiceClosedError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "RequestCancelledError",
+    "WorkerCrashError",
+    "WorkerHungError",
+    "SupervisorExhaustedError",
     "LRUCache",
     "InferenceService",
     "ServiceConfig",
+    "build_encoder_model",
     "build_encoder_service",
+    "RestartPolicy",
+    "SupervisedService",
+    "build_supervised_service",
+    "Fault",
+    "FaultSchedule",
+    "FaultyModel",
     "LatencyStats",
     "percentile",
 ]

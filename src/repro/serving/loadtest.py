@@ -24,7 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.serving.service import InferenceService, ServiceConfig, \
-    build_encoder_service
+    build_encoder_model, build_encoder_service
 
 #: Default synthetic workload: short-query lengths (inclusive bounds).
 DEFAULT_MIN_TOKENS = 8
@@ -212,4 +212,178 @@ def batched_vs_sequential(
         "sequential": sequential.as_dict(),
         "batched": batched.as_dict(),
         "speedup_batched_vs_sequential": round(ratio, 2),
+    }
+
+
+# --------------------------------------------------------------------------- #
+# chaos mode: the supervision guarantees, measured
+# --------------------------------------------------------------------------- #
+def run_chaos_loadtest(
+    num_requests: int = 192,
+    batch_size: int = 8,
+    max_wait_ms: float = 1.0,
+    crash_rate: float = 0.08,
+    hang_rate: float = 0.04,
+    error_rate: float = 0.02,
+    hang_seconds: float = 0.4,
+    hang_timeout_s: float = 0.15,
+    max_restarts: int = 64,
+    deadline_ms: Optional[float] = None,
+    deadline_fraction: float = 0.25,
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    seed: int = 0,
+    timeout: float = 120.0,
+    bitwise_sample: int = 8,
+) -> dict:
+    """Open-loop load against a fault-injected, supervised service.
+
+    Every submitted request must resolve -- to a result or to a *typed*
+    error (``DeadlineExceededError`` / ``OverloadedError`` /
+    ``QueueFullError`` / terminal ``SupervisorExhaustedError``).  A
+    request that never resolves within ``timeout`` counts as **hung**, a
+    request resolving to an untyped error counts as **lost**; the
+    zero-drop guarantee is ``hung == lost == 0``, asserted by callers
+    (``loadtest --chaos``, ``bench_serving``, CI).  Responses served
+    across a worker restart are additionally checked **bitwise** against
+    solo inference on a clean (fault-free) model.
+
+    Faults follow a seeded :class:`~repro.serving.faults.FaultSchedule`
+    over the expected number of forward calls; restart jitter shares the
+    seed -- the whole run is reproducible from its arguments.
+    ``deadline_fraction`` of requests carry ``deadline_ms`` deadlines
+    (default: 8x the healthy forward estimate is supplied by the caller
+    or the deadline path is skipped when ``deadline_ms`` is None).
+    """
+    from repro.serving.batcher import (
+        DeadlineExceededError,
+        OverloadedError,
+        QueueFullError,
+    )
+    from repro.serving.faults import FaultSchedule, FaultyModel, \
+        InjectedModelError
+    from repro.serving.supervisor import (
+        RestartPolicy,
+        SupervisedService,
+        SupervisorExhaustedError,
+    )
+
+    requests = synthetic_requests(num_requests, seed=seed)
+    # Upper bound on forward calls: one per request (sequential worst
+    # case) plus retries from restarts; faults re-draw against this many
+    # call slots so crashes keep firing deep into the run.
+    expected_calls = 2 * num_requests + 16
+    schedule = FaultSchedule.from_seed(
+        seed, expected_calls, crash_rate=crash_rate, hang_rate=hang_rate,
+        error_rate=error_rate, hang_seconds=hang_seconds, skip_first=2)
+    model = build_encoder_model(model_name=model_name, kernel=kernel,
+                                seed=seed)
+    faulty = FaultyModel(model, schedule)
+    policy = RestartPolicy(max_restarts=max_restarts,
+                           backoff_initial_ms=5.0, backoff_max_ms=50.0,
+                           hang_timeout_s=hang_timeout_s,
+                           heartbeat_interval_s=0.02, seed=seed)
+    config = ServiceConfig(max_batch_size=batch_size,
+                           max_wait_ms=max_wait_ms,
+                           max_queue_depth=num_requests + 1,
+                           cache_size=0)
+    service = SupervisedService(faulty, config, policy)
+
+    rng = np.random.default_rng(seed + 1)
+    with_deadline = (deadline_ms is not None
+                     and (rng.random(num_requests) < deadline_fraction))
+    outcomes = {"ok": 0, "deadline_exceeded": 0, "overloaded": 0,
+                "queue_full": 0, "injected_error": 0, "terminal": 0,
+                "lost": 0, "hung": 0}
+    results: List[Optional[np.ndarray]] = [None] * num_requests
+    start = time.perf_counter()
+    with service:
+        pending = []
+        for index, tokens in enumerate(requests):
+            try:
+                request = service.submit(
+                    tokens,
+                    deadline_ms=deadline_ms
+                    if deadline_ms is not None and with_deadline[index]
+                    else None)
+            except OverloadedError:
+                outcomes["overloaded"] += 1
+                pending.append(None)
+                continue
+            except QueueFullError:
+                outcomes["queue_full"] += 1
+                pending.append(None)
+                continue
+            except SupervisorExhaustedError:
+                outcomes["terminal"] += 1
+                pending.append(None)
+                continue
+            pending.append(request)
+        for index, request in enumerate(pending):
+            if request is None:
+                continue
+            try:
+                results[index] = request.result(timeout)
+                outcomes["ok"] += 1
+            except DeadlineExceededError:
+                outcomes["deadline_exceeded"] += 1
+            except InjectedModelError:
+                outcomes["injected_error"] += 1
+            except SupervisorExhaustedError:
+                outcomes["terminal"] += 1
+            except TimeoutError:
+                outcomes["hung"] += 1
+            except Exception:  # noqa: BLE001 - anything untyped is a drop
+                outcomes["lost"] += 1
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        snap = service.snapshot()
+
+    # Bitwise check: served responses (including any that crossed a
+    # restart) must equal solo inference on the clean model.
+    checked = 0
+    bitwise_identical = True
+    for index, hidden in enumerate(results):
+        if hidden is None or checked >= bitwise_sample:
+            continue
+        solo = model.encode_ragged([list(requests[index])])[0]
+        if not np.array_equal(hidden, solo):
+            bitwise_identical = False
+            break
+        checked += 1
+
+    resolved = sum(outcomes.values())
+    return {
+        "workload": {
+            "requests": num_requests,
+            "batch_size": batch_size,
+            "max_wait_ms": max_wait_ms,
+            "model": model_name,
+            "kernel": kernel,
+            "seed": seed,
+            "deadline_ms": deadline_ms,
+            "deadline_fraction": deadline_fraction if deadline_ms is not None
+            else 0.0,
+        },
+        "faults": {
+            **schedule.summary(),
+            "injected": len(faulty.injected),
+            "forward_calls": faulty.calls,
+        },
+        "policy": {
+            "max_restarts": max_restarts,
+            "hang_timeout_s": hang_timeout_s,
+        },
+        "outcomes": outcomes,
+        "resolved": resolved,
+        "unresolved": num_requests - resolved,
+        "restarts": snap["restarts"],
+        "events": snap["events"],
+        "terminal": snap["terminal"],
+        "elapsed_seconds": round(elapsed, 4),
+        "p50_ms": snap["p50_ms"],
+        "p99_ms": snap["p99_ms"],
+        "bitwise_identical_to_solo": bitwise_identical,
+        "bitwise_checked": checked,
+        "zero_drop": (outcomes["lost"] == 0 and outcomes["hung"] == 0
+                      and resolved == num_requests),
     }

@@ -30,8 +30,10 @@ import numpy as np
 
 from repro.serving.batcher import (
     MicroBatcher,
+    OverloadedError,
     PendingRequest,
     ServiceClosedError,
+    WorkerCrashError,
 )
 from repro.serving.cache import LRUCache
 from repro.serving.stats import LatencyStats
@@ -100,7 +102,10 @@ class InferenceService:
         # working (they implicitly serve their only engine).
         try:
             parameters = inspect.signature(model.encode_ragged).parameters
-            if "engine" in parameters:
+            accepts_engine = "engine" in parameters or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD
+                for p in parameters.values())
+            if accepts_engine:
                 self._engine_kwargs = {"engine": config.engine,
                                        "fuse_qkv": config.fuse_qkv}
                 if config.block_kv is not None:
@@ -111,13 +116,25 @@ class InferenceService:
             self._engine_kwargs = {}
         if hasattr(model, "eval"):
             model.eval()
-        self.batcher = MicroBatcher(max_batch_size=config.max_batch_size,
-                                    max_wait_ms=config.max_wait_ms,
-                                    max_queue_depth=config.max_queue_depth)
-        self.cache = LRUCache(config.cache_size)
         self.stats = LatencyStats()
+        self.batcher = self._make_batcher()
+        self.cache = LRUCache(config.cache_size)
         self._worker: Optional[threading.Thread] = None
         self._stopping = threading.Event()
+        # Worker-health bookkeeping read by the supervisor: the batch
+        # currently inside the model forward (identity-compared so a
+        # superseded worker can never clear a successor's entry), when it
+        # entered, and the worker's last liveness beat.
+        self._inflight: List[PendingRequest] = []
+        self._inflight_since: Optional[float] = None
+        self._inflight_lock = threading.Lock()
+        self._last_beat = time.perf_counter()
+
+    def _make_batcher(self) -> MicroBatcher:
+        return MicroBatcher(max_batch_size=self.config.max_batch_size,
+                            max_wait_ms=self.config.max_wait_ms,
+                            max_queue_depth=self.config.max_queue_depth,
+                            event_hook=self.stats.record_event)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -128,10 +145,7 @@ class InferenceService:
         if self.batcher.closed:
             # Restart after stop(): the old batcher is closed and drained,
             # so a fresh one makes the service reusable.
-            self.batcher = MicroBatcher(
-                max_batch_size=self.config.max_batch_size,
-                max_wait_ms=self.config.max_wait_ms,
-                max_queue_depth=self.config.max_queue_depth)
+            self.batcher = self._make_batcher()
         self._stopping.clear()
         self.stats.start()
         self._worker = threading.Thread(target=self._serve_loop,
@@ -141,7 +155,16 @@ class InferenceService:
         return self
 
     def stop(self) -> None:
-        """Stop the worker; pending requests fail with ServiceClosedError."""
+        """Stop the worker and fail the backlog deterministically.
+
+        The worker finishes the batch it is executing (if any) and exits;
+        every queued-but-unserved request is then failed promptly with a
+        typed :class:`ServiceClosedError` -- shutdown latency is one
+        forward, not one forward per queued batch.  The batcher's submit
+        lock guarantees no request can land after the drain: a racing
+        submitter either enqueued before ``close()`` (the drain sees it)
+        or observes the closed batcher and raises.
+        """
         if self._worker is None:
             return
         self._stopping.set()
@@ -149,7 +172,9 @@ class InferenceService:
         self._worker.join()
         self._worker = None
         for request in self.batcher.drain():
-            request.set_exception(ServiceClosedError("service stopped"))
+            request.set_exception(
+                ServiceClosedError("service stopped before this request "
+                                   "was served"))
 
     def __enter__(self) -> "InferenceService":
         return self.start()
@@ -160,30 +185,76 @@ class InferenceService:
     # ------------------------------------------------------------------ #
     # client side
     # ------------------------------------------------------------------ #
-    def submit(self, tokens: Sequence[int]) -> PendingRequest:
+    def submit(self, tokens: Sequence[int],
+               deadline_ms: Optional[float] = None) -> PendingRequest:
         """Enqueue one request; returns a waitable :class:`PendingRequest`.
 
         Cache hits complete immediately without touching the queue.  A full
         queue raises :class:`~repro.serving.batcher.QueueFullError` --
         backpressure, not silent buffering.
+
+        ``deadline_ms`` bounds the request's end-to-end latency: if the
+        estimated queue wait already exceeds it, admission control sheds
+        the request with a typed
+        :class:`~repro.serving.batcher.OverloadedError` instead of
+        accepting work it cannot finish in time; if the deadline passes
+        while the request is queued, it fails with
+        :class:`~repro.serving.batcher.DeadlineExceededError` *before*
+        consuming a model forward.
         """
         if self._worker is None:
             raise ServiceClosedError("service is not running")
         key = self._validate(tokens)
-        request = PendingRequest(key)
+        deadline = None
+        if deadline_ms is not None:
+            if deadline_ms <= 0:
+                raise ValueError("deadline_ms must be > 0")
+            deadline = time.perf_counter() + deadline_ms / 1e3
+        request = PendingRequest(key, deadline=deadline)
         cached = self.cache.get(key)
         if cached is not None:
             request.cached = True
             request.set_result(cached)
             self.stats.record(0.0, cached=True)
             return request
+        if deadline_ms is not None:
+            estimated = self.estimated_wait_seconds()
+            if estimated > deadline_ms / 1e3:
+                self.stats.record_event("overloaded")
+                raise OverloadedError(
+                    f"estimated wait {estimated * 1e3:.1f} ms exceeds the "
+                    f"request deadline {deadline_ms:.1f} ms "
+                    f"(queue depth {self.batcher.depth()})")
         self.batcher.submit(request)
         return request
 
+    def estimated_wait_seconds(self) -> float:
+        """Rough submit-to-forward-start wait at the current queue depth.
+
+        Queue depth in batches ahead of a new arrival, times the median
+        recent forward time, plus one coalescing window.  Returns 0.0
+        before any forward has been measured (admit optimistically -- the
+        first requests *are* the measurement).
+        """
+        forward_p50 = self.stats.forward_p50_seconds()
+        if forward_p50 <= 0.0:
+            return 0.0
+        batches_ahead = (self.batcher.depth() // self.config.max_batch_size) + 1
+        return batches_ahead * forward_p50 + self.config.max_wait_ms / 1e3
+
     def infer(self, tokens: Sequence[int],
               timeout: Optional[float] = 30.0) -> np.ndarray:
-        """Synchronous submit + wait; returns the per-token hidden states."""
-        return self.submit(tokens).result(timeout)
+        """Synchronous submit + wait; returns the per-token hidden states.
+
+        An abandoned wait cancels the request, so a caller that gave up
+        never consumes a model forward for an answer nobody reads.
+        """
+        request = self.submit(tokens)
+        try:
+            return request.result(timeout)
+        except TimeoutError:
+            request.cancel()
+            raise
 
     def infer_many(self, sequences: Iterable[Sequence[int]],
                    timeout: Optional[float] = 30.0) -> List[np.ndarray]:
@@ -228,52 +299,83 @@ class InferenceService:
         return key
 
     def _serve_loop(self) -> None:
-        while not (self._stopping.is_set() and self.batcher.depth() == 0):
+        # Exits as soon as stop() is requested: the backlog is *failed*
+        # (typed, prompt) by stop()'s drain rather than served -- shutdown
+        # is bounded by one in-flight batch, not the queue depth.
+        while not self._stopping.is_set():
+            self._last_beat = time.perf_counter()
             batch = self.batcher.next_batch(timeout=_IDLE_POLL_SECONDS)
             if not batch:
-                if self._stopping.is_set():
-                    return
                 continue
-            self._execute(batch)
+            try:
+                self._execute(batch)
+            except WorkerCrashError as exc:
+                # Unsupervised isolation: a worker-fatal error fails the
+                # affected batch but the loop keeps serving.  A supervised
+                # service overrides this loop and restarts instead.
+                for request in batch:
+                    request.set_exception(exc)
 
     def _execute(self, batch: List[PendingRequest]) -> None:
+        # The batcher filters cancelled/expired entries at formation, but a
+        # cancel can race the window between formation and forward.
+        live = [request for request in batch if not request.done()]
+        if not live:
+            return
         # Identical concurrent requests ride the batch once: encode each
         # distinct key a single time, answer every waiter with its own copy.
         unique: "dict[Tuple[int, ...], int]" = {}
-        for request in batch:
+        for request in live:
             unique.setdefault(request.key, len(unique))
         keys = list(unique)
+        with self._inflight_lock:
+            self._inflight = live
+            self._inflight_since = time.perf_counter()
         forward_start = time.perf_counter()
         try:
-            outputs = self.model.encode_ragged(
-                [list(key) for key in keys], pad_id=self.config.pad_id,
-                **self._engine_kwargs)
-        except Exception as exc:  # noqa: BLE001 - forwarded to the callers
-            for request in batch:
-                request.set_exception(exc)
-            return
-        forward_seconds = time.perf_counter() - forward_start
-        self.stats.record_batch(len(batch), forward_seconds=forward_seconds)
-        for key, hidden in zip(keys, outputs):
-            self.cache.put(key, hidden)
-        by_key = dict(zip(keys, outputs))
-        for request in batch:
-            request.set_result(by_key[request.key].copy())
-            # Queue wait: submission until this batch's forward started
-            # (covers queueing plus the coalescing window).
-            self.stats.record(
-                time.perf_counter() - request.submitted_at,
-                queue_wait_seconds=forward_start - request.submitted_at)
+            try:
+                outputs = self.model.encode_ragged(
+                    [list(key) for key in keys], pad_id=self.config.pad_id,
+                    **self._engine_kwargs)
+            except WorkerCrashError:
+                # Worker-fatal: leave the requests pending (the supervisor
+                # requeues them onto a fresh worker) and let the loop
+                # decide the worker's fate.
+                raise
+            except Exception as exc:  # noqa: BLE001 - forwarded to callers
+                for request in live:
+                    request.set_exception(exc)
+                return
+            forward_seconds = time.perf_counter() - forward_start
+            self.stats.record_batch(len(live),
+                                    forward_seconds=forward_seconds)
+            for key, hidden in zip(keys, outputs):
+                self.cache.put(key, hidden)
+            by_key = dict(zip(keys, outputs))
+            for request in live:
+                if request.set_result(by_key[request.key].copy()):
+                    # Queue wait: submission until this batch's forward
+                    # started (queueing plus the coalescing window).  Only
+                    # the winning completer records -- a superseded worker
+                    # finishing late must not double-count.
+                    self.stats.record(
+                        time.perf_counter() - request.submitted_at,
+                        queue_wait_seconds=forward_start
+                        - request.submitted_at)
+        finally:
+            with self._inflight_lock:
+                if self._inflight is live:
+                    self._inflight = []
+                    self._inflight_since = None
 
 
-def build_encoder_service(
+def build_encoder_model(
     model_name: str = "tiny-base",
     kernel: str = "auto",
     kernel_options: Optional[dict] = None,
     seed: int = 0,
-    config: ServiceConfig = ServiceConfig(),
 ):
-    """Construct an :class:`InferenceService` over a Softermax BERT encoder.
+    """Construct the Softermax BERT encoder the serving stack runs.
 
     The encoder runs the bit-accurate Softermax attention (``"softermax"``
     variant) through the requested kernel -- ``"auto"`` resolves to the
@@ -294,7 +396,20 @@ def build_encoder_service(
             f"unknown serving model {model_name!r}; choose tiny-base, "
             "tiny-large or tiny-long (the published geometries are "
             "cost-model descriptors, not runnable NumPy models)")
-    model = BertEncoderModel(model_config, softmax_variant="softermax",
-                             kernel=kernel, kernel_options=kernel_options,
-                             seed=seed).eval()
+    return BertEncoderModel(model_config, softmax_variant="softermax",
+                            kernel=kernel, kernel_options=kernel_options,
+                            seed=seed).eval()
+
+
+def build_encoder_service(
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    kernel_options: Optional[dict] = None,
+    seed: int = 0,
+    config: ServiceConfig = ServiceConfig(),
+):
+    """Construct an :class:`InferenceService` over a Softermax BERT encoder
+    (see :func:`build_encoder_model` for the encoder configuration)."""
+    model = build_encoder_model(model_name=model_name, kernel=kernel,
+                                kernel_options=kernel_options, seed=seed)
     return InferenceService(model, config)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
+from collections import Counter, deque
 from typing import Optional, Sequence
 
 #: Default sliding-window size for latency percentiles.
@@ -53,6 +53,10 @@ class LatencyStats:
         self.batches = 0
         self.batched_requests = 0
         self.cache_hits = 0
+        # Robustness event counters (deadline sheds, admission-control
+        # rejections, supervisor restarts/requeues, ...).  A plain name ->
+        # count mapping so new event kinds need no schema change.
+        self.events: "Counter[str]" = Counter()
 
     def start(self) -> None:
         """Begin a fresh measurement interval.
@@ -70,6 +74,23 @@ class LatencyStats:
             self.batches = 0
             self.batched_requests = 0
             self.cache_hits = 0
+            self.events.clear()
+
+    def record_event(self, name: str, count: int = 1) -> None:
+        """Count a robustness event (``"deadline_expired"``,
+        ``"overloaded"``, ``"restart"``, ``"requeued"``, ...)."""
+        with self._lock:
+            self.events[name] += count
+
+    def forward_p50_seconds(self) -> float:
+        """Median recent model-forward time (0.0 with no samples yet).
+
+        The admission controller uses this to estimate how long a newly
+        queued request will wait before its batch's forward starts.
+        """
+        with self._lock:
+            forwards = list(self._forwards)
+        return percentile(forwards, 50.0)
 
     def record(self, latency_seconds: float, cached: bool = False,
                queue_wait_seconds: Optional[float] = None) -> None:
@@ -115,7 +136,9 @@ class LatencyStats:
             batches = self.batches
             batched = self.batched_requests
             cache_hits = self.cache_hits
+            events = dict(self.events)
         snap = {
+            "events": events,
             "completed": completed,
             "cache_hits": cache_hits,
             "batches": batches,

@@ -1,22 +1,26 @@
-"""Dynamic micro-batcher: coalescing, backpressure, shutdown."""
+"""Dynamic micro-batcher: coalescing, backpressure, cancellation,
+deadlines, requeue priority, shutdown."""
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import Counter
 
 import pytest
 
 from repro.serving import (
+    DeadlineExceededError,
     MicroBatcher,
     PendingRequest,
     QueueFullError,
+    RequestCancelledError,
     ServiceClosedError,
 )
 
 
-def _request(key=(1, 2, 3)) -> PendingRequest:
-    return PendingRequest(tuple(key))
+def _request(key=(1, 2, 3), deadline=None) -> PendingRequest:
+    return PendingRequest(tuple(key), deadline=deadline)
 
 
 def test_batch_closes_at_max_size():
@@ -158,3 +162,131 @@ def test_pending_request_result_and_exception():
     failing.set_exception(RuntimeError("boom"))
     with pytest.raises(RuntimeError, match="boom"):
         failing.result(timeout=0.01)
+
+
+# --------------------------------------------------------------------------- #
+# completion semantics: first-wins, cancel, callbacks
+# --------------------------------------------------------------------------- #
+def test_completion_is_first_wins():
+    request = _request()
+    assert request.set_result(1) is True
+    assert request.set_result(2) is False
+    assert request.set_exception(RuntimeError("late")) is False
+    assert request.result(0.01) == 1
+
+
+def test_cancel_completes_with_typed_error():
+    request = _request()
+    assert request.cancel() is True
+    assert request.done() and request.cancelled
+    with pytest.raises(RequestCancelledError):
+        request.result(0.01)
+    # A worker answering after the cancel loses the race, harmlessly.
+    assert request.set_result(42) is False
+    # Cancelling a request a worker already answered reports failure.
+    answered = _request()
+    answered.set_result(7)
+    assert answered.cancel() is False
+    assert answered.result(0.01) == 7
+
+
+def test_done_callbacks_fire_on_completion_and_immediately_when_done():
+    fired = []
+    request = _request()
+    request.add_done_callback(lambda r: fired.append(("live", r.done())))
+    request.set_result(0)
+    request.add_done_callback(lambda r: fired.append(("late", r.done())))
+    assert fired == [("live", True), ("late", True)]
+
+
+# --------------------------------------------------------------------------- #
+# formation-time filtering: cancelled / completed / expired entries
+# --------------------------------------------------------------------------- #
+def test_cancelled_requests_skipped_at_batch_formation():
+    events = Counter()
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0,
+                           event_hook=lambda name, n: events.update({name: n}))
+    keep, drop = _request((1,)), _request((2,))
+    batcher.submit(keep)
+    batcher.submit(drop)
+    drop.cancel()
+    batch = batcher.next_batch(timeout=1.0)
+    assert [r.key for r in batch] == [(1,)]
+    assert events["skipped_cancelled"] == 1
+
+
+def test_expired_requests_shed_typed_before_reaching_the_model():
+    events = Counter()
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0,
+                           event_hook=lambda name, n: events.update({name: n}))
+    expired = _request((1,), deadline=time.perf_counter() - 0.01)
+    alive = _request((2,), deadline=time.perf_counter() + 60.0)
+    batcher.submit(expired)
+    batcher.submit(alive)
+    batch = batcher.next_batch(timeout=1.0)
+    assert [r.key for r in batch] == [(2,)]
+    assert events["deadline_expired"] == 1
+    # The shed request resolved typed -- not silently dropped.
+    with pytest.raises(DeadlineExceededError):
+        expired.result(0.01)
+
+
+def test_completed_requests_skipped_at_batch_formation():
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0)
+    done = _request((1,))
+    done.set_result("already answered")
+    batcher.submit(done)
+    batcher.submit(_request((2,)))
+    assert [r.key for r in batcher.next_batch(timeout=1.0)] == [(2,)]
+
+
+# --------------------------------------------------------------------------- #
+# requeue: crashed-worker hand-back rides ahead of fresh traffic
+# --------------------------------------------------------------------------- #
+def test_requeued_requests_served_ahead_of_the_queue():
+    batcher = MicroBatcher(max_batch_size=2, max_wait_ms=0.0)
+    batcher.submit(_request((1,)))
+    batcher.submit(_request((2,)))
+    assert batcher.requeue([_request((90,)), _request((91,))]) == 2
+    assert [r.key for r in batcher.next_batch(timeout=1.0)] == [(90,), (91,)]
+    assert [r.key for r in batcher.next_batch(timeout=1.0)] == [(1,), (2,)]
+
+
+def test_requeue_skips_completed_and_bypasses_depth_bound():
+    batcher = MicroBatcher(max_batch_size=8, max_wait_ms=0.0,
+                           max_queue_depth=1)
+    batcher.submit(_request((1,)))  # the queue is now full
+    answered = _request((2,))
+    answered.set_result(0)
+    assert batcher.requeue([answered, _request((3,))]) == 1
+    assert batcher.depth() == 2  # requeue is exempt from the bound
+    keys = [r.key for r in batcher.next_batch(timeout=1.0)]
+    assert keys == [(3,), (1,)]
+
+
+def test_requeue_wakes_a_blocked_worker_promptly():
+    batcher = MicroBatcher(max_batch_size=4, max_wait_ms=0.0)
+    got = []
+    served = threading.Event()
+
+    def worker():
+        got.extend(batcher.next_batch(timeout=5.0))
+        served.set()
+
+    thread = threading.Thread(target=worker, daemon=True)
+    thread.start()
+    time.sleep(0.05)
+    start = time.perf_counter()
+    batcher.requeue([_request((7,))])
+    assert served.wait(1.0), "requeue must wake a blocked worker"
+    assert time.perf_counter() - start < 1.0
+    thread.join(1.0)
+    assert [r.key for r in got] == [(7,)]
+
+
+def test_drain_includes_requeued_requests():
+    batcher = MicroBatcher()
+    batcher.submit(_request((1,)))
+    batcher.requeue([_request((2,))])
+    batcher.close()
+    assert sorted(r.key for r in batcher.drain()) == [(1,), (2,)]

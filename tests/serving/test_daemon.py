@@ -1,0 +1,227 @@
+"""TCP serving daemon: protocol round trips, typed wire errors, shutdown.
+
+Every test runs over a real socket on a loopback port -- the daemon's
+value is the wire, so that is what gets tested.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    DeadlineExceededError,
+    InferenceService,
+    OverloadedError,
+    QueueFullError,
+    ServiceClosedError,
+    ServiceConfig,
+    SupervisorExhaustedError,
+    build_encoder_model,
+)
+from repro.serving.daemon import (
+    PROTOCOL_VERSION,
+    ServingDaemon,
+    daemon_smoke,
+    error_code,
+)
+
+
+@pytest.fixture(scope="module")
+def encoder_model():
+    return build_encoder_model()
+
+
+def _service(model, **overrides) -> InferenceService:
+    defaults = dict(max_batch_size=4, max_wait_ms=1.0, cache_size=16)
+    defaults.update(overrides)
+    return InferenceService(model, ServiceConfig(**defaults))
+
+
+def _roundtrip(service, lines, keep_service=False):
+    """Start the daemon, send ``lines`` over one connection, return the
+    parsed responses.  The daemon owns the service lifecycle."""
+
+    async def _amain():
+        daemon = ServingDaemon(service)
+        await daemon.start()
+        try:
+            reader, writer = await asyncio.open_connection(daemon.host,
+                                                           daemon.port)
+            try:
+                for line in lines:
+                    raw = (line if isinstance(line, bytes)
+                           else json.dumps(line).encode("utf-8"))
+                    writer.write(raw + b"\n")
+                await writer.drain()
+                responses = []
+                for _ in lines:
+                    responses.append(json.loads(await reader.readline()))
+                return responses
+            finally:
+                writer.close()
+        finally:
+            if not keep_service:
+                await daemon.stop()
+
+    return asyncio.run(_amain())
+
+
+# --------------------------------------------------------------------------- #
+# the happy path, bitwise
+# --------------------------------------------------------------------------- #
+def test_infer_round_trip_is_bitwise_identical_to_solo(encoder_model):
+    tokens = [3, 1, 4, 1, 5]
+    responses = _roundtrip(_service(encoder_model), [
+        {"op": "ping"},
+        {"op": "infer", "id": "r1", "tokens": tokens},
+        {"id": "r2", "tokens": tokens},  # op defaults to infer
+        {"op": "stats"},
+    ])
+    ping, first, second, stats = responses
+    assert ping == {"ok": True, "op": "ping", "protocol": PROTOCOL_VERSION}
+    assert first["ok"] and first["id"] == "r1"
+    solo = encoder_model.encode_ragged([tokens])[0]
+    assert first["shape"] == list(solo.shape)
+    # JSON numbers round-trip float64 exactly: the wire is bit-transparent.
+    assert np.array_equal(np.asarray(first["hidden"], dtype=np.float64),
+                          solo)
+    assert second["ok"] and second["cached"] is True
+    assert second["hidden"] == first["hidden"]
+    assert stats["ok"] and stats["stats"]["completed"] >= 1
+
+
+def test_daemon_smoke_passes(encoder_model):
+    summary = daemon_smoke(_service(encoder_model), num_requests=4)
+    assert summary["ok"] == summary["requests"] == 4
+    assert summary["bitwise_identical_to_solo"] is True
+    assert summary["connections_total"] == 1
+
+
+def test_concurrent_connections_multiplex_into_one_batcher(encoder_model):
+    service = _service(encoder_model, max_batch_size=8, max_wait_ms=5.0,
+                       cache_size=0)
+
+    async def _amain():
+        daemon = ServingDaemon(service)
+        await daemon.start()
+        try:
+            async def client(tokens):
+                reader, writer = await asyncio.open_connection(daemon.host,
+                                                               daemon.port)
+                try:
+                    writer.write(json.dumps({"tokens": tokens}).encode()
+                                 + b"\n")
+                    await writer.drain()
+                    return json.loads(await reader.readline())
+                finally:
+                    writer.close()
+
+            workload = [[1 + i, 2 + i, 3 + i] for i in range(6)]
+            responses = await asyncio.gather(*(client(t) for t in workload))
+            return workload, responses, daemon.connections_total
+        finally:
+            await daemon.stop()
+
+    workload, responses, connections = asyncio.run(_amain())
+    assert connections == 6
+    for tokens, response in zip(workload, responses):
+        assert response["ok"], response
+        solo = encoder_model.encode_ragged([tokens])[0]
+        assert np.array_equal(
+            np.asarray(response["hidden"], dtype=np.float64), solo)
+
+
+# --------------------------------------------------------------------------- #
+# typed errors on the wire
+# --------------------------------------------------------------------------- #
+def test_invalid_requests_get_typed_responses(encoder_model):
+    vocab = encoder_model.config.vocab_size
+    responses = _roundtrip(_service(encoder_model), [
+        b"this is not json",
+        b'["a", "list"]',
+        {"op": "transmogrify", "id": "x"},
+        {"op": "infer", "id": "y", "tokens": "not-a-list"},
+        {"op": "infer", "id": "z", "tokens": [1, 2], "deadline_ms": "soon"},
+        {"op": "infer", "id": "w", "tokens": [vocab + 7]},
+    ])
+    for response in responses:
+        assert response["ok"] is False
+        assert response["error"] == "InvalidRequest", response
+    # ids echo back so clients can correlate failures.
+    assert [r.get("id") for r in responses[2:]] == ["x", "y", "z", "w"]
+
+
+def test_error_code_mapping_is_most_specific_first():
+    assert error_code(DeadlineExceededError("x")) == "DeadlineExceeded"
+    assert error_code(OverloadedError("x")) == "Overloaded"
+    assert error_code(QueueFullError("x")) == "QueueFull"
+    assert error_code(SupervisorExhaustedError("x")) == "SupervisorExhausted"
+    assert error_code(ServiceClosedError("x")) == "ServiceClosed"
+    assert error_code(ValueError("x")) == "InvalidRequest"
+    assert error_code(ZeroDivisionError("x")) == "InternalError"
+
+
+def test_deadline_rides_the_wire(encoder_model):
+    """An impossible deadline comes back as a typed DeadlineExceeded or
+    Overloaded response -- never a computed-and-discarded result and never
+    a silent drop."""
+    service = _service(encoder_model, max_batch_size=1, max_wait_ms=0.0,
+                       cache_size=0)
+    responses = _roundtrip(service, [
+        {"op": "infer", "id": "warm", "tokens": [1, 2, 3]},
+        {"op": "infer", "id": "tight", "tokens": [4, 5, 6],
+         "deadline_ms": 0.001},
+        {"op": "infer", "id": "roomy", "tokens": [7, 8, 9],
+         "deadline_ms": 30000},
+    ])
+    assert responses[0]["ok"]
+    tight = responses[1]
+    assert tight["ok"] is False
+    assert tight["error"] in ("DeadlineExceeded", "Overloaded")
+    assert responses[2]["ok"]
+
+
+# --------------------------------------------------------------------------- #
+# shutdown
+# --------------------------------------------------------------------------- #
+def test_stop_drains_service_and_closes_connections(encoder_model):
+    service = _service(encoder_model)
+
+    async def _amain():
+        daemon = ServingDaemon(service)
+        await daemon.start()
+        reader, writer = await asyncio.open_connection(daemon.host,
+                                                       daemon.port)
+        writer.write(b'{"tokens": [1, 2, 3]}\n')
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        await daemon.stop()
+        # The server socket is gone: new connections are refused.
+        with pytest.raises(OSError):
+            await asyncio.open_connection(daemon.host, daemon.port)
+        return response
+
+    response = asyncio.run(_amain())
+    assert response["ok"]
+    # The daemon stopped its service: submits fail typed.
+    with pytest.raises(ServiceClosedError):
+        service.submit((1, 2))
+
+
+def test_double_start_rejected(encoder_model):
+    service = _service(encoder_model)
+
+    async def _amain():
+        daemon = ServingDaemon(service)
+        await daemon.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                await daemon.start()
+        finally:
+            await daemon.stop()
+
+    asyncio.run(_amain())

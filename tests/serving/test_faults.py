@@ -1,0 +1,125 @@
+"""Deterministic fault injection: seeded schedules and the faulty model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serving.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultSchedule,
+    FaultyModel,
+    InjectedModelError,
+    InjectedWorkerCrash,
+)
+
+
+def _schedule_fingerprint(schedule: FaultSchedule):
+    return [(f.call_index, f.kind, f.seconds) for f in schedule.faults()]
+
+
+# --------------------------------------------------------------------------- #
+# schedule determinism (the property chaos reproducibility rests on)
+# --------------------------------------------------------------------------- #
+def test_same_seed_same_schedule():
+    kwargs = dict(num_calls=200, crash_rate=0.1, hang_rate=0.05,
+                  error_rate=0.03, hang_seconds=0.2)
+    first = FaultSchedule.from_seed(42, **kwargs)
+    second = FaultSchedule.from_seed(42, **kwargs)
+    assert len(first) > 0
+    assert _schedule_fingerprint(first) == _schedule_fingerprint(second)
+    assert _schedule_fingerprint(first) != _schedule_fingerprint(
+        FaultSchedule.from_seed(43, **kwargs))
+
+
+def test_changing_one_rate_never_moves_another_kinds_faults():
+    """One uniform draw per call index: raising ``hang_rate`` adds hangs
+    but must not move any crash to a different call."""
+    base = FaultSchedule.from_seed(7, num_calls=300, crash_rate=0.1)
+    more_hangs = FaultSchedule.from_seed(7, num_calls=300, crash_rate=0.1,
+                                         hang_rate=0.2)
+    crashes = lambda s: [f.call_index for f in s.faults()  # noqa: E731
+                         if f.kind == "crash"]
+    assert crashes(base) == crashes(more_hangs)
+    assert any(f.kind == "hang" for f in more_hangs.faults())
+
+
+def test_skip_first_leaves_warmup_fault_free():
+    schedule = FaultSchedule.from_seed(0, num_calls=100, crash_rate=0.5,
+                                       skip_first=5)
+    assert all(f.call_index >= 5 for f in schedule.faults())
+
+
+def test_schedule_validation():
+    with pytest.raises(ValueError, match="crash_rate"):
+        FaultSchedule.from_seed(0, 10, crash_rate=1.5)
+    with pytest.raises(ValueError, match="sum"):
+        FaultSchedule.from_seed(0, 10, crash_rate=0.6, hang_rate=0.6)
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault(call_index=0, kind="meltdown")
+    with pytest.raises(ValueError, match="two faults"):
+        FaultSchedule([Fault(1, "crash"), Fault(1, "error")])
+
+
+def test_summary_is_json_friendly():
+    schedule = FaultSchedule.from_seed(3, num_calls=100, crash_rate=0.1,
+                                       hang_rate=0.05)
+    summary = schedule.summary()
+    assert summary["seed"] == 3
+    assert summary["total"] == len(schedule)
+    assert sum(summary["counts"].values()) == summary["total"]
+    assert all(f["kind"] in FAULT_KINDS for f in summary["faults"])
+
+
+# --------------------------------------------------------------------------- #
+# FaultyModel behavior
+# --------------------------------------------------------------------------- #
+class _StubModel:
+    config = None
+
+    def __init__(self):
+        self.calls = []
+
+    def eval(self):
+        return self
+
+    def encode_ragged(self, sequences, pad_id=0, **kwargs):
+        self.calls.append([tuple(s) for s in sequences])
+        return [np.full((len(s), 2), float(sum(s))) for s in sequences]
+
+
+def test_faulty_model_fires_scheduled_faults_in_order():
+    slept = []
+    schedule = FaultSchedule([Fault(1, "crash"), Fault(2, "error"),
+                              Fault(3, "hang", seconds=0.05)])
+    model = FaultyModel(_StubModel(), schedule, sleep=slept.append)
+
+    # Call 0: unscheduled, delegates straight through.
+    out = model.encode_ragged([[1, 2]])
+    assert np.array_equal(out[0], np.full((2, 2), 3.0))
+    # Call 1: worker-fatal crash, nothing reaches the inner model.
+    with pytest.raises(InjectedWorkerCrash):
+        model.encode_ragged([[1, 2]])
+    # Call 2: plain model error (isolation path, not a crash).
+    with pytest.raises(InjectedModelError):
+        model.encode_ragged([[1, 2]])
+    assert not isinstance(InjectedModelError("x"), InjectedWorkerCrash)
+    # Call 3: hang sleeps, then computes normally.
+    out = model.encode_ragged([[4]])
+    assert slept == [0.05]
+    assert np.array_equal(out[0], np.full((1, 2), 4.0))
+
+    assert model.calls == 4
+    assert [f.kind for f in model.injected] == ["crash", "error", "hang"]
+    # Crashed/errored calls never reached the inner model.
+    assert len(model.inner.calls) == 2
+
+
+def test_faulty_model_duck_types_the_service_surface():
+    inner = _StubModel()
+    model = FaultyModel(inner, FaultSchedule())
+    assert model.eval() is model
+    assert model.config is None
+    out = model.encode_ragged([[1], [2, 3]], pad_id=0)
+    assert len(out) == 2

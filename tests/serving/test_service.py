@@ -10,13 +10,17 @@ cache.
 from __future__ import annotations
 
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.serving import (
+    DeadlineExceededError,
     InferenceService,
+    OverloadedError,
     QueueFullError,
+    RequestCancelledError,
     ServiceClosedError,
     ServiceConfig,
     build_encoder_service,
@@ -277,3 +281,125 @@ def test_double_start_rejected(encoder_service_model):
     with _service(encoder_service_model) as service:
         with pytest.raises(RuntimeError, match="already started"):
             service.start()
+
+
+def test_stop_races_concurrent_submitters_without_drops(
+        encoder_service_model):
+    """N threads submitting while stop() lands: every accepted request
+    resolves promptly -- a result or a typed ServiceClosedError, never a
+    hang or an untyped failure."""
+    service = _service(encoder_service_model, max_batch_size=4,
+                       max_wait_ms=1.0, cache_size=0)
+    service.start()
+    outcomes = []
+    outcomes_lock = threading.Lock()
+    stop_now = threading.Event()
+
+    def submitter(worker_id: int) -> None:
+        for i in range(40):
+            tokens = (1 + worker_id, 1 + (i % 9), 3)
+            try:
+                request = service.submit(tokens)
+            except ServiceClosedError:
+                with outcomes_lock:
+                    outcomes.append("rejected")
+                continue
+            try:
+                request.result(10.0)
+                label = "served"
+            except ServiceClosedError:
+                label = "closed"
+            except TimeoutError:
+                label = "hung"
+            except Exception:  # noqa: BLE001 - anything else is a drop
+                label = "dropped"
+            with outcomes_lock:
+                outcomes.append(label)
+            if stop_now.is_set():
+                return
+
+    threads = [threading.Thread(target=submitter, args=(n,))
+               for n in range(4)]
+    for thread in threads:
+        thread.start()
+    time.sleep(0.05)  # let traffic build up, then yank the service
+    stop_now.set()
+    service.stop()
+    for thread in threads:
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "a submitter is stuck"
+    counts = {label: outcomes.count(label) for label in set(outcomes)}
+    assert counts.get("hung", 0) == 0, counts
+    assert counts.get("dropped", 0) == 0, counts
+    assert counts.get("served", 0) >= 1, counts
+
+
+# --------------------------------------------------------------------------- #
+# deadlines, admission control, cancellation
+# --------------------------------------------------------------------------- #
+class _SlowModel:
+    """Delegates to the encoder after a per-call delay (first N calls)."""
+
+    def __init__(self, inner, delay_s: float, slow_calls: int = 1):
+        self.inner = inner
+        self.config = inner.config
+        self.delay_s = delay_s
+        self.slow_calls = slow_calls
+        self.calls = 0
+
+    def eval(self):
+        return self
+
+    def encode_ragged(self, sequences, pad_id=0, **kwargs):
+        self.calls += 1
+        if self.calls <= self.slow_calls:
+            time.sleep(self.delay_s)
+        return self.inner.encode_ragged(sequences, pad_id=pad_id)
+
+
+def test_deadline_expires_while_queued_not_computed(encoder_service_model):
+    """A request whose deadline passes in the queue is shed typed at
+    batch formation -- the model never sees it."""
+    model = _SlowModel(encoder_service_model, delay_s=0.3)
+    with InferenceService(model, ServiceConfig(
+            max_batch_size=1, max_wait_ms=0.0, cache_size=0)) as service:
+        blocker = service.submit((1, 2, 3))  # occupies the slow forward
+        doomed = service.submit((4, 5, 6), deadline_ms=30.0)
+        with pytest.raises(DeadlineExceededError):
+            doomed.result(10.0)
+        blocker.result(10.0)
+        snap = service.snapshot()
+    assert snap["events"]["deadline_expired"] == 1
+    # One forward for the blocker; the expired request consumed none.
+    assert model.calls == 1
+
+
+def test_admission_control_sheds_unmeetable_deadlines(
+        encoder_service_model):
+    with _service(encoder_service_model, cache_size=0) as service:
+        with pytest.raises(ValueError, match="deadline_ms"):
+            service.submit((1, 2), deadline_ms=0.0)
+        service.infer((1, 2, 3))  # prime the forward-time estimator
+        assert service.estimated_wait_seconds() > 0.0
+        with pytest.raises(OverloadedError):
+            service.submit((4, 5, 6), deadline_ms=1e-6)
+        # A generous deadline is admitted and served normally.
+        request = service.submit((4, 5, 6), deadline_ms=30000.0)
+        assert request.result(30.0) is not None
+        snap = service.snapshot()
+    assert snap["events"]["overloaded"] == 1
+
+
+def test_cancel_before_formation_prevents_compute(encoder_service_model):
+    model = _SlowModel(encoder_service_model, delay_s=0.3)
+    with InferenceService(model, ServiceConfig(
+            max_batch_size=1, max_wait_ms=0.0, cache_size=0)) as service:
+        blocker = service.submit((1, 2, 3))
+        abandoned = service.submit((4, 5, 6))
+        assert abandoned.cancel() is True
+        with pytest.raises(RequestCancelledError):
+            abandoned.result(10.0)
+        blocker.result(10.0)
+        snap = service.snapshot()
+    assert model.calls == 1, "a cancelled request must not reach the model"
+    assert snap["events"]["skipped_cancelled"] == 1

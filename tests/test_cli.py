@@ -209,3 +209,67 @@ class TestServingCommands:
         assert "cache hit rate:" in out
         assert payload["workload"]["engine"] == "plan"
         assert payload["batched"]["forward_p50_ms"] is not None
+
+
+class TestRobustnessCommands:
+    def test_parser_registers_daemon_and_chaos_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["daemon", "--smoke", "4"])
+        assert args.command == "daemon" and args.smoke == 4
+        assert args.port == 0 and args.max_restarts == 5
+        args = parser.parse_args(["daemon", "--port", "7777",
+                                  "--max-restarts", "2",
+                                  "--hang-timeout", "0.5"])
+        assert args.port == 7777 and args.max_restarts == 2
+        assert args.hang_timeout == 0.5 and args.smoke == 0
+        args = parser.parse_args(["loadtest", "--chaos", "--quick",
+                                  "--crash-rate", "0.2",
+                                  "--deadline-ms", "100"])
+        assert args.chaos and args.quick
+        assert args.crash_rate == 0.2 and args.deadline_ms == 100.0
+        assert parser.parse_args(["loadtest"]).chaos is False
+
+    def test_daemon_smoke_round_trips_over_a_real_socket(self, capsys):
+        assert main(["daemon", "--smoke", "3", "--max-batch-size", "4",
+                     "--max-wait-ms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 requests ok" in out
+        assert "bitwise_identical_to_solo=True" in out
+
+    def test_daemon_rejects_unknown_kernel(self, capsys):
+        assert main(["daemon", "--kernel", "not-a-kernel",
+                     "--smoke", "1"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_chaos_loadtest_asserts_zero_drop(self, capsys):
+        assert main(["loadtest", "--chaos", "--quick", "--requests", "48",
+                     "--batch-size", "4", "--seed", "2",
+                     "--deadline-ms", "150"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-drop holds" in out
+        assert "verified bitwise against solo inference" in out
+        assert "warn-only" in out
+
+    def test_serve_interrupt_is_a_graceful_shutdown(self, capsys,
+                                                    monkeypatch):
+        """SIGINT/SIGTERM mid-session: drain, final stats, exit 0."""
+
+        class _InterruptingStdin:
+            def __init__(self, lines):
+                self._lines = iter(lines)
+
+            def __iter__(self):
+                return self
+
+            def __next__(self):
+                try:
+                    return next(self._lines)
+                except StopIteration:
+                    raise KeyboardInterrupt  # the signal handler's path
+
+        monkeypatch.setattr("sys.stdin", _InterruptingStdin(["3 5 7\n"]))
+        assert main(["serve", "--max-batch-size", "2",
+                     "--max-wait-ms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "interrupted; draining and shutting down gracefully" in out
+        assert "served 1 requests" in out
