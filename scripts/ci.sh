@@ -5,8 +5,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static analysis (repro lint, hard fail on new findings) =="
+python -m repro.cli lint
+
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== lockwatch serving pass (hard fail on lock-order cycles) =="
+REPRO_LOCKWATCH=1 python -m pytest tests/serving -q
 
 echo "== kernel benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_kernels --quick

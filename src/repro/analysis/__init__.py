@@ -1,0 +1,75 @@
+"""Static analysis of the repo's own contracts, plus a dynamic lock watcher.
+
+Entry points:
+
+* ``repro lint`` (see :mod:`repro.cli`) -- run :data:`DEFAULT_RULES`
+  over ``src/repro`` against the committed ``lint-baseline.json``.
+* :mod:`repro.analysis.lockwatch` -- opt-in lock-order recording for
+  the serving test suite (``REPRO_LOCKWATCH=1``).
+"""
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    finding_fingerprints,
+    load_baseline,
+    partition_findings,
+    save_baseline,
+)
+from repro.analysis.engine import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    LintEngine,
+    LintReport,
+    ModuleSource,
+    Rule,
+)
+from repro.analysis.locks import LockDisciplineRule
+from repro.analysis.lockwatch import LockOrderWatcher, WatchedLock, install
+from repro.analysis.rules import (
+    DeterminismRule,
+    HotPathAllocationRule,
+    KernelContractRule,
+    ToleranceContractRule,
+)
+
+
+def default_rules():
+    """Fresh instances of the full rule set, R1 through R5."""
+    return [
+        HotPathAllocationRule(),
+        KernelContractRule(),
+        ToleranceContractRule(),
+        DeterminismRule(),
+        LockDisciplineRule(),
+    ]
+
+
+#: Shared instances for one-shot use; prefer :func:`default_rules` when
+#: running more than one engine (R5 carries prepare() state).
+DEFAULT_RULES = default_rules()
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_RULES",
+    "DeterminismRule",
+    "Finding",
+    "HotPathAllocationRule",
+    "KernelContractRule",
+    "LintEngine",
+    "LintReport",
+    "LockDisciplineRule",
+    "LockOrderWatcher",
+    "ModuleSource",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "ToleranceContractRule",
+    "WatchedLock",
+    "default_rules",
+    "finding_fingerprints",
+    "install",
+    "load_baseline",
+    "partition_findings",
+    "save_baseline",
+]

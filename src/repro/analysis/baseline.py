@@ -1,0 +1,99 @@
+"""Committed lint baselines: accepted findings that must not block CI.
+
+A baseline is a JSON file of finding *fingerprints*.  A fingerprint is
+``rule|path|<stripped source line>|<occurrence index>`` -- anchored to the
+text of the offending line rather than its line number, so unrelated
+edits above a baselined finding do not invalidate it, while editing the
+offending line itself (the thing the rule actually looks at) does.  The
+occurrence index disambiguates identical lines flagged by the same rule
+in the same file.
+
+Workflow:
+
+* ``repro lint`` compares the current findings against the baseline:
+  findings in the baseline are reported as accepted, new ones fail the
+  run, baseline entries that no longer match anything are reported as
+  stale (warn-only -- prune them with ``--update-baseline``).
+* ``repro lint --update-baseline`` rewrites the file from the current
+  findings.  The diff of the baseline file *is* the review surface for
+  newly accepted deviations.
+
+Prefer inline ``# repro: allow(<rule>)`` comments (with a one-line
+justification) for deviations that are local and deliberate; the baseline
+is for pre-existing long tails where annotating every site would drown
+the code in comments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding
+
+#: Baseline file-format version (bumped on incompatible changes).
+BASELINE_VERSION = 1
+
+
+def finding_fingerprints(findings: Sequence[Finding]) -> List[str]:
+    """Stable fingerprints for ``findings``, in finding order.
+
+    Occurrence indices are assigned per ``(rule, path, source)`` group in
+    (path, line) order, so two identical offending lines in one file get
+    distinct fingerprints and the mapping is deterministic.
+    """
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    seen: Dict[Tuple[str, str, str], int] = {}
+    by_finding: Dict[int, str] = {}
+    for f in ordered:
+        group = (f.rule, f.path, f.source)
+        index = seen.get(group, 0)
+        seen[group] = index + 1
+        by_finding[id(f)] = f"{f.rule}|{f.path}|{f.source}|{index}"
+    return [by_finding[id(f)] for f in findings]
+
+
+def load_baseline(path: Path) -> Set[str]:
+    """Fingerprint set from a baseline file; empty when the file is absent."""
+    path = Path(path)
+    if not path.exists():
+        return set()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {payload.get('version')!r} in "
+            f"{path} (expected {BASELINE_VERSION})")
+    return set(payload.get("fingerprints", []))
+
+
+def save_baseline(path: Path, findings: Sequence[Finding]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    path = Path(path)
+    fingerprints = sorted(set(finding_fingerprints(findings)))
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": "Accepted `repro lint` findings; regenerate with "
+                   "`python -m repro.cli lint --update-baseline`.",
+        "fingerprints": fingerprints,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(fingerprints)
+
+
+def partition_findings(
+    findings: Sequence[Finding], baseline: Iterable[str],
+) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings into (new, accepted) and list stale baseline entries."""
+    baseline = set(baseline)
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    matched: Set[str] = set()
+    for f, fingerprint in zip(findings, finding_fingerprints(findings)):
+        if fingerprint in baseline:
+            accepted.append(f)
+            matched.add(fingerprint)
+        else:
+            new.append(f)
+    stale = sorted(baseline - matched)
+    return new, accepted, stale

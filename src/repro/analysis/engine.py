@@ -1,0 +1,234 @@
+"""AST-based invariant lint engine.
+
+The repo's load-bearing contracts -- the workspace-aware kernel surface
+``fn(x, axis=-1, out=None, scratch=None)``, the zero-allocation hot path,
+opt-in-with-documented-tolerance for anything non-bitwise, seeded
+determinism, and lock discipline in the serving layer -- used to exist
+only as ROADMAP prose plus dynamic checks that fire *after* a violation
+ships.  This engine makes them machine-checked at commit time:
+
+* :class:`LintEngine` walks a package tree, parses every module once into
+  a :class:`ModuleSource` (AST with parent links, source lines, and
+  suppression comments), and runs a list of pluggable :class:`Rule`
+  visitors over it.
+* Rules emit structured :class:`Finding` records (rule id, file:line,
+  severity, message, the offending source line) instead of free text, so
+  the CLI can render them, JSON-serialize them, and diff them against a
+  committed baseline (:mod:`repro.analysis.baseline`).
+* Intentional deviations are annotated in place: a ``# repro:
+  allow(R1)`` comment on the offending line (or the line above it)
+  suppresses that rule there; placed on a ``def`` line (or directly above
+  one) it suppresses the rule for the whole function body.  ``allow(*)``
+  suppresses every rule.  Suppressions are the reviewed, justified
+  escape hatch; the baseline file is for the pre-existing long tail.
+
+The rule set itself lives in :mod:`repro.analysis.rules` (R1-R4) and
+:mod:`repro.analysis.locks` (R5); ``repro lint`` (the CLI) wires the
+pieces together and is the commit-time entry point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Finding severities.  ``error`` findings fail the lint run (unless
+#: baselined or suppressed); ``warning`` findings are reported but never
+#: fail it.
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+#: ``# repro: allow(R1)`` / ``# repro: allow(R1, R5)`` / ``# repro: allow(*)``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\(([^)]*)\)")
+
+#: Attribute stashed on AST nodes to link each node to its parent.
+_PARENT = "_repro_parent"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One structured lint finding.
+
+    ``source`` is the stripped text of the offending line; it anchors the
+    baseline fingerprint so findings survive unrelated line-number drift.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = SEVERITY_ERROR
+    source: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.severity}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "severity": self.severity,
+            "message": self.message,
+            "source": self.source,
+        }
+
+
+class ModuleSource:
+    """One parsed module: AST with parent links, lines, suppressions."""
+
+    def __init__(self, path: Path, relpath: str, text: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=str(path))
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                setattr(child, _PARENT, node)
+        #: line -> rule ids allowed on that line ("*" allows everything).
+        self._allow: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(line)
+            if match:
+                rules = {item.strip() for item in match.group(1).split(",")
+                         if item.strip()}
+                self._allow[lineno] = rules or {"*"}
+        #: (first_line, last_line, rules) ranges from def-level allows.
+        self._allow_ranges: List[Tuple[int, int, Set[str]]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            rules = (self._allow.get(node.lineno, set())
+                     | self._allow.get(node.lineno - 1, set()))
+            if rules:
+                self._allow_ranges.append(
+                    (node.lineno, node.end_lineno or node.lineno, rules))
+
+    # ------------------------------------------------------------------ #
+    def source_line(self, lineno: int) -> str:
+        """Stripped source text of ``lineno`` (1-based; empty if out of range)."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def suppressed(self, rule: str, lineno: int) -> bool:
+        """True when ``rule`` is allowed at ``lineno`` (inline or def-level)."""
+        for probe in (lineno, lineno - 1):
+            rules = self._allow.get(probe)
+            if rules and ("*" in rules or rule in rules):
+                return True
+        for lo, hi, rules in self._allow_ranges:
+            if lo <= lineno <= hi and ("*" in rules or rule in rules):
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def parents(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Ancestors of ``node``, innermost first."""
+        current = getattr(node, _PARENT, None)
+        while current is not None:
+            yield current
+            current = getattr(current, _PARENT, None)
+
+    def enclosing_functions(self, node: ast.AST) -> List[ast.AST]:
+        """Enclosing function defs, innermost first."""
+        return [p for p in self.parents(node)
+                if isinstance(p, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def enclosing_classes(self, node: ast.AST) -> List[ast.ClassDef]:
+        """Enclosing class defs, innermost first."""
+        return [p for p in self.parents(node) if isinstance(p, ast.ClassDef)]
+
+    def qualname(self, node: ast.AST) -> str:
+        """Dotted name of a def/class: enclosing scopes joined with '.'."""
+        parts = [getattr(node, "name", type(node).__name__)]
+        for parent in self.parents(node):
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.ClassDef)):
+                parts.append(parent.name)
+        return ".".join(reversed(parts))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``rule_id``/``title`` and implement :meth:`check`;
+    :meth:`applies_to` scopes the rule to a path subset, and
+    :meth:`prepare` (optional) sees every in-scope module before the
+    per-module checks run -- rules that need cross-module state (the lock
+    checker's protected-attribute seeding) build it there.
+    """
+
+    rule_id = "R?"
+    title = ""
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def prepare(self, modules: Sequence[ModuleSource]) -> None:
+        pass
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def finding(self, module: ModuleSource, node: ast.AST, message: str,
+                severity: str = SEVERITY_ERROR) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``'s line."""
+        lineno = getattr(node, "lineno", 0)
+        return Finding(rule=self.rule_id, path=module.relpath, line=lineno,
+                       message=message, severity=severity,
+                       source=module.source_line(lineno))
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    modules_scanned: int = 0
+    suppressed: int = 0
+
+
+class LintEngine:
+    """Walk a package tree and run every rule over every module."""
+
+    def __init__(self, root: Path, rules: Sequence[Rule]) -> None:
+        self.root = Path(root)
+        self.rules = list(rules)
+
+    def _load_modules(self) -> Tuple[List[ModuleSource], List[Finding]]:
+        modules: List[ModuleSource] = []
+        errors: List[Finding] = []
+        for path in sorted(self.root.rglob("*.py")):
+            relpath = path.relative_to(self.root).as_posix()
+            try:
+                text = path.read_text(encoding="utf-8")
+                modules.append(ModuleSource(path, relpath, text))
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                errors.append(Finding(
+                    rule="parse", path=relpath,
+                    line=getattr(exc, "lineno", 0) or 0,
+                    message=f"could not parse module: {exc}"))
+        return modules, errors
+
+    def run(self) -> LintReport:
+        report = LintReport()
+        modules, errors = self._load_modules()
+        report.findings.extend(errors)
+        report.modules_scanned = len(modules)
+        for rule in self.rules:
+            in_scope = [m for m in modules if rule.applies_to(m.relpath)]
+            rule.prepare(in_scope)
+            for module in in_scope:
+                for finding in rule.check(module):
+                    if module.suppressed(finding.rule, finding.line):
+                        report.suppressed += 1
+                        continue
+                    report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+        return report

@@ -1,0 +1,260 @@
+"""R5 -- static lock discipline over the serving layer.
+
+The serving stack is the one place the repo runs real concurrency:
+worker threads, the micro-batcher, the supervisor's heartbeat monitor,
+and the asyncio daemon all share state behind small ``threading.Lock``
+regions.  Two classes of bug there are cheap to write and expensive to
+debug:
+
+* **blocking while holding a lock** -- a model forward, ``queue.get``,
+  socket/file IO, or a sleep inside a ``with self._lock:`` region turns
+  a micro-critical-section into a convoy (and, with the supervisor's
+  heartbeat, into a false hang detection);
+* **mutating shared state outside the lock** -- a field that is guarded
+  by ``_lock`` in one method and mutated bare in another is a data race
+  whose window only opens under production load.
+
+This rule builds a per-function lock-scope model from ``with
+self._lock:`` regions, then checks both directions.  The protected
+attribute set is *seeded from the code itself* in :meth:`prepare`: any
+``self.X`` assigned or mutated inside a lock region anywhere in
+``serving/`` is considered lock-protected everywhere in ``serving/``.
+
+Conventions the checker understands:
+
+* methods named ``*_locked`` are caller-holds-the-lock helpers; bare
+  mutations inside them are in-scope by contract and not flagged;
+* ``__init__``/``__post_init__`` construct before the object is shared
+  and are exempt from the mutation check;
+* ``Condition.wait`` is not a blocking call for this purpose (it
+  releases the lock while waiting).
+
+The dynamic complement -- lock-order cycle detection across the live
+test suite -- is :mod:`repro.analysis.lockwatch`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+#: Attribute/variable names that denote a lock object.
+_LOCK_NAME_RE = re.compile(r"(?i)lock|mutex")
+
+#: Methods that mutate their receiver in place (list/deque/dict/set).
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "extendleft", "insert", "pop",
+    "popleft", "popitem", "remove", "discard", "clear", "add", "update",
+    "setdefault", "sort", "reverse",
+})
+
+#: Method names suffix-matching "sleep" (``time.sleep``, ``self._sleep``).
+_SLEEP_RE = re.compile(r"^_*sleep$")
+
+#: Model-forward shapes: ``self.model(...)``, ``self._model(...)``,
+#: ``x.forward(...)``.
+_FORWARD_RE = re.compile(r"^_*(model|forward)$")
+
+#: Socket/file IO methods flagged unconditionally under a lock.
+_IO_METHODS = frozenset({"recv", "recv_into", "sendall", "accept",
+                         "connect", "readline", "readlines"})
+
+#: ``read``/``write``/``send`` only when the receiver smells like IO.
+_IO_AMBIGUOUS = frozenset({"read", "write", "send", "flush"})
+_IO_RECEIVER_RE = re.compile(r"(?i)sock|conn|file|stream|pipe|fh|fp|writer|reader")
+
+#: Setup scopes exempt from the outside-lock mutation check.
+_SETUP_FUNCTIONS = frozenset({"__init__", "__post_init__"})
+
+
+def _attr_chain_tail(node: ast.AST) -> Optional[str]:
+    """Trailing identifier of a Name/Attribute chain (``a.b.c`` -> ``c``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_lock_expr(node: ast.AST) -> Optional[str]:
+    """Lock name when ``node`` is a lock-shaped with-item expression."""
+    tail = _attr_chain_tail(node)
+    if tail is not None and _LOCK_NAME_RE.search(tail):
+        return tail
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """Attribute name when ``node`` is ``self.X``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+class LockDisciplineRule(Rule):
+    """R5: no blocking under a lock, no bare mutation of guarded state."""
+
+    rule_id = "R5"
+    title = "serving lock discipline"
+
+    def __init__(self) -> None:
+        #: ``self.X`` names observed assigned/mutated under a lock
+        #: anywhere in scope -- the shared-state set the mutation check
+        #: enforces.  Seeded in :meth:`prepare`.
+        self.protected_attrs: Set[str] = set()
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("serving/")
+
+    # ------------------------------------------------------------------ #
+    # lock-scope model
+    # ------------------------------------------------------------------ #
+    def _lock_withs(self, module: ModuleSource) -> List[Tuple[ast.With, str]]:
+        """Every ``with <lock>:`` node in the module, with its lock name."""
+        found = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                name = _is_lock_expr(item.context_expr)
+                if name:
+                    found.append((node, name))
+                    break
+        return found
+
+    def _held_lock(self, module: ModuleSource,
+                   node: ast.AST) -> Optional[str]:
+        """Name of the innermost lock held at ``node``, if any."""
+        for parent in module.parents(node):
+            if isinstance(parent, (ast.With, ast.AsyncWith)):
+                for item in parent.items:
+                    name = _is_lock_expr(item.context_expr)
+                    if name:
+                        return name
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return None  # lock scopes do not cross function boundaries
+        return None
+
+    # ------------------------------------------------------------------ #
+    # prepare: seed the protected-attribute set from lock regions
+    # ------------------------------------------------------------------ #
+    def _mutated_self_attrs(self, body_node: ast.AST) -> Iterator[str]:
+        for sub in ast.walk(body_node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (sub.targets if isinstance(sub, ast.Assign)
+                           else [sub.target])
+                for target in targets:
+                    attr = _self_attr(target)
+                    if attr:
+                        yield attr
+                    elif isinstance(target, ast.Subscript):
+                        attr = _self_attr(target.value)
+                        if attr:
+                            yield attr
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in MUTATOR_METHODS):
+                    attr = _self_attr(func.value)
+                    if attr:
+                        yield attr
+
+    def prepare(self, modules: Sequence[ModuleSource]) -> None:
+        self.protected_attrs = set()
+        for module in modules:
+            for with_node, _ in self._lock_withs(module):
+                for attr in self._mutated_self_attrs(with_node):
+                    if not _LOCK_NAME_RE.search(attr):
+                        self.protected_attrs.add(attr)
+
+    # ------------------------------------------------------------------ #
+    # check 1: blocking calls while a lock is held
+    # ------------------------------------------------------------------ #
+    def _blocking_reason(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        tail = _attr_chain_tail(func)
+        if tail is None:
+            return None
+        if _SLEEP_RE.match(tail):
+            return f"{tail}() sleeps"
+        if _FORWARD_RE.match(tail):
+            return f"{tail}() runs a model forward"
+        if isinstance(func, ast.Attribute):
+            receiver = _attr_chain_tail(func.value) or ""
+            if tail in ("get", "put"):
+                queue_ish = bool(re.search(r"(?i)queue|_q$|^q$", receiver))
+                has_timeout = any(kw.arg in ("timeout", "block")
+                                  for kw in node.keywords)
+                bare_get = (tail == "get" and not node.args
+                            and not node.keywords)
+                if queue_ish or has_timeout or bare_get:
+                    return f"{receiver or '<expr>'}.{tail}() can block"
+            if tail in _IO_METHODS:
+                return f".{tail}() does socket/file IO"
+            if tail in _IO_AMBIGUOUS and _IO_RECEIVER_RE.search(receiver):
+                return f"{receiver}.{tail}() does socket/file IO"
+        elif isinstance(func, ast.Name) and func.id == "open":
+            return "open() does file IO"
+        return None
+
+    def _check_blocking(self, module: ModuleSource) -> Iterable[Finding]:
+        for with_node, lock_name in self._lock_withs(module):
+            for sub in ast.walk(with_node):
+                if sub is with_node or not isinstance(sub, ast.Call):
+                    continue
+                reason = self._blocking_reason(sub)
+                if reason is None:
+                    continue
+                yield self.finding(
+                    module, sub,
+                    f"blocking call while holding {lock_name!r}: {reason}; "
+                    "move it outside the critical section (stage under the "
+                    "lock, act after release)")
+
+    # ------------------------------------------------------------------ #
+    # check 2: guarded state mutated outside any lock scope
+    # ------------------------------------------------------------------ #
+    def _check_mutations(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            attr: Optional[str] = None
+            verb = "assigned"
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    attr = _self_attr(target) or (
+                        _self_attr(target.value)
+                        if isinstance(target, ast.Subscript) else None)
+                    if attr:
+                        break
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr in MUTATOR_METHODS):
+                    attr = _self_attr(func.value)
+                    verb = f"mutated via .{func.attr}()"
+            if not attr or attr not in self.protected_attrs:
+                continue
+            functions = module.enclosing_functions(node)
+            if not functions:
+                continue
+            fn_name = functions[0].name
+            if fn_name in _SETUP_FUNCTIONS or fn_name.endswith("_locked"):
+                continue
+            if self._held_lock(module, node) is not None:
+                continue
+            yield self.finding(
+                module, node,
+                f"self.{attr} is lock-protected (mutated under a lock "
+                f"elsewhere in serving/) but {verb} here with no lock held; "
+                "take the lock or rename the helper *_locked if the caller "
+                "holds it")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        yield from self._check_blocking(module)
+        yield from self._check_mutations(module)

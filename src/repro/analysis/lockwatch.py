@@ -1,0 +1,219 @@
+"""Dynamic lock-order watcher: the runtime complement to R5.
+
+Static analysis sees lock *scopes*; it cannot see lock *order* across
+threads.  A lock-order inversion -- thread A takes L1 then L2 while
+thread B takes L2 then L1 -- deadlocks only under the right interleaving
+and passes every unit test until it doesn't.  This module records the
+actual acquisition order across a live run and fails on cycles:
+
+* :func:`install` monkeypatches ``threading.Lock``/``threading.RLock``
+  with factories returning :class:`WatchedLock` wrappers.  Each wrapper
+  is named after its creation site (``Lock@service.py:87``) and reports
+  acquisitions/releases to a :class:`LockOrderWatcher`.
+* The watcher keeps a per-thread stack of held locks and an edge set
+  ``held -> acquired``.  A cycle in that graph is a potential deadlock
+  even if no run ever deadlocked.
+* ``tests/serving/conftest.py`` installs this for the whole serving
+  suite when ``REPRO_LOCKWATCH=1``, and fails the session on cycles;
+  ``scripts/ci.sh`` runs that configuration as a hard-fail stage.
+
+The watcher's own mutex is a raw ``_thread`` lock allocated before any
+patching, so installing the watcher can never recurse into itself.
+Wrapped locks deliberately do not implement ``_release_save`` /
+``_acquire_restore``, which makes ``threading.Condition`` fall back to
+its generic acquire/release path -- wait-loops work unchanged.
+"""
+
+from __future__ import annotations
+
+import _thread
+import sys
+import threading
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class LockOrderWatcher:
+    """Records lock-acquisition order and detects order cycles."""
+
+    def __init__(self) -> None:
+        self._mutex = _thread.allocate_lock()
+        #: thread ident -> stack of held lock names (acquisition order).
+        self._held: Dict[int, List[str]] = {}
+        #: lock name -> set of lock names acquired while it was held.
+        self._edges: Dict[str, Set[str]] = {}
+        #: (held, acquired) -> thread name that first created the edge.
+        self._edge_witness: Dict[Tuple[str, str], str] = {}
+        self.acquisitions = 0
+
+    # ------------------------------------------------------------------ #
+    def notify_acquired(self, name: str) -> None:
+        ident = _thread.get_ident()
+        with self._mutex:
+            self.acquisitions += 1
+            stack = self._held.setdefault(ident, [])
+            for held in stack:
+                if held != name:  # RLock reentrance is not an ordering edge
+                    if name not in self._edges.setdefault(held, set()):
+                        self._edges[held].add(name)
+                        self._edge_witness[(held, name)] = (
+                            threading.current_thread().name)
+            stack.append(name)
+
+    def notify_released(self, name: str) -> None:
+        ident = _thread.get_ident()
+        with self._mutex:
+            stack = self._held.get(ident, [])
+            # Remove the most recent acquisition of this lock; out-of-order
+            # releases (legal, if unusual) still keep the stack consistent.
+            for i in range(len(stack) - 1, -1, -1):
+                if stack[i] == name:
+                    del stack[i]
+                    break
+
+    # ------------------------------------------------------------------ #
+    def edges(self) -> Dict[str, Set[str]]:
+        with self._mutex:
+            return {src: set(dst) for src, dst in self._edges.items()}
+
+    def cycles(self) -> List[List[str]]:
+        """Every elementary order cycle found by DFS, as name paths.
+
+        A returned ``[A, B]`` means A was held while acquiring B *and* B
+        was held while acquiring A somewhere in the run -- a potential
+        deadlock regardless of whether this run interleaved into one.
+        """
+        graph = self.edges()
+        cycles: List[List[str]] = []
+        seen_cycles: Set[Tuple[str, ...]] = set()
+        visiting: List[str] = []
+        on_path: Set[str] = set()
+        done: Set[str] = set()
+
+        def visit(node: str) -> None:
+            visiting.append(node)
+            on_path.add(node)
+            for succ in sorted(graph.get(node, ())):
+                if succ in on_path:
+                    cycle = visiting[visiting.index(succ):]
+                    # Canonicalize rotation so each cycle reports once.
+                    pivot = cycle.index(min(cycle))
+                    key = tuple(cycle[pivot:] + cycle[:pivot])
+                    if key not in seen_cycles:
+                        seen_cycles.add(key)
+                        cycles.append(list(key))
+                elif succ not in done:
+                    visit(succ)
+            on_path.discard(node)
+            visiting.pop()
+            done.add(node)
+
+        for node in sorted(graph):
+            if node not in done:
+                visit(node)
+        return cycles
+
+    def report(self) -> str:
+        """Human-readable summary of edges and any cycles."""
+        graph = self.edges()
+        lines = [f"lockwatch: {self.acquisitions} acquisitions, "
+                 f"{sum(len(v) for v in graph.values())} order edge(s)"]
+        for src in sorted(graph):
+            for dst in sorted(graph[src]):
+                witness = self._edge_witness.get((src, dst), "?")
+                lines.append(f"  {src} -> {dst}  [first seen on {witness}]")
+        found = self.cycles()
+        if found:
+            lines.append(f"  LOCK-ORDER CYCLE(S): {len(found)}")
+            for cycle in found:
+                lines.append("    " + " -> ".join(cycle + [cycle[0]]))
+        else:
+            lines.append("  no lock-order cycles")
+        return "\n".join(lines)
+
+
+class WatchedLock:
+    """A lock wrapper that reports acquisition order to a watcher."""
+
+    def __init__(self, inner, name: str, watcher: LockOrderWatcher) -> None:
+        self._inner = inner
+        self._name = name
+        self._watcher = watcher
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._watcher.notify_acquired(self._name)
+        return acquired
+
+    def release(self) -> None:
+        self._watcher.notify_released(self._name)
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __getattr__(self, attr):
+        # Stdlib internals poke at lock extras (`_at_fork_reinit`, ...);
+        # anything we don't wrap passes straight through.  Acquisitions
+        # via such bypasses are simply not recorded.
+        return getattr(self._inner, attr)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"<WatchedLock {self._name} wrapping {self._inner!r}>"
+
+
+#: The process-wide watcher :func:`install` defaults to.
+default_watcher = LockOrderWatcher()
+
+_installed = False
+
+
+def _creation_site(depth: int) -> str:
+    frame = sys._getframe(depth)
+    return f"{Path(frame.f_code.co_filename).name}:{frame.f_lineno}"
+
+
+def install(watcher: Optional[LockOrderWatcher] = None) -> Callable[[], None]:
+    """Patch ``threading.Lock``/``RLock`` to produce watched locks.
+
+    Returns an ``uninstall()`` closure restoring the real factories.
+    Locks created *before* install (or after uninstall) are simply not
+    watched; already-created watched locks keep reporting to their
+    watcher, which is harmless.  Install is refused while another
+    install is active -- nested patching would double-wrap.
+    """
+    global _installed
+    if _installed:
+        raise RuntimeError("lockwatch is already installed")
+    target = watcher if watcher is not None else default_watcher
+    real_lock = threading.Lock
+    real_rlock = threading.RLock
+
+    def make_lock():
+        return WatchedLock(real_lock(), f"Lock@{_creation_site(2)}", target)
+
+    def make_rlock():
+        return WatchedLock(real_rlock(), f"RLock@{_creation_site(2)}", target)
+
+    threading.Lock = make_lock  # type: ignore[assignment]
+    threading.RLock = make_rlock  # type: ignore[assignment]
+    _installed = True
+
+    def uninstall() -> None:
+        global _installed
+        threading.Lock = real_lock  # type: ignore[assignment]
+        threading.RLock = real_rlock  # type: ignore[assignment]
+        _installed = False
+
+    return uninstall

@@ -1,0 +1,459 @@
+"""The first-class rule set: the repo's own contracts, encoded (R1-R4).
+
+Each rule statically enforces an invariant earlier PRs established
+dynamically (benchmark assertions, equivalence suites, chaos tests):
+
+* **R1** -- hot-path allocation discipline (PR 5's zero-allocation
+  kernel boundary).
+* **R2** -- workspace-aware kernel-contract conformance and oracle
+  pinning for bit-accurate kernels (PRs 1-2, 5).
+* **R3** -- machine-readable ``Tolerance:`` docstring tags on anything
+  that trades away bitwise transparency (PRs 4, 6).
+* **R4** -- seeded determinism: no draws from unseeded or global RNG
+  state in the numeric core or the fault injector (PR 7).
+
+R5 (lock discipline) lives in :mod:`repro.analysis.locks`.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.engine import Finding, ModuleSource, Rule
+
+# --------------------------------------------------------------------------- #
+# R1 -- hot-path allocation discipline
+# --------------------------------------------------------------------------- #
+
+#: ``np.X(...)`` constructors that allocate a fresh array.
+NUMPY_ALLOCATORS = frozenset({
+    "empty", "zeros", "ones", "full",
+    "empty_like", "zeros_like", "ones_like", "full_like",
+    "concatenate", "stack", "vstack", "hstack", "tile",
+})
+
+#: ndarray methods that allocate a fresh array per call.
+METHOD_ALLOCATORS = frozenset({"copy", "astype"})
+
+#: One-time construction scopes: allocation here is setup, not hot path.
+_SETUP_FUNCTIONS = frozenset({"__init__", "__post_init__", "__init_subclass__"})
+
+#: The allocator implementations themselves (they ARE the sanctioned
+#: allocation points the hot path draws from).
+_ALLOCATOR_CLASSES = frozenset({"KernelWorkspace", "WorkspaceArena"})
+
+#: Files where only attention-shaped scopes are hot paths.
+_ATTENTION_FILES = frozenset({"nn/functional.py", "nn/attention.py"})
+_ATTENTION_SCOPE_RE = re.compile(r"(?i)attention|attend|chunk|merge|stream")
+
+
+def _is_none_check(test: ast.AST) -> bool:
+    """True for ``X is None`` / ``X is not None`` (optionally or-ed)."""
+    if isinstance(test, ast.BoolOp):
+        return any(_is_none_check(value) for value in test.values)
+    if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+        return _is_none_check(test.operand)
+    return (isinstance(test, ast.Compare)
+            and all(isinstance(op, (ast.Is, ast.IsNot)) for op in test.ops)
+            and any(isinstance(c, ast.Constant) and c.value is None
+                    for c in test.comparators))
+
+
+class HotPathAllocationRule(Rule):
+    """R1: no per-call array allocation on the kernel/plan hot paths.
+
+    Scope: ``kernels/`` (except the workspace/arena allocators),
+    ``infer/plan.py``, and attention-shaped scopes of ``nn/functional.py``
+    / ``nn/attention.py``.  Flags ``np.empty/zeros/...`` constructors and
+    ``.copy()``/``.astype()`` method calls.
+
+    Sanctioned patterns are exempt statically:
+
+    * module-level and ``__init__``/``__post_init__``/``_build*`` scopes
+      (one-time construction, not per-call cost);
+    * allocations under an ``is None`` guard -- the documented fallback
+      "allocate only when the caller provided no ``out=``/``scratch=``
+      buffer" (PR 5's compat path; the steady-state hot path always
+      passes buffers, which the encoder benchmark asserts dynamically).
+
+    Anything else is either a real per-call allocation to fix, or a
+    deliberate one to annotate with ``# repro: allow(R1)`` plus a
+    justification.
+    """
+
+    rule_id = "R1"
+    title = "hot-path allocation discipline"
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath.startswith("kernels/"):
+            return relpath != "kernels/workspace.py"
+        return relpath in {"infer/plan.py"} | _ATTENTION_FILES
+
+    # ------------------------------------------------------------------ #
+    def _allocation_kind(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return None
+        if (func.attr in NUMPY_ALLOCATORS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("np", "numpy")):
+            return f"np.{func.attr}()"
+        if func.attr in METHOD_ALLOCATORS:
+            return f".{func.attr}()"
+        return None
+
+    def _exempt(self, module: ModuleSource, node: ast.Call,
+                relpath: str) -> bool:
+        functions = module.enclosing_functions(node)
+        if not functions:
+            return True  # module-level: one-time setup
+        for fn in functions:
+            if fn.name in _SETUP_FUNCTIONS or fn.name.startswith("_build"):
+                return True
+        for cls in module.enclosing_classes(node):
+            if cls.name in _ALLOCATOR_CLASSES:
+                return True
+        for parent in module.parents(node):
+            if isinstance(parent, ast.If) and _is_none_check(parent.test):
+                return True
+        if relpath in _ATTENTION_FILES:
+            names = [fn.name for fn in functions]
+            names.extend(cls.name for cls in module.enclosing_classes(node))
+            if not any(_ATTENTION_SCOPE_RE.search(name) for name in names):
+                return True  # not an attention hot path in these files
+        return False
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = self._allocation_kind(node)
+            if kind is None or self._exempt(module, node, module.relpath):
+                continue
+            yield self.finding(
+                module, node,
+                f"hot-path allocation: {kind} allocates a fresh array per "
+                "call; stage it on the KernelWorkspace/arena, write into a "
+                "caller buffer, or annotate the deliberate exception")
+
+
+# --------------------------------------------------------------------------- #
+# R2 -- kernel-contract conformance
+# --------------------------------------------------------------------------- #
+
+#: The workspace-aware kernel contract's trailing parameters and defaults.
+_CONTRACT_PARAMS = ("axis", "out", "scratch")
+
+
+def _default_value(node: Optional[ast.AST]):
+    """Literal default of a parameter (``-1``/``None``), else a sentinel."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if (isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub)
+            and isinstance(node.operand, ast.Constant)):
+        return -node.operand.value
+    return _default_value  # unmatchable sentinel
+
+
+def _param_defaults(args: ast.arguments) -> dict:
+    """Map parameter name -> literal default (missing params absent)."""
+    table = {}
+    positional = list(args.posonlyargs) + list(args.args)
+    defaults = list(args.defaults)
+    for arg, default in zip(positional[len(positional) - len(defaults):],
+                            defaults):
+        table[arg.arg] = _default_value(default)
+    for arg in positional[:len(positional) - len(defaults)]:
+        table.setdefault(arg.arg, _param_defaults)  # present, no default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        table[arg.arg] = (_default_value(default) if default is not None
+                          else _param_defaults)
+    return table
+
+
+class KernelContractRule(Rule):
+    """R2: registered kernels obey the workspace-aware call contract.
+
+    Two statically checkable halves of the registry contract:
+
+    * every kernel-shaped ``__call__`` in ``kernels/`` (second parameter
+      named ``x``) must carry ``axis=-1, out=None, scratch=None`` -- the
+      surface :func:`repro.kernels.registry.resolve_kernel` promises for
+      every resolved kernel;
+    * every ``KernelSpec(...)`` declaring ``bit_accurate=True`` must also
+      declare ``runner_factory=`` so ``tests/kernels/test_equivalence.py``
+      auto-pins the kernel to the slice-loop oracle (a bit-accurate
+      kernel that the equivalence suite cannot see is an unverified
+      claim).
+    """
+
+    rule_id = "R2"
+    title = "workspace-aware kernel-contract conformance"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("kernels/")
+
+    def _check_call_signature(self, module: ModuleSource,
+                              cls: ast.ClassDef) -> Iterable[Finding]:
+        for item in cls.body:
+            if (isinstance(item, ast.FunctionDef) and item.name == "__call__"):
+                params = [a.arg for a in item.args.args]
+                if len(params) < 2 or params[1] != "x":
+                    return  # not kernel-shaped (helper callable)
+                defaults = _param_defaults(item.args)
+                expected = {"axis": -1, "out": None, "scratch": None}
+                for name in _CONTRACT_PARAMS:
+                    if name not in defaults:
+                        yield self.finding(
+                            module, item,
+                            f"kernel {module.qualname(cls)!r}.__call__ is "
+                            f"missing the contract parameter "
+                            f"{name}={expected[name]!r} "
+                            "(fn(x, axis=-1, out=None, scratch=None))")
+                    elif defaults[name] != expected[name]:
+                        yield self.finding(
+                            module, item,
+                            f"kernel {module.qualname(cls)!r}.__call__ "
+                            f"parameter {name!r} must default to "
+                            f"{expected[name]!r} per the workspace-aware "
+                            "contract")
+                return
+
+    def _check_spec(self, module: ModuleSource,
+                    node: ast.Call) -> Iterable[Finding]:
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        bit_accurate = keywords.get("bit_accurate")
+        declared_accurate = (isinstance(bit_accurate, ast.Constant)
+                            and bit_accurate.value is True)
+        if declared_accurate and "runner_factory" not in keywords:
+            name = keywords.get("name")
+            label = (name.value if isinstance(name, ast.Constant)
+                     else "<unnamed>")
+            yield self.finding(
+                module, node,
+                f"KernelSpec {label!r} declares bit_accurate=True without a "
+                "runner_factory; the equivalence suite cannot auto-pin it "
+                "to the slice-loop oracle")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_call_signature(module, node)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "KernelSpec"):
+                yield from self._check_spec(module, node)
+
+
+# --------------------------------------------------------------------------- #
+# R3 -- tolerance-contract lint
+# --------------------------------------------------------------------------- #
+
+#: Parameters that opt a call path out of bitwise transparency.
+TOLERANCE_PARAMS = frozenset({"fuse_qkv", "block_kv"})
+
+_TOLERANCE_TAG_RE = re.compile(r"\bTolerance:")
+
+
+class ToleranceContractRule(Rule):
+    """R3: bitwise-transparency opt-ins carry a ``Tolerance:`` docstring tag.
+
+    Anything that trades away bitwise equality with the oracle path
+    (fusion, chunked merges, lower precision) is opt-in *with a
+    documented tolerance* -- the convention ``fuse_qkv`` and ``block_kv``
+    established.  This rule finds every function whose signature carries
+    one of those opt-in parameters and actually *implements* the traded
+    path (uses the parameter beyond forwarding it onward), then requires
+    a machine-readable ``Tolerance:`` tag in its docstring.
+
+    Pure plumbing is exempt: passing the parameter through as a same-name
+    keyword argument or dict entry, storing it on ``self``, or gating on
+    ``is None`` / ``is not None`` does not implement the contract, it
+    routes to it.
+    """
+
+    rule_id = "R3"
+    title = "tolerance-contract documentation"
+
+    def _is_forwarding_use(self, module: ModuleSource, use: ast.Name) -> bool:
+        parent = next(module.parents(use), None)
+        name = use.id
+        if isinstance(parent, ast.keyword) and parent.arg == name:
+            return True  # f(..., fuse_qkv=fuse_qkv)
+        if isinstance(parent, ast.Dict):
+            for key, value in zip(parent.keys, parent.values):
+                if value is use:
+                    return (isinstance(key, ast.Constant)
+                            and key.value == name)
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+            targets = (parent.targets if isinstance(parent, ast.Assign)
+                       else [parent.target])
+            def _same_name_store(t):
+                if isinstance(t, ast.Attribute) and t.attr == name:
+                    return True  # self.fuse_qkv = fuse_qkv
+                return (isinstance(t, ast.Subscript)
+                        and isinstance(t.slice, ast.Constant)
+                        and t.slice.value == name)  # kw["fuse_qkv"] = fuse_qkv
+            if all(_same_name_store(t) for t in targets):
+                return True
+        if isinstance(parent, ast.Compare) and _is_none_check(parent):
+            return True  # if block_kv is not None: ... (routing, not use)
+        return False
+
+    def _implementing_params(self, module: ModuleSource,
+                             fn: ast.AST) -> List[str]:
+        arg_names = {a.arg for a in (list(fn.args.posonlyargs)
+                                     + list(fn.args.args)
+                                     + list(fn.args.kwonlyargs))}
+        params = sorted(arg_names & TOLERANCE_PARAMS)
+        if not params:
+            return []
+        nested = {n for inner in ast.walk(fn)
+                  if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef))
+                  and inner is not fn
+                  for n in ast.walk(inner)}
+        implementing = []
+        for param in params:
+            for node in ast.walk(fn):
+                if node in nested:
+                    continue  # nested defs shadow/close over; skip
+                if (isinstance(node, ast.Name) and node.id == param
+                        and isinstance(node.ctx, ast.Load)
+                        and not self._is_forwarding_use(module, node)):
+                    implementing.append(param)
+                    break
+        return implementing
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            params = self._implementing_params(module, node)
+            if not params:
+                continue
+            doc = ast.get_docstring(node)
+            if doc and _TOLERANCE_TAG_RE.search(doc):
+                continue
+            yield self.finding(
+                module, node,
+                f"{module.qualname(node)!r} implements the bitwise-"
+                f"transparency opt-in(s) {', '.join(params)} but its "
+                "docstring has no machine-readable 'Tolerance:' tag "
+                "documenting the traded accuracy")
+
+
+# --------------------------------------------------------------------------- #
+# R4 -- determinism lint
+# --------------------------------------------------------------------------- #
+
+#: Seeded RNG constructors (fine *with* an explicit seed argument).
+_NP_SEEDED_CTORS = frozenset({"default_rng", "RandomState", "SeedSequence",
+                              "Generator", "PCG64", "Philox"})
+_PY_SEEDED_CTORS = frozenset({"Random", "SystemRandom"})
+
+#: Module-level draw functions of :mod:`random` (the unseeded global RNG).
+_PY_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "betavariate",
+    "expovariate", "triangular", "getrandbits", "vonmisesvariate",
+})
+
+#: Wall-clock sources that make a seed run-dependent.
+_TIME_ATTRS = frozenset({"time", "time_ns", "monotonic", "monotonic_ns",
+                         "perf_counter", "perf_counter_ns"})
+
+
+def _contains_time_call(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if (isinstance(func, ast.Attribute) and func.attr in _TIME_ATTRS
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"):
+            return True
+        if (isinstance(func, ast.Attribute) and func.attr in ("now", "utcnow")
+                and isinstance(func.value, ast.Name)
+                and func.value.id in ("datetime", "date")):
+            return True
+    return False
+
+
+class DeterminismRule(Rule):
+    """R4: no unseeded or time-dependent randomness in deterministic zones.
+
+    Scope: ``core/``, ``kernels/``, ``infer/`` (bitwise reproducibility
+    is the product) and ``serving/faults.py`` (chaos schedules must
+    replay from their recorded seed alone).  Flags draws from the global
+    ``np.random``/``random`` state, unseeded generator construction
+    (``default_rng()`` / ``Random()`` with no arguments), global seeding
+    (``np.random.seed``), and seeds derived from the wall clock.
+    """
+
+    rule_id = "R4"
+    title = "seeded determinism"
+
+    _SCOPE_PREFIXES = ("core/", "kernels/", "infer/")
+    _SCOPE_FILES = ("serving/faults.py",)
+
+    def applies_to(self, relpath: str) -> bool:
+        return (relpath.startswith(self._SCOPE_PREFIXES)
+                or relpath in self._SCOPE_FILES)
+
+    def _check_ctor(self, module: ModuleSource, node: ast.Call,
+                    label: str) -> Iterable[Finding]:
+        if not node.args and not node.keywords:
+            yield self.finding(
+                module, node,
+                f"{label}() constructed without a seed draws entropy from "
+                "the OS; pass an explicit seed so runs replay")
+        elif any(_contains_time_call(arg) for arg in
+                 list(node.args) + [kw.value for kw in node.keywords]):
+            yield self.finding(
+                module, node,
+                f"{label}(...) is seeded from the wall clock; a seed must "
+                "be a recorded, replayable input")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            value = func.value
+            # np.random.X(...)
+            if (isinstance(value, ast.Attribute) and value.attr == "random"
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in ("np", "numpy")):
+                if func.attr in _NP_SEEDED_CTORS:
+                    yield from self._check_ctor(
+                        module, node, f"np.random.{func.attr}")
+                elif func.attr == "seed":
+                    yield self.finding(
+                        module, node,
+                        "np.random.seed mutates process-global RNG state; "
+                        "use a local seeded np.random.default_rng(seed)")
+                else:
+                    yield self.finding(
+                        module, node,
+                        f"np.random.{func.attr} draws from the global "
+                        "unseeded generator; use a seeded "
+                        "np.random.default_rng(seed)")
+            # random.X(...)
+            elif isinstance(value, ast.Name) and value.id == "random":
+                if func.attr in _PY_SEEDED_CTORS:
+                    yield from self._check_ctor(
+                        module, node, f"random.{func.attr}")
+                elif func.attr == "seed":
+                    yield self.finding(
+                        module, node,
+                        "random.seed mutates process-global RNG state; use "
+                        "a local seeded random.Random(seed)")
+                elif func.attr in _PY_DRAWS:
+                    yield self.finding(
+                        module, node,
+                        f"random.{func.attr} draws from the global unseeded "
+                        "generator; use a seeded random.Random(seed)")

@@ -558,6 +558,76 @@ def _cmd_model_cost(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    import repro
+    from repro.analysis import (
+        LintEngine, default_rules, load_baseline, partition_findings,
+        save_baseline,
+    )
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+    if args.rule:
+        wanted = {r.upper() for r in args.rule}
+        known = {rule.rule_id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(f"repro lint: unknown rule(s): {', '.join(sorted(unknown))} "
+                  f"(known: {', '.join(sorted(known))})")
+            return 2
+        rules = [rule for rule in rules if rule.rule_id in wanted]
+
+    root = Path(args.root) if args.root else Path(repro.__file__).parent
+    if not root.is_dir():
+        print(f"repro lint: no such directory: {root}")
+        return 2
+    default_baseline = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+    baseline_path = Path(args.baseline) if args.baseline else default_baseline
+
+    report = LintEngine(root, rules).run()
+
+    if args.update_baseline:
+        count = save_baseline(baseline_path, report.findings)
+        print(f"repro lint: wrote {count} fingerprint(s) to {baseline_path}")
+        return 0
+
+    try:
+        baseline = load_baseline(baseline_path)
+    except ValueError as exc:
+        print(f"repro lint: {exc}")
+        return 2
+    new, accepted, stale = partition_findings(report.findings, baseline)
+    new_errors = [f for f in new if f.severity == "error"]
+
+    if args.json:
+        print(json.dumps({
+            "modules_scanned": report.modules_scanned,
+            "suppressed": report.suppressed,
+            "new": [f.to_dict() for f in new],
+            "accepted": [f.to_dict() for f in accepted],
+            "stale_baseline": stale,
+        }, indent=2))
+    else:
+        for finding in new:
+            print(finding.format())
+        summary = (f"repro lint: {report.modules_scanned} module(s), "
+                   f"{len(new)} new finding(s) "
+                   f"({len(new_errors)} error), {len(accepted)} baselined, "
+                   f"{report.suppressed} suppressed inline")
+        if stale:
+            summary += (f"; {len(stale)} stale baseline entr"
+                        f"{'y' if len(stale) == 1 else 'ies'} "
+                        "(prune with --update-baseline)")
+        print(summary)
+    return 1 if new_errors else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -769,6 +839,23 @@ def build_parser() -> argparse.ArgumentParser:
                             default="bert-large")
     model_cost.add_argument("--seq-len", type=int, default=512)
 
+    lint = sub.add_parser("lint",
+                          help="static checks of the repo's contracts "
+                               "(R1-R5) against the committed baseline")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON")
+    lint.add_argument("--rule", action="append", metavar="ID",
+                      help="run only this rule (repeatable, e.g. --rule R1)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.add_argument("--root", default=None,
+                      help="package tree to lint (default: the installed "
+                           "repro package)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline file (default: <repo>/lint-baseline.json)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the rule catalog and exit")
+
     return parser
 
 
@@ -786,6 +873,7 @@ _HANDLERS = {
     "loadtest": _cmd_loadtest,
     "latency": _cmd_latency,
     "model-cost": _cmd_model_cost,
+    "lint": _cmd_lint,
 }
 
 

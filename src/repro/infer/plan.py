@@ -174,6 +174,12 @@ class InferencePlan:
         chunked_masked_attention`); such plans reject additive masks in
         :meth:`run` -- use :meth:`run_ragged` with a prefix mask, or no
         mask.
+
+        Tolerance: defaults (fuse_qkv=False, block_kv=None) are bitwise
+        vs the autograd graph path; fuse_qkv trades bitwise equality for
+        one wide QKV GEMM (BLAS blocking order, pinned by
+        tests/infer/test_plan.py), block_kv inherits
+        chunked_masked_attention's merge contract.
         """
         input_kind = getattr(model, "plan_input_kind", None)
         if input_kind is None or not hasattr(model, "export_plan"):

@@ -336,11 +336,13 @@ class BlockedSoftermaxKernel:
                 sum_codes = f._quantize_sum_codes(
                     ucodes.sum(axis=-1, dtype=sum_dtype))
                 running_max, rs = f._online_merge(slice_max_f, sum_codes)
+                # repro: allow(R1): O(rows) sum-code cast, not O(rows*len)
                 rs_codes = rs.astype(np.int64)
             else:
                 running_max = global_max
                 sum_dtype = (np.int32 if padded_len * self._sum_bound_per_element
                              < 2**31 else np.int64)
+                # repro: allow(R1): O(rows) sum-code cast, not O(rows*len)
                 rs_codes = f._quantize_sum_codes(
                     ucodes.sum(axis=(-2, -1), dtype=sum_dtype)).astype(np.int64)
             running_sum = rs_codes * f._sum_res
@@ -387,7 +389,9 @@ class BlockedSoftermaxKernel:
             outblk[...] = out.reshape(b, padded_len)[:, :length]
             return ufloat
 
+        # repro: allow(R1): O(rows) shift-count cast
         k = np.minimum(-shift_exp, float(f._max_shift)).astype(f._work_dtype)
+        # repro: allow(R1): O(rows) reciprocal-code cast
         recip_codes = np.rint(reciprocal / f._recip_res).astype(f._work_dtype)
         prod = prod_scratch[:b * padded_len].reshape(b, num_slices, width)
         if k.any():

@@ -326,6 +326,7 @@ class FusedSoftermaxKernel:
         sum_codes = self._quantize_sum_codes(ucodes.sum(axis=-1,
                                                         dtype=np.int64))
         running_max, rs_codes = self._online_merge(slice_max_f, sum_codes)
+        # repro: allow(R1): O(rows) sum-code cast, not O(rows*len)
         running_sum = rs_codes.astype(np.int64) * self._sum_res
 
         ufloat = self._take(ws, "fused.ufloat", tiles.shape, np.float64)
@@ -438,6 +439,7 @@ class FusedSoftermaxKernel:
         if cfg.use_online_normalization:
             sum_codes = self._quantize_sum_codes(ucodes.sum(axis=-1, dtype=np.int64))
             running_max, rs_codes = self._online_merge(slice_max_f, sum_codes)
+            # repro: allow(R1): O(rows) sum-code cast, not O(rows*len)
             rs_codes = rs_codes.astype(np.int64)
             running_sum = rs_codes * self._sum_res
         else:
@@ -493,6 +495,7 @@ class FusedSoftermaxKernel:
                 scaled = mc << (fm - fi)
             else:
                 scaled = np.floor(mc * (self._in_res / self._max_res) + 0.5)
+        # repro: allow(R1): O(rows*slices) max-code cast, small vs the tiles
         return _clip(scaled, cfg.max_fmt.min_code,
                      cfg.max_fmt.max_code).astype(np.int32)
 
@@ -528,6 +531,7 @@ class FusedSoftermaxKernel:
         smf = slice_max_f.transpose(perm)
         acc = np.maximum.accumulate(smf, axis=0)
         running_max = acc[-1]
+        # repro: allow(R1): O(slices*rows) merge-state staging
         sc = sum_codes.transpose(perm).astype(np.float64)
         if num_slices == 1:
             return running_max, sc[0]
@@ -553,6 +557,7 @@ class FusedSoftermaxKernel:
         # integer-valued after a floor).  Common case: the running maximum
         # stabilizes after the first few slices.
         needs_mul = (run_shift != 1.0).reshape(num_slices - 1, -1).any(axis=1)
+        # repro: allow(R1): O(rows) running-state seed for the recurrence
         rs = sc[0].copy()
         for s in range(1, num_slices):
             if needs_mul[s - 1]:
@@ -602,7 +607,9 @@ class FusedSoftermaxKernel:
 
         # shift_exp <= 0; cap the shift count below the work dtype's bit
         # width (the codes are long gone to zero by then).
+        # repro: allow(R1): O(rows) shift-count cast
         k = np.minimum(-shift_exp, float(self._max_shift)).astype(self._work_dtype)
+        # repro: allow(R1): O(rows) reciprocal-code cast
         recip_codes = np.rint(reciprocal / self._recip_res).astype(self._work_dtype)
         # The product overwrites the unnormalized codes in place: they are
         # not read again (the intermediates snapshot was taken above).
@@ -636,6 +643,8 @@ class FusedSoftermaxKernel:
     # ------------------------------------------------------------------ #
     # float fallback (no diff LUT)
     # ------------------------------------------------------------------ #
+    # Cold fallback for operating points too wide to tabulate; whole-tensor
+    # float math allocates by design.  # repro: allow(R1)
     def _forward_float(self, moved: np.ndarray, want_intermediates: bool):
         """Whole-tensor float path for operating points too wide to tabulate.
 

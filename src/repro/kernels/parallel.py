@@ -247,6 +247,7 @@ class ParallelSoftermaxKernel:
             np.copyto(np.ndarray((rows, length), dtype=np.float64,
                                  buffer=shm_in.buf), x2)
             nw = min(self.workers, rows)
+            # repro: allow(R1): O(workers) shard boundaries
             bounds = np.linspace(0, rows, nw + 1).astype(int)
             tasks = [(shm_in.name, shm_out.name, rows, length,
                       int(bounds[i]), int(bounds[i + 1]))

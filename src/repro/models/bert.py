@@ -199,6 +199,11 @@ class BertEncoderModel(Module):
         (``fuse_qkv``, ``block_kv``); ``load_state_dict`` and
         ``set_softmax_variant`` invalidate the cache, other mutations
         (e.g. attaching quantizers) need ``refresh=True``.
+
+        Tolerance: the default plan (fuse_qkv=False, block_kv=None) is
+        bitwise vs the graph forward; either opt-in inherits the
+        corresponding contract in
+        :meth:`~repro.infer.plan.InferencePlan.from_model`.
         """
         from repro.infer import InferencePlan
 

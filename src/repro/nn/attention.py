@@ -187,6 +187,7 @@ class MultiHeadSelfAttention(Module):
             scores = scores + Tensor(additive)
 
         if self.capture_scores:
+            # repro: allow(R1): opt-in debug capture; the copy is the snapshot
             self.last_scores = scores.data.copy()
 
         probs = F.attention_softmax(scores, self.softmax_variant)
@@ -201,7 +202,11 @@ class MultiHeadSelfAttention(Module):
                                 block_kv: Optional[int] = None) -> np.ndarray:
         """Length-grouped exact-mask attention (see
         :func:`repro.nn.functional.exact_masked_attention`, shared with the
-        plan engine); ``block_kv`` selects the chunked O(block) path."""
+        plan engine); ``block_kv`` selects the chunked O(block) path.
+
+        Tolerance: block_kv=None (and groups <= block_kv) is bitwise;
+        longer groups inherit chunked_masked_attention's merge contract.
+        """
         if block_kv is not None:
             return F.chunked_masked_attention(
                 q, k, v, lengths, 1.0 / np.sqrt(self.head_dim),
@@ -239,6 +244,11 @@ class MultiHeadSelfAttention(Module):
         attends over the full sequence; block buffers are staged on the
         plan's arena-backed workspace.  Additive masks are rejected at the
         plan level (see :meth:`repro.infer.plan.InferencePlan.run`).
+
+        Tolerance: fuse_qkv trades bitwise equality for one wide GEMM
+        (BLAS blocking order; pinned by tests/infer/test_plan.py);
+        block_kv inherits chunked_masked_attention's merge contract.
+        Both default off = bitwise.
         """
         heads, head_dim = self.num_heads, self.head_dim
         hidden_dim = self.hidden_dim
@@ -262,8 +272,10 @@ class MultiHeadSelfAttention(Module):
                     "fuse_qkv cannot fuse quantized projections (each "
                     "carries its own input-quantizer scale); compile with "
                     "fuse_qkv=False")
+            # repro: allow(R1): plan export is compile-time, not per-call
             fused_weight = np.concatenate(
                 [p.plan_weight() for p in projections], axis=1)
+            # repro: allow(R1): plan export is compile-time, not per-call
             fused_bias = np.concatenate(
                 [p.plan_bias() for p in projections])
             qkv_reg = builder.reg(f"{prefix}.qkv_fused")

@@ -448,6 +448,12 @@ def chunked_masked_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
     ``out``/``arena``/``scratch`` follow the PR 5 allocation-free contract:
     block buffers are staged on the caller's workspace (arena-backed in the
     plan executor), so steady-state executions allocate nothing.
+
+    Tolerance: bitwise vs exact_masked_attention for groups <= block_kv;
+    longer groups: float variants within CHUNKED_MERGE_RTOL /
+    CHUNKED_MERGE_ATOL, Softermax variants within ~output_fmt.resolution
+    * sqrt(L) * max|V| per context element (pinned by
+    tests/nn/test_chunked_attention.py).
     """
     block_kv = int(block_kv)
     if block_kv < 1:

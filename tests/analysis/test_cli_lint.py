@@ -1,0 +1,142 @@
+"""`repro lint` end to end: seeded violations, baseline workflow, real tree."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+pytestmark = pytest.mark.analysis
+
+#: One seeded violation per rule, in the layout each rule scopes to.
+SEEDED = {
+    "R1": ("kernels/hot.py", """\
+        import numpy as np
+
+        def forward(x):
+            return np.empty(x.shape)
+        """),
+    "R2": ("kernels/contract.py", """\
+        class Kernel:
+            def __call__(self, x, axis=-1):
+                return x
+        """),
+    "R3": ("nn/fusion.py", """\
+        def export(builder, fuse_qkv=False):
+            '''Emit ops.'''
+            if fuse_qkv:
+                return builder.fused()
+            return builder.plain()
+        """),
+    "R4": ("core/rand.py", """\
+        import numpy as np
+
+        def draw():
+            return np.random.rand(3)
+        """),
+    "R5": ("serving/svc.py", """\
+        import time
+
+        class Service:
+            def submit(self, job):
+                with self._lock:
+                    self._jobs.append(job)
+                    time.sleep(0.1)
+        """),
+}
+
+
+def seed_tree(tmp_path, rules):
+    root = tmp_path / "pkg"
+    for rule in rules:
+        relpath, source = SEEDED[rule]
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def run_lint(tmp_path, *extra, rules=("R1",)):
+    root = seed_tree(tmp_path, rules)
+    baseline = tmp_path / "baseline.json"
+    return main(["lint", "--root", str(root),
+                 "--baseline", str(baseline), *extra])
+
+
+@pytest.mark.parametrize("rule", sorted(SEEDED))
+def test_each_rule_fails_on_its_seeded_violation(tmp_path, capsys, rule):
+    assert run_lint(tmp_path, rules=(rule,)) == 1
+    out = capsys.readouterr().out
+    assert f" {rule} error: " in out
+
+
+def test_all_rules_together(tmp_path, capsys):
+    assert run_lint(tmp_path, rules=tuple(sorted(SEEDED))) == 1
+    out = capsys.readouterr().out
+    for rule in SEEDED:
+        assert f" {rule} error: " in out
+
+
+def test_rule_filter_skips_other_rules(tmp_path):
+    # Tree seeds only an R1 violation; linting only R4 is clean.
+    assert run_lint(tmp_path, "--rule", "R4", rules=("R1",)) == 0
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    assert run_lint(tmp_path, "--rule", "R99") == 2
+    assert "unknown rule" in capsys.readouterr().out
+
+
+def test_update_baseline_then_clean_run(tmp_path, capsys):
+    assert run_lint(tmp_path, "--update-baseline") == 0
+    assert run_lint(tmp_path) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # The violation is accepted, not gone: without the baseline it fails.
+    assert main(["lint", "--root", str(tmp_path / "pkg"),
+                 "--baseline", str(tmp_path / "fresh.json")]) == 1
+
+
+def test_fixing_a_baselined_finding_turns_it_stale(tmp_path, capsys):
+    assert run_lint(tmp_path, "--update-baseline") == 0
+    relpath, _ = SEEDED["R1"]
+    (tmp_path / "pkg" / relpath).write_text(
+        "def forward(x):\n    return x\n", encoding="utf-8")
+    # Re-run without re-seeding: the fixed file leaves the entry stale.
+    assert main(["lint", "--root", str(tmp_path / "pkg"),
+                 "--baseline", str(tmp_path / "baseline.json")]) == 0
+    assert "stale baseline" in capsys.readouterr().out
+
+
+def test_json_report_shape(tmp_path, capsys):
+    assert run_lint(tmp_path, "--json") == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["modules_scanned"] == 1
+    assert [f["rule"] for f in payload["new"]] == ["R1"]
+    assert payload["accepted"] == []
+    assert payload["stale_baseline"] == []
+
+
+def test_list_rules(tmp_path, capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("R1", "R2", "R3", "R4", "R5"):
+        assert rule in out
+
+
+def test_suppression_comment_round_trip(tmp_path, capsys):
+    root = seed_tree(tmp_path, ("R1",))
+    relpath, source = SEEDED["R1"]
+    annotated = textwrap.dedent(source).replace(
+        "return np.empty(x.shape)",
+        "return np.empty(x.shape)  # repro: allow(R1)")
+    (root / relpath).write_text(annotated, encoding="utf-8")
+    assert main(["lint", "--root", str(root),
+                 "--baseline", str(tmp_path / "b.json")]) == 0
+    assert "1 suppressed inline" in capsys.readouterr().out
+
+
+def test_real_tree_is_clean_against_committed_baseline():
+    """The acceptance gate CI enforces: `repro lint` on the real package."""
+    assert main(["lint"]) == 0

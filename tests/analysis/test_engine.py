@@ -1,0 +1,207 @@
+"""Engine mechanics: suppressions, fingerprints, baseline round-trip."""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Finding, LintEngine, Rule, finding_fingerprints, load_baseline,
+    partition_findings, save_baseline,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+class EmptyCallRule(Rule):
+    """Toy rule: flag every ``np.empty`` call."""
+
+    rule_id = "T1"
+    title = "toy"
+
+    def check(self, module):
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "empty"):
+                yield self.finding(module, node, "np.empty call")
+
+
+def write_tree(root, files):
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def run(root, rules=None):
+    return LintEngine(root, rules or [EmptyCallRule()]).run()
+
+
+# --------------------------------------------------------------------------- #
+# findings and suppressions
+# --------------------------------------------------------------------------- #
+
+def test_finding_carries_location_and_source(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        def f():
+            return np.empty(3)
+        """})
+    report = run(tmp_path)
+    assert report.modules_scanned == 1
+    (finding,) = report.findings
+    assert finding.rule == "T1"
+    assert finding.path == "mod.py"
+    assert finding.line == 4
+    assert finding.severity == "error"
+    assert finding.source == "return np.empty(3)"
+    assert finding.format() == "mod.py:4: T1 error: np.empty call"
+    assert finding.to_dict()["line"] == 4
+
+
+def test_same_line_suppression(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        def f():
+            return np.empty(3)  # repro: allow(T1)
+        """})
+    report = run(tmp_path)
+    assert report.findings == []
+    assert report.suppressed == 1
+
+
+def test_line_above_suppression(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        def f():
+            # repro: allow(T1)
+            return np.empty(3)
+        """})
+    assert run(tmp_path).findings == []
+
+
+def test_def_level_suppression_covers_whole_function(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        # repro: allow(T1)
+        def f():
+            a = np.empty(3)
+            b = np.empty(4)
+            return a, b
+
+        def g():
+            return np.empty(5)
+        """})
+    report = run(tmp_path)
+    assert [f.line for f in report.findings] == [10]
+    assert report.suppressed == 2
+
+
+def test_star_allows_every_rule(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        def f():
+            return np.empty(3)  # repro: allow(*)
+        """})
+    assert run(tmp_path).findings == []
+
+
+def test_suppression_for_other_rule_does_not_apply(tmp_path):
+    write_tree(tmp_path, {"mod.py": """\
+        import numpy as np
+
+        def f():
+            return np.empty(3)  # repro: allow(R9)
+        """})
+    assert len(run(tmp_path).findings) == 1
+
+
+def test_parse_error_becomes_finding(tmp_path):
+    write_tree(tmp_path, {"broken.py": "def f(:\n"})
+    report = run(tmp_path)
+    (finding,) = report.findings
+    assert finding.rule == "parse"
+    assert finding.path == "broken.py"
+
+
+def test_applies_to_scopes_rules(tmp_path):
+    class KernelsOnly(EmptyCallRule):
+        def applies_to(self, relpath):
+            return relpath.startswith("kernels/")
+
+    write_tree(tmp_path, {
+        "kernels/a.py": "import numpy as np\nx = np.empty(1)\n",
+        "serving/b.py": "import numpy as np\nx = np.empty(1)\n",
+    })
+    report = run(tmp_path, [KernelsOnly()])
+    assert [f.path for f in report.findings] == ["kernels/a.py"]
+
+
+def test_findings_sorted_by_path_then_line(tmp_path):
+    write_tree(tmp_path, {
+        "b.py": "import numpy as np\nx = np.empty(1)\n",
+        "a.py": "import numpy as np\nx = np.empty(1)\ny = np.empty(2)\n",
+    })
+    report = run(tmp_path)
+    assert [(f.path, f.line) for f in report.findings] == [
+        ("a.py", 2), ("a.py", 3), ("b.py", 2)]
+
+
+# --------------------------------------------------------------------------- #
+# fingerprints and baseline
+# --------------------------------------------------------------------------- #
+
+def _finding(path="m.py", line=1, source="x = np.empty(1)", rule="T1"):
+    return Finding(rule=rule, path=path, line=line, message="m",
+                   source=source)
+
+
+def test_fingerprints_anchor_to_source_not_line():
+    before = _finding(line=10)
+    after = _finding(line=42)  # same offending text, drifted line number
+    assert finding_fingerprints([before]) == finding_fingerprints([after])
+
+
+def test_fingerprints_disambiguate_identical_lines():
+    a, b = _finding(line=3), _finding(line=9)
+    fps = finding_fingerprints([a, b])
+    assert len(set(fps)) == 2
+    assert fps[0].endswith("|0") and fps[1].endswith("|1")
+
+
+def test_baseline_round_trip(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [_finding(line=3), _finding(line=9, source="y = np.empty(2)")]
+    assert save_baseline(path, findings) == 2
+    baseline = load_baseline(path)
+    new, accepted, stale = partition_findings(findings, baseline)
+    assert new == [] and len(accepted) == 2 and stale == []
+
+
+def test_baseline_partition_reports_new_and_stale(tmp_path):
+    path = tmp_path / "baseline.json"
+    old = _finding(source="old_line()")
+    save_baseline(path, [old])
+    current = [_finding(source="new_line()")]
+    new, accepted, stale = partition_findings(current, load_baseline(path))
+    assert [f.source for f in new] == ["new_line()"]
+    assert accepted == []
+    assert len(stale) == 1 and "old_line()" in stale[0]
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == set()
+
+
+def test_baseline_version_mismatch_raises(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text('{"version": 99, "fingerprints": []}')
+    with pytest.raises(ValueError, match="version"):
+        load_baseline(path)

@@ -1,0 +1,178 @@
+"""Dynamic lock-order watcher: wrapper semantics and cycle detection."""
+
+import threading
+
+import pytest
+
+from repro.analysis import LockOrderWatcher, WatchedLock
+from repro.analysis import lockwatch
+
+pytestmark = pytest.mark.analysis
+
+
+def make_lock(name, watcher):
+    return WatchedLock(threading.Lock(), name, watcher)
+
+
+# --------------------------------------------------------------------------- #
+# wrapper semantics
+# --------------------------------------------------------------------------- #
+
+def test_watched_lock_acquire_release_and_context_manager():
+    watcher = LockOrderWatcher()
+    lock = make_lock("L", watcher)
+    assert lock.acquire()
+    assert lock.locked()
+    lock.release()
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+    assert watcher.acquisitions == 2
+
+
+def test_failed_try_acquire_is_not_recorded():
+    watcher = LockOrderWatcher()
+    lock = make_lock("L", watcher)
+    with lock:
+        assert lock.acquire(blocking=False) is False
+    assert watcher.acquisitions == 1
+
+
+def test_condition_and_event_work_over_watched_locks():
+    watcher = LockOrderWatcher()
+    cond = threading.Condition(make_lock("C", watcher))
+    hits = []
+
+    def waiter():
+        with cond:
+            while not hits:
+                cond.wait(timeout=5)
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    with cond:
+        hits.append(1)
+        cond.notify()
+    t.join(timeout=5)
+    assert not t.is_alive()
+    assert watcher.cycles() == []
+
+
+# --------------------------------------------------------------------------- #
+# order recording and cycles
+# --------------------------------------------------------------------------- #
+
+def test_consistent_order_has_edges_but_no_cycle():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("A", watcher), make_lock("B", watcher)
+    for _ in range(3):
+        with a:
+            with b:
+                pass
+    assert watcher.edges() == {"A": {"B"}}
+    assert watcher.cycles() == []
+    assert "no lock-order cycles" in watcher.report()
+
+
+def test_inverted_order_is_a_cycle():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("A", watcher), make_lock("B", watcher)
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+    (cycle,) = watcher.cycles()
+    assert sorted(cycle) == ["A", "B"]
+    assert "LOCK-ORDER CYCLE" in watcher.report()
+
+
+def test_inverted_order_across_threads_is_a_cycle():
+    watcher = LockOrderWatcher()
+    a, b = make_lock("A", watcher), make_lock("B", watcher)
+    # Serialized interleaving: no deadlock ever happens in this run, but
+    # the order graph still proves one is possible.
+    def forward():
+        with a:
+            with b:
+                pass
+
+    def backward():
+        with b:
+            with a:
+                pass
+
+    for target in (forward, backward):
+        t = threading.Thread(target=target)
+        t.start()
+        t.join(timeout=5)
+    assert len(watcher.cycles()) == 1
+
+
+def test_three_lock_cycle_detected():
+    watcher = LockOrderWatcher()
+    locks = {n: make_lock(n, watcher) for n in "ABC"}
+    for first, second in (("A", "B"), ("B", "C"), ("C", "A")):
+        with locks[first]:
+            with locks[second]:
+                pass
+    (cycle,) = watcher.cycles()
+    assert sorted(cycle) == ["A", "B", "C"]
+
+
+def test_rlock_reentrance_is_not_a_cycle():
+    watcher = LockOrderWatcher()
+    r = WatchedLock(threading.RLock(), "R", watcher)
+    with r:
+        with r:
+            pass
+    assert watcher.edges() == {}
+    assert watcher.cycles() == []
+
+
+# --------------------------------------------------------------------------- #
+# install / uninstall
+# --------------------------------------------------------------------------- #
+
+def test_install_patches_and_uninstall_restores():
+    watcher = LockOrderWatcher()
+    real_lock = threading.Lock
+    uninstall = lockwatch.install(watcher)
+    try:
+        lock = threading.Lock()
+        assert isinstance(lock, WatchedLock)
+        assert lock.name.startswith("Lock@test_lockwatch.py:")
+        rlock = threading.RLock()
+        assert isinstance(rlock, WatchedLock)
+        with lock:
+            pass
+        assert watcher.acquisitions >= 1
+    finally:
+        uninstall()
+    assert threading.Lock is real_lock
+    assert not isinstance(threading.Lock(), WatchedLock)
+
+
+def test_double_install_refused():
+    uninstall = lockwatch.install(LockOrderWatcher())
+    try:
+        with pytest.raises(RuntimeError, match="already installed"):
+            lockwatch.install(LockOrderWatcher())
+    finally:
+        uninstall()
+
+
+def test_installed_locks_drive_real_serving_primitives():
+    """A watched-lock world runs actual serving machinery unchanged."""
+    watcher = LockOrderWatcher()
+    uninstall = lockwatch.install(watcher)
+    try:
+        from repro.serving.batcher import PendingRequest
+
+        pending = PendingRequest(key=(1, 2, 3))
+        pending.set_result("y")
+        assert pending.result(timeout=5) == "y"
+    finally:
+        uninstall()
+    assert watcher.cycles() == []

@@ -1,0 +1,366 @@
+"""Good/bad fixture pairs for each contract rule, R1 through R5."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    DeterminismRule, HotPathAllocationRule, KernelContractRule, LintEngine,
+    LockDisciplineRule, ToleranceContractRule,
+)
+
+pytestmark = pytest.mark.analysis
+
+
+def lint(tmp_path, rule, files):
+    for relpath, source in files.items():
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return LintEngine(tmp_path, [rule]).run().findings
+
+
+# --------------------------------------------------------------------------- #
+# R1 -- hot-path allocation discipline
+# --------------------------------------------------------------------------- #
+
+def test_r1_flags_bare_allocation_in_kernels(tmp_path):
+    findings = lint(tmp_path, HotPathAllocationRule(), {"kernels/bad.py": """\
+        import numpy as np
+
+        def forward(x):
+            buf = np.empty(x.shape)
+            codes = x.astype(np.int64)
+            return buf, codes
+        """})
+    assert [f.rule for f in findings] == ["R1", "R1"]
+    assert "np.empty()" in findings[0].message
+    assert ".astype()" in findings[1].message
+
+
+def test_r1_exempts_is_none_guarded_fallback(tmp_path):
+    assert lint(tmp_path, HotPathAllocationRule(), {"kernels/good.py": """\
+        import numpy as np
+
+        def forward(x, out=None):
+            if out is None:
+                out = np.empty(x.shape)
+            return out
+        """}) == []
+
+
+def test_r1_exempts_setup_scopes(tmp_path):
+    assert lint(tmp_path, HotPathAllocationRule(), {"kernels/good.py": """\
+        import numpy as np
+
+        TABLE = np.zeros(16)
+
+        class K:
+            def __init__(self):
+                self.lut = np.empty(256)
+
+            def _build_table(self):
+                return np.zeros(8)
+        """}) == []
+
+
+def test_r1_exempts_workspace_module_and_allocator_classes(tmp_path):
+    assert lint(tmp_path, HotPathAllocationRule(), {
+        "kernels/workspace.py": """\
+            import numpy as np
+
+            def take(shape):
+                return np.empty(shape)
+            """,
+        "kernels/other.py": """\
+            import numpy as np
+
+            class WorkspaceArena:
+                def grow(self, n):
+                    return np.empty(n)
+            """,
+    }) == []
+
+
+def test_r1_scopes_nn_files_to_attention_functions(tmp_path):
+    findings = lint(tmp_path, HotPathAllocationRule(), {"nn/functional.py": """\
+        import numpy as np
+
+        def gelu(x):
+            return np.empty(x.shape)
+
+        def chunked_masked_attention(q):
+            return np.empty(q.shape)
+        """})
+    assert [f.line for f in findings] == [7]
+
+
+def test_r1_out_of_scope_files_ignored(tmp_path):
+    assert lint(tmp_path, HotPathAllocationRule(), {"serving/service.py": """\
+        import numpy as np
+
+        def handle(x):
+            return x.copy()
+        """}) == []
+
+
+# --------------------------------------------------------------------------- #
+# R2 -- kernel-contract conformance
+# --------------------------------------------------------------------------- #
+
+def test_r2_flags_missing_contract_params(tmp_path):
+    findings = lint(tmp_path, KernelContractRule(), {"kernels/k.py": """\
+        class BadKernel:
+            def __call__(self, x, axis=-1):
+                return x
+        """})
+    messages = " ".join(f.message for f in findings)
+    assert len(findings) == 2
+    assert "out=None" in messages and "scratch=None" in messages
+
+
+def test_r2_flags_wrong_default(tmp_path):
+    findings = lint(tmp_path, KernelContractRule(), {"kernels/k.py": """\
+        class BadKernel:
+            def __call__(self, x, axis=0, out=None, scratch=None):
+                return x
+        """})
+    assert len(findings) == 1
+    assert "'axis' must default to -1" in findings[0].message
+
+
+def test_r2_accepts_conforming_kernel(tmp_path):
+    assert lint(tmp_path, KernelContractRule(), {"kernels/k.py": """\
+        class GoodKernel:
+            def __call__(self, x, axis=-1, out=None, scratch=None):
+                return x
+        """}) == []
+
+
+def test_r2_ignores_non_kernel_callables(tmp_path):
+    assert lint(tmp_path, KernelContractRule(), {"kernels/helpers.py": """\
+        class Memo:
+            def __call__(self, key):
+                return key
+        """}) == []
+
+
+def test_r2_bit_accurate_spec_requires_runner_factory(tmp_path):
+    findings = lint(tmp_path, KernelContractRule(), {"kernels/reg.py": """\
+        register(KernelSpec(name="softermax-x", factory=make,
+                            bit_accurate=True))
+        register(KernelSpec(name="softermax-y", factory=make,
+                            bit_accurate=True, runner_factory=make_runner))
+        register(KernelSpec(name="softmax-float", factory=make,
+                            bit_accurate=False))
+        """})
+    assert len(findings) == 1
+    assert "'softermax-x'" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# R3 -- tolerance-contract documentation
+# --------------------------------------------------------------------------- #
+
+def test_r3_flags_implementing_site_without_tag(tmp_path):
+    findings = lint(tmp_path, ToleranceContractRule(), {"nn/mod.py": """\
+        def export(builder, fuse_qkv=False):
+            '''Emit ops.'''
+            if fuse_qkv:
+                return builder.fused()
+            return builder.plain()
+        """})
+    assert len(findings) == 1
+    assert "fuse_qkv" in findings[0].message
+    assert "Tolerance" in findings[0].message
+
+
+def test_r3_tag_satisfies_the_rule(tmp_path):
+    assert lint(tmp_path, ToleranceContractRule(), {"nn/mod.py": """\
+        def export(builder, fuse_qkv=False):
+            '''Emit ops.
+
+            Tolerance: fuse_qkv trades bitwise equality for one GEMM.
+            '''
+            if fuse_qkv:
+                return builder.fused()
+            return builder.plain()
+        """}) == []
+
+
+def test_r3_pure_forwarding_is_exempt(tmp_path):
+    assert lint(tmp_path, ToleranceContractRule(), {"models/mod.py": """\
+        def plan(model, fuse_qkv=False, block_kv=None):
+            kwargs = {"fuse_qkv": fuse_qkv}
+            if block_kv is not None:
+                kwargs["block_kv"] = block_kv
+            return model.export_plan(**kwargs)
+
+        class Holder:
+            def __init__(self, fuse_qkv=False):
+                self.fuse_qkv = fuse_qkv
+        """}) == []
+
+
+def test_r3_conversion_counts_as_implementing(tmp_path):
+    findings = lint(tmp_path, ToleranceContractRule(), {"models/mod.py": """\
+        def plan(model, fuse_qkv=False, block_kv=None):
+            '''Compile.'''
+            key = (bool(fuse_qkv), block_kv)
+            return model.cache[key]
+        """})
+    assert len(findings) == 1
+    assert "block_kv, fuse_qkv" in findings[0].message
+
+
+# --------------------------------------------------------------------------- #
+# R4 -- seeded determinism
+# --------------------------------------------------------------------------- #
+
+def test_r4_flags_global_and_unseeded_draws(tmp_path):
+    findings = lint(tmp_path, DeterminismRule(), {"core/rand.py": """\
+        import numpy as np
+        import random
+
+        def draw():
+            a = np.random.rand(3)
+            rng = np.random.default_rng()
+            np.random.seed(0)
+            b = random.random()
+            r = random.Random()
+            return a, rng, b, r
+        """})
+    assert [f.line for f in findings] == [5, 6, 7, 8, 9]
+    assert all(f.rule == "R4" for f in findings)
+
+
+def test_r4_seeded_generators_pass(tmp_path):
+    assert lint(tmp_path, DeterminismRule(), {"serving/faults.py": """\
+        import numpy as np
+        import random
+
+        def make(seed):
+            return np.random.default_rng(seed), random.Random(seed)
+        """}) == []
+
+
+def test_r4_wall_clock_seed_flagged(tmp_path):
+    findings = lint(tmp_path, DeterminismRule(), {"infer/x.py": """\
+        import time
+        import numpy as np
+
+        def make():
+            return np.random.default_rng(int(time.time()))
+        """})
+    assert len(findings) == 1
+    assert "wall clock" in findings[0].message
+
+
+def test_r4_out_of_scope_files_ignored(tmp_path):
+    assert lint(tmp_path, DeterminismRule(), {"bench/x.py": """\
+        import numpy as np
+        x = np.random.rand(3)
+        """}) == []
+
+
+# --------------------------------------------------------------------------- #
+# R5 -- serving lock discipline
+# --------------------------------------------------------------------------- #
+
+_R5_BAD = """\
+    import time
+
+    class Service:
+        def __init__(self):
+            self._jobs = []
+
+        def submit(self, job):
+            with self._lock:
+                self._jobs.append(job)
+                time.sleep(0.1)
+
+        def steal(self, job):
+            self._jobs.append(job)
+    """
+
+
+def test_r5_flags_sleep_under_lock_and_bare_mutation(tmp_path):
+    findings = lint(tmp_path, LockDisciplineRule(),
+                    {"serving/svc.py": _R5_BAD})
+    messages = [f.message for f in findings]
+    assert len(findings) == 2
+    assert any("sleep" in m and "_lock" in m for m in messages)
+    assert any("self._jobs" in m and "no lock held" in m for m in messages)
+    assert findings[-1].line == 13
+
+
+def test_r5_blocking_call_catalog(tmp_path):
+    findings = lint(tmp_path, LockDisciplineRule(), {"serving/svc.py": """\
+        class Service:
+            def drain(self):
+                with self._lock:
+                    item = self.queue.get(timeout=1.0)
+                    batch = self.model(item)
+                    self.sock.recv(1024)
+                return item, batch
+        """})
+    reasons = " ".join(f.message for f in findings)
+    assert len(findings) == 3
+    assert "can block" in reasons
+    assert "model forward" in reasons
+    assert "socket/file IO" in reasons
+
+
+def test_r5_locked_suffix_and_init_are_exempt(tmp_path):
+    assert lint(tmp_path, LockDisciplineRule(), {"serving/svc.py": """\
+        class Service:
+            def __init__(self):
+                self._jobs = []
+
+            def submit(self, job):
+                with self._lock:
+                    self._jobs.append(job)
+
+            def _drain_locked(self):
+                self._jobs.clear()
+        """}) == []
+
+
+def test_r5_protected_set_spans_modules(tmp_path):
+    findings = lint(tmp_path, LockDisciplineRule(), {
+        "serving/a.py": """\
+            class A:
+                def set(self, value):
+                    with self._lock:
+                        self._shared = value
+            """,
+        "serving/b.py": """\
+            class B:
+                def poke(self, value):
+                    self._shared = value
+            """,
+    })
+    assert [f.path for f in findings] == ["serving/b.py"]
+
+
+def test_r5_dict_get_not_flagged(tmp_path):
+    assert lint(tmp_path, LockDisciplineRule(), {"serving/svc.py": """\
+        class Service:
+            def lookup(self, key):
+                with self._lock:
+                    return self.cache.get(key)
+        """}) == []
+
+
+def test_r5_real_serving_layer_is_clean():
+    import repro
+
+    from pathlib import Path
+
+    root = Path(repro.__file__).parent
+    rule = LockDisciplineRule()
+    report = LintEngine(root, [rule]).run()
+    r5 = [f for f in report.findings if f.rule == "R5"]
+    assert r5 == []
+    # The seeding really fired: serving/ does guard state under locks.
+    assert rule.protected_attrs

@@ -1,0 +1,39 @@
+"""Opt-in lockwatch instrumentation for the serving suite.
+
+``REPRO_LOCKWATCH=1 python -m pytest tests/serving`` runs every serving
+test with ``threading.Lock``/``RLock`` patched to order-recording
+wrappers (:mod:`repro.analysis.lockwatch`).  At session end the recorded
+acquisition-order graph is printed and the session FAILS if it contains
+a lock-order cycle -- a potential deadlock no single test run would
+necessarily hit.  ``scripts/ci.sh`` runs this configuration as a
+hard-fail stage; without the env var this conftest is inert.
+"""
+
+import os
+
+_ENABLED = os.environ.get("REPRO_LOCKWATCH") == "1"
+
+_uninstall = None
+_watcher = None
+
+
+def pytest_configure(config):
+    global _uninstall, _watcher
+    if not _ENABLED:
+        return
+    from repro.analysis import lockwatch
+
+    _watcher = lockwatch.LockOrderWatcher()
+    _uninstall = lockwatch.install(_watcher)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _uninstall
+    if _uninstall is None:
+        return
+    _uninstall()
+    _uninstall = None
+    report = _watcher.report()
+    print("\n" + report)
+    if _watcher.cycles():
+        session.exitstatus = 1
