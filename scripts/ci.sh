@@ -31,6 +31,11 @@ echo "== serving smoke (serve CLI round trip) =="
 printf '1 2 3 4 5\n1 2 3 4 5\nquit\n' \
     | python -m repro.cli serve --max-batch-size 4 --max-wait-ms 1
 
+echo "== sharded serving smoke (2 worker processes on one shared-memory"
+echo "   snapshot) =="
+printf '1 2 3 4 5\n6 7 8\nquit\n' \
+    | python -m repro.cli serve --workers 2 --max-batch-size 4 --max-wait-ms 1
+
 echo "== daemon smoke (TCP round trip over a real socket; asserts wire"
 echo "   responses bitwise identical to solo inference) =="
 python -m repro.cli daemon --smoke 6 --max-batch-size 4 --max-wait-ms 1
@@ -39,6 +44,12 @@ echo "== chaos smoke (injected crashes/hangs under supervision; hard"
 echo "   zero-drop + bitwise assertions, timing warn-only) =="
 python -m repro.cli loadtest --chaos --quick --batch-size 4 \
     --deadline-ms 150 --deadline-fraction 0.3 --seed 2
+
+echo "== sharded chaos smoke (SIGKILL/stall/corruption against 2 worker"
+echo "   processes; hard zero-drop + bitwise assertions) =="
+python -m repro.cli loadtest --chaos --quick --workers 2 --requests 64 \
+    --batch-size 4 --max-wait-ms 0.5 --kill-rate 0.15 --stall-rate 0.05 \
+    --corrupt-rate 0.05 --seed 2
 
 echo "== serving benchmark smoke (warn-only baseline diff) =="
 python -m benchmarks.bench_serving --quick

@@ -30,18 +30,20 @@ from repro.analysis.rules import (
     DeterminismRule,
     HotPathAllocationRule,
     KernelContractRule,
+    SharedMemoryLifecycleRule,
     ToleranceContractRule,
 )
 
 
 def default_rules():
-    """Fresh instances of the full rule set, R1 through R5."""
+    """Fresh instances of the full rule set, R1 through R6."""
     return [
         HotPathAllocationRule(),
         KernelContractRule(),
         ToleranceContractRule(),
         DeterminismRule(),
         LockDisciplineRule(),
+        SharedMemoryLifecycleRule(),
     ]
 
 
@@ -59,6 +61,7 @@ __all__ = [
     "LintEngine",
     "LintReport",
     "LockDisciplineRule",
+    "SharedMemoryLifecycleRule",
     "LockOrderWatcher",
     "ModuleSource",
     "Rule",

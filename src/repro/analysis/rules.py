@@ -1,4 +1,4 @@
-"""The first-class rule set: the repo's own contracts, encoded (R1-R4).
+"""The first-class rule set: the repo's own contracts, encoded (R1-R4, R6).
 
 Each rule statically enforces an invariant earlier PRs established
 dynamically (benchmark assertions, equivalence suites, chaos tests):
@@ -11,6 +11,9 @@ dynamically (benchmark assertions, equivalence suites, chaos tests):
   that trades away bitwise transparency (PRs 4, 6).
 * **R4** -- seeded determinism: no draws from unseeded or global RNG
   state in the numeric core or the fault injector (PR 7).
+* **R6** -- shared-memory lifecycle: every ``SharedMemory(create=True)``
+  is paired with an ``unlink()`` error path, so crashes cannot leak
+  ``/dev/shm`` segments (PR 9's snapshot tier).
 
 R5 (lock discipline) lives in :mod:`repro.analysis.locks`.
 """
@@ -457,3 +460,94 @@ class DeterminismRule(Rule):
                         module, node,
                         f"random.{func.attr} draws from the global unseeded "
                         "generator; use a seeded random.Random(seed)")
+
+
+# --------------------------------------------------------------------------- #
+# R6 -- shared-memory lifecycle discipline
+# --------------------------------------------------------------------------- #
+
+def _contains_unlink_call(nodes) -> bool:
+    """True when any node in ``nodes`` (recursively) calls ``*.unlink()``."""
+    for root in nodes:
+        for node in ast.walk(root):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "unlink"):
+                return True
+    return False
+
+
+def _is_shm_create(node: ast.Call) -> bool:
+    """``SharedMemory(create=True, ...)`` under any import alias."""
+    func = node.func
+    name = (func.id if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None)
+    if name != "SharedMemory":
+        return False
+    return any(kw.arg == "create"
+               and isinstance(kw.value, ast.Constant)
+               and kw.value.value is True
+               for kw in node.keywords)
+
+
+class SharedMemoryLifecycleRule(Rule):
+    """R6: every created shared-memory segment has an unlink error path.
+
+    ``SharedMemory(create=True)`` allocates a segment that outlives the
+    process unless something calls ``unlink()`` -- an exception between
+    create and the happy-path cleanup leaks ``/dev/shm`` until reboot.
+    The rule accepts a creation site when either
+
+    * the enclosing function guards it: some ``try`` in the same function
+      calls ``*.unlink()`` from a ``finally`` or ``except`` handler, or
+    * ownership is transferred to an object: the segment is stored on
+      (or passed to) ``self``/a class instance whose class defines a
+      method that calls ``*.unlink()`` (e.g. ``close()``) -- the
+      :class:`~repro.serving.snapshot.SnapshotBundle` pattern.
+
+    Attach-side handles (``SharedMemory(name=...)`` without ``create``)
+    are out of scope: non-owners must *not* unlink.
+    """
+
+    rule_id = "R6"
+    title = "shared-memory lifecycle"
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call) and _is_shm_create(node)):
+                continue
+            if self._function_has_unlink_path(module, node):
+                continue
+            if self._owning_class_unlinks(module, node):
+                continue
+            yield self.finding(
+                module, node,
+                "SharedMemory(create=True) has no unlink() on any error "
+                "path here; wrap it in try/finally (or except: unlink and "
+                "re-raise), or hand the segment to an owner class whose "
+                "close() unlinks, so a crash cannot leak /dev/shm")
+
+    # ------------------------------------------------------------------ #
+    def _function_has_unlink_path(self, module: ModuleSource,
+                                  node: ast.Call) -> bool:
+        functions = module.enclosing_functions(node)
+        scope = functions[0] if functions else module.tree
+        for candidate in ast.walk(scope):
+            if not isinstance(candidate, ast.Try):
+                continue
+            if _contains_unlink_call(candidate.finalbody):
+                return True
+            if _contains_unlink_call(candidate.handlers):
+                return True
+        return False
+
+    def _owning_class_unlinks(self, module: ModuleSource,
+                              node: ast.Call) -> bool:
+        classes = module.enclosing_classes(node)
+        if not classes:
+            return False
+        for method in ast.walk(classes[0]):
+            if (isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and _contains_unlink_call(method.body)):
+                return True
+        return False

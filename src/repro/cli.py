@@ -134,10 +134,18 @@ def _cmd_table3(args: argparse.Namespace) -> int:
 
 
 def _kernel_options(args: argparse.Namespace) -> dict:
-    """Engine knobs (``--workers``, ``--block-rows``) present on ``args``."""
+    """Engine knobs (``--workers``, ``--block-rows``) present on ``args``.
+
+    Serving commands rename the pool knob ``--kernel-workers`` (their
+    ``--workers`` means shard *processes*); prefer it when present.
+    """
     options = {}
-    if getattr(args, "workers", None) is not None:
-        options["workers"] = args.workers
+    if hasattr(args, "kernel_workers"):
+        workers = args.kernel_workers
+    else:
+        workers = getattr(args, "workers", None)
+    if workers is not None:
+        options["workers"] = workers
     if getattr(args, "block_rows", None) is not None:
         options["block_rows"] = args.block_rows
     return options
@@ -150,6 +158,22 @@ def _zero_if_none(value):
 
 def _add_kernel_knobs(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for the parallel kernel "
+                             "(default: cpu count)")
+    parser.add_argument("--block-rows", type=int, default=None,
+                        help="rows per block for the blocked/parallel "
+                             "kernels (default: adaptive)")
+
+
+def _add_serving_knobs(parser: argparse.ArgumentParser) -> None:
+    """Serving-tier knobs: here ``--workers`` means shard *processes*
+    (0 = classic in-process service) and the kernel pool knob is renamed
+    ``--kernel-workers`` to stay available without a collision."""
+    parser.add_argument("--workers", type=int, default=0,
+                        help="shard worker processes sharing one "
+                             "shared-memory snapshot (0 = in-process "
+                             "service; default: 0)")
+    parser.add_argument("--kernel-workers", type=int, default=None,
                         help="worker processes for the parallel kernel "
                              "(default: cpu count)")
     parser.add_argument("--block-rows", type=int, default=None,
@@ -273,7 +297,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Interactive stdin loop over the dynamic-batching inference service."""
     import numpy as np
 
-    from repro.serving import ServiceConfig, build_encoder_service
+    from repro.serving import (
+        RestartPolicy,
+        ServiceConfig,
+        build_encoder_service,
+        build_sharded_service,
+    )
 
     config = ServiceConfig(max_batch_size=args.max_batch_size,
                            max_wait_ms=args.max_wait_ms,
@@ -283,15 +312,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                            fuse_qkv=args.fuse_qkv,
                            block_kv=args.block_kv)
     try:
-        service = build_encoder_service(model_name=args.model,
-                                        kernel=args.kernel,
-                                        kernel_options=_kernel_options(args),
-                                        seed=args.seed, config=config)
+        if args.workers > 0:
+            service = build_sharded_service(
+                model_name=args.model, kernel=args.kernel,
+                kernel_options=_kernel_options(args), seed=args.seed,
+                config=config, policy=RestartPolicy(seed=args.seed),
+                num_workers=args.workers)
+        else:
+            service = build_encoder_service(
+                model_name=args.model, kernel=args.kernel,
+                kernel_options=_kernel_options(args),
+                seed=args.seed, config=config)
     except (KeyError, TypeError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
+    mode = (f"{args.workers} shard processes" if args.workers > 0
+            else "in-process")
     print(f"serving {args.model} (engine={config.engine}, "
-          f"kernel={args.kernel}, "
+          f"kernel={args.kernel}, {mode}, "
           f"max_batch_size={config.max_batch_size}, "
           f"max_wait_ms={config.max_wait_ms}); enter whitespace-separated "
           "token ids, 'quit' to exit", flush=True)
@@ -311,6 +349,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     interrupted = False
     try:
         with service:
+            if args.workers > 0:
+                # Settle the shard boot transient so the final snapshot
+                # line reports steady-state worker health even for very
+                # short sessions.
+                service.wait_ready()
             try:
                 for line in sys.stdin:
                     line = line.strip()
@@ -353,6 +396,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"latency split: queue wait p50={p['queue_wait_p50_ms']} ms "
           f"p99={p['queue_wait_p99_ms']} ms; model forward "
           f"p50={p['forward_p50_ms']} ms p99={p['forward_p99_ms']} ms")
+    if snap.get("sharded"):
+        bundle = snap.get("snapshot") or {}
+        print(f"shards: {snap['live_workers']}/{snap['workers']} workers "
+              f"live, restarts by shard {snap['restarts_by_shard']}, "
+              f"degraded={snap['degraded'] is not None}; snapshot "
+              f"v{bundle.get('version')} checksum {bundle.get('checksum')} "
+              f"({bundle.get('total_bytes')} bytes shared)")
     return 0
 
 
@@ -362,35 +412,66 @@ def _cmd_loadtest_chaos(args: argparse.Namespace) -> int:
     The zero-drop and bitwise-transparency guarantees are **hard**
     assertions (nonzero exit on violation); latency numbers are reported
     warn-only, since fault injection makes tail latency a function of the
-    schedule, not the serving layer.
+    schedule, not the serving layer.  With ``--workers N`` the chaos runs
+    against the process-sharded service and the fault mix gains the
+    process-grade kinds (SIGKILL, heartbeat stall, snapshot corruption).
     """
-    from repro.serving.loadtest import run_chaos_loadtest
+    from repro.serving.loadtest import (
+        run_chaos_loadtest,
+        run_sharded_chaos_loadtest,
+    )
 
     num_requests = min(args.requests, 96) if args.quick else args.requests
+    sharded = args.workers > 0
     try:
-        payload = run_chaos_loadtest(
-            num_requests=num_requests, batch_size=args.batch_size,
-            max_wait_ms=args.max_wait_ms, crash_rate=args.crash_rate,
-            hang_rate=args.hang_rate, error_rate=args.error_rate,
-            hang_seconds=args.hang_seconds,
-            hang_timeout_s=args.hang_timeout,
-            max_restarts=args.max_restarts, deadline_ms=args.deadline_ms,
-            deadline_fraction=args.deadline_fraction,
-            model_name=args.model, kernel=args.kernel, seed=args.seed)
+        if sharded:
+            payload = run_sharded_chaos_loadtest(
+                num_requests=num_requests, num_workers=args.workers,
+                batch_size=args.batch_size, max_wait_ms=args.max_wait_ms,
+                kill_rate=args.kill_rate, stall_rate=args.stall_rate,
+                corrupt_rate=args.corrupt_rate, error_rate=args.error_rate,
+                hang_timeout_s=args.hang_timeout,
+                stall_timeout_s=args.stall_timeout,
+                max_restarts=args.max_restarts,
+                deadline_ms=args.deadline_ms,
+                deadline_fraction=args.deadline_fraction,
+                model_name=args.model, kernel=args.kernel, seed=args.seed)
+        else:
+            payload = run_chaos_loadtest(
+                num_requests=num_requests, batch_size=args.batch_size,
+                max_wait_ms=args.max_wait_ms, crash_rate=args.crash_rate,
+                hang_rate=args.hang_rate, error_rate=args.error_rate,
+                hang_seconds=args.hang_seconds,
+                hang_timeout_s=args.hang_timeout,
+                max_restarts=args.max_restarts, deadline_ms=args.deadline_ms,
+                deadline_fraction=args.deadline_fraction,
+                model_name=args.model, kernel=args.kernel, seed=args.seed)
     except (KeyError, TypeError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
+    seed = payload["faults"].get("seed", payload["workload"]["seed"])
     outcomes = payload["outcomes"]
     rows = [[name, count] for name, count in outcomes.items() if count]
+    flavour = (f"{args.workers} shard processes, " if sharded else "")
     print(format_table(
         ["outcome", "requests"], rows,
-        title=f"Chaos loadtest: {num_requests} requests, "
-              f"{payload['faults']['injected']} faults injected, "
+        title=f"Chaos loadtest: {num_requests} requests, {flavour}"
               f"{payload['restarts']} restarts "
-              f"(seed {payload['workload']['seed']})"))
-    print(f"fault schedule: {payload['faults']['counts']} over "
-          f"{payload['faults']['forward_calls']} forward calls; "
-          f"events: {payload['events']}")
+              f"(fault seed {seed})"))
+    if sharded:
+        bundle = payload.get("snapshot") or {}
+        print(f"fault rates: {payload['faults']}; events: "
+              f"{payload['events']}")
+        print(f"shards: {payload['live_workers']}/{args.workers} live, "
+              f"restarts by shard {payload['restarts_by_shard']}, "
+              f"degraded={payload['degraded'] is not None}, "
+              f"terminal={payload['terminal']}; snapshot "
+              f"v{bundle.get('version')} checksum {bundle.get('checksum')}")
+    else:
+        print(f"fault schedule: {payload['faults']['counts']} over "
+              f"{payload['faults']['forward_calls']} forward calls "
+              f"({payload['faults']['injected']} injected); "
+              f"events: {payload['events']}")
     print(f"latency (warn-only under faults): "
           f"p50={_zero_if_none(payload['p50_ms'])} ms "
           f"p99={_zero_if_none(payload['p99_ms'])} ms, "
@@ -413,8 +494,10 @@ def _cmd_loadtest_chaos(args: argparse.Namespace) -> int:
         failures.append("served responses diverged bitwise from solo "
                         "inference across restarts")
     if failures:
+        # The fault-schedule seed makes every failure replayable:
+        # rerun with the same seed to reproduce the exact schedule.
         for failure in failures:
-            print(f"FAIL: {failure}", file=sys.stderr)
+            print(f"FAIL: {failure} [fault seed {seed}]", file=sys.stderr)
         return 1
     print(f"zero-drop holds: {payload['resolved']}/{num_requests} requests "
           f"resolved (result or typed error); "
@@ -427,6 +510,11 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
     """Synthetic open-loop client: batched vs sequential serving."""
     if args.chaos:
         return _cmd_loadtest_chaos(args)
+    if args.workers > 0:
+        print("--workers (shard processes) requires --chaos; the plain "
+              "batched-vs-sequential loadtest is in-process only",
+              file=sys.stderr)
+        return 2
     from repro.serving.loadtest import batched_vs_sequential
 
     try:
@@ -480,10 +568,16 @@ def _cmd_loadtest(args: argparse.Namespace) -> int:
 
 
 def _cmd_daemon(args: argparse.Namespace) -> int:
-    """TCP serving daemon over the supervised inference service."""
+    """TCP serving daemon over the supervised inference service.
+
+    ``--workers N`` swaps the in-process supervised worker for N shard
+    processes on one shared-memory snapshot; the TCP surface (protocol,
+    deadlines, stats op) is identical.
+    """
     from repro.serving import (
         RestartPolicy,
         ServiceConfig,
+        build_sharded_service,
         build_supervised_service,
     )
     from repro.serving.daemon import daemon_smoke, run_daemon
@@ -499,10 +593,16 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
         policy = RestartPolicy(max_restarts=args.max_restarts,
                                hang_timeout_s=args.hang_timeout,
                                seed=args.seed)
-        service = build_supervised_service(
-            model_name=args.model, kernel=args.kernel,
-            kernel_options=_kernel_options(args), seed=args.seed,
-            config=config, policy=policy)
+        if args.workers > 0:
+            service = build_sharded_service(
+                model_name=args.model, kernel=args.kernel,
+                kernel_options=_kernel_options(args), seed=args.seed,
+                config=config, policy=policy, num_workers=args.workers)
+        else:
+            service = build_supervised_service(
+                model_name=args.model, kernel=args.kernel,
+                kernel_options=_kernel_options(args), seed=args.seed,
+                config=config, policy=policy)
     except (KeyError, TypeError, ValueError) as exc:
         print(exc.args[0] if exc.args else exc, file=sys.stderr)
         return 2
@@ -522,6 +622,12 @@ def _cmd_daemon(args: argparse.Namespace) -> int:
           f"p50={_zero_if_none(snap['p50_ms'])} ms "
           f"p99={_zero_if_none(snap['p99_ms'])} ms, "
           f"cache hit rate {snap['cache']['hit_rate']:.0%}")
+    if snap.get("sharded"):
+        bundle = snap.get("snapshot") or {}
+        print(f"shards: {args.workers} workers, restarts by shard "
+              f"{snap['restarts_by_shard']}, "
+              f"degraded={snap['degraded'] is not None}; snapshot "
+              f"v{bundle.get('version')} checksum {bundle.get('checksum')}")
     return 0
 
 
@@ -725,7 +831,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-size", type=int, default=1024,
                        help="LRU response-cache entries (0 disables)")
     serve.add_argument("--seed", type=int, default=0)
-    _add_kernel_knobs(serve)
+    _add_serving_knobs(serve)
 
     loadtest = sub.add_parser("loadtest",
                               help="synthetic open-loop client: batched vs "
@@ -787,6 +893,25 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--deadline-fraction", type=float, default=0.25,
                           help="chaos: fraction of requests carrying "
                                "--deadline-ms")
+    loadtest.add_argument("--workers", type=int, default=0,
+                          help="chaos: run against this many shard worker "
+                               "processes on one shared-memory snapshot "
+                               "(0 = in-process supervised service); the "
+                               "fault mix becomes kill/stall/corrupt")
+    loadtest.add_argument("--kill-rate", type=float, default=0.06,
+                          help="sharded chaos: per-forward SIGKILL "
+                               "probability")
+    loadtest.add_argument("--stall-rate", type=float, default=0.03,
+                          help="sharded chaos: per-forward heartbeat-stall "
+                               "probability")
+    loadtest.add_argument("--corrupt-rate", type=float, default=0.03,
+                          help="sharded chaos: per-forward probability of "
+                               "a snapshot-corruption drill (worker "
+                               "verifies a flipped copy, refuses, exits "
+                               "typed)")
+    loadtest.add_argument("--stall-timeout", type=float, default=0.3,
+                          help="sharded chaos: idle-heartbeat timeout "
+                               "before a worker is declared stalled")
 
     daemon = sub.add_parser("daemon",
                             help="asyncio TCP serving daemon (line-"
@@ -827,7 +952,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "round-trip N requests over a real socket, "
                              "verify bitwise against solo inference, "
                              "exit (used by CI)")
-    _add_kernel_knobs(daemon)
+    _add_serving_knobs(daemon)
 
     latency = sub.add_parser("latency", help="row-latency comparison")
     latency.add_argument("--seq-lens", type=int, nargs="+",
@@ -841,7 +966,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser("lint",
                           help="static checks of the repo's contracts "
-                               "(R1-R5) against the committed baseline")
+                               "(R1-R6) against the committed baseline")
     lint.add_argument("--json", action="store_true",
                       help="emit the report as JSON")
     lint.add_argument("--rule", action="append", metavar="ID",

@@ -336,3 +336,50 @@ class InferencePlan:
         return (f"InferencePlan(source={self.source!r}, "
                 f"input_kind={self.input_kind!r}, ops={self.num_ops}, "
                 f"fuse_qkv={self.fuse_qkv})")
+
+
+# --------------------------------------------------------------------------- #
+# snapshot export/import (sharded serving)
+# --------------------------------------------------------------------------- #
+def snapshot_arrays(model) -> Dict[str, np.ndarray]:
+    """Export the model's parameter arrays for snapshot publication.
+
+    Returns live references keyed by dotted parameter name -- the
+    publisher (:meth:`repro.serving.snapshot.SnapshotBundle.publish`)
+    copies them into shared memory, so no intermediate copy is taken
+    here.  Pairs with :func:`bind_snapshot_arrays` on the worker side.
+    """
+    return {name: param.data for name, param in model.named_parameters()}
+
+
+def bind_snapshot_arrays(model, arrays: Dict[str, np.ndarray]) -> None:
+    """Bind ``model``'s parameters to snapshot ``arrays`` **zero-copy**.
+
+    The worker-side import: parameters are rebound directly to the
+    (read-only, shared-memory) views, unlike
+    :meth:`~repro.nn.layers.Module.load_state_dict` which copies.  Plan
+    compilation then keeps read-only weights as-is
+    (:func:`repro.nn.layers.frozen_array_snapshot`), so every worker
+    process serves from the one published copy.  Fires
+    ``_on_state_loaded`` on every module so cached plans compiled from
+    the old weights are invalidated.
+    """
+    own = {name: param for name, param in model.named_parameters()}
+    missing = set(own) - set(arrays)
+    unexpected = set(arrays) - set(own)
+    if missing or unexpected:
+        raise KeyError(
+            f"snapshot mismatch; missing={sorted(missing)}, "
+            f"unexpected={sorted(unexpected)}")
+    for name, array in arrays.items():
+        if own[name].shape != array.shape:
+            raise ValueError(
+                f"shape mismatch for {name}: {own[name].shape} vs "
+                f"{array.shape}")
+        if array.dtype != np.float64:
+            raise ValueError(
+                f"snapshot array {name} has dtype {array.dtype}; "
+                "parameters are float64")
+        own[name].data = array
+    for module in model.modules():
+        module._on_state_loaded()

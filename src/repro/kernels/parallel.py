@@ -40,6 +40,7 @@ import numpy as np
 from repro.core.config import SoftermaxConfig, DEFAULT_CONFIG
 from repro.core.softermax import SoftermaxResult
 from repro.kernels.blocked import BlockedSoftermaxKernel
+from repro.kernels.shm import attach_shared_memory
 from repro.kernels.workspace import (
     KernelWorkspace,
     check_out_buffer,
@@ -63,17 +64,10 @@ def _init_worker(config, block_rows, lpw_method) -> None:
 
 
 def _attach(name: str) -> shared_memory.SharedMemory:
-    shm = shared_memory.SharedMemory(name=name)
-    if multiprocessing.get_start_method(allow_none=True) != "fork":
-        # Under spawn each child has its own resource tracker, which would
-        # otherwise try to unlink the parent's segment at child exit.
-        try:  # pragma: no cover - spawn-only housekeeping
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
-            pass
-    return shm
+    # Attach without ownership; under spawn the helper unregisters the
+    # segment from the child's resource tracker so child exit cannot
+    # unlink the parent's segment (see repro.kernels.shm).
+    return attach_shared_memory(name)
 
 
 def _run_rows(task) -> int:

@@ -23,6 +23,20 @@ from repro.nn import init
 from repro.nn.tensor import Tensor
 
 
+def frozen_array_snapshot(array: np.ndarray) -> np.ndarray:
+    """Snapshot a parameter array for a compiled inference plan.
+
+    Plans freeze their weights at compile time, which normally means a
+    private copy (the live parameter may be mutated by training or
+    ``load_state_dict`` later).  A **read-only** array is already frozen
+    -- in particular the zero-copy shared-memory views a sharded serving
+    worker binds via :func:`repro.infer.plan.bind_snapshot_arrays` -- so
+    it is shared as-is: N worker processes compile N plans over ONE copy
+    of the weights, keeping RSS O(1) in the worker count.
+    """
+    return array.copy() if array.flags.writeable else array
+
+
 class Module:
     """Base class providing parameter registration and train/eval modes."""
 
@@ -179,11 +193,12 @@ class Linear(Module):
         weight = self.weight.data
         if quantizer is not None:
             weight = np.asarray(quantizer(weight), dtype=np.float64)
-        return weight.copy()
+        return frozen_array_snapshot(weight)
 
     def plan_bias(self) -> Optional[np.ndarray]:
         """Snapshot of the bias (``None`` for bias-free layers)."""
-        return None if self.bias is None else self.bias.data.copy()
+        return None if self.bias is None \
+            else frozen_array_snapshot(self.bias.data)
 
     def plan_input_quant_params(self):
         """Frozen input-quantizer params to replay per call (or ``None``)."""
@@ -239,7 +254,7 @@ class Embedding(Module):
 
     def plan_weight(self) -> np.ndarray:
         """Snapshot of the lookup table for an inference plan."""
-        return self.weight.data.copy()
+        return frozen_array_snapshot(self.weight.data)
 
 
 class LayerNorm(Module):
@@ -256,8 +271,8 @@ class LayerNorm(Module):
 
     def export_plan(self, builder, x_reg: str, prefix: str = "norm") -> str:
         """Emit the layer-norm op; ``out``/``scratch`` come from the arena."""
-        weight = self.weight.data.copy()
-        bias = self.bias.data.copy()
+        weight = frozen_array_snapshot(self.weight.data)
+        bias = frozen_array_snapshot(self.bias.data)
         eps = self.eps
         out_reg = builder.reg(prefix)
 

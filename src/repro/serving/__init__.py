@@ -22,8 +22,16 @@ paper targets (transformer inference at datacenter request rates):
   the micro-batcher, with per-request deadlines and typed overload
   responses.
 * :mod:`repro.serving.faults` -- deterministic fault injection (seeded
-  schedules of worker crashes, hangs, model errors, kernel-pool death)
-  driving both the test suite and ``loadtest --chaos``.
+  schedules of worker crashes, hangs, model errors, kernel-pool death,
+  plus the process-grade kill/stall/corrupt kinds) driving both the test
+  suite and ``loadtest --chaos``.
+* :mod:`repro.serving.snapshot` -- checksummed, versioned shared-memory
+  model snapshots (:class:`SnapshotBundle`): published once, attached
+  zero-copy by every shard worker, verified CRC-by-CRC before serving.
+* :mod:`repro.serving.shard` -- :class:`ShardedInferenceService`: the
+  same service surface over N supervised worker *processes* sharing one
+  snapshot -- SIGKILL-grade crash isolation, heartbeat stall detection,
+  per-shard restart budgets with graceful degradation.
 
 The load-bearing guarantee is **bit-transparency**: a request's answer is
 bitwise identical whether it rode alone or inside a coalesced batch (see
@@ -50,8 +58,16 @@ from repro.serving.service import (
     build_encoder_model,
     build_encoder_service,
 )
+from repro.serving.shard import (
+    DegradedService,
+    ShardedInferenceService,
+    WorkerStalledError,
+    build_sharded_service,
+)
+from repro.serving.snapshot import SnapshotBundle, SnapshotCorruptionError
 from repro.serving.stats import LatencyStats, percentile
 from repro.serving.supervisor import (
+    RestartBudget,
     RestartPolicy,
     SupervisedService,
     SupervisorExhaustedError,
@@ -76,8 +92,15 @@ __all__ = [
     "build_encoder_model",
     "build_encoder_service",
     "RestartPolicy",
+    "RestartBudget",
     "SupervisedService",
     "build_supervised_service",
+    "SnapshotBundle",
+    "SnapshotCorruptionError",
+    "ShardedInferenceService",
+    "DegradedService",
+    "WorkerStalledError",
+    "build_sharded_service",
     "Fault",
     "FaultSchedule",
     "FaultyModel",

@@ -124,6 +124,12 @@ class ServingDaemon:
             raise RuntimeError("daemon already started")
         self._loop = asyncio.get_running_loop()
         self.service.start()
+        # Sharded services boot worker processes asynchronously; don't
+        # announce the listening socket until the shards settle so the
+        # first stats reply reflects steady state, not the boot transient.
+        wait_ready = getattr(self.service, "wait_ready", None)
+        if wait_ready is not None:
+            wait_ready()
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port, limit=MAX_LINE_BYTES)
         self.port = self._server.sockets[0].getsockname()[1]

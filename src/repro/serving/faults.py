@@ -28,6 +28,29 @@ Fault kinds (per model forward call):
     before computing, exercising the kernel registry's pool
     crash-rebuild-fallback path (a no-op where no pool is live, e.g. the
     1-core CI box).
+
+Process-grade fault kinds (sharded serving workers,
+:mod:`repro.serving.shard`; in-thread services reject them):
+
+``"kill"``
+    The worker SIGKILLs itself mid-batch -- the hardest crash there is
+    (no cleanup, negative ``Process.exitcode``); the process supervisor
+    must requeue the in-flight batch and respawn against the same
+    snapshot.
+``"stall"``
+    The worker silences its heartbeat thread but keeps serving -- a
+    liveness failure without a crash; the supervisor's stall detection
+    replaces it.
+``"corrupt"``
+    The worker verifies a deliberately byte-flipped *copy* of its
+    snapshot view, driving the typed
+    :class:`~repro.serving.snapshot.SnapshotCorruptionError` refusal
+    path (the real shared segment is never touched -- the replacement
+    worker attaches the pristine snapshot and recovers).
+
+New kinds are appended to :data:`FAULT_KINDS` so schedules drawn by
+:meth:`FaultSchedule.from_seed` with the original kinds are unchanged --
+one uniform draw per call index, thresholds accumulated in tuple order.
 """
 
 from __future__ import annotations
@@ -41,8 +64,16 @@ import numpy as np
 
 from repro.serving.batcher import WorkerCrashError
 
-#: The injectable fault kinds, in schedule-draw priority order.
-FAULT_KINDS = ("crash", "hang", "error", "pool")
+#: The injectable fault kinds, in schedule-draw priority order.  New
+#: kinds append at the end: :meth:`FaultSchedule.from_seed` accumulates
+#: thresholds in this order, so appending (with a default rate of 0)
+#: never moves an existing kind's faults to different call indices.
+FAULT_KINDS = ("crash", "hang", "error", "pool", "kill", "stall", "corrupt")
+
+#: The process-grade subset: only meaningful where the worker is a
+#: process (``repro.serving.shard``); :class:`FaultyModel` requires a
+#: matching process hook to fire one.
+PROCESS_FAULT_KINDS = ("kill", "stall", "corrupt")
 
 
 class InjectedWorkerCrash(WorkerCrashError):
@@ -93,6 +124,8 @@ class FaultSchedule:
     def from_seed(cls, seed: int, num_calls: int,
                   crash_rate: float = 0.0, hang_rate: float = 0.0,
                   error_rate: float = 0.0, pool_rate: float = 0.0,
+                  kill_rate: float = 0.0, stall_rate: float = 0.0,
+                  corrupt_rate: float = 0.0,
                   hang_seconds: float = 0.25,
                   skip_first: int = 1) -> "FaultSchedule":
         """Draw a schedule over ``num_calls`` forward calls.
@@ -100,12 +133,15 @@ class FaultSchedule:
         One uniform draw per call index decides that call's fate, so the
         fault at index ``i`` does not depend on the rates of other kinds
         changing the draw *sequence* -- tweaking ``hang_rate`` never moves
-        a crash to a different call.  ``skip_first`` leaves the first
-        calls fault-free (warmup requests should measure the healthy
-        path).
+        a crash to a different call (and the process-grade rates, drawn
+        after the original kinds, never move any of them).  ``skip_first``
+        leaves the first calls fault-free (warmup requests should measure
+        the healthy path).
         """
         rates = {"crash": crash_rate, "hang": hang_rate,
-                 "error": error_rate, "pool": pool_rate}
+                 "error": error_rate, "pool": pool_rate,
+                 "kill": kill_rate, "stall": stall_rate,
+                 "corrupt": corrupt_rate}
         for kind, rate in rates.items():
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{kind}_rate must be in [0, 1]")
@@ -189,10 +225,17 @@ class FaultyModel:
     """
 
     def __init__(self, model, schedule: FaultSchedule,
-                 sleep=time.sleep) -> None:
+                 sleep=time.sleep, process_hooks: Optional[dict] = None
+                 ) -> None:
         self.inner = model
         self.schedule = schedule
         self._sleep = sleep
+        # kind -> callable(Fault) for the process-grade kinds ("kill",
+        # "stall", "corrupt"): only a process worker can SIGKILL itself or
+        # silence a heartbeat pipe, so the shard worker supplies these.
+        # A schedule that fires a process-grade fault without a matching
+        # hook is a configuration error, not a silent no-op.
+        self._process_hooks = dict(process_hooks or {})
         self._lock = threading.Lock()
         self._calls = 0
         self.injected: List[Fault] = []
@@ -230,4 +273,17 @@ class FaultyModel:
                 self._sleep(fault.seconds)
             elif fault.kind == "pool":
                 kill_live_kernel_pools()
+            elif fault.kind in PROCESS_FAULT_KINDS:
+                hook = self._process_hooks.get(fault.kind)
+                if hook is None:
+                    raise RuntimeError(
+                        f"process-grade fault {fault.kind!r} scheduled at "
+                        f"call {index} but this worker has no "
+                        f"{fault.kind!r} hook (process faults need a "
+                        "sharded-serving worker process)")
+                # "kill" never returns; "corrupt" raises the typed
+                # refusal; "stall" returns and the forward proceeds
+                # (a stalled worker keeps computing -- only its
+                # liveness signal dies).
+                hook(fault)
         return self.inner.encode_ragged(sequences, pad_id=pad_id, **kwargs)

@@ -218,6 +218,82 @@ def batched_vs_sequential(
 # --------------------------------------------------------------------------- #
 # chaos mode: the supervision guarantees, measured
 # --------------------------------------------------------------------------- #
+def _drive_open_loop(service, requests, deadline_ms, with_deadline,
+                     timeout: float):
+    """Submit every request, wait for every outcome, classify each one.
+
+    The zero-drop bookkeeping shared by the thread-supervised and the
+    sharded chaos loadtests: every submitted request must resolve to a
+    result or a *typed* error; anything untyped is ``lost`` and a
+    never-resolving wait is ``hung``.
+    """
+    from repro.serving.batcher import (
+        DeadlineExceededError,
+        OverloadedError,
+        QueueFullError,
+    )
+    from repro.serving.faults import InjectedModelError
+    from repro.serving.supervisor import SupervisorExhaustedError
+
+    outcomes = {"ok": 0, "deadline_exceeded": 0, "overloaded": 0,
+                "queue_full": 0, "injected_error": 0, "terminal": 0,
+                "lost": 0, "hung": 0}
+    results: List[Optional[np.ndarray]] = [None] * len(requests)
+    pending = []
+    for index, tokens in enumerate(requests):
+        try:
+            request = service.submit(
+                tokens,
+                deadline_ms=deadline_ms
+                if deadline_ms is not None and with_deadline[index]
+                else None)
+        except OverloadedError:
+            outcomes["overloaded"] += 1
+            pending.append(None)
+            continue
+        except QueueFullError:
+            outcomes["queue_full"] += 1
+            pending.append(None)
+            continue
+        except SupervisorExhaustedError:
+            outcomes["terminal"] += 1
+            pending.append(None)
+            continue
+        pending.append(request)
+    for index, request in enumerate(pending):
+        if request is None:
+            continue
+        try:
+            results[index] = request.result(timeout)
+            outcomes["ok"] += 1
+        except DeadlineExceededError:
+            outcomes["deadline_exceeded"] += 1
+        except InjectedModelError:
+            outcomes["injected_error"] += 1
+        except SupervisorExhaustedError:
+            outcomes["terminal"] += 1
+        except TimeoutError:
+            outcomes["hung"] += 1
+        except Exception:  # noqa: BLE001 - anything untyped is a drop
+            outcomes["lost"] += 1
+    return outcomes, results
+
+
+def _bitwise_against_solo(model, requests, results,
+                          bitwise_sample: int) -> Tuple[bool, int]:
+    """Spot-check served responses bitwise against solo inference on a
+    clean (fault-free) model."""
+    checked = 0
+    for index, hidden in enumerate(results):
+        if hidden is None or checked >= bitwise_sample:
+            continue
+        solo = model.encode_ragged([list(requests[index])])[0]
+        if not np.array_equal(hidden, solo):
+            return False, checked
+        checked += 1
+    return True, checked
+
+
 def run_chaos_loadtest(
     num_requests: int = 192,
     batch_size: int = 8,
@@ -255,18 +331,8 @@ def run_chaos_loadtest(
     (default: 8x the healthy forward estimate is supplied by the caller
     or the deadline path is skipped when ``deadline_ms`` is None).
     """
-    from repro.serving.batcher import (
-        DeadlineExceededError,
-        OverloadedError,
-        QueueFullError,
-    )
-    from repro.serving.faults import FaultSchedule, FaultyModel, \
-        InjectedModelError
-    from repro.serving.supervisor import (
-        RestartPolicy,
-        SupervisedService,
-        SupervisorExhaustedError,
-    )
+    from repro.serving.faults import FaultSchedule, FaultyModel
+    from repro.serving.supervisor import RestartPolicy, SupervisedService
 
     requests = synthetic_requests(num_requests, seed=seed)
     # Upper bound on forward calls: one per request (sequential worst
@@ -292,64 +358,17 @@ def run_chaos_loadtest(
     rng = np.random.default_rng(seed + 1)
     with_deadline = (deadline_ms is not None
                      and (rng.random(num_requests) < deadline_fraction))
-    outcomes = {"ok": 0, "deadline_exceeded": 0, "overloaded": 0,
-                "queue_full": 0, "injected_error": 0, "terminal": 0,
-                "lost": 0, "hung": 0}
-    results: List[Optional[np.ndarray]] = [None] * num_requests
     start = time.perf_counter()
     with service:
-        pending = []
-        for index, tokens in enumerate(requests):
-            try:
-                request = service.submit(
-                    tokens,
-                    deadline_ms=deadline_ms
-                    if deadline_ms is not None and with_deadline[index]
-                    else None)
-            except OverloadedError:
-                outcomes["overloaded"] += 1
-                pending.append(None)
-                continue
-            except QueueFullError:
-                outcomes["queue_full"] += 1
-                pending.append(None)
-                continue
-            except SupervisorExhaustedError:
-                outcomes["terminal"] += 1
-                pending.append(None)
-                continue
-            pending.append(request)
-        for index, request in enumerate(pending):
-            if request is None:
-                continue
-            try:
-                results[index] = request.result(timeout)
-                outcomes["ok"] += 1
-            except DeadlineExceededError:
-                outcomes["deadline_exceeded"] += 1
-            except InjectedModelError:
-                outcomes["injected_error"] += 1
-            except SupervisorExhaustedError:
-                outcomes["terminal"] += 1
-            except TimeoutError:
-                outcomes["hung"] += 1
-            except Exception:  # noqa: BLE001 - anything untyped is a drop
-                outcomes["lost"] += 1
+        outcomes, results = _drive_open_loop(
+            service, requests, deadline_ms, with_deadline, timeout)
         elapsed = max(time.perf_counter() - start, 1e-9)
         snap = service.snapshot()
 
     # Bitwise check: served responses (including any that crossed a
     # restart) must equal solo inference on the clean model.
-    checked = 0
-    bitwise_identical = True
-    for index, hidden in enumerate(results):
-        if hidden is None or checked >= bitwise_sample:
-            continue
-        solo = model.encode_ragged([list(requests[index])])[0]
-        if not np.array_equal(hidden, solo):
-            bitwise_identical = False
-            break
-        checked += 1
+    bitwise_identical, checked = _bitwise_against_solo(
+        model, requests, results, bitwise_sample)
 
     resolved = sum(outcomes.values())
     return {
@@ -379,6 +398,123 @@ def run_chaos_loadtest(
         "restarts": snap["restarts"],
         "events": snap["events"],
         "terminal": snap["terminal"],
+        "elapsed_seconds": round(elapsed, 4),
+        "p50_ms": snap["p50_ms"],
+        "p99_ms": snap["p99_ms"],
+        "bitwise_identical_to_solo": bitwise_identical,
+        "bitwise_checked": checked,
+        "zero_drop": (outcomes["lost"] == 0 and outcomes["hung"] == 0
+                      and resolved == num_requests),
+    }
+
+
+def run_sharded_chaos_loadtest(
+    num_requests: int = 128,
+    num_workers: int = 2,
+    batch_size: int = 8,
+    max_wait_ms: float = 1.0,
+    kill_rate: float = 0.06,
+    stall_rate: float = 0.03,
+    corrupt_rate: float = 0.03,
+    error_rate: float = 0.02,
+    hang_timeout_s: float = 10.0,
+    stall_timeout_s: float = 0.3,
+    max_restarts: int = 32,
+    deadline_ms: Optional[float] = None,
+    deadline_fraction: float = 0.25,
+    model_name: str = "tiny-base",
+    kernel: str = "auto",
+    seed: int = 0,
+    timeout: float = 240.0,
+    bitwise_sample: int = 8,
+    mp_context: str = "fork",
+) -> dict:
+    """Open-loop load against a fault-injected **sharded** service.
+
+    The process-grade chaos: workers SIGKILL themselves mid-batch
+    (``kill``), silence their heartbeats (``stall``) and refuse
+    byte-flipped snapshot views (``corrupt``), plus ordinary per-batch
+    model errors (``error``).  The guarantees measured are the same as
+    :func:`run_chaos_loadtest` -- every request resolves typed
+    (``zero_drop``) and served responses are bitwise identical to solo
+    inference on a clean in-process model -- now across process
+    boundaries, shared-memory snapshot rebinds and SIGKILL-grade worker
+    replacement.  Reproducible from the recorded ``seed``: each spawn's
+    fault schedule is derived from it per shard and generation.
+    """
+    from repro.serving.shard import build_sharded_service
+    from repro.serving.supervisor import RestartPolicy
+
+    requests = synthetic_requests(num_requests, seed=seed)
+    fault_spec = {
+        "seed": seed,
+        "num_calls": 2 * num_requests + 16,
+        "kill_rate": kill_rate,
+        "stall_rate": stall_rate,
+        "corrupt_rate": corrupt_rate,
+        "error_rate": error_rate,
+        "skip_first": 2,
+    }
+    policy = RestartPolicy(max_restarts=max_restarts,
+                           backoff_initial_ms=5.0, backoff_max_ms=50.0,
+                           hang_timeout_s=hang_timeout_s,
+                           stall_timeout_s=stall_timeout_s,
+                           heartbeat_interval_s=0.02, seed=seed)
+    config = ServiceConfig(max_batch_size=batch_size,
+                           max_wait_ms=max_wait_ms,
+                           max_queue_depth=num_requests + 1,
+                           cache_size=0)
+    service = build_sharded_service(
+        model_name=model_name, kernel=kernel, seed=seed, config=config,
+        policy=policy, num_workers=num_workers, mp_context=mp_context,
+        fault_spec=fault_spec)
+
+    rng = np.random.default_rng(seed + 1)
+    with_deadline = (deadline_ms is not None
+                     and (rng.random(num_requests) < deadline_fraction))
+    start = time.perf_counter()
+    with service:
+        outcomes, results = _drive_open_loop(
+            service, requests, deadline_ms, with_deadline, timeout)
+        elapsed = max(time.perf_counter() - start, 1e-9)
+        snap = service.snapshot()
+
+    # The parent model never saw a fault (faults fire inside workers):
+    # it is the clean solo reference.
+    bitwise_identical, checked = _bitwise_against_solo(
+        service.model, requests, results, bitwise_sample)
+
+    resolved = sum(outcomes.values())
+    return {
+        "workload": {
+            "requests": num_requests,
+            "workers": num_workers,
+            "batch_size": batch_size,
+            "max_wait_ms": max_wait_ms,
+            "model": model_name,
+            "kernel": kernel,
+            "seed": seed,
+            "mp_context": mp_context,
+            "deadline_ms": deadline_ms,
+            "deadline_fraction": deadline_fraction if deadline_ms is not None
+            else 0.0,
+        },
+        "faults": dict(fault_spec),
+        "policy": {
+            "max_restarts": max_restarts,
+            "hang_timeout_s": hang_timeout_s,
+            "stall_timeout_s": stall_timeout_s,
+        },
+        "outcomes": outcomes,
+        "resolved": resolved,
+        "unresolved": num_requests - resolved,
+        "restarts": snap["restarts"],
+        "restarts_by_shard": snap["restarts_by_shard"],
+        "live_workers": snap["live_workers"],
+        "degraded": snap["degraded"],
+        "events": snap["events"],
+        "terminal": snap["terminal"],
+        "snapshot": snap.get("snapshot"),
         "elapsed_seconds": round(elapsed, 4),
         "p50_ms": snap["p50_ms"],
         "p99_ms": snap["p99_ms"],

@@ -185,6 +185,11 @@ class InferenceService:
     # ------------------------------------------------------------------ #
     # client side
     # ------------------------------------------------------------------ #
+    def _accepting(self) -> bool:
+        """Is the service running?  Subclasses whose workers are not a
+        single thread (the sharded service) override this check."""
+        return self._worker is not None
+
     def submit(self, tokens: Sequence[int],
                deadline_ms: Optional[float] = None) -> PendingRequest:
         """Enqueue one request; returns a waitable :class:`PendingRequest`.
@@ -202,7 +207,7 @@ class InferenceService:
         :class:`~repro.serving.batcher.DeadlineExceededError` *before*
         consuming a model forward.
         """
-        if self._worker is None:
+        if not self._accepting():
             raise ServiceClosedError("service is not running")
         key = self._validate(tokens)
         deadline = None
@@ -316,18 +321,50 @@ class InferenceService:
                 for request in batch:
                     request.set_exception(exc)
 
-    def _execute(self, batch: List[PendingRequest]) -> None:
-        # The batcher filters cancelled/expired entries at formation, but a
-        # cancel can race the window between formation and forward.
+    def _form_batch(self, batch: List[PendingRequest]
+                    ) -> Tuple[List[PendingRequest], List[Tuple[int, ...]]]:
+        """Filter a raw batch down to live requests and their unique keys.
+
+        The batcher filters cancelled/expired entries at formation, but a
+        cancel can race the window between formation and forward.
+        Identical concurrent requests ride the batch once: each distinct
+        key is encoded a single time and every waiter gets its own copy
+        (see :meth:`_complete_batch`).  Shared by the in-thread execute
+        path and the sharded dispatch path (:mod:`repro.serving.shard`).
+        """
         live = [request for request in batch if not request.done()]
-        if not live:
-            return
-        # Identical concurrent requests ride the batch once: encode each
-        # distinct key a single time, answer every waiter with its own copy.
         unique: "dict[Tuple[int, ...], int]" = {}
         for request in live:
             unique.setdefault(request.key, len(unique))
-        keys = list(unique)
+        return live, list(unique)
+
+    def _complete_batch(self, live: List[PendingRequest],
+                        keys: List[Tuple[int, ...]], outputs,
+                        forward_start: float) -> None:
+        """Record stats, populate the cache and answer every live waiter.
+
+        ``outputs`` are the per-key hidden states in ``keys`` order.  Only
+        the *winning* completer records latency -- a superseded worker (or
+        shard) finishing late must not double-count.
+        """
+        forward_seconds = time.perf_counter() - forward_start
+        self.stats.record_batch(len(live), forward_seconds=forward_seconds)
+        for key, hidden in zip(keys, outputs):
+            self.cache.put(key, hidden)
+        by_key = dict(zip(keys, outputs))
+        for request in live:
+            if request.set_result(by_key[request.key].copy()):
+                # Queue wait: submission until this batch's forward
+                # started (queueing plus the coalescing window).
+                self.stats.record(
+                    time.perf_counter() - request.submitted_at,
+                    queue_wait_seconds=forward_start
+                    - request.submitted_at)
+
+    def _execute(self, batch: List[PendingRequest]) -> None:
+        live, keys = self._form_batch(batch)
+        if not live:
+            return
         with self._inflight_lock:
             self._inflight = live
             self._inflight_since = time.perf_counter()
@@ -346,22 +383,7 @@ class InferenceService:
                 for request in live:
                     request.set_exception(exc)
                 return
-            forward_seconds = time.perf_counter() - forward_start
-            self.stats.record_batch(len(live),
-                                    forward_seconds=forward_seconds)
-            for key, hidden in zip(keys, outputs):
-                self.cache.put(key, hidden)
-            by_key = dict(zip(keys, outputs))
-            for request in live:
-                if request.set_result(by_key[request.key].copy()):
-                    # Queue wait: submission until this batch's forward
-                    # started (queueing plus the coalescing window).  Only
-                    # the winning completer records -- a superseded worker
-                    # finishing late must not double-count.
-                    self.stats.record(
-                        time.perf_counter() - request.submitted_at,
-                        queue_wait_seconds=forward_start
-                        - request.submitted_at)
+            self._complete_batch(live, keys, outputs, forward_start)
         finally:
             with self._inflight_lock:
                 if self._inflight is live:

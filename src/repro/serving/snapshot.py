@@ -1,0 +1,273 @@
+"""Checksummed, versioned model snapshots in POSIX shared memory.
+
+The sharded serving tier (:mod:`repro.serving.shard`) runs N worker
+*processes* against one model.  Copying the weights into every worker
+would cost O(N) memory and O(N) publish time; instead the parent publishes
+the plan-engine's plain float64 arrays **once** into a single
+``multiprocessing.shared_memory`` segment and workers attach zero-copy,
+read-only views.  The bundle is self-describing and self-verifying:
+
+* **Manifest** -- a JSON-able dict carrying the segment name, a snapshot
+  ``version``, the total byte size, and one entry per array
+  (name / shape / dtype / byte offset / CRC32), plus a bundle-level
+  checksum over the entry CRCs.  The manifest is what travels to workers
+  (tiny, picklable); the arrays never leave shared memory.
+* **Attach-verify** -- :meth:`SnapshotBundle.attach` recomputes every
+  CRC against the mapped bytes and raises a typed
+  :class:`SnapshotCorruptionError` on any mismatch, so a worker can never
+  serve from a torn or corrupted segment; the same check is exposed as
+  :func:`verify_manifest` so fault injection can exercise the refusal
+  path against a deliberately flipped *copy* without poisoning the real
+  segment.
+* **Lifecycle discipline** -- the publishing process owns the segment:
+  ``close()`` detaches, ``unlink()`` destroys, and publication failures
+  unlink before re-raising (lint rule R6 checks this pattern repo-wide).
+  Attached (non-owner) handles only ever ``close()``.
+
+Views are exported read-only: a worker's compiled
+:class:`~repro.infer.plan.InferencePlan` keeps read-only weights as-is
+(see :func:`repro.nn.layers.frozen_array_snapshot`), so N workers share
+ONE copy of the model -- RSS grows O(1) in the worker count.
+"""
+
+from __future__ import annotations
+
+import zlib
+from multiprocessing import shared_memory
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.kernels.shm import attach_shared_memory
+
+#: Manifest schema version (bumped on incompatible layout changes).
+MANIFEST_VERSION = 1
+
+#: Byte alignment of every array inside the segment (float64-friendly).
+_ALIGN = 64
+
+
+class SnapshotCorruptionError(RuntimeError):
+    """A snapshot segment failed its checksum; the attach was refused."""
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def build_manifest_entries(arrays: Mapping[str, np.ndarray]) -> List[dict]:
+    """Plan the segment layout: one aligned, C-contiguous slot per array."""
+    entries = []
+    offset = 0
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        offset = _aligned(offset)
+        entries.append({
+            "name": name,
+            "shape": list(array.shape),
+            "dtype": str(array.dtype),
+            "offset": offset,
+            "nbytes": int(array.nbytes),
+        })
+        offset += int(array.nbytes)
+    return entries
+
+
+def bundle_checksum(entries: List[dict]) -> int:
+    """Order-sensitive checksum over the per-entry CRCs and layout."""
+    digest = 0
+    for entry in entries:
+        record = (f"{entry['name']}:{entry['shape']}:{entry['dtype']}:"
+                  f"{entry['offset']}:{entry['crc32']}").encode("utf-8")
+        digest = zlib.crc32(record, digest)
+    return digest
+
+
+def verify_manifest(buf, manifest: dict) -> None:
+    """Recompute every CRC of ``manifest`` against ``buf`` (a buffer over
+    the segment bytes -- the real one, or a deliberately corrupted copy).
+
+    Raises :class:`SnapshotCorruptionError` naming the first mismatching
+    array, or on a bundle-checksum mismatch (a tampered manifest).
+    """
+    view = memoryview(buf)
+    try:
+        if bundle_checksum(manifest["entries"]) != manifest["checksum"]:
+            raise SnapshotCorruptionError(
+                f"snapshot manifest checksum mismatch for segment "
+                f"{manifest['segment']!r} (version {manifest['version']}); "
+                "refusing to attach")
+        for entry in manifest["entries"]:
+            start, nbytes = entry["offset"], entry["nbytes"]
+            crc = zlib.crc32(view[start:start + nbytes])
+            if crc != entry["crc32"]:
+                raise SnapshotCorruptionError(
+                    f"snapshot array {entry['name']!r} failed its CRC32 "
+                    f"check (expected {entry['crc32']:#010x}, got "
+                    f"{crc:#010x}) in segment {manifest['segment']!r} "
+                    f"version {manifest['version']}; refusing to attach")
+    finally:
+        # Release our export before the caller's error path close()s the
+        # mapping; a view pinned by the in-flight traceback would turn
+        # that close() into a BufferError.
+        view.release()
+
+
+class SnapshotBundle:
+    """One shared-memory segment holding a model's weight arrays.
+
+    Build with :meth:`publish` (the owner: copies the arrays in, computes
+    the checksums, may ``unlink``) or :meth:`attach` (a worker: verifies
+    the checksums, maps read-only views, only ever ``close``s).  Usable
+    as a context manager; exit closes, and unlinks iff owner.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, manifest: dict,
+                 owner: bool) -> None:
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self.manifest = manifest
+        self.owner = owner
+        self._unlinked = False
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def publish(cls, arrays: Mapping[str, np.ndarray],
+                version: int = 1) -> "SnapshotBundle":
+        """Copy ``arrays`` into a fresh checksummed segment (the one and
+        only copy workers will share); the caller owns the segment."""
+        if not arrays:
+            raise ValueError("cannot publish an empty snapshot")
+        entries = build_manifest_entries(arrays)
+        last = entries[-1]
+        total = max(1, last["offset"] + last["nbytes"])
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        try:
+            for entry in entries:
+                source = np.ascontiguousarray(arrays[entry["name"]])
+                dest = np.ndarray(source.shape, dtype=source.dtype,
+                                  buffer=shm.buf, offset=entry["offset"])
+                np.copyto(dest, source)
+                entry["crc32"] = zlib.crc32(
+                    memoryview(shm.buf)[entry["offset"]:
+                                        entry["offset"] + entry["nbytes"]])
+            manifest = {
+                "manifest_version": MANIFEST_VERSION,
+                "segment": shm.name,
+                "version": int(version),
+                "total_bytes": total,
+                "entries": entries,
+            }
+            manifest["checksum"] = bundle_checksum(entries)
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: dict) -> "SnapshotBundle":
+        """Map an existing segment and verify it before exposing views.
+
+        Raises :class:`SnapshotCorruptionError` (typed, caller-visible)
+        when any byte of the segment disagrees with the manifest -- a
+        worker must refuse a corrupt snapshot rather than serve from it.
+        """
+        shm = attach_shared_memory(manifest["segment"])
+        try:
+            if shm.size < manifest["total_bytes"]:
+                raise SnapshotCorruptionError(
+                    f"segment {manifest['segment']!r} is "
+                    f"{shm.size} bytes, manifest expects "
+                    f">= {manifest['total_bytes']}; refusing to attach")
+            verify_manifest(shm.buf, manifest)
+        except BaseException:
+            shm.close()
+            raise
+        return cls(shm, manifest, owner=False)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Zero-copy, read-only views over the segment, keyed by name."""
+        if self._shm is None:
+            raise ValueError("snapshot bundle is closed")
+        views: Dict[str, np.ndarray] = {}
+        for entry in self.manifest["entries"]:
+            view = np.ndarray(tuple(entry["shape"]),
+                              dtype=np.dtype(entry["dtype"]),
+                              buffer=self._shm.buf, offset=entry["offset"])
+            view.flags.writeable = False
+            views[entry["name"]] = view
+        return views
+
+    @property
+    def version(self) -> int:
+        return self.manifest["version"]
+
+    @property
+    def checksum(self) -> int:
+        return self.manifest["checksum"]
+
+    @property
+    def total_bytes(self) -> int:
+        return self.manifest["total_bytes"]
+
+    def describe(self) -> dict:
+        """Stats-snapshot summary: version/checksum/size, not the bytes."""
+        return {
+            "segment": self.manifest["segment"],
+            "version": self.version,
+            "checksum": f"{self.checksum:#010x}",
+            "total_bytes": self.total_bytes,
+            "arrays": len(self.manifest["entries"]),
+        }
+
+    def corrupted_copy(self, flip_offset: int = 0) -> bytearray:
+        """A private copy of the segment with one byte flipped -- feed it
+        to :func:`verify_manifest` to exercise the refusal path without
+        corrupting the real segment other workers are serving from."""
+        if self._shm is None:
+            raise ValueError("snapshot bundle is closed")
+        data = bytearray(self._shm.buf.tobytes())
+        data[flip_offset % len(data)] ^= 0xFF
+        return data
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Detach (idempotent); the owner also destroys the segment.
+
+        Views from :meth:`arrays` die with the mapping -- callers must
+        not hold them across ``close()``.
+        """
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        shm.close()
+        if self.owner:
+            self.unlink_segment(shm)
+
+    def unlink_segment(self, shm: shared_memory.SharedMemory) -> None:
+        if self._unlinked:
+            return
+        self._unlinked = True
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already destroyed
+            pass
+
+    def __enter__(self) -> "SnapshotBundle":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - interpreter-exit ordering
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -57,6 +57,9 @@ class LatencyStats:
         # rejections, supervisor restarts/requeues, ...).  A plain name ->
         # count mapping so new event kinds need no schema change.
         self.events: "Counter[str]" = Counter()
+        # Point-in-time gauges (live worker count, degraded flag,
+        # snapshot version, ...): last-write-wins values, not counters.
+        self.gauges: dict = {}
 
     def start(self) -> None:
         """Begin a fresh measurement interval.
@@ -81,6 +84,12 @@ class LatencyStats:
         ``"overloaded"``, ``"restart"``, ``"requeued"``, ...)."""
         with self._lock:
             self.events[name] += count
+
+    def set_gauge(self, name: str, value) -> None:
+        """Set a point-in-time gauge (``"live_workers"``, ``"degraded"``,
+        ``"snapshot_version"``, ...); last write wins."""
+        with self._lock:
+            self.gauges[name] = value
 
     def forward_p50_seconds(self) -> float:
         """Median recent model-forward time (0.0 with no samples yet).
@@ -137,8 +146,10 @@ class LatencyStats:
             batched = self.batched_requests
             cache_hits = self.cache_hits
             events = dict(self.events)
+            gauges = dict(self.gauges)
         snap = {
             "events": events,
+            "gauges": gauges,
             "completed": completed,
             "cache_hits": cache_hits,
             "batches": batches,

@@ -73,6 +73,12 @@ class RestartPolicy:
     hang_timeout_s: float = 2.0
     heartbeat_interval_s: float = 0.02
     seed: int = 0
+    #: How long a process worker may go without a heartbeat while *idle*
+    #: before the process supervisor declares it stalled (distinct from
+    #: ``hang_timeout_s``, which bounds time inside a model forward).
+    #: Unused by the in-thread supervisor, whose worker cannot stall
+    #: silently -- its beats are plain attribute writes.
+    stall_timeout_s: float = 1.0
 
     def __post_init__(self) -> None:
         if self.max_restarts < 0:
@@ -83,7 +89,8 @@ class RestartPolicy:
             raise ValueError("backoff_multiplier must be >= 1")
         if not 0.0 <= self.jitter_fraction <= 1.0:
             raise ValueError("jitter_fraction must be in [0, 1]")
-        if self.hang_timeout_s <= 0 or self.heartbeat_interval_s <= 0:
+        if (self.hang_timeout_s <= 0 or self.heartbeat_interval_s <= 0
+                or self.stall_timeout_s <= 0):
             raise ValueError("timeouts must be > 0")
 
     def backoff_seconds(self, restart_index: int,
@@ -97,6 +104,33 @@ class RestartPolicy:
             self.backoff_max_ms)
         jitter = 1.0 + self.jitter_fraction * (2.0 * rng.random() - 1.0)
         return base * jitter / 1e3
+
+
+class RestartBudget:
+    """Seeded bounded-restart accounting for one supervised worker.
+
+    Counts replacements against ``policy.max_restarts`` and hands out the
+    matching backoff delays.  Extracted from the thread supervisor so the
+    process supervisor (:mod:`repro.serving.shard`) can keep one budget
+    *per shard* -- pass ``seed`` to derive distinct-but-reproducible
+    jitter streams (e.g. ``policy.seed + shard_index``).
+    """
+
+    def __init__(self, policy: RestartPolicy,
+                 seed: Optional[int] = None) -> None:
+        self.policy = policy
+        self._rng = random.Random(policy.seed if seed is None else seed)
+        self.restarts = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the next failure must terminate, not restart."""
+        return self.restarts >= self.policy.max_restarts
+
+    def next_backoff(self) -> float:
+        """Consume one restart; returns the pre-respawn delay in seconds."""
+        self.restarts += 1
+        return self.policy.backoff_seconds(self.restarts, self._rng)
 
 
 class SupervisedService(InferenceService):
@@ -121,10 +155,9 @@ class SupervisedService(InferenceService):
                  policy: RestartPolicy = RestartPolicy()) -> None:
         super().__init__(model, config)
         self.policy = policy
-        self._rng = random.Random(policy.seed)
+        self._budget = RestartBudget(policy)
         self._monitor: Optional[threading.Thread] = None
         self._generation = 0
-        self._restarts = 0
         self._terminal: Optional[BaseException] = None
         self._last_error: Optional[BaseException] = None
         # Crash report posted by a dying worker: (exception, its pending
@@ -143,7 +176,7 @@ class SupervisedService(InferenceService):
         self._stopping.clear()
         self._terminal = None
         self._last_error = None
-        self._restarts = 0
+        self._budget = RestartBudget(self.policy)
         with self._crash_lock:
             self._crash = None
         self.stats.start()
@@ -196,7 +229,7 @@ class SupervisedService(InferenceService):
     def snapshot(self) -> dict:
         snap = super().snapshot()
         snap["supervised"] = True
-        snap["restarts"] = self._restarts
+        snap["restarts"] = self._budget.restarts
         snap["max_restarts"] = self.policy.max_restarts
         snap["generation"] = self._generation
         snap["terminal"] = (type(self._terminal).__name__
@@ -291,14 +324,13 @@ class SupervisedService(InferenceService):
     def _handle_failure(self, exc: BaseException,
                         pending: List[PendingRequest]) -> None:
         self._last_error = exc
-        if self._restarts >= self.policy.max_restarts:
+        if self._budget.exhausted:
             self._terminate(exc, pending)
             return
-        self._restarts += 1
         self.stats.record_event("restart")
         if pending:
             self.batcher.requeue(pending)
-        delay = self.policy.backoff_seconds(self._restarts, self._rng)
+        delay = self._budget.next_backoff()
         if self._stopping.wait(delay):
             return
         self._spawn_worker()
@@ -306,8 +338,8 @@ class SupervisedService(InferenceService):
     def _terminate(self, exc: BaseException,
                    pending: List[PendingRequest]) -> None:
         terminal = SupervisorExhaustedError(
-            f"worker failed {self._restarts + 1} times, restart budget "
-            f"{self.policy.max_restarts} exhausted: {exc}")
+            f"worker failed {self._budget.restarts + 1} times, restart "
+            f"budget {self.policy.max_restarts} exhausted: {exc}")
         terminal.__cause__ = exc
         self._terminal = terminal
         self.stats.record_event("terminal")

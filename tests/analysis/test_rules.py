@@ -1,4 +1,4 @@
-"""Good/bad fixture pairs for each contract rule, R1 through R5."""
+"""Good/bad fixture pairs for each contract rule, R1 through R6."""
 
 import textwrap
 
@@ -6,7 +6,7 @@ import pytest
 
 from repro.analysis import (
     DeterminismRule, HotPathAllocationRule, KernelContractRule, LintEngine,
-    LockDisciplineRule, ToleranceContractRule,
+    LockDisciplineRule, SharedMemoryLifecycleRule, ToleranceContractRule,
 )
 
 pytestmark = pytest.mark.analysis
@@ -364,3 +364,110 @@ def test_r5_real_serving_layer_is_clean():
     assert r5 == []
     # The seeding really fired: serving/ does guard state under locks.
     assert rule.protected_attrs
+
+
+# --------------------------------------------------------------------------- #
+# R6 -- shared-memory lifecycle discipline
+# --------------------------------------------------------------------------- #
+
+def test_r6_flags_unguarded_create(tmp_path):
+    findings = lint(tmp_path, SharedMemoryLifecycleRule(),
+                    {"serving/bad.py": """\
+        from multiprocessing import shared_memory
+
+        def publish(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            shm.buf[:4] = b"data"  # an exception here leaks /dev/shm
+            return shm
+        """})
+    assert [f.rule for f in findings] == ["R6"]
+    assert "unlink" in findings[0].message
+
+
+def test_r6_flags_close_without_unlink(tmp_path):
+    findings = lint(tmp_path, SharedMemoryLifecycleRule(),
+                    {"serving/bad.py": """\
+        from multiprocessing import shared_memory
+
+        def publish(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            try:
+                shm.buf[:4] = b"data"
+            finally:
+                shm.close()  # detaches but never destroys the segment
+            return shm
+        """})
+    assert [f.rule for f in findings] == ["R6"]
+
+
+def test_r6_accepts_try_finally_unlink(tmp_path):
+    assert lint(tmp_path, SharedMemoryLifecycleRule(),
+                {"kernels/good.py": """\
+        from multiprocessing import shared_memory
+
+        def dispatch(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            try:
+                return bytes(shm.buf[:4])
+            finally:
+                shm.close()
+                shm.unlink()
+        """}) == []
+
+
+def test_r6_accepts_except_unlink_reraise(tmp_path):
+    assert lint(tmp_path, SharedMemoryLifecycleRule(),
+                {"serving/good.py": """\
+        from multiprocessing import shared_memory
+
+        def publish(nbytes):
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            try:
+                shm.buf[:4] = b"data"
+            except BaseException:
+                shm.close()
+                shm.unlink()
+                raise
+            return shm
+        """}) == []
+
+
+def test_r6_accepts_owner_class_with_unlinking_close(tmp_path):
+    assert lint(tmp_path, SharedMemoryLifecycleRule(),
+                {"serving/good.py": """\
+        from multiprocessing import shared_memory
+
+        class Bundle:
+            @classmethod
+            def publish(cls, nbytes):
+                self = cls()
+                self.shm = shared_memory.SharedMemory(create=True,
+                                                      size=nbytes)
+                return self
+
+            def close(self):
+                self.shm.close()
+                self.shm.unlink()
+        """}) == []
+
+
+def test_r6_ignores_attach_side_handles(tmp_path):
+    # non-owners must NOT unlink; plain attaches are out of scope
+    assert lint(tmp_path, SharedMemoryLifecycleRule(),
+                {"kernels/good.py": """\
+        from multiprocessing import shared_memory
+
+        def attach(name):
+            shm = shared_memory.SharedMemory(name=name)
+            return shm
+        """}) == []
+
+
+def test_r6_real_shm_consumers_are_clean():
+    import repro
+
+    from pathlib import Path
+
+    root = Path(repro.__file__).parent
+    report = LintEngine(root, [SharedMemoryLifecycleRule()]).run()
+    assert [f for f in report.findings if f.rule == "R6"] == []

@@ -1,0 +1,142 @@
+"""Checksummed shared-memory snapshot bundles (repro.serving.snapshot).
+
+The contract under test: publish once, attach many, verify every CRC on
+attach, refuse corruption with a typed error, never leak the segment.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.serving.snapshot import (
+    SnapshotBundle,
+    SnapshotCorruptionError,
+    build_manifest_entries,
+    bundle_checksum,
+    verify_manifest,
+)
+
+
+@pytest.fixture()
+def arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "encoder.layer0.weight": rng.standard_normal((8, 8)),
+        "encoder.layer0.bias": rng.standard_normal(8),
+        "embed.weight": rng.standard_normal((16, 4)),
+    }
+
+
+def _segment_gone(name: str) -> bool:
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    probe.close()
+    return False
+
+
+def test_publish_attach_round_trip_is_bitwise(arrays):
+    with SnapshotBundle.publish(arrays, version=3) as bundle:
+        attached = SnapshotBundle.attach(bundle.manifest)
+        try:
+            views = attached.arrays()
+            assert set(views) == set(arrays)
+            for name, source in arrays.items():
+                np.testing.assert_array_equal(views[name], source)
+                assert not views[name].flags.writeable
+            assert attached.version == 3
+            assert attached.checksum == bundle.checksum
+        finally:
+            del views
+            attached.close()
+
+
+def test_manifest_layout_is_aligned_and_deterministic(arrays):
+    entries = build_manifest_entries(arrays)
+    assert [e["name"] for e in entries] == sorted(arrays)
+    for entry in entries:
+        assert entry["offset"] % 64 == 0
+    # deterministic: the same arrays produce the same layout
+    assert entries == build_manifest_entries(arrays)
+
+
+def test_checksum_is_deterministic_across_publishes(arrays):
+    with SnapshotBundle.publish(arrays) as first, \
+            SnapshotBundle.publish(arrays) as second:
+        assert first.checksum == second.checksum
+        assert first.manifest["segment"] != second.manifest["segment"]
+
+
+def test_attach_refuses_corrupt_segment(arrays):
+    with SnapshotBundle.publish(arrays) as bundle:
+        entry = bundle.manifest["entries"][1]
+        # flip one byte of the real segment, attach must refuse
+        offset = entry["offset"]
+        bundle._shm.buf[offset] ^= 0xFF
+        with pytest.raises(SnapshotCorruptionError) as excinfo:
+            SnapshotBundle.attach(bundle.manifest)
+        assert entry["name"] in str(excinfo.value)
+        bundle._shm.buf[offset] ^= 0xFF  # restore so close() is clean
+
+
+def test_attach_refuses_tampered_manifest(arrays):
+    with SnapshotBundle.publish(arrays) as bundle:
+        manifest = dict(bundle.manifest)
+        manifest["checksum"] = manifest["checksum"] ^ 1
+        with pytest.raises(SnapshotCorruptionError, match="manifest"):
+            SnapshotBundle.attach(manifest)
+
+
+def test_verify_manifest_accepts_real_and_refuses_flipped_copy(arrays):
+    with SnapshotBundle.publish(arrays) as bundle:
+        verify_manifest(bundle._shm.buf, bundle.manifest)  # clean: no raise
+        corrupted = bundle.corrupted_copy(flip_offset=7)
+        with pytest.raises(SnapshotCorruptionError):
+            verify_manifest(corrupted, bundle.manifest)
+        # the drill never touched the real segment
+        verify_manifest(bundle._shm.buf, bundle.manifest)
+
+
+def test_owner_close_unlinks_segment(arrays):
+    bundle = SnapshotBundle.publish(arrays)
+    name = bundle.manifest["segment"]
+    assert not _segment_gone(name)
+    bundle.close()
+    assert _segment_gone(name)
+    bundle.close()  # idempotent
+
+
+def test_attached_close_does_not_unlink(arrays):
+    with SnapshotBundle.publish(arrays) as bundle:
+        name = bundle.manifest["segment"]
+        attached = SnapshotBundle.attach(bundle.manifest)
+        attached.close()
+        assert not _segment_gone(name)
+    assert _segment_gone(name)
+
+
+def test_publish_empty_snapshot_is_an_error():
+    with pytest.raises(ValueError, match="empty"):
+        SnapshotBundle.publish({})
+
+
+def test_closed_bundle_refuses_views(arrays):
+    bundle = SnapshotBundle.publish(arrays)
+    bundle.close()
+    with pytest.raises(ValueError, match="closed"):
+        bundle.arrays()
+    with pytest.raises(ValueError, match="closed"):
+        bundle.corrupted_copy()
+
+
+def test_describe_reports_version_checksum_size(arrays):
+    with SnapshotBundle.publish(arrays, version=5) as bundle:
+        info = bundle.describe()
+        assert info["version"] == 5
+        assert info["arrays"] == len(arrays)
+        assert info["checksum"] == f"{bundle.checksum:#010x}"
+        assert info["total_bytes"] == bundle.total_bytes

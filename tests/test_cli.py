@@ -273,3 +273,74 @@ class TestRobustnessCommands:
         out = capsys.readouterr().out
         assert "interrupted; draining and shutting down gracefully" in out
         assert "served 1 requests" in out
+
+
+class TestShardedCommands:
+    def test_parser_registers_sharded_knobs(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--workers", "2",
+                                  "--kernel-workers", "3"])
+        assert args.workers == 2 and args.kernel_workers == 3
+        assert parser.parse_args(["serve"]).workers == 0
+        args = parser.parse_args(["daemon", "--workers", "4"])
+        assert args.workers == 4 and args.kernel_workers is None
+        args = parser.parse_args(["loadtest", "--chaos", "--workers", "2",
+                                  "--kill-rate", "0.1",
+                                  "--stall-rate", "0.05",
+                                  "--corrupt-rate", "0.02",
+                                  "--stall-timeout", "0.4"])
+        assert args.workers == 2 and args.kill_rate == 0.1
+        assert args.stall_rate == 0.05 and args.corrupt_rate == 0.02
+        assert args.stall_timeout == 0.4
+        # kernels/bench keep the plain pool spelling of --workers
+        args = parser.parse_args(["kernels", "--workers", "3"])
+        assert args.workers == 3 and not hasattr(args, "kernel_workers")
+
+    def test_kernel_options_prefers_kernel_workers(self):
+        import argparse
+
+        from repro.cli import _kernel_options
+
+        serving = argparse.Namespace(workers=2, kernel_workers=3,
+                                     block_rows=None)
+        assert _kernel_options(serving) == {"workers": 3}
+        serving_default = argparse.Namespace(workers=2, kernel_workers=None,
+                                             block_rows=None)
+        assert _kernel_options(serving_default) == {}
+        kernels = argparse.Namespace(workers=4, block_rows=16)
+        assert _kernel_options(kernels) == {"workers": 4, "block_rows": 16}
+
+    def test_sharded_serve_round_trip(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("3 5 7\nquit\n"))
+        assert main(["serve", "--workers", "2", "--max-batch-size", "4",
+                     "--max-wait-ms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard processes" in out
+        assert "served 1 requests" in out
+        assert "shards: 2/2 workers live" in out
+        assert "snapshot v1 checksum 0x" in out
+
+    def test_plain_loadtest_rejects_workers(self, capsys):
+        assert main(["loadtest", "--workers", "2", "--requests", "8"]) == 2
+        assert "requires --chaos" in capsys.readouterr().err
+
+    def test_sharded_chaos_loadtest_cli(self, capsys):
+        assert main(["loadtest", "--chaos", "--quick", "--workers", "2",
+                     "--requests", "32", "--batch-size", "4",
+                     "--max-wait-ms", "0.5", "--kill-rate", "0.15",
+                     "--stall-rate", "0", "--corrupt-rate", "0",
+                     "--error-rate", "0", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shard processes" in out
+        assert "fault seed 2" in out
+        assert "zero-drop holds" in out
+        assert "shards:" in out and "restarts by shard" in out
+
+    def test_sharded_daemon_smoke(self, capsys):
+        assert main(["daemon", "--workers", "2", "--smoke", "3",
+                     "--max-batch-size", "4", "--max-wait-ms", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 requests ok" in out
+        assert "bitwise_identical_to_solo=True" in out
