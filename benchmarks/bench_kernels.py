@@ -1,16 +1,18 @@
-"""Kernel engine benchmark: oracle vs fused vs blocked vs parallel.
+"""Kernel engine benchmark: oracle vs fused vs blocked vs parallel vs native.
 
 Times every requested kernel across sequence lengths and batch sizes and
 writes ``benchmarks/results/BENCH_kernels.json`` so later PRs have a
 recorded perf trajectory.  Two workloads are covered:
 
 * the **row-latency** workload (small batches of rows, the unit of work an
-  attention head hands the softmax engine) -- headline: the fused kernel's
-  speedup over the slice-loop ``SoftermaxPipeline`` at sequence length 512;
+  attention head hands the softmax engine) -- headlines: the fused kernel's
+  speedup over the slice-loop ``SoftermaxPipeline`` at sequence length 512,
+  and the compiled ``softermax-native`` engine's speedup over the fused
+  kernel at the same point (recorded only when the extension is built);
 * the **huge-tensor throughput** workload (batch x heads worth of rows at a
   long sequence length, default 64 x 16 rows @ seq 2048) -- headline: the
-  blocked/parallel engines' speedup over the fused kernel, the
-  bandwidth-bound regime this engine exists for.
+  blocked/parallel/native engines' speedup over the fused kernel, the
+  bandwidth-bound regime those engines exist for.
 
 Every timed Softermax kernel stays bitwise-identical (checked here too, on
 top of the equivalence suite), and each timing point records the
@@ -48,13 +50,14 @@ from benchmarks.bench_utils import RESULTS_DIR
 
 from repro.core import SoftermaxConfig, attention_score_batch
 from repro.eval import kernel_timing_sweep
-from repro.kernels import resolve_kernel
+from repro.kernels import native_available, resolve_kernel
 
 #: The pair the row-latency acceptance criterion is about.
 ORACLE = "softermax-bit-accurate"
 FUSED = "softermax-fused"
 BLOCKED = "softermax-blocked"
 PARALLEL = "softermax-parallel"
+NATIVE = "softermax-native"
 
 #: Huge-tensor throughput workload: 64 batch x 16 heads worth of rows at
 #: sequence length 2048 (~2M elements / 16 MB of float64 scores per call).
@@ -97,29 +100,39 @@ def run_bench(seq_lens, batches, kernels, repeats: int) -> dict:
                                  batches=batches, config=config,
                                  repeats=repeats)
     speedups = {}
+    native_speedups = {}
     for seq_len in seq_lens:
         for batch in batches:
+            key = f"seq{seq_len}_batch{batch}"
             ref = _best(points, ORACLE, seq_len, batch)
             fused = _best(points, FUSED, seq_len, batch)
+            native = _best(points, NATIVE, seq_len, batch)
             if ref is not None and fused is not None:
-                speedups[f"seq{seq_len}_batch{batch}"] = round(ref / fused, 2)
+                speedups[key] = round(ref / fused, 2)
+            if fused is not None and native is not None:
+                native_speedups[key] = round(fused / native, 2)
 
     headline_batch = min(batches)
     headline = None
+    native_headline = None
     if 512 in seq_lens:
         headline = speedups.get(f"seq512_batch{headline_batch}")
+        native_headline = native_speedups.get(f"seq512_batch{headline_batch}")
 
     return {
         "workload": "attention_score_batch rows, paper Table I config",
         "python": platform.python_version(),
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
+        "native_extension": native_available(),
         "kernels": list(kernels),
         "seq_lens": list(seq_lens),
         "batches": list(batches),
         "results": [vars(p) for p in points],
         "speedup_fused_vs_oracle": speedups,
         "speedup_at_512": headline,
+        "speedup_native_vs_fused": native_speedups,
+        "native_speedup_at_512": native_headline,
     }
 
 
@@ -130,6 +143,8 @@ def run_huge_bench(rows: int, seq_len: int, repeats: int,
     cpu = os.cpu_count() or 1
     workers = workers or min(4, max(2, cpu))
     kernels = (FUSED, BLOCKED, f"{PARALLEL}(workers={workers})")
+    if native_available():
+        kernels += (NATIVE,)
     _check_bitwise(config, kernels, 256)
 
     points = kernel_timing_sweep(kernels=kernels, seq_lens=(seq_len,),
@@ -138,6 +153,7 @@ def run_huge_bench(rows: int, seq_len: int, repeats: int,
     fused = _best(points, FUSED, seq_len, rows)
     blocked = _best(points, BLOCKED, seq_len, rows)
     parallel = _best(points, f"{PARALLEL}(workers={workers})", seq_len, rows)
+    native = _best(points, NATIVE, seq_len, rows)
     payload = {
         "workload": f"{rows} rows x seq {seq_len} "
                     f"({rows * seq_len} elements, huge-tensor throughput)",
@@ -152,6 +168,9 @@ def run_huge_bench(rows: int, seq_len: int, repeats: int,
         "speedup_parallel_vs_fused":
             None if fused is None or parallel is None
             else round(fused / parallel, 2),
+        "speedup_native_vs_fused":
+            None if fused is None or native is None
+            else round(fused / native, 2),
     }
     if cpu <= 1:
         payload["note"] = ("single-core box: the parallel backend pays pool "
@@ -181,6 +200,20 @@ def check_against_baseline(payload: dict, baseline_path: Path,
                 f"fused-vs-oracle speedup at {key} fell to {measured[key]}x "
                 f"(recorded {recorded[key]}x, tolerance {tolerance:.0%})")
 
+    rec_native = baseline.get("speedup_native_vs_fused", {})
+    mes_native = payload.get("speedup_native_vs_fused", {})
+    if rec_native and not mes_native:
+        warnings.append(
+            "baseline records softermax-native speedups but this run has "
+            "none (extension not built or disabled); skipping the native "
+            "diff")
+    for key in sorted(set(rec_native) & set(mes_native)):
+        if rec_native[key] and mes_native[key] < rec_native[key] * tolerance:
+            warnings.append(
+                f"native-vs-fused speedup at {key} fell to "
+                f"{mes_native[key]}x (recorded {rec_native[key]}x, "
+                f"tolerance {tolerance:.0%})")
+
     rec_huge = baseline.get("huge", {})
     mes_huge = payload.get("huge", {})
     same_workload = (rec_huge.get("rows") == mes_huge.get("rows")
@@ -192,7 +225,8 @@ def check_against_baseline(payload: dict, baseline_path: Path,
             f"{rec_huge.get('rows')}x{rec_huge.get('seq_len')}); "
             "skipping the huge-tensor speedup diff")
     elif same_workload:
-        for field in ("speedup_blocked_vs_fused", "speedup_parallel_vs_fused"):
+        for field in ("speedup_blocked_vs_fused", "speedup_parallel_vs_fused",
+                      "speedup_native_vs_fused"):
             rec, mes = rec_huge.get(field), mes_huge.get(field)
             if rec and mes and mes < rec * tolerance:
                 warnings.append(
@@ -209,8 +243,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seq-lens", type=int, nargs="+",
                         default=[64, 128, 256, 512, 1024])
     parser.add_argument("--batches", type=int, nargs="+", default=[8, 64])
-    parser.add_argument("--kernels", nargs="+",
-                        default=[ORACLE, FUSED, BLOCKED, "reference", "base2"])
+    default_kernels = [ORACLE, FUSED, BLOCKED, "reference", "base2"]
+    if native_available():
+        default_kernels.insert(3, NATIVE)
+    parser.add_argument("--kernels", nargs="+", default=default_kernels)
     parser.add_argument("--repeats", type=int, default=5)
     parser.add_argument("--huge-rows", type=int, default=HUGE_ROWS)
     parser.add_argument("--huge-seq", type=int, default=HUGE_SEQ)
@@ -222,8 +258,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
+        quick_kernels = (ORACLE, FUSED) + ((NATIVE,) if native_available()
+                                           else ())
         payload = run_bench(seq_lens=(64, 512), batches=(8,),
-                            kernels=(ORACLE, FUSED), repeats=2)
+                            kernels=quick_kernels, repeats=2)
         if not args.skip_huge:
             # Same workload shape as the recorded trajectory so the
             # baseline diff below compares like with like.
@@ -248,12 +286,19 @@ def main(argv=None) -> int:
         print(f"{key:>18}: fused speedup {value:5.1f}x")
     if payload["speedup_at_512"] is not None:
         print(f"headline (seq 512): {payload['speedup_at_512']:.1f}x")
+    for key, value in sorted(payload["speedup_native_vs_fused"].items()):
+        print(f"{key:>18}: native-vs-fused speedup {value:5.1f}x")
+    if payload["native_speedup_at_512"] is not None:
+        print("native headline (seq 512): "
+              f"{payload['native_speedup_at_512']:.1f}x over fused")
     huge = payload.get("huge")
     if huge:
         print(f"huge workload ({huge['workload']}):")
         print(f"  blocked  vs fused: {huge['speedup_blocked_vs_fused']}x")
         print(f"  parallel vs fused: {huge['speedup_parallel_vs_fused']}x "
               f"(workers={huge['workers']}, cpu_count={huge['cpu_count']})")
+        if huge.get("speedup_native_vs_fused") is not None:
+            print(f"  native   vs fused: {huge['speedup_native_vs_fused']}x")
 
     if args.quick:
         # The smoke run verifies the harness end to end without clobbering

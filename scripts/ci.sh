@@ -5,11 +5,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== native extension build (hard fail if a compiler is present but"
+echo "   the build breaks; skipped cleanly on compiler-less boxes) =="
+if command -v cc >/dev/null 2>&1 || command -v gcc >/dev/null 2>&1; then
+    python setup.py build_ext --inplace
+else
+    echo "no C compiler found; skipping build (pure-Python fallback in play)"
+fi
+
 echo "== static analysis (repro lint, hard fail on new findings) =="
 python -m repro.cli lint
 
 echo "== tier-1 tests =="
 python -m pytest -x -q
+
+echo "== tier-1 tests, extension disabled (REPRO_DISABLE_NATIVE=1; proves"
+echo "   the pure-Python fallback keeps the suite green without the .so) =="
+REPRO_DISABLE_NATIVE=1 python -m pytest -x -q
 
 echo "== lockwatch serving pass (hard fail on lock-order cycles) =="
 REPRO_LOCKWATCH=1 python -m pytest tests/serving -q

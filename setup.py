@@ -1,10 +1,41 @@
 """Setuptools entry point.
 
-Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
-fully offline environments (legacy editable installs do not require the
-``wheel`` package).  All project metadata lives in ``pyproject.toml``.
+Legacy ``setup.py`` so that ``pip install -e .`` and
+``python setup.py build_ext --inplace`` work in fully offline
+environments (no ``wheel``/``build`` packages required).
+
+The compiled Softermax hot path (``repro.kernels._native._softermax``)
+is declared here as an *optional* extension: when NumPy or a C compiler
+is missing the sdist still installs and the pure-Python engines take
+over (see ``src/repro/kernels/_native/__init__.py``).  Set
+``REPRO_SKIP_NATIVE_BUILD=1`` to skip the extension explicitly.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import Extension, find_packages, setup
+
+
+def _native_extensions():
+    if os.environ.get("REPRO_SKIP_NATIVE_BUILD", "").strip() not in ("", "0"):
+        return []
+    try:
+        import numpy
+    except ImportError:
+        return []
+    return [
+        Extension(
+            "repro.kernels._native._softermax",
+            sources=["src/repro/kernels/_native/_softermaxmodule.c"],
+            include_dirs=[numpy.get_include()],
+            extra_compile_args=["-O3"],
+        )
+    ]
+
+
+setup(
+    name="repro",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    ext_modules=_native_extensions(),
+)

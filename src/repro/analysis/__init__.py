@@ -30,13 +30,14 @@ from repro.analysis.rules import (
     DeterminismRule,
     HotPathAllocationRule,
     KernelContractRule,
+    NativeBackendGuardRule,
     SharedMemoryLifecycleRule,
     ToleranceContractRule,
 )
 
 
 def default_rules():
-    """Fresh instances of the full rule set, R1 through R6."""
+    """Fresh instances of the full rule set, R1 through R7."""
     return [
         HotPathAllocationRule(),
         KernelContractRule(),
@@ -44,6 +45,7 @@ def default_rules():
         DeterminismRule(),
         LockDisciplineRule(),
         SharedMemoryLifecycleRule(),
+        NativeBackendGuardRule(),
     ]
 
 
@@ -61,6 +63,7 @@ __all__ = [
     "LintEngine",
     "LintReport",
     "LockDisciplineRule",
+    "NativeBackendGuardRule",
     "SharedMemoryLifecycleRule",
     "LockOrderWatcher",
     "ModuleSource",

@@ -1,4 +1,4 @@
-"""The first-class rule set: the repo's own contracts, encoded (R1-R4, R6).
+"""The first-class rule set: the repo's own contracts, encoded (R1-R4, R6-R7).
 
 Each rule statically enforces an invariant earlier PRs established
 dynamically (benchmark assertions, equivalence suites, chaos tests):
@@ -14,6 +14,10 @@ dynamically (benchmark assertions, equivalence suites, chaos tests):
 * **R6** -- shared-memory lifecycle: every ``SharedMemory(create=True)``
   is paired with an ``unlink()`` error path, so crashes cannot leak
   ``/dev/shm`` segments (PR 9's snapshot tier).
+* **R7** -- native-backend degradation: compiled/private backend imports
+  in ``kernels/`` are guarded with an ``ImportError`` fallback binding,
+  and native ``KernelSpec``\\ s declare ``runner_factory`` (PR 10's C
+  extension tier).
 
 R5 (lock discipline) lives in :mod:`repro.analysis.locks`.
 """
@@ -551,3 +555,174 @@ class SharedMemoryLifecycleRule(Rule):
                     and _contains_unlink_call(method.body)):
                 return True
         return False
+
+
+# --------------------------------------------------------------------------- #
+# R7 -- native-backend degradation discipline
+# --------------------------------------------------------------------------- #
+
+#: Exception types that qualify as guarding an optional import.
+_IMPORT_GUARD_EXCEPTIONS = frozenset({
+    "ImportError", "ModuleNotFoundError", "Exception", "BaseException",
+})
+
+#: ``KernelSpec(name=...)`` values that imply a compiled (``.so``) backend.
+_NATIVE_SPEC_NAME_RE = re.compile(r"(?i)native|compiled")
+
+
+def _is_private_component(name: str) -> bool:
+    """True for a ``_native``-style path component (dunders are public API)."""
+    return name.startswith("_") and not name.startswith("__")
+
+
+def _import_label(node) -> Optional[str]:
+    """Dotted path being imported, if it crosses a private component.
+
+    Matches the compiled-backend layout: ``repro.kernels._native``,
+    ``numpy._core.umath``, or a relative ``from . import _softermax``.
+    Returns ``None`` for ordinary public imports.
+    """
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if any(_is_private_component(p) for p in alias.name.split(".")):
+                return alias.name
+        return None
+    module = node.module or ""
+    if any(_is_private_component(p) for p in module.split(".") if p):
+        return module
+    if node.level:  # relative import: aliases may be private submodules
+        for alias in node.names:
+            if _is_private_component(alias.name):
+                return "." * node.level + module + "." + alias.name
+    return None
+
+
+def _bound_names(node) -> Set[str]:
+    """Names an import statement binds in the enclosing scope."""
+    names = set()
+    for alias in node.names:
+        if alias.asname:
+            names.add(alias.asname)
+        elif alias.name != "*":
+            names.add(alias.name.split(".")[0] if isinstance(node, ast.Import)
+                      else alias.name)
+    return names
+
+
+def _catches_import_error(type_node: Optional[ast.AST]) -> bool:
+    if type_node is None:
+        return True  # bare except
+    if isinstance(type_node, ast.Tuple):
+        return any(_catches_import_error(elt) for elt in type_node.elts)
+    name = (type_node.id if isinstance(type_node, ast.Name)
+            else type_node.attr if isinstance(type_node, ast.Attribute)
+            else None)
+    return name in _IMPORT_GUARD_EXCEPTIONS
+
+
+def _handler_bound_names(handler: ast.ExceptHandler) -> Set[str]:
+    bound = set()
+    for stmt in handler.body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+                bound.add(sub.id)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                bound |= _bound_names(sub)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                bound.add(sub.name)
+    return bound
+
+
+class NativeBackendGuardRule(Rule):
+    """R7: compiled backends degrade, never crash, when the ``.so`` is absent.
+
+    The compiled Softermax extension is optional by design: a box without
+    a C compiler (or with ``REPRO_DISABLE_NATIVE=1``) must fall back to
+    the pure-Python engines at import time.  Two statically checkable
+    halves of that contract, scoped to ``kernels/``:
+
+    * **Guarded import sites.** Any import whose dotted path crosses a
+      private component (``repro.kernels._native``, ``_softermax``,
+      ``numpy._core.umath`` -- compiled modules and private layouts that
+      a stock install may not provide) must sit inside ``try`` with an
+      ``except ImportError`` handler that rebinds *every* imported name
+      to a pure-Python fallback (``lib = None``, ``_clip = np.clip``),
+      so callers can test availability instead of crashing.
+    * **Dispatchable native specs.** Every ``KernelSpec(...)`` whose
+      ``name`` implies a compiled backend must declare
+      ``runner_factory=`` -- a ``.so``-backed kernel that the
+      equivalence suite cannot auto-pin to the slice-loop oracle is an
+      unverifiable fast path (R2 covers ``bit_accurate=True`` specs;
+      this closes the gap for native specs that forget to declare even
+      that).
+    """
+
+    rule_id = "R7"
+    title = "native-backend degradation discipline"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("kernels/")
+
+    # ------------------------------------------------------------------ #
+    def _guarding_try(self, module: ModuleSource,
+                      node: ast.AST) -> Optional[ast.Try]:
+        """Innermost ``try`` whose *body* (not handlers) contains ``node``."""
+        child = node
+        for parent in module.parents(node):
+            if isinstance(parent, ast.Try):
+                for stmt in parent.body:
+                    if child is stmt:
+                        return parent
+            child = parent
+        return None
+
+    def _check_import(self, module: ModuleSource,
+                      node: ast.AST) -> Iterable[Finding]:
+        label = _import_label(node)
+        if label is None:
+            return
+        guard = self._guarding_try(module, node)
+        if guard is None:
+            yield self.finding(
+                module, node,
+                f"import of compiled/private backend {label!r} is "
+                "unguarded; wrap it in try/except ImportError and bind a "
+                "pure-Python fallback so a missing extension degrades "
+                "instead of crashing at import")
+            return
+        names = _bound_names(node)
+        for handler in guard.handlers:
+            if (_catches_import_error(handler.type)
+                    and names <= _handler_bound_names(handler)):
+                return
+        yield self.finding(
+            module, node,
+            f"guard around compiled/private backend import {label!r} has "
+            "no except-ImportError handler binding a fallback for "
+            f"{', '.join(sorted(names)) or 'its names'}; callers must see "
+            "a pure-Python substitute (e.g. lib = None), not a NameError")
+
+    def _check_spec(self, module: ModuleSource,
+                    node: ast.Call) -> Iterable[Finding]:
+        keywords = {kw.arg: kw.value for kw in node.keywords if kw.arg}
+        name = keywords.get("name")
+        if not (isinstance(name, ast.Constant) and isinstance(name.value, str)
+                and _NATIVE_SPEC_NAME_RE.search(name.value)):
+            return
+        if "runner_factory" not in keywords:
+            yield self.finding(
+                module, node,
+                f"native KernelSpec {name.value!r} declares no "
+                "runner_factory; a .so-backed kernel the equivalence suite "
+                "cannot auto-pin to the slice-loop oracle is an unverified "
+                "fast path")
+
+    def check(self, module: ModuleSource) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                yield from self._check_import(module, node)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "KernelSpec"):
+                yield from self._check_spec(module, node)

@@ -46,6 +46,7 @@ from repro.core import (
 from repro.kernels import (
     auto_kernel_choice,
     available_kernels,
+    dispatch_candidates,
     get_kernel,
     resolve_kernel,
 )
@@ -256,7 +257,9 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
         ["kernel", "bit-accurate", "out=/scratch", "selection",
          "description"], rows,
         title='Registered softmax kernels ("auto" dispatches per call)'))
-    print(f"\nauto resolves to: {auto_pick} for shape "
+    print("\nadaptive candidates (from the registry, in registration "
+          "order): " + " / ".join(dispatch_candidates()))
+    print(f"auto resolves to: {auto_pick} for shape "
           f"(batch={args.batch}, seq_len={args.seq_len}, "
           f"elements={args.batch * args.seq_len})")
     return 0

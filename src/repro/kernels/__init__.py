@@ -13,6 +13,9 @@ caller picks an implementation:
   huge-tensor regime.
 * :mod:`repro.kernels.parallel` -- row blocks fanned out over a
   ``multiprocessing`` pool via shared memory (results written in place).
+* :mod:`repro.kernels.native` -- the compiled C row loop over the
+  integer-code LUT pipeline (optional extension; falls back to the fused
+  kernel when absent or disabled via ``REPRO_DISABLE_NATIVE=1``).
 * :mod:`repro.kernels.registry` -- the name -> implementation registry with
   adaptive ``"auto"`` selection, used by the attention layers, sweeps, the
   CLI and the benchmarks.
@@ -32,6 +35,12 @@ from repro.kernels.fused import (
     fused_softermax,
     get_fused_kernel,
 )
+from repro.kernels.native import (
+    NativeSoftermaxKernel,
+    get_native_kernel,
+    native_available,
+    native_softermax,
+)
 from repro.kernels.parallel import (
     ParallelSoftermaxKernel,
     get_parallel_kernel,
@@ -45,6 +54,7 @@ from repro.kernels.registry import (
     KernelSpec,
     auto_kernel_choice,
     available_kernels,
+    dispatch_candidates,
     get_kernel,
     parse_kernel_name,
     register_kernel,
@@ -66,6 +76,10 @@ __all__ = [
     "FusedSoftermaxKernel",
     "fused_softermax",
     "get_fused_kernel",
+    "NativeSoftermaxKernel",
+    "get_native_kernel",
+    "native_available",
+    "native_softermax",
     "ParallelSoftermaxKernel",
     "get_parallel_kernel",
     "parallel_softermax",
@@ -76,6 +90,7 @@ __all__ = [
     "KernelSpec",
     "auto_kernel_choice",
     "available_kernels",
+    "dispatch_candidates",
     "get_kernel",
     "parse_kernel_name",
     "register_kernel",

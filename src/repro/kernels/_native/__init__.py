@@ -1,0 +1,34 @@
+"""Loader for the compiled Softermax hot path.
+
+The compiled module (``repro.kernels._native._softermax``, built from
+``_softermaxmodule.c`` by ``python setup.py build_ext --inplace`` or an
+editable install) is optional by design: a box without a C compiler, a
+wheel-less install, or an ABI-mismatched leftover ``.so`` must degrade to
+the pure-Python engines, never crash at import.  This package owns that
+guard in exactly one place -- everything else asks :data:`lib`.
+
+``REPRO_DISABLE_NATIVE=1`` (any value but ``0``/empty) is the kill
+switch: it forces :data:`lib` to ``None`` even when the extension is
+importable, so the fallback path can be exercised -- and production can
+be pinned off the extension -- without rebuilding.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable that disables the compiled backend entirely.
+DISABLE_ENV = "REPRO_DISABLE_NATIVE"
+
+
+def _disabled() -> bool:
+    return os.environ.get(DISABLE_ENV, "").strip() not in ("", "0")
+
+
+if _disabled():
+    lib = None
+else:
+    try:
+        from repro.kernels._native import _softermax as lib
+    except ImportError:  # no compiler / wheel-less install / stale ABI
+        lib = None

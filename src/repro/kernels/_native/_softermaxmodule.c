@@ -1,0 +1,316 @@
+/* Compiled hot path for the integer-code Softermax pipeline.
+ *
+ * This module is the C twin of the fused kernel's integer fast path
+ * (repro/kernels/fused.py): quantize the row straight to input codes,
+ * take per-slice maxima, gather the unnormalized exponential codes from
+ * the precomputed pow2 difference LUT, run the online-normalization
+ * recurrence on the per-slice (max, sum) state, and renormalize-and-
+ * divide with pure shift/multiply integer arithmetic -- one C pass per
+ * row, no NumPy ufunc dispatch anywhere.
+ *
+ * Bitwise discipline: every arithmetic step below mirrors one NumPy
+ * expression of FusedSoftermaxKernel exactly --
+ *
+ *   - input quantization is the same multiply/+0.5/floor/clip/cast
+ *     chain in IEEE double (all steps exact or identically rounded);
+ *   - slice maxima, max-code requantization, LUT index arithmetic and
+ *     the sum-code rounding are exact integer arithmetic (arithmetic
+ *     right shifts == NumPy's floor-division shifts);
+ *   - the online merge runs in IEEE double on per-slice code values,
+ *     with ldexp() standing in for np.power(2.0, integer_exp) (both
+ *     produce the exact power of two) and the identity cases (shift
+ *     factor 1.0) applied unconditionally -- rounding an integer-valued
+ *     state is the identity, so skipping it (as the vectorized kernel
+ *     does) and applying it (as we do) are bitwise the same;
+ *   - the back end is the same shift/multiply/round/clip chain on
+ *     int64, capped at the shift bound the fused kernel uses for its
+ *     work dtype.
+ *
+ * Anything the integer fast path cannot express bitwise -- a saturated
+ * maximum making a renormalization shift non-integral -- is detected up
+ * front (the divisibility check on the max-code differences) and
+ * reported via return value 1, and the Python wrapper re-runs the call
+ * through the fused kernel.  The equivalence suite pins the result
+ * against the slice-loop oracle either way.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <math.h>
+#include <stdint.h>
+
+/* Indices into the int64 parameter block (built once per kernel in
+ * native.py; keep in sync with _pack_params there). */
+enum {
+    P_SLICE_WIDTH = 0,
+    P_IN_LO,
+    P_IN_HI,
+    P_FI,          /* input_fmt.frac_bits */
+    P_FM,          /* max_fmt.frac_bits */
+    P_MAX_LO,
+    P_MAX_HI,
+    P_IN_SCALE,
+    P_MAX_SCALE,
+    P_LO_CODE,
+    P_SUM_SHIFT,   /* unnormed frac - sum frac */
+    P_SUM_LO,
+    P_SUM_HI,
+    P_OUT_SHIFT,   /* unnormed frac + recip frac - output frac */
+    P_OUT_LO,
+    P_OUT_HI,
+    P_SHIFT_CAP,   /* fused kernel's work-dtype shift bound */
+    P_COUNT
+};
+
+#define NEEDS_FALLBACK 1
+
+static int
+check_array(PyArrayObject *arr, int typenum, const char *name)
+{
+    if (PyArray_TYPE(arr) != typenum || !PyArray_IS_C_CONTIGUOUS(arr)) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s must be a C-contiguous array of the expected dtype",
+                     name);
+        return -1;
+    }
+    return 0;
+}
+
+/* One row: quantize, slice-max, LUT-gather, merge, normalize.  Returns 0
+ * on success, NEEDS_FALLBACK when a non-integral renormalization shift
+ * (saturated maximum) means the integer path cannot be bitwise. */
+static int
+softermax_row(const double *xr, double *outr, npy_intp length,
+              const int64_t *lut, npy_intp lut_len,
+              const int64_t *recip_codes, const double *out_values,
+              int64_t *ucodes, int64_t *mcq, int64_t *accq, int64_t *sumc,
+              const int64_t *p, double inv_in_res)
+{
+    const int64_t W = p[P_SLICE_WIDTH];
+    const npy_intp S = (length + W - 1) / W;
+    const int64_t fi = p[P_FI], fm = p[P_FM];
+    const int64_t ceil_bias = (1LL << fi) - 1;
+    const int64_t fm_mul = 1LL << fm, fm_mask = fm_mul - 1;
+    const double in_lo = (double)p[P_IN_LO], in_hi = (double)p[P_IN_HI];
+    const int64_t in_scale = p[P_IN_SCALE], max_scale = p[P_MAX_SCALE];
+    const int64_t lo_code = p[P_LO_CODE];
+    const int64_t sum_shift = p[P_SUM_SHIFT];
+    const int64_t sum_lo = p[P_SUM_LO], sum_hi = p[P_SUM_HI];
+
+    /* Pass 1: per slice -- input codes, slice max, LUT gather, sum. */
+    for (npy_intp s = 0; s < S; s++) {
+        const npy_intp base = s * W;
+        const npy_intp n = (base + W <= length) ? W : (length - base);
+        int64_t maxc = INT64_MIN;
+        for (npy_intp i = 0; i < n; i++) {
+            /* multiply / +0.5 / floor / clip / cast, as the fused kernel */
+            double v = floor(xr[base + i] * inv_in_res + 0.5);
+            if (v < in_lo)
+                v = in_lo;
+            else if (v > in_hi)
+                v = in_hi;
+            int64_t code = (int64_t)v;
+            ucodes[base + i] = code; /* staged; overwritten below */
+            if (code > maxc)
+                maxc = code;
+        }
+        /* integer-max requantization onto the max grid */
+        int64_t ceil_int = (maxc + ceil_bias) >> fi; /* arithmetic shift */
+        int64_t scaled = ceil_int * fm_mul;
+        if (scaled < p[P_MAX_LO])
+            scaled = p[P_MAX_LO];
+        else if (scaled > p[P_MAX_HI])
+            scaled = p[P_MAX_HI];
+        mcq[s] = scaled;
+        const int64_t offset = scaled * max_scale + lo_code;
+        int64_t ssum = 0;
+        for (npy_intp i = 0; i < n; i++) {
+            int64_t idx = ucodes[base + i] * in_scale - offset;
+            if (idx < 0)
+                idx = 0;
+            else if (idx >= lut_len)
+                idx = lut_len - 1;
+            const int64_t u = lut[idx];
+            ucodes[base + i] = u;
+            ssum += u;
+        }
+        int64_t q;
+        if (sum_shift > 0)
+            q = (ssum + (1LL << (sum_shift - 1))) >> sum_shift;
+        else
+            q = ssum * (1LL << (-sum_shift));
+        if (q < sum_lo)
+            q = sum_lo;
+        else if (q > sum_hi)
+            q = sum_hi;
+        sumc[s] = q;
+    }
+
+    /* Prefix maximum of the slice maxima + integral-shift check. */
+    int64_t running = INT64_MIN;
+    for (npy_intp s = 0; s < S; s++) {
+        if (mcq[s] > running)
+            running = mcq[s];
+        accq[s] = running;
+        if (((mcq[s] - running) & fm_mask) != 0)
+            return NEEDS_FALLBACK;
+        if (s > 0 && ((accq[s - 1] - running) & fm_mask) != 0)
+            return NEEDS_FALLBACK;
+    }
+
+    /* Online-normalization recurrence on the per-slice (max, sum) state,
+     * in IEEE double on code values -- the fused kernel's expression with
+     * the identity steps applied unconditionally. */
+    double rs = (double)sumc[0]; /* slice 0 shift factor is exactly 1 */
+    const double dsum_lo = (double)sum_lo, dsum_hi = (double)sum_hi;
+    for (npy_intp s = 1; s < S; s++) {
+        const int64_t e_run = (accq[s - 1] - accq[s]) >> fm;   /* <= 0 */
+        const int64_t e_loc = (mcq[s] - accq[s]) >> fm;        /* <= 0 */
+        rs *= ldexp(1.0, (int)e_run);
+        rs += (double)sumc[s] * ldexp(1.0, (int)e_loc);
+        rs = floor(rs + 0.5);
+        if (rs < dsum_lo)
+            rs = dsum_lo;
+        else if (rs > dsum_hi)
+            rs = dsum_hi;
+    }
+    const int64_t rc = recip_codes[(int64_t)rs];
+
+    /* Back end: renormalize (right shift), multiply by the reciprocal
+     * code, round to the output grid, clip, gather the float value. */
+    const int64_t shift_cap = p[P_SHIFT_CAP];
+    const int64_t out_shift = p[P_OUT_SHIFT];
+    const int64_t half = (out_shift > 0) ? (1LL << (out_shift - 1)) : 0;
+    const int64_t out_mul = (out_shift < 0) ? (1LL << (-out_shift)) : 1;
+    const int64_t out_lo = p[P_OUT_LO], out_hi = p[P_OUT_HI];
+    const int64_t gmax = accq[S - 1];
+    for (npy_intp s = 0; s < S; s++) {
+        const npy_intp base = s * W;
+        const npy_intp n = (base + W <= length) ? W : (length - base);
+        int64_t k = (gmax - mcq[s]) >> fm; /* integral by the check above */
+        if (k > shift_cap)
+            k = shift_cap;
+        for (npy_intp i = 0; i < n; i++) {
+            int64_t prod = (ucodes[base + i] >> k) * rc;
+            if (out_shift > 0)
+                prod = (prod + half) >> out_shift;
+            else
+                prod *= out_mul;
+            if (prod < out_lo)
+                prod = out_lo;
+            else if (prod > out_hi)
+                prod = out_hi;
+            outr[base + i] = out_values[prod];
+        }
+    }
+    return 0;
+}
+
+static PyObject *
+forward(PyObject *self, PyObject *args)
+{
+    PyArrayObject *x, *out, *lut, *recip_codes, *out_values;
+    PyArrayObject *ucodes, *slices, *params;
+    double inv_in_res;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!O!O!d",
+                          &PyArray_Type, &x, &PyArray_Type, &out,
+                          &PyArray_Type, &lut, &PyArray_Type, &recip_codes,
+                          &PyArray_Type, &out_values, &PyArray_Type, &ucodes,
+                          &PyArray_Type, &slices, &PyArray_Type, &params,
+                          &inv_in_res))
+        return NULL;
+
+    if (check_array(x, NPY_FLOAT64, "x") ||
+        check_array(out, NPY_FLOAT64, "out") ||
+        check_array(lut, NPY_INT64, "lut") ||
+        check_array(recip_codes, NPY_INT64, "recip_codes") ||
+        check_array(out_values, NPY_FLOAT64, "out_values") ||
+        check_array(ucodes, NPY_INT64, "ucodes scratch") ||
+        check_array(slices, NPY_INT64, "slice scratch") ||
+        check_array(params, NPY_INT64, "params"))
+        return NULL;
+
+    if (PyArray_NDIM(x) != 2 || PyArray_NDIM(out) != 2) {
+        PyErr_SetString(PyExc_ValueError, "x and out must be 2-D");
+        return NULL;
+    }
+    const npy_intp rows = PyArray_DIM(x, 0);
+    const npy_intp length = PyArray_DIM(x, 1);
+    if (PyArray_DIM(out, 0) != rows || PyArray_DIM(out, 1) != length) {
+        PyErr_SetString(PyExc_ValueError, "out shape must match x");
+        return NULL;
+    }
+    if (PyArray_SIZE(params) < P_COUNT) {
+        PyErr_SetString(PyExc_ValueError, "parameter block too short");
+        return NULL;
+    }
+    const int64_t *p = (const int64_t *)PyArray_DATA(params);
+    const int64_t W = p[P_SLICE_WIDTH];
+    if (W <= 0 || length <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "slice width and row length must be positive");
+        return NULL;
+    }
+    const npy_intp S = (length + W - 1) / W;
+    if (PyArray_SIZE(ucodes) < S * W || PyArray_SIZE(slices) < 3 * S) {
+        PyErr_SetString(PyExc_ValueError, "scratch buffers too small");
+        return NULL;
+    }
+    if (PyArray_SIZE(recip_codes) < p[P_SUM_HI] + 1 ||
+        PyArray_SIZE(out_values) < p[P_OUT_HI] + 1 ||
+        p[P_SUM_LO] < 0 || p[P_OUT_LO] < 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "reciprocal/output tables do not cover the code range");
+        return NULL;
+    }
+
+    const double *xp = (const double *)PyArray_DATA(x);
+    double *op = (double *)PyArray_DATA(out);
+    const int64_t *lutp = (const int64_t *)PyArray_DATA(lut);
+    const npy_intp lut_len = PyArray_SIZE(lut);
+    const int64_t *recipp = (const int64_t *)PyArray_DATA(recip_codes);
+    const double *outvp = (const double *)PyArray_DATA(out_values);
+    int64_t *ucodesp = (int64_t *)PyArray_DATA(ucodes);
+    int64_t *slicep = (int64_t *)PyArray_DATA(slices);
+    int64_t *mcq = slicep, *accq = slicep + S, *sumc = slicep + 2 * S;
+
+    int rc = 0;
+    Py_BEGIN_ALLOW_THREADS
+    for (npy_intp r = 0; r < rows; r++) {
+        rc = softermax_row(xp + r * length, op + r * length, length,
+                           lutp, lut_len, recipp, outvp,
+                           ucodesp, mcq, accq, sumc, p, inv_in_res);
+        if (rc != 0)
+            break;
+    }
+    Py_END_ALLOW_THREADS
+    return PyLong_FromLong(rc);
+}
+
+static PyMethodDef methods[] = {
+    {"forward", forward, METH_VARARGS,
+     "forward(x, out, lut, recip_codes, out_values, ucodes, slices, "
+     "params, inv_in_res) -> int\n\n"
+     "Run the integer-code Softermax pipeline over the rows of a 2-D\n"
+     "C-contiguous float64 array, writing probabilities into out.\n"
+     "Returns 0 on success, 1 when a non-integral renormalization shift\n"
+     "requires the Python fused kernel (caller falls back)."},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef moduledef = {
+    PyModuleDef_HEAD_INIT, "_softermax",
+    "Compiled integer-code Softermax hot path (see repro.kernels.native).",
+    -1, methods,
+};
+
+PyMODINIT_FUNC
+PyInit__softermax(void)
+{
+    import_array();
+    return PyModule_Create(&moduledef);
+}

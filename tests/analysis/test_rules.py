@@ -1,4 +1,4 @@
-"""Good/bad fixture pairs for each contract rule, R1 through R6."""
+"""Good/bad fixture pairs for each contract rule, R1 through R7."""
 
 import textwrap
 
@@ -6,7 +6,8 @@ import pytest
 
 from repro.analysis import (
     DeterminismRule, HotPathAllocationRule, KernelContractRule, LintEngine,
-    LockDisciplineRule, SharedMemoryLifecycleRule, ToleranceContractRule,
+    LockDisciplineRule, NativeBackendGuardRule, SharedMemoryLifecycleRule,
+    ToleranceContractRule,
 )
 
 pytestmark = pytest.mark.analysis
@@ -471,3 +472,107 @@ def test_r6_real_shm_consumers_are_clean():
     root = Path(repro.__file__).parent
     report = LintEngine(root, [SharedMemoryLifecycleRule()]).run()
     assert [f for f in report.findings if f.rule == "R6"] == []
+
+
+# --------------------------------------------------------------------------- #
+# R7 -- native-backend degradation discipline
+# --------------------------------------------------------------------------- #
+
+def test_r7_flags_unguarded_native_import(tmp_path):
+    findings = lint(tmp_path, NativeBackendGuardRule(), {"kernels/bad.py": """\
+        from repro.kernels._native import _softermax as lib
+        import numpy as np
+        """})
+    assert [f.rule for f in findings] == ["R7"]
+    assert "unguarded" in findings[0].message
+    assert "_native" in findings[0].message
+
+
+def test_r7_flags_guard_without_fallback_binding(tmp_path):
+    findings = lint(tmp_path, NativeBackendGuardRule(), {"kernels/bad.py": """\
+        try:
+            from repro.kernels._native import lib
+        except ImportError:
+            pass
+        """})
+    assert [f.rule for f in findings] == ["R7"]
+    assert "fallback" in findings[0].message
+    assert "lib" in findings[0].message
+
+
+def test_r7_wrong_exception_type_does_not_guard(tmp_path):
+    findings = lint(tmp_path, NativeBackendGuardRule(), {"kernels/bad.py": """\
+        try:
+            from numpy._core.umath import clip as _clip
+        except ValueError:
+            _clip = None
+        """})
+    assert [f.rule for f in findings] == ["R7"]
+
+
+def test_r7_accepts_guarded_import_with_fallback(tmp_path):
+    assert lint(tmp_path, NativeBackendGuardRule(), {"kernels/good.py": """\
+        import numpy as np
+
+        try:
+            from repro.kernels._native import _softermax as lib
+        except ImportError:
+            lib = None
+
+        try:
+            from numpy._core.umath import clip as _clip
+        except (AttributeError, ImportError):
+            _clip = np.clip
+        """}) == []
+
+
+def test_r7_relative_private_submodule_import_needs_guard(tmp_path):
+    findings = lint(tmp_path, NativeBackendGuardRule(),
+                    {"kernels/pkg/__init__.py": """\
+        from . import _softermax
+        """})
+    assert [f.rule for f in findings] == ["R7"]
+    assert lint(tmp_path / "ok", NativeBackendGuardRule(),
+                {"kernels/pkg/__init__.py": """\
+        try:
+            from . import _softermax
+        except ImportError:
+            _softermax = None
+        """}) == []
+
+
+def test_r7_public_imports_and_dunders_are_exempt(tmp_path):
+    assert lint(tmp_path, NativeBackendGuardRule(), {"kernels/good.py": """\
+        from __future__ import annotations
+
+        import numpy as np
+        from repro.kernels.fused import get_fused_kernel
+        """}) == []
+
+
+def test_r7_out_of_scope_files_ignored(tmp_path):
+    assert lint(tmp_path, NativeBackendGuardRule(), {"serving/svc.py": """\
+        from repro.kernels._native import lib
+        """}) == []
+
+
+def test_r7_native_spec_requires_runner_factory(tmp_path):
+    findings = lint(tmp_path, NativeBackendGuardRule(), {"kernels/reg.py": """\
+        register(KernelSpec(name="softermax-native", factory=make))
+        register(KernelSpec(name="softermax-native", factory=make,
+                            runner_factory=make_runner))
+        register(KernelSpec(name="softermax-fused", factory=make))
+        """})
+    assert len(findings) == 1
+    assert findings[0].line == 1
+    assert "runner_factory" in findings[0].message
+
+
+def test_r7_real_kernel_tree_is_clean():
+    import repro
+
+    from pathlib import Path
+
+    root = Path(repro.__file__).parent
+    report = LintEngine(root, [NativeBackendGuardRule()]).run()
+    assert [f for f in report.findings if f.rule == "R7"] == []

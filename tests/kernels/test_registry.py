@@ -14,12 +14,18 @@ from repro.kernels import (
     KernelSpec,
     auto_kernel_choice,
     available_kernels,
+    dispatch_candidates,
     get_kernel,
+    native_available,
     parse_kernel_name,
     register_kernel,
     resolve_kernel,
 )
 from repro.kernels import registry as registry_module
+
+#: What auto picks below the parallel threshold on this box: the compiled
+#: engine when the extension is importable, the legacy pair otherwise.
+NATIVE = native_available()
 
 
 class TestRegistryLookup:
@@ -64,6 +70,36 @@ class TestRegistryLookup:
         for name in ("softermax-fused", "softermax-blocked",
                      "softermax-parallel", "softermax-adaptive"):
             assert get_kernel(name).selection, name
+
+    def test_dispatch_candidates_derived_from_registry(self):
+        """The adaptive candidate list is the registry's engine family --
+        bit-accurate, workspace-aware, not the dispatcher itself."""
+        candidates = dispatch_candidates()
+        assert "softermax-fused" in candidates
+        assert "softermax-blocked" in candidates
+        assert "softermax-parallel" in candidates
+        assert AUTO_KERNEL not in candidates
+        assert "softermax-bit-accurate" not in candidates
+        assert ("softermax-native" in candidates) == NATIVE
+        # A backend registered later appears without further wiring.
+        register_kernel(KernelSpec(
+            name="test-backend", factory=lambda config: None,
+            description="test-only", bit_accurate=True,
+            supports_out=True, supports_scratch=True))
+        try:
+            assert "test-backend" in dispatch_candidates()
+        finally:
+            registry_module._KERNELS.pop("test-backend", None)
+
+    def test_adaptive_docs_generated_from_registry(self):
+        """The adaptive docstring and spec description list exactly the
+        registry's candidates -- no hand-enumerated engine names."""
+        doc = AdaptiveSoftermaxKernel.__doc__
+        spec = get_kernel(AUTO_KERNEL)
+        for name in dispatch_candidates():
+            assert name in doc, name
+            assert name.removeprefix("softermax-") in spec.description, name
+        assert ("native" in spec.description) == NATIVE
 
     def test_out_capability_flags(self):
         """The engine family writes in place natively; the oracle and the
@@ -190,45 +226,64 @@ class TestResolve:
 
     def test_adaptive_forwards_lpw_method_to_children(self, paper_config):
         kernel = resolve_kernel("auto", paper_config, lpw_method="lstsq")
-        for child in ("softermax-fused", "softermax-blocked",
-                      "softermax-parallel"):
+        children = ["softermax-fused", "softermax-blocked",
+                    "softermax-parallel"]
+        if NATIVE:
+            children.append("softermax-native")
+        for child in children:
             assert kernel._kernel_for(child).lpw_method == "lstsq", child
 
 
 class TestAdaptiveDispatch:
     def test_choice_thresholds(self, monkeypatch):
         # Pin a multicore host so the thresholds (not the single-core
-        # gate) are what is under test here.
+        # gate) are what is under test here; native=False pins the legacy
+        # fused/blocked split, native=True the compiled replacement.
         monkeypatch.setattr("os.cpu_count", lambda: 4)
-        assert auto_kernel_choice(8, 512, workers=1) == "softermax-fused"
+        assert auto_kernel_choice(8, 512, workers=1, native=False) \
+            == "softermax-fused"
+        assert auto_kernel_choice(8, 512, workers=1, native=True) \
+            == "softermax-native"
         big_rows = AUTO_BLOCKED_MIN_ELEMENTS // 512
-        assert auto_kernel_choice(big_rows, 512, workers=1) \
+        assert auto_kernel_choice(big_rows, 512, workers=1, native=False) \
             == "softermax-blocked"
+        assert auto_kernel_choice(big_rows, 512, workers=1, native=True) \
+            == "softermax-native"
         huge_rows = AUTO_PARALLEL_MIN_ELEMENTS // 512
-        assert auto_kernel_choice(huge_rows, 512, workers=1) \
+        assert auto_kernel_choice(huge_rows, 512, workers=1, native=False) \
             == "softermax-blocked"  # no extra workers -> stay in process
-        assert auto_kernel_choice(huge_rows, 512, workers=4) \
-            == "softermax-parallel"
+        # The pool keeps the top slot even when native is available (it
+        # spreads the same compiled-or-blocked work over real cores).
+        for native in (False, True):
+            assert auto_kernel_choice(huge_rows, 512, workers=4,
+                                      native=native) == "softermax-parallel"
         # One giant row cannot be split across workers.
-        assert auto_kernel_choice(1, AUTO_PARALLEL_MIN_ELEMENTS, workers=4) \
-            == "softermax-blocked"
+        assert auto_kernel_choice(1, AUTO_PARALLEL_MIN_ELEMENTS, workers=4,
+                                  native=False) == "softermax-blocked"
+
+    def test_choice_defaults_to_registered_availability(self, monkeypatch):
+        """native=None (the adaptive kernel's call) means "if registered"."""
+        monkeypatch.setattr("os.cpu_count", lambda: 1)
+        expected = "softermax-native" if NATIVE else "softermax-fused"
+        assert auto_kernel_choice(8, 512, workers=1) == expected
 
     def test_single_core_host_never_picks_the_pool(self, monkeypatch):
         """On a 1-core box the pool is pure overhead (the ROADMAP-noted
         0.8x regression): auto skips parallel even with an explicit
-        multi-worker budget and falls straight to blocked."""
+        multi-worker budget and falls to the in-process engines."""
         huge_rows = AUTO_PARALLEL_MIN_ELEMENTS // 512
         monkeypatch.setattr("os.cpu_count", lambda: 1)
-        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+        assert auto_kernel_choice(huge_rows, 512, workers=4, native=False) \
             == "softermax-blocked"
-        assert auto_kernel_choice(huge_rows, 512) == "softermax-blocked"
+        assert auto_kernel_choice(huge_rows, 512, native=False) \
+            == "softermax-blocked"
         # cpu_count() may report None (unknown): treated as single core.
         monkeypatch.setattr("os.cpu_count", lambda: None)
-        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+        assert auto_kernel_choice(huge_rows, 512, workers=4, native=False) \
             == "softermax-blocked"
         # Back on a multicore host the same call fans out again.
         monkeypatch.setattr("os.cpu_count", lambda: 2)
-        assert auto_kernel_choice(huge_rows, 512, workers=4) \
+        assert auto_kernel_choice(huge_rows, 512, workers=4, native=False) \
             == "softermax-parallel"
 
     def test_single_core_gate_applies_to_the_adaptive_kernel(
@@ -237,15 +292,19 @@ class TestAdaptiveDispatch:
         kernel = AdaptiveSoftermaxKernel(paper_config, workers=4)
         rows = AUTO_PARALLEL_MIN_ELEMENTS // 256
         huge = np.zeros((rows, 256))
-        assert kernel._choose(huge, -1) == "softermax-blocked"
+        assert kernel._choose(huge, -1) != "softermax-parallel"
+        assert kernel._choose(huge, -1) == (
+            "softermax-native" if NATIVE else "softermax-blocked")
 
     def test_adaptive_kernel_dispatches_and_matches(self, rng, paper_config):
         kernel = AdaptiveSoftermaxKernel(paper_config, workers=1)
         small = rng.normal(0.0, 5.0, size=(4, 64))
-        assert kernel._choose(small, -1) == "softermax-fused"
+        assert kernel._choose(small, -1) == (
+            "softermax-native" if NATIVE else "softermax-fused")
         rows = AUTO_BLOCKED_MIN_ELEMENTS // 256
         big = rng.normal(0.0, 5.0, size=(rows, 256))
-        assert kernel._choose(big, -1) == "softermax-blocked"
+        assert kernel._choose(big, -1) == (
+            "softermax-native" if NATIVE else "softermax-blocked")
         oracle = resolve_kernel("softermax-bit-accurate", paper_config)
         assert np.array_equal(kernel(small), oracle(small))
         probs = kernel(big)

@@ -3,6 +3,13 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.kernels import native_available
+
+#: Engine auto picks below the parallel threshold on this box.
+IN_PROCESS_SMALL = ("softermax-native" if native_available()
+                    else "softermax-fused")
+IN_PROCESS_BIG = ("softermax-native" if native_available()
+                  else "softermax-blocked")
 
 
 class TestParser:
@@ -68,8 +75,13 @@ class TestFastCommands:
         for name in ("softermax-fused", "softermax-blocked",
                      "softermax-parallel", "softermax-adaptive"):
             assert name in out
-        assert "auto resolves to: softermax-fused" in out
+        assert f"auto resolves to: {IN_PROCESS_SMALL}" in out
         assert "selection" in out
+        # The candidate line is generated from the registry.
+        assert "adaptive candidates" in out
+        from repro.kernels import dispatch_candidates
+        for name in dispatch_candidates():
+            assert name in out, name
 
     def test_kernels_auto_choice_tracks_shape(self, capsys, monkeypatch):
         # Pin a multicore host: on a 1-core box auto never picks the pool.
@@ -77,7 +89,7 @@ class TestFastCommands:
         assert main(["kernels", "--batch", "1024", "--seq-len", "2048",
                      "--workers", "1"]) == 0
         out = capsys.readouterr().out
-        assert "auto resolves to: softermax-blocked" in out
+        assert f"auto resolves to: {IN_PROCESS_BIG}" in out
         assert main(["kernels", "--batch", "4096", "--seq-len", "2048",
                      "--workers", "8"]) == 0
         out = capsys.readouterr().out
@@ -88,7 +100,7 @@ class TestFastCommands:
         monkeypatch.setattr("os.cpu_count", lambda: 1)
         assert main(["kernels", "--batch", "4096", "--seq-len", "2048",
                      "--workers", "8"]) == 0
-        assert ("auto resolves to: softermax-blocked"
+        assert (f"auto resolves to: {IN_PROCESS_BIG}"
                 in capsys.readouterr().out)
 
     def test_bench_kernels_quick(self, capsys):
